@@ -1,0 +1,52 @@
+#ifndef GREENFPGA_BENCH_BENCH_COMMON_HPP
+#define GREENFPGA_BENCH_BENCH_COMMON_HPP
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the figure-reproduction bench binaries.
+///
+/// Every bench binary does two jobs:
+///  1. print the rows/series of one paper table or figure (the
+///     reproduction), also emitting CSV under results/ for re-plotting;
+///  2. register google-benchmark timings for the model evaluations behind
+///     that figure, so the cost of the analytical models is tracked.
+///
+/// `GF_BENCH_MAIN(print_function)` wires both into a main().
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/paper_config.hpp"
+
+namespace greenfpga::bench {
+
+/// Paper sweep defaults shared by the experiment benches.
+inline const core::SweepDefaults kDefaults = core::paper_sweep_defaults();
+
+/// Prints a figure banner so bench output reads like the paper's layout.
+inline void banner(const std::string& figure, const std::string& caption) {
+  std::cout << "\n=== " << figure << ": " << caption << " ===\n\n";
+}
+
+}  // namespace greenfpga::bench
+
+/// Expands to a main() that prints the reproduction then runs benchmarks.
+#define GF_BENCH_MAIN(print_function)                            \
+  int main(int argc, char** argv) {                              \
+    try {                                                        \
+      print_function();                                          \
+    } catch (const std::exception& error) {                      \
+      std::cerr << "reproduction failed: " << error.what()       \
+                << "\n";                                         \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
+  }
+
+#endif  // GREENFPGA_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,121 @@
+/// Extension bench: chiplet-built FPGAs (the ECO-CHIP tradeoff inside
+/// GreenFPGA).
+///
+/// The paper's predecessor (ECO-CHIP, HPCA'24) showed that splitting large
+/// dies into chiplets cuts embodied carbon through yield, at the price of
+/// interposer silicon and bonding.  Big FPGAs are exactly such dies -- and
+/// real flagships (Stratix 10 / Agilex) ship as chiplets.  This bench
+/// splits the paper's 600 mm^2 DNN iso-FPGA into 1-8 chiplets across the
+/// advanced package styles and shows the effect on per-chip embodied CFP
+/// and on the Fig. 4 crossover.
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "io/table.hpp"
+#include "scenario/sweep.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+namespace {
+
+using namespace greenfpga;
+using namespace units::unit;
+
+pkg::PackageParameters style(pkg::PackageType type) {
+  pkg::PackageParameters p;
+  p.type = type;
+  return p;
+}
+
+void print_split_table() {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const double monolithic = model.per_chip_embodied(fpga).total().canonical();
+
+  io::TextTable table;
+  table.set_headers({"construction", "dies", "die yield", "silicon [kg]", "package [kg]",
+                     "total [kg]", "vs monolithic"});
+  table.add_row({"monolithic", "1",
+                 units::format_significant(model.fab_model().yield(fpga.node, fpga.die_area), 3),
+                 units::format_significant(
+                     model.per_chip_embodied(fpga).manufacturing.canonical(), 4),
+                 units::format_significant(model.per_chip_embodied(fpga).packaging.canonical(), 4),
+                 units::format_significant(monolithic, 4), "1"});
+  for (const pkg::PackageType type :
+       {pkg::PackageType::silicon_interposer, pkg::PackageType::emib}) {
+    for (const int dies : {2, 4, 8}) {
+      const core::CfpBreakdown split =
+          model.per_chip_embodied_chiplet(fpga, dies, style(type));
+      const double per_die_yield = model.fab_model().yield(
+          fpga.node, fpga.die_area / static_cast<double>(dies));
+      table.add_row({to_string(type), std::to_string(dies),
+                     units::format_significant(per_die_yield, 3),
+                     units::format_significant(split.manufacturing.canonical(), 4),
+                     units::format_significant(split.packaging.canonical(), 4),
+                     units::format_significant(split.total().canonical(), 4),
+                     units::format_significant(split.total().canonical() / monolithic, 3)});
+    }
+  }
+  std::cout << "600 mm^2 DNN iso-FPGA, chiplet constructions (per chip):\n"
+            << table.render() << "\n";
+}
+
+void print_crossover_effect() {
+  // Approximate the schedule-level effect: scale the FPGA embodied carbon
+  // by the best chiplet construction's ratio and recompute the Fig. 4
+  // crossover analytically from the sweep series.
+  const core::LifecycleModel model(core::paper_suite());
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const double mono = model.per_chip_embodied(fpga).total().canonical();
+  const double best =
+      model
+          .per_chip_embodied_chiplet(fpga, 4, style(pkg::PackageType::emib))
+          .total()
+          .canonical();
+
+  const scenario::SweepEngine engine(model, device::domain_testcase(device::Domain::dnn));
+  const auto series = engine.sweep_app_count(1, 12, bench::kDefaults.app_lifetime,
+                                             bench::kDefaults.app_volume);
+  // Adjust the FPGA series by the per-chip embodied delta x fleet size.
+  const double delta_kg = (best - mono) * bench::kDefaults.app_volume;
+  std::vector<double> adjusted = series.fpga_totals_kg();
+  for (double& value : adjusted) {
+    value += delta_kg;
+  }
+  const auto base_a2f =
+      first_crossover(series.crossovers(), scenario::CrossoverKind::a2f);
+  const auto chiplet_a2f = first_crossover(
+      scenario::find_crossovers(series.x, series.asic_totals_kg(), adjusted),
+      scenario::CrossoverKind::a2f);
+
+  io::TextTable table;
+  table.set_headers({"FPGA construction", "DNN A2F crossover [apps]"});
+  table.add_row({"monolithic",
+                 base_a2f ? units::format_significant(*base_a2f, 4) : std::string("none")});
+  table.add_row({"4-chiplet EMIB", chiplet_a2f ? units::format_significant(*chiplet_a2f, 4)
+                                               : std::string("none")});
+  std::cout << "crossover effect of chiplet construction:\n" << table.render();
+}
+
+void print_reproduction() {
+  bench::banner("Extension", "chiplet-built FPGAs: yield savings vs package overhead");
+  print_split_table();
+  print_crossover_effect();
+  std::cout << "\nreading: splitting the big FPGA die recovers yield losses and pulls\n"
+               "the A2F crossover in -- reconfigurability and chiplets compound\n";
+}
+
+void bm_chiplet_embodied(benchmark::State& state) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const pkg::PackageParameters p = style(pkg::PackageType::silicon_interposer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.per_chip_embodied_chiplet(fpga, static_cast<int>(state.range(0)), p));
+  }
+}
+BENCHMARK(bm_chiplet_embodied)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+GF_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,65 @@
+/// Reproduces Fig. 6: variation of CFP with application volume N_vol
+/// (1e3..1e7, log axis), with N_app = 5 and T_i = 2 years held constant.
+///
+/// Paper shape: Crypto -- FPGA greener at every volume; ImgProc and DNN --
+/// F2A crossovers at high volume (paper: ~300 K and ~2 M; our jointly
+/// consistent calibration places them at ~180 K and ~850 K -- same
+/// ordering and magnitude gap, see EXPERIMENTS.md).
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/figure_writer.hpp"
+#include "scenario/sweep.hpp"
+#include "units/units.hpp"
+
+namespace {
+
+using namespace greenfpga;
+using namespace units::unit;
+
+scenario::SweepSeries domain_series(device::Domain domain) {
+  const scenario::SweepEngine engine(core::LifecycleModel(core::paper_suite()),
+                                     device::domain_testcase(domain));
+  const std::vector<double> volumes = scenario::logspace(1e3, 1e7, 25);
+  return engine.sweep_volume(volumes, bench::kDefaults.app_count,
+                             bench::kDefaults.app_lifetime);
+}
+
+void print_reproduction() {
+  bench::banner("Fig. 6", "CFP vs N_vol (N_app = 5, T_i = 2 y constant; log axis)");
+  for (const device::Domain domain : device::all_domains()) {
+    const scenario::SweepSeries series = domain_series(domain);
+    std::cout << "-- " << to_string(domain) << " --\n"
+              << report::sweep_table(series)
+              << "crossovers: " << report::crossover_summary(series) << "\n";
+    const std::vector<report::ChartSeries> chart{
+        {"ASIC", 'a', series.asic_totals_kg()},
+        {"FPGA", 'f', series.fpga_totals_kg()},
+    };
+    std::cout << report::render_line_chart(series.x, chart, 72, 20, /*log_x=*/true) << "\n";
+    const std::string path = report::write_results_csv(
+        "fig6_" + to_string(domain) + ".csv", report::sweep_csv(series));
+    std::cout << "csv: " << path << "\n\n";
+  }
+  std::cout << "paper: Crypto always FPGA; F2A at ~300 K (ImgProc) and ~2 M (DNN)\n";
+}
+
+void bm_fig6_sweep(benchmark::State& state) {
+  const auto domain = static_cast<device::Domain>(state.range(0));
+  const scenario::SweepEngine engine(core::LifecycleModel(core::paper_suite()),
+                                     device::domain_testcase(domain));
+  const std::vector<double> volumes = scenario::logspace(1e3, 1e7, 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sweep_volume(volumes, bench::kDefaults.app_count,
+                                                 bench::kDefaults.app_lifetime));
+  }
+}
+BENCHMARK(bm_fig6_sweep)
+    ->Arg(static_cast<int>(device::Domain::dnn))
+    ->Arg(static_cast<int>(device::Domain::imgproc))
+    ->Arg(static_cast<int>(device::Domain::crypto));
+
+}  // namespace
+
+GF_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,77 @@
+/// Reproduces Fig. 7: component breakdown (embodied EC vs operational OC)
+/// of the DNN domain for the three sweeps of experiments A-C, at the paper
+/// defaults N_app = 5, T_i = 2 y, N_vol = 1e6 unless swept.
+///
+/// Paper shape: (a) sweeping N_app -- FPGA EC constant, ASIC EC grows and
+/// dominates; (b) sweeping T_i -- EC flat, FPGA OC grows 3x faster;
+/// (c) sweeping N_vol -- EC dominates at low volume, ASIC EC >> FPGA EC.
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "io/table.hpp"
+#include "report/figure_writer.hpp"
+#include "scenario/sweep.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+namespace {
+
+using namespace greenfpga;
+using namespace units::unit;
+
+scenario::SweepEngine dnn_engine() {
+  return scenario::SweepEngine(core::LifecycleModel(core::paper_suite()),
+                               device::domain_testcase(device::Domain::dnn));
+}
+
+void print_ec_oc_table(const scenario::SweepSeries& series, const std::string& label) {
+  io::TextTable table;
+  table.set_headers({series.parameter, "ASIC EC [t]", "ASIC OC [t]", "FPGA EC [t]",
+                     "FPGA OC [t]", "FPGA app-dev [t]"});
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    const auto t = [](units::CarbonMass m) {
+      return units::format_significant(m.in(t_co2e), 5);
+    };
+    table.add_row({units::format_significant(series.x[i], 4),
+                   t(series.asic[i].embodied()), t(series.asic[i].operational),
+                   t(series.fpga[i].embodied()), t(series.fpga[i].operational),
+                   t(series.fpga[i].app_dev)});
+  }
+  std::cout << "-- Fig. 7(" << label << ") --\n" << table.render();
+  const std::string path =
+      report::write_results_csv("fig7_" + label + ".csv", report::sweep_csv(series));
+  std::cout << "csv: " << path << "\n\n";
+}
+
+void print_reproduction() {
+  bench::banner("Fig. 7", "DNN component breakdown across the three sweeps");
+  const scenario::SweepEngine engine = dnn_engine();
+
+  print_ec_oc_table(
+      engine.sweep_app_count(1, 8, bench::kDefaults.app_lifetime, bench::kDefaults.app_volume),
+      "a");
+  const std::vector<double> lifetimes = scenario::linspace(0.2, 2.5, 10);
+  print_ec_oc_table(
+      engine.sweep_lifetime(lifetimes, bench::kDefaults.app_count, bench::kDefaults.app_volume),
+      "b");
+  const std::vector<double> volumes = scenario::logspace(1e3, 1e6, 10);
+  print_ec_oc_table(
+      engine.sweep_volume(volumes, bench::kDefaults.app_count, bench::kDefaults.app_lifetime),
+      "c");
+
+  std::cout << "paper: ASIC EC grows with N_app and dominates; FPGA EC constant;\n"
+               "       FPGA OC grows with T_i; EC dominates at low volume\n";
+}
+
+void bm_fig7_breakdowns(benchmark::State& state) {
+  const scenario::SweepEngine engine = dnn_engine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sweep_app_count(1, 8, bench::kDefaults.app_lifetime,
+                                                    bench::kDefaults.app_volume));
+  }
+}
+BENCHMARK(bm_fig7_breakdowns);
+
+}  // namespace
+
+GF_BENCH_MAIN(print_reproduction)

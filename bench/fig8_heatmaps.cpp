@@ -1,0 +1,96 @@
+/// Reproduces Fig. 8: pairwise sweeps of (N_vol, N_app, T_i) for the DNN
+/// domain, each holding the third variable at the paper default, rendered
+/// as FPGA:ASIC CFP-ratio heat-maps with the crossover front marked.
+///
+/// Paper shape: purple (FPGA greener) toward many apps / short lifetimes /
+/// low volumes; red (ASIC greener) toward few apps / high volumes; at high
+/// volume (~9 M) FPGAs need N_app > 6.
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "io/csv.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/figure_writer.hpp"
+#include "scenario/heatmap.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+namespace {
+
+using namespace greenfpga;
+using namespace units::unit;
+
+scenario::HeatmapEngine dnn_engine() {
+  return scenario::HeatmapEngine(core::LifecycleModel(core::paper_suite()),
+                                 device::domain_testcase(device::Domain::dnn));
+}
+
+io::CsvWriter heatmap_csv(const scenario::Heatmap& map) {
+  io::CsvWriter csv;
+  std::vector<std::string> header{map.y_name + " \\ " + map.x_name};
+  for (const double x : map.x) {
+    header.push_back(units::format_significant(x, 6));
+  }
+  csv.add_row(std::move(header));
+  for (std::size_t iy = 0; iy < map.y.size(); ++iy) {
+    std::vector<std::string> row{units::format_significant(map.y[iy], 6)};
+    for (const double r : map.ratio[iy]) {
+      row.push_back(units::format_significant(r, 6));
+    }
+    csv.add_row(std::move(row));
+  }
+  return csv;
+}
+
+void show(const scenario::Heatmap& map, const std::string& label,
+          const std::string& constant) {
+  std::cout << "-- Fig. 8(" << label << "): " << map.y_name << " x " << map.x_name << " ("
+            << constant << " constant) --\n"
+            << report::render_heatmap(map);
+  const auto contour = map.unity_contour();
+  std::cout << "crossover front (ratio = 1): ";
+  if (contour.empty()) {
+    std::cout << "none in range";
+  } else {
+    for (std::size_t i = 0; i < contour.size() && i < 8; ++i) {
+      std::cout << "(" << units::format_significant(contour[i].x, 4) << ", "
+                << units::format_significant(contour[i].y, 4) << ") ";
+    }
+    if (contour.size() > 8) std::cout << "...";
+  }
+  std::cout << "\ncsv: " << report::write_results_csv("fig8_" + label + ".csv", heatmap_csv(map))
+            << "\n\n";
+}
+
+void print_reproduction() {
+  bench::banner("Fig. 8", "pairwise FPGA:ASIC ratio heat-maps, DNN domain");
+  const scenario::HeatmapEngine engine = dnn_engine();
+
+  const std::vector<int> apps{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16};
+  const std::vector<double> lifetimes = scenario::linspace(0.25, 2.5, 10);
+  const std::vector<double> volumes = scenario::logspace(1e4, 1e7, 12);
+
+  show(engine.app_count_vs_lifetime(apps, lifetimes, bench::kDefaults.app_volume), "a",
+       "N_vol = 1e6");
+  show(engine.volume_vs_lifetime(volumes, lifetimes, bench::kDefaults.app_count), "b",
+       "N_app = 5");
+  show(engine.volume_vs_app_count(volumes, apps, bench::kDefaults.app_lifetime), "c",
+       "T_i = 2 y");
+
+  std::cout << "paper: FPGA region grows with N_app, shrinks with N_vol and T_i\n";
+}
+
+void bm_fig8_heatmap(benchmark::State& state) {
+  const scenario::HeatmapEngine engine = dnn_engine();
+  const std::vector<int> apps{1, 3, 5, 7};
+  const std::vector<double> lifetimes = scenario::linspace(0.5, 2.5, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.app_count_vs_lifetime(apps, lifetimes, bench::kDefaults.app_volume));
+  }
+}
+BENCHMARK(bm_fig8_heatmap);
+
+}  // namespace
+
+GF_BENCH_MAIN(print_reproduction)

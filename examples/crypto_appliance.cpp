@@ -1,0 +1,92 @@
+/// Example: a cryptographic network appliance with a long service life.
+///
+/// Crypto is the paper's degenerate-but-instructive domain: FPGA and ASIC
+/// implementations have essentially equal area and power at
+/// iso-performance (Table 2: 1x / 1x), so the FPGA's only cost is
+/// application development while the ASIC re-pays design per algorithm
+/// change.  This example models a security appliance that must rotate
+/// cipher suites (think post-quantum migrations) over a 15-year box
+/// lifetime, and stresses the end-of-life levers: what does aggressive
+/// recycling do to the verdict?
+
+#include <iostream>
+
+#include "core/comparator.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "io/table.hpp"
+#include "report/figure_writer.hpp"
+#include "scenario/timeline.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+int main() {
+  using namespace greenfpga;
+  using namespace units::unit;
+
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::crypto);
+
+  std::cout << "Crypto appliance: algorithm agility over a 15-year box life\n"
+            << "===========================================================\n\n";
+
+  // 45-year view with 3-year algorithm rotations: the appliance fleet is
+  // re-bought every 15 years either way; the ASIC path additionally
+  // re-designs silicon per rotation.
+  const scenario::TimelineSimulator simulator(core::LifecycleModel(core::paper_suite()),
+                                              testcase);
+  scenario::TimelineParameters params;
+  params.horizon = 45.0 * years;
+  params.app_lifetime = 3.0 * years;
+  params.volume = 2e5;  // 200K appliances -- a niche, low-volume product
+  params.step = 0.5 * years;
+  const scenario::TimelineSeries series = simulator.run(params);
+
+  io::TextTable table;
+  table.set_headers({"year", "ASIC cumulative", "FPGA cumulative", "FPGA saves"});
+  for (double year = 5.0; year <= 45.0; year += 10.0) {
+    const auto index = static_cast<std::size_t>(year / 0.5);
+    const double asic = series.asic_cumulative_kg[index];
+    const double fpga = series.fpga_cumulative_kg[index];
+    table.add_row({units::format_significant(year, 3),
+                   units::format_carbon(units::CarbonMass{asic}),
+                   units::format_carbon(units::CarbonMass{fpga}),
+                   units::format_significant(100.0 * (1.0 - fpga / asic), 3) + " %"});
+  }
+  std::cout << "cumulative CFP, 3-year cipher rotations, 200K units:\n" << table.render()
+            << "\n";
+
+  // End-of-life policy study: sweep the recycled fraction delta and the
+  // fab's recycled-material sourcing rho together ("circular" program).
+  io::TextTable policy;
+  policy.set_headers(
+      {"policy", "rho", "delta", "FPGA embodied/unit", "FPGA EOL/unit", "FPGA total [t]"});
+  struct Policy {
+    const char* name;
+    double rho;
+    double delta;
+  };
+  const workload::Schedule schedule = core::paper_schedule(device::Domain::crypto, 5,
+                                                           3.0 * years, params.volume);
+  for (const Policy& p : {Policy{"landfill-everything", 0.0, 0.0},
+                          Policy{"status quo", 0.0, 0.2},
+                          Policy{"takeback program", 0.5, 0.6},
+                          Policy{"full circular", 1.0, 0.95}}) {
+    core::ModelSuite suite = core::paper_suite();
+    suite.fab.recycled_material_fraction = p.rho;
+    suite.eol.recycled_fraction = p.delta;
+    const core::LifecycleModel model(suite);
+    const core::CfpBreakdown per_chip = model.per_chip_embodied(testcase.fpga);
+    const core::PlatformCfp fpga = model.evaluate_fpga(testcase.fpga, schedule);
+    policy.add_row({p.name, units::format_significant(p.rho, 2),
+                    units::format_significant(p.delta, 2),
+                    units::format_carbon(per_chip.total()),
+                    units::format_carbon(per_chip.eol),
+                    units::format_significant(fpga.total.total().in(t_co2e), 5)});
+  }
+  std::cout << "end-of-life policy study (Eqs. 5-6 levers):\n" << policy.render() << "\n";
+
+  std::cout << "Reading: with matched silicon, the FPGA appliance wins from the first\n"
+            << "algorithm rotation and aggressive recycling turns end-of-life into a\n"
+            << "net carbon credit on top.\n";
+  return 0;
+}

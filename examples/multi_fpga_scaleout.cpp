@@ -1,0 +1,75 @@
+/// Example: iso-performance beyond one FPGA -- the N_FPGA rule.
+///
+/// The paper's Eq. (3) footnote: some applications need a reticle-limit
+/// ASIC whose performance no single FPGA matches, so iso-performance
+/// requires N_FPGA = ceil(app_size / FPGA_capacity) devices per deployed
+/// unit.  This example sizes a large 5G baseband ASIC, deploys it against
+/// Stratix-class FPGAs (1, 2, 3, ... per unit as the application grows),
+/// and shows how the multi-chip penalty eats the reconfigurability
+/// advantage.
+
+#include <iostream>
+
+#include "core/comparator.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "device/iso_performance.hpp"
+#include "io/table.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+int main() {
+  using namespace greenfpga;
+  using namespace units::unit;
+
+  const core::LifecycleModel model(core::paper_suite());
+  const device::ChipSpec fpga = device::industry_fpga2();  // Stratix 10-class
+
+  // A large fixed-function baseband ASIC: near-reticle 10 nm die.
+  device::ChipSpec asic;
+  asic.name = "baseband-asic-10nm";
+  asic.kind = device::ChipKind::asic;
+  asic.node = tech::ProcessNode::n10;
+  asic.die_area = 700.0 * mm2;
+  asic.peak_power = 18.0 * w;
+  asic.capacity_gates = tech::node_info(asic.node).gates_in_area(asic.die_area);
+  asic.service_life = 8.0 * years;
+
+  std::cout << "Multi-FPGA iso-performance (the N_FPGA rule)\n"
+            << "============================================\n"
+            << "ASIC: " << asic.name << ", " << units::format_area(asic.die_area) << ", "
+            << units::format_power(asic.peak_power) << "\n"
+            << "FPGA: " << fpga.name << ", capacity "
+            << units::format_significant(fpga.capacity_gates / 1e6, 4)
+            << " Mgates per device\n\n";
+
+  io::TextTable table;
+  table.set_headers({"app size [Mgates]", "N_FPGA", "ASIC total [t]", "FPGA total [t]",
+                     "FPGA:ASIC", "greener"});
+
+  // Sweep the application size from half a device to several devices,
+  // with 4 applications x 2 years at 50K units.
+  for (const double fraction : {0.5, 1.0, 1.5, 2.5, 4.0, 6.0}) {
+    workload::Application app;
+    app.name = "baseband-rev";
+    app.lifetime = 2.0 * years;
+    app.volume = 5e4;
+    app.size_gates = fpga.capacity_gates * fraction;
+    const workload::Schedule schedule = workload::homogeneous_schedule(4, app);
+
+    const auto asic_result = model.evaluate_asic(asic, schedule);
+    const auto fpga_result = model.evaluate_fpga(fpga, schedule);
+    const double ratio =
+        fpga_result.total.total().canonical() / asic_result.total.total().canonical();
+    table.add_row({units::format_significant(app.size_gates / 1e6, 4),
+                   std::to_string(device::chips_per_unit(fpga, app.size_gates)),
+                   units::format_significant(asic_result.total.total().in(t_co2e), 5),
+                   units::format_significant(fpga_result.total.total().in(t_co2e), 5),
+                   units::format_significant(ratio, 3), ratio < 1.0 ? "FPGA" : "ASIC"});
+  }
+  std::cout << table.render() << "\n"
+            << "Reading: each extra FPGA per unit multiplies silicon, packaging and\n"
+            << "power; reconfigurability keeps winning only while the application\n"
+            << "still fits a small number of devices.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// Example: the full acceleration-platform shootout.
+///
+/// Combines the library's extensions into one planning exercise: for a
+/// smart-camera product line, compare all three platforms the paper's
+/// introduction frames (ASIC, FPGA, GPU) at iso-performance across
+/// workload churn rates, then check whether carbon-aware duty scheduling
+/// (possible for the deferrable FPGA/GPU analytics, not for the always-on
+/// ASIC pipeline) changes the answer on a solar-heavy grid.
+
+#include <iostream>
+
+#include "act/grid_profile.hpp"
+#include "core/comparator.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "io/table.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+int main() {
+  using namespace greenfpga;
+  using namespace units::unit;
+
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+
+  std::cout << "Smart-camera accelerator shootout (DNN domain, 1M units)\n"
+            << "=========================================================\n\n";
+
+  // Part 1: platform totals across churn, flat grid (the paper's model).
+  {
+    const core::LifecycleModel model(core::paper_suite());
+    io::TextTable table;
+    table.set_headers({"model generations", "cadence", "ASIC [t]", "FPGA [t]", "GPU [t]",
+                       "winner"});
+    struct Scenario {
+      int apps;
+      double years;
+    };
+    for (const Scenario& s : {Scenario{1, 6.0}, Scenario{3, 2.0}, Scenario{8, 0.75}}) {
+      const auto comparison = core::compare_three_way(
+          model, testcase, core::paper_schedule(device::Domain::dnn, s.apps,
+                                                s.years * years, 1e6));
+      table.add_row(
+          {std::to_string(s.apps), units::format_significant(s.years, 3) + " y",
+           units::format_significant(comparison.asic.total.total().in(t_co2e), 5),
+           units::format_significant(comparison.fpga.total.total().in(t_co2e), 5),
+           units::format_significant(comparison.gpu.total.total().in(t_co2e), 5),
+           to_string(comparison.winner())});
+    }
+    std::cout << "flat-grid comparison (annual-average intensity):\n" << table.render()
+              << "\n";
+  }
+
+  // Part 2: carbon-aware scheduling on a duck-curve grid.  The reusable
+  // platforms run their inference batches at solar noon; the ASIC pipeline
+  // is hard-wired into the camera path and keeps the flat average.
+  {
+    core::ModelSuite aware = core::paper_suite();
+    aware.operation.use_intensity = act::scheduled_intensity(
+        aware.operation.use_intensity, act::DailyProfile::solar_duck(),
+        aware.operation.duty_cycle, act::DutySchedulingPolicy::carbon_aware);
+    const core::LifecycleModel aware_model(aware);
+    const core::LifecycleModel flat_model(core::paper_suite());
+
+    const auto schedule =
+        core::paper_schedule(device::Domain::dnn, 6, 1.0 * years, 1e6);
+    const auto asic = flat_model.evaluate_asic(testcase.asic, schedule);
+    const auto fpga_flat = flat_model.evaluate_fpga(testcase.fpga, schedule);
+    const auto fpga_aware = aware_model.evaluate_fpga(testcase.fpga, schedule);
+
+    io::TextTable table;
+    table.set_headers({"platform", "operational [t]", "total [t]", "vs ASIC"});
+    const double asic_total = asic.total.total().canonical();
+    const auto row = [&](const std::string& name, const core::PlatformCfp& platform) {
+      table.add_row({name,
+                     units::format_significant(platform.total.operational.in(t_co2e), 5),
+                     units::format_significant(platform.total.total().in(t_co2e), 5),
+                     units::format_significant(
+                         platform.total.total().canonical() / asic_total, 3)});
+    };
+    row("ASIC (always-on pipeline)", asic);
+    row("FPGA, flat schedule", fpga_flat);
+    row("FPGA, carbon-aware (duck grid)", fpga_aware);
+    std::cout << "6 generations x 1 year, duck-curve grid:\n" << table.render() << "\n";
+  }
+
+  std::cout << "Reading: at a 1-year cadence the FPGA already wins on reuse; scheduling\n"
+            << "its deferrable work into solar hours erases most of its remaining\n"
+            << "operational penalty -- a lever fixed-function pipelines cannot pull.\n";
+  return 0;
+}

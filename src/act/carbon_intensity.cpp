@@ -1,0 +1,122 @@
+#include "act/carbon_intensity.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::act {
+
+namespace {
+
+using units::unit::g_per_kwh;
+
+struct SourceEntry {
+  EnergySource source;
+  const char* name;
+  double g_co2e_per_kwh;  ///< IPCC AR5 median lifecycle intensity
+};
+
+constexpr std::array<SourceEntry, 8> kSources{{
+    {EnergySource::coal, "coal", 820.0},
+    {EnergySource::gas, "gas", 490.0},
+    {EnergySource::biomass, "biomass", 230.0},
+    {EnergySource::solar, "solar", 41.0},
+    {EnergySource::geothermal, "geothermal", 38.0},
+    {EnergySource::hydropower, "hydropower", 24.0},
+    {EnergySource::wind, "wind", 11.0},
+    {EnergySource::nuclear, "nuclear", 12.0},
+}};
+
+struct RegionEntry {
+  GridRegion region;
+  const char* name;
+  double g_co2e_per_kwh;  ///< representative annual average grid intensity
+};
+
+constexpr std::array<RegionEntry, 9> kRegions{{
+    {GridRegion::world_average, "world-average", 475.0},
+    {GridRegion::usa, "usa", 380.0},
+    {GridRegion::europe, "europe", 295.0},
+    {GridRegion::taiwan, "taiwan", 509.0},
+    {GridRegion::south_korea, "south-korea", 415.0},
+    {GridRegion::japan, "japan", 462.0},
+    {GridRegion::china, "china", 555.0},
+    {GridRegion::india, "india", 708.0},
+    {GridRegion::iceland, "iceland", 28.0},
+}};
+
+constexpr std::array<EnergySource, 8> kAllSources{
+    EnergySource::coal,       EnergySource::gas,  EnergySource::biomass, EnergySource::solar,
+    EnergySource::geothermal, EnergySource::hydropower, EnergySource::wind, EnergySource::nuclear,
+};
+
+constexpr std::array<GridRegion, 9> kAllRegions{
+    GridRegion::world_average, GridRegion::usa,   GridRegion::europe,
+    GridRegion::taiwan,        GridRegion::south_korea, GridRegion::japan,
+    GridRegion::china,         GridRegion::india, GridRegion::iceland,
+};
+
+}  // namespace
+
+std::string to_string(EnergySource source) {
+  for (const SourceEntry& e : kSources) {
+    if (e.source == source) return e.name;
+  }
+  return "unknown";
+}
+
+std::string to_string(GridRegion region) {
+  for (const RegionEntry& e : kRegions) {
+    if (e.region == region) return e.name;
+  }
+  return "unknown";
+}
+
+std::span<const EnergySource> all_energy_sources() { return kAllSources; }
+std::span<const GridRegion> all_grid_regions() { return kAllRegions; }
+
+units::CarbonIntensity source_intensity(EnergySource source) {
+  for (const SourceEntry& e : kSources) {
+    if (e.source == source) return e.g_co2e_per_kwh * g_per_kwh;
+  }
+  throw std::out_of_range("source_intensity: unknown energy source");
+}
+
+units::CarbonIntensity grid_intensity(GridRegion region) {
+  for (const RegionEntry& e : kRegions) {
+    if (e.region == region) return e.g_co2e_per_kwh * g_per_kwh;
+  }
+  throw std::out_of_range("grid_intensity: unknown grid region");
+}
+
+units::CarbonIntensity mix_intensity(std::span<const MixComponent> mix) {
+  if (mix.empty()) {
+    throw std::invalid_argument("mix_intensity: empty mix");
+  }
+  double total_fraction = 0.0;
+  units::CarbonIntensity total{};
+  for (const MixComponent& component : mix) {
+    if (component.fraction < 0.0) {
+      throw std::invalid_argument("mix_intensity: negative fraction");
+    }
+    total_fraction += component.fraction;
+    total += source_intensity(component.source) * component.fraction;
+  }
+  if (std::fabs(total_fraction - 1.0) > 1e-6) {
+    throw std::invalid_argument("mix_intensity: fractions must sum to 1");
+  }
+  return total;
+}
+
+units::CarbonIntensity offset_grid_intensity(GridRegion region, double renewable_fraction,
+                                             EnergySource renewable) {
+  if (renewable_fraction < 0.0 || renewable_fraction > 1.0) {
+    throw std::invalid_argument("offset_grid_intensity: fraction must be in [0, 1]");
+  }
+  return source_intensity(renewable) * renewable_fraction +
+         grid_intensity(region) * (1.0 - renewable_fraction);
+}
+
+}  // namespace greenfpga::act

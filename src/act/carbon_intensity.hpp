@@ -1,0 +1,82 @@
+#ifndef GREENFPGA_ACT_CARBON_INTENSITY_HPP
+#define GREENFPGA_ACT_CARBON_INTENSITY_HPP
+
+/// \file carbon_intensity.hpp
+/// Carbon-intensity database for energy sources and grid regions.
+///
+/// The paper's models multiply energies by the carbon intensity of the
+/// energy *source* used in each lifecycle phase: the design house's grid
+/// (`C_src,des`), the fab's energy mix, and the deployment region's grid
+/// (`C_src,use`).  This module encodes the standard lifecycle carbon
+/// intensities per generation technology (IPCC AR5 median values, the same
+/// table the ACT tool ships) and representative regional grid mixes, plus a
+/// mix-builder for custom fab energy portfolios (e.g. "30 % renewable,
+/// remainder Taiwan grid").
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "units/quantity.hpp"
+
+namespace greenfpga::act {
+
+/// Electricity generation technologies with distinct lifecycle intensities.
+enum class EnergySource {
+  coal,
+  gas,
+  biomass,
+  solar,
+  geothermal,
+  hydropower,
+  wind,
+  nuclear,
+};
+
+/// Representative regional grid mixes (annual average intensities).
+enum class GridRegion {
+  world_average,
+  usa,
+  europe,
+  taiwan,
+  south_korea,
+  japan,
+  china,
+  india,
+  iceland,
+};
+
+[[nodiscard]] std::string to_string(EnergySource source);
+[[nodiscard]] std::string to_string(GridRegion region);
+[[nodiscard]] std::span<const EnergySource> all_energy_sources();
+[[nodiscard]] std::span<const GridRegion> all_grid_regions();
+
+/// Lifecycle carbon intensity of one generation technology.
+[[nodiscard]] units::CarbonIntensity source_intensity(EnergySource source);
+
+/// Annual-average grid intensity of a region.
+[[nodiscard]] units::CarbonIntensity grid_intensity(GridRegion region);
+
+/// One component of a custom energy mix.
+struct MixComponent {
+  EnergySource source = EnergySource::solar;
+  double fraction = 0.0;  ///< share of total energy, in [0, 1]
+};
+
+/// Weighted average intensity of a custom mix.  Fractions must be
+/// non-negative and sum to 1 within 1e-6; throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] units::CarbonIntensity mix_intensity(std::span<const MixComponent> mix);
+
+/// Intensity of a grid partially offset by renewables: the common
+/// sustainability-report situation of "X % renewable energy, remainder from
+/// the local grid" (e.g. a fab's power-purchase agreements).
+/// `renewable_fraction` in [0, 1]; the renewable share is modelled at the
+/// given `renewable` source's intensity.
+[[nodiscard]] units::CarbonIntensity offset_grid_intensity(
+    GridRegion region, double renewable_fraction,
+    EnergySource renewable = EnergySource::solar);
+
+}  // namespace greenfpga::act
+
+#endif  // GREENFPGA_ACT_CARBON_INTENSITY_HPP

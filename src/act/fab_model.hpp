@@ -1,0 +1,113 @@
+#ifndef GREENFPGA_ACT_FAB_MODEL_HPP
+#define GREENFPGA_ACT_FAB_MODEL_HPP
+
+/// \file fab_model.hpp
+/// ACT-style wafer-fab manufacturing carbon model (paper §3.2(2), Eq. 5).
+///
+/// The manufacturing CFP of one *good* die is
+///
+///     C_mfg = ( CI_fab * EPA  +  GPA  +  C_materials(rho) ) * A_die / Y(A_die)
+///
+/// where, per unit wafer area:
+///   * EPA  -- fab electrical energy  (ACT "energy per area", kWh/cm^2),
+///   * GPA  -- direct greenhouse-gas emissions from process chemistry
+///             (kg CO2e/cm^2),
+///   * C_materials -- upstream CFP of sourcing wafer/process materials
+///             (kg CO2e/cm^2), blended between newly-extracted and recycled
+///             feedstock by Eq. (5):
+///             C_materials = rho*C_mat,recycled + (1-rho)*C_mat,new,
+///   * CI_fab -- carbon intensity of the fab's energy portfolio, and
+///   * Y    -- die yield (see tech/yield.hpp); carbon of scrapped dies is
+///             charged to good dies.
+///
+/// Per-node EPA/GPA values follow the published ACT dataset's shape
+/// (rising steeply below 10 nm as EUV multi-patterning energy grows);
+/// MPA is ACT's constant 0.5 kg CO2e/cm^2 for new materials.  All values
+/// are overridable via `FabNodeData`.
+
+#include "act/carbon_intensity.hpp"
+#include "tech/node.hpp"
+#include "tech/yield.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::act {
+
+/// Per-node fab data (per unit of *wafer* area processed).
+struct FabNodeData {
+  units::EnergyPerArea energy_per_area;          ///< ACT "EPA"
+  units::CarbonPerArea gas_per_area;             ///< ACT "GPA"
+  units::CarbonPerArea materials_new;            ///< MPA, virgin feedstock
+  units::CarbonPerArea materials_recycled;       ///< MPA, recycled feedstock
+};
+
+/// Database lookup of default fab data for a node.
+[[nodiscard]] const FabNodeData& fab_node_data(tech::ProcessNode node);
+
+/// Manufacturing-model configuration shared across dies.
+struct FabParameters {
+  /// Carbon intensity of the fab's energy portfolio.  Default: Taiwan grid
+  /// with a 20 % renewable power-purchase share (typical leading-edge
+  /// foundry sustainability-report posture).
+  units::CarbonIntensity fab_energy_intensity =
+      offset_grid_intensity(GridRegion::taiwan, 0.20);
+  /// Fraction of materials sourced from recycling, Eq. (5)'s rho in [0,1].
+  double recycled_material_fraction = 0.0;
+  /// Yield model used to charge scrapped-die carbon to good dies.
+  tech::YieldSpec yield;
+  /// Optional override of the node's default defect density; negative
+  /// canonical value means "use the node database default".
+  tech::DefectDensity defect_density_override{-1.0};
+};
+
+/// Result decomposition of the per-die manufacturing CFP.
+struct ManufacturingBreakdown {
+  units::CarbonMass energy;     ///< CI_fab * EPA * A / Y
+  units::CarbonMass gases;      ///< GPA * A / Y
+  units::CarbonMass materials;  ///< Eq. (5) blend * A / Y
+  double yield = 1.0;           ///< die yield used
+
+  [[nodiscard]] units::CarbonMass total() const { return energy + gases + materials; }
+};
+
+/// ACT-style per-good-die manufacturing CFP model.
+class FabModel {
+ public:
+  explicit FabModel(FabParameters parameters = {});
+
+  [[nodiscard]] const FabParameters& parameters() const { return parameters_; }
+
+  /// Blended materials CFP per unit area at this model's rho (Eq. 5).
+  [[nodiscard]] units::CarbonPerArea materials_per_area(tech::ProcessNode node) const;
+
+  /// Total manufacturing CFP per unit area (before yield division).
+  [[nodiscard]] units::CarbonPerArea carbon_per_area(tech::ProcessNode node) const;
+
+  /// Die yield for `die_area` at `node` under this model's yield spec.
+  [[nodiscard]] double yield(tech::ProcessNode node, units::Area die_area) const;
+
+  /// Full manufacturing CFP of one good die.  Throws std::invalid_argument
+  /// for non-positive die area.
+  [[nodiscard]] ManufacturingBreakdown manufacture_die(tech::ProcessNode node,
+                                                       units::Area die_area) const;
+
+  /// Alternative per-good-die accounting that charges whole processed
+  /// wafers to their yielded dies:
+  ///
+  ///     C_die = CPA * A_wafer / ( DPW(A_die) * Y(A_die) )
+  ///
+  /// Unlike `manufacture_die` (ACT's per-area rule), this captures wafer
+  /// edge losses, which penalise large reticle-scale dies a few extra
+  /// percent.  Throws std::invalid_argument if the die does not fit the
+  /// wafer.  Compared against the per-area rule in
+  /// bench/extension_wafer_accounting.
+  [[nodiscard]] ManufacturingBreakdown manufacture_die_wafer_based(
+      tech::ProcessNode node, units::Area die_area, double wafer_diameter_mm = 300.0,
+      double edge_exclusion_mm = 3.0) const;
+
+ private:
+  FabParameters parameters_;
+};
+
+}  // namespace greenfpga::act
+
+#endif  // GREENFPGA_ACT_FAB_MODEL_HPP

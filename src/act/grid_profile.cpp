@@ -1,0 +1,101 @@
+#include "act/grid_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace greenfpga::act {
+
+std::string to_string(DutySchedulingPolicy policy) {
+  switch (policy) {
+    case DutySchedulingPolicy::uniform:
+      return "uniform";
+    case DutySchedulingPolicy::carbon_aware:
+      return "carbon-aware";
+    case DutySchedulingPolicy::worst_case:
+      return "worst-case";
+  }
+  return "unknown";
+}
+
+DailyProfile::DailyProfile() { multipliers_.fill(1.0); }
+
+DailyProfile::DailyProfile(const std::array<double, 24>& multipliers)
+    : multipliers_(multipliers) {
+  double sum = 0.0;
+  for (const double m : multipliers_) {
+    if (m <= 0.0) {
+      throw std::invalid_argument("DailyProfile: multipliers must be positive");
+    }
+    sum += m;
+  }
+  // Normalise so a uniform (flat-duty) schedule sees exactly the annual
+  // mean intensity.
+  const double mean = sum / 24.0;
+  for (double& m : multipliers_) {
+    m /= mean;
+  }
+}
+
+DailyProfile DailyProfile::solar_duck() {
+  // Hour 0 = midnight.  High overnight (gas/coal baseload), trough around
+  // noon (PV), steep evening ramp.  Magnitudes follow published duck-curve
+  // shapes (California/Australia-style grids).
+  return DailyProfile(std::array<double, 24>{
+      1.15, 1.15, 1.15, 1.15, 1.15, 1.10,  // 00-05: night baseload
+      1.00, 0.85, 0.70, 0.60, 0.52, 0.48,  // 06-11: sun ramps in
+      0.45, 0.45, 0.48, 0.55, 0.70, 0.95,  // 12-17: solar trough, late ramp
+      1.30, 1.45, 1.45, 1.35, 1.25, 1.20,  // 18-23: evening peak
+  });
+}
+
+DailyProfile DailyProfile::windy_night() {
+  // Wind-heavy grids run greener overnight; excursions are milder.
+  return DailyProfile(std::array<double, 24>{
+      0.80, 0.78, 0.76, 0.76, 0.78, 0.82,  // 00-05
+      0.90, 1.00, 1.08, 1.12, 1.14, 1.15,  // 06-11
+      1.15, 1.14, 1.12, 1.10, 1.10, 1.12,  // 12-17
+      1.15, 1.12, 1.05, 0.95, 0.88, 0.83,  // 18-23
+  });
+}
+
+double DailyProfile::multiplier(int hour) const {
+  if (hour < 0 || hour >= 24) {
+    throw std::invalid_argument("DailyProfile: hour must be in [0, 24)");
+  }
+  return multipliers_[static_cast<std::size_t>(hour)];
+}
+
+double DailyProfile::effective_multiplier(double duty,
+                                          DutySchedulingPolicy policy) const {
+  if (duty <= 0.0 || duty > 1.0) {
+    throw std::invalid_argument("effective_multiplier: duty must be in (0, 1]");
+  }
+  if (policy == DutySchedulingPolicy::uniform) {
+    return 1.0;  // normalised profiles average to the annual mean
+  }
+  // Pack `duty * 24` hours into the cheapest (or dearest) slots; the
+  // marginal slot is used fractionally.
+  std::array<double, 24> sorted = multipliers_;
+  std::sort(sorted.begin(), sorted.end());
+  if (policy == DutySchedulingPolicy::worst_case) {
+    std::reverse(sorted.begin(), sorted.end());
+  }
+  const double active_hours = duty * 24.0;
+  const int whole = static_cast<int>(std::floor(active_hours));
+  const double fraction = active_hours - whole;
+  double weighted = std::accumulate(sorted.begin(), sorted.begin() + whole, 0.0);
+  if (whole < 24 && fraction > 0.0) {
+    weighted += sorted[static_cast<std::size_t>(whole)] * fraction;
+  }
+  return weighted / active_hours;
+}
+
+units::CarbonIntensity scheduled_intensity(units::CarbonIntensity annual_mean,
+                                           const DailyProfile& profile, double duty,
+                                           DutySchedulingPolicy policy) {
+  return annual_mean * profile.effective_multiplier(duty, policy);
+}
+
+}  // namespace greenfpga::act

@@ -1,0 +1,77 @@
+#ifndef GREENFPGA_ACT_GRID_PROFILE_HPP
+#define GREENFPGA_ACT_GRID_PROFILE_HPP
+
+/// \file grid_profile.hpp
+/// Time-varying grid carbon intensity and carbon-aware duty scheduling.
+///
+/// The paper's operational model (§3.3(1)) uses a flat annual-average
+/// `C_src,use`.  Real grids swing by 2x and more over a day (solar duck
+/// curves) and across seasons.  Reconfigurable accelerators with deferrable
+/// work can *choose when to run* -- a sustainability lever unique to
+/// flexible platforms, in the same spirit as the paper's reconfigurability
+/// argument.  This module models:
+///
+///   * a 24-hour intensity profile (per-hour multipliers over the annual
+///     mean, normalised so the flat-schedule average is preserved), and
+///   * duty scheduling policies: `uniform` (the paper's assumption),
+///     `carbon_aware` (pack the duty cycle into the greenest hours) and
+///     `worst_case` (the adversarial bound).
+///
+/// `scheduled_intensity` returns the *effective* carbon intensity seen by
+/// a device at a given duty cycle under a policy; it plugs directly into
+/// `OperationalParameters::use_intensity`.
+
+#include <array>
+#include <string>
+
+#include "act/carbon_intensity.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::act {
+
+/// How a device's active hours are placed within the day.
+enum class DutySchedulingPolicy {
+  uniform,       ///< active time spread evenly (paper's flat model)
+  carbon_aware,  ///< active time packed into the lowest-intensity hours
+  worst_case,    ///< active time packed into the highest-intensity hours
+};
+
+[[nodiscard]] std::string to_string(DutySchedulingPolicy policy);
+
+/// A normalised 24-hour intensity shape: multipliers over the annual-mean
+/// intensity, averaging exactly 1.0 across the day.
+class DailyProfile {
+ public:
+  /// Uniform profile (multiplier 1.0 everywhere).
+  DailyProfile();
+
+  /// Build from 24 multipliers; they are rescaled to average 1.0.
+  /// Throws std::invalid_argument on non-positive entries.
+  explicit DailyProfile(const std::array<double, 24>& multipliers);
+
+  /// A solar-heavy grid: low mid-day intensity (plentiful PV), evening
+  /// peak -- the classic duck curve.
+  [[nodiscard]] static DailyProfile solar_duck();
+  /// A wind-heavy grid: mildly cheaper at night, flatter overall.
+  [[nodiscard]] static DailyProfile windy_night();
+
+  [[nodiscard]] double multiplier(int hour) const;
+
+  /// Mean multiplier over the `duty` fraction of the day chosen by
+  /// `policy` (1.0 for uniform by construction).  `duty` in (0, 1].
+  [[nodiscard]] double effective_multiplier(double duty, DutySchedulingPolicy policy) const;
+
+ private:
+  std::array<double, 24> multipliers_;
+};
+
+/// Effective carbon intensity for a device at `duty` cycle under `policy`
+/// on a grid with the given annual mean and daily shape.
+[[nodiscard]] units::CarbonIntensity scheduled_intensity(units::CarbonIntensity annual_mean,
+                                                         const DailyProfile& profile,
+                                                         double duty,
+                                                         DutySchedulingPolicy policy);
+
+}  // namespace greenfpga::act
+
+#endif  // GREENFPGA_ACT_GRID_PROFILE_HPP

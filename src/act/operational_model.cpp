@@ -1,0 +1,39 @@
+#include "act/operational_model.hpp"
+
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::act {
+
+OperationalModel::OperationalModel(OperationalParameters parameters) : parameters_(parameters) {
+  if (parameters_.duty_cycle < 0.0 || parameters_.duty_cycle > 1.0) {
+    throw std::invalid_argument("OperationalModel: duty cycle must be in [0, 1]");
+  }
+  if (parameters_.power_usage_effectiveness < 1.0) {
+    throw std::invalid_argument("OperationalModel: PUE must be >= 1");
+  }
+}
+
+units::Energy OperationalModel::energy_use(units::Power peak_power,
+                                           units::TimeSpan duration) const {
+  if (peak_power.canonical() < 0.0) {
+    throw std::invalid_argument("energy_use: negative power");
+  }
+  if (duration.canonical() < 0.0) {
+    throw std::invalid_argument("energy_use: negative duration");
+  }
+  return peak_power * duration * parameters_.duty_cycle *
+         parameters_.power_usage_effectiveness;
+}
+
+units::CarbonMass OperationalModel::operational_carbon(units::Power peak_power,
+                                                       units::TimeSpan duration) const {
+  return parameters_.use_intensity * energy_use(peak_power, duration);
+}
+
+units::CarbonMass OperationalModel::annual_carbon(units::Power peak_power) const {
+  return operational_carbon(peak_power, units::unit::years);
+}
+
+}  // namespace greenfpga::act

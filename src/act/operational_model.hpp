@@ -1,0 +1,55 @@
+#ifndef GREENFPGA_ACT_OPERATIONAL_MODEL_HPP
+#define GREENFPGA_ACT_OPERATIONAL_MODEL_HPP
+
+/// \file operational_model.hpp
+/// Operational (use-phase) carbon model (paper §3.3(1)).
+///
+///     C_op = C_src,use * E_use,      E_use = P_peak * duty * t
+///
+/// The energy drawn in the field is peak power derated by a duty cycle,
+/// accumulated over deployed time, and converted to carbon via the
+/// deployment region's grid intensity.  An optional PUE-style overhead
+/// multiplier models datacenter cooling/power-delivery losses (1.0 = edge
+/// device with no facility overhead).
+
+#include "act/carbon_intensity.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::act {
+
+/// Use-phase parameters for one deployment.
+struct OperationalParameters {
+  /// Grid intensity where the device operates (C_src,use).
+  units::CarbonIntensity use_intensity = grid_intensity(GridRegion::usa);
+  /// Fraction of time the device draws peak power, in [0, 1].
+  double duty_cycle = 0.5;
+  /// Facility overhead multiplier (PUE); >= 1.  1.0 for edge devices.
+  double power_usage_effectiveness = 1.0;
+};
+
+/// Operational model: converts device power and deployed time into energy
+/// and carbon.  Stateless aside from its parameters.
+class OperationalModel {
+ public:
+  explicit OperationalModel(OperationalParameters parameters = {});
+
+  [[nodiscard]] const OperationalParameters& parameters() const { return parameters_; }
+
+  /// E_use for one device drawing `peak_power` for `duration` of wall time.
+  [[nodiscard]] units::Energy energy_use(units::Power peak_power,
+                                         units::TimeSpan duration) const;
+
+  /// C_op for one device over `duration`.
+  [[nodiscard]] units::CarbonMass operational_carbon(units::Power peak_power,
+                                                     units::TimeSpan duration) const;
+
+  /// Convenience: C_op per year of deployment for one device.
+  [[nodiscard]] units::CarbonMass annual_carbon(units::Power peak_power) const;
+
+ private:
+  OperationalParameters parameters_;
+};
+
+}  // namespace greenfpga::act
+
+#endif  // GREENFPGA_ACT_OPERATIONAL_MODEL_HPP

@@ -1,0 +1,309 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/comparator.hpp"
+#include "core/config_io.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "report/figure_writer.hpp"
+#include "report/markdown_report.hpp"
+#include "scenario/node_dse.hpp"
+#include "scenario/sensitivity.hpp"
+#include "scenario/sweep.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::cli {
+
+namespace {
+
+std::optional<device::Domain> parse_domain(const std::string& text) {
+  if (text == "dnn") return device::Domain::dnn;
+  if (text == "imgproc") return device::Domain::imgproc;
+  if (text == "crypto") return device::Domain::crypto;
+  return std::nullopt;
+}
+
+void print_comparison(const std::string& title, const core::Comparison& comparison,
+                      std::ostream& out) {
+  out << "== " << title << " ==\n";
+  const std::vector<std::pair<std::string, core::CfpBreakdown>> platforms{
+      {"ASIC", comparison.asic.total},
+      {"FPGA", comparison.fpga.total},
+  };
+  out << report::breakdown_table(platforms);
+  out << "FPGA:ASIC ratio " << units::format_significant(comparison.ratio(), 4)
+      << " -> greener platform: " << to_string(comparison.verdict()) << "\n\n";
+}
+
+}  // namespace
+
+int print_usage(std::ostream& out, bool error) {
+  out << "GreenFPGA: lifecycle carbon-footprint comparison of FPGA and ASIC computing\n"
+         "\n"
+         "usage:\n"
+         "  greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]\n"
+         "      evaluate a scenario file (see `greenfpga dump-config` for the shape)\n"
+         "  greenfpga sweep <dnn|imgproc|crypto> <apps|lifetime|volume>\n"
+         "      run one of the paper's sweep experiments on a built-in testcase\n"
+         "  greenfpga industry\n"
+         "      evaluate the Table 3 industry testcases (paper Figs. 10-11)\n"
+         "  greenfpga nodes <dnn|imgproc|crypto>\n"
+         "      rank fabrication nodes for the domain's FPGA by lifecycle CFP\n"
+         "  greenfpga figures\n"
+         "      run every paper experiment; print measured crossovers vs paper\n"
+         "  greenfpga dump-config\n"
+         "      print the calibrated paper-default model suite as JSON\n";
+  return error ? 2 : 0;
+}
+
+int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "compare: missing scenario file\n";
+    return 2;
+  }
+  std::optional<std::string> json_out;
+  std::optional<std::string> markdown_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      json_out = args[i + 1];
+      ++i;
+    } else if (args[i] == "--markdown" && i + 1 < args.size()) {
+      markdown_out = args[i + 1];
+      ++i;
+    } else {
+      err << "compare: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+
+  const core::ScenarioConfig scenario = core::load_scenario(args[0]);
+  const core::LifecycleModel model(scenario.suite);
+  const core::Comparison comparison =
+      core::compare(model, scenario.asic, scenario.fpga, scenario.schedule);
+  print_comparison(scenario.name, comparison, out);
+
+  if (json_out) {
+    io::Json result = io::Json::object();
+    result["scenario"] = scenario.name;
+    result["asic"] = core::to_json(comparison.asic);
+    result["fpga"] = core::to_json(comparison.fpga);
+    result["ratio"] = comparison.ratio();
+    result["greener"] = to_string(comparison.verdict());
+    io::write_json_file(*json_out, result);
+    out << "wrote " << *json_out << "\n";
+  }
+  if (markdown_out) {
+    report::MarkdownReportInputs inputs;
+    inputs.scenario = scenario;
+    inputs.comparison = comparison;
+    inputs.uncertainty =
+        scenario::monte_carlo(scenario.suite,
+                              device::DomainTestcase{.domain = device::Domain::dnn,
+                                                     .asic = scenario.asic,
+                                                     .fpga = scenario.fpga},
+                              scenario.schedule, scenario::table1_ranges(), 128);
+    std::ofstream file(*markdown_out);
+    if (!file) {
+      err << "compare: cannot write '" << *markdown_out << "'\n";
+      return 1;
+    }
+    file << report::render_markdown_report(inputs);
+    out << "wrote " << *markdown_out << "\n";
+  }
+  return 0;
+}
+
+int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.size() != 2) {
+    err << "sweep: expected <domain> <variable>\n";
+    return 2;
+  }
+  const auto domain = parse_domain(args[0]);
+  if (!domain) {
+    err << "sweep: unknown domain '" << args[0] << "'\n";
+    return 2;
+  }
+  const core::SweepDefaults defaults = core::paper_sweep_defaults();
+  const scenario::SweepEngine engine(core::LifecycleModel(core::paper_suite()),
+                                     device::domain_testcase(*domain));
+  scenario::SweepSeries series;
+  if (args[1] == "apps") {
+    series = engine.sweep_app_count(1, 12, defaults.app_lifetime, defaults.app_volume);
+  } else if (args[1] == "lifetime") {
+    const std::vector<double> lifetimes = scenario::linspace(0.2, 2.5, 24);
+    series = engine.sweep_lifetime(lifetimes, defaults.app_count, defaults.app_volume);
+  } else if (args[1] == "volume") {
+    const std::vector<double> volumes = scenario::logspace(1e3, 1e7, 25);
+    series = engine.sweep_volume(volumes, defaults.app_count, defaults.app_lifetime);
+  } else {
+    err << "sweep: unknown variable '" << args[1] << "'\n";
+    return 2;
+  }
+  out << "== " << to_string(*domain) << " sweep over " << series.parameter << " ==\n"
+      << report::sweep_table(series) << "crossovers: " << report::crossover_summary(series)
+      << "\n";
+  return 0;
+}
+
+int run_industry(std::ostream& out) {
+  const core::LifecycleModel model(core::industry_suite());
+
+  // Fig. 10 setup: each FPGA runs 6 years / 3 applications / 1M volume.
+  workload::Application fpga_app;
+  fpga_app.name = "industry-fpga-app";
+  fpga_app.lifetime = 2.0 * units::unit::years;
+  fpga_app.volume = 1e6;
+  const workload::Schedule fpga_schedule = workload::homogeneous_schedule(3, fpga_app);
+
+  // Fig. 11 setup: one 6-year application, never reprogrammed.
+  workload::Application asic_app;
+  asic_app.name = "industry-asic-app";
+  asic_app.lifetime = 6.0 * units::unit::years;
+  asic_app.volume = 1e6;
+  const workload::Schedule asic_schedule{asic_app};
+
+  std::vector<std::pair<std::string, core::CfpBreakdown>> rows;
+  for (const device::ChipSpec& fpga : {device::industry_fpga1(), device::industry_fpga2()}) {
+    rows.emplace_back(fpga.name, model.evaluate_fpga(fpga, fpga_schedule).total);
+  }
+  for (const device::ChipSpec& asic : {device::industry_asic1(), device::industry_asic2()}) {
+    rows.emplace_back(asic.name, model.evaluate_asic(asic, asic_schedule).total);
+  }
+  out << "== Industry testcases (Table 3; FPGAs: 6 y / 3 apps / 1M; ASICs: 6 y / 1M) ==\n"
+      << report::breakdown_table(rows);
+  return 0;
+}
+
+int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.size() != 1) {
+    err << "nodes: expected <domain>\n";
+    return 2;
+  }
+  const auto domain = parse_domain(args[0]);
+  if (!domain) {
+    err << "nodes: unknown domain '" << args[0] << "'\n";
+    return 2;
+  }
+  const scenario::NodeDse dse(core::LifecycleModel(core::paper_suite()),
+                              core::paper_schedule(*domain));
+  const auto candidates = dse.explore(device::domain_testcase(*domain).fpga);
+  io::TextTable table;
+  table.set_headers({"rank", "node", "die area", "peak power", "total [t CO2e]", "vs best"});
+  int rank = 1;
+  for (const scenario::NodeCandidate& candidate : candidates) {
+    table.add_row({std::to_string(rank++), tech::to_string(candidate.chip.node),
+                   units::format_area(candidate.chip.die_area),
+                   units::format_power(candidate.chip.peak_power),
+                   units::format_significant(candidate.total().in(units::unit::t_co2e), 5),
+                   units::format_significant(candidate.total_vs_best, 4)});
+  }
+  out << "== node ranking for the " << to_string(*domain)
+      << " FPGA (paper schedule: 5 apps x 2 y x 1M) ==\n"
+      << table.render();
+  return 0;
+}
+
+int run_figures(std::ostream& out) {
+  const core::LifecycleModel model(core::paper_suite());
+  const core::SweepDefaults defaults = core::paper_sweep_defaults();
+
+  io::TextTable table;
+  table.set_headers({"experiment", "domain", "paper", "measured"});
+  const auto fmt = [](const std::optional<double>& x) {
+    return x ? units::format_significant(*x, 4) : std::string("none");
+  };
+
+  for (const device::Domain domain : device::all_domains()) {
+    const scenario::SweepEngine engine(model, device::domain_testcase(domain));
+
+    const auto fig4 =
+        engine.sweep_app_count(1, 16, defaults.app_lifetime, defaults.app_volume);
+    const auto a2f = first_crossover(fig4.crossovers(), scenario::CrossoverKind::a2f);
+    const char* paper_a2f = domain == device::Domain::dnn       ? "~6"
+                            : domain == device::Domain::imgproc ? "~12 (past 8)"
+                                                                : "1 (immediate)";
+    table.add_row({"Fig. 4 A2F [apps]", to_string(domain), paper_a2f, fmt(a2f)});
+
+    const std::vector<double> lifetimes = scenario::linspace(0.2, 2.5, 47);
+    const auto fig5 =
+        engine.sweep_lifetime(lifetimes, defaults.app_count, defaults.app_volume);
+    const auto f2a_t = first_crossover(fig5.crossovers(), scenario::CrossoverKind::f2a);
+    const char* paper_f2a_t = domain == device::Domain::dnn       ? "~1.6"
+                              : domain == device::Domain::imgproc ? "none (ASIC)"
+                                                                  : "none (FPGA)";
+    table.add_row({"Fig. 5 F2A [years]", to_string(domain), paper_f2a_t, fmt(f2a_t)});
+
+    const std::vector<double> volumes = scenario::logspace(1e3, 1e7, 41);
+    const auto fig6 =
+        engine.sweep_volume(volumes, defaults.app_count, defaults.app_lifetime);
+    const auto f2a_v = first_crossover(fig6.crossovers(), scenario::CrossoverKind::f2a);
+    const char* paper_f2a_v = domain == device::Domain::dnn       ? "~2e6"
+                              : domain == device::Domain::imgproc ? "~3e5"
+                                                                  : "none (FPGA)";
+    table.add_row({"Fig. 6 F2A [units]", to_string(domain), paper_f2a_v, fmt(f2a_v)});
+  }
+
+  const scenario::SweepEngine dnn(model, device::domain_testcase(device::Domain::dnn));
+  const double fig2 =
+      dnn.evaluate_point(10, defaults.app_lifetime, defaults.app_volume).ratio();
+  table.add_row({"Fig. 2 FPGA saving at 10 apps", "DNN", "~25 %",
+                 units::format_significant(100.0 * (1.0 - fig2), 4) + " %"});
+
+  out << "== paper-vs-measured headline summary (see EXPERIMENTS.md for analysis) ==\n"
+      << table.render();
+  return 0;
+}
+
+int run_dump_config(std::ostream& out) {
+  io::Json scenario = io::Json::object();
+  scenario["name"] = "example scenario (edit me)";
+  scenario["suite"] = core::to_json(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  scenario["asic"] = core::to_json(testcase.asic);
+  scenario["fpga"] = core::to_json(testcase.fpga);
+  scenario["schedule"] = core::to_json(core::paper_schedule(device::Domain::dnn));
+  out << scenario.dump() << "\n";
+  return 0;
+}
+
+int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    return print_usage(err);
+  }
+  if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    return print_usage(out, /*error=*/false);
+  }
+  try {
+    const std::string& command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (command == "compare") {
+      return run_compare(rest, out, err);
+    }
+    if (command == "sweep") {
+      return run_sweep(rest, out, err);
+    }
+    if (command == "industry") {
+      return run_industry(out);
+    }
+    if (command == "nodes") {
+      return run_nodes(rest, out, err);
+    }
+    if (command == "figures") {
+      return run_figures(out);
+    }
+    if (command == "dump-config") {
+      return run_dump_config(out);
+    }
+    err << "unknown command '" << command << "'\n";
+    return print_usage(err);
+  } catch (const std::exception& error) {
+    err << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace greenfpga::cli

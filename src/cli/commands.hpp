@@ -1,0 +1,49 @@
+#ifndef GREENFPGA_CLI_COMMANDS_HPP
+#define GREENFPGA_CLI_COMMANDS_HPP
+
+/// \file commands.hpp
+/// The `greenfpga` CLI commands as a library, so they are unit-testable
+/// with captured streams; main.cpp is a thin argv shim.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greenfpga::cli {
+
+/// Exit codes follow sysexits-lite conventions: 0 success, 1 runtime
+/// failure (bad config content, model error), 2 usage error.
+struct CommandResult {
+  int exit_code = 0;
+};
+
+/// Print the usage text; returns exit code 2 (callers print usage on
+/// errors) -- pass `error = false` for `--help`, which exits 0.
+int print_usage(std::ostream& out, bool error = true);
+
+/// `greenfpga compare <scenario.json> [--json <out.json>]`.
+int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// `greenfpga sweep <dnn|imgproc|crypto> <apps|lifetime|volume>`.
+int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// `greenfpga industry`.
+int run_industry(std::ostream& out);
+
+/// `greenfpga nodes <dnn|imgproc|crypto>` -- carbon-aware node ranking.
+int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// `greenfpga figures` -- run every paper experiment and print the
+/// headline crossovers next to the paper's reported values.
+int run_figures(std::ostream& out);
+
+/// `greenfpga dump-config`.
+int run_dump_config(std::ostream& out);
+
+/// Full dispatch: `args` excludes argv[0].  Catches exceptions and maps
+/// them to exit code 1 with a message on `err`.
+int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace greenfpga::cli
+
+#endif  // GREENFPGA_CLI_COMMANDS_HPP

@@ -1,0 +1,13 @@
+/// \file main.cpp
+/// The `greenfpga` command-line tool: a thin argv shim over cli/commands.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return greenfpga::cli::dispatch(args, std::cout, std::cerr);
+}

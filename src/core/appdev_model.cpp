@@ -1,0 +1,81 @@
+#include "core/appdev_model.hpp"
+
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+
+AppDevModel::AppDevModel(AppDevParameters parameters) : parameters_(parameters) {
+  if (parameters_.dev_systems <= 0.0) {
+    throw std::invalid_argument("AppDevModel: dev system count must be positive");
+  }
+  if (parameters_.dev_system_power.canonical() < 0.0) {
+    throw std::invalid_argument("AppDevModel: dev system power must be non-negative");
+  }
+  if (parameters_.frontend_time.canonical() < 0.0 ||
+      parameters_.backend_time.canonical() < 0.0 ||
+      parameters_.config_time.canonical() < 0.0 ||
+      parameters_.asic_software_dev_time.canonical() < 0.0 ||
+      parameters_.gpu_software_dev_time.canonical() < 0.0) {
+    throw std::invalid_argument("AppDevModel: times must be non-negative");
+  }
+}
+
+units::TimeSpan AppDevModel::development_time(int app_count, double chip_volume,
+                                              bool is_fpga) const {
+  if (app_count < 0) {
+    throw std::invalid_argument("development_time: negative application count");
+  }
+  if (chip_volume < 0.0) {
+    throw std::invalid_argument("development_time: negative volume");
+  }
+  const units::TimeSpan per_app = is_fpga
+                                      ? parameters_.frontend_time + parameters_.backend_time
+                                      : parameters_.asic_software_dev_time;
+  // Eq. (7): N_app * (T_FE + T_BE) + N_vol * T_config.
+  units::TimeSpan total = per_app * static_cast<double>(app_count);
+  if (is_fpga) {
+    total += parameters_.config_time * chip_volume;
+  }
+  return total;
+}
+
+AppDevBreakdown AppDevModel::per_application(double chip_volume, bool is_fpga) const {
+  return per_application(chip_volume,
+                         is_fpga ? device::ChipKind::fpga : device::ChipKind::asic);
+}
+
+units::TimeSpan AppDevModel::engineering_time(device::ChipKind kind) const {
+  switch (kind) {
+    case device::ChipKind::fpga:
+      return parameters_.frontend_time + parameters_.backend_time;
+    case device::ChipKind::asic:
+      return parameters_.asic_software_dev_time;
+    case device::ChipKind::gpu:
+      return parameters_.gpu_software_dev_time;
+  }
+  throw std::invalid_argument("engineering_time: unknown chip kind");
+}
+
+AppDevBreakdown AppDevModel::per_application(double chip_volume,
+                                             device::ChipKind kind) const {
+  if (chip_volume < 0.0) {
+    throw std::invalid_argument("per_application: negative volume");
+  }
+  // Engineering time runs on `dev_systems` parallel machines; configuration
+  // is one machine per chip for T_config (FPGA bitstream loads only).
+  const units::Power fleet_power = parameters_.dev_system_power * parameters_.dev_systems;
+  AppDevBreakdown result{
+      .engineering = parameters_.dev_intensity * (fleet_power * engineering_time(kind)),
+      .configuration = units::CarbonMass{},
+  };
+  if (kind == device::ChipKind::fpga) {
+    result.configuration = parameters_.dev_intensity *
+                           (parameters_.dev_system_power * parameters_.config_time) *
+                           chip_volume;
+  }
+  return result;
+}
+
+}  // namespace greenfpga::core

@@ -1,0 +1,60 @@
+#ifndef GREENFPGA_CORE_APPDEV_MODEL_HPP
+#define GREENFPGA_CORE_APPDEV_MODEL_HPP
+
+/// \file appdev_model.hpp
+/// Application-development CFP model (paper §3.3(2), Eq. 7).
+///
+/// Each new application deployed on an FPGA platform costs engineering
+/// compute: front-end RTL/HLS work plus verification (T_FE), one back-end
+/// synthesis/place-and-route pass (T_BE), and a per-chip bitstream
+/// configuration (T_config) across the deployed volume.  ASICs charge no
+/// T_FE/T_BE (those live in the design model) but may charge an optional
+/// software-flow time.  The carbon is development-compute power times time
+/// times the development site's grid intensity.
+
+#include "core/parameters.hpp"
+#include "device/chip_spec.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::core {
+
+/// Per-application app-dev carbon, split by source.
+struct AppDevBreakdown {
+  units::CarbonMass engineering;    ///< T_FE + T_BE (FPGA) or software flow (ASIC)
+  units::CarbonMass configuration;  ///< N_vol * T_config (FPGA only)
+
+  [[nodiscard]] units::CarbonMass total() const { return engineering + configuration; }
+};
+
+/// Implements Eq. (7) and its carbon conversion.
+class AppDevModel {
+ public:
+  explicit AppDevModel(AppDevParameters parameters = {});
+
+  [[nodiscard]] const AppDevParameters& parameters() const { return parameters_; }
+
+  /// Eq. (7) evaluated for one platform:  total wall-clock development time
+  /// for `app_count` applications deployed on `chip_volume` chips.
+  /// `is_fpga` selects T_FE+T_BE (FPGA) vs the optional software flow
+  /// (ASIC); configuration time applies to FPGAs only.
+  [[nodiscard]] units::TimeSpan development_time(int app_count, double chip_volume,
+                                                 bool is_fpga) const;
+
+  /// App-dev CFP of ONE application deployed on `chip_volume` chips.
+  [[nodiscard]] AppDevBreakdown per_application(double chip_volume, bool is_fpga) const;
+
+  /// Platform-kind dispatch: FPGA -> hardware flow (T_FE + T_BE + config),
+  /// ASIC -> optional software flow, GPU -> kernel-porting software flow.
+  [[nodiscard]] AppDevBreakdown per_application(double chip_volume,
+                                                device::ChipKind kind) const;
+
+  /// Per-application engineering time for a platform kind.
+  [[nodiscard]] units::TimeSpan engineering_time(device::ChipKind kind) const;
+
+ private:
+  AppDevParameters parameters_;
+};
+
+}  // namespace greenfpga::core
+
+#endif  // GREENFPGA_CORE_APPDEV_MODEL_HPP

@@ -1,0 +1,75 @@
+#include "core/comparator.hpp"
+
+#include <cmath>
+
+namespace greenfpga::core {
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::fpga_lower:
+      return "FPGA";
+    case Verdict::asic_lower:
+      return "ASIC";
+    case Verdict::tie:
+      return "tie";
+  }
+  return "unknown";
+}
+
+double Comparison::ratio() const {
+  const double asic_total = asic.total.total().canonical();
+  const double fpga_total = fpga.total.total().canonical();
+  return fpga_total / asic_total;
+}
+
+Verdict Comparison::verdict() const {
+  const double r = ratio();
+  if (std::fabs(r - 1.0) < 1e-3) {
+    return Verdict::tie;
+  }
+  return r < 1.0 ? Verdict::fpga_lower : Verdict::asic_lower;
+}
+
+Comparison compare(const LifecycleModel& model, const device::DomainTestcase& testcase,
+                   const workload::Schedule& schedule) {
+  return compare(model, testcase.asic, testcase.fpga, schedule);
+}
+
+Comparison compare(const LifecycleModel& model, const device::ChipSpec& asic,
+                   const device::ChipSpec& fpga, const workload::Schedule& schedule) {
+  return Comparison{
+      .asic = model.evaluate_asic(asic, schedule),
+      .fpga = model.evaluate_fpga(fpga, schedule),
+  };
+}
+
+double ThreeWayComparison::fpga_ratio() const {
+  return fpga.total.total().canonical() / asic.total.total().canonical();
+}
+
+double ThreeWayComparison::gpu_ratio() const {
+  return gpu.total.total().canonical() / asic.total.total().canonical();
+}
+
+device::ChipKind ThreeWayComparison::winner() const {
+  const double asic_total = asic.total.total().canonical();
+  const double fpga_total = fpga.total.total().canonical();
+  const double gpu_total = gpu.total.total().canonical();
+  if (fpga_total <= asic_total && fpga_total <= gpu_total) {
+    return device::ChipKind::fpga;
+  }
+  return asic_total <= gpu_total ? device::ChipKind::asic : device::ChipKind::gpu;
+}
+
+ThreeWayComparison compare_three_way(const LifecycleModel& model,
+                                     const device::DomainTestcase& testcase,
+                                     const workload::Schedule& schedule) {
+  const device::ChipSpec gpu = device::derive_iso_gpu(testcase.asic, testcase.domain);
+  return ThreeWayComparison{
+      .asic = model.evaluate_asic(testcase.asic, schedule),
+      .fpga = model.evaluate_fpga(testcase.fpga, schedule),
+      .gpu = model.evaluate_gpu(gpu, schedule),
+  };
+}
+
+}  // namespace greenfpga::core

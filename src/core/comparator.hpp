@@ -1,0 +1,69 @@
+#ifndef GREENFPGA_CORE_COMPARATOR_HPP
+#define GREENFPGA_CORE_COMPARATOR_HPP
+
+/// \file comparator.hpp
+/// FPGA-vs-ASIC comparison at iso-performance: the paper's central
+/// question, "which platform emits less over the schedule?".
+
+#include <string>
+
+#include "core/lifecycle_model.hpp"
+#include "device/catalog.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::core {
+
+/// Which platform the model favours for a scenario.
+enum class Verdict {
+  fpga_lower,  ///< FPGA CFP < ASIC CFP
+  asic_lower,  ///< ASIC CFP < FPGA CFP
+  tie,         ///< within 0.1 % of each other
+};
+
+[[nodiscard]] std::string to_string(Verdict verdict);
+
+/// Result of one head-to-head comparison.
+struct Comparison {
+  PlatformCfp asic;
+  PlatformCfp fpga;
+
+  /// FPGA:ASIC total-CFP ratio (the paper's heat-map metric).  > 1 means
+  /// the ASIC platform is greener.
+  [[nodiscard]] double ratio() const;
+  [[nodiscard]] Verdict verdict() const;
+};
+
+/// Evaluate both platforms of a domain testcase against a schedule.
+[[nodiscard]] Comparison compare(const LifecycleModel& model,
+                                 const device::DomainTestcase& testcase,
+                                 const workload::Schedule& schedule);
+
+/// Evaluate an explicit ASIC/FPGA pair against a schedule.
+[[nodiscard]] Comparison compare(const LifecycleModel& model, const device::ChipSpec& asic,
+                                 const device::ChipSpec& fpga,
+                                 const workload::Schedule& schedule);
+
+/// Three-platform comparison (extension): ASIC vs FPGA vs GPU at
+/// iso-performance.  The paper's intro frames exactly these three options
+/// for hardware acceleration.
+struct ThreeWayComparison {
+  PlatformCfp asic;
+  PlatformCfp fpga;
+  PlatformCfp gpu;
+
+  /// FPGA:ASIC and GPU:ASIC total ratios.
+  [[nodiscard]] double fpga_ratio() const;
+  [[nodiscard]] double gpu_ratio() const;
+  /// Kind of the platform with the lowest total CFP.
+  [[nodiscard]] device::ChipKind winner() const;
+};
+
+/// Evaluate all three platforms of a domain against a schedule; the GPU is
+/// derived from the testcase ASIC via `gpu_domain_ratios`.
+[[nodiscard]] ThreeWayComparison compare_three_way(const LifecycleModel& model,
+                                                   const device::DomainTestcase& testcase,
+                                                   const workload::Schedule& schedule);
+
+}  // namespace greenfpga::core
+
+#endif  // GREENFPGA_CORE_COMPARATOR_HPP

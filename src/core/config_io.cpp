@@ -1,0 +1,416 @@
+#include "core/config_io.hpp"
+
+#include <functional>
+#include <initializer_list>
+
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+
+namespace {
+
+using io::Json;
+using namespace units::unit;
+
+/// Verifies an object uses only known keys, so config typos fail loudly.
+void check_keys(const Json& json, const std::string& context,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : json.as_object()) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw ConfigError("unknown key \"" + key + "\" in " + context);
+    }
+  }
+}
+
+units::CarbonIntensity intensity_from(const Json& json, const std::string& key,
+                                      units::CarbonIntensity fallback) {
+  if (!json.contains(key)) {
+    return fallback;
+  }
+  return json.at(key).as_number() * g_per_kwh;
+}
+
+DesignParameters design_from_json(const Json& json, DesignParameters p) {
+  check_keys(json, "design parameters",
+             {"annual_energy_gwh", "intensity_g_per_kwh", "company_employees",
+              "product_team_size", "average_product_gates", "project_duration_years",
+              "fpga_regularity_factor"});
+  p.annual_energy = json.number_or("annual_energy_gwh", p.annual_energy.in(gwh)) * gwh;
+  p.intensity = intensity_from(json, "intensity_g_per_kwh", p.intensity);
+  p.company_employees = json.number_or("company_employees", p.company_employees);
+  p.product_team_size = json.number_or("product_team_size", p.product_team_size);
+  p.average_product_gates = json.number_or("average_product_gates", p.average_product_gates);
+  p.project_duration =
+      json.number_or("project_duration_years", p.project_duration.in(years)) * years;
+  p.fpga_regularity_factor =
+      json.number_or("fpga_regularity_factor", p.fpga_regularity_factor);
+  return p;
+}
+
+AppDevParameters appdev_from_json(const Json& json, AppDevParameters p) {
+  check_keys(json, "appdev parameters",
+             {"frontend_months", "backend_months", "config_minutes", "dev_system_power_w",
+              "dev_systems", "dev_intensity_g_per_kwh", "accounting",
+              "asic_software_dev_months", "gpu_software_dev_months"});
+  p.frontend_time = json.number_or("frontend_months", p.frontend_time.in(months)) * months;
+  p.backend_time = json.number_or("backend_months", p.backend_time.in(months)) * months;
+  p.config_time = json.number_or("config_minutes", p.config_time.in(minutes)) * minutes;
+  p.dev_system_power =
+      json.number_or("dev_system_power_w", p.dev_system_power.in(w)) * w;
+  p.dev_systems = json.number_or("dev_systems", p.dev_systems);
+  p.dev_intensity = intensity_from(json, "dev_intensity_g_per_kwh", p.dev_intensity);
+  if (json.contains("accounting")) {
+    const std::string& mode = json.at("accounting").as_string();
+    if (mode == "one_time") {
+      p.accounting = AppDevAccounting::one_time;
+    } else if (mode == "per_year") {
+      p.accounting = AppDevAccounting::per_year;
+    } else {
+      throw ConfigError("appdev.accounting must be \"one_time\" or \"per_year\", got \"" +
+                        mode + "\"");
+    }
+  }
+  p.asic_software_dev_time =
+      json.number_or("asic_software_dev_months", p.asic_software_dev_time.in(months)) *
+      months;
+  p.gpu_software_dev_time =
+      json.number_or("gpu_software_dev_months", p.gpu_software_dev_time.in(months)) * months;
+  return p;
+}
+
+act::FabParameters fab_from_json(const Json& json, act::FabParameters p) {
+  check_keys(json, "fab parameters",
+             {"energy_intensity_g_per_kwh", "recycled_material_fraction", "yield_model",
+              "clustering_alpha", "line_yield", "defect_density_per_cm2"});
+  p.fab_energy_intensity =
+      intensity_from(json, "energy_intensity_g_per_kwh", p.fab_energy_intensity);
+  p.recycled_material_fraction =
+      json.number_or("recycled_material_fraction", p.recycled_material_fraction);
+  if (json.contains("yield_model")) {
+    const std::string& model = json.at("yield_model").as_string();
+    if (model == "poisson") {
+      p.yield.model = tech::YieldModel::poisson;
+    } else if (model == "murphy") {
+      p.yield.model = tech::YieldModel::murphy;
+    } else if (model == "seeds") {
+      p.yield.model = tech::YieldModel::seeds;
+    } else if (model == "negative_binomial" || model == "negative-binomial") {
+      p.yield.model = tech::YieldModel::negative_binomial;
+    } else {
+      throw ConfigError("unknown yield model \"" + model + "\"");
+    }
+  }
+  p.yield.clustering_alpha = json.number_or("clustering_alpha", p.yield.clustering_alpha);
+  p.yield.line_yield = json.number_or("line_yield", p.yield.line_yield);
+  if (json.contains("defect_density_per_cm2")) {
+    p.defect_density_override =
+        tech::DefectDensity{json.at("defect_density_per_cm2").as_number() / 100.0};
+  }
+  return p;
+}
+
+act::OperationalParameters operation_from_json(const Json& json,
+                                               act::OperationalParameters p) {
+  check_keys(json, "operation parameters",
+             {"use_intensity_g_per_kwh", "duty_cycle", "pue"});
+  p.use_intensity = intensity_from(json, "use_intensity_g_per_kwh", p.use_intensity);
+  p.duty_cycle = json.number_or("duty_cycle", p.duty_cycle);
+  p.power_usage_effectiveness = json.number_or("pue", p.power_usage_effectiveness);
+  return p;
+}
+
+pkg::PackageParameters package_from_json(const Json& json, pkg::PackageParameters p) {
+  check_keys(json, "package parameters",
+             {"type", "assembly_overhead_kg", "substrate_kg_per_cm2", "footprint_ratio",
+              "interposer_node", "interposer_area_ratio", "bonding_per_die_kg"});
+  if (json.contains("type")) {
+    const std::string& type = json.at("type").as_string();
+    if (type == "monolithic") {
+      p.type = pkg::PackageType::monolithic;
+    } else if (type == "rdl_fanout") {
+      p.type = pkg::PackageType::rdl_fanout;
+    } else if (type == "silicon_interposer") {
+      p.type = pkg::PackageType::silicon_interposer;
+    } else if (type == "emib") {
+      p.type = pkg::PackageType::emib;
+    } else if (type == "3d") {
+      p.type = pkg::PackageType::three_d;
+    } else {
+      throw ConfigError("unknown package type \"" + type + "\"");
+    }
+  }
+  p.assembly_overhead =
+      units::CarbonMass{json.number_or("assembly_overhead_kg",
+                                       p.assembly_overhead.canonical())};
+  p.substrate_per_area = json.number_or("substrate_kg_per_cm2",
+                                        p.substrate_per_area.in(kg_per_cm2)) *
+                         kg_per_cm2;
+  p.footprint_ratio = json.number_or("footprint_ratio", p.footprint_ratio);
+  if (json.contains("interposer_node")) {
+    const auto node = tech::parse_node(json.at("interposer_node").as_string());
+    if (!node) {
+      throw ConfigError("unknown interposer node \"" +
+                        json.at("interposer_node").as_string() + "\"");
+    }
+    p.interposer_node = *node;
+  }
+  p.interposer_area_ratio = json.number_or("interposer_area_ratio", p.interposer_area_ratio);
+  p.bonding_per_die =
+      units::CarbonMass{json.number_or("bonding_per_die_kg", p.bonding_per_die.canonical())};
+  return p;
+}
+
+eol::EolParameters eol_from_json(const Json& json, eol::EolParameters p) {
+  check_keys(json, "eol parameters",
+             {"recycled_fraction", "discard_mtco2e_per_ton", "recycle_mtco2e_per_ton"});
+  p.recycled_fraction = json.number_or("recycled_fraction", p.recycled_fraction);
+  p.discard_factor = json.number_or("discard_mtco2e_per_ton",
+                                    p.discard_factor.in(mtco2e_per_ton)) *
+                     mtco2e_per_ton;
+  p.recycle_credit_factor = json.number_or("recycle_mtco2e_per_ton",
+                                           p.recycle_credit_factor.in(mtco2e_per_ton)) *
+                            mtco2e_per_ton;
+  return p;
+}
+
+}  // namespace
+
+ModelSuite suite_from_json(const Json& json, ModelSuite defaults) {
+  check_keys(json, "suite", {"design", "appdev", "fab", "operation", "package", "eol"});
+  ModelSuite suite = defaults;
+  if (json.contains("design")) suite.design = design_from_json(json.at("design"), suite.design);
+  if (json.contains("appdev")) suite.appdev = appdev_from_json(json.at("appdev"), suite.appdev);
+  if (json.contains("fab")) suite.fab = fab_from_json(json.at("fab"), suite.fab);
+  if (json.contains("operation")) {
+    suite.operation = operation_from_json(json.at("operation"), suite.operation);
+  }
+  if (json.contains("package")) {
+    suite.package = package_from_json(json.at("package"), suite.package);
+  }
+  if (json.contains("eol")) suite.eol = eol_from_json(json.at("eol"), suite.eol);
+  return suite;
+}
+
+device::ChipSpec chip_from_json(const Json& json) {
+  check_keys(json, "chip",
+             {"name", "kind", "node", "die_area_mm2", "peak_power_w", "capacity_gates",
+              "service_life_years"});
+  device::ChipSpec chip;
+  chip.name = json.string_or("name", "chip");
+  const std::string kind = json.string_or("kind", "asic");
+  if (kind == "asic") {
+    chip.kind = device::ChipKind::asic;
+  } else if (kind == "fpga") {
+    chip.kind = device::ChipKind::fpga;
+  } else if (kind == "gpu") {
+    chip.kind = device::ChipKind::gpu;
+  } else {
+    throw ConfigError("chip.kind must be \"asic\", \"fpga\" or \"gpu\", got \"" + kind +
+                      "\"");
+  }
+  const std::string node_text = json.string_or("node", "10nm");
+  const auto node = tech::parse_node(node_text);
+  if (!node) {
+    throw ConfigError("unknown process node \"" + node_text + "\"");
+  }
+  chip.node = *node;
+  if (!json.contains("die_area_mm2") || !json.contains("peak_power_w")) {
+    throw ConfigError("chip \"" + chip.name + "\" needs die_area_mm2 and peak_power_w");
+  }
+  chip.die_area = json.at("die_area_mm2").as_number() * mm2;
+  chip.peak_power = json.at("peak_power_w").as_number() * w;
+  if (json.contains("capacity_gates")) {
+    chip.capacity_gates = json.at("capacity_gates").as_number();
+  } else {
+    // Default capacity: silicon gates (ASIC) or silicon gates over the
+    // fabric overhead (FPGA).
+    const double silicon = tech::node_info(chip.node).gates_in_area(chip.die_area);
+    chip.capacity_gates =
+        chip.is_fpga() ? silicon / device::kFpgaFabricOverhead : silicon;
+  }
+  chip.service_life =
+      json.number_or("service_life_years",
+                     chip.is_fpga() ? 15.0 : (chip.is_gpu() ? 7.0 : 8.0)) *
+      years;
+  chip.validate();
+  return chip;
+}
+
+workload::Application application_from_json(const Json& json) {
+  check_keys(json, "application",
+             {"name", "domain", "lifetime_years", "volume", "size_gates"});
+  workload::Application app;
+  app.name = json.string_or("name", "app");
+  const std::string domain = json.string_or("domain", "DNN");
+  if (domain == "DNN" || domain == "dnn") {
+    app.domain = device::Domain::dnn;
+  } else if (domain == "ImgProc" || domain == "imgproc") {
+    app.domain = device::Domain::imgproc;
+  } else if (domain == "Crypto" || domain == "crypto") {
+    app.domain = device::Domain::crypto;
+  } else {
+    throw ConfigError("unknown domain \"" + domain + "\"");
+  }
+  app.lifetime = json.number_or("lifetime_years", 2.0) * years;
+  app.volume = json.number_or("volume", 1e6);
+  app.size_gates = json.number_or("size_gates", 0.0);
+  app.validate();
+  return app;
+}
+
+workload::Schedule schedule_from_json(const Json& json) {
+  workload::Schedule schedule;
+  for (const Json& element : json.as_array()) {
+    schedule.push_back(application_from_json(element));
+  }
+  workload::validate(schedule);
+  return schedule;
+}
+
+ScenarioConfig scenario_from_json(const Json& json) {
+  check_keys(json, "scenario", {"name", "suite", "asic", "fpga", "schedule"});
+  ScenarioConfig config;
+  config.name = json.string_or("name", "scenario");
+  config.suite = json.contains("suite") ? suite_from_json(json.at("suite"), paper_suite())
+                                        : paper_suite();
+  if (!json.contains("asic") || !json.contains("fpga") || !json.contains("schedule")) {
+    throw ConfigError("scenario needs asic, fpga and schedule sections");
+  }
+  config.asic = chip_from_json(json.at("asic"));
+  config.fpga = chip_from_json(json.at("fpga"));
+  if (config.asic.is_fpga() || !config.fpga.is_fpga()) {
+    throw ConfigError("scenario.asic must be an ASIC and scenario.fpga an FPGA");
+  }
+  config.schedule = schedule_from_json(json.at("schedule"));
+  return config;
+}
+
+ScenarioConfig load_scenario(const std::string& path) {
+  return scenario_from_json(io::parse_json_file(path));
+}
+
+// -- writers -------------------------------------------------------------------
+
+Json to_json(const ModelSuite& suite) {
+  Json design = Json::object();
+  design["annual_energy_gwh"] = suite.design.annual_energy.in(gwh);
+  design["intensity_g_per_kwh"] = suite.design.intensity.in(g_per_kwh);
+  design["company_employees"] = suite.design.company_employees;
+  design["product_team_size"] = suite.design.product_team_size;
+  design["average_product_gates"] = suite.design.average_product_gates;
+  design["project_duration_years"] = suite.design.project_duration.in(years);
+  design["fpga_regularity_factor"] = suite.design.fpga_regularity_factor;
+
+  Json appdev = Json::object();
+  appdev["frontend_months"] = suite.appdev.frontend_time.in(months);
+  appdev["backend_months"] = suite.appdev.backend_time.in(months);
+  appdev["config_minutes"] = suite.appdev.config_time.in(minutes);
+  appdev["dev_system_power_w"] = suite.appdev.dev_system_power.in(w);
+  appdev["dev_systems"] = suite.appdev.dev_systems;
+  appdev["dev_intensity_g_per_kwh"] = suite.appdev.dev_intensity.in(g_per_kwh);
+  appdev["accounting"] =
+      suite.appdev.accounting == AppDevAccounting::one_time ? "one_time" : "per_year";
+  appdev["asic_software_dev_months"] = suite.appdev.asic_software_dev_time.in(months);
+  appdev["gpu_software_dev_months"] = suite.appdev.gpu_software_dev_time.in(months);
+
+  Json fab = Json::object();
+  fab["energy_intensity_g_per_kwh"] = suite.fab.fab_energy_intensity.in(g_per_kwh);
+  fab["recycled_material_fraction"] = suite.fab.recycled_material_fraction;
+  fab["yield_model"] = to_string(suite.fab.yield.model);
+  fab["clustering_alpha"] = suite.fab.yield.clustering_alpha;
+  fab["line_yield"] = suite.fab.yield.line_yield;
+
+  Json operation = Json::object();
+  operation["use_intensity_g_per_kwh"] = suite.operation.use_intensity.in(g_per_kwh);
+  operation["duty_cycle"] = suite.operation.duty_cycle;
+  operation["pue"] = suite.operation.power_usage_effectiveness;
+
+  Json package = Json::object();
+  package["type"] = to_string(suite.package.type);
+  package["assembly_overhead_kg"] = suite.package.assembly_overhead.canonical();
+  package["substrate_kg_per_cm2"] = suite.package.substrate_per_area.in(kg_per_cm2);
+  package["footprint_ratio"] = suite.package.footprint_ratio;
+
+  Json eol_json = Json::object();
+  eol_json["recycled_fraction"] = suite.eol.recycled_fraction;
+  eol_json["discard_mtco2e_per_ton"] = suite.eol.discard_factor.in(mtco2e_per_ton);
+  eol_json["recycle_mtco2e_per_ton"] = suite.eol.recycle_credit_factor.in(mtco2e_per_ton);
+
+  Json out = Json::object();
+  out["design"] = std::move(design);
+  out["appdev"] = std::move(appdev);
+  out["fab"] = std::move(fab);
+  out["operation"] = std::move(operation);
+  out["package"] = std::move(package);
+  out["eol"] = std::move(eol_json);
+  return out;
+}
+
+Json to_json(const device::ChipSpec& chip) {
+  Json out = Json::object();
+  out["name"] = chip.name;
+  out["kind"] = chip.is_fpga() ? "fpga" : (chip.is_gpu() ? "gpu" : "asic");
+  out["node"] = tech::to_string(chip.node);
+  out["die_area_mm2"] = chip.die_area.in(mm2);
+  out["peak_power_w"] = chip.peak_power.in(w);
+  out["capacity_gates"] = chip.capacity_gates;
+  out["service_life_years"] = chip.service_life.in(years);
+  return out;
+}
+
+Json to_json(const workload::Application& app) {
+  Json out = Json::object();
+  out["name"] = app.name;
+  out["domain"] = to_string(app.domain);
+  out["lifetime_years"] = app.lifetime.in(years);
+  out["volume"] = app.volume;
+  out["size_gates"] = app.size_gates;
+  return out;
+}
+
+Json to_json(const workload::Schedule& schedule) {
+  Json out = Json::array();
+  for (const workload::Application& app : schedule) {
+    out.push_back(to_json(app));
+  }
+  return out;
+}
+
+Json to_json(const CfpBreakdown& breakdown) {
+  Json out = Json::object();
+  out["design_kg"] = breakdown.design.canonical();
+  out["manufacturing_kg"] = breakdown.manufacturing.canonical();
+  out["packaging_kg"] = breakdown.packaging.canonical();
+  out["eol_kg"] = breakdown.eol.canonical();
+  out["operational_kg"] = breakdown.operational.canonical();
+  out["app_dev_kg"] = breakdown.app_dev.canonical();
+  out["embodied_kg"] = breakdown.embodied().canonical();
+  out["total_kg"] = breakdown.total().canonical();
+  return out;
+}
+
+Json to_json(const PlatformCfp& platform) {
+  Json out = Json::object();
+  out["kind"] = to_string(platform.kind);
+  out["chips_manufactured"] = platform.chips_manufactured;
+  out["total"] = to_json(platform.total);
+  Json apps = Json::array();
+  for (const ApplicationCfp& app : platform.per_application) {
+    Json entry = Json::object();
+    entry["application"] = app.application;
+    entry["chips_per_unit"] = app.chips_per_unit;
+    entry["cfp"] = to_json(app.cfp);
+    apps.push_back(std::move(entry));
+  }
+  out["per_application"] = std::move(apps);
+  return out;
+}
+
+}  // namespace greenfpga::core

@@ -1,0 +1,70 @@
+#ifndef GREENFPGA_CORE_CONFIG_IO_HPP
+#define GREENFPGA_CORE_CONFIG_IO_HPP
+
+/// \file config_io.hpp
+/// JSON (de)serialisation of the GreenFPGA configuration types.
+///
+/// The CLI consumes scenario files shaped like:
+///
+///     {
+///       // model parameters; any omitted field keeps its paper default
+///       "suite": { "design": {...}, "appdev": {...}, "fab": {...},
+///                  "operation": {...}, "package": {...}, "eol": {...} },
+///       "asic":  { "name": "...", "node": "10nm", "die_area_mm2": 150,
+///                  "peak_power_w": 2.0, ... },
+///       "fpga":  { ... },
+///       "schedule": [ { "name": "app-1", "lifetime_years": 2,
+///                       "volume": 1e6 }, ... ]
+///     }
+///
+/// Quantities appear in config files as plain numbers with the unit in the
+/// key name (`die_area_mm2`, `lifetime_years`), the format used by the
+/// released tool's configs.  Unknown keys raise ConfigError so typos fail
+/// loudly instead of silently keeping defaults.
+
+#include <stdexcept>
+#include <string>
+
+#include "core/lifecycle_model.hpp"
+#include "core/paper_config.hpp"
+#include "io/json.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::core {
+
+/// Raised on malformed or inconsistent configuration input.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A fully-specified comparison scenario.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  ModelSuite suite;
+  device::ChipSpec asic;
+  device::ChipSpec fpga;
+  workload::Schedule schedule;
+};
+
+// -- readers (each starts from defaults and applies present fields) ----------
+[[nodiscard]] ModelSuite suite_from_json(const io::Json& json, ModelSuite defaults = {});
+[[nodiscard]] device::ChipSpec chip_from_json(const io::Json& json);
+[[nodiscard]] workload::Application application_from_json(const io::Json& json);
+[[nodiscard]] workload::Schedule schedule_from_json(const io::Json& json);
+[[nodiscard]] ScenarioConfig scenario_from_json(const io::Json& json);
+
+/// Load a scenario file (JSON with // comments allowed).
+[[nodiscard]] ScenarioConfig load_scenario(const std::string& path);
+
+// -- writers -------------------------------------------------------------------
+[[nodiscard]] io::Json to_json(const ModelSuite& suite);
+[[nodiscard]] io::Json to_json(const device::ChipSpec& chip);
+[[nodiscard]] io::Json to_json(const workload::Application& app);
+[[nodiscard]] io::Json to_json(const workload::Schedule& schedule);
+[[nodiscard]] io::Json to_json(const CfpBreakdown& breakdown);
+[[nodiscard]] io::Json to_json(const PlatformCfp& platform);
+
+}  // namespace greenfpga::core
+
+#endif  // GREENFPGA_CORE_CONFIG_IO_HPP

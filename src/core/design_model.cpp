@@ -1,0 +1,60 @@
+#include "core/design_model.hpp"
+
+#include <stdexcept>
+
+#include "tech/node.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+
+DesignModel::DesignModel(DesignParameters parameters) : parameters_(parameters) {
+  if (parameters_.company_employees <= 0.0) {
+    throw std::invalid_argument("DesignModel: company employees must be positive");
+  }
+  if (parameters_.product_team_size <= 0.0) {
+    throw std::invalid_argument("DesignModel: product team size must be positive");
+  }
+  if (parameters_.average_product_gates <= 0.0) {
+    throw std::invalid_argument("DesignModel: average product gates must be positive");
+  }
+  if (parameters_.project_duration.canonical() <= 0.0) {
+    throw std::invalid_argument("DesignModel: project duration must be positive");
+  }
+  if (parameters_.fpga_regularity_factor <= 0.0 || parameters_.fpga_regularity_factor > 1.0) {
+    throw std::invalid_argument("DesignModel: FPGA regularity factor must be in (0, 1]");
+  }
+}
+
+units::CarbonMass DesignModel::carbon_per_employee_year() const {
+  // C_emp = E_des * C_src,des / N_emp,company
+  return parameters_.intensity * parameters_.annual_energy / parameters_.company_employees;
+}
+
+units::CarbonMass DesignModel::design_carbon(double gate_count, bool is_fpga) const {
+  if (gate_count < 0.0) {
+    throw std::invalid_argument("design_carbon: negative gate count");
+  }
+  const double effective_gates =
+      is_fpga ? gate_count * parameters_.fpga_regularity_factor : gate_count;
+  const double size_ratio = effective_gates / parameters_.average_product_gates;
+  const double project_years = parameters_.project_duration.in(units::unit::years);
+  // Eq. (4): C_emp * N_emp,des * (N_gates / N_gates,des) * T_proj.
+  return carbon_per_employee_year() * parameters_.product_team_size * size_ratio *
+         project_years;
+}
+
+units::CarbonMass DesignModel::design_carbon(const device::ChipSpec& chip) const {
+  chip.validate();
+  const double silicon_gates = tech::node_info(chip.node).gates_in_area(chip.die_area);
+  return design_carbon(silicon_gates, chip.is_fpga());
+}
+
+units::CarbonMass DesignModel::gate_count_model(double gate_count,
+                                                units::CarbonMass carbon_per_gate) {
+  if (gate_count < 0.0) {
+    throw std::invalid_argument("gate_count_model: negative gate count");
+  }
+  return carbon_per_gate * gate_count;
+}
+
+}  // namespace greenfpga::core

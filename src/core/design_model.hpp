@@ -1,0 +1,55 @@
+#ifndef GREENFPGA_CORE_DESIGN_MODEL_HPP
+#define GREENFPGA_CORE_DESIGN_MODEL_HPP
+
+/// \file design_model.hpp
+/// Design-phase CFP model (paper §3.2(1), Eq. 4).
+///
+/// The paper's second contribution: prior art costed chip design from gate
+/// count alone and "grossly underestimated" it.  GreenFPGA instead anchors
+/// design CFP in the measured energy of fabless design houses
+/// (sustainability reports: Microchip, NVIDIA, AMD), apportioning a
+/// company's annual energy carbon to one product by team size, relative
+/// chip size, and project duration.  Design CFP is charged **once per chip
+/// design** -- per application for ASICs, once for an FPGA regardless of
+/// how many applications it later serves.  That asymmetry is the heart of
+/// the FPGA sustainability argument.
+
+#include "core/parameters.hpp"
+#include "device/chip_spec.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::core {
+
+/// Implements Eq. (4); also provides the ECO-CHIP-style gate-count model
+/// for the design-model ablation bench.
+class DesignModel {
+ public:
+  explicit DesignModel(DesignParameters parameters = {});
+
+  [[nodiscard]] const DesignParameters& parameters() const { return parameters_; }
+
+  /// C_emp: annual CFP per design-house employee.
+  [[nodiscard]] units::CarbonMass carbon_per_employee_year() const;
+
+  /// Eq. (4) for a chip of `gate_count` equivalent gates.  `is_fpga`
+  /// applies the fabric-regularity design-effort discount.
+  [[nodiscard]] units::CarbonMass design_carbon(double gate_count, bool is_fpga) const;
+
+  /// Eq. (4) for a device spec: gate count taken from the silicon (die
+  /// area at the node's density), not the usable FPGA capacity -- the
+  /// vendor designs the whole die.
+  [[nodiscard]] units::CarbonMass design_carbon(const device::ChipSpec& chip) const;
+
+  /// ECO-CHIP-style prior-art model for the ablation: design CFP purely
+  /// proportional to gate count, `carbon_per_gate` per gate (no team /
+  /// energy / duration structure).  Kept for bench/ablation_design_model.
+  [[nodiscard]] static units::CarbonMass gate_count_model(double gate_count,
+                                                          units::CarbonMass carbon_per_gate);
+
+ private:
+  DesignParameters parameters_;
+};
+
+}  // namespace greenfpga::core
+
+#endif  // GREENFPGA_CORE_DESIGN_MODEL_HPP

@@ -1,0 +1,87 @@
+#include "core/paper_config.hpp"
+
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+
+using namespace units::unit;
+
+ModelSuite paper_suite() {
+  ModelSuite suite;
+
+  // Design house (Table 1: E_des 2-7.3 GWh, 20K-160K employees, T_proj
+  // 1-3 y).  Calibration: DESIGN.md §4.
+  suite.design.annual_energy = 7.3 * gwh;
+  suite.design.intensity = act::grid_intensity(act::GridRegion::usa);
+  suite.design.company_employees = 20'000.0;
+  suite.design.product_team_size = 450.0;
+  suite.design.average_product_gates = 5e8;
+  suite.design.project_duration = 3.0 * years;
+  suite.design.fpga_regularity_factor = 0.25;
+
+  // Application development (Table 1: T_FE 1.5-2.5 months, T_BE 0.5-1.5).
+  suite.appdev.frontend_time = 2.0 * months;
+  suite.appdev.backend_time = 1.0 * months;
+  suite.appdev.config_time = 5.0 * minutes;
+  suite.appdev.dev_system_power = 300.0 * w;
+  suite.appdev.dev_systems = 10.0;
+  suite.appdev.dev_intensity = act::grid_intensity(act::GridRegion::usa);
+  suite.appdev.accounting = AppDevAccounting::one_time;
+
+  // Fab: leading-edge foundry posture (Taiwan grid, 20 % renewable PPAs),
+  // no recycled-material sourcing by default (rho = 0, Table 1 range 0-1).
+  suite.fab.fab_energy_intensity = act::offset_grid_intensity(act::GridRegion::taiwan, 0.20);
+  suite.fab.recycled_material_fraction = 0.0;
+  suite.fab.yield = tech::YieldSpec{};  // negative binomial, alpha 2.5
+
+  // Operation: edge deployment -- accelerators idle most of the time.
+  suite.operation.use_intensity = act::grid_intensity(act::GridRegion::usa);
+  suite.operation.duty_cycle = 0.02;
+  suite.operation.power_usage_effectiveness = 1.0;
+
+  // Package: monolithic (paper §3.2(3)).
+  suite.package.type = pkg::PackageType::monolithic;
+
+  // End of life: mid-range WARM factors, 20 % recycling (Table 1: delta 0-1).
+  suite.eol.recycled_fraction = 0.20;
+  suite.eol.discard_factor = 1.0 * mtco2e_per_ton;
+  suite.eol.recycle_credit_factor = 15.0 * mtco2e_per_ton;
+
+  return suite;
+}
+
+ModelSuite industry_suite() {
+  ModelSuite suite = paper_suite();
+
+  // TPU/Agilex-class products: much larger teams and portfolio chips.
+  suite.design.product_team_size = 1200.0;
+  suite.design.average_product_gates = 1e9;
+  // Industry FPGA flagships embed large hard blocks (transceivers, HBM
+  // controllers, NoC) alongside the tiled fabric, so less of the die is
+  // replicated tiles.
+  suite.design.fpga_regularity_factor = 0.6;
+
+  // Datacenter operation: half-duty, facility overhead.
+  suite.operation.duty_cycle = 0.5;
+  suite.operation.power_usage_effectiveness = 1.2;
+
+  return suite;
+}
+
+SweepDefaults paper_sweep_defaults() { return SweepDefaults{}; }
+
+workload::Schedule paper_schedule(device::Domain domain, int app_count,
+                                  units::TimeSpan lifetime, double volume) {
+  workload::Application prototype = workload::paper_application(domain);
+  prototype.lifetime = lifetime;
+  prototype.volume = volume;
+  return workload::homogeneous_schedule(app_count, prototype);
+}
+
+workload::Schedule paper_schedule(device::Domain domain) {
+  const SweepDefaults defaults = paper_sweep_defaults();
+  return paper_schedule(domain, defaults.app_count, defaults.app_lifetime,
+                        defaults.app_volume);
+}
+
+}  // namespace greenfpga::core

@@ -1,0 +1,95 @@
+#ifndef GREENFPGA_CORE_PARAMETERS_HPP
+#define GREENFPGA_CORE_PARAMETERS_HPP
+
+/// \file parameters.hpp
+/// Parameter blocks for the GreenFPGA-specific models: design-phase CFP
+/// (Eq. 4) and application-development CFP (Eq. 7).
+///
+/// Defaults correspond to the paper's Table 1 ranges; every field is a
+/// user-tunable knob, mirroring the released tool's configurability (§5).
+
+#include "act/carbon_intensity.hpp"
+#include "units/quantity.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+
+/// Inputs to the design-phase CFP model (Eq. 4):
+///
+///     C_des = C_emp * N_emp,des * (N_gates / N_gates,des) * T_proj
+///     C_emp = E_des * C_src,des / N_emp,company
+///
+/// `C_emp` is the annual CFP attributable to one employee of the design
+/// house (company annual energy times grid intensity, normalised by
+/// head-count); a product is then charged for its team size, its relative
+/// chip size, and its project duration.
+struct DesignParameters {
+  /// E_des: design-house electrical energy per year (Table 1: 2-7.3 GWh).
+  units::Energy annual_energy = 7.3 * units::unit::gwh;
+  /// C_src,des: carbon intensity of the design house's energy source
+  /// (Table 1: 30-700 g CO2e/kWh).
+  units::CarbonIntensity intensity = act::grid_intensity(act::GridRegion::usa);
+  /// Company head-count normalising C_emp (Table 1 N_emp,des: 20K-160K).
+  double company_employees = 20'000.0;
+  /// N_emp,des: engineers on this product.
+  double product_team_size = 450.0;
+  /// N_gates,des: average gates per chip across the design house's
+  /// portfolio; the chip being costed is scaled relative to this.
+  double average_product_gates = 5e8;
+  /// T_proj: chip design project duration (Table 1: 1-3 years).
+  units::TimeSpan project_duration = 3.0 * units::unit::years;
+  /// Design-effort discount for FPGA fabrics: an FPGA die is a tiled array,
+  /// so design effort scales with the unique tile logic rather than the
+  /// full replicated gate count.  1.0 charges the full silicon gate count
+  /// (the literal Eq. 4); ~0.25 reflects fabric regularity.  Applied only
+  /// to FPGA chips.
+  double fpga_regularity_factor = 0.25;
+};
+
+/// How application-development CFP enters the totals (DESIGN.md §1.1).
+enum class AppDevAccounting {
+  /// Charge app-dev once per application (default; matches Fig. 10's
+  /// "app-dev is a minimal one-time overhead" reading).
+  one_time,
+  /// Literal Eq. (2): C_app-dev sits inside C_deploy,i and is multiplied
+  /// by the application lifetime in years.
+  per_year,
+};
+
+/// Inputs to the application-development CFP model (Eq. 7):
+///
+///     T_app-dev = N_app * (T_FE + T_BE) + N_vol * T_config
+///     C_app-dev = P_dev * N_systems * C_src,dev * T_app-dev
+///
+/// For FPGAs, T_FE is RTL/HLS development + verification and T_BE is
+/// synthesis/place-and-route; both are zero for ASICs (charged in Eq. 4),
+/// though an optional software-flow time can model TPU-style per-
+/// application regression stacks.
+struct AppDevParameters {
+  /// T_FE: front-end development time per application (Table 1: 1.5-2.5 months).
+  units::TimeSpan frontend_time = 2.0 * units::unit::months;
+  /// T_BE: back-end (synth/P&R) time per application (Table 1: 0.5-1.5 months).
+  units::TimeSpan backend_time = 1.0 * units::unit::months;
+  /// T_config: bitstream load time per deployed chip.
+  units::TimeSpan config_time = 5.0 * units::unit::minutes;
+  /// Power of one development compute system.
+  units::Power dev_system_power = 300.0 * units::unit::w;
+  /// Number of development systems running for T_FE + T_BE.
+  double dev_systems = 10.0;
+  /// Carbon intensity of the development site's energy.
+  units::CarbonIntensity dev_intensity = act::grid_intensity(act::GridRegion::usa);
+  /// Accounting policy for app-dev CFP in the lifecycle totals.
+  AppDevAccounting accounting = AppDevAccounting::one_time;
+  /// Optional per-application software-flow time for ASIC platforms
+  /// (paper §3.3(2): "software flows with extensive regression testing,
+  /// as seen in the Google TPU, if at all").  Zero by default.
+  units::TimeSpan asic_software_dev_time{};
+  /// Per-application software development time for GPU platforms (kernel
+  /// porting and tuning -- faster than RTL, slower than nothing).  Used by
+  /// the three-way platform extension.
+  units::TimeSpan gpu_software_dev_time = 0.75 * units::unit::months;
+};
+
+}  // namespace greenfpga::core
+
+#endif  // GREENFPGA_CORE_PARAMETERS_HPP

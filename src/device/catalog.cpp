@@ -1,0 +1,120 @@
+#include "device/catalog.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::device {
+
+namespace {
+
+using units::unit::mm2;
+using units::unit::w;
+using units::unit::years;
+
+/// Usable capacity of an ASIC design: all placed gates.
+double asic_capacity(tech::ProcessNode node, units::Area area) {
+  return tech::node_info(node).gates_in_area(area);
+}
+
+/// Usable capacity of an FPGA fabric: silicon gates divided by the fabric
+/// overhead (LUTs, routing, configuration memory).
+double fpga_capacity(tech::ProcessNode node, units::Area area) {
+  return tech::node_info(node).gates_in_area(area) / kFpgaFabricOverhead;
+}
+
+constexpr std::array<Domain, 3> kAllDomains{Domain::dnn, Domain::imgproc, Domain::crypto};
+
+/// Calibrated 10 nm base ASIC specs per domain: watt-class edge
+/// accelerators deployed at million-unit volume (DESIGN.md §4).  The
+/// area/power pairs are calibration targets pinned by
+/// tests/calibration_test.cpp so the paper's crossover bands hold.
+ChipSpec base_asic(Domain domain) {
+  ChipSpec spec;
+  spec.kind = ChipKind::asic;
+  spec.node = tech::ProcessNode::n10;
+  spec.service_life = 8.0 * years;
+  switch (domain) {
+    case Domain::dnn:
+      spec.name = "dnn-asic-10nm";
+      spec.die_area = 150.0 * mm2;
+      spec.peak_power = 2.0 * w;
+      break;
+    case Domain::imgproc:
+      spec.name = "imgproc-asic-10nm";
+      spec.die_area = 80.0 * mm2;
+      spec.peak_power = 2.0 * w;
+      break;
+    case Domain::crypto:
+      spec.name = "crypto-asic-10nm";
+      spec.die_area = 200.0 * mm2;
+      spec.peak_power = 2.0 * w;
+      break;
+  }
+  spec.capacity_gates = asic_capacity(spec.node, spec.die_area);
+  return spec;
+}
+
+}  // namespace
+
+std::span<const Domain> all_domains() { return kAllDomains; }
+
+DomainTestcase domain_testcase(Domain domain) {
+  DomainTestcase testcase;
+  testcase.domain = domain;
+  testcase.asic = base_asic(domain);
+  testcase.fpga = derive_iso_fpga(testcase.asic, domain);
+  testcase.fpga.name = to_string(domain) + "-iso-fpga-10nm";
+  return testcase;
+}
+
+ChipSpec industry_asic1() {
+  ChipSpec spec;
+  spec.name = "IndustryASIC1 (Moffett Antoum-class)";
+  spec.kind = ChipKind::asic;
+  spec.node = tech::ProcessNode::n12;
+  spec.die_area = 340.0 * mm2;
+  spec.peak_power = 70.0 * w;
+  spec.capacity_gates = asic_capacity(spec.node, spec.die_area);
+  spec.service_life = 8.0 * years;
+  return spec;
+}
+
+ChipSpec industry_asic2() {
+  ChipSpec spec;
+  spec.name = "IndustryASIC2 (Google TPU-class)";
+  spec.kind = ChipKind::asic;
+  spec.node = tech::ProcessNode::n7;
+  spec.die_area = 600.0 * mm2;
+  spec.peak_power = 192.0 * w;
+  spec.capacity_gates = asic_capacity(spec.node, spec.die_area);
+  spec.service_life = 8.0 * years;
+  return spec;
+}
+
+ChipSpec industry_fpga1() {
+  ChipSpec spec;
+  spec.name = "IndustryFPGA1 (Intel Agilex 7-class)";
+  spec.kind = ChipKind::fpga;
+  spec.node = tech::ProcessNode::n14;
+  spec.die_area = 380.0 * mm2;
+  spec.peak_power = 160.0 * w;
+  spec.capacity_gates = fpga_capacity(spec.node, spec.die_area);
+  spec.service_life = 15.0 * years;
+  return spec;
+}
+
+ChipSpec industry_fpga2() {
+  ChipSpec spec;
+  spec.name = "IndustryFPGA2 (Intel Stratix 10-class)";
+  spec.kind = ChipKind::fpga;
+  spec.node = tech::ProcessNode::n10;
+  spec.die_area = 550.0 * mm2;
+  spec.peak_power = 220.0 * w;
+  spec.capacity_gates = fpga_capacity(spec.node, spec.die_area);
+  spec.service_life = 15.0 * years;
+  return spec;
+}
+
+}  // namespace greenfpga::device

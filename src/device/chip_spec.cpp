@@ -1,0 +1,49 @@
+#include "device/chip_spec.hpp"
+
+#include <stdexcept>
+
+namespace greenfpga::device {
+
+std::string to_string(ChipKind kind) {
+  switch (kind) {
+    case ChipKind::asic:
+      return "ASIC";
+    case ChipKind::fpga:
+      return "FPGA";
+    case ChipKind::gpu:
+      return "GPU";
+  }
+  return "unknown";
+}
+
+std::string to_string(Domain domain) {
+  switch (domain) {
+    case Domain::dnn:
+      return "DNN";
+    case Domain::imgproc:
+      return "ImgProc";
+    case Domain::crypto:
+      return "Crypto";
+  }
+  return "unknown";
+}
+
+void ChipSpec::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("ChipSpec: name must not be empty");
+  }
+  if (die_area.canonical() <= 0.0) {
+    throw std::invalid_argument("ChipSpec '" + name + "': die area must be positive");
+  }
+  if (peak_power.canonical() <= 0.0) {
+    throw std::invalid_argument("ChipSpec '" + name + "': peak power must be positive");
+  }
+  if (capacity_gates <= 0.0) {
+    throw std::invalid_argument("ChipSpec '" + name + "': capacity must be positive");
+  }
+  if (service_life.canonical() <= 0.0) {
+    throw std::invalid_argument("ChipSpec '" + name + "': service life must be positive");
+  }
+}
+
+}  // namespace greenfpga::device

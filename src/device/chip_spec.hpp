@@ -1,0 +1,61 @@
+#ifndef GREENFPGA_DEVICE_CHIP_SPEC_HPP
+#define GREENFPGA_DEVICE_CHIP_SPEC_HPP
+
+/// \file chip_spec.hpp
+/// Device descriptions shared by every model: what a chip is, physically.
+
+#include <string>
+
+#include "tech/node.hpp"
+#include "units/quantity.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::device {
+
+/// Accelerator platform kind.
+enum class ChipKind {
+  asic,  ///< fixed-function accelerator; one design per application
+  fpga,  ///< reconfigurable accelerator; one design reused across applications
+  gpu,   ///< programmable accelerator; reused across applications via
+         ///< software, but no circuit-level reconfigurability (paper §1:
+         ///< "GPUs have high power and less flexibility than FPGAs")
+};
+
+[[nodiscard]] std::string to_string(ChipKind kind);
+
+/// Application domains evaluated by the paper (Table 2).
+enum class Domain {
+  dnn,      ///< deep neural network inference accelerators
+  imgproc,  ///< image / video processing pipelines
+  crypto,   ///< cryptographic engines
+};
+
+[[nodiscard]] std::string to_string(Domain domain);
+
+/// A concrete silicon device: the physical inputs to the lifecycle models.
+struct ChipSpec {
+  std::string name;
+  ChipKind kind = ChipKind::asic;
+  tech::ProcessNode node = tech::ProcessNode::n10;
+  units::Area die_area;     ///< silicon die area
+  units::Power peak_power;  ///< TDP-class peak power
+  /// Logic capacity in equivalent gates: the design size for an ASIC, the
+  /// reconfigurable fabric capacity for an FPGA (paper's `FPGAcapacity`).
+  double capacity_gates = 0.0;
+  /// Useful service life of the physical chip (not of any one application).
+  /// Paper §2: FPGAs last 12-15 years, ASICs become obsolete in 5-8.
+  units::TimeSpan service_life = 15.0 * units::unit::years;
+
+  [[nodiscard]] bool is_fpga() const { return kind == ChipKind::fpga; }
+  [[nodiscard]] bool is_gpu() const { return kind == ChipKind::gpu; }
+  /// Platforms whose silicon is reused across applications (Eq. 2 shape).
+  [[nodiscard]] bool is_reusable() const { return kind != ChipKind::asic; }
+
+  /// Sanity checks used by model entry points; throws std::invalid_argument
+  /// with the offending field named.
+  void validate() const;
+};
+
+}  // namespace greenfpga::device
+
+#endif  // GREENFPGA_DEVICE_CHIP_SPEC_HPP

@@ -1,0 +1,28 @@
+#include "eol/eol_model.hpp"
+
+#include <stdexcept>
+
+namespace greenfpga::eol {
+
+EolModel::EolModel(EolParameters parameters) : parameters_(parameters) {
+  if (parameters_.recycled_fraction < 0.0 || parameters_.recycled_fraction > 1.0) {
+    throw std::invalid_argument("EolModel: recycled fraction must be in [0, 1]");
+  }
+  if (parameters_.discard_factor.canonical() < 0.0 ||
+      parameters_.recycle_credit_factor.canonical() < 0.0) {
+    throw std::invalid_argument("EolModel: emission factors must be non-negative");
+  }
+}
+
+EolBreakdown EolModel::end_of_life(units::Mass device_mass) const {
+  if (device_mass.canonical() < 0.0) {
+    throw std::invalid_argument("end_of_life: negative device mass");
+  }
+  const double delta = parameters_.recycled_fraction;
+  return EolBreakdown{
+      .discard = parameters_.discard_factor * device_mass * (1.0 - delta),
+      .credit = parameters_.recycle_credit_factor * device_mass * delta,
+  };
+}
+
+}  // namespace greenfpga::eol

@@ -1,0 +1,60 @@
+#ifndef GREENFPGA_EOL_EOL_MODEL_HPP
+#define GREENFPGA_EOL_EOL_MODEL_HPP
+
+/// \file eol_model.hpp
+/// End-of-life carbon model (paper §3.2(4), Eq. 6).
+///
+///     C_EOL = (1 - delta) * C_dis  -  delta * C_recycle
+///
+/// where `delta` is the fraction of device mass routed to recycling,
+/// `C_dis` the CFP of discarding (landfill / incineration, transport) and
+/// `C_recycle` the *credit* earned because recycled feedstock displaces
+/// virgin material extraction.  The per-mass factors come from the EPA
+/// WARM model; Table 1 of the paper quotes WARM's ranges
+/// (C_recycle 7.65-29.83, C_dis 0.03-2.08 MTCO2E/ton).
+///
+/// A negative C_EOL is meaningful: with a high recycle fraction a device's
+/// end of life is a net carbon credit.
+
+#include "units/quantity.hpp"
+
+namespace greenfpga::eol {
+
+/// EOL configuration; defaults sit mid-range in the WARM tables with a
+/// conservative real-world e-waste recycling rate.
+struct EolParameters {
+  /// Fraction of device mass recycled, Eq. (6)'s delta in [0, 1].
+  double recycled_fraction = 0.20;
+  /// Discard emission factor (landfill/incineration + transport).
+  units::CarbonPerMass discard_factor = units::CarbonPerMass{1.0 * 1000.0 / 907.18474};
+  /// Recycling displacement credit factor.
+  units::CarbonPerMass recycle_credit_factor = units::CarbonPerMass{15.0 * 1000.0 / 907.18474};
+};
+
+/// Decomposed EOL result for one device.
+struct EolBreakdown {
+  units::CarbonMass discard;  ///< (1-delta) * C_dis * mass  (>= 0)
+  units::CarbonMass credit;   ///< delta * C_recycle * mass  (>= 0, subtracted)
+
+  /// Net EOL CFP (may be negative).
+  [[nodiscard]] units::CarbonMass total() const { return discard - credit; }
+};
+
+/// EPA WARM-style end-of-life model.
+class EolModel {
+ public:
+  explicit EolModel(EolParameters parameters = {});
+
+  [[nodiscard]] const EolParameters& parameters() const { return parameters_; }
+
+  /// Eq. (6) applied to one device of the given mass.  Throws
+  /// std::invalid_argument for negative mass.
+  [[nodiscard]] EolBreakdown end_of_life(units::Mass device_mass) const;
+
+ private:
+  EolParameters parameters_;
+};
+
+}  // namespace greenfpga::eol
+
+#endif  // GREENFPGA_EOL_EOL_MODEL_HPP

@@ -1,0 +1,41 @@
+#ifndef GREENFPGA_IO_CSV_HPP
+#define GREENFPGA_IO_CSV_HPP
+
+/// \file csv.hpp
+/// Minimal CSV writing (RFC 4180 quoting) for machine-readable experiment
+/// output.  Every bench can emit its series as CSV next to the text table
+/// so results can be re-plotted outside the repo.
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace greenfpga::io {
+
+/// Accumulates rows and renders/writes RFC 4180 CSV.
+class CsvWriter {
+ public:
+  /// Append a row of raw cells; quoting is applied on render.
+  void add_row(std::vector<std::string> cells);
+  void add_row(std::initializer_list<std::string> cells);
+
+  /// Number of rows added so far (including any header row).
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the document; rows may be ragged (no padding is applied).
+  [[nodiscard]] std::string render() const;
+
+  /// Write to a file, creating parent directories; throws std::runtime_error
+  /// if the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+  /// Quote a single cell per RFC 4180 (quotes applied only when needed).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace greenfpga::io
+
+#endif  // GREENFPGA_IO_CSV_HPP

@@ -1,0 +1,609 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace greenfpga::io {
+
+namespace {
+
+[[nodiscard]] const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::null:
+      return "null";
+    case Json::Type::boolean:
+      return "boolean";
+    case Json::Type::number:
+      return "number";
+    case Json::Type::string:
+      return "string";
+    case Json::Type::array:
+      return "array";
+    case Json::Type::object:
+      return "object";
+  }
+  return "unknown";
+}
+
+[[noreturn]] void throw_type_error(Json::Type expected, Json::Type actual) {
+  throw JsonError(std::string("JSON type error: expected ") + type_name(expected) + ", got " +
+                  type_name(actual));
+}
+
+}  // namespace
+
+Json Json::object(std::initializer_list<std::pair<const std::string, Json>> members) {
+  return Json(Object(members));
+}
+
+Json Json::array(std::initializer_list<Json> elements) { return Json(Array(elements)); }
+
+Json::Type Json::type() const {
+  return static_cast<Type>(value_.index());
+}
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw_type_error(Type::boolean, type());
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) throw_type_error(Type::number, type());
+  return std::get<double>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  const double n = as_number();
+  const auto i = static_cast<std::int64_t>(n);
+  if (static_cast<double>(i) != n) {
+    throw JsonError("JSON number is not an integer: " + std::to_string(n));
+  }
+  return i;
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw_type_error(Type::string, type());
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) throw_type_error(Type::array, type());
+  return std::get<Array>(value_);
+}
+
+Json::Array& Json::as_array() {
+  if (!is_array()) throw_type_error(Type::array, type());
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) throw_type_error(Type::object, type());
+  return std::get<Object>(value_);
+}
+
+Json::Object& Json::as_object() {
+  if (!is_object()) throw_type_error(Type::object, type());
+  return std::get<Object>(value_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw JsonError("JSON object has no member \"" + std::string(key) + "\"");
+  }
+  return it->second;
+}
+
+const Json& Json::at(std::size_t index) const {
+  const Array& arr = as_array();
+  if (index >= arr.size()) {
+    throw JsonError("JSON array index " + std::to_string(index) + " out of range (size " +
+                    std::to_string(arr.size()) + ")");
+  }
+  return arr[index];
+}
+
+bool Json::contains(std::string_view key) const {
+  return is_object() && as_object().find(key) != as_object().end();
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  throw JsonError("size() requires a JSON array or object");
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) {
+    value_ = Object{};
+  }
+  return as_object()[key];
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+void Json::push_back(Json element) {
+  if (is_null()) {
+    value_ = Array{};
+  }
+  as_array().push_back(std::move(element));
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, JsonParseOptions options) : text_(text), options_(options) {
+    // Skip a UTF-8 byte-order mark if present.
+    if (text_.substr(0, 3) == "\xEF\xBB\xBF") {
+      pos_ = 3;
+    }
+  }
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError("JSON parse error at " + std::to_string(line) + ":" + std::to_string(column) +
+                    ": " + message);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (options_.allow_comments && c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (!at_end() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        parse_keyword("true");
+        return Json(true);
+      case 'f':
+        parse_keyword("false");
+        return Json(false);
+      case 'n':
+        parse_keyword("null");
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  void parse_keyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      fail("invalid literal (expected '" + std::string(keyword) + "')");
+    }
+    pos_ += keyword.size();
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected string key in object");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      Json value = parse_value();
+      if (!members.emplace(std::move(key), std::move(value)).second) {
+        fail("duplicate object key");
+      }
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(members));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array elements;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(elements));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = advance();
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          append_unicode_escape(out);
+          break;
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    // Surrogate pair handling for characters outside the BMP.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        const unsigned low = parse_hex4();
+        if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        fail("unpaired high surrogate");
+      }
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    // Encode as UTF-8.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = advance();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("invalid number");
+    }
+    // Integer part: a single 0, or a nonzero digit followed by digits.
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    // Fraction.
+    if (!at_end() && text_[pos_] == '.') {
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit expected after decimal point");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    // Exponent.
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit expected in exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail("number out of range");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  JsonParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  if (n == std::floor(n) && std::fabs(n) < 1e15) {
+    // Integral values print without a fraction for readability.
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.0f", n);
+    out += buffer;
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", n);
+  // %.17g guarantees round-trip; try shorter forms that still round-trip for
+  // more readable output.
+  for (int precision = 6; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, n);
+    double parsed = 0.0;
+    std::from_chars(candidate, candidate + std::char_traits<char>::length(candidate), parsed);
+    if (parsed == n) {
+      out += candidate;
+      return;
+    }
+  }
+  out += buffer;
+}
+
+void dump_value(const Json& value, std::string& out, int indent, int depth) {
+  const auto newline_pad = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+    }
+  };
+  switch (value.type()) {
+    case Json::Type::null:
+      out += "null";
+      return;
+    case Json::Type::boolean:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Json::Type::number:
+      write_number(out, value.as_number());
+      return;
+    case Json::Type::string:
+      write_escaped(out, value.as_string());
+      return;
+    case Json::Type::array: {
+      const auto& arr = value.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_pad(depth + 1);
+        dump_value(arr[i], out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      return;
+    }
+    case Json::Type::object: {
+      const auto& obj = value.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        write_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        dump_value(member, out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json parse_json(std::string_view text, JsonParseOptions options) {
+  return Parser(text, options).parse_document();
+}
+
+Json parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw JsonError("cannot open JSON file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str(), JsonParseOptions{.allow_comments = true});
+}
+
+void write_json_file(const std::string& path, const Json& value, int indent) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw JsonError("cannot write JSON file: " + path);
+  }
+  out << value.dump(indent) << '\n';
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+}  // namespace greenfpga::io

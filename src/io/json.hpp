@@ -1,0 +1,129 @@
+#ifndef GREENFPGA_IO_JSON_HPP
+#define GREENFPGA_IO_JSON_HPP
+
+/// \file json.hpp
+/// A small, dependency-free JSON document model, parser and writer.
+///
+/// GreenFPGA scenario configurations and machine-readable experiment
+/// outputs are JSON.  The library has no external dependencies beyond the
+/// test/bench frameworks, so JSON support is implemented here: a strict
+/// RFC 8259 parser (with the common relaxation of allowing a UTF-8 BOM and
+/// `//` comments in *config* mode), a pretty-printing writer, and a value
+/// model with checked accessors that raise `JsonError` with a useful path.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace greenfpga::io {
+
+/// Raised on malformed JSON text or on type-mismatched access to a value.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A JSON value: null, boolean, number, string, array or object.
+///
+/// Objects preserve no insertion order; keys are kept sorted (std::map) so
+/// serialized output is deterministic, which keeps golden-file tests stable.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  enum class Type { null, boolean, number, string, array, object };
+
+  // -- constructors ----------------------------------------------------------
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}                      // NOLINT
+  Json(bool b) : value_(b) {}                                    // NOLINT
+  Json(double n) : value_(n) {}                                  // NOLINT
+  Json(int n) : value_(static_cast<double>(n)) {}                // NOLINT
+  Json(std::int64_t n) : value_(static_cast<double>(n)) {}       // NOLINT
+  Json(std::size_t n) : value_(static_cast<double>(n)) {}        // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}                // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}                  // NOLINT
+  Json(std::string_view s) : value_(std::string(s)) {}           // NOLINT
+  Json(Array a) : value_(std::move(a)) {}                        // NOLINT
+  Json(Object o) : value_(std::move(o)) {}                       // NOLINT
+
+  /// Convenience factory for object literals:
+  ///   Json::object({{"a", 1.0}, {"b", "x"}})
+  [[nodiscard]] static Json object(
+      std::initializer_list<std::pair<const std::string, Json>> members = {});
+  /// Convenience factory for array literals: Json::array({1.0, 2.0}).
+  [[nodiscard]] static Json array(std::initializer_list<Json> elements = {});
+
+  // -- classification ---------------------------------------------------------
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_null() const { return type() == Type::null; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::boolean; }
+  [[nodiscard]] bool is_number() const { return type() == Type::number; }
+  [[nodiscard]] bool is_string() const { return type() == Type::string; }
+  [[nodiscard]] bool is_array() const { return type() == Type::array; }
+  [[nodiscard]] bool is_object() const { return type() == Type::object; }
+
+  // -- checked accessors (throw JsonError on type mismatch) --------------------
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< number, checked integral
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member access; throws JsonError naming the missing key.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Array element access with bounds check.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// `object[key]` that inserts a null member when absent (build-side API).
+  Json& operator[](const std::string& key);
+
+  /// Typed lookups with defaults, for optional config fields.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+
+  /// Append to an array value.
+  void push_back(Json element);
+
+  /// Serialize; `indent` <= 0 yields compact single-line output.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  friend bool operator==(const Json& a, const Json& b) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parser options; `allow_comments` additionally accepts `//`-to-end-of-line
+/// comments (used for hand-written scenario configs).
+struct JsonParseOptions {
+  bool allow_comments = false;
+};
+
+/// Parse a complete JSON document.  Throws JsonError with 1-based
+/// line:column on malformed input or trailing garbage.
+[[nodiscard]] Json parse_json(std::string_view text, JsonParseOptions options = {});
+
+/// Read and parse a JSON file (comments allowed: files are configs).
+[[nodiscard]] Json parse_json_file(const std::string& path);
+
+/// Write `value` to `path` (pretty-printed), creating parent dirs if needed.
+void write_json_file(const std::string& path, const Json& value, int indent = 2);
+
+}  // namespace greenfpga::io
+
+#endif  // GREENFPGA_IO_JSON_HPP

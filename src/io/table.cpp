@@ -1,0 +1,93 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace greenfpga::io {
+
+void TextTable::set_headers(std::vector<std::string> headers) {
+  if (!rows_.empty()) {
+    throw std::logic_error("TextTable: set_headers must precede add_row");
+  }
+  headers_ = std::move(headers);
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  if (alignments.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: alignment count must match header count");
+  }
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row has " + std::to_string(cells.size()) +
+                                " cells, expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(Row{.cells = std::move(cells), .rule = false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{.cells = {}, .rule = true}); }
+
+std::string TextTable::render() const {
+  const std::size_t columns = headers_.size();
+  if (columns == 0) {
+    return "";
+  }
+
+  std::vector<std::size_t> widths(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < columns; ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::vector<Align> align = alignments_;
+  if (align.empty()) {
+    align.assign(columns, Align::right);
+    align[0] = Align::left;
+  }
+
+  const auto pad = [](const std::string& text, std::size_t width, Align a) {
+    const std::size_t fill = width - text.size();
+    return a == Align::left ? text + std::string(fill, ' ') : std::string(fill, ' ') + text;
+  };
+
+  std::string out;
+  const auto render_rule = [&] {
+    out.push_back('+');
+    for (std::size_t c = 0; c < columns; ++c) {
+      out.append(widths[c] + 2, '-');
+      out.push_back('+');
+    }
+    out.push_back('\n');
+  };
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    out.push_back('|');
+    for (std::size_t c = 0; c < columns; ++c) {
+      out.push_back(' ');
+      out += pad(cells[c], widths[c], align[c]);
+      out += " |";
+    }
+    out.push_back('\n');
+  };
+
+  render_rule();
+  render_cells(headers_);
+  render_rule();
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      render_rule();
+    } else {
+      render_cells(row.cells);
+    }
+  }
+  render_rule();
+  return out;
+}
+
+}  // namespace greenfpga::io

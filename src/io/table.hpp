@@ -1,0 +1,58 @@
+#ifndef GREENFPGA_IO_TABLE_HPP
+#define GREENFPGA_IO_TABLE_HPP
+
+/// \file table.hpp
+/// Fixed-width text table rendering for CLI / bench output.
+///
+/// Every figure-reproduction bench prints its series as an aligned text
+/// table (the "same rows the paper reports"); this class handles column
+/// sizing, alignment and rules.
+
+#include <string>
+#include <vector>
+
+namespace greenfpga::io {
+
+/// Column alignment within a rendered table cell.
+enum class Align { left, right };
+
+/// A simple text table: set headers, add rows, render.
+///
+///     TextTable t;
+///     t.set_headers({"N_app", "ASIC [t]", "FPGA [t]"});
+///     t.add_row({"1", "523.1", "1204.9"});
+///     std::cout << t.render();
+class TextTable {
+ public:
+  /// Column headers; defines the column count.  Must be called before rows.
+  void set_headers(std::vector<std::string> headers);
+
+  /// Per-column alignment; default is left for the first column and right
+  /// for the rest (label + numbers convention).
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal rule (rendered as dashes across the table).
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a vertical-bar style:  `| a | b |`.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace greenfpga::io
+
+#endif  // GREENFPGA_IO_TABLE_HPP

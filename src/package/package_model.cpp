@@ -1,0 +1,101 @@
+#include "package/package_model.hpp"
+
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::pkg {
+
+std::string to_string(PackageType type) {
+  switch (type) {
+    case PackageType::monolithic:
+      return "monolithic";
+    case PackageType::rdl_fanout:
+      return "rdl-fanout";
+    case PackageType::silicon_interposer:
+      return "silicon-interposer";
+    case PackageType::emib:
+      return "emib";
+    case PackageType::three_d:
+      return "3d";
+  }
+  return "unknown";
+}
+
+PackageModel::PackageModel(PackageParameters parameters, const act::FabModel* fab)
+    : parameters_(parameters), fab_(fab) {
+  if (parameters_.footprint_ratio < 1.0) {
+    throw std::invalid_argument("PackageModel: footprint ratio must be >= 1");
+  }
+  if (parameters_.interposer_area_ratio < 1.0) {
+    throw std::invalid_argument("PackageModel: interposer area ratio must be >= 1");
+  }
+}
+
+PackageBreakdown PackageModel::package(units::Area total_die_area, int die_count) const {
+  if (total_die_area.canonical() <= 0.0) {
+    throw std::invalid_argument("PackageModel: die area must be positive");
+  }
+  if (die_count < 1) {
+    throw std::invalid_argument("PackageModel: die count must be >= 1");
+  }
+
+  const units::Area footprint = total_die_area * parameters_.footprint_ratio;
+  PackageBreakdown result{
+      .substrate = parameters_.substrate_per_area * footprint,
+      .interposer = units::CarbonMass{},
+      .assembly = parameters_.assembly_overhead,
+  };
+
+  switch (parameters_.type) {
+    case PackageType::monolithic:
+      // Substrate + fixed assembly only; single die assumed but multiple
+      // dies in one organic package are allowed (MCM) with no extra terms.
+      break;
+    case PackageType::rdl_fanout:
+      // RDL layers replace part of the substrate; model as 1.5x substrate
+      // CFP plus per-die bonding, following the ECO-CHIP RDL fit.
+      result.substrate *= 1.5;
+      result.assembly += parameters_.bonding_per_die * static_cast<double>(die_count);
+      break;
+    case PackageType::silicon_interposer:
+    case PackageType::emib: {
+      if (fab_ == nullptr) {
+        throw std::invalid_argument(
+            "PackageModel: interposer-class packages need a fab model for interposer silicon");
+      }
+      // Interposer (or bridge) silicon is fabbed on a trailing node; EMIB
+      // uses small bridges, modelled as 15 % of the interposer area.
+      const double area_ratio = parameters_.type == PackageType::emib
+                                    ? 0.15 * parameters_.interposer_area_ratio
+                                    : parameters_.interposer_area_ratio;
+      const units::Area silicon_area = total_die_area * area_ratio;
+      result.interposer =
+          fab_->manufacture_die(parameters_.interposer_node, silicon_area).total() *
+          parameters_.interposer_cost_factor;
+      result.assembly += parameters_.bonding_per_die * static_cast<double>(die_count);
+      break;
+    }
+    case PackageType::three_d:
+      // Stacked dies: bonding per die is the dominant extra term; hybrid
+      // bonding runs hotter than microbump, charged at 2x.
+      result.assembly += parameters_.bonding_per_die * 2.0 * static_cast<double>(die_count);
+      break;
+  }
+  return result;
+}
+
+units::Mass PackageModel::package_mass(units::Area total_die_area) const {
+  if (total_die_area.canonical() <= 0.0) {
+    throw std::invalid_argument("PackageModel: die area must be positive");
+  }
+  // BGA-class mass fit: ~4 g base (laminate, balls, mold) plus ~1.5 g per
+  // cm^2 of package footprint (substrate layers + lid).  Datasheet masses
+  // for packages from 100 mm^2 (~5 g) to 4000 mm^2 server FPGAs (~70 g)
+  // bracket this fit.
+  const units::Area footprint = total_die_area * parameters_.footprint_ratio;
+  const double footprint_cm2 = footprint.in(units::unit::cm2);
+  return units::Mass{(4.0 + 1.5 * footprint_cm2) * 1e-3};
+}
+
+}  // namespace greenfpga::pkg

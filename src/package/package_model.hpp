@@ -1,0 +1,100 @@
+#ifndef GREENFPGA_PACKAGE_PACKAGE_MODEL_HPP
+#define GREENFPGA_PACKAGE_PACKAGE_MODEL_HPP
+
+/// \file package_model.hpp
+/// ECO-CHIP-style package manufacturing & assembly carbon model
+/// (paper §3.2(3): "we use the monolithic package CFP model from [5]").
+///
+/// The monolithic model charges a fixed assembly overhead per package plus
+/// a substrate term proportional to package area.  The chiplet-era package
+/// styles from ECO-CHIP (RDL fan-out, silicon interposer, EMIB, 3D
+/// stacking) are implemented as well: GreenFPGA's evaluation only exercises
+/// the monolithic path, but large FPGAs ship on interposers in practice and
+/// the extra models make the library usable beyond the paper's experiments.
+/// Interposer-class packages are modelled as additional silicon processed
+/// on a trailing node (the standard ECO-CHIP treatment), so their CFP is
+/// derived from the same fab model used for dies.
+///
+/// The module also estimates the finished-package *mass*, which feeds the
+/// end-of-life model (EPA WARM factors are per unit mass of e-waste).
+
+#include <string>
+
+#include "act/fab_model.hpp"
+#include "tech/node.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::pkg {
+
+/// Package construction styles (ECO-CHIP taxonomy).
+enum class PackageType {
+  monolithic,          ///< single die on an organic substrate (paper default)
+  rdl_fanout,          ///< redistribution-layer fan-out
+  silicon_interposer,  ///< 2.5D: dies on a silicon interposer
+  emib,                ///< embedded multi-die interconnect bridges
+  three_d,             ///< die-on-die stacking (hybrid bonding)
+};
+
+[[nodiscard]] std::string to_string(PackageType type);
+
+/// Parameters of the package model; defaults follow the ECO-CHIP monolithic
+/// data (assembly overhead ~150 g CO2e per package, organic substrate
+/// ~0.05 kg CO2e per cm^2 of package area, package footprint ~4x die area).
+struct PackageParameters {
+  PackageType type = PackageType::monolithic;
+  /// Fixed assembly/test overhead per package.
+  units::CarbonMass assembly_overhead = units::CarbonMass{0.150};
+  /// Organic-substrate CFP per unit *package* area.
+  units::CarbonPerArea substrate_per_area = units::CarbonPerArea{0.05 / 100.0};
+  /// Package footprint area as a multiple of total die area.
+  double footprint_ratio = 4.0;
+  /// Node used to manufacture interposer/bridge silicon (trailing edge).
+  tech::ProcessNode interposer_node = tech::ProcessNode::n28;
+  /// Interposer area as a multiple of total die area (2.5D styles only).
+  double interposer_area_ratio = 1.2;
+  /// Fraction of the full fab carbon-per-area charged to passive
+  /// interposer silicon: interposers see metallization-only processing
+  /// (no FEOL, few mask layers), so ECO-CHIP-style costing charges well
+  /// under half of a logic wafer.
+  double interposer_cost_factor = 0.35;
+  /// Per-die bonding energy overhead for advanced styles, as extra CFP per
+  /// die attached (hybrid bonding / microbump reflow).
+  units::CarbonMass bonding_per_die = units::CarbonMass{0.020};
+};
+
+/// Decomposed package CFP.
+struct PackageBreakdown {
+  units::CarbonMass substrate;   ///< organic substrate / RDL
+  units::CarbonMass interposer;  ///< interposer or bridge silicon (advanced styles)
+  units::CarbonMass assembly;    ///< assembly, bonding, test
+
+  [[nodiscard]] units::CarbonMass total() const { return substrate + interposer + assembly; }
+};
+
+/// Package CFP and mass model.
+class PackageModel {
+ public:
+  /// `fab` is borrowed for interposer silicon costing and must outlive the
+  /// model.
+  explicit PackageModel(PackageParameters parameters = {},
+                        const act::FabModel* fab = nullptr);
+
+  [[nodiscard]] const PackageParameters& parameters() const { return parameters_; }
+
+  /// CFP of packaging `die_count` dies of `total_die_area` into one package.
+  /// Throws std::invalid_argument for non-positive area or die count, or if
+  /// an advanced style is requested without a fab model.
+  [[nodiscard]] PackageBreakdown package(units::Area total_die_area, int die_count = 1) const;
+
+  /// Finished package mass (die + substrate + lid), for the EOL model.
+  /// Simple BGA-class fit: base mass plus area-proportional term.
+  [[nodiscard]] units::Mass package_mass(units::Area total_die_area) const;
+
+ private:
+  PackageParameters parameters_;
+  const act::FabModel* fab_;  ///< non-owning; required for interposer styles
+};
+
+}  // namespace greenfpga::pkg
+
+#endif  // GREENFPGA_PACKAGE_PACKAGE_MODEL_HPP

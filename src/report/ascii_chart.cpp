@@ -1,0 +1,154 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "units/format.hpp"
+
+namespace greenfpga::report {
+
+namespace {
+
+/// Map a value in [lo, hi] to a pixel row/column index in [0, extent).
+int to_pixel(double value, double lo, double hi, int extent) {
+  if (hi <= lo) {
+    return 0;
+  }
+  const double t = (value - lo) / (hi - lo);
+  const int pixel = static_cast<int>(std::lround(t * (extent - 1)));
+  return std::clamp(pixel, 0, extent - 1);
+}
+
+}  // namespace
+
+std::string render_line_chart(std::span<const double> x, std::span<const ChartSeries> series,
+                              int width, int height, bool log_x) {
+  if (x.empty() || series.empty()) {
+    throw std::invalid_argument("render_line_chart: empty input");
+  }
+  for (const ChartSeries& s : series) {
+    if (s.y.size() != x.size()) {
+      throw std::invalid_argument("render_line_chart: series length mismatch");
+    }
+  }
+  if (width < 16 || height < 4) {
+    throw std::invalid_argument("render_line_chart: canvas too small");
+  }
+
+  std::vector<double> xs(x.begin(), x.end());
+  if (log_x) {
+    for (double& v : xs) {
+      if (v <= 0.0) {
+        throw std::invalid_argument("render_line_chart: log_x requires positive x");
+      }
+      v = std::log10(v);
+    }
+  }
+
+  double y_lo = series[0].y[0];
+  double y_hi = y_lo;
+  for (const ChartSeries& s : series) {
+    for (const double v : s.y) {
+      y_lo = std::min(y_lo, v);
+      y_hi = std::max(y_hi, v);
+    }
+  }
+  if (y_hi == y_lo) {
+    y_hi = y_lo + 1.0;  // flat series: give the canvas some range
+  }
+  const double x_lo = *std::min_element(xs.begin(), xs.end());
+  const double x_hi = *std::max_element(xs.begin(), xs.end());
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (const ChartSeries& s : series) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const int col = to_pixel(xs[i], x_lo, x_hi, width);
+      const int row = height - 1 - to_pixel(s.y[i], y_lo, y_hi, height);
+      canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  std::string out;
+  out += "  " + units::format_significant(y_hi, 4) + " kg CO2e\n";
+  for (const std::string& row : canvas) {
+    out += "  |" + row + "\n";
+  }
+  out += "  +" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += "   " + units::format_significant(log_x ? std::pow(10.0, x_lo) : x_lo, 4) +
+         std::string(static_cast<std::size_t>(std::max(1, width - 16)), ' ') +
+         units::format_significant(log_x ? std::pow(10.0, x_hi) : x_hi, 4) + "\n";
+  out += "  y-min " + units::format_significant(y_lo, 4) + " kg CO2e; series:";
+  for (const ChartSeries& s : series) {
+    out += " '" + std::string(1, s.marker) + "' " + s.label + ";";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_heatmap(const scenario::Heatmap& map) {
+  if (map.ratio.empty()) {
+    throw std::invalid_argument("render_heatmap: empty map");
+  }
+  // Shade by log-ratio so 0.5x and 2x sit symmetrically around '1'.
+  static constexpr std::string_view ramp = " .:-=+*#%@";
+  const double lo = std::log(map.min_ratio());
+  const double hi = std::log(map.max_ratio());
+
+  std::string out;
+  out += "  FPGA:ASIC CFP ratio -- light: FPGA greener, dark: ASIC greener, 'X': ~1.0\n";
+  out += "  y: " + map.y_name + " (top = max), x: " + map.x_name + "\n";
+  for (std::size_t iy = map.y.size(); iy-- > 0;) {
+    out += "  " + units::format_significant(map.y[iy], 3) + "\t|";
+    for (std::size_t ix = 0; ix < map.x.size(); ++ix) {
+      const double r = map.ratio[iy][ix];
+      if (std::fabs(std::log(r)) < 0.05) {
+        out += 'X';  // within ~5 % of the crossover front
+      } else {
+        const int idx = to_pixel(std::log(r), lo, hi, static_cast<int>(ramp.size()));
+        out += ramp[static_cast<std::size_t>(idx)];
+      }
+    }
+    out += "|\n";
+  }
+  out += "  \tx: " + units::format_significant(map.x.front(), 3) + " ... " +
+         units::format_significant(map.x.back(), 3) + "\n";
+  return out;
+}
+
+std::string render_bars(std::span<const Bar> bars, int width) {
+  if (bars.empty()) {
+    throw std::invalid_argument("render_bars: empty input");
+  }
+  std::size_t label_width = 0;
+  double magnitude = 0.0;
+  for (const Bar& bar : bars) {
+    label_width = std::max(label_width, bar.label.size());
+    magnitude = std::max(magnitude, std::fabs(bar.value));
+  }
+  if (magnitude == 0.0) {
+    magnitude = 1.0;
+  }
+
+  std::string out;
+  for (const Bar& bar : bars) {
+    const int length =
+        static_cast<int>(std::lround(std::fabs(bar.value) / magnitude * width));
+    std::string padded = bar.label;
+    padded.resize(label_width, ' ');
+    out += "  " + padded + " |";
+    if (bar.value < 0.0) {
+      out.push_back('(');
+      out.append(static_cast<std::size_t>(length), '<');
+      out += ") ";
+    } else {
+      out.append(static_cast<std::size_t>(length), '#');
+      out.push_back(' ');
+    }
+    out += units::format_significant(bar.value, 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace greenfpga::report

@@ -1,0 +1,48 @@
+#ifndef GREENFPGA_REPORT_ASCII_CHART_HPP
+#define GREENFPGA_REPORT_ASCII_CHART_HPP
+
+/// \file ascii_chart.hpp
+/// Terminal rendering of the paper's figures: line charts for the sweep
+/// series, shaded grids for the heat-maps, stacked bars for the component
+/// breakdowns.  Benches print these next to the numeric tables so a run's
+/// "shape" (who wins, where curves cross) is visible at a glance.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scenario/heatmap.hpp"
+
+namespace greenfpga::report {
+
+/// One plotted series.
+struct ChartSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<double> y;
+};
+
+/// Render series over shared x values as a fixed-size ASCII line chart.
+/// `log_x` spaces samples by log10(x) (volume sweeps).
+[[nodiscard]] std::string render_line_chart(std::span<const double> x,
+                                            std::span<const ChartSeries> series,
+                                            int width = 72, int height = 20,
+                                            bool log_x = false);
+
+/// Render a heat-map as a shaded character grid (light = FPGA wins,
+/// dark = ASIC wins), with a '+' on cells straddling ratio = 1.
+[[nodiscard]] std::string render_heatmap(const scenario::Heatmap& map);
+
+/// One bar of a horizontal bar chart.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Render labelled horizontal bars scaled to the largest magnitude.
+/// Negative values (EOL credits) render to the left of the axis.
+[[nodiscard]] std::string render_bars(std::span<const Bar> bars, int width = 60);
+
+}  // namespace greenfpga::report
+
+#endif  // GREENFPGA_REPORT_ASCII_CHART_HPP

@@ -1,0 +1,142 @@
+#include "report/figure_writer.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/comparator.hpp"
+#include "units/format.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::report {
+
+namespace {
+
+using units::unit::t_co2e;
+
+std::string tonnes(units::CarbonMass mass) {
+  return units::format_significant(mass.in(t_co2e), 5);
+}
+
+}  // namespace
+
+std::string sweep_table(const scenario::SweepSeries& series) {
+  io::TextTable table;
+  table.set_headers({series.parameter, "ASIC [t CO2e]", "FPGA [t CO2e]", "FPGA:ASIC",
+                     "greener"});
+  const std::vector<double> ratios = series.ratios();
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    core::Comparison comparison;
+    comparison.asic.total = series.asic[i];
+    comparison.fpga.total = series.fpga[i];
+    table.add_row({units::format_significant(series.x[i], 4),
+                   tonnes(series.asic[i].total()), tonnes(series.fpga[i].total()),
+                   units::format_significant(ratios[i], 4),
+                   to_string(comparison.verdict())});
+  }
+  return table.render();
+}
+
+std::string crossover_summary(const scenario::SweepSeries& series) {
+  const std::vector<scenario::Crossover> crossovers = series.crossovers();
+  if (crossovers.empty()) {
+    const bool fpga_lower = series.fpga.front().total() < series.asic.front().total();
+    return "no crossover in range; " + std::string(fpga_lower ? "FPGA" : "ASIC") +
+           " greener throughout";
+  }
+  std::string out;
+  for (const scenario::Crossover& crossover : crossovers) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += to_string(crossover.kind) + " at " + series.parameter + " = " +
+           units::format_significant(crossover.x, 4);
+  }
+  return out;
+}
+
+std::string breakdown_table(
+    std::span<const std::pair<std::string, core::CfpBreakdown>> platforms) {
+  io::TextTable table;
+  std::vector<std::string> headers{"component [t CO2e]"};
+  for (const auto& [name, breakdown] : platforms) {
+    headers.push_back(name);
+  }
+  table.set_headers(std::move(headers));
+
+  const auto add_component = [&](const std::string& label,
+                                 units::CarbonMass core::CfpBreakdown::* member) {
+    std::vector<std::string> row{label};
+    for (const auto& [name, breakdown] : platforms) {
+      row.push_back(tonnes(breakdown.*member));
+    }
+    table.add_row(std::move(row));
+  };
+  add_component("design", &core::CfpBreakdown::design);
+  add_component("manufacturing", &core::CfpBreakdown::manufacturing);
+  add_component("packaging", &core::CfpBreakdown::packaging);
+  add_component("end-of-life", &core::CfpBreakdown::eol);
+  add_component("operational", &core::CfpBreakdown::operational);
+  add_component("app-dev", &core::CfpBreakdown::app_dev);
+  table.add_rule();
+
+  std::vector<std::string> embodied{"embodied (EC)"};
+  std::vector<std::string> deployment{"deployment"};
+  std::vector<std::string> total{"total"};
+  for (const auto& [name, breakdown] : platforms) {
+    embodied.push_back(tonnes(breakdown.embodied()));
+    deployment.push_back(tonnes(breakdown.deployment()));
+    total.push_back(tonnes(breakdown.total()));
+  }
+  table.add_row(std::move(embodied));
+  table.add_row(std::move(deployment));
+  table.add_row(std::move(total));
+  return table.render();
+}
+
+io::CsvWriter sweep_csv(const scenario::SweepSeries& series) {
+  io::CsvWriter csv;
+  csv.add_row({series.parameter, "asic_design_kg", "asic_mfg_kg", "asic_pkg_kg",
+               "asic_eol_kg", "asic_op_kg", "asic_appdev_kg", "asic_total_kg",
+               "fpga_design_kg", "fpga_mfg_kg", "fpga_pkg_kg", "fpga_eol_kg", "fpga_op_kg",
+               "fpga_appdev_kg", "fpga_total_kg", "ratio"});
+  const std::vector<double> ratios = series.ratios();
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    const core::CfpBreakdown& a = series.asic[i];
+    const core::CfpBreakdown& f = series.fpga[i];
+    const auto num = [](double v) { return units::format_significant(v, 10); };
+    csv.add_row({num(series.x[i]), num(a.design.canonical()), num(a.manufacturing.canonical()),
+                 num(a.packaging.canonical()), num(a.eol.canonical()),
+                 num(a.operational.canonical()), num(a.app_dev.canonical()),
+                 num(a.total().canonical()), num(f.design.canonical()),
+                 num(f.manufacturing.canonical()), num(f.packaging.canonical()),
+                 num(f.eol.canonical()), num(f.operational.canonical()),
+                 num(f.app_dev.canonical()), num(f.total().canonical()), num(ratios[i])});
+  }
+  return csv;
+}
+
+io::CsvWriter timeline_csv(const scenario::TimelineSeries& series) {
+  io::CsvWriter csv;
+  csv.add_row({"time_years", "asic_cumulative_kg", "fpga_cumulative_kg"});
+  for (std::size_t i = 0; i < series.time_years.size(); ++i) {
+    csv.add_row({units::format_significant(series.time_years[i], 6),
+                 units::format_significant(series.asic_cumulative_kg[i], 10),
+                 units::format_significant(series.fpga_cumulative_kg[i], 10)});
+  }
+  return csv;
+}
+
+std::string results_dir() {
+  if (const char* dir = std::getenv("GREENFPGA_RESULTS_DIR"); dir != nullptr && *dir != '\0') {
+    return dir;
+  }
+  return "results";
+}
+
+std::string write_results_csv(const std::string& name, const io::CsvWriter& csv) {
+  const std::string path = (std::filesystem::path(results_dir()) / name).string();
+  csv.write_file(path);
+  return path;
+}
+
+}  // namespace greenfpga::report

@@ -1,0 +1,97 @@
+#include "scenario/breakeven.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/comparator.hpp"
+#include "core/paper_config.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+
+namespace {
+
+/// Root of the affine function through (x1, y1) and (x2, y2); nullopt for
+/// (numerically) parallel-to-axis lines or non-positive roots.
+std::optional<double> affine_root(double x1, double y1, double x2, double y2) {
+  const double slope = (y2 - y1) / (x2 - x1);
+  const double scale = std::max(std::fabs(y1), std::fabs(y2));
+  if (scale == 0.0) {
+    return std::nullopt;  // identical platforms: no directional crossing
+  }
+  if (std::fabs(slope) * std::fabs(x2 - x1) < 1e-12 * scale) {
+    return std::nullopt;  // flat difference: no root
+  }
+  const double root = x1 - y1 / slope;
+  if (!std::isfinite(root) || root <= 0.0) {
+    return std::nullopt;
+  }
+  return root;
+}
+
+}  // namespace
+
+BreakevenSolver::BreakevenSolver(core::LifecycleModel model, device::DomainTestcase testcase)
+    : model_(std::move(model)), testcase_(std::move(testcase)) {
+  if (model_.suite().appdev.accounting != core::AppDevAccounting::one_time) {
+    throw std::invalid_argument(
+        "BreakevenSolver: per-year accounting makes totals bilinear in (T, N_app); "
+        "use the sweep engine instead");
+  }
+}
+
+double BreakevenSolver::difference(int app_count, units::TimeSpan lifetime,
+                                   double volume) const {
+  const workload::Schedule schedule =
+      core::paper_schedule(testcase_.domain, app_count, lifetime, volume);
+  const core::Comparison comparison = core::compare(model_, testcase_, schedule);
+  return comparison.fpga.total.total().canonical() -
+         comparison.asic.total.total().canonical();
+}
+
+void BreakevenSolver::require_single_fleet(int app_count, units::TimeSpan lifetime) const {
+  const double horizon_years =
+      static_cast<double>(app_count) * lifetime.in(units::unit::years);
+  const double service_years = testcase_.fpga.service_life.in(units::unit::years);
+  if (horizon_years > service_years + 1e-9) {
+    throw std::invalid_argument(
+        "BreakevenSolver: schedule exceeds one FPGA service life (" +
+        std::to_string(horizon_years) + " > " + std::to_string(service_years) +
+        " years); affinity breaks at fleet replacement -- use TimelineSimulator");
+  }
+}
+
+std::optional<double> BreakevenSolver::app_count_breakeven(
+    const BreakevenContext& context) const {
+  require_single_fleet(/*app_count=*/2, context.app_lifetime);
+  const double y1 = difference(1, context.app_lifetime, context.app_volume);
+  const double y2 = difference(2, context.app_lifetime, context.app_volume);
+  const std::optional<double> root = affine_root(1.0, y1, 2.0, y2);
+  // Schedules start at one application: a root below 1 means one platform
+  // dominates over the whole meaningful range.
+  if (root && *root < 1.0) {
+    return std::nullopt;
+  }
+  return root;
+}
+
+std::optional<double> BreakevenSolver::lifetime_breakeven(
+    const BreakevenContext& context) const {
+  using units::unit::years;
+  require_single_fleet(context.app_count, 2.0 * years);
+  const double y1 = difference(context.app_count, 1.0 * years, context.app_volume);
+  const double y2 = difference(context.app_count, 2.0 * years, context.app_volume);
+  return affine_root(1.0, y1, 2.0, y2);
+}
+
+std::optional<double> BreakevenSolver::volume_breakeven(
+    const BreakevenContext& context) const {
+  require_single_fleet(context.app_count, context.app_lifetime);
+  const double v1 = 1e5;
+  const double v2 = 1e6;
+  const double y1 = difference(context.app_count, context.app_lifetime, v1);
+  const double y2 = difference(context.app_count, context.app_lifetime, v2);
+  return affine_root(v1, y1, v2, y2);
+}
+
+}  // namespace greenfpga::scenario

@@ -1,0 +1,75 @@
+#ifndef GREENFPGA_SCENARIO_BREAKEVEN_HPP
+#define GREENFPGA_SCENARIO_BREAKEVEN_HPP
+
+/// \file breakeven.hpp
+/// Closed-form crossover (break-even) solver.
+///
+/// For homogeneous schedules under one-time app-dev accounting, both
+/// platform totals are *affine* in each scenario variable separately:
+///
+///   * in `N_app`  (the ASIC line passes through the origin),
+///   * in `T_i`    (operation accrues linearly),
+///   * in `N_vol`  (silicon, operation and configuration scale per unit).
+///
+/// So every crossover the sweep engine finds by scanning has an exact
+/// solution from two model probes per platform (slope + intercept).  The
+/// solver works by probing the production `LifecycleModel` rather than
+/// re-deriving coefficients, so it is exact for the implemented model and
+/// doubles as an independent check of the sweep machinery
+/// (tests/breakeven_test.cpp pins solver vs sweep to 1e-6).
+///
+/// Fig. 9-style horizons that replace the FPGA fleet break the affinity
+/// (embodied carbon becomes a step function of time); the solver is only
+/// valid within a single fleet service life, which it asserts.
+
+#include <optional>
+
+#include "core/lifecycle_model.hpp"
+#include "device/catalog.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::scenario {
+
+/// Fixed-point context for a break-even query: the two variables not being
+/// solved for are held at these values.
+struct BreakevenContext {
+  int app_count = 5;
+  units::TimeSpan app_lifetime = 2.0 * units::unit::years;
+  double app_volume = 1e6;
+};
+
+/// Closed-form crossover solver for one domain testcase.
+class BreakevenSolver {
+ public:
+  BreakevenSolver(core::LifecycleModel model, device::DomainTestcase testcase);
+
+  /// The application count at which the platforms' totals are equal, with
+  /// T_i and N_vol from `context`.  nullopt if the lines are parallel or
+  /// the root is non-positive (one platform dominates at any count).
+  [[nodiscard]] std::optional<double> app_count_breakeven(
+      const BreakevenContext& context) const;
+
+  /// The application lifetime (years) at which totals are equal, with
+  /// N_app and N_vol from `context`.
+  [[nodiscard]] std::optional<double> lifetime_breakeven(
+      const BreakevenContext& context) const;
+
+  /// The application volume at which totals are equal, with N_app and T_i
+  /// from `context`.
+  [[nodiscard]] std::optional<double> volume_breakeven(
+      const BreakevenContext& context) const;
+
+ private:
+  /// FPGA-minus-ASIC total at an explicit point.
+  [[nodiscard]] double difference(int app_count, units::TimeSpan lifetime,
+                                  double volume) const;
+  /// Validity guard: the schedule must fit one FPGA service life.
+  void require_single_fleet(int app_count, units::TimeSpan lifetime) const;
+
+  core::LifecycleModel model_;
+  device::DomainTestcase testcase_;
+};
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_BREAKEVEN_HPP

@@ -1,0 +1,122 @@
+#include "scenario/heatmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+
+std::vector<Heatmap::ContourPoint> Heatmap::unity_contour() const {
+  std::vector<ContourPoint> contour;
+  for (std::size_t iy = 0; iy < y.size(); ++iy) {
+    const std::vector<double>& row = ratio[iy];
+    for (std::size_t ix = 1; ix < row.size(); ++ix) {
+      const double prev = row[ix - 1] - 1.0;
+      const double curr = row[ix] - 1.0;
+      if ((prev <= 0.0 && curr > 0.0) || (prev >= 0.0 && curr < 0.0)) {
+        const double t = prev / (prev - curr);
+        contour.push_back({x[ix - 1] + t * (x[ix] - x[ix - 1]), y[iy]});
+      }
+    }
+  }
+  return contour;
+}
+
+double Heatmap::min_ratio() const {
+  double best = ratio.at(0).at(0);
+  for (const auto& row : ratio) {
+    best = std::min(best, *std::min_element(row.begin(), row.end()));
+  }
+  return best;
+}
+
+double Heatmap::max_ratio() const {
+  double best = ratio.at(0).at(0);
+  for (const auto& row : ratio) {
+    best = std::max(best, *std::max_element(row.begin(), row.end()));
+  }
+  return best;
+}
+
+HeatmapEngine::HeatmapEngine(core::LifecycleModel model, device::DomainTestcase testcase)
+    : engine_(std::move(model), std::move(testcase)) {}
+
+Heatmap HeatmapEngine::app_count_vs_lifetime(std::span<const int> app_counts,
+                                             std::span<const double> lifetimes_years,
+                                             double volume) const {
+  if (app_counts.empty() || lifetimes_years.empty()) {
+    throw std::invalid_argument("heatmap: axes must be non-empty");
+  }
+  Heatmap map;
+  map.x_name = "N_app";
+  map.y_name = "T_i [years]";
+  map.domain = engine_.testcase().domain;
+  map.x.assign(app_counts.size(), 0.0);
+  for (std::size_t i = 0; i < app_counts.size(); ++i) {
+    map.x[i] = static_cast<double>(app_counts[i]);
+  }
+  map.y.assign(lifetimes_years.begin(), lifetimes_years.end());
+  for (const double years : lifetimes_years) {
+    std::vector<double> row;
+    row.reserve(app_counts.size());
+    for (const int k : app_counts) {
+      row.push_back(
+          engine_.evaluate_point(k, years * units::unit::years, volume).ratio());
+    }
+    map.ratio.push_back(std::move(row));
+  }
+  return map;
+}
+
+Heatmap HeatmapEngine::volume_vs_lifetime(std::span<const double> volumes,
+                                          std::span<const double> lifetimes_years,
+                                          int app_count) const {
+  if (volumes.empty() || lifetimes_years.empty()) {
+    throw std::invalid_argument("heatmap: axes must be non-empty");
+  }
+  Heatmap map;
+  map.x_name = "N_vol [units]";
+  map.y_name = "T_i [years]";
+  map.domain = engine_.testcase().domain;
+  map.x.assign(volumes.begin(), volumes.end());
+  map.y.assign(lifetimes_years.begin(), lifetimes_years.end());
+  for (const double years : lifetimes_years) {
+    std::vector<double> row;
+    row.reserve(volumes.size());
+    for (const double volume : volumes) {
+      row.push_back(
+          engine_.evaluate_point(app_count, years * units::unit::years, volume).ratio());
+    }
+    map.ratio.push_back(std::move(row));
+  }
+  return map;
+}
+
+Heatmap HeatmapEngine::volume_vs_app_count(std::span<const double> volumes,
+                                           std::span<const int> app_counts,
+                                           units::TimeSpan lifetime) const {
+  if (volumes.empty() || app_counts.empty()) {
+    throw std::invalid_argument("heatmap: axes must be non-empty");
+  }
+  Heatmap map;
+  map.x_name = "N_vol [units]";
+  map.y_name = "N_app";
+  map.domain = engine_.testcase().domain;
+  map.x.assign(volumes.begin(), volumes.end());
+  map.y.assign(app_counts.size(), 0.0);
+  for (std::size_t i = 0; i < app_counts.size(); ++i) {
+    map.y[i] = static_cast<double>(app_counts[i]);
+  }
+  for (const int k : app_counts) {
+    std::vector<double> row;
+    row.reserve(volumes.size());
+    for (const double volume : volumes) {
+      row.push_back(engine_.evaluate_point(k, lifetime, volume).ratio());
+    }
+    map.ratio.push_back(std::move(row));
+  }
+  return map;
+}
+
+}  // namespace greenfpga::scenario

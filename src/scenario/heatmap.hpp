@@ -1,0 +1,69 @@
+#ifndef GREENFPGA_SCENARIO_HEATMAP_HPP
+#define GREENFPGA_SCENARIO_HEATMAP_HPP
+
+/// \file heatmap.hpp
+/// Pairwise parameter sweeps producing FPGA:ASIC ratio grids (Fig. 8).
+///
+/// Each heat-map cell holds the FPGA:ASIC total-CFP ratio at one
+/// (x, y) parameter combination; the ratio = 1 contour is the crossover
+/// front the paper marks with pink dashes.
+
+#include <string>
+#include <vector>
+
+#include "core/lifecycle_model.hpp"
+#include "device/catalog.hpp"
+#include "scenario/sweep.hpp"
+
+namespace greenfpga::scenario {
+
+/// A filled ratio grid.  `ratio[iy][ix]` corresponds to (x[ix], y[iy]).
+struct Heatmap {
+  std::string x_name;
+  std::string y_name;
+  device::Domain domain = device::Domain::dnn;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<std::vector<double>> ratio;
+
+  /// Grid cells adjacent to the ratio = 1 contour: for each row iy, the
+  /// interpolated x where the ratio crosses 1 (if any crossing exists in
+  /// that row).
+  struct ContourPoint {
+    double x = 0.0;
+    double y = 0.0;
+  };
+  [[nodiscard]] std::vector<ContourPoint> unity_contour() const;
+
+  /// Smallest / largest ratio in the grid (for colour scaling).
+  [[nodiscard]] double min_ratio() const;
+  [[nodiscard]] double max_ratio() const;
+};
+
+/// Generates the paper's three pairwise heat-maps for one domain.
+class HeatmapEngine {
+ public:
+  HeatmapEngine(core::LifecycleModel model, device::DomainTestcase testcase);
+
+  /// Fig. 8(a): N_vol held constant; axes N_app (x) by T_i (y).
+  [[nodiscard]] Heatmap app_count_vs_lifetime(std::span<const int> app_counts,
+                                              std::span<const double> lifetimes_years,
+                                              double volume) const;
+
+  /// Fig. 8(b): N_app held constant; axes N_vol (x) by T_i (y).
+  [[nodiscard]] Heatmap volume_vs_lifetime(std::span<const double> volumes,
+                                           std::span<const double> lifetimes_years,
+                                           int app_count) const;
+
+  /// Fig. 8(c): T_i held constant; axes N_vol (x) by N_app (y).
+  [[nodiscard]] Heatmap volume_vs_app_count(std::span<const double> volumes,
+                                            std::span<const int> app_counts,
+                                            units::TimeSpan lifetime) const;
+
+ private:
+  SweepEngine engine_;
+};
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_HEATMAP_HPP

@@ -1,0 +1,78 @@
+#ifndef GREENFPGA_SCENARIO_NODE_DSE_HPP
+#define GREENFPGA_SCENARIO_NODE_DSE_HPP
+
+/// \file node_dse.hpp
+/// Carbon-aware process-node design-space exploration.
+///
+/// An extension in the spirit of the paper's §5 ("enabling
+/// sustainability-minded design decisions") and the carbon-aware DSE line
+/// of work it cites [16]: given a device and a deployment schedule, which
+/// fabrication node minimises *lifecycle* carbon?
+///
+/// Advanced nodes cost more embodied carbon *per area* (EUV energy,
+/// rising defect densities) but, in the ACT dataset, logic density grows
+/// faster than carbon-per-area, so per-gate embodied carbon still falls
+/// with scaling -- at iso-design the most advanced node wins on both
+/// embodied and operational carbon.  What the exploration surfaces is the
+/// *margin* (how much a mature-node fallback costs, and whether the duty
+/// cycle makes that margin embodied- or operation-driven) and the
+/// *feasibility frontier* (large designs fall off the reticle on trailing
+/// nodes).  `retarget_to_node` scales a chip across nodes with documented
+/// first-order rules (area by logic density, power by the CV^2f-style
+/// per-node factor), and `NodeDse` ranks the candidates.
+
+#include <span>
+#include <vector>
+
+#include "core/lifecycle_model.hpp"
+#include "device/chip_spec.hpp"
+#include "tech/node.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::scenario {
+
+/// First-order retarget of a chip onto another node: die area scales with
+/// the inverse logic-density ratio, peak power with the per-node power
+/// factor, capacity is preserved (same design), defectivity follows the
+/// target node.  Throws std::invalid_argument if the retargeted die would
+/// not be manufacturable (exceeds the reticle, ~858 mm^2).
+[[nodiscard]] device::ChipSpec retarget_to_node(const device::ChipSpec& chip,
+                                                tech::ProcessNode node);
+
+/// Single-exposure reticle limit used as the manufacturability bound.
+inline constexpr double kReticleLimitMm2 = 858.0;
+
+/// One explored candidate.
+struct NodeCandidate {
+  device::ChipSpec chip;                 ///< the retargeted device
+  core::CfpBreakdown lifecycle;          ///< platform total over the schedule
+  double total_vs_best = 1.0;            ///< total / best candidate's total
+
+  [[nodiscard]] units::CarbonMass total() const { return lifecycle.total(); }
+};
+
+/// Ranks fabrication nodes for one device + schedule by lifecycle CFP.
+class NodeDse {
+ public:
+  /// `model` supplies every sub-model; the schedule fixes the deployment.
+  NodeDse(core::LifecycleModel model, workload::Schedule schedule);
+
+  /// Evaluate the chip retargeted to each candidate node; unmanufacturable
+  /// retargets (reticle violations) are skipped.  Returns candidates
+  /// sorted by ascending lifecycle CFP; `total_vs_best` is 1.0 for the
+  /// winner.  Throws std::invalid_argument if no candidate fits.
+  [[nodiscard]] std::vector<NodeCandidate> explore(
+      const device::ChipSpec& chip,
+      std::span<const tech::ProcessNode> nodes = tech::all_nodes()) const;
+
+  /// The winning node for this deployment.
+  [[nodiscard]] NodeCandidate best(const device::ChipSpec& chip) const;
+
+ private:
+  core::LifecycleModel model_;
+  workload::Schedule schedule_;
+};
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_NODE_DSE_HPP

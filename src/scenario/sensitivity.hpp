@@ -1,0 +1,75 @@
+#ifndef GREENFPGA_SCENARIO_SENSITIVITY_HPP
+#define GREENFPGA_SCENARIO_SENSITIVITY_HPP
+
+/// \file sensitivity.hpp
+/// Parameter sensitivity over the paper's Table 1 input ranges.
+///
+/// The paper stresses (§5) that GreenFPGA's outputs inherit the
+/// uncertainty of coarse public inputs and exposes every assumption as a
+/// knob.  This module quantifies that: one-at-a-time "tornado" analysis
+/// and uniform Monte-Carlo sampling over the Table 1 ranges, reporting how
+/// the FPGA:ASIC verdict moves.  (An extension beyond the paper's own
+/// evaluation, listed in DESIGN.md as ablation support.)
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/comparator.hpp"
+#include "core/lifecycle_model.hpp"
+#include "device/catalog.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::scenario {
+
+/// One tunable input with its Table 1 range and an applier that writes a
+/// sampled value into a ModelSuite.
+struct ParameterRange {
+  std::string name;
+  double low = 0.0;
+  double high = 1.0;
+  std::function<void(core::ModelSuite&, double)> apply;
+};
+
+/// The paper's Table 1, as sweepable ranges.
+[[nodiscard]] std::vector<ParameterRange> table1_ranges();
+
+/// One-at-a-time sensitivity result for one parameter.
+struct TornadoEntry {
+  std::string name;
+  double ratio_at_low = 0.0;   ///< FPGA:ASIC ratio with the parameter at range-low
+  double ratio_at_high = 0.0;  ///< ... at range-high
+  /// |ratio_at_high - ratio_at_low|: bar length in a tornado chart.
+  [[nodiscard]] double swing() const;
+};
+
+/// Evaluate every range one-at-a-time around `base`; entries are returned
+/// sorted by descending swing (classic tornado order).
+[[nodiscard]] std::vector<TornadoEntry> tornado(const core::ModelSuite& base,
+                                                const device::DomainTestcase& testcase,
+                                                const workload::Schedule& schedule,
+                                                const std::vector<ParameterRange>& ranges);
+
+/// Monte-Carlo summary of the FPGA:ASIC ratio distribution.
+struct MonteCarloResult {
+  int samples = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p05 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// Fraction of samples where the FPGA platform had the lower CFP.
+  double fpga_win_fraction = 0.0;
+};
+
+/// Sample all ranges uniformly and independently `samples` times.
+/// Deterministic for a fixed `seed`.
+[[nodiscard]] MonteCarloResult monte_carlo(const core::ModelSuite& base,
+                                           const device::DomainTestcase& testcase,
+                                           const workload::Schedule& schedule,
+                                           const std::vector<ParameterRange>& ranges,
+                                           int samples, unsigned seed = 42);
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_SENSITIVITY_HPP

@@ -1,0 +1,173 @@
+#include "scenario/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/paper_config.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+
+std::string to_string(CrossoverKind kind) {
+  switch (kind) {
+    case CrossoverKind::a2f:
+      return "A2F";
+    case CrossoverKind::f2a:
+      return "F2A";
+  }
+  return "unknown";
+}
+
+std::vector<double> SweepSeries::asic_totals_kg() const {
+  std::vector<double> out;
+  out.reserve(asic.size());
+  for (const core::CfpBreakdown& b : asic) {
+    out.push_back(b.total().canonical());
+  }
+  return out;
+}
+
+std::vector<double> SweepSeries::fpga_totals_kg() const {
+  std::vector<double> out;
+  out.reserve(fpga.size());
+  for (const core::CfpBreakdown& b : fpga) {
+    out.push_back(b.total().canonical());
+  }
+  return out;
+}
+
+std::vector<double> SweepSeries::ratios() const {
+  const std::vector<double> a = asic_totals_kg();
+  const std::vector<double> f = fpga_totals_kg();
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = f[i] / a[i];
+  }
+  return out;
+}
+
+std::vector<Crossover> SweepSeries::crossovers() const {
+  return find_crossovers(x, asic_totals_kg(), fpga_totals_kg());
+}
+
+std::vector<Crossover> find_crossovers(std::span<const double> x,
+                                       std::span<const double> asic_totals,
+                                       std::span<const double> fpga_totals) {
+  if (x.size() != asic_totals.size() || x.size() != fpga_totals.size()) {
+    throw std::invalid_argument("find_crossovers: series lengths differ");
+  }
+  std::vector<Crossover> result;
+  // Track the sign of the last nonzero difference so that a curve touching
+  // zero at a sample point yields exactly one crossover (not one per
+  // adjacent interval) and a touch-and-return yields none.
+  int last_sign = 0;  // diff > 0: FPGA worse; diff < 0: FPGA better
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = fpga_totals[i] - asic_totals[i];
+    const int sign = diff > 0.0 ? 1 : (diff < 0.0 ? -1 : 0);
+    if (sign == 0) {
+      continue;
+    }
+    if (last_sign != 0 && sign != last_sign && i > 0) {
+      const double prev = fpga_totals[i - 1] - asic_totals[i - 1];
+      const double t = prev / (prev - diff);
+      const double crossing = x[i - 1] + t * (x[i] - x[i - 1]);
+      result.push_back(
+          {crossing, sign < 0 ? CrossoverKind::a2f : CrossoverKind::f2a});
+    }
+    last_sign = sign;
+  }
+  return result;
+}
+
+std::optional<double> first_crossover(const std::vector<Crossover>& crossovers,
+                                      CrossoverKind kind) {
+  for (const Crossover& crossover : crossovers) {
+    if (crossover.kind == kind) {
+      return crossover.x;
+    }
+  }
+  return std::nullopt;
+}
+
+SweepEngine::SweepEngine(core::LifecycleModel model, device::DomainTestcase testcase)
+    : model_(std::move(model)), testcase_(std::move(testcase)) {}
+
+core::Comparison SweepEngine::evaluate_point(int app_count, units::TimeSpan lifetime,
+                                             double volume) const {
+  const workload::Schedule schedule =
+      core::paper_schedule(testcase_.domain, app_count, lifetime, volume);
+  return core::compare(model_, testcase_, schedule);
+}
+
+SweepSeries SweepEngine::sweep_app_count(int from, int to, units::TimeSpan lifetime,
+                                         double volume) const {
+  if (from < 1 || to < from) {
+    throw std::invalid_argument("sweep_app_count: need 1 <= from <= to");
+  }
+  SweepSeries series;
+  series.parameter = "N_app";
+  series.domain = testcase_.domain;
+  for (int k = from; k <= to; ++k) {
+    const core::Comparison comparison = evaluate_point(k, lifetime, volume);
+    series.x.push_back(static_cast<double>(k));
+    series.asic.push_back(comparison.asic.total);
+    series.fpga.push_back(comparison.fpga.total);
+  }
+  return series;
+}
+
+SweepSeries SweepEngine::sweep_lifetime(std::span<const double> lifetimes_years,
+                                        int app_count, double volume) const {
+  SweepSeries series;
+  series.parameter = "T_i [years]";
+  series.domain = testcase_.domain;
+  for (const double years : lifetimes_years) {
+    const core::Comparison comparison =
+        evaluate_point(app_count, years * units::unit::years, volume);
+    series.x.push_back(years);
+    series.asic.push_back(comparison.asic.total);
+    series.fpga.push_back(comparison.fpga.total);
+  }
+  return series;
+}
+
+SweepSeries SweepEngine::sweep_volume(std::span<const double> volumes, int app_count,
+                                      units::TimeSpan lifetime) const {
+  SweepSeries series;
+  series.parameter = "N_vol [units]";
+  series.domain = testcase_.domain;
+  for (const double volume : volumes) {
+    const core::Comparison comparison = evaluate_point(app_count, lifetime, volume);
+    series.x.push_back(volume);
+    series.asic.push_back(comparison.asic.total);
+    series.fpga.push_back(comparison.fpga.total);
+  }
+  return series;
+}
+
+std::vector<double> linspace(double lo, double hi, int count) {
+  if (count < 2) {
+    throw std::invalid_argument("linspace: need at least 2 points");
+  }
+  std::vector<double> out(static_cast<std::size_t>(count));
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    out[static_cast<std::size_t>(i)] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int count) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("logspace: bounds must be positive");
+  }
+  std::vector<double> out = linspace(std::log10(lo), std::log10(hi), count);
+  for (double& v : out) {
+    v = std::pow(10.0, v);
+  }
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace greenfpga::scenario

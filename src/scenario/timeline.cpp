@@ -1,0 +1,105 @@
+#include "scenario/timeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/iso_performance.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+
+namespace {
+
+using units::unit::years;
+
+/// Number of events with period `period` that have occurred by time `t`
+/// (events at 0, period, 2*period, ..., strictly before the horizon end is
+/// handled by the caller).  Epsilon guards the exact-boundary samples.
+int events_by(double t_years, double period_years) {
+  return 1 + static_cast<int>(std::floor((t_years + 1e-9) / period_years));
+}
+
+}  // namespace
+
+std::vector<Crossover> TimelineSeries::crossovers() const {
+  return find_crossovers(time_years, asic_cumulative_kg, fpga_cumulative_kg);
+}
+
+TimelineSimulator::TimelineSimulator(core::LifecycleModel model,
+                                     device::DomainTestcase testcase)
+    : model_(std::move(model)), testcase_(std::move(testcase)) {}
+
+TimelineSeries TimelineSimulator::run(const TimelineParameters& parameters) const {
+  if (parameters.horizon.canonical() <= 0.0 || parameters.app_lifetime.canonical() <= 0.0 ||
+      parameters.step.canonical() <= 0.0) {
+    throw std::invalid_argument("TimelineSimulator: durations must be positive");
+  }
+  if (parameters.volume <= 0.0) {
+    throw std::invalid_argument("TimelineSimulator: volume must be positive");
+  }
+
+  const double horizon = parameters.horizon.in(years);
+  const double app_period = parameters.app_lifetime.in(years);
+  const double step = parameters.step.in(years);
+  const double fpga_life = testcase_.fpga.service_life.in(years);
+
+  // Per-event carbon quantities (volume-scaled).
+  const int n_fpga = device::chips_per_unit(testcase_.fpga, /*application_gates=*/0.0);
+  const double fleet_chips = parameters.volume * static_cast<double>(n_fpga);
+
+  const units::CarbonMass asic_embodied_per_app =
+      model_.per_chip_embodied(testcase_.asic).total() * parameters.volume +
+      model_.design_model().design_carbon(testcase_.asic);
+  const units::CarbonMass fpga_fleet_silicon =
+      model_.per_chip_embodied(testcase_.fpga).total() * fleet_chips;
+  const units::CarbonMass fpga_design = model_.design_model().design_carbon(testcase_.fpga);
+  const units::CarbonMass fpga_appdev_per_app =
+      model_.appdev_model().per_application(fleet_chips, /*is_fpga=*/true).total();
+  const units::CarbonMass asic_appdev_per_app =
+      model_.appdev_model().per_application(parameters.volume, /*is_fpga=*/false).total();
+
+  // Continuous operational rates (per year of deployment).
+  const units::CarbonMass asic_op_per_year =
+      model_.operational_model().annual_carbon(testcase_.asic.peak_power) *
+      parameters.volume;
+  const units::CarbonMass fpga_op_per_year =
+      model_.operational_model().annual_carbon(testcase_.fpga.peak_power *
+                                               static_cast<double>(n_fpga)) *
+      parameters.volume;
+
+  TimelineSeries series;
+  const int samples = static_cast<int>(std::round(horizon / step)) + 1;
+  series.time_years.reserve(static_cast<std::size_t>(samples));
+
+  // Events happen at 0, period, 2*period, ... strictly inside the horizon;
+  // nothing new starts at the horizon endpoint itself.
+  const int apps_total = 1 + static_cast<int>(std::floor((horizon - 1e-9) / app_period));
+  const int fleet_purchases_total =
+      1 + static_cast<int>(std::floor((horizon - 1e-9) / fpga_life));
+  for (int p = 0; p < fleet_purchases_total; ++p) {
+    series.fpga_purchase_years.push_back(static_cast<double>(p) * fpga_life);
+  }
+
+  for (int i = 0; i < samples; ++i) {
+    const double t = std::min(static_cast<double>(i) * step, horizon);
+
+    // Discrete events so far.
+    const int apps_started = std::min(events_by(t, app_period), apps_total);
+    const int fleets_bought = std::min(events_by(t, fpga_life), fleet_purchases_total);
+
+    const double asic_kg = asic_embodied_per_app.canonical() * apps_started +
+                           asic_appdev_per_app.canonical() * apps_started +
+                           asic_op_per_year.canonical() * t;
+    const double fpga_kg = fpga_design.canonical() +
+                           fpga_fleet_silicon.canonical() * fleets_bought +
+                           fpga_appdev_per_app.canonical() * apps_started +
+                           fpga_op_per_year.canonical() * t;
+
+    series.time_years.push_back(t);
+    series.asic_cumulative_kg.push_back(asic_kg);
+    series.fpga_cumulative_kg.push_back(fpga_kg);
+  }
+  return series;
+}
+
+}  // namespace greenfpga::scenario

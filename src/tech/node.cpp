@@ -1,0 +1,86 @@
+#include "tech/node.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::tech {
+
+namespace {
+
+/// Density figures are approximate public logic-density numbers for
+/// leading-edge foundry processes; defect densities are representative
+/// mature-process values (defects/cm^2).  Both feed *relative* CFP
+/// comparisons, which is what the paper evaluates.
+constexpr std::array<TechnologyNode, 10> kNodeTable{{
+    {ProcessNode::n28, 14.4, DefectDensity{0.05 / 100.0}, 1.90},
+    {ProcessNode::n20, 20.8, DefectDensity{0.06 / 100.0}, 1.55},
+    {ProcessNode::n16, 28.9, DefectDensity{0.07 / 100.0}, 1.30},
+    {ProcessNode::n14, 32.5, DefectDensity{0.08 / 100.0}, 1.20},
+    {ProcessNode::n12, 33.8, DefectDensity{0.08 / 100.0}, 1.10},
+    {ProcessNode::n10, 52.5, DefectDensity{0.09 / 100.0}, 1.00},
+    {ProcessNode::n8, 61.2, DefectDensity{0.09 / 100.0}, 0.92},
+    {ProcessNode::n7, 91.2, DefectDensity{0.10 / 100.0}, 0.85},
+    {ProcessNode::n5, 138.2, DefectDensity{0.12 / 100.0}, 0.72},
+    {ProcessNode::n3, 197.0, DefectDensity{0.20 / 100.0}, 0.62},
+}};
+
+constexpr std::array<ProcessNode, 10> kAllNodes{
+    ProcessNode::n28, ProcessNode::n20, ProcessNode::n16, ProcessNode::n14, ProcessNode::n12,
+    ProcessNode::n10, ProcessNode::n8,  ProcessNode::n7,  ProcessNode::n5,  ProcessNode::n3,
+};
+
+}  // namespace
+
+std::span<const ProcessNode> all_nodes() { return kAllNodes; }
+
+std::string to_string(ProcessNode node) {
+  return std::to_string(static_cast<int>(node)) + " nm";
+}
+
+std::optional<ProcessNode> parse_node(std::string_view text) {
+  int value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + (text[i] - '0');
+    ++i;
+  }
+  if (i == 0) {
+    return std::nullopt;
+  }
+  // Accept an optional "nm" suffix (with optional space).
+  while (i < text.size() && text[i] == ' ') ++i;
+  if (i != text.size() && text.substr(i) != "nm") {
+    return std::nullopt;
+  }
+  for (const TechnologyNode& entry : kNodeTable) {
+    if (static_cast<int>(entry.node) == value) {
+      return entry.node;
+    }
+  }
+  return std::nullopt;
+}
+
+units::Area TechnologyNode::area_for_gates(double gate_count) const {
+  if (gate_count < 0.0) {
+    throw std::invalid_argument("area_for_gates: negative gate count");
+  }
+  return units::Area{gate_count / gates_per_mm2()};
+}
+
+double TechnologyNode::gates_in_area(units::Area area) const {
+  return area.in(units::unit::mm2) * gates_per_mm2();
+}
+
+const TechnologyNode& node_info(ProcessNode node) {
+  for (const TechnologyNode& entry : kNodeTable) {
+    if (entry.node == node) {
+      return entry;
+    }
+  }
+  throw std::out_of_range("node_info: unknown process node");
+}
+
+}  // namespace greenfpga::tech

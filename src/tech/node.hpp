@@ -1,0 +1,86 @@
+#ifndef GREENFPGA_TECH_NODE_HPP
+#define GREENFPGA_TECH_NODE_HPP
+
+/// \file node.hpp
+/// Technology-node database: gate density and defect density per node.
+///
+/// GreenFPGA sizes chips in *equivalent logic gates* (2-input NAND
+/// equivalents) following the paper's Eq. (4) and the `N_FPGA` capacity
+/// rule.  This module provides the node-indexed data needed to convert
+/// between gate counts and silicon area, plus the defect densities used by
+/// the yield models.
+///
+/// Density values are public-domain approximations assembled from vendor
+/// disclosures and WikiChip-style process summaries (the same class of
+/// public data the ACT / ECO-CHIP datasets are built from); every value can
+/// be overridden by constructing a custom `TechnologyNode`.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "units/quantity.hpp"
+
+namespace greenfpga::tech {
+
+/// Defects per unit area (canonical: per mm^2).
+using DefectDensity = units::Quantity<units::Dimension{.area = -1}>;
+
+/// One defect per square centimetre.
+inline constexpr DefectDensity per_cm2{1.0 / 100.0};
+
+/// Process node identifier; the integer is the marketing "nm" figure.
+enum class ProcessNode : std::int16_t {
+  n28 = 28,
+  n20 = 20,
+  n16 = 16,
+  n14 = 14,
+  n12 = 12,
+  n10 = 10,
+  n8 = 8,
+  n7 = 7,
+  n5 = 5,
+  n3 = 3,
+};
+
+/// All nodes in the database, newest last.
+[[nodiscard]] std::span<const ProcessNode> all_nodes();
+
+/// "28 nm", "7 nm", ...
+[[nodiscard]] std::string to_string(ProcessNode node);
+
+/// Parse "28", "28nm" or "28 nm"; returns nullopt for unknown nodes.
+[[nodiscard]] std::optional<ProcessNode> parse_node(std::string_view text);
+
+/// Static per-node process characteristics.
+struct TechnologyNode {
+  ProcessNode node = ProcessNode::n10;
+  /// Logic transistor density, million transistors per mm^2.
+  double transistor_density_mtr_per_mm2 = 0.0;
+  /// Typical defect density for a mature process on this node.
+  DefectDensity defect_density;
+  /// Iso-design power relative to the 10 nm node (CV^2 f scaling as
+  /// supply voltage and capacitance shrink): > 1 on older nodes, < 1 on
+  /// newer ones.  Used by the node-retargeting DSE.
+  double power_scale_vs_10nm = 1.0;
+
+  /// Equivalent NAND2 logic gates per mm^2 (4 transistors per gate).
+  [[nodiscard]] double gates_per_mm2() const {
+    return transistor_density_mtr_per_mm2 * 1e6 / 4.0;
+  }
+
+  /// Area needed to place `gate_count` equivalent gates at this density.
+  [[nodiscard]] units::Area area_for_gates(double gate_count) const;
+
+  /// Equivalent gate capacity of a die of the given area.
+  [[nodiscard]] double gates_in_area(units::Area area) const;
+};
+
+/// Database lookup; throws std::out_of_range for nodes missing from the
+/// table (cannot happen for `ProcessNode` enumerators).
+[[nodiscard]] const TechnologyNode& node_info(ProcessNode node);
+
+}  // namespace greenfpga::tech
+
+#endif  // GREENFPGA_TECH_NODE_HPP

@@ -1,0 +1,80 @@
+#include "tech/yield.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::tech {
+
+std::string to_string(YieldModel model) {
+  switch (model) {
+    case YieldModel::poisson:
+      return "poisson";
+    case YieldModel::murphy:
+      return "murphy";
+    case YieldModel::seeds:
+      return "seeds";
+    case YieldModel::negative_binomial:
+      return "negative-binomial";
+  }
+  return "unknown";
+}
+
+double die_yield(units::Area area, DefectDensity d0, const YieldSpec& spec) {
+  if (area.canonical() < 0.0) {
+    throw std::invalid_argument("die_yield: negative area");
+  }
+  if (d0.canonical() < 0.0) {
+    throw std::invalid_argument("die_yield: negative defect density");
+  }
+  if (spec.line_yield < 0.0 || spec.line_yield > 1.0) {
+    throw std::invalid_argument("die_yield: line yield must be in [0, 1]");
+  }
+  // A*D0 is dimensionless: expected defect count per die.
+  const double defects = area * d0;
+  double defect_yield = 1.0;
+  switch (spec.model) {
+    case YieldModel::poisson:
+      defect_yield = std::exp(-defects);
+      break;
+    case YieldModel::murphy: {
+      if (defects == 0.0) {
+        defect_yield = 1.0;
+      } else {
+        const double term = (1.0 - std::exp(-defects)) / defects;
+        defect_yield = term * term;
+      }
+      break;
+    }
+    case YieldModel::seeds:
+      defect_yield = 1.0 / (1.0 + defects);
+      break;
+    case YieldModel::negative_binomial: {
+      if (spec.clustering_alpha <= 0.0) {
+        throw std::invalid_argument("die_yield: clustering alpha must be positive");
+      }
+      defect_yield = std::pow(1.0 + defects / spec.clustering_alpha, -spec.clustering_alpha);
+      break;
+    }
+  }
+  return defect_yield * spec.line_yield;
+}
+
+int dies_per_wafer(units::Area die_area, double wafer_diameter_mm, double edge_exclusion_mm) {
+  const double area_mm2 = die_area.in(units::unit::mm2);
+  if (area_mm2 <= 0.0) {
+    throw std::invalid_argument("dies_per_wafer: die area must be positive");
+  }
+  const double usable_diameter = wafer_diameter_mm - 2.0 * edge_exclusion_mm;
+  if (usable_diameter <= 0.0) {
+    return 0;
+  }
+  const double radius = usable_diameter / 2.0;
+  const double gross = std::numbers::pi * radius * radius / area_mm2 -
+                       std::numbers::pi * usable_diameter / std::sqrt(2.0 * area_mm2);
+  return gross > 0.0 ? static_cast<int>(gross) : 0;
+}
+
+}  // namespace greenfpga::tech

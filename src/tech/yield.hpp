@@ -1,0 +1,59 @@
+#ifndef GREENFPGA_TECH_YIELD_HPP
+#define GREENFPGA_TECH_YIELD_HPP
+
+/// \file yield.hpp
+/// Die-yield models.
+///
+/// Manufacturing CFP in ACT-style models is charged *per good die*: the
+/// per-wafer carbon is divided by yielded dies, so yield enters the model
+/// as a `1/Y` multiplier (paper §3.2, inherited from ACT).  Large FPGA dies
+/// yield worse than small ASIC dies, which is one of the effects that makes
+/// FPGA embodied carbon super-linear in the iso-performance area ratio.
+///
+/// Four standard models are provided; `negative_binomial` with clustering
+/// factor alpha ~ 2-3 is the industry workhorse, `poisson` is the
+/// conservative bound, `murphy` and `seeds` are classical alternatives kept
+/// for the yield-model ablation bench.
+
+#include <string>
+
+#include "tech/node.hpp"
+#include "units/quantity.hpp"
+
+namespace greenfpga::tech {
+
+enum class YieldModel {
+  poisson,            ///< Y = exp(-A*D0)
+  murphy,             ///< Y = ((1 - exp(-A*D0)) / (A*D0))^2
+  seeds,              ///< Y = 1 / (1 + A*D0)
+  negative_binomial,  ///< Y = (1 + A*D0/alpha)^(-alpha)
+};
+
+[[nodiscard]] std::string to_string(YieldModel model);
+
+/// Parameters of a yield computation.
+struct YieldSpec {
+  YieldModel model = YieldModel::negative_binomial;
+  /// Defect clustering factor for the negative-binomial model; typical
+  /// modern-process values are 2-3.  Ignored by the other models.
+  double clustering_alpha = 2.5;
+  /// Multiplicative line yield (wafer-level process losses independent of
+  /// die area); applied on top of the defect-limited die yield.
+  double line_yield = 0.98;
+};
+
+/// Defect-limited die yield in [0, 1] for a die of `area` at defect density
+/// `d0`, including line yield.  Throws std::invalid_argument for negative
+/// area / defect density or non-positive alpha.
+[[nodiscard]] double die_yield(units::Area area, DefectDensity d0, const YieldSpec& spec = {});
+
+/// Gross dies per wafer for a circular wafer, using the standard
+/// die-per-wafer estimate  DPW = pi*(d/2)^2/A - pi*d/sqrt(2A)
+/// (area term minus edge-loss term).  `edge_exclusion` trims the usable
+/// diameter.  Returns 0 when the die does not fit.
+[[nodiscard]] int dies_per_wafer(units::Area die_area, double wafer_diameter_mm = 300.0,
+                                 double edge_exclusion_mm = 3.0);
+
+}  // namespace greenfpga::tech
+
+#endif  // GREENFPGA_TECH_YIELD_HPP

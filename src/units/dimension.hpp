@@ -1,0 +1,70 @@
+#ifndef GREENFPGA_UNITS_DIMENSION_HPP
+#define GREENFPGA_UNITS_DIMENSION_HPP
+
+/// \file dimension.hpp
+/// Compile-time dimension vectors for the quantity system.
+///
+/// GreenFPGA works in a small, domain-specific dimension space rather than
+/// full SI: carbon mass (CO2-equivalent), electrical energy, time, silicon
+/// area and physical (e-waste) mass are the base dimensions that actually
+/// appear in the paper's equations.  Keeping CO2e-mass distinct from
+/// physical mass prevents the classic modeling bug of adding grams of
+/// e-waste to grams of emitted CO2.
+
+namespace greenfpga::units {
+
+/// A vector of integer exponents over the GreenFPGA base dimensions.
+///
+/// A `Quantity<Dimension{...}>` carries its dimension in the type, so
+/// mixing, say, energy and carbon mass is a compile error, while
+/// CarbonIntensity * Energy -> CarbonMass type-checks automatically.
+struct Dimension {
+  int co2e = 0;    ///< CO2-equivalent mass (canonical unit: kilogram CO2e)
+  int energy = 0;  ///< electrical energy (canonical unit: kilowatt-hour)
+  int time = 0;    ///< wall-clock time (canonical unit: hour)
+  int area = 0;    ///< silicon / package area (canonical unit: square millimetre)
+  int mass = 0;    ///< physical material mass (canonical unit: kilogram)
+
+  friend constexpr bool operator==(const Dimension&, const Dimension&) = default;
+};
+
+/// Dimension of the product of two quantities.
+[[nodiscard]] constexpr Dimension operator+(const Dimension& a, const Dimension& b) {
+  return Dimension{a.co2e + b.co2e, a.energy + b.energy, a.time + b.time,
+                   a.area + b.area, a.mass + b.mass};
+}
+
+/// Dimension of the quotient of two quantities.
+[[nodiscard]] constexpr Dimension operator-(const Dimension& a, const Dimension& b) {
+  return Dimension{a.co2e - b.co2e, a.energy - b.energy, a.time - b.time,
+                   a.area - b.area, a.mass - b.mass};
+}
+
+/// Named base and derived dimensions used throughout the library.
+namespace dim {
+inline constexpr Dimension scalar{};
+inline constexpr Dimension carbon{.co2e = 1};
+inline constexpr Dimension energy{.energy = 1};
+inline constexpr Dimension time{.time = 1};
+inline constexpr Dimension area{.area = 1};
+inline constexpr Dimension mass{.mass = 1};
+
+/// kW: energy per unit time.
+inline constexpr Dimension power = energy - time;
+/// g CO2e per kWh: carbon emitted per unit of energy drawn.
+inline constexpr Dimension carbon_intensity = carbon - energy;
+/// kg CO2e per unit time (e.g. per year of operation).
+inline constexpr Dimension carbon_rate = carbon - time;
+/// kWh per cm^2 of silicon: the ACT "EPA" fab parameter.
+inline constexpr Dimension energy_per_area = energy - area;
+/// kg CO2e per cm^2 of silicon: the ACT "GPA"/"MPA" fab parameters.
+inline constexpr Dimension carbon_per_area = carbon - area;
+/// kg CO2e per kg of e-waste: EPA WARM discard/recycle factors.
+inline constexpr Dimension carbon_per_mass = carbon - mass;
+/// kg of material per mm^2 of die/package: device mass densities.
+inline constexpr Dimension mass_per_area = mass - area;
+}  // namespace dim
+
+}  // namespace greenfpga::units
+
+#endif  // GREENFPGA_UNITS_DIMENSION_HPP

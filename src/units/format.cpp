@@ -1,0 +1,127 @@
+#include "units/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <span>
+
+#include "units/units.hpp"
+
+namespace greenfpga::units {
+
+namespace {
+
+/// One rung of a unit ladder: threshold (in canonical units) above which
+/// the rung applies, divisor to convert, and suffix to print.
+struct Scale {
+  double threshold;
+  double divisor;
+  const char* suffix;
+};
+
+/// Picks the largest rung whose threshold the magnitude reaches (ladders are
+/// ordered largest first); falls back to the last rung.
+std::string format_scaled(double canonical, std::span<const Scale> ladder,
+                          int significant_digits) {
+  const double magnitude = std::fabs(canonical);
+  for (const Scale& s : ladder) {
+    if (magnitude >= s.threshold) {
+      return format_significant(canonical / s.divisor, significant_digits) + " " + s.suffix;
+    }
+  }
+  const Scale& last = ladder.back();
+  return format_significant(canonical / last.divisor, significant_digits) + " " + last.suffix;
+}
+
+}  // namespace
+
+std::string format_significant(double value, int significant_digits) {
+  if (!std::isfinite(value)) {
+    return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  }
+  if (value == 0.0) {
+    return "0";
+  }
+  const double magnitude = std::fabs(value);
+  // Decimal places so that `significant_digits` digits survive overall.
+  const int integer_digits = static_cast<int>(std::floor(std::log10(magnitude))) + 1;
+  int decimals = significant_digits - integer_digits;
+  if (decimals < 0) {
+    decimals = 0;
+  }
+  if (decimals > 12) {
+    decimals = 12;
+  }
+  std::array<char, 64> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.*f", decimals, value);
+  std::string out{buffer.data()};
+  // Trim trailing zeros after a decimal point ("4.500" -> "4.5", "3.0" -> "3").
+  if (out.find('.') != std::string::npos) {
+    while (!out.empty() && out.back() == '0') {
+      out.pop_back();
+    }
+    if (!out.empty() && out.back() == '.') {
+      out.pop_back();
+    }
+  }
+  return out;
+}
+
+std::string format_carbon(CarbonMass value, int significant_digits) {
+  static constexpr std::array<Scale, 5> ladder{{
+      {1e9, 1e9, "Mt CO2e"},
+      {1e6, 1e6, "kt CO2e"},
+      {1e3, 1e3, "t CO2e"},
+      {1.0, 1.0, "kg CO2e"},
+      {0.0, 1e-3, "g CO2e"},
+  }};
+  return format_scaled(value.canonical(), ladder, significant_digits);
+}
+
+std::string format_energy(Energy value, int significant_digits) {
+  static constexpr std::array<Scale, 4> ladder{{
+      {1e6, 1e6, "GWh"},
+      {1e3, 1e3, "MWh"},
+      {1.0, 1.0, "kWh"},
+      {0.0, 1e-3, "Wh"},
+  }};
+  return format_scaled(value.canonical(), ladder, significant_digits);
+}
+
+std::string format_power(Power value, int significant_digits) {
+  static constexpr std::array<Scale, 3> ladder{{
+      {1e3, 1e3, "MW"},
+      {1.0, 1.0, "kW"},
+      {0.0, 1e-3, "W"},
+  }};
+  return format_scaled(value.canonical(), ladder, significant_digits);
+}
+
+std::string format_time(TimeSpan value, int significant_digits) {
+  static constexpr std::array<Scale, 5> ladder{{
+      {8760.0, 8760.0, "years"},
+      {730.0, 730.0, "months"},
+      {24.0, 24.0, "days"},
+      {1.0, 1.0, "h"},
+      {0.0, 1.0 / 60.0, "min"},
+  }};
+  return format_scaled(value.canonical(), ladder, significant_digits);
+}
+
+std::string format_area(Area value, int significant_digits) {
+  static constexpr std::array<Scale, 2> ladder{{
+      {1000.0, 100.0, "cm^2"},
+      {0.0, 1.0, "mm^2"},
+  }};
+  return format_scaled(value.canonical(), ladder, significant_digits);
+}
+
+std::string format_carbon_intensity(CarbonIntensity value, int significant_digits) {
+  static constexpr std::array<Scale, 2> ladder{{
+      {1.0, 1.0, "kg CO2e/kWh"},
+      {0.0, 1e-3, "g CO2e/kWh"},
+  }};
+  return format_scaled(value.canonical(), ladder, significant_digits);
+}
+
+}  // namespace greenfpga::units

@@ -1,0 +1,43 @@
+#ifndef GREENFPGA_UNITS_FORMAT_HPP
+#define GREENFPGA_UNITS_FORMAT_HPP
+
+/// \file format.hpp
+/// Human-readable formatting of quantities with automatic scale selection.
+///
+/// The report and CLI layers print carbon masses spanning grams (per-chip
+/// EOL credits) to kilotonnes (fleet embodied carbon); these helpers pick a
+/// sensible scale and render a fixed number of significant digits.
+
+#include <string>
+
+#include "units/quantity.hpp"
+
+namespace greenfpga::units {
+
+/// "1.23 kg", "45.6 t", "7.89 kt" ... of CO2e.
+[[nodiscard]] std::string format_carbon(CarbonMass value, int significant_digits = 4);
+
+/// "123 Wh", "4.5 kWh", "6.7 GWh".
+[[nodiscard]] std::string format_energy(Energy value, int significant_digits = 4);
+
+/// "75 W", "1.2 kW", "3.4 MW".
+[[nodiscard]] std::string format_power(Power value, int significant_digits = 4);
+
+/// "36 min", "12 h", "3.5 months", "1.6 years" -- picks the largest unit
+/// that keeps the value >= 1.
+[[nodiscard]] std::string format_time(TimeSpan value, int significant_digits = 4);
+
+/// "340 mm^2" or "5.5 cm^2" (cm^2 once >= 1000 mm^2).
+[[nodiscard]] std::string format_area(Area value, int significant_digits = 4);
+
+/// "380 g/kWh" or "0.82 kg/kWh".
+[[nodiscard]] std::string format_carbon_intensity(CarbonIntensity value,
+                                                  int significant_digits = 4);
+
+/// Render a plain double with the given significant digits (shared helper,
+/// also used by the table formatter).
+[[nodiscard]] std::string format_significant(double value, int significant_digits);
+
+}  // namespace greenfpga::units
+
+#endif  // GREENFPGA_UNITS_FORMAT_HPP

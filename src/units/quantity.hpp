@@ -1,0 +1,164 @@
+#ifndef GREENFPGA_UNITS_QUANTITY_HPP
+#define GREENFPGA_UNITS_QUANTITY_HPP
+
+/// \file quantity.hpp
+/// A dimension-checked floating-point quantity.
+///
+/// Every physical value in GreenFPGA (carbon masses, energies, powers,
+/// areas, lifetimes, carbon intensities, fab per-area factors, ...) is a
+/// `Quantity<D>`.  The dimension `D` is part of the type, so dimensional
+/// errors are compile errors, and multiplying or dividing quantities
+/// produces the correctly-dimensioned result type.
+///
+/// Values are stored in canonical units (kg CO2e, kWh, hours, mm^2, kg);
+/// construction and read-out go through unit constants defined in
+/// units.hpp, e.g.:
+///
+///     CarbonMass c = 3.2 * unit::t_co2e;       // 3.2 tonnes CO2e
+///     double in_kg = c.in(unit::kg_co2e);      // 3200.0
+///     CarbonIntensity ci = 380.0 * unit::g_per_kwh;
+///     CarbonMass op = ci * (500.0 * unit::kwh);  // dimension-checked
+
+#include <cmath>
+#include <compare>
+
+#include "units/dimension.hpp"
+
+namespace greenfpga::units {
+
+template <Dimension D>
+class Quantity {
+ public:
+  /// Zero-valued quantity.
+  constexpr Quantity() = default;
+
+  /// Construct from a value already expressed in canonical units.  Explicit
+  /// on purpose: use `value * unit::...` to attach units in user code.
+  constexpr explicit Quantity(double canonical) : value_(canonical) {}
+
+  /// The stored value in canonical units.  Prefer `in(unit)` in user code.
+  [[nodiscard]] constexpr double canonical() const { return value_; }
+
+  /// This quantity expressed as a multiple of `unit` (same dimension).
+  [[nodiscard]] constexpr double in(Quantity unit) const { return value_ / unit.value_; }
+
+  /// Dimensionless quantities convert back to plain numbers implicitly.
+  constexpr operator double() const  // NOLINT(google-explicit-constructor)
+    requires(D == Dimension{})
+  {
+    return value_;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0.0; }
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(value_); }
+
+  // -- additive group ------------------------------------------------------
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  [[nodiscard]] friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  [[nodiscard]] friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+
+  // -- scaling by dimensionless numbers -------------------------------------
+  [[nodiscard]] friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value_ * s};
+  }
+  [[nodiscard]] friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{a.value_ * s};
+  }
+  [[nodiscard]] friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value_ / s};
+  }
+
+  // -- ordering -------------------------------------------------------------
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Product of two quantities: dimensions add.
+template <Dimension A, Dimension B>
+[[nodiscard]] constexpr Quantity<A + B> operator*(Quantity<A> a, Quantity<B> b) {
+  return Quantity<A + B>{a.canonical() * b.canonical()};
+}
+
+/// Quotient of two quantities: dimensions subtract.
+template <Dimension A, Dimension B>
+[[nodiscard]] constexpr Quantity<A - B> operator/(Quantity<A> a, Quantity<B> b) {
+  return Quantity<A - B>{a.canonical() / b.canonical()};
+}
+
+/// Inverse of a quantity: scalar divided by a quantity.
+template <Dimension A>
+[[nodiscard]] constexpr Quantity<Dimension{} - A> operator/(double s, Quantity<A> a) {
+  return Quantity<Dimension{} - A>{s / a.canonical()};
+}
+
+/// Absolute value, e.g. for tolerance checks in tests.
+template <Dimension D>
+[[nodiscard]] constexpr Quantity<D> abs(Quantity<D> q) {
+  return Quantity<D>{q.canonical() < 0 ? -q.canonical() : q.canonical()};
+}
+
+template <Dimension D>
+[[nodiscard]] constexpr Quantity<D> min(Quantity<D> a, Quantity<D> b) {
+  return a < b ? a : b;
+}
+
+template <Dimension D>
+[[nodiscard]] constexpr Quantity<D> max(Quantity<D> a, Quantity<D> b) {
+  return a < b ? b : a;
+}
+
+// ---------------------------------------------------------------------------
+// Domain type aliases.  These are the vocabulary types of the whole library.
+// ---------------------------------------------------------------------------
+
+/// CO2-equivalent mass (canonical: kg CO2e).  The output of every model.
+using CarbonMass = Quantity<dim::carbon>;
+/// Electrical energy (canonical: kWh).
+using Energy = Quantity<dim::energy>;
+/// Wall-clock time (canonical: hours).
+using TimeSpan = Quantity<dim::time>;
+/// Silicon or package area (canonical: mm^2).
+using Area = Quantity<dim::area>;
+/// Physical material mass (canonical: kg).  Used by the end-of-life model.
+using Mass = Quantity<dim::mass>;
+/// Electrical power (canonical: kW).
+using Power = Quantity<dim::power>;
+/// Carbon intensity of an energy source (canonical: kg CO2e per kWh).
+using CarbonIntensity = Quantity<dim::carbon_intensity>;
+/// Carbon emission rate (canonical: kg CO2e per hour).
+using CarbonRate = Quantity<dim::carbon_rate>;
+/// Fab energy-per-area factor, ACT's "EPA" (canonical: kWh per mm^2).
+using EnergyPerArea = Quantity<dim::energy_per_area>;
+/// Fab carbon-per-area factor, ACT's "GPA"/"MPA" (canonical: kg CO2e per mm^2).
+using CarbonPerArea = Quantity<dim::carbon_per_area>;
+/// EPA WARM-style emission factor (canonical: kg CO2e per kg of material).
+using CarbonPerMass = Quantity<dim::carbon_per_mass>;
+/// Mass density per unit area (canonical: kg per mm^2).
+using MassPerArea = Quantity<dim::mass_per_area>;
+
+}  // namespace greenfpga::units
+
+#endif  // GREENFPGA_UNITS_QUANTITY_HPP

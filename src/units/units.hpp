@@ -1,0 +1,124 @@
+#ifndef GREENFPGA_UNITS_UNITS_HPP
+#define GREENFPGA_UNITS_UNITS_HPP
+
+/// \file units.hpp
+/// Concrete unit constants and user-defined literals.
+///
+/// Unit constants are `constexpr Quantity` values equal to one unit in
+/// canonical form, so `3.0 * unit::t_co2e` is three tonnes of CO2e and
+/// `q.in(unit::t_co2e)` reads a quantity back out in tonnes.
+///
+/// Conventions used throughout GreenFPGA (documented once, here):
+///   * One year of wall-clock time is 8760 hours (365 days); application
+///     lifetimes in the paper are calendar years of deployment.
+///   * One month is 1/12 year (730 h), matching Table 1's app-dev times.
+///   * "ton" follows the EPA WARM source data (short ton, 907.18 kg);
+///     "tonne" (metric, 1000 kg) is used for CO2e masses.
+
+#include "units/quantity.hpp"
+
+namespace greenfpga::units::unit {
+
+// -- carbon mass (canonical: kg CO2e) ---------------------------------------
+inline constexpr CarbonMass kg_co2e{1.0};
+inline constexpr CarbonMass g_co2e{1e-3};
+inline constexpr CarbonMass t_co2e{1e3};   ///< metric tonne CO2e
+inline constexpr CarbonMass kt_co2e{1e6};  ///< kilotonne CO2e
+inline constexpr CarbonMass mt_co2e{1e9};  ///< megatonne CO2e
+
+// -- energy (canonical: kWh) -------------------------------------------------
+inline constexpr Energy kwh{1.0};
+inline constexpr Energy wh{1e-3};
+inline constexpr Energy mwh{1e3};
+inline constexpr Energy gwh{1e6};
+
+// -- time (canonical: hours) ---------------------------------------------------
+inline constexpr TimeSpan hours{1.0};
+inline constexpr TimeSpan days{24.0};
+inline constexpr TimeSpan years{8760.0};
+inline constexpr TimeSpan months{8760.0 / 12.0};
+inline constexpr TimeSpan minutes{1.0 / 60.0};
+inline constexpr TimeSpan seconds{1.0 / 3600.0};
+
+// -- area (canonical: mm^2) ---------------------------------------------------
+inline constexpr Area mm2{1.0};
+inline constexpr Area cm2{100.0};
+
+// -- physical mass (canonical: kg) --------------------------------------------
+inline constexpr Mass kg{1.0};
+inline constexpr Mass g{1e-3};
+inline constexpr Mass tonne{1000.0};          ///< metric tonne
+inline constexpr Mass short_ton{907.18474};   ///< EPA WARM "ton"
+
+// -- power (canonical: kW) ------------------------------------------------------
+inline constexpr Power kw{1.0};
+inline constexpr Power w{1e-3};
+inline constexpr Power mw{1e3};
+
+// -- carbon intensity (canonical: kg CO2e / kWh) -------------------------------
+inline constexpr CarbonIntensity kg_per_kwh{1.0};
+inline constexpr CarbonIntensity g_per_kwh{1e-3};
+
+// -- fab per-area factors (canonical: per mm^2) ----------------------------------
+inline constexpr EnergyPerArea kwh_per_cm2{1.0 / 100.0};
+inline constexpr EnergyPerArea kwh_per_mm2{1.0};
+inline constexpr CarbonPerArea kg_per_cm2{1.0 / 100.0};
+inline constexpr CarbonPerArea g_per_cm2{1e-3 / 100.0};
+inline constexpr CarbonPerArea kg_per_mm2{1.0};
+
+// -- EOL emission factors (canonical: kg CO2e / kg material) ----------------------
+inline constexpr CarbonPerMass kg_per_kg{1.0};
+/// EPA WARM tables quote MTCO2E per short ton of material; despite the
+/// confusing "MT" prefix the WARM documentation defines it as *metric tons*
+/// CO2E per short ton processed.
+inline constexpr CarbonPerMass mtco2e_per_ton{1000.0 / 907.18474};
+
+// -- mass densities (canonical: kg / mm^2) ----------------------------------------
+inline constexpr MassPerArea g_per_cm2_mass{1e-3 / 100.0};
+
+}  // namespace greenfpga::units::unit
+
+namespace greenfpga::units::literals {
+
+// User-defined literals for the most common units; handy in tests and
+// examples:  `auto c = 2.5_t_co2e;  auto t = 1.6_years;`
+[[nodiscard]] constexpr CarbonMass operator""_kg_co2e(long double v) {
+  return CarbonMass{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr CarbonMass operator""_t_co2e(long double v) {
+  return CarbonMass{static_cast<double>(v) * 1e3};
+}
+[[nodiscard]] constexpr Energy operator""_kwh(long double v) {
+  return Energy{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Energy operator""_gwh(long double v) {
+  return Energy{static_cast<double>(v) * 1e6};
+}
+[[nodiscard]] constexpr TimeSpan operator""_hours(long double v) {
+  return TimeSpan{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr TimeSpan operator""_years(long double v) {
+  return TimeSpan{static_cast<double>(v) * 8760.0};
+}
+[[nodiscard]] constexpr TimeSpan operator""_months(long double v) {
+  return TimeSpan{static_cast<double>(v) * 8760.0 / 12.0};
+}
+[[nodiscard]] constexpr Area operator""_mm2(long double v) {
+  return Area{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Area operator""_cm2(long double v) {
+  return Area{static_cast<double>(v) * 100.0};
+}
+[[nodiscard]] constexpr Power operator""_w(long double v) {
+  return Power{static_cast<double>(v) * 1e-3};
+}
+[[nodiscard]] constexpr Power operator""_kw(long double v) {
+  return Power{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr CarbonIntensity operator""_g_per_kwh(long double v) {
+  return CarbonIntensity{static_cast<double>(v) * 1e-3};
+}
+
+}  // namespace greenfpga::units::literals
+
+#endif  // GREENFPGA_UNITS_UNITS_HPP

@@ -1,0 +1,66 @@
+#include "workload/application.hpp"
+
+#include <stdexcept>
+
+#include "units/units.hpp"
+
+namespace greenfpga::workload {
+
+void Application::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("Application: name must not be empty");
+  }
+  if (lifetime.canonical() <= 0.0) {
+    throw std::invalid_argument("Application '" + name + "': lifetime must be positive");
+  }
+  if (volume <= 0.0) {
+    throw std::invalid_argument("Application '" + name + "': volume must be positive");
+  }
+  if (size_gates < 0.0) {
+    throw std::invalid_argument("Application '" + name + "': size must be non-negative");
+  }
+}
+
+units::TimeSpan total_lifetime(const Schedule& schedule) {
+  units::TimeSpan total{};
+  for (const Application& app : schedule) {
+    total += app.lifetime;
+  }
+  return total;
+}
+
+Schedule homogeneous_schedule(int count, const Application& prototype) {
+  if (count < 0) {
+    throw std::invalid_argument("homogeneous_schedule: negative count");
+  }
+  prototype.validate();
+  Schedule schedule;
+  schedule.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Application app = prototype;
+    app.name = prototype.name + "-" + std::to_string(i + 1);
+    schedule.push_back(std::move(app));
+  }
+  return schedule;
+}
+
+Application paper_application(device::Domain domain) {
+  Application app;
+  app.name = to_string(domain) + "-app";
+  app.domain = domain;
+  app.lifetime = 2.0 * units::unit::years;
+  app.volume = 1e6;
+  app.size_gates = 0.0;  // sized to the device: single-chip deployments
+  return app;
+}
+
+void validate(const Schedule& schedule) {
+  if (schedule.empty()) {
+    throw std::invalid_argument("Schedule: must contain at least one application");
+  }
+  for (const Application& app : schedule) {
+    app.validate();
+  }
+}
+
+}  // namespace greenfpga::workload

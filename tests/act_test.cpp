@@ -1,0 +1,202 @@
+/// Tests for the ACT-style substrate: carbon-intensity database, fab
+/// manufacturing model (Eq. 5) and operational model.
+
+#include <gtest/gtest.h>
+
+#include "act/carbon_intensity.hpp"
+#include "act/fab_model.hpp"
+#include "act/operational_model.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::act {
+namespace {
+
+using namespace units::unit;
+using units::CarbonIntensity;
+
+TEST(CarbonIntensity, SourceTableMatchesIpccValues) {
+  EXPECT_DOUBLE_EQ(source_intensity(EnergySource::coal).in(g_per_kwh), 820.0);
+  EXPECT_DOUBLE_EQ(source_intensity(EnergySource::wind).in(g_per_kwh), 11.0);
+  EXPECT_DOUBLE_EQ(source_intensity(EnergySource::nuclear).in(g_per_kwh), 12.0);
+  EXPECT_DOUBLE_EQ(source_intensity(EnergySource::solar).in(g_per_kwh), 41.0);
+}
+
+TEST(CarbonIntensity, RenewablesBeatFossil) {
+  for (const EnergySource renewable :
+       {EnergySource::solar, EnergySource::wind, EnergySource::hydropower,
+        EnergySource::geothermal, EnergySource::nuclear}) {
+    EXPECT_LT(source_intensity(renewable), source_intensity(EnergySource::gas))
+        << to_string(renewable);
+  }
+}
+
+TEST(CarbonIntensity, AllRegionsPresentAndPlausible) {
+  for (const GridRegion region : all_grid_regions()) {
+    const double g = grid_intensity(region).in(g_per_kwh);
+    EXPECT_GT(g, 10.0) << to_string(region);
+    EXPECT_LT(g, 900.0) << to_string(region);
+  }
+}
+
+TEST(CarbonIntensity, MixIsWeightedAverage) {
+  const MixComponent mix[] = {{EnergySource::coal, 0.5}, {EnergySource::wind, 0.5}};
+  EXPECT_DOUBLE_EQ(mix_intensity(mix).in(g_per_kwh), (820.0 + 11.0) / 2.0);
+}
+
+TEST(CarbonIntensity, MixValidatesFractions) {
+  const MixComponent not_normalised[] = {{EnergySource::coal, 0.5},
+                                         {EnergySource::wind, 0.4}};
+  EXPECT_THROW(mix_intensity(not_normalised), std::invalid_argument);
+  const MixComponent negative[] = {{EnergySource::coal, 1.5}, {EnergySource::wind, -0.5}};
+  EXPECT_THROW(mix_intensity(negative), std::invalid_argument);
+  EXPECT_THROW(mix_intensity({}), std::invalid_argument);
+}
+
+TEST(CarbonIntensity, OffsetGridInterpolates) {
+  const CarbonIntensity none = offset_grid_intensity(GridRegion::taiwan, 0.0);
+  const CarbonIntensity all = offset_grid_intensity(GridRegion::taiwan, 1.0);
+  const CarbonIntensity half = offset_grid_intensity(GridRegion::taiwan, 0.5);
+  EXPECT_EQ(none, grid_intensity(GridRegion::taiwan));
+  EXPECT_EQ(all, source_intensity(EnergySource::solar));
+  EXPECT_DOUBLE_EQ(half.in(g_per_kwh), (509.0 + 41.0) / 2.0);
+  EXPECT_THROW(offset_grid_intensity(GridRegion::taiwan, 1.5), std::invalid_argument);
+}
+
+TEST(FabModel, NodeDataCoversAllNodes) {
+  for (const tech::ProcessNode node : tech::all_nodes()) {
+    const FabNodeData& data = fab_node_data(node);
+    EXPECT_GT(data.energy_per_area.canonical(), 0.0) << tech::to_string(node);
+    EXPECT_GT(data.gas_per_area.canonical(), 0.0);
+    EXPECT_GT(data.materials_new.canonical(), 0.0);
+    EXPECT_LT(data.materials_recycled, data.materials_new)
+        << "recycled sourcing must beat virgin sourcing";
+  }
+}
+
+TEST(FabModel, EnergyPerAreaGrowsOnAdvancedNodes) {
+  EXPECT_LT(fab_node_data(tech::ProcessNode::n28).energy_per_area,
+            fab_node_data(tech::ProcessNode::n7).energy_per_area);
+  EXPECT_LT(fab_node_data(tech::ProcessNode::n7).energy_per_area,
+            fab_node_data(tech::ProcessNode::n3).energy_per_area);
+}
+
+TEST(FabModel, RecycledMaterialsReduceCarbonLinearly) {
+  // Eq. (5): C_materials = rho*C_recycled + (1-rho)*C_new.
+  FabParameters p;
+  p.recycled_material_fraction = 0.0;
+  const auto none = FabModel(p).materials_per_area(tech::ProcessNode::n10);
+  p.recycled_material_fraction = 1.0;
+  const auto full = FabModel(p).materials_per_area(tech::ProcessNode::n10);
+  p.recycled_material_fraction = 0.5;
+  const auto half = FabModel(p).materials_per_area(tech::ProcessNode::n10);
+  EXPECT_DOUBLE_EQ(half.canonical(), (none.canonical() + full.canonical()) / 2.0);
+  EXPECT_LT(full, none);
+}
+
+TEST(FabModel, RejectsInvalidRho) {
+  FabParameters p;
+  p.recycled_material_fraction = 1.5;
+  EXPECT_THROW(FabModel{p}, std::invalid_argument);
+}
+
+TEST(FabModel, BreakdownComponentsSumToTotal) {
+  const FabModel model;
+  const ManufacturingBreakdown result =
+      model.manufacture_die(tech::ProcessNode::n10, 150.0 * mm2);
+  EXPECT_DOUBLE_EQ(result.total().canonical(),
+                   (result.energy + result.gases + result.materials).canonical());
+  EXPECT_GT(result.energy.canonical(), 0.0);
+  EXPECT_GT(result.gases.canonical(), 0.0);
+  EXPECT_GT(result.materials.canonical(), 0.0);
+  EXPECT_GT(result.yield, 0.0);
+  EXPECT_LE(result.yield, 1.0);
+}
+
+TEST(FabModel, PerDieCarbonSuperlinearInArea) {
+  // Doubling die area more than doubles per-good-die carbon because yield
+  // falls; this is what penalises large iso-performance FPGA dies.
+  const FabModel model;
+  const auto small = model.manufacture_die(tech::ProcessNode::n10, 150.0 * mm2).total();
+  const auto large = model.manufacture_die(tech::ProcessNode::n10, 300.0 * mm2).total();
+  EXPECT_GT(large.canonical(), 2.0 * small.canonical());
+}
+
+TEST(FabModel, TypicalMagnitudeIsKilogramsPerCm2) {
+  // ACT-scale sanity: a 1 cm^2 die at 10 nm costs roughly 1-3 kg CO2e.
+  const FabModel model;
+  const auto result = model.manufacture_die(tech::ProcessNode::n10, 1.0 * cm2).total();
+  EXPECT_GT(result.in(kg_co2e), 0.5);
+  EXPECT_LT(result.in(kg_co2e), 5.0);
+}
+
+TEST(FabModel, GreenFabLowersEnergyTermOnly) {
+  FabParameters dirty;
+  dirty.fab_energy_intensity = source_intensity(EnergySource::coal);
+  FabParameters green = dirty;
+  green.fab_energy_intensity = source_intensity(EnergySource::wind);
+  const auto d = FabModel(dirty).manufacture_die(tech::ProcessNode::n7, 100.0 * mm2);
+  const auto g = FabModel(green).manufacture_die(tech::ProcessNode::n7, 100.0 * mm2);
+  EXPECT_LT(g.energy, d.energy);
+  EXPECT_EQ(g.gases, d.gases);
+  EXPECT_EQ(g.materials, d.materials);
+}
+
+TEST(FabModel, DefectDensityOverrideUsed) {
+  FabParameters p;
+  p.defect_density_override = tech::DefectDensity{};  // zero defects
+  p.yield.line_yield = 1.0;
+  const FabModel model(p);
+  EXPECT_DOUBLE_EQ(model.yield(tech::ProcessNode::n5, 400.0 * mm2), 1.0);
+}
+
+TEST(FabModel, InvalidDieAreaThrows) {
+  const FabModel model;
+  EXPECT_THROW(model.manufacture_die(tech::ProcessNode::n10, units::Area{}),
+               std::invalid_argument);
+}
+
+TEST(Operational, EnergyMatchesPowerDutyTime) {
+  OperationalParameters p;
+  p.duty_cycle = 0.5;
+  p.power_usage_effectiveness = 1.0;
+  const OperationalModel model(p);
+  // 100 W at 50 % duty for 10 hours -> 0.5 kWh.
+  EXPECT_DOUBLE_EQ(model.energy_use(100.0 * w, 10.0 * hours).in(kwh), 0.5);
+}
+
+TEST(Operational, PueMultipliesEnergy) {
+  OperationalParameters p;
+  p.duty_cycle = 1.0;
+  p.power_usage_effectiveness = 1.5;
+  const OperationalModel model(p);
+  EXPECT_DOUBLE_EQ(model.energy_use(1000.0 * w, 1.0 * hours).in(kwh), 1.5);
+}
+
+TEST(Operational, CarbonUsesUseIntensity) {
+  OperationalParameters p;
+  p.use_intensity = 500.0 * g_per_kwh;
+  p.duty_cycle = 1.0;
+  const OperationalModel model(p);
+  EXPECT_DOUBLE_EQ(model.operational_carbon(1000.0 * w, 2.0 * hours).in(kg_co2e), 1.0);
+}
+
+TEST(Operational, AnnualCarbonIsOneYear) {
+  const OperationalModel model;
+  EXPECT_DOUBLE_EQ(model.annual_carbon(50.0 * w).canonical(),
+                   model.operational_carbon(50.0 * w, 1.0 * years).canonical());
+}
+
+TEST(Operational, ValidationRejectsBadInputs) {
+  OperationalParameters bad_duty;
+  bad_duty.duty_cycle = 1.2;
+  EXPECT_THROW(OperationalModel{bad_duty}, std::invalid_argument);
+  OperationalParameters bad_pue;
+  bad_pue.power_usage_effectiveness = 0.8;
+  EXPECT_THROW(OperationalModel{bad_pue}, std::invalid_argument);
+  const OperationalModel model;
+  EXPECT_THROW(model.energy_use(units::Power{-1.0}, 1.0 * hours), std::invalid_argument);
+  EXPECT_THROW(model.energy_use(1.0 * kw, units::TimeSpan{-1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenfpga::act

@@ -1,0 +1,112 @@
+/// Tests for the application-development CFP model (Eq. 7).
+
+#include <gtest/gtest.h>
+
+#include "core/appdev_model.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+namespace {
+
+using namespace units::unit;
+
+AppDevParameters reference_parameters() {
+  AppDevParameters p;
+  p.frontend_time = 2.0 * months;
+  p.backend_time = 1.0 * months;
+  p.config_time = 6.0 * minutes;
+  p.dev_system_power = 250.0 * w;
+  p.dev_systems = 8.0;
+  p.dev_intensity = 400.0 * g_per_kwh;
+  return p;
+}
+
+TEST(AppDevModel, EquationSevenTime) {
+  const AppDevModel model(reference_parameters());
+  // T = N_app*(T_FE + T_BE) + N_vol*T_config = 4*3 months + 1e6*6 min.
+  const units::TimeSpan time = model.development_time(4, 1e6, /*is_fpga=*/true);
+  EXPECT_NEAR(time.in(hours), 4.0 * 3.0 * 730.0 + 1e6 * 0.1, 1e-6);
+}
+
+TEST(AppDevModel, AsicTimeIsZeroByDefault) {
+  // Paper: T_FE and T_BE are zero for ASICs (charged in Eq. 4); no
+  // configuration either.
+  const AppDevModel model(reference_parameters());
+  EXPECT_EQ(model.development_time(5, 1e6, /*is_fpga=*/false).canonical(), 0.0);
+}
+
+TEST(AppDevModel, OptionalAsicSoftwareFlow) {
+  AppDevParameters p = reference_parameters();
+  p.asic_software_dev_time = 1.0 * months;
+  const AppDevModel model(p);
+  EXPECT_NEAR(model.development_time(3, 1e6, false).in(months), 3.0, 1e-9);
+  // Software flow also carries carbon per application.
+  EXPECT_GT(model.per_application(1e6, false).engineering.canonical(), 0.0);
+  EXPECT_EQ(model.per_application(1e6, false).configuration.canonical(), 0.0);
+}
+
+TEST(AppDevModel, EngineeringCarbonMatchesHandComputation) {
+  const AppDevModel model(reference_parameters());
+  // 8 systems * 0.25 kW * 3 months (2190 h) * 0.4 kg/kWh = 1752 kg.
+  const AppDevBreakdown result = model.per_application(0.0, /*is_fpga=*/true);
+  EXPECT_NEAR(result.engineering.in(kg_co2e), 8.0 * 0.25 * 2190.0 * 0.4, 1e-6);
+  EXPECT_EQ(result.configuration.canonical(), 0.0);
+}
+
+TEST(AppDevModel, ConfigurationScalesWithVolume) {
+  const AppDevModel model(reference_parameters());
+  const auto small = model.per_application(1e3, true).configuration;
+  const auto large = model.per_application(1e6, true).configuration;
+  EXPECT_NEAR(large.canonical(), 1e3 * small.canonical(), 1e-6);
+  // 0.25 kW * 0.1 h * 0.4 kg/kWh = 10 g per chip.
+  EXPECT_NEAR((large.canonical() / 1e6), 0.01, 1e-9);
+}
+
+TEST(AppDevModel, TotalSumsComponents) {
+  const AppDevModel model(reference_parameters());
+  const AppDevBreakdown result = model.per_application(5e5, true);
+  EXPECT_DOUBLE_EQ(result.total().canonical(),
+                   (result.engineering + result.configuration).canonical());
+}
+
+TEST(AppDevModel, AppDevIsSmallAgainstDesign) {
+  // Fig. 10's observation: app-dev is a minimal overhead.  At paper-like
+  // parameters one application's dev carbon is tonnes, not kilotonnes.
+  const AppDevModel model(reference_parameters());
+  const auto result = model.per_application(1e6, true).total();
+  EXPECT_LT(result.in(t_co2e), 50.0);
+  EXPECT_GT(result.in(t_co2e), 0.1);
+}
+
+TEST(AppDevModel, ValidationRejectsBadInputs) {
+  AppDevParameters p = reference_parameters();
+  p.dev_systems = 0.0;
+  EXPECT_THROW(AppDevModel{p}, std::invalid_argument);
+
+  p = reference_parameters();
+  p.frontend_time = units::TimeSpan{-1.0};
+  EXPECT_THROW(AppDevModel{p}, std::invalid_argument);
+
+  const AppDevModel model(reference_parameters());
+  EXPECT_THROW(model.development_time(-1, 1e6, true), std::invalid_argument);
+  EXPECT_THROW(model.development_time(1, -1.0, true), std::invalid_argument);
+  EXPECT_THROW(model.per_application(-1.0, true), std::invalid_argument);
+}
+
+// Property: Eq. (7) time is linear in app count for FPGAs.
+class AppCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppCountProperty, TimeLinearInAppCount) {
+  const AppDevModel model(reference_parameters());
+  const double fixed_volume_term =
+      model.development_time(0, 1e5, true).in(hours);
+  const double one_app =
+      model.development_time(1, 0.0, true).in(hours);
+  const double n_apps = model.development_time(GetParam(), 1e5, true).in(hours);
+  EXPECT_NEAR(n_apps, fixed_volume_term + GetParam() * one_app, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, AppCountProperty, ::testing::Values(1, 2, 5, 10));
+
+}  // namespace
+}  // namespace greenfpga::core

@@ -1,0 +1,138 @@
+/// Tests for the closed-form break-even solver, cross-validated against
+/// the sweep engine's scan-and-interpolate crossovers.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "scenario/breakeven.hpp"
+#include "scenario/sweep.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+namespace {
+
+using namespace units::unit;
+using device::Domain;
+
+BreakevenSolver solver_for(Domain domain) {
+  return BreakevenSolver(core::LifecycleModel(core::paper_suite()),
+                         device::domain_testcase(domain));
+}
+
+SweepEngine engine_for(Domain domain) {
+  return SweepEngine(core::LifecycleModel(core::paper_suite()),
+                     device::domain_testcase(domain));
+}
+
+TEST(Breakeven, AppCountMatchesSweepCrossover) {
+  const BreakevenContext context{};
+  const auto analytic = solver_for(Domain::dnn).app_count_breakeven(context);
+  const auto series = engine_for(Domain::dnn).sweep_app_count(1, 12, 2.0 * years, 1e6);
+  const auto scanned = first_crossover(series.crossovers(), CrossoverKind::a2f);
+  ASSERT_TRUE(analytic && scanned);
+  EXPECT_NEAR(*analytic, *scanned, 1e-6);
+}
+
+TEST(Breakeven, LifetimeMatchesSweepCrossover) {
+  const BreakevenContext context{};
+  const auto analytic = solver_for(Domain::dnn).lifetime_breakeven(context);
+  const std::vector<double> lifetimes = linspace(0.2, 2.5, 47);
+  const auto series = engine_for(Domain::dnn).sweep_lifetime(lifetimes, 5, 1e6);
+  const auto scanned = first_crossover(series.crossovers(), CrossoverKind::f2a);
+  ASSERT_TRUE(analytic && scanned);
+  // The sweep interpolates between samples; the solver is exact.
+  EXPECT_NEAR(*analytic, *scanned, 0.01);
+}
+
+TEST(Breakeven, VolumeMatchesSweepCrossover) {
+  const BreakevenContext context{};
+  const auto analytic = solver_for(Domain::dnn).volume_breakeven(context);
+  const std::vector<double> volumes = logspace(1e3, 1e7, 81);
+  const auto series = engine_for(Domain::dnn).sweep_volume(volumes, 5, 2.0 * years);
+  const auto scanned = first_crossover(series.crossovers(), CrossoverKind::f2a);
+  ASSERT_TRUE(analytic && scanned);
+  // Log-spaced scanning linearly interpolates a slightly curved chord;
+  // exact solver within 2 %.
+  EXPECT_NEAR(*analytic / *scanned, 1.0, 0.02);
+}
+
+TEST(Breakeven, ImgprocVolumeAndAppCount) {
+  const BreakevenContext context{};
+  const auto volume = solver_for(Domain::imgproc).volume_breakeven(context);
+  ASSERT_TRUE(volume.has_value());
+  EXPECT_GT(*volume, 1e5);
+  EXPECT_LT(*volume, 6e5);
+  // ImgProc A2F sits past 8 apps; at T = 2y and 1e6 the solver agrees.
+  const auto apps = solver_for(Domain::imgproc).app_count_breakeven(context);
+  ASSERT_TRUE(apps.has_value());
+  EXPECT_GT(*apps, 8.0);
+}
+
+TEST(Breakeven, CryptoHasNoPositiveBreakevens) {
+  // Crypto: the FPGA dominates from the first application; the difference
+  // line never crosses zero at positive x.
+  const BreakevenContext context{};
+  const BreakevenSolver solver = solver_for(Domain::crypto);
+  EXPECT_FALSE(solver.app_count_breakeven(context).has_value());
+  EXPECT_FALSE(solver.volume_breakeven(context).has_value());
+}
+
+TEST(Breakeven, ContextChangesTheAnswer) {
+  // More applications push the volume break-even outward (more reuse to
+  // amortise), until past the app-count crossover (~5.2 for DNN) the FPGA
+  // wins at every volume and the break-even disappears.
+  BreakevenContext four{};
+  four.app_count = 4;
+  BreakevenContext five{};
+  five.app_count = 5;
+  BreakevenContext seven{};
+  seven.app_count = 7;
+  const BreakevenSolver solver = solver_for(Domain::dnn);
+  const auto at_four = solver.volume_breakeven(four);
+  const auto at_five = solver.volume_breakeven(five);
+  ASSERT_TRUE(at_four.has_value());
+  ASSERT_TRUE(at_five.has_value());
+  EXPECT_GT(*at_five, *at_four);
+  EXPECT_FALSE(solver.volume_breakeven(seven).has_value())
+      << "past the app-count crossover the FPGA wins at every volume";
+}
+
+TEST(Breakeven, RejectsPerYearAccounting) {
+  core::ModelSuite suite = core::paper_suite();
+  suite.appdev.accounting = core::AppDevAccounting::per_year;
+  EXPECT_THROW(BreakevenSolver(core::LifecycleModel(suite),
+                               device::domain_testcase(Domain::dnn)),
+               std::invalid_argument);
+}
+
+TEST(Breakeven, RejectsMultiFleetHorizons) {
+  // 10 apps x 2 years = 20 years > the FPGA's 15-year service life.
+  BreakevenContext context{};
+  context.app_count = 10;
+  EXPECT_THROW(solver_for(Domain::dnn).lifetime_breakeven(context),
+               std::invalid_argument);
+}
+
+// Property: for every domain where the sweep finds an N_app crossover, the
+// solver agrees to 1e-6 (exactness of the affine model).
+class BreakevenAgreement : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(BreakevenAgreement, SolverAndSweepAgree) {
+  const BreakevenContext context{};
+  const auto analytic = solver_for(GetParam()).app_count_breakeven(context);
+  const auto series = engine_for(GetParam()).sweep_app_count(1, 16, 2.0 * years, 1e6);
+  const auto scanned = first_crossover(series.crossovers(), CrossoverKind::a2f);
+  if (scanned.has_value()) {
+    ASSERT_TRUE(analytic.has_value());
+    EXPECT_NEAR(*analytic, *scanned, 1e-6);
+  } else {
+    EXPECT_FALSE(analytic.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, BreakevenAgreement,
+                         ::testing::Values(Domain::dnn, Domain::imgproc, Domain::crypto));
+
+}  // namespace
+}  // namespace greenfpga::scenario

@@ -1,0 +1,118 @@
+/// Tests for the chiplet-construction embodied model (ECO-CHIP tradeoff).
+
+#include <gtest/gtest.h>
+
+#include "core/lifecycle_model.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+namespace {
+
+using namespace units::unit;
+
+LifecycleModel model() { return LifecycleModel(paper_suite()); }
+
+pkg::PackageParameters interposer() {
+  pkg::PackageParameters p;
+  p.type = pkg::PackageType::silicon_interposer;
+  return p;
+}
+
+TEST(Chiplet, SingleDieAdvancedPackageMatchesSiliconOfMonolithic) {
+  // One die in an interposer package: identical silicon CFP to the
+  // monolithic path; only the package differs.
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const CfpBreakdown mono = m.per_chip_embodied(fpga);
+  const CfpBreakdown single = m.per_chip_embodied_chiplet(fpga, 1, interposer());
+  EXPECT_DOUBLE_EQ(single.manufacturing.canonical(), mono.manufacturing.canonical());
+  EXPECT_GT(single.packaging, mono.packaging);  // interposer silicon added
+}
+
+TEST(Chiplet, SplittingImprovesSiliconCarbon) {
+  // Two 300 mm^2 dies yield better than one 600 mm^2 die, so the silicon
+  // term must fall monotonically with die count.
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  double previous = std::numeric_limits<double>::infinity();
+  for (const int dies : {1, 2, 4, 8}) {
+    const CfpBreakdown split = m.per_chip_embodied_chiplet(fpga, dies, interposer());
+    EXPECT_LT(split.manufacturing.canonical(), previous) << dies << " dies";
+    previous = split.manufacturing.canonical();
+  }
+}
+
+TEST(Chiplet, PackagingCostGrowsWithDieCount) {
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const CfpBreakdown two = m.per_chip_embodied_chiplet(fpga, 2, interposer());
+  const CfpBreakdown eight = m.per_chip_embodied_chiplet(fpga, 8, interposer());
+  EXPECT_GT(eight.packaging, two.packaging);  // more bonding
+}
+
+TEST(Chiplet, NetBenefitForLargeLowYieldDies) {
+  // For the 600 mm^2 DNN FPGA, splitting into a few chiplets must beat the
+  // monolithic total (the ECO-CHIP result): yield savings exceed the
+  // interposer overhead.
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const double mono = m.per_chip_embodied(fpga).total().canonical();
+  const double split = m.per_chip_embodied_chiplet(fpga, 4, interposer()).total().canonical();
+  EXPECT_LT(split, mono);
+}
+
+TEST(Chiplet, NoBenefitForSmallHighYieldDies) {
+  // An 80 mm^2 ASIC already yields ~0.91; splitting it only buys
+  // interposer and bonding overhead.
+  const LifecycleModel m = model();
+  const device::ChipSpec asic = device::domain_testcase(device::Domain::imgproc).asic;
+  const double mono = m.per_chip_embodied(asic).total().canonical();
+  const double split = m.per_chip_embodied_chiplet(asic, 4, interposer()).total().canonical();
+  EXPECT_GT(split, mono);
+}
+
+TEST(Chiplet, EmibCheaperThanInterposerEndToEnd) {
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  pkg::PackageParameters emib = interposer();
+  emib.type = pkg::PackageType::emib;
+  const double si =
+      m.per_chip_embodied_chiplet(fpga, 4, interposer()).total().canonical();
+  const double bridges = m.per_chip_embodied_chiplet(fpga, 4, emib).total().canonical();
+  EXPECT_LT(bridges, si);
+}
+
+TEST(Chiplet, InvalidArgumentsThrow) {
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  EXPECT_THROW(m.per_chip_embodied_chiplet(fpga, 0, interposer()), std::invalid_argument);
+  pkg::PackageParameters mono;
+  mono.type = pkg::PackageType::monolithic;
+  EXPECT_THROW(m.per_chip_embodied_chiplet(fpga, 2, mono), std::invalid_argument);
+  EXPECT_NO_THROW(m.per_chip_embodied_chiplet(fpga, 1, mono));
+}
+
+// Property: total silicon area is conserved across splits, so the
+// *unyielded* carbon would be constant; all savings come through yield.
+class ChipletCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChipletCountProperty, SavingsComeFromYieldAlone) {
+  const LifecycleModel m = model();
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  const int dies = GetParam();
+  const units::Area per_die = fpga.die_area / static_cast<double>(dies);
+  const auto one = m.fab_model().manufacture_die(fpga.node, per_die);
+  // Reconstruct: silicon carbon = dies * per-die carbon; the equivalent
+  // perfect-yield carbon is area * CPA, identical for every split.
+  const double perfect =
+      (m.fab_model().carbon_per_area(fpga.node) * fpga.die_area).canonical();
+  const double actual = one.total().canonical() * dies;
+  EXPECT_NEAR(actual * one.yield, perfect, perfect * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, ChipletCountProperty, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace greenfpga::core

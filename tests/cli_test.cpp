@@ -1,0 +1,154 @@
+/// Tests for the `greenfpga` CLI command layer (stream-captured, no
+/// process boundary).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/commands.hpp"
+#include "core/config_io.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "io/json.hpp"
+
+namespace greenfpga::cli {
+namespace {
+
+struct CliRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = dispatch(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string write_scenario_file() {
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::crypto);
+  io::Json scenario = io::Json::object();
+  scenario["name"] = "cli test scenario";
+  scenario["asic"] = core::to_json(testcase.asic);
+  scenario["fpga"] = core::to_json(testcase.fpga);
+  scenario["schedule"] = core::to_json(core::paper_schedule(device::Domain::crypto));
+  const std::string path = ::testing::TempDir() + "/greenfpga_cli_scenario.json";
+  io::write_json_file(path, scenario);
+  return path;
+}
+
+TEST(Cli, NoArgumentsPrintsUsageToErr) {
+  const CliRun result = run_cli({});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+  EXPECT_TRUE(result.out.empty());
+}
+
+TEST(Cli, HelpPrintsUsageToOutAndSucceeds) {
+  for (const char* flag : {"--help", "-h", "help"}) {
+    const CliRun result = run_cli({flag});
+    EXPECT_EQ(result.exit_code, 0) << flag;
+    EXPECT_NE(result.out.find("usage:"), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun result = run_cli({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, CompareEvaluatesScenarioFile) {
+  const CliRun result = run_cli({"compare", write_scenario_file()});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("cli test scenario"), std::string::npos);
+  EXPECT_NE(result.out.find("greener platform: FPGA"), std::string::npos);
+}
+
+TEST(Cli, CompareWritesJsonReport) {
+  const std::string report_path = ::testing::TempDir() + "/greenfpga_cli_report.json";
+  const CliRun result = run_cli({"compare", write_scenario_file(), "--json", report_path});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  const io::Json report = io::parse_json_file(report_path);
+  EXPECT_EQ(report.at("greener").as_string(), "FPGA");
+  EXPECT_LT(report.at("ratio").as_number(), 1.0);
+  EXPECT_TRUE(report.contains("asic"));
+  EXPECT_TRUE(report.contains("fpga"));
+}
+
+TEST(Cli, CompareMissingFileIsRuntimeError) {
+  const CliRun result = run_cli({"compare", "/nonexistent/scenario.json"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, CompareUsageErrors) {
+  EXPECT_EQ(run_cli({"compare"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"compare", "file.json", "--bogus"}).exit_code, 2);
+}
+
+TEST(Cli, SweepPrintsCrossovers) {
+  const CliRun result = run_cli({"sweep", "dnn", "apps"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("N_app"), std::string::npos);
+  EXPECT_NE(result.out.find("crossovers: A2F"), std::string::npos);
+}
+
+TEST(Cli, SweepValidatesArguments) {
+  EXPECT_EQ(run_cli({"sweep", "dnn"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"sweep", "gpu", "apps"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"sweep", "dnn", "bogus"}).exit_code, 2);
+}
+
+TEST(Cli, SweepAllDomainsAllVariables) {
+  for (const char* domain : {"dnn", "imgproc", "crypto"}) {
+    for (const char* variable : {"apps", "lifetime", "volume"}) {
+      const CliRun result = run_cli({"sweep", domain, variable});
+      EXPECT_EQ(result.exit_code, 0) << domain << " " << variable;
+      EXPECT_NE(result.out.find("crossovers:"), std::string::npos);
+    }
+  }
+}
+
+TEST(Cli, IndustryListsAllFourDevices) {
+  const CliRun result = run_cli({"industry"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("IndustryFPGA1"), std::string::npos);
+  EXPECT_NE(result.out.find("IndustryFPGA2"), std::string::npos);
+  EXPECT_NE(result.out.find("IndustryASIC1"), std::string::npos);
+  EXPECT_NE(result.out.find("IndustryASIC2"), std::string::npos);
+}
+
+TEST(Cli, NodesRanksFabricationNodes) {
+  const CliRun result = run_cli({"nodes", "dnn"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("node ranking"), std::string::npos);
+  EXPECT_NE(result.out.find("3 nm"), std::string::npos);
+  EXPECT_EQ(run_cli({"nodes"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"nodes", "gpu"}).exit_code, 2);
+}
+
+TEST(Cli, DumpConfigIsValidScenarioJson) {
+  const CliRun result = run_cli({"dump-config"});
+  EXPECT_EQ(result.exit_code, 0);
+  const io::Json parsed = io::parse_json(result.out);
+  // The dumped config must load back as a scenario.
+  const core::ScenarioConfig scenario = core::scenario_from_json(parsed);
+  EXPECT_EQ(scenario.schedule.size(), 5u);
+  EXPECT_TRUE(scenario.fpga.is_fpga());
+}
+
+TEST(Cli, FiguresPrintsPaperVsMeasured) {
+  const CliRun result = run_cli({"figures"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("paper-vs-measured"), std::string::npos);
+  EXPECT_NE(result.out.find("Fig. 4 A2F"), std::string::npos);
+  EXPECT_NE(result.out.find("Fig. 5 F2A"), std::string::npos);
+  EXPECT_NE(result.out.find("Fig. 6 F2A"), std::string::npos);
+  EXPECT_NE(result.out.find("ImgProc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greenfpga::cli

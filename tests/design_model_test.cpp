@@ -1,0 +1,132 @@
+/// Tests for the design-phase CFP model (Eq. 4).
+
+#include <gtest/gtest.h>
+
+#include "core/design_model.hpp"
+#include "device/catalog.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+namespace {
+
+using namespace units::unit;
+
+DesignParameters reference_parameters() {
+  DesignParameters p;
+  p.annual_energy = 5.0 * gwh;
+  p.intensity = 400.0 * g_per_kwh;
+  p.company_employees = 20'000.0;
+  p.product_team_size = 500.0;
+  p.average_product_gates = 1e9;
+  p.project_duration = 2.0 * years;
+  p.fpga_regularity_factor = 0.25;
+  return p;
+}
+
+TEST(DesignModel, CarbonPerEmployeeMatchesHandComputation) {
+  const DesignModel model(reference_parameters());
+  // 5 GWh * 0.4 kg/kWh / 20000 employees = 100 kg per employee-year.
+  EXPECT_NEAR(model.carbon_per_employee_year().in(kg_co2e), 100.0, 1e-9);
+}
+
+TEST(DesignModel, EquationFourForAsic) {
+  const DesignModel model(reference_parameters());
+  // C_des = 100 kg * 500 engineers * (2e9/1e9 gates) * 2 years = 200 t.
+  const units::CarbonMass result = model.design_carbon(2e9, /*is_fpga=*/false);
+  EXPECT_NEAR(result.in(t_co2e), 200.0, 1e-9);
+}
+
+TEST(DesignModel, FpgaRegularityDiscountsEffort) {
+  const DesignModel model(reference_parameters());
+  const auto asic = model.design_carbon(2e9, /*is_fpga=*/false);
+  const auto fpga = model.design_carbon(2e9, /*is_fpga=*/true);
+  EXPECT_NEAR(fpga.canonical(), 0.25 * asic.canonical(), 1e-9);
+}
+
+TEST(DesignModel, RegularityOfOneRecoversLiteralEquation) {
+  DesignParameters p = reference_parameters();
+  p.fpga_regularity_factor = 1.0;
+  const DesignModel model(p);
+  EXPECT_EQ(model.design_carbon(1e9, true), model.design_carbon(1e9, false));
+}
+
+TEST(DesignModel, LinearInGateCount) {
+  const DesignModel model(reference_parameters());
+  const auto one = model.design_carbon(1e9, false);
+  const auto three = model.design_carbon(3e9, false);
+  EXPECT_NEAR(three.canonical(), 3.0 * one.canonical(), 1e-6);
+}
+
+TEST(DesignModel, LinearInProjectDuration) {
+  DesignParameters p = reference_parameters();
+  const auto short_project = DesignModel(p).design_carbon(1e9, false);
+  p.project_duration = 4.0 * years;
+  const auto long_project = DesignModel(p).design_carbon(1e9, false);
+  EXPECT_NEAR(long_project.canonical(), 2.0 * short_project.canonical(), 1e-9);
+}
+
+TEST(DesignModel, GreenerDesignHouseEmitsLess) {
+  DesignParameters p = reference_parameters();
+  p.intensity = 30.0 * g_per_kwh;  // Table 1 lower bound (renewable-heavy)
+  const auto green = DesignModel(p).design_carbon(1e9, false);
+  p.intensity = 700.0 * g_per_kwh;  // Table 1 upper bound
+  const auto dirty = DesignModel(p).design_carbon(1e9, false);
+  EXPECT_LT(green, dirty);
+  EXPECT_NEAR(dirty.canonical() / green.canonical(), 700.0 / 30.0, 1e-9);
+}
+
+TEST(DesignModel, ChipOverloadUsesSiliconGates) {
+  const DesignModel model(reference_parameters());
+  const device::ChipSpec fpga = device::industry_fpga1();
+  const double silicon_gates = tech::node_info(fpga.node).gates_in_area(fpga.die_area);
+  EXPECT_EQ(model.design_carbon(fpga), model.design_carbon(silicon_gates, true));
+  // NOT the usable capacity: the vendor designs the whole die.
+  EXPECT_NE(model.design_carbon(fpga), model.design_carbon(fpga.capacity_gates, true));
+}
+
+TEST(DesignModel, GateCountAblationModelIsProportional) {
+  const units::CarbonMass per_gate{1e-6};
+  EXPECT_DOUBLE_EQ(DesignModel::gate_count_model(2e9, per_gate).in(kg_co2e), 2000.0);
+  EXPECT_THROW(DesignModel::gate_count_model(-1.0, per_gate), std::invalid_argument);
+}
+
+TEST(DesignModel, ValidationRejectsBadParameters) {
+  DesignParameters p = reference_parameters();
+  p.company_employees = 0.0;
+  EXPECT_THROW(DesignModel{p}, std::invalid_argument);
+
+  p = reference_parameters();
+  p.product_team_size = -1.0;
+  EXPECT_THROW(DesignModel{p}, std::invalid_argument);
+
+  p = reference_parameters();
+  p.average_product_gates = 0.0;
+  EXPECT_THROW(DesignModel{p}, std::invalid_argument);
+
+  p = reference_parameters();
+  p.project_duration = units::TimeSpan{};
+  EXPECT_THROW(DesignModel{p}, std::invalid_argument);
+
+  p = reference_parameters();
+  p.fpga_regularity_factor = 1.5;
+  EXPECT_THROW(DesignModel{p}, std::invalid_argument);
+
+  const DesignModel model(reference_parameters());
+  EXPECT_THROW(model.design_carbon(-1.0, false), std::invalid_argument);
+}
+
+// Property: design CFP scales linearly in team size across Table 1's span.
+class TeamSizeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TeamSizeProperty, LinearInTeamSize) {
+  DesignParameters p = reference_parameters();
+  const auto base = DesignModel(p).design_carbon(1e9, false);
+  p.product_team_size *= GetParam();
+  const auto scaled = DesignModel(p).design_carbon(1e9, false);
+  EXPECT_NEAR(scaled.canonical(), GetParam() * base.canonical(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TeamSizeProperty, ::testing::Values(0.5, 2.0, 3.0, 10.0));
+
+}  // namespace
+}  // namespace greenfpga::core

@@ -1,0 +1,148 @@
+/// Tests for the GPU third-platform extension.
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "device/iso_performance.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+namespace {
+
+using namespace units::unit;
+using device::Domain;
+
+LifecycleModel model() { return LifecycleModel(paper_suite()); }
+
+TEST(GpuSpec, DerivedFromAsicWithGpuRatios) {
+  const device::ChipSpec asic = device::domain_testcase(Domain::dnn).asic;
+  const device::ChipSpec gpu = device::derive_iso_gpu(asic, Domain::dnn);
+  EXPECT_TRUE(gpu.is_gpu());
+  EXPECT_TRUE(gpu.is_reusable());
+  EXPECT_FALSE(gpu.is_fpga());
+  EXPECT_DOUBLE_EQ(gpu.die_area.in(mm2), 5.0 * asic.die_area.in(mm2));
+  EXPECT_DOUBLE_EQ(gpu.peak_power.in(w), 5.0 * asic.peak_power.in(w));
+  EXPECT_DOUBLE_EQ(gpu.service_life.in(years), 7.0);
+}
+
+TEST(GpuSpec, RatiosCoverAllDomains) {
+  for (const Domain domain : device::all_domains()) {
+    const device::IsoPerformanceRatios ratios = device::gpu_domain_ratios(domain);
+    EXPECT_GT(ratios.area_ratio, 1.0) << to_string(domain);
+    EXPECT_GT(ratios.power_ratio, 1.0) << to_string(domain);
+  }
+  // Crypto is the worst GPU fit (bit-level kernels on SIMT).
+  EXPECT_GT(device::gpu_domain_ratios(Domain::crypto).power_ratio,
+            device::gpu_domain_ratios(Domain::dnn).power_ratio);
+}
+
+TEST(GpuPlatform, EmbodiedPaidOnceLikeFpga) {
+  const LifecycleModel m = model();
+  const device::ChipSpec gpu =
+      device::derive_iso_gpu(device::domain_testcase(Domain::dnn).asic, Domain::dnn);
+  const auto one = m.evaluate_gpu(gpu, paper_schedule(Domain::dnn, 1, 2.0 * years, 1e6));
+  const auto five = m.evaluate_gpu(gpu, paper_schedule(Domain::dnn, 5, 2.0 * years, 1e6));
+  EXPECT_DOUBLE_EQ(five.total.manufacturing.canonical(), one.total.manufacturing.canonical());
+  EXPECT_DOUBLE_EQ(five.total.design.canonical(), one.total.design.canonical());
+  EXPECT_NEAR(five.total.operational.canonical(), 5.0 * one.total.operational.canonical(),
+              1e-6);
+}
+
+TEST(GpuPlatform, SoftwareFlowNotHardwareFlow) {
+  // GPU app-dev: kernel porting (0.75 months default), no per-chip
+  // configuration -- cheaper than the FPGA's 3-month RTL flow.
+  const AppDevModel appdev{paper_suite().appdev};
+  const auto gpu_dev = appdev.per_application(1e6, device::ChipKind::gpu);
+  const auto fpga_dev = appdev.per_application(1e6, device::ChipKind::fpga);
+  EXPECT_EQ(gpu_dev.configuration.canonical(), 0.0);
+  EXPECT_GT(gpu_dev.engineering.canonical(), 0.0);
+  EXPECT_LT(gpu_dev.total().canonical(), fpga_dev.total().canonical());
+  EXPECT_DOUBLE_EQ(appdev.engineering_time(device::ChipKind::gpu).in(months), 0.75);
+}
+
+TEST(GpuPlatform, GpuDesignChargedWithoutRegularityDiscount) {
+  // The fabric-regularity discount is an FPGA-tiling property; GPU dies
+  // are charged like ASICs of their silicon size.
+  const DesignModel design{paper_suite().design};
+  const device::ChipSpec gpu =
+      device::derive_iso_gpu(device::domain_testcase(Domain::dnn).asic, Domain::dnn);
+  const double silicon_gates = tech::node_info(gpu.node).gates_in_area(gpu.die_area);
+  EXPECT_DOUBLE_EQ(design.design_carbon(gpu).canonical(),
+                   design.design_carbon(silicon_gates, /*is_fpga=*/false).canonical());
+}
+
+TEST(GpuPlatform, KindMismatchThrows) {
+  const LifecycleModel m = model();
+  const auto testcase = device::domain_testcase(Domain::dnn);
+  const auto schedule = paper_schedule(Domain::dnn);
+  EXPECT_THROW(m.evaluate_gpu(testcase.asic, schedule), std::invalid_argument);
+  EXPECT_THROW(m.evaluate_gpu(testcase.fpga, schedule), std::invalid_argument);
+  const device::ChipSpec gpu = device::derive_iso_gpu(testcase.asic, Domain::dnn);
+  EXPECT_THROW(m.evaluate_asic(gpu, schedule), std::invalid_argument);
+}
+
+TEST(GpuPlatform, EvaluateDispatchesGpu) {
+  const LifecycleModel m = model();
+  const device::ChipSpec gpu =
+      device::derive_iso_gpu(device::domain_testcase(Domain::dnn).asic, Domain::dnn);
+  EXPECT_EQ(m.evaluate(gpu, paper_schedule(Domain::dnn)).kind, device::ChipKind::gpu);
+}
+
+TEST(ThreeWay, RatiosAndWinnerConsistent) {
+  const LifecycleModel m = model();
+  const auto comparison = compare_three_way(m, device::domain_testcase(Domain::dnn),
+                                            paper_schedule(Domain::dnn));
+  EXPECT_GT(comparison.fpga_ratio(), 0.0);
+  EXPECT_GT(comparison.gpu_ratio(), 0.0);
+  const device::ChipKind winner = comparison.winner();
+  const double best = std::min({comparison.asic.total.total().canonical(),
+                                comparison.fpga.total.total().canonical(),
+                                comparison.gpu.total.total().canonical()});
+  const double winner_total =
+      winner == device::ChipKind::asic  ? comparison.asic.total.total().canonical()
+      : winner == device::ChipKind::fpga ? comparison.fpga.total.total().canonical()
+                                         : comparison.gpu.total.total().canonical();
+  EXPECT_DOUBLE_EQ(winner_total, best);
+}
+
+TEST(ThreeWay, ReusableMatchupFollowsAreaOverheads) {
+  // Both reusable platforms amortise embodied carbon, so in the
+  // embodied-dominated edge regime the matchup tracks silicon overheads:
+  // the FPGA (4x / 1x area) beats the GPU (5x / 6x) for DNN and Crypto,
+  // while for ImgProc the FPGA's 7.42x area loses to the GPU's 4x.
+  const LifecycleModel m = model();
+  const auto dnn = compare_three_way(m, device::domain_testcase(Domain::dnn),
+                                     paper_schedule(Domain::dnn));
+  EXPECT_LT(dnn.fpga.total.total().canonical(), dnn.gpu.total.total().canonical());
+  const auto crypto = compare_three_way(m, device::domain_testcase(Domain::crypto),
+                                        paper_schedule(Domain::crypto));
+  EXPECT_LT(crypto.fpga.total.total().canonical(), crypto.gpu.total.total().canonical());
+  const auto imgproc = compare_three_way(m, device::domain_testcase(Domain::imgproc),
+                                         paper_schedule(Domain::imgproc));
+  EXPECT_GT(imgproc.fpga.total.total().canonical(),
+            imgproc.gpu.total.total().canonical());
+}
+
+TEST(ThreeWay, GpuStillBeatsAsicWhenChurnIsExtreme) {
+  // Many short-lived applications: even the GPU's power penalty amortises
+  // against per-app ASIC re-design at low duty.
+  const LifecycleModel m = model();
+  const auto comparison =
+      compare_three_way(m, device::domain_testcase(Domain::dnn),
+                        paper_schedule(Domain::dnn, 12, 0.5 * years, 1e6));
+  EXPECT_LT(comparison.gpu_ratio(), 1.0);
+  EXPECT_EQ(comparison.winner(), device::ChipKind::fpga);
+}
+
+TEST(ThreeWay, AsicWinsLongSingleApplication) {
+  const LifecycleModel m = model();
+  const auto comparison =
+      compare_three_way(m, device::domain_testcase(Domain::dnn),
+                        paper_schedule(Domain::dnn, 1, 8.0 * years, 1e6));
+  EXPECT_EQ(comparison.winner(), device::ChipKind::asic);
+}
+
+}  // namespace
+}  // namespace greenfpga::core

@@ -1,0 +1,153 @@
+/// Tests for time-varying grid profiles and carbon-aware duty scheduling.
+
+#include <gtest/gtest.h>
+
+#include "act/grid_profile.hpp"
+#include "act/operational_model.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::act {
+namespace {
+
+using namespace units::unit;
+
+TEST(DailyProfile, DefaultIsFlat) {
+  const DailyProfile flat;
+  for (int hour = 0; hour < 24; ++hour) {
+    EXPECT_DOUBLE_EQ(flat.multiplier(hour), 1.0);
+  }
+}
+
+TEST(DailyProfile, NormalisesToUnitMean) {
+  std::array<double, 24> raw{};
+  raw.fill(3.0);
+  raw[0] = 9.0;  // deliberately unnormalised
+  const DailyProfile profile(raw);
+  double sum = 0.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    sum += profile.multiplier(hour);
+  }
+  EXPECT_NEAR(sum / 24.0, 1.0, 1e-12);
+}
+
+TEST(DailyProfile, RejectsNonPositiveMultipliers) {
+  std::array<double, 24> raw{};
+  raw.fill(1.0);
+  raw[5] = 0.0;
+  EXPECT_THROW(DailyProfile{raw}, std::invalid_argument);
+}
+
+TEST(DailyProfile, HourBoundsChecked) {
+  const DailyProfile profile;
+  EXPECT_THROW(profile.multiplier(-1), std::invalid_argument);
+  EXPECT_THROW(profile.multiplier(24), std::invalid_argument);
+}
+
+TEST(DailyProfile, BuiltInShapesAreNormalised) {
+  for (const DailyProfile& profile :
+       {DailyProfile::solar_duck(), DailyProfile::windy_night()}) {
+    double sum = 0.0;
+    for (int hour = 0; hour < 24; ++hour) {
+      sum += profile.multiplier(hour);
+    }
+    EXPECT_NEAR(sum / 24.0, 1.0, 1e-12);
+  }
+}
+
+TEST(DailyProfile, SolarDuckHasNoonTroughAndEveningPeak) {
+  const DailyProfile duck = DailyProfile::solar_duck();
+  EXPECT_LT(duck.multiplier(12), duck.multiplier(0));
+  EXPECT_GT(duck.multiplier(19), duck.multiplier(12));
+  EXPECT_GT(duck.multiplier(19), 1.0);
+  EXPECT_LT(duck.multiplier(12), 1.0);
+}
+
+TEST(Scheduling, UniformPolicySeesAnnualMean) {
+  const DailyProfile duck = DailyProfile::solar_duck();
+  for (const double duty : {0.02, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(duck.effective_multiplier(duty, DutySchedulingPolicy::uniform), 1.0);
+  }
+}
+
+TEST(Scheduling, CarbonAwareNeverWorseThanUniform) {
+  for (const DailyProfile& profile :
+       {DailyProfile::solar_duck(), DailyProfile::windy_night(), DailyProfile{}}) {
+    for (const double duty : {0.05, 0.1, 0.3, 0.6, 0.9, 1.0}) {
+      EXPECT_LE(profile.effective_multiplier(duty, DutySchedulingPolicy::carbon_aware),
+                1.0 + 1e-12)
+          << "duty " << duty;
+    }
+  }
+}
+
+TEST(Scheduling, WorstCaseNeverBetterThanUniform) {
+  const DailyProfile duck = DailyProfile::solar_duck();
+  for (const double duty : {0.05, 0.3, 0.7}) {
+    EXPECT_GE(duck.effective_multiplier(duty, DutySchedulingPolicy::worst_case), 1.0);
+  }
+}
+
+TEST(Scheduling, FullDutyLeavesNoFreedom) {
+  const DailyProfile duck = DailyProfile::solar_duck();
+  EXPECT_NEAR(duck.effective_multiplier(1.0, DutySchedulingPolicy::carbon_aware), 1.0,
+              1e-12);
+  EXPECT_NEAR(duck.effective_multiplier(1.0, DutySchedulingPolicy::worst_case), 1.0, 1e-12);
+}
+
+TEST(Scheduling, SmallDutyGetsTheTroughExactly) {
+  // At duty <= 1/24 the carbon-aware schedule sits entirely in the
+  // greenest hour.
+  const DailyProfile duck = DailyProfile::solar_duck();
+  double best = duck.multiplier(0);
+  for (int hour = 1; hour < 24; ++hour) {
+    best = std::min(best, duck.multiplier(hour));
+  }
+  EXPECT_NEAR(duck.effective_multiplier(1.0 / 24.0, DutySchedulingPolicy::carbon_aware),
+              best, 1e-12);
+}
+
+TEST(Scheduling, AdvantageShrinksWithDuty) {
+  // The more hours you must run, the less choosing hours can help.
+  const DailyProfile duck = DailyProfile::solar_duck();
+  double previous = 0.0;
+  for (const double duty : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    const double m = duck.effective_multiplier(duty, DutySchedulingPolicy::carbon_aware);
+    EXPECT_GE(m, previous);
+    previous = m;
+  }
+}
+
+TEST(Scheduling, InvalidDutyThrows) {
+  const DailyProfile duck = DailyProfile::solar_duck();
+  EXPECT_THROW(duck.effective_multiplier(0.0, DutySchedulingPolicy::carbon_aware),
+               std::invalid_argument);
+  EXPECT_THROW(duck.effective_multiplier(1.5, DutySchedulingPolicy::carbon_aware),
+               std::invalid_argument);
+}
+
+TEST(Scheduling, IntensityPlugsIntoOperationalModel) {
+  // End-to-end: a 2 %-duty edge device on a duck-curve grid cuts its
+  // operational carbon by >50 % by running at noon.
+  const units::CarbonIntensity mean = grid_intensity(GridRegion::usa);
+  const units::CarbonIntensity aware = scheduled_intensity(
+      mean, DailyProfile::solar_duck(), 0.02, DutySchedulingPolicy::carbon_aware);
+
+  OperationalParameters flat;
+  flat.use_intensity = mean;
+  flat.duty_cycle = 0.02;
+  OperationalParameters scheduled = flat;
+  scheduled.use_intensity = aware;
+
+  const auto flat_carbon = OperationalModel(flat).annual_carbon(2.0 * w);
+  const auto aware_carbon = OperationalModel(scheduled).annual_carbon(2.0 * w);
+  EXPECT_LT(aware_carbon.canonical(), 0.5 * flat_carbon.canonical());
+}
+
+TEST(Scheduling, PolicyNames) {
+  EXPECT_EQ(to_string(DutySchedulingPolicy::uniform), "uniform");
+  EXPECT_EQ(to_string(DutySchedulingPolicy::carbon_aware), "carbon-aware");
+  EXPECT_EQ(to_string(DutySchedulingPolicy::worst_case), "worst-case");
+}
+
+}  // namespace
+}  // namespace greenfpga::act

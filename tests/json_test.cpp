@@ -1,0 +1,193 @@
+/// Tests for the from-scratch JSON parser and writer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/json.hpp"
+
+namespace greenfpga::io {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e6").as_number(), 1e6);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E-3").as_number(), 2.5e-3);
+  EXPECT_EQ(parse_json("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Json v = parse_json("  \t\n { \"a\" : [ 1 , 2 ] } \r\n ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json v = parse_json(R"({"a": {"b": [1, {"c": "d"}]}})");
+  EXPECT_EQ(v.at("a").at("b").at(1).at("c").as_string(), "d");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse_json("[]").size(), 0u);
+  EXPECT_EQ(parse_json("{}").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse_json(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse_json(R"("a\nb\tc")").as_string(), "a\nb\tc");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xC3\xA9");          // e-acute
+  EXPECT_EQ(parse_json(R"("€")").as_string(), "\xE2\x82\xAC");      // euro sign
+  EXPECT_EQ(parse_json(R"("😀")").as_string(), "\xF0\x9F\x98\x80");  // emoji
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("[1,]"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\":}"), JsonError);
+  EXPECT_THROW(parse_json("{'a': 1}"), JsonError);
+  EXPECT_THROW(parse_json("[1] trailing"), JsonError);
+  EXPECT_THROW(parse_json("01"), JsonError);
+  EXPECT_THROW(parse_json("1."), JsonError);
+  EXPECT_THROW(parse_json(".5"), JsonError);
+  EXPECT_THROW(parse_json("+1"), JsonError);
+  EXPECT_THROW(parse_json("nul"), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("\"bad\\escape\""), JsonError);
+  EXPECT_THROW(parse_json("\"\\u12\""), JsonError);
+  EXPECT_THROW(parse_json(R"("\ud800")"), JsonError);  // unpaired surrogate
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_json(R"({"a": 1, "a": 2})"), JsonError);
+}
+
+TEST(JsonParse, ErrorsIncludePosition) {
+  try {
+    parse_json("{\n  \"a\": !\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("2:"), std::string::npos)
+        << "message should name line 2: " << error.what();
+  }
+}
+
+TEST(JsonParse, CommentsOnlyInConfigMode) {
+  const std::string text = "{\n// a comment\n\"a\": 1\n}";
+  EXPECT_THROW(parse_json(text), JsonError);
+  const Json v = parse_json(text, JsonParseOptions{.allow_comments = true});
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+}
+
+TEST(JsonParse, Utf8BomSkipped) {
+  EXPECT_DOUBLE_EQ(parse_json("\xEF\xBB\xBF 1.5").as_number(), 1.5);
+}
+
+TEST(JsonAccess, TypeMismatchThrowsWithNames) {
+  const Json v = parse_json(R"({"a": 1})");
+  try {
+    (void)v.at("a").as_string();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("string"), std::string::npos);
+    EXPECT_NE(message.find("number"), std::string::npos);
+  }
+}
+
+TEST(JsonAccess, MissingKeyNamesKey) {
+  const Json v = parse_json("{}");
+  try {
+    (void)v.at("missing");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(JsonAccess, IndexOutOfRange) {
+  const Json v = parse_json("[1]");
+  EXPECT_THROW((void)v.at(1), JsonError);
+}
+
+TEST(JsonAccess, DefaultsForOptionalFields) {
+  const Json v = parse_json(R"({"present": 2.0})");
+  EXPECT_DOUBLE_EQ(v.number_or("present", 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.number_or("absent", 1.0), 1.0);
+  EXPECT_EQ(v.string_or("absent", "x"), "x");
+  EXPECT_EQ(v.bool_or("absent", true), true);
+}
+
+TEST(JsonAccess, AsIntChecksIntegrality) {
+  EXPECT_EQ(parse_json("5").as_int(), 5);
+  EXPECT_THROW(parse_json("5.5").as_int(), JsonError);
+}
+
+TEST(JsonBuild, ObjectAndArrayBuilders) {
+  Json obj = Json::object({{"name", "chip"}, {"area", 150.0}});
+  obj["extra"] = Json::array({1, 2, 3});
+  obj["extra"].push_back(4);
+  EXPECT_EQ(obj.at("extra").size(), 4u);
+  EXPECT_EQ(obj.at("name").as_string(), "chip");
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  const Json v = parse_json(R"({"b": [1, 2], "a": true})");
+  EXPECT_EQ(v.dump(0), R"({"a":true,"b":[1,2]})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": true"), std::string::npos);
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  const Json v1 = parse_json(R"({"z": 1, "a": 2})");
+  const Json v2 = parse_json(R"({"a": 2, "z": 1})");
+  EXPECT_EQ(v1.dump(0), v2.dump(0));
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Json v{std::string("a\nb\x01")};
+  EXPECT_EQ(v.dump(0), "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonDump, NonFiniteNumbersBecomeNull) {
+  const Json v{std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(v.dump(0), "null");
+}
+
+TEST(JsonDump, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(Json(1e6).dump(0), "1000000");
+  EXPECT_EQ(Json(-3).dump(0), "-3");
+}
+
+TEST(JsonFile, RoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/greenfpga_json_test.json";
+  Json original = Json::object({{"x", 1.25}, {"y", Json::array({"a", "b"})}});
+  write_json_file(path, original);
+  const Json loaded = parse_json_file(path);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(JsonFile, MissingFileThrows) {
+  EXPECT_THROW(parse_json_file("/nonexistent/greenfpga.json"), JsonError);
+}
+
+// Round-trip property: parse(dump(v)) == v for varied numeric magnitudes.
+class JsonNumberRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(JsonNumberRoundTrip, DumpThenParsePreservesValue) {
+  const Json v{GetParam()};
+  const Json round = parse_json(v.dump(0));
+  EXPECT_DOUBLE_EQ(round.as_number(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, JsonNumberRoundTrip,
+                         ::testing::Values(0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 2.5e-3, 856117.0,
+                                           1e15, 123456.789, 5e-324));
+
+}  // namespace
+}  // namespace greenfpga::io

@@ -1,0 +1,232 @@
+/// Tests for the total-CFP lifecycle model (Eqs. 1-3) and the comparator.
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.hpp"
+#include "core/lifecycle_model.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "units/units.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::core {
+namespace {
+
+using namespace units::unit;
+
+LifecycleModel paper_model() { return LifecycleModel(paper_suite()); }
+
+TEST(CfpBreakdown, ComponentsSumToTotal) {
+  CfpBreakdown b;
+  b.design = 1.0 * t_co2e;
+  b.manufacturing = 2.0 * t_co2e;
+  b.packaging = 0.5 * t_co2e;
+  b.eol = -0.1 * t_co2e;
+  b.operational = 3.0 * t_co2e;
+  b.app_dev = 0.2 * t_co2e;
+  EXPECT_DOUBLE_EQ(b.embodied().in(t_co2e), 3.4);
+  EXPECT_DOUBLE_EQ(b.deployment().in(t_co2e), 3.2);
+  EXPECT_DOUBLE_EQ(b.total().in(t_co2e), 6.6);
+}
+
+TEST(CfpBreakdown, AdditionAndScaling) {
+  CfpBreakdown a;
+  a.design = 1.0 * t_co2e;
+  a.operational = 2.0 * t_co2e;
+  CfpBreakdown b;
+  b.design = 0.5 * t_co2e;
+  b.eol = -0.25 * t_co2e;
+  const CfpBreakdown sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.design.in(t_co2e), 1.5);
+  EXPECT_DOUBLE_EQ(sum.eol.in(t_co2e), -0.25);
+  const CfpBreakdown scaled = sum * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.design.in(t_co2e), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.total().in(t_co2e), 2.0 * sum.total().in(t_co2e));
+}
+
+TEST(LifecycleModel, PerChipEmbodiedHasNoDesignOrDeployment) {
+  const LifecycleModel model = paper_model();
+  const CfpBreakdown per_chip = model.per_chip_embodied(device::industry_fpga1());
+  EXPECT_EQ(per_chip.design.canonical(), 0.0);
+  EXPECT_EQ(per_chip.operational.canonical(), 0.0);
+  EXPECT_EQ(per_chip.app_dev.canonical(), 0.0);
+  EXPECT_GT(per_chip.manufacturing.canonical(), 0.0);
+  EXPECT_GT(per_chip.packaging.canonical(), 0.0);
+  EXPECT_NE(per_chip.eol.canonical(), 0.0);
+}
+
+TEST(LifecycleModel, AsicPaysDesignPerApplication) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const auto one = model.evaluate_asic(testcase.asic, paper_schedule(device::Domain::dnn, 1,
+                                                                     2.0 * years, 1e6));
+  const auto five = model.evaluate_asic(testcase.asic, paper_schedule(device::Domain::dnn, 5,
+                                                                      2.0 * years, 1e6));
+  EXPECT_NEAR(five.total.design.canonical(), 5.0 * one.total.design.canonical(), 1e-6);
+  EXPECT_NEAR(five.total.manufacturing.canonical(),
+              5.0 * one.total.manufacturing.canonical(), 1e-3);
+  EXPECT_DOUBLE_EQ(five.chips_manufactured, 5e6);
+}
+
+TEST(LifecycleModel, FpgaPaysEmbodiedOnce) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const auto one = model.evaluate_fpga(testcase.fpga, paper_schedule(device::Domain::dnn, 1,
+                                                                     2.0 * years, 1e6));
+  const auto five = model.evaluate_fpga(testcase.fpga, paper_schedule(device::Domain::dnn, 5,
+                                                                      2.0 * years, 1e6));
+  // Reconfigurability: embodied CFP identical regardless of app count.
+  EXPECT_DOUBLE_EQ(five.total.design.canonical(), one.total.design.canonical());
+  EXPECT_DOUBLE_EQ(five.total.manufacturing.canonical(),
+                   one.total.manufacturing.canonical());
+  EXPECT_DOUBLE_EQ(five.chips_manufactured, 1e6);
+  // Deployment scales with the number of applications.
+  EXPECT_NEAR(five.total.operational.canonical(), 5.0 * one.total.operational.canonical(),
+              1e-6);
+}
+
+TEST(LifecycleModel, OperationalScalesWithLifetimeAndPowerRatio) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const workload::Schedule schedule = paper_schedule(device::Domain::dnn, 1, 2.0 * years, 1e6);
+  const auto asic = model.evaluate_asic(testcase.asic, schedule);
+  const auto fpga = model.evaluate_fpga(testcase.fpga, schedule);
+  // Table 2 DNN power ratio = 3x at iso-performance.
+  EXPECT_NEAR(fpga.total.operational.canonical() / asic.total.operational.canonical(), 3.0,
+              1e-9);
+}
+
+TEST(LifecycleModel, MultiFpgaApplicationsScaleFleet) {
+  const LifecycleModel model = paper_model();
+  device::ChipSpec fpga = device::industry_fpga1();
+  workload::Application app;
+  app.name = "big-app";
+  app.lifetime = 2.0 * years;
+  app.volume = 1e3;
+  app.size_gates = fpga.capacity_gates * 2.5;  // needs 3 FPGAs per unit
+  const auto result = model.evaluate_fpga(fpga, {app});
+  EXPECT_DOUBLE_EQ(result.chips_manufactured, 3e3);
+  ASSERT_EQ(result.per_application.size(), 1u);
+  EXPECT_EQ(result.per_application[0].chips_per_unit, 3);
+}
+
+TEST(LifecycleModel, FleetSizedForLargestApplication) {
+  const LifecycleModel model = paper_model();
+  const device::ChipSpec fpga = device::industry_fpga1();
+  workload::Application small;
+  small.name = "small";
+  small.volume = 1e3;
+  workload::Application large;
+  large.name = "large";
+  large.volume = 5e3;
+  const auto result = model.evaluate_fpga(fpga, {small, large});
+  EXPECT_DOUBLE_EQ(result.chips_manufactured, 5e3);
+}
+
+TEST(LifecycleModel, PerApplicationAttributionsSumToTotals) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::imgproc);
+  const workload::Schedule schedule = paper_schedule(device::Domain::imgproc);
+  const auto asic = model.evaluate_asic(testcase.asic, schedule);
+  CfpBreakdown accumulated;
+  for (const ApplicationCfp& app : asic.per_application) {
+    accumulated += app.cfp;
+  }
+  EXPECT_NEAR(accumulated.total().canonical(), asic.total.total().canonical(), 1e-6);
+}
+
+TEST(LifecycleModel, KindMismatchThrows) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const workload::Schedule schedule = paper_schedule(device::Domain::dnn);
+  EXPECT_THROW(model.evaluate_fpga(testcase.asic, schedule), std::invalid_argument);
+  EXPECT_THROW(model.evaluate_asic(testcase.fpga, schedule), std::invalid_argument);
+}
+
+TEST(LifecycleModel, EvaluateDispatchesOnKind) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const workload::Schedule schedule = paper_schedule(device::Domain::dnn);
+  EXPECT_EQ(model.evaluate(testcase.asic, schedule).kind, device::ChipKind::asic);
+  EXPECT_EQ(model.evaluate(testcase.fpga, schedule).kind, device::ChipKind::fpga);
+}
+
+TEST(LifecycleModel, EmptyScheduleThrows) {
+  const LifecycleModel model = paper_model();
+  EXPECT_THROW(model.evaluate_asic(device::industry_asic1(), {}), std::invalid_argument);
+}
+
+TEST(LifecycleModel, CopyRebindsInternalPointers) {
+  // The package model borrows the fab model; a copied LifecycleModel must
+  // not dangle into the source object.
+  auto source = std::make_unique<LifecycleModel>(paper_suite());
+  const LifecycleModel copy = *source;
+  const auto before = copy.per_chip_embodied(device::industry_fpga1());
+  source.reset();
+  const auto after = copy.per_chip_embodied(device::industry_fpga1());
+  EXPECT_DOUBLE_EQ(before.total().canonical(), after.total().canonical());
+}
+
+TEST(LifecycleModel, PerYearAccountingScalesAppDev) {
+  ModelSuite one_time = paper_suite();
+  ModelSuite per_year = paper_suite();
+  per_year.appdev.accounting = AppDevAccounting::per_year;
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const workload::Schedule schedule =
+      paper_schedule(device::Domain::dnn, 3, 2.0 * years, 1e6);
+  const auto base = LifecycleModel(one_time).evaluate_fpga(testcase.fpga, schedule);
+  const auto literal = LifecycleModel(per_year).evaluate_fpga(testcase.fpga, schedule);
+  // Literal Eq. (2) multiplies app-dev by T_i = 2 years.
+  EXPECT_NEAR(literal.total.app_dev.canonical(), 2.0 * base.total.app_dev.canonical(),
+              1e-6);
+  // Everything else is unchanged.
+  EXPECT_DOUBLE_EQ(literal.total.embodied().canonical(), base.total.embodied().canonical());
+  EXPECT_DOUBLE_EQ(literal.total.operational.canonical(),
+                   base.total.operational.canonical());
+}
+
+TEST(Comparator, RatioAndVerdict) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::crypto);
+  const Comparison comparison =
+      compare(model, testcase, paper_schedule(device::Domain::crypto));
+  EXPECT_GT(comparison.ratio(), 0.0);
+  EXPECT_LT(comparison.ratio(), 1.0);  // crypto: FPGA always greener
+  EXPECT_EQ(comparison.verdict(), Verdict::fpga_lower);
+}
+
+TEST(Comparator, TieDetection) {
+  Comparison comparison;
+  comparison.asic.total.operational = 100.0 * t_co2e;
+  comparison.fpga.total.operational = 100.00001 * t_co2e;
+  EXPECT_EQ(comparison.verdict(), Verdict::tie);
+}
+
+TEST(Comparator, VerdictNames) {
+  EXPECT_EQ(to_string(Verdict::fpga_lower), "FPGA");
+  EXPECT_EQ(to_string(Verdict::asic_lower), "ASIC");
+  EXPECT_EQ(to_string(Verdict::tie), "tie");
+}
+
+// Property: FPGA:ASIC ratio decreases monotonically with app count for every
+// domain (reuse always helps the FPGA).
+class RatioMonotonicity : public ::testing::TestWithParam<device::Domain> {};
+
+TEST_P(RatioMonotonicity, RatioFallsWithAppCount) {
+  const LifecycleModel model = paper_model();
+  const device::DomainTestcase testcase = device::domain_testcase(GetParam());
+  double previous = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 8; ++k) {
+    const Comparison comparison =
+        compare(model, testcase, paper_schedule(GetParam(), k, 2.0 * years, 1e6));
+    EXPECT_LT(comparison.ratio(), previous) << "k = " << k;
+    previous = comparison.ratio();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, RatioMonotonicity,
+                         ::testing::Values(device::Domain::dnn, device::Domain::imgproc,
+                                           device::Domain::crypto));
+
+}  // namespace
+}  // namespace greenfpga::core

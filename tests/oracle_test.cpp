@@ -1,0 +1,229 @@
+/// Oracle tests: a second, deliberately naive implementation of the
+/// paper's equations, written in straight-line arithmetic with no shared
+/// code, cross-checked against the production LifecycleModel on a grid of
+/// randomised configurations.  A bug in either implementation that changes
+/// any Eq. (1)-(7) term shows up as a mismatch here.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/lifecycle_model.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "device/iso_performance.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga {
+namespace {
+
+using namespace units::unit;
+using device::Domain;
+
+/// Every input the naive oracle needs, in plain doubles / SI-ish units.
+struct OracleInputs {
+  // Device.
+  double die_area_mm2 = 0.0;
+  double peak_power_w = 0.0;
+  double silicon_gates = 0.0;
+  bool is_fpga = false;
+  // Fab (per cm^2 of wafer).
+  double fab_ci_kg_per_kwh = 0.0;
+  double epa_kwh_per_cm2 = 0.0;
+  double gpa_kg_per_cm2 = 0.0;
+  double mpa_kg_per_cm2 = 0.0;  // already rho-blended
+  double yield = 1.0;
+  // Package.
+  double substrate_kg_per_cm2 = 0.0;
+  double assembly_kg = 0.0;
+  double footprint_ratio = 0.0;
+  // EOL.
+  double mass_kg = 0.0;
+  double delta = 0.0;
+  double dis_kg_per_kg = 0.0;
+  double rec_kg_per_kg = 0.0;
+  // Design (Eq. 4).
+  double e_des_kwh = 0.0;
+  double ci_des_kg_per_kwh = 0.0;
+  double company_emp = 1.0;
+  double team = 0.0;
+  double avg_gates = 1.0;
+  double t_proj_years = 0.0;
+  double regularity = 1.0;
+  // Operation.
+  double ci_use_kg_per_kwh = 0.0;
+  double duty = 0.0;
+  double pue = 1.0;
+  // App dev (Eq. 7).
+  double fe_be_hours = 0.0;
+  double dev_power_kw = 0.0;
+  double dev_systems = 0.0;
+  double ci_dev_kg_per_kwh = 0.0;
+  double config_hours = 0.0;
+  // Schedule.
+  int n_app = 0;
+  double t_years = 0.0;
+  double volume = 0.0;
+};
+
+/// Straight-line Eqs. (1)-(7).
+double oracle_total_kg(const OracleInputs& in) {
+  const double area_cm2 = in.die_area_mm2 / 100.0;
+  const double cpa = in.fab_ci_kg_per_kwh * in.epa_kwh_per_cm2 + in.gpa_kg_per_cm2 +
+                     in.mpa_kg_per_cm2;
+  const double mfg = cpa * area_cm2 / in.yield;
+  const double pkg =
+      in.substrate_kg_per_cm2 * area_cm2 * in.footprint_ratio + in.assembly_kg;
+  const double eol =
+      (1.0 - in.delta) * in.dis_kg_per_kg * in.mass_kg -
+      in.delta * in.rec_kg_per_kg * in.mass_kg;
+  const double per_chip = mfg + pkg + eol;
+
+  const double effective_gates = in.is_fpga ? in.silicon_gates * in.regularity
+                                            : in.silicon_gates;
+  const double design = (in.e_des_kwh * in.ci_des_kg_per_kwh / in.company_emp) * in.team *
+                        (effective_gates / in.avg_gates) * in.t_proj_years;
+
+  const double op_per_chip_year =
+      in.peak_power_w / 1000.0 * in.duty * in.pue * 8760.0 * in.ci_use_kg_per_kwh;
+
+  const double dev_per_app =
+      in.dev_power_kw * in.dev_systems * in.fe_be_hours * in.ci_dev_kg_per_kwh;
+  const double config_per_chip =
+      in.dev_power_kw * in.config_hours * in.ci_dev_kg_per_kwh;
+
+  if (in.is_fpga) {
+    // Eq. (2) + Eq. (3) paid once.
+    double total = design + in.volume * per_chip;
+    total += in.n_app * (in.volume * op_per_chip_year * in.t_years);
+    total += in.n_app * (dev_per_app + in.volume * config_per_chip);
+    return total;
+  }
+  // Eq. (1): everything recurs per application; ASIC has no FE/BE/config.
+  return in.n_app *
+         (design + in.volume * per_chip + in.volume * op_per_chip_year * in.t_years);
+}
+
+/// Build matching (model, oracle-inputs) pairs from a seeded RNG.
+struct Configured {
+  core::ModelSuite suite;
+  device::ChipSpec chip;
+  workload::Schedule schedule;
+  OracleInputs inputs;
+};
+
+Configured random_configuration(unsigned seed, bool fpga) {
+  std::mt19937 rng(seed);
+  const auto uniform = [&](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+
+  Configured out;
+  core::ModelSuite& suite = out.suite;
+  suite = core::paper_suite();
+  suite.design.annual_energy = uniform(2.0, 7.3) * gwh;
+  suite.design.intensity = uniform(30.0, 700.0) * g_per_kwh;
+  suite.design.company_employees = uniform(20e3, 160e3);
+  suite.design.product_team_size = uniform(100.0, 1500.0);
+  suite.design.average_product_gates = uniform(2e8, 2e9);
+  suite.design.project_duration = uniform(1.0, 3.0) * years;
+  suite.design.fpga_regularity_factor = uniform(0.1, 1.0);
+  suite.appdev.frontend_time = uniform(1.5, 2.5) * months;
+  suite.appdev.backend_time = uniform(0.5, 1.5) * months;
+  suite.appdev.config_time = uniform(1.0, 30.0) * minutes;
+  suite.appdev.dev_system_power = uniform(100.0, 500.0) * w;
+  suite.appdev.dev_systems = uniform(1.0, 30.0);
+  suite.appdev.dev_intensity = uniform(50.0, 700.0) * g_per_kwh;
+  suite.fab.fab_energy_intensity = uniform(50.0, 700.0) * g_per_kwh;
+  suite.fab.recycled_material_fraction = uniform(0.0, 1.0);
+  suite.operation.use_intensity = uniform(50.0, 700.0) * g_per_kwh;
+  suite.operation.duty_cycle = uniform(0.01, 0.9);
+  suite.operation.power_usage_effectiveness = uniform(1.0, 1.6);
+  suite.eol.recycled_fraction = uniform(0.0, 1.0);
+  suite.eol.discard_factor = uniform(0.03, 2.08) * mtco2e_per_ton;
+  suite.eol.recycle_credit_factor = uniform(7.65, 29.83) * mtco2e_per_ton;
+
+  device::ChipSpec& chip = out.chip;
+  chip.name = fpga ? "oracle-fpga" : "oracle-asic";
+  chip.kind = fpga ? device::ChipKind::fpga : device::ChipKind::asic;
+  chip.node = tech::ProcessNode::n10;
+  chip.die_area = uniform(50.0, 700.0) * mm2;
+  chip.peak_power = uniform(0.5, 50.0) * w;
+  chip.capacity_gates = tech::node_info(chip.node).gates_in_area(chip.die_area);
+
+  workload::Application app;
+  app.name = "oracle-app";
+  app.lifetime = uniform(0.25, 3.0) * years;
+  app.volume = uniform(1e3, 2e6);
+  const int n_app = std::uniform_int_distribution<int>(1, 10)(rng);
+  out.schedule = workload::homogeneous_schedule(n_app, app);
+
+  // Mirror everything into the oracle's flat inputs.
+  const core::LifecycleModel model(suite);
+  const act::FabNodeData& fab = act::fab_node_data(chip.node);
+  OracleInputs& inputs = out.inputs;
+  inputs.die_area_mm2 = chip.die_area.in(mm2);
+  inputs.peak_power_w = chip.peak_power.in(w);
+  inputs.silicon_gates = tech::node_info(chip.node).gates_in_area(chip.die_area);
+  inputs.is_fpga = fpga;
+  inputs.fab_ci_kg_per_kwh = suite.fab.fab_energy_intensity.in(kg_per_kwh);
+  inputs.epa_kwh_per_cm2 = fab.energy_per_area.in(kwh_per_cm2);
+  inputs.gpa_kg_per_cm2 = fab.gas_per_area.in(kg_per_cm2);
+  const double rho = suite.fab.recycled_material_fraction;
+  inputs.mpa_kg_per_cm2 = rho * fab.materials_recycled.in(kg_per_cm2) +
+                          (1.0 - rho) * fab.materials_new.in(kg_per_cm2);
+  inputs.yield = model.fab_model().yield(chip.node, chip.die_area);
+  inputs.substrate_kg_per_cm2 = suite.package.substrate_per_area.in(kg_per_cm2);
+  inputs.assembly_kg = suite.package.assembly_overhead.in(kg_co2e);
+  inputs.footprint_ratio = suite.package.footprint_ratio;
+  inputs.mass_kg = model.package_model().package_mass(chip.die_area).in(kg);
+  inputs.delta = suite.eol.recycled_fraction;
+  inputs.dis_kg_per_kg = suite.eol.discard_factor.in(kg_per_kg);
+  inputs.rec_kg_per_kg = suite.eol.recycle_credit_factor.in(kg_per_kg);
+  inputs.e_des_kwh = suite.design.annual_energy.in(kwh);
+  inputs.ci_des_kg_per_kwh = suite.design.intensity.in(kg_per_kwh);
+  inputs.company_emp = suite.design.company_employees;
+  inputs.team = suite.design.product_team_size;
+  inputs.avg_gates = suite.design.average_product_gates;
+  inputs.t_proj_years = suite.design.project_duration.in(years);
+  inputs.regularity = suite.design.fpga_regularity_factor;
+  inputs.ci_use_kg_per_kwh = suite.operation.use_intensity.in(kg_per_kwh);
+  inputs.duty = suite.operation.duty_cycle;
+  inputs.pue = suite.operation.power_usage_effectiveness;
+  inputs.fe_be_hours = (suite.appdev.frontend_time + suite.appdev.backend_time).in(hours);
+  inputs.dev_power_kw = suite.appdev.dev_system_power.in(kw);
+  inputs.dev_systems = suite.appdev.dev_systems;
+  inputs.ci_dev_kg_per_kwh = suite.appdev.dev_intensity.in(kg_per_kwh);
+  inputs.config_hours = suite.appdev.config_time.in(hours);
+  inputs.n_app = n_app;
+  inputs.t_years = app.lifetime.in(years);
+  inputs.volume = app.volume;
+  return out;
+}
+
+class OracleCrossCheck : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OracleCrossCheck, FpgaTotalsMatchNaiveArithmetic) {
+  const Configured configured = random_configuration(GetParam(), /*fpga=*/true);
+  const core::LifecycleModel model(configured.suite);
+  const double production =
+      model.evaluate_fpga(configured.chip, configured.schedule).total.total().canonical();
+  const double oracle = oracle_total_kg(configured.inputs);
+  EXPECT_NEAR(production, oracle, std::fabs(oracle) * 1e-9) << "seed " << GetParam();
+}
+
+TEST_P(OracleCrossCheck, AsicTotalsMatchNaiveArithmetic) {
+  const Configured configured = random_configuration(GetParam() + 1000, /*fpga=*/false);
+  const core::LifecycleModel model(configured.suite);
+  const double production =
+      model.evaluate_asic(configured.chip, configured.schedule).total.total().canonical();
+  const double oracle = oracle_total_kg(configured.inputs);
+  EXPECT_NEAR(production, oracle, std::fabs(oracle) * 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleCrossCheck,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u,
+                                           144u, 233u));
+
+}  // namespace
+}  // namespace greenfpga

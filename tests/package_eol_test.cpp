@@ -1,0 +1,177 @@
+/// Tests for the packaging substrate and the end-of-life model (Eq. 6).
+
+#include <gtest/gtest.h>
+
+#include "act/fab_model.hpp"
+#include "eol/eol_model.hpp"
+#include "package/package_model.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga {
+namespace {
+
+using namespace units::unit;
+
+TEST(Package, MonolithicIsSubstratePlusAssembly) {
+  const pkg::PackageModel model;
+  const pkg::PackageBreakdown result = model.package(150.0 * mm2);
+  EXPECT_GT(result.substrate.canonical(), 0.0);
+  EXPECT_EQ(result.interposer.canonical(), 0.0);
+  EXPECT_DOUBLE_EQ(result.assembly.canonical(), 0.150);
+  EXPECT_DOUBLE_EQ(result.total().canonical(),
+                   (result.substrate + result.assembly).canonical());
+}
+
+TEST(Package, SubstrateScalesWithFootprint) {
+  const pkg::PackageModel model;
+  const auto small = model.package(100.0 * mm2);
+  const auto large = model.package(400.0 * mm2);
+  EXPECT_DOUBLE_EQ(large.substrate.canonical(), 4.0 * small.substrate.canonical());
+}
+
+TEST(Package, InterposerStylesNeedFabModel) {
+  pkg::PackageParameters p;
+  p.type = pkg::PackageType::silicon_interposer;
+  const pkg::PackageModel without_fab(p);
+  EXPECT_THROW(without_fab.package(400.0 * mm2, 2), std::invalid_argument);
+
+  const act::FabModel fab;
+  const pkg::PackageModel with_fab(p, &fab);
+  const auto result = with_fab.package(400.0 * mm2, 2);
+  EXPECT_GT(result.interposer.canonical(), 0.0);
+}
+
+TEST(Package, EmibCheaperThanFullInterposer) {
+  const act::FabModel fab;
+  pkg::PackageParameters interposer;
+  interposer.type = pkg::PackageType::silicon_interposer;
+  pkg::PackageParameters emib;
+  emib.type = pkg::PackageType::emib;
+  const auto si = pkg::PackageModel(interposer, &fab).package(600.0 * mm2, 3);
+  const auto bridge = pkg::PackageModel(emib, &fab).package(600.0 * mm2, 3);
+  EXPECT_LT(bridge.interposer, si.interposer);
+}
+
+TEST(Package, RdlAndThreeDChargeBonding) {
+  pkg::PackageParameters rdl;
+  rdl.type = pkg::PackageType::rdl_fanout;
+  pkg::PackageParameters stacked;
+  stacked.type = pkg::PackageType::three_d;
+  const auto base = pkg::PackageModel().package(200.0 * mm2, 4);
+  const auto fanout = pkg::PackageModel(rdl).package(200.0 * mm2, 4);
+  const auto three_d = pkg::PackageModel(stacked).package(200.0 * mm2, 4);
+  EXPECT_GT(fanout.assembly, base.assembly);
+  EXPECT_GT(three_d.assembly, fanout.assembly);  // hybrid bonding costs 2x
+}
+
+TEST(Package, MassGrowsWithArea) {
+  const pkg::PackageModel model;
+  const units::Mass small = model.package_mass(100.0 * mm2);
+  const units::Mass large = model.package_mass(600.0 * mm2);
+  EXPECT_GT(large, small);
+  // Sanity: packages weigh grams to tens of grams.
+  EXPECT_GT(small.in(g), 1.0);
+  EXPECT_LT(large.in(g), 100.0);
+}
+
+TEST(Package, InvalidInputsThrow) {
+  const pkg::PackageModel model;
+  EXPECT_THROW(model.package(units::Area{}), std::invalid_argument);
+  EXPECT_THROW(model.package(100.0 * mm2, 0), std::invalid_argument);
+  EXPECT_THROW(model.package_mass(units::Area{}), std::invalid_argument);
+  pkg::PackageParameters bad;
+  bad.footprint_ratio = 0.5;
+  EXPECT_THROW(pkg::PackageModel{bad}, std::invalid_argument);
+}
+
+TEST(Package, TypeNames) {
+  EXPECT_EQ(to_string(pkg::PackageType::monolithic), "monolithic");
+  EXPECT_EQ(to_string(pkg::PackageType::silicon_interposer), "silicon-interposer");
+  EXPECT_EQ(to_string(pkg::PackageType::three_d), "3d");
+}
+
+TEST(Eol, MatchesEquationSix) {
+  // C_EOL = (1-delta)*C_dis - delta*C_recycle, per unit mass.
+  eol::EolParameters p;
+  p.recycled_fraction = 0.25;
+  p.discard_factor = 2.0 * kg_per_kg;
+  p.recycle_credit_factor = 8.0 * kg_per_kg;
+  const eol::EolModel model(p);
+  const eol::EolBreakdown result = model.end_of_life(1.0 * kg);
+  EXPECT_DOUBLE_EQ(result.discard.in(kg_co2e), 0.75 * 2.0);
+  EXPECT_DOUBLE_EQ(result.credit.in(kg_co2e), 0.25 * 8.0);
+  EXPECT_DOUBLE_EQ(result.total().in(kg_co2e), 1.5 - 2.0);
+}
+
+TEST(Eol, ZeroRecyclingIsPureDiscard) {
+  eol::EolParameters p;
+  p.recycled_fraction = 0.0;
+  const eol::EolModel model(p);
+  const auto result = model.end_of_life(0.040 * kg);
+  EXPECT_EQ(result.credit.canonical(), 0.0);
+  EXPECT_GT(result.total().canonical(), 0.0);
+}
+
+TEST(Eol, FullRecyclingIsPureCredit) {
+  eol::EolParameters p;
+  p.recycled_fraction = 1.0;
+  const eol::EolModel model(p);
+  const auto result = model.end_of_life(0.040 * kg);
+  EXPECT_EQ(result.discard.canonical(), 0.0);
+  EXPECT_LT(result.total().canonical(), 0.0);
+}
+
+TEST(Eol, NetCreditPossibleAtModerateDelta) {
+  // With WARM's recycle credits an order of magnitude above discard costs,
+  // even modest recycling rates make EOL a net credit.
+  const eol::EolModel model;  // delta = 0.2, defaults mid-range WARM
+  EXPECT_LT(model.end_of_life(1.0 * kg).total().canonical(), 0.0);
+}
+
+TEST(Eol, ScalesLinearlyWithMass) {
+  const eol::EolModel model;
+  const auto one = model.end_of_life(1.0 * kg).total();
+  const auto ten = model.end_of_life(10.0 * kg).total();
+  EXPECT_NEAR(ten.canonical(), 10.0 * one.canonical(), 1e-12);
+}
+
+TEST(Eol, ZeroMassIsZero) {
+  const eol::EolModel model;
+  EXPECT_EQ(model.end_of_life(units::Mass{}).total().canonical(), 0.0);
+}
+
+TEST(Eol, WarmUnitConversionIsMetricPerShortTon) {
+  // 1 MTCO2E/ton = 1000 kg CO2e per 907.18 kg processed.
+  EXPECT_NEAR((1.0 * mtco2e_per_ton).in(kg_per_kg), 1000.0 / 907.18474, 1e-9);
+}
+
+TEST(Eol, ValidationRejectsBadInputs) {
+  eol::EolParameters bad_delta;
+  bad_delta.recycled_fraction = -0.1;
+  EXPECT_THROW(eol::EolModel{bad_delta}, std::invalid_argument);
+  eol::EolParameters bad_factor;
+  bad_factor.discard_factor = units::CarbonPerMass{-1.0};
+  EXPECT_THROW(eol::EolModel{bad_factor}, std::invalid_argument);
+  const eol::EolModel model;
+  EXPECT_THROW(model.end_of_life(units::Mass{-1.0}), std::invalid_argument);
+}
+
+// Property: EOL total is monotonically decreasing in delta (more recycling
+// never makes end-of-life worse).
+class EolDeltaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EolDeltaProperty, MoreRecyclingNeverWorse) {
+  eol::EolParameters lower;
+  lower.recycled_fraction = GetParam();
+  eol::EolParameters higher;
+  higher.recycled_fraction = GetParam() + 0.2;
+  const units::Mass mass = 0.05 * kg;
+  EXPECT_LE(eol::EolModel(higher).end_of_life(mass).total().canonical(),
+            eol::EolModel(lower).end_of_life(mass).total().canonical());
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, EolDeltaProperty,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace greenfpga

@@ -1,0 +1,102 @@
+/// Tests for the calibrated parameter suites: every default must sit
+/// inside the paper's published Table 1 range (or be an explicitly
+/// documented assumption), and the two regime suites must differ only in
+/// the documented knobs.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_config.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::core {
+namespace {
+
+using namespace units::unit;
+
+TEST(PaperSuite, DesignDefaultsInsideTable1Ranges) {
+  const DesignParameters& p = paper_suite().design;
+  EXPECT_GE(p.annual_energy.in(gwh), 2.0);
+  EXPECT_LE(p.annual_energy.in(gwh), 7.3);
+  EXPECT_GE(p.intensity.in(g_per_kwh), 30.0);
+  EXPECT_LE(p.intensity.in(g_per_kwh), 700.0);
+  EXPECT_GE(p.company_employees, 20e3);
+  EXPECT_LE(p.company_employees, 160e3);
+  EXPECT_GE(p.project_duration.in(years), 1.0);
+  EXPECT_LE(p.project_duration.in(years), 3.0);
+}
+
+TEST(PaperSuite, AppDevDefaultsInsideTable1Ranges) {
+  const AppDevParameters& p = paper_suite().appdev;
+  EXPECT_GE(p.frontend_time.in(months), 1.5);
+  EXPECT_LE(p.frontend_time.in(months), 2.5);
+  EXPECT_GE(p.backend_time.in(months), 0.5);
+  EXPECT_LE(p.backend_time.in(months), 1.5);
+  EXPECT_EQ(p.accounting, AppDevAccounting::one_time);
+}
+
+TEST(PaperSuite, EolDefaultsInsideWarmRanges) {
+  const eol::EolParameters& p = paper_suite().eol;
+  EXPECT_GE(p.recycled_fraction, 0.0);
+  EXPECT_LE(p.recycled_fraction, 1.0);
+  EXPECT_GE(p.discard_factor.in(mtco2e_per_ton), 0.03);
+  EXPECT_LE(p.discard_factor.in(mtco2e_per_ton), 2.08);
+  EXPECT_GE(p.recycle_credit_factor.in(mtco2e_per_ton), 7.65);
+  EXPECT_LE(p.recycle_credit_factor.in(mtco2e_per_ton), 29.83);
+}
+
+TEST(PaperSuite, FabAndOperationAreDocumentedAssumptions) {
+  const ModelSuite suite = paper_suite();
+  // Fab: Taiwan grid with a 20 % solar share.
+  const double expected =
+      act::offset_grid_intensity(act::GridRegion::taiwan, 0.20).in(g_per_kwh);
+  EXPECT_DOUBLE_EQ(suite.fab.fab_energy_intensity.in(g_per_kwh), expected);
+  EXPECT_DOUBLE_EQ(suite.fab.recycled_material_fraction, 0.0);
+  // Edge regime: watt-class devices mostly idle.
+  EXPECT_DOUBLE_EQ(suite.operation.duty_cycle, 0.02);
+  EXPECT_DOUBLE_EQ(suite.operation.power_usage_effectiveness, 1.0);
+  // Package: the paper's monolithic model.
+  EXPECT_EQ(suite.package.type, pkg::PackageType::monolithic);
+}
+
+TEST(IndustrySuite, DiffersOnlyInDocumentedKnobs) {
+  const ModelSuite edge = paper_suite();
+  const ModelSuite datacenter = industry_suite();
+  // Changed: regime and design-team scale.
+  EXPECT_GT(datacenter.operation.duty_cycle, edge.operation.duty_cycle);
+  EXPECT_GT(datacenter.operation.power_usage_effectiveness, 1.0);
+  EXPECT_GT(datacenter.design.product_team_size, edge.design.product_team_size);
+  EXPECT_GT(datacenter.design.fpga_regularity_factor, edge.design.fpga_regularity_factor);
+  // Unchanged: fab, EOL, app-dev times, carbon intensities.
+  EXPECT_DOUBLE_EQ(datacenter.fab.fab_energy_intensity.in(g_per_kwh),
+                   edge.fab.fab_energy_intensity.in(g_per_kwh));
+  EXPECT_DOUBLE_EQ(datacenter.eol.recycled_fraction, edge.eol.recycled_fraction);
+  EXPECT_DOUBLE_EQ(datacenter.appdev.frontend_time.in(months),
+                   edge.appdev.frontend_time.in(months));
+  EXPECT_DOUBLE_EQ(datacenter.operation.use_intensity.in(g_per_kwh),
+                   edge.operation.use_intensity.in(g_per_kwh));
+}
+
+TEST(PaperSuite, SweepDefaultsMatchSection42D) {
+  const SweepDefaults defaults = paper_sweep_defaults();
+  EXPECT_EQ(defaults.app_count, 5);
+  EXPECT_DOUBLE_EQ(defaults.app_lifetime.in(years), 2.0);
+  EXPECT_DOUBLE_EQ(defaults.app_volume, 1e6);
+}
+
+TEST(PaperSuite, PaperScheduleUsesDefaults) {
+  const workload::Schedule schedule = paper_schedule(device::Domain::imgproc);
+  ASSERT_EQ(schedule.size(), 5u);
+  for (const workload::Application& app : schedule) {
+    EXPECT_EQ(app.domain, device::Domain::imgproc);
+    EXPECT_DOUBLE_EQ(app.lifetime.in(years), 2.0);
+    EXPECT_DOUBLE_EQ(app.volume, 1e6);
+  }
+}
+
+TEST(PaperSuite, SuitesConstructValidModels) {
+  EXPECT_NO_THROW(LifecycleModel{paper_suite()});
+  EXPECT_NO_THROW(LifecycleModel{industry_suite()});
+}
+
+}  // namespace
+}  // namespace greenfpga::core

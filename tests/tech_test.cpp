@@ -1,0 +1,188 @@
+/// Tests for the technology-node database, yield models and wafer math.
+
+#include <gtest/gtest.h>
+
+#include "tech/node.hpp"
+#include "tech/yield.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::tech {
+namespace {
+
+using units::unit::cm2;
+using units::unit::mm2;
+
+TEST(Node, DatabaseCoversAllEnumerators) {
+  for (const ProcessNode node : all_nodes()) {
+    const TechnologyNode& info = node_info(node);
+    EXPECT_EQ(info.node, node);
+    EXPECT_GT(info.transistor_density_mtr_per_mm2, 0.0);
+    EXPECT_GT(info.defect_density.canonical(), 0.0);
+  }
+}
+
+TEST(Node, DensityIncreasesWithScaling) {
+  // Newer nodes pack more transistors per mm^2; all_nodes() is ordered
+  // oldest (28 nm) to newest (3 nm).
+  double previous = 0.0;
+  for (const ProcessNode node : all_nodes()) {
+    const double density = node_info(node).transistor_density_mtr_per_mm2;
+    EXPECT_GT(density, previous) << to_string(node);
+    previous = density;
+  }
+}
+
+TEST(Node, GateAreaRoundTrip) {
+  const TechnologyNode& info = node_info(ProcessNode::n10);
+  const double gates = 1e9;
+  const units::Area area = info.area_for_gates(gates);
+  EXPECT_NEAR(info.gates_in_area(area), gates, 1.0);
+}
+
+TEST(Node, GatesPerMm2UsesNand2Convention) {
+  const TechnologyNode& info = node_info(ProcessNode::n10);
+  EXPECT_DOUBLE_EQ(info.gates_per_mm2(), 52.5e6 / 4.0);
+}
+
+TEST(Node, NegativeGateCountThrows) {
+  EXPECT_THROW(node_info(ProcessNode::n7).area_for_gates(-1.0), std::invalid_argument);
+}
+
+TEST(Node, ToStringAndParseRoundTrip) {
+  for (const ProcessNode node : all_nodes()) {
+    const auto parsed = parse_node(to_string(node));
+    ASSERT_TRUE(parsed.has_value()) << to_string(node);
+    EXPECT_EQ(*parsed, node);
+  }
+}
+
+TEST(Node, ParseAcceptsCommonSpellings) {
+  EXPECT_EQ(parse_node("7"), ProcessNode::n7);
+  EXPECT_EQ(parse_node("7nm"), ProcessNode::n7);
+  EXPECT_EQ(parse_node("7 nm"), ProcessNode::n7);
+}
+
+TEST(Node, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_node("6nm").has_value());
+  EXPECT_FALSE(parse_node("abc").has_value());
+  EXPECT_FALSE(parse_node("").has_value());
+  EXPECT_FALSE(parse_node("7 nanometers").has_value());
+}
+
+TEST(Yield, ZeroDefectsGivesLineYield) {
+  const YieldSpec spec{.model = YieldModel::poisson, .line_yield = 0.95};
+  EXPECT_DOUBLE_EQ(die_yield(100.0 * mm2, DefectDensity{}, spec), 0.95);
+}
+
+TEST(Yield, PoissonMatchesClosedForm) {
+  const YieldSpec spec{.model = YieldModel::poisson, .line_yield = 1.0};
+  // 2 cm^2 die at 0.1 defects/cm^2 -> exp(-0.2).
+  EXPECT_NEAR(die_yield(2.0 * cm2, 0.1 * per_cm2, spec), std::exp(-0.2), 1e-12);
+}
+
+TEST(Yield, SeedsMatchesClosedForm) {
+  const YieldSpec spec{.model = YieldModel::seeds, .line_yield = 1.0};
+  EXPECT_NEAR(die_yield(2.0 * cm2, 0.25 * per_cm2, spec), 1.0 / 1.5, 1e-12);
+}
+
+TEST(Yield, MurphyMatchesClosedForm) {
+  const YieldSpec spec{.model = YieldModel::murphy, .line_yield = 1.0};
+  const double ad = 0.5;
+  const double expected = std::pow((1.0 - std::exp(-ad)) / ad, 2.0);
+  EXPECT_NEAR(die_yield(5.0 * cm2, 0.1 * per_cm2, spec), expected, 1e-12);
+}
+
+TEST(Yield, NegativeBinomialMatchesClosedForm) {
+  const YieldSpec spec{
+      .model = YieldModel::negative_binomial, .clustering_alpha = 2.0, .line_yield = 1.0};
+  const double ad = 0.4;
+  EXPECT_NEAR(die_yield(4.0 * cm2, 0.1 * per_cm2, spec), std::pow(1.0 + ad / 2.0, -2.0),
+              1e-12);
+}
+
+TEST(Yield, NegativeBinomialApproachesPoissonForLargeAlpha) {
+  const units::Area area = 3.0 * cm2;
+  const DefectDensity d0 = 0.1 * per_cm2;
+  const YieldSpec nb{.model = YieldModel::negative_binomial,
+                     .clustering_alpha = 1e6,
+                     .line_yield = 1.0};
+  const YieldSpec poisson{.model = YieldModel::poisson, .line_yield = 1.0};
+  EXPECT_NEAR(die_yield(area, d0, nb), die_yield(area, d0, poisson), 1e-6);
+}
+
+TEST(Yield, InvalidInputsThrow) {
+  EXPECT_THROW(die_yield(units::Area{-1.0}, DefectDensity{}), std::invalid_argument);
+  EXPECT_THROW(die_yield(1.0 * cm2, DefectDensity{-1.0}), std::invalid_argument);
+  EXPECT_THROW(die_yield(1.0 * cm2, DefectDensity{},
+                         YieldSpec{.line_yield = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(die_yield(1.0 * cm2, 0.1 * per_cm2,
+                         YieldSpec{.model = YieldModel::negative_binomial,
+                                   .clustering_alpha = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Yield, ToStringNamesAllModels) {
+  EXPECT_EQ(to_string(YieldModel::poisson), "poisson");
+  EXPECT_EQ(to_string(YieldModel::murphy), "murphy");
+  EXPECT_EQ(to_string(YieldModel::seeds), "seeds");
+  EXPECT_EQ(to_string(YieldModel::negative_binomial), "negative-binomial");
+}
+
+// Property: yield lies in (0, 1] and decreases with area for all models.
+class YieldModelProperty : public ::testing::TestWithParam<YieldModel> {};
+
+TEST_P(YieldModelProperty, BoundedAndMonotonicInArea) {
+  const YieldSpec spec{.model = GetParam(), .clustering_alpha = 2.5, .line_yield = 1.0};
+  const DefectDensity d0 = 0.1 * per_cm2;
+  double previous = 1.0 + 1e-12;
+  for (double area_cm2 = 0.25; area_cm2 <= 16.0; area_cm2 *= 2.0) {
+    const double y = die_yield(area_cm2 * cm2, d0, spec);
+    EXPECT_GT(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    EXPECT_LT(y, previous) << "yield must fall as dies grow (" << to_string(GetParam())
+                           << ", " << area_cm2 << " cm^2)";
+    previous = y;
+  }
+}
+
+TEST_P(YieldModelProperty, MonotonicInDefectDensity) {
+  const YieldSpec spec{.model = GetParam(), .clustering_alpha = 2.5, .line_yield = 1.0};
+  const units::Area area = 2.0 * cm2;
+  double previous = 1.0 + 1e-12;
+  for (double d = 0.05; d <= 0.8; d *= 2.0) {
+    const double y = die_yield(area, d * per_cm2, spec);
+    EXPECT_LT(y, previous) << to_string(GetParam());
+    previous = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, YieldModelProperty,
+                         ::testing::Values(YieldModel::poisson, YieldModel::murphy,
+                                           YieldModel::seeds,
+                                           YieldModel::negative_binomial));
+
+TEST(Wafer, TypicalDieCount) {
+  // ~100 mm^2 dies on a 300 mm wafer: industry rule of thumb ~600 gross.
+  const int dies = dies_per_wafer(100.0 * mm2);
+  EXPECT_GT(dies, 500);
+  EXPECT_LT(dies, 700);
+}
+
+TEST(Wafer, LargerDiesYieldFewer) {
+  EXPECT_GT(dies_per_wafer(50.0 * mm2), dies_per_wafer(100.0 * mm2));
+  EXPECT_GT(dies_per_wafer(100.0 * mm2), dies_per_wafer(400.0 * mm2));
+}
+
+TEST(Wafer, ReticleScaleDieStillFits) {
+  EXPECT_GT(dies_per_wafer(858.0 * mm2), 0);  // full-reticle die
+}
+
+TEST(Wafer, DegenerateCases) {
+  EXPECT_THROW(dies_per_wafer(units::Area{}), std::invalid_argument);
+  EXPECT_EQ(dies_per_wafer(100.0 * mm2, 10.0, 6.0), 0);  // no usable wafer left
+  EXPECT_EQ(dies_per_wafer(1e6 * mm2), 0);               // die bigger than wafer
+}
+
+}  // namespace
+}  // namespace greenfpga::tech

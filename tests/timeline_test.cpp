@@ -1,0 +1,132 @@
+/// Tests for the Fig. 9 timeline simulator (chip-lifetime replacement).
+
+#include <gtest/gtest.h>
+
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "scenario/timeline.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+namespace {
+
+using namespace units::unit;
+using device::Domain;
+
+TimelineSimulator simulator_for(Domain domain) {
+  return TimelineSimulator(core::LifecycleModel(core::paper_suite()),
+                           device::domain_testcase(domain));
+}
+
+TimelineParameters paper_parameters() {
+  TimelineParameters p;
+  p.horizon = 45.0 * years;
+  p.app_lifetime = 1.0 * years;
+  p.volume = 1e6;
+  p.step = 0.25 * years;
+  return p;
+}
+
+TEST(Timeline, SeriesCoversHorizon) {
+  const TimelineSeries series = simulator_for(Domain::dnn).run(paper_parameters());
+  ASSERT_FALSE(series.time_years.empty());
+  EXPECT_DOUBLE_EQ(series.time_years.front(), 0.0);
+  EXPECT_DOUBLE_EQ(series.time_years.back(), 45.0);
+  EXPECT_EQ(series.time_years.size(), series.asic_cumulative_kg.size());
+  EXPECT_EQ(series.time_years.size(), series.fpga_cumulative_kg.size());
+}
+
+TEST(Timeline, CumulativeSeriesNeverDecrease) {
+  const TimelineSeries series = simulator_for(Domain::dnn).run(paper_parameters());
+  for (std::size_t i = 1; i < series.time_years.size(); ++i) {
+    EXPECT_GE(series.asic_cumulative_kg[i], series.asic_cumulative_kg[i - 1]);
+    EXPECT_GE(series.fpga_cumulative_kg[i], series.fpga_cumulative_kg[i - 1]);
+  }
+}
+
+TEST(Timeline, FpgaFleetRepurchasedEveryFifteenYears) {
+  const TimelineSeries series = simulator_for(Domain::dnn).run(paper_parameters());
+  // 45-year horizon, 15-year FPGA service life: purchases at 0, 15, 30.
+  ASSERT_EQ(series.fpga_purchase_years.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.fpga_purchase_years[0], 0.0);
+  EXPECT_DOUBLE_EQ(series.fpga_purchase_years[1], 15.0);
+  EXPECT_DOUBLE_EQ(series.fpga_purchase_years[2], 30.0);
+}
+
+TEST(Timeline, FpgaJumpsAtServiceLifeBoundaries) {
+  const TimelineSeries series = simulator_for(Domain::dnn).run(paper_parameters());
+  // Find samples just before and at year 15: the FPGA step must exceed the
+  // typical between-year step (operation + appdev) by the fleet embodied.
+  const auto at = [&](double year) {
+    for (std::size_t i = 0; i < series.time_years.size(); ++i) {
+      if (series.time_years[i] >= year - 1e-9) return i;
+    }
+    return series.time_years.size() - 1;
+  };
+  const double jump_15 =
+      series.fpga_cumulative_kg[at(15.0)] - series.fpga_cumulative_kg[at(15.0) - 1];
+  const double step_14 =
+      series.fpga_cumulative_kg[at(14.0)] - series.fpga_cumulative_kg[at(14.0) - 1];
+  EXPECT_GT(jump_15, 10.0 * step_14)
+      << "fleet re-purchase at year 15 must dominate a routine quarter";
+}
+
+TEST(Timeline, AsicStaircaseHasNoFifteenYearJump) {
+  // ASIC chips are re-manufactured every application (yearly) anyway, so
+  // year 15 looks like any other year.
+  const TimelineSeries series = simulator_for(Domain::dnn).run(paper_parameters());
+  std::vector<double> yearly_steps;
+  for (double year = 1.0; year <= 45.0; year += 1.0) {
+    const auto index = static_cast<std::size_t>(year / 0.25);
+    yearly_steps.push_back(series.asic_cumulative_kg[index] -
+                           series.asic_cumulative_kg[index - 4]);
+  }
+  const double year15 = yearly_steps[14];
+  const double year14 = yearly_steps[13];
+  EXPECT_NEAR(year15 / year14, 1.0, 0.01);
+}
+
+TEST(Timeline, ShortHorizonHasSinglePurchase) {
+  TimelineParameters p = paper_parameters();
+  p.horizon = 10.0 * years;
+  const TimelineSeries series = simulator_for(Domain::dnn).run(p);
+  EXPECT_EQ(series.fpga_purchase_years.size(), 1u);
+}
+
+TEST(Timeline, OneYearAppsFavourFpgaForDnn) {
+  // Fig. 9 story: with 1-year applications, DNN FPGAs stay below ASICs
+  // even across fleet replacements.
+  const TimelineSeries series = simulator_for(Domain::dnn).run(paper_parameters());
+  EXPECT_LT(series.fpga_cumulative_kg.back(), series.asic_cumulative_kg.back());
+}
+
+TEST(Timeline, ImgprocSeesMultipleCrossovers) {
+  // Fig. 9 (ImgProc): the 15/30-year jumps produce repeated A2F/F2A flips.
+  const TimelineSeries series = simulator_for(Domain::imgproc).run(paper_parameters());
+  const auto crossovers = series.crossovers();
+  EXPECT_GE(crossovers.size(), 2u)
+      << "paper reports multiple A2F and F2A crossovers for ImgProc";
+}
+
+TEST(Timeline, CryptoFpgaAlwaysBelow) {
+  const TimelineSeries series = simulator_for(Domain::crypto).run(paper_parameters());
+  for (std::size_t i = 1; i < series.time_years.size(); ++i) {
+    EXPECT_LT(series.fpga_cumulative_kg[i], series.asic_cumulative_kg[i])
+        << "at year " << series.time_years[i];
+  }
+}
+
+TEST(Timeline, InvalidParametersThrow) {
+  TimelineParameters p = paper_parameters();
+  p.horizon = units::TimeSpan{};
+  EXPECT_THROW(simulator_for(Domain::dnn).run(p), std::invalid_argument);
+  p = paper_parameters();
+  p.volume = 0.0;
+  EXPECT_THROW(simulator_for(Domain::dnn).run(p), std::invalid_argument);
+  p = paper_parameters();
+  p.step = units::TimeSpan{-1.0};
+  EXPECT_THROW(simulator_for(Domain::dnn).run(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenfpga::scenario

@@ -1,0 +1,158 @@
+/// Unit tests for the dimensional-analysis quantity system.
+
+#include <gtest/gtest.h>
+
+#include "units/format.hpp"
+#include "units/quantity.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::units {
+namespace {
+
+using namespace units::literals;
+using namespace units::unit;
+
+TEST(Dimension, ProductAddsExponents) {
+  constexpr Dimension d = dim::carbon + dim::carbon_intensity;
+  static_assert(d.co2e == 2);
+  static_assert(d.energy == -1);
+  EXPECT_EQ(d.co2e, 2);
+}
+
+TEST(Dimension, QuotientSubtractsExponents) {
+  constexpr Dimension d = dim::energy - dim::time;
+  static_assert(d == dim::power);
+  EXPECT_EQ(d.energy, 1);
+  EXPECT_EQ(d.time, -1);
+}
+
+TEST(Quantity, DefaultIsZero) {
+  constexpr CarbonMass zero;
+  EXPECT_EQ(zero.canonical(), 0.0);
+  EXPECT_TRUE(zero.is_zero());
+}
+
+TEST(Quantity, UnitConstantsScaleCorrectly) {
+  EXPECT_DOUBLE_EQ((2.5 * t_co2e).in(kg_co2e), 2500.0);
+  EXPECT_DOUBLE_EQ((1.0 * gwh).in(kwh), 1e6);
+  EXPECT_DOUBLE_EQ((1.0 * years).in(hours), 8760.0);
+  EXPECT_DOUBLE_EQ((12.0 * months).in(years), 1.0);
+  EXPECT_DOUBLE_EQ((1.0 * cm2).in(mm2), 100.0);
+  EXPECT_DOUBLE_EQ((1000.0 * w).in(kw), 1.0);
+}
+
+TEST(Quantity, LiteralsMatchUnitConstants) {
+  EXPECT_EQ(2.0_t_co2e, 2.0 * t_co2e);
+  EXPECT_EQ(1.5_years, 1.5 * years);
+  EXPECT_EQ(3.0_months, 3.0 * months);
+  EXPECT_EQ(150.0_mm2, 150.0 * mm2);
+  EXPECT_EQ(30.0_w, 30.0 * w);
+  EXPECT_EQ(380.0_g_per_kwh, 380.0 * g_per_kwh);
+}
+
+TEST(Quantity, AdditionPreservesDimension) {
+  const CarbonMass sum = 1.0_t_co2e + 500.0_kg_co2e;
+  EXPECT_DOUBLE_EQ(sum.in(kg_co2e), 1500.0);
+}
+
+TEST(Quantity, IntensityTimesEnergyIsCarbon) {
+  const CarbonIntensity ci = 380.0_g_per_kwh;
+  const Energy energy = 1000.0_kwh;
+  const CarbonMass carbon = ci * energy;
+  EXPECT_DOUBLE_EQ(carbon.in(kg_co2e), 380.0);
+}
+
+TEST(Quantity, PowerTimesTimeIsEnergy) {
+  const Power p = 100.0_w;
+  const Energy e = p * (10.0_hours);
+  EXPECT_DOUBLE_EQ(e.in(kwh), 1.0);
+}
+
+TEST(Quantity, DimensionlessRatioConvertsToDouble) {
+  const Area a = 600.0_mm2;
+  const Area b = 150.0_mm2;
+  const double ratio = a / b;
+  EXPECT_DOUBLE_EQ(ratio, 4.0);
+}
+
+TEST(Quantity, ScalarDividedByQuantityInverts) {
+  const auto inverse = 1.0 / (2.0 * kwh);
+  EXPECT_DOUBLE_EQ((inverse * (4.0 * kwh)) * 1.0, 2.0);
+}
+
+TEST(Quantity, ComparisonOperators) {
+  EXPECT_LT(1.0_kg_co2e, 1.0_t_co2e);
+  EXPECT_GT(2.0_years, 1.0_months);
+  EXPECT_EQ(units::max(1.0_kg_co2e, 2.0_kg_co2e), 2.0_kg_co2e);
+  EXPECT_EQ(units::min(1.0_kg_co2e, 2.0_kg_co2e), 1.0_kg_co2e);
+}
+
+TEST(Quantity, AbsHandlesNegativeEolCredits) {
+  const CarbonMass credit = -3.5_kg_co2e;
+  EXPECT_EQ(units::abs(credit), 3.5_kg_co2e);
+}
+
+TEST(Quantity, CompoundAssignment) {
+  CarbonMass total;
+  total += 2.0_kg_co2e;
+  total -= 0.5_kg_co2e;
+  total *= 2.0;
+  total /= 3.0;
+  EXPECT_DOUBLE_EQ(total.in(kg_co2e), 1.0);
+}
+
+TEST(Format, SignificantDigits) {
+  EXPECT_EQ(format_significant(0.0, 4), "0");
+  EXPECT_EQ(format_significant(1234.5678, 4), "1235");
+  EXPECT_EQ(format_significant(1.23456, 3), "1.23");
+  EXPECT_EQ(format_significant(0.0012345, 2), "0.0012");
+  EXPECT_EQ(format_significant(-42.0, 4), "-42");
+}
+
+TEST(Format, CarbonAutoScales) {
+  EXPECT_EQ(format_carbon(1.5 * kg_co2e), "1.5 kg CO2e");
+  EXPECT_EQ(format_carbon(2500.0 * kg_co2e), "2.5 t CO2e");
+  EXPECT_EQ(format_carbon(3.2e6 * kg_co2e), "3.2 kt CO2e");
+  EXPECT_EQ(format_carbon(0.5 * kg_co2e), "500 g CO2e");
+}
+
+TEST(Format, EnergyAutoScales) {
+  EXPECT_EQ(format_energy(0.25 * kwh), "250 Wh");
+  EXPECT_EQ(format_energy(7.3e6 * kwh), "7.3 GWh");
+}
+
+TEST(Format, TimeAutoScales) {
+  EXPECT_EQ(format_time(2.0 * years), "2 years");
+  EXPECT_EQ(format_time(1.0 * months), "1 months");
+  EXPECT_EQ(format_time(0.5 * hours), "30 min");
+}
+
+TEST(Format, PowerAndAreaAndIntensity) {
+  EXPECT_EQ(format_power(160.0 * w), "160 W");
+  EXPECT_EQ(format_power(2.0 * kw), "2 kW");
+  EXPECT_EQ(format_area(340.0 * mm2), "340 mm^2");
+  EXPECT_EQ(format_area(1500.0 * mm2), "15 cm^2");
+  EXPECT_EQ(format_carbon_intensity(380.0 * g_per_kwh), "380 g CO2e/kWh");
+}
+
+TEST(Format, NonFiniteValues) {
+  EXPECT_EQ(format_significant(std::numeric_limits<double>::infinity(), 4), "inf");
+  EXPECT_EQ(format_significant(std::numeric_limits<double>::quiet_NaN(), 4), "nan");
+}
+
+// Property sweep: x.in(u) * u == x for a spread of magnitudes.
+class RoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoundTripTest, InAndOutAreInverse) {
+  const double value = GetParam();
+  const CarbonMass mass = value * t_co2e;
+  EXPECT_DOUBLE_EQ(mass.in(t_co2e), value);
+  const Energy energy = value * gwh;
+  EXPECT_DOUBLE_EQ(energy.in(gwh), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, RoundTripTest,
+                         ::testing::Values(1e-9, 1e-3, 0.5, 1.0, 3.14159, 1e3, 1e6, 1e9));
+
+}  // namespace
+}  // namespace greenfpga::units

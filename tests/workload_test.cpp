@@ -1,0 +1,87 @@
+/// Tests for the application / schedule model.
+
+#include <gtest/gtest.h>
+
+#include "units/units.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::workload {
+namespace {
+
+using namespace units::unit;
+
+TEST(Application, PaperPrototypeMatchesDefaults) {
+  const Application app = paper_application(device::Domain::dnn);
+  EXPECT_EQ(app.domain, device::Domain::dnn);
+  EXPECT_DOUBLE_EQ(app.lifetime.in(years), 2.0);
+  EXPECT_DOUBLE_EQ(app.volume, 1e6);
+  EXPECT_DOUBLE_EQ(app.size_gates, 0.0);
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(Application, ValidateRejectsBadFields) {
+  Application app = paper_application(device::Domain::crypto);
+  app.lifetime = units::TimeSpan{};
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+
+  app = paper_application(device::Domain::crypto);
+  app.volume = 0.0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+
+  app = paper_application(device::Domain::crypto);
+  app.size_gates = -1.0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+
+  app = paper_application(device::Domain::crypto);
+  app.name.clear();
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(Schedule, HomogeneousSchedulesNumberApps) {
+  const Schedule schedule = homogeneous_schedule(3, paper_application(device::Domain::dnn));
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].name, "DNN-app-1");
+  EXPECT_EQ(schedule[2].name, "DNN-app-3");
+  EXPECT_NO_THROW(validate(schedule));
+}
+
+TEST(Schedule, ZeroCountIsEmpty) {
+  EXPECT_TRUE(homogeneous_schedule(0, paper_application(device::Domain::dnn)).empty());
+}
+
+TEST(Schedule, NegativeCountThrows) {
+  EXPECT_THROW(homogeneous_schedule(-1, paper_application(device::Domain::dnn)),
+               std::invalid_argument);
+}
+
+TEST(Schedule, TotalLifetimeSums) {
+  Application app = paper_application(device::Domain::dnn);
+  app.lifetime = 1.5 * years;
+  const Schedule schedule = homogeneous_schedule(4, app);
+  EXPECT_DOUBLE_EQ(total_lifetime(schedule).in(years), 6.0);
+}
+
+TEST(Schedule, EmptyScheduleFailsValidation) {
+  EXPECT_THROW(validate(Schedule{}), std::invalid_argument);
+}
+
+TEST(Schedule, ValidatePropagatesToApplications) {
+  Schedule schedule = homogeneous_schedule(2, paper_application(device::Domain::imgproc));
+  schedule[1].volume = -5.0;
+  EXPECT_THROW(validate(schedule), std::invalid_argument);
+}
+
+// Property: a homogeneous schedule of n copies has n times the lifetime.
+class ScheduleCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleCountProperty, LifetimeScalesWithCount) {
+  const Application proto = paper_application(device::Domain::dnn);
+  const Schedule schedule = homogeneous_schedule(GetParam(), proto);
+  EXPECT_DOUBLE_EQ(total_lifetime(schedule).in(years),
+                   2.0 * static_cast<double>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ScheduleCountProperty, ::testing::Values(1, 2, 5, 8, 12));
+
+}  // namespace
+}  // namespace greenfpga::workload
