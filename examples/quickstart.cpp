@@ -6,8 +6,8 @@
 /// verdict.
 ///
 /// Build & run:
-///   cmake -B build -G Ninja && cmake --build build
-///   ./build/examples/quickstart
+///   cmake -B build -S . && cmake --build build -j
+///   ./build/example_quickstart
 
 #include <iostream>
 

@@ -1,3 +1,6 @@
+/// \file carbon_intensity.cpp
+/// IPCC AR5 per-source intensities, regional grid mixes and mix arithmetic.
+
 #include "act/carbon_intensity.hpp"
 
 #include <array>

@@ -1,3 +1,6 @@
+/// \file fab_model.cpp
+/// Eq. 5 manufacturing CFP: per-node EPA/GPA data and the 1/Y good-die charge.
+
 #include "act/fab_model.hpp"
 
 #include <array>

@@ -1,3 +1,6 @@
+/// \file grid_profile.cpp
+/// Daily intensity profiles and duty-scheduling policy arithmetic.
+
 #include "act/grid_profile.hpp"
 
 #include <algorithm>

@@ -1,3 +1,6 @@
+/// \file operational_model.cpp
+/// Use-phase energy and carbon (CI_use * P_peak * duty * t, with PUE).
+
 #include "act/operational_model.hpp"
 
 #include <stdexcept>

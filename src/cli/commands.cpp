@@ -1,3 +1,6 @@
+/// \file commands.cpp
+/// The six `greenfpga` subcommands as stream-parameterised entry points.
+
 #include "cli/commands.hpp"
 
 #include <fstream>

@@ -4,6 +4,9 @@
 /// \file commands.hpp
 /// The `greenfpga` CLI commands as a library, so they are unit-testable
 /// with captured streams; main.cpp is a thin argv shim.
+///
+/// Every command returns its process exit code: 0 success, 1 runtime
+/// failure (bad config content, model error), 2 usage error.
 
 #include <iosfwd>
 #include <string>
@@ -11,17 +14,11 @@
 
 namespace greenfpga::cli {
 
-/// Exit codes follow sysexits-lite conventions: 0 success, 1 runtime
-/// failure (bad config content, model error), 2 usage error.
-struct CommandResult {
-  int exit_code = 0;
-};
-
 /// Print the usage text; returns exit code 2 (callers print usage on
 /// errors) -- pass `error = false` for `--help`, which exits 0.
 int print_usage(std::ostream& out, bool error = true);
 
-/// `greenfpga compare <scenario.json> [--json <out.json>]`.
+/// `greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]`.
 int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// `greenfpga sweep <dnn|imgproc|crypto> <apps|lifetime|volume>`.

@@ -1,3 +1,6 @@
+/// \file appdev_model.cpp
+/// Eq. 7 application-development carbon (engineering + configuration).
+
 #include "core/appdev_model.hpp"
 
 #include <stdexcept>

@@ -1,3 +1,6 @@
+/// \file comparator.cpp
+/// Head-to-head and three-way platform comparisons with verdicts.
+
 #include "core/comparator.hpp"
 
 #include <cmath>

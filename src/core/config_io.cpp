@@ -1,3 +1,6 @@
+/// \file config_io.cpp
+/// JSON (de)serialisation of suites, chips and schedules; unknown keys fail loudly.
+
 #include "core/config_io.hpp"
 
 #include <functional>

@@ -1,3 +1,6 @@
+/// \file design_model.cpp
+/// Eq. 4 energy-anchored design CFP, plus the gate-count prior-art model (ablation A1).
+
 #include "core/design_model.hpp"
 
 #include <stdexcept>

@@ -1,3 +1,6 @@
+/// \file lifecycle_model.cpp
+/// Eqs. 1-3: the ASIC/FPGA/GPU lifecycle roll-ups over a schedule.
+
 #include "core/lifecycle_model.hpp"
 
 #include <algorithm>

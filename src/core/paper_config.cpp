@@ -1,3 +1,6 @@
+/// \file paper_config.cpp
+/// Calibrated edge/datacenter parameter suites and paper schedules (DESIGN.md §4).
+
 #include "core/paper_config.hpp"
 
 #include "units/units.hpp"

@@ -1,3 +1,6 @@
+/// \file catalog.cpp
+/// Built-in domain testcases and Table 3 industry devices (calibrated bases).
+
 #include "device/catalog.hpp"
 
 #include <array>

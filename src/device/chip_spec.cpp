@@ -1,3 +1,6 @@
+/// \file chip_spec.cpp
+/// ChipKind/Domain names and ChipSpec validation.
+
 #include "device/chip_spec.hpp"
 
 #include <stdexcept>

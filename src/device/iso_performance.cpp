@@ -1,3 +1,6 @@
+/// \file iso_performance.cpp
+/// Table 2 ratios, iso-performance FPGA derivation and the N_FPGA fleet rule.
+
 #include "device/iso_performance.hpp"
 
 #include <cmath>

@@ -1,3 +1,6 @@
+/// \file eol_model.cpp
+/// Eq. 6 end-of-life discard/recycle carbon with EPA WARM factors.
+
 #include "eol/eol_model.hpp"
 
 #include <stdexcept>

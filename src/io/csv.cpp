@@ -1,3 +1,6 @@
+/// \file csv.cpp
+/// RFC 4180 CSV rendering and file emission.
+
 #include "io/csv.hpp"
 
 #include <filesystem>

@@ -1,3 +1,6 @@
+/// \file json.cpp
+/// RFC 8259 JSON parser, writer and checked value model.
+
 #include "io/json.hpp"
 
 #include <cctype>

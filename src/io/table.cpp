@@ -1,3 +1,6 @@
+/// \file table.cpp
+/// Fixed-width text-table rendering.
+
 #include "io/table.hpp"
 
 #include <algorithm>

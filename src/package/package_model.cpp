@@ -1,3 +1,6 @@
+/// \file package_model.cpp
+/// Monolithic and chiplet-era package CFP and finished-package mass.
+
 #include "package/package_model.hpp"
 
 #include <stdexcept>

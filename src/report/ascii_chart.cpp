@@ -1,3 +1,6 @@
+/// \file ascii_chart.cpp
+/// ASCII line charts, heat-map grids and stacked bars.
+
 #include "report/ascii_chart.hpp"
 
 #include <algorithm>

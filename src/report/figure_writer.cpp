@@ -1,3 +1,6 @@
+/// \file figure_writer.cpp
+/// Sweep/breakdown tables, crossover summaries and CSV emission.
+
 #include "report/figure_writer.hpp"
 
 #include <cstdlib>

@@ -1,3 +1,6 @@
+/// \file breakeven.cpp
+/// Closed-form crossover solvers from two model probes per platform.
+
 #include "scenario/breakeven.hpp"
 
 #include <cmath>

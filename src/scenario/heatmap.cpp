@@ -1,3 +1,6 @@
+/// \file heatmap.cpp
+/// Pairwise-sweep ratio grids and crossover contour extraction (Fig. 8).
+
 #include "scenario/heatmap.hpp"
 
 #include <algorithm>

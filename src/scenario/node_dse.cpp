@@ -1,3 +1,6 @@
+/// \file node_dse.cpp
+/// Per-node device re-derivation and lifecycle-CFP ranking.
+
 #include "scenario/node_dse.hpp"
 
 #include <algorithm>

@@ -1,3 +1,6 @@
+/// \file sensitivity.cpp
+/// Tornado and Monte-Carlo analyses over the Table 1 ranges.
+
 #include "scenario/sensitivity.hpp"
 
 #include <algorithm>

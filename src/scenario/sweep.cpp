@@ -1,3 +1,6 @@
+/// \file sweep.cpp
+/// 1-D sweep execution and A2F/F2A crossover detection.
+
 #include "scenario/sweep.hpp"
 
 #include <cmath>

@@ -1,3 +1,6 @@
+/// \file timeline.cpp
+/// Cumulative CFP timeline with fleet re-manufacture at chip service life (Fig. 9).
+
 #include "scenario/timeline.hpp"
 
 #include <cmath>

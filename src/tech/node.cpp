@@ -1,3 +1,6 @@
+/// \file node.cpp
+/// Node database: gate/defect densities, name parsing, area<->gates conversion.
+
 #include "tech/node.hpp"
 
 #include <array>

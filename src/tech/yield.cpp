@@ -1,3 +1,6 @@
+/// \file yield.cpp
+/// Poisson/Murphy/Seeds/negative-binomial die-yield models.
+
 #include "tech/yield.hpp"
 
 #include <cmath>

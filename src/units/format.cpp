@@ -1,3 +1,6 @@
+/// \file format.cpp
+/// Scale-selecting human-readable quantity formatting.
+
 #include "units/format.hpp"
 
 #include <array>

@@ -1,3 +1,6 @@
+/// \file application.cpp
+/// Application/schedule validation, homogeneous schedules, paper prototypes.
+
 #include "workload/application.hpp"
 
 #include <stdexcept>
