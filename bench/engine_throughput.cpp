@@ -1,0 +1,72 @@
+/// \file engine_throughput.cpp
+/// Multi-threaded engine throughput baseline: a 50x50 heat-map grid
+/// (2500 scenario points x 2 platforms) at 1 / 2 / 4 / hardware threads.
+///
+/// This is the perf baseline for the parallel batched evaluation path:
+/// future scheduling/caching/sharding PRs should move these numbers
+/// without changing the (bit-identical) results.  The reproduction
+/// section prints measured wall-clock speedups vs 1 thread; the
+/// registered google-benchmark timings track the same grid per thread
+/// count (real time, since the work runs on the engine's pool).
+
+#include <chrono>
+#include <iomanip>
+
+#include "bench_common.hpp"
+#include "scenario/engine.hpp"
+#include "units/format.hpp"
+
+namespace {
+
+using namespace greenfpga;
+
+scenario::ScenarioSpec heatmap_spec(int side) {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::grid, device::Domain::dnn);
+  spec.name = "engine-throughput heat-map";
+  spec.axes = {
+      scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e3, 1e7, side),
+      scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years, 0.2, 2.5, side)};
+  return spec;
+}
+
+double run_once_seconds(const scenario::ScenarioSpec& spec, int threads) {
+  const scenario::Engine engine(scenario::EngineOptions{.threads = threads});
+  const auto start = std::chrono::steady_clock::now();
+  const scenario::ScenarioResult result = engine.run(spec);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.points.data());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void print_speedups() {
+  bench::banner("Engine throughput",
+                "50x50 DNN heat-map grid, wall-clock speedup vs 1 thread");
+  const scenario::ScenarioSpec spec = heatmap_spec(50);
+  const double base = run_once_seconds(spec, 1);
+  std::cout << "  threads   seconds   speedup\n";
+  for (const int threads : {1, 2, 4, scenario::Engine::default_threads()}) {
+    const double seconds = threads == 1 ? base : run_once_seconds(spec, threads);
+    std::cout << "  " << std::setw(7) << threads << "   " << std::setw(7)
+              << units::format_significant(seconds, 4) << "   "
+              << units::format_significant(base / seconds, 4) << "x\n";
+  }
+  std::cout << "\n";
+}
+
+void BM_HeatmapGrid(benchmark::State& state) {
+  const scenario::ScenarioSpec spec = heatmap_spec(50);
+  const scenario::Engine engine(
+      scenario::EngineOptions{.threads = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    const scenario::ScenarioResult result = engine.run(spec);
+    benchmark::DoNotOptimize(result.points.data());
+  }
+  state.counters["points"] = 50.0 * 50.0;
+}
+BENCHMARK(BM_HeatmapGrid)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(print_speedups)

@@ -1,27 +1,46 @@
 /// \file commands.cpp
-/// The six `greenfpga` subcommands as stream-parameterised entry points.
+/// The `greenfpga` subcommands as stream-parameterised entry points.
+///
+/// Every evaluating command builds a `scenario::ScenarioSpec` and runs it
+/// through `scenario::Engine`; the spec path (`greenfpga run`) accepts the
+/// same shape from a JSON file, so anything the CLI can do is also
+/// expressible declaratively without recompiling.
 
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <utility>
 
 #include "core/comparator.hpp"
 #include "core/config_io.hpp"
 #include "core/paper_config.hpp"
 #include "device/catalog.hpp"
+#include "report/ascii_chart.hpp"
 #include "report/figure_writer.hpp"
 #include "report/markdown_report.hpp"
-#include "scenario/node_dse.hpp"
-#include "scenario/sensitivity.hpp"
-#include "scenario/sweep.hpp"
+#include "scenario/engine.hpp"
 #include "units/format.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::cli {
 
 namespace {
+
+/// Worker count chosen by the current dispatch's --threads flag (0 =
+/// engine default).  Dispatch resets it at the top of every call; the
+/// exported run_* entry points therefore inherit the *latest* dispatch's
+/// flag when called directly (and dispatch itself is not re-entrant
+/// across threads) -- acceptable for a CLI process, documented here.
+int g_threads = 0;
+
+scenario::Engine make_engine() {
+  return scenario::Engine(scenario::EngineOptions{.threads = g_threads});
+}
 
 std::optional<device::Domain> parse_domain(const std::string& text) {
   if (text == "dnn") return device::Domain::dnn;
@@ -42,12 +61,274 @@ void print_comparison(const std::string& title, const core::Comparison& comparis
       << " -> greener platform: " << to_string(comparison.verdict()) << "\n\n";
 }
 
+void print_node_candidates(const std::vector<scenario::NodeCandidate>& candidates,
+                           std::ostream& out) {
+  io::TextTable table;
+  table.set_headers({"rank", "node", "die area", "peak power", "total [t CO2e]", "vs best"});
+  int rank = 1;
+  for (const scenario::NodeCandidate& candidate : candidates) {
+    table.add_row({std::to_string(rank++), tech::to_string(candidate.chip.node),
+                   units::format_area(candidate.chip.die_area),
+                   units::format_power(candidate.chip.peak_power),
+                   units::format_significant(candidate.total().in(units::unit::t_co2e), 5),
+                   units::format_significant(candidate.total_vs_best, 4)});
+  }
+  out << table.render();
+}
+
+/// Machine-readable form of an engine result (`greenfpga run --json`).
+io::Json result_to_json(const scenario::ScenarioResult& result) {
+  io::Json out = io::Json::object();
+  out["spec"] = scenario::spec_to_json(result.spec);
+  if (!result.points.empty()) {
+    io::Json points = io::Json::array();
+    for (const scenario::EvalPoint& point : result.points) {
+      io::Json entry = io::Json::object();
+      io::Json coords = io::Json::array();
+      for (const double c : point.coords) {
+        coords.push_back(c);
+      }
+      entry["coords"] = std::move(coords);
+      io::Json platforms = io::Json::array();
+      for (std::size_t i = 0; i < point.platforms.size(); ++i) {
+        io::Json platform = io::Json::object();
+        platform["name"] = result.platform_names[i];
+        platform["result"] = core::to_json(point.platforms[i]);
+        platforms.push_back(std::move(platform));
+      }
+      entry["platforms"] = std::move(platforms);
+      points.push_back(std::move(entry));
+    }
+    out["points"] = std::move(points);
+  }
+  if (result.timeline) {
+    io::Json timeline = io::Json::object();
+    io::Json time = io::Json::array();
+    io::Json asic = io::Json::array();
+    io::Json fpga = io::Json::array();
+    for (std::size_t i = 0; i < result.timeline->time_years.size(); ++i) {
+      time.push_back(result.timeline->time_years[i]);
+      asic.push_back(result.timeline->asic_cumulative_kg[i]);
+      fpga.push_back(result.timeline->fpga_cumulative_kg[i]);
+    }
+    timeline["time_years"] = std::move(time);
+    timeline["asic_cumulative_kg"] = std::move(asic);
+    timeline["fpga_cumulative_kg"] = std::move(fpga);
+    io::Json purchases = io::Json::array();
+    for (const double year : result.timeline->fpga_purchase_years) {
+      purchases.push_back(year);
+    }
+    timeline["fpga_purchase_years"] = std::move(purchases);
+    out["timeline"] = std::move(timeline);
+  }
+  if (!result.candidates.empty()) {
+    io::Json candidates = io::Json::array();
+    for (const scenario::NodeCandidate& candidate : result.candidates) {
+      io::Json entry = io::Json::object();
+      entry["chip"] = core::to_json(candidate.chip);
+      entry["total_kg"] = candidate.total().canonical();
+      entry["total_vs_best"] = candidate.total_vs_best;
+      candidates.push_back(std::move(entry));
+    }
+    out["candidates"] = std::move(candidates);
+  }
+  if (!result.tornado.empty()) {
+    io::Json tornado = io::Json::array();
+    for (const scenario::TornadoEntry& entry : result.tornado) {
+      io::Json row = io::Json::object();
+      row["name"] = entry.name;
+      row["ratio_at_low"] = entry.ratio_at_low;
+      row["ratio_at_high"] = entry.ratio_at_high;
+      row["swing"] = entry.swing();
+      tornado.push_back(std::move(row));
+    }
+    out["tornado"] = std::move(tornado);
+  }
+  if (result.monte_carlo) {
+    io::Json mc = io::Json::object();
+    mc["samples"] = result.monte_carlo->samples;
+    mc["mean"] = result.monte_carlo->mean;
+    mc["stddev"] = result.monte_carlo->stddev;
+    mc["p05"] = result.monte_carlo->p05;
+    mc["p50"] = result.monte_carlo->p50;
+    mc["p95"] = result.monte_carlo->p95;
+    mc["fpga_win_fraction"] = result.monte_carlo->fpga_win_fraction;
+    out["monte_carlo"] = std::move(mc);
+  }
+  if (result.breakeven) {
+    // Requested solves always emit their key (null = no crossover);
+    // unrequested solves omit it, so consumers can tell the states apart.
+    io::Json breakeven = io::Json::object();
+    const auto emit = [&breakeven](bool requested, const char* key,
+                                   const std::optional<double>& value) {
+      if (requested) {
+        breakeven[key] = value ? io::Json(*value) : io::Json(nullptr);
+      }
+    };
+    emit(result.spec.breakeven.solve_app_count, "app_count", result.breakeven->app_count);
+    emit(result.spec.breakeven.solve_lifetime, "lifetime_years",
+         result.breakeven->lifetime_years);
+    emit(result.spec.breakeven.solve_volume, "volume", result.breakeven->volume);
+    out["breakeven"] = std::move(breakeven);
+  }
+  return out;
+}
+
+/// True only for the classic two-platform pair: the legacy sweep/heat-map
+/// renderings show exactly ASIC and FPGA columns, so any extra platform
+/// must route to the generic table instead of being silently dropped.
+bool is_classic_pair(const scenario::ScenarioResult& result) {
+  return result.platform_names.size() == 2 &&
+         result.platform_index(device::ChipKind::asic) &&
+         result.platform_index(device::ChipKind::fpga);
+}
+
+/// Totals table over every platform at every point (the generic rendering
+/// for platform sets beyond the classic ASIC/FPGA pair).
+void print_points_table(const scenario::ScenarioResult& result, std::ostream& out) {
+  io::TextTable table;
+  std::vector<std::string> headers;
+  for (const scenario::AxisSpec& axis : result.spec.axes) {
+    headers.push_back(axis.label());
+  }
+  for (const std::string& name : result.platform_names) {
+    headers.push_back(name + " [t CO2e]");
+  }
+  for (std::size_t i = 1; i < result.platform_names.size(); ++i) {
+    headers.push_back(result.platform_names[i] + ":" + result.platform_names[0]);
+  }
+  table.set_headers(std::move(headers));
+  for (const scenario::EvalPoint& point : result.points) {
+    std::vector<std::string> row;
+    for (const double c : point.coords) {
+      row.push_back(units::format_significant(c, 4));
+    }
+    for (const core::PlatformCfp& platform : point.platforms) {
+      row.push_back(units::format_significant(
+          platform.total.total().in(units::unit::t_co2e), 5));
+    }
+    for (std::size_t i = 1; i < point.platforms.size(); ++i) {
+      row.push_back(units::format_significant(point.ratio(i), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  out << table.render();
+}
+
+void render_result(const scenario::ScenarioResult& result, std::ostream& out) {
+  out << "== " << result.spec.name << " (" << to_string(result.spec.kind) << ", "
+      << to_string(result.spec.domain) << ") ==\n";
+  switch (result.spec.kind) {
+    case scenario::ScenarioKind::compare: {
+      std::vector<std::pair<std::string, core::CfpBreakdown>> rows;
+      for (std::size_t i = 0; i < result.platform_names.size(); ++i) {
+        rows.emplace_back(result.platform_names[i],
+                          result.points.front().platforms[i].total);
+      }
+      out << report::breakdown_table(rows);
+      for (std::size_t i = 1; i < result.platform_names.size(); ++i) {
+        out << result.platform_names[i] << ":" << result.platform_names[0] << " ratio "
+            << units::format_significant(result.points.front().ratio(i), 4) << "\n";
+      }
+      return;
+    }
+    case scenario::ScenarioKind::sweep: {
+      if (is_classic_pair(result)) {
+        const scenario::SweepSeries series = result.sweep_series();
+        out << report::sweep_table(series)
+            << "crossovers: " << report::crossover_summary(series) << "\n";
+      } else {
+        print_points_table(result, out);
+      }
+      return;
+    }
+    case scenario::ScenarioKind::grid: {
+      if (is_classic_pair(result)) {
+        const scenario::Heatmap map = result.heatmap();
+        out << report::render_heatmap(map) << "ratio range ["
+            << units::format_significant(map.min_ratio(), 4) << ", "
+            << units::format_significant(map.max_ratio(), 4) << "], "
+            << map.unity_contour().size() << " unity-contour points\n";
+      } else {
+        print_points_table(result, out);
+      }
+      return;
+    }
+    case scenario::ScenarioKind::timeline: {
+      const scenario::TimelineSeries& series = *result.timeline;
+      out << "horizon " << units::format_significant(series.time_years.back(), 4)
+          << " years, " << series.fpga_purchase_years.size() << " FPGA fleet purchase(s)\n"
+          << "final cumulative: ASIC "
+          << units::format_significant(series.asic_cumulative_kg.back() / 1000.0, 5)
+          << " t CO2e, FPGA "
+          << units::format_significant(series.fpga_cumulative_kg.back() / 1000.0, 5)
+          << " t CO2e\n";
+      const auto crossovers = series.crossovers();
+      out << "crossovers:";
+      if (crossovers.empty()) {
+        out << " none";
+      }
+      for (const scenario::Crossover& crossover : crossovers) {
+        out << " " << to_string(crossover.kind) << " at "
+            << units::format_significant(crossover.x, 4) << " y";
+      }
+      out << "\n";
+      return;
+    }
+    case scenario::ScenarioKind::node_dse:
+      print_node_candidates(result.candidates, out);
+      return;
+    case scenario::ScenarioKind::breakeven: {
+      const auto fmt = [](bool requested, const std::optional<double>& x) {
+        if (!requested) return std::string("not requested");
+        return x ? units::format_significant(*x, 4) : std::string("none");
+      };
+      out << "breakeven N_app: "
+          << fmt(result.spec.breakeven.solve_app_count, result.breakeven->app_count)
+          << "\n"
+          << "breakeven T_i [years]: "
+          << fmt(result.spec.breakeven.solve_lifetime, result.breakeven->lifetime_years)
+          << "\n"
+          << "breakeven N_vol [units]: "
+          << fmt(result.spec.breakeven.solve_volume, result.breakeven->volume) << "\n";
+      return;
+    }
+    case scenario::ScenarioKind::sensitivity: {
+      if (!result.tornado.empty()) {
+        io::TextTable table;
+        table.set_headers({"parameter", "ratio at low", "ratio at high", "swing"});
+        for (const scenario::TornadoEntry& entry : result.tornado) {
+          table.add_row({entry.name, units::format_significant(entry.ratio_at_low, 4),
+                         units::format_significant(entry.ratio_at_high, 4),
+                         units::format_significant(entry.swing(), 4)});
+        }
+        out << table.render();
+      }
+      if (result.monte_carlo) {
+        const scenario::MonteCarloResult& mc = *result.monte_carlo;
+        out << "Monte-Carlo (" << mc.samples << " samples): mean ratio "
+            << units::format_significant(mc.mean, 4) << ", p05 "
+            << units::format_significant(mc.p05, 4) << ", p95 "
+            << units::format_significant(mc.p95, 4) << ", FPGA wins "
+            << units::format_significant(100.0 * mc.fpga_win_fraction, 4) << " %\n";
+      }
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 int print_usage(std::ostream& out, bool error) {
   out << "GreenFPGA: lifecycle carbon-footprint comparison of FPGA and ASIC computing\n"
          "\n"
          "usage:\n"
+         "  greenfpga [--threads N] <command> ...\n"
+         "\n"
+         "  greenfpga run <spec.json> [--json <out.json>]\n"
+         "      evaluate a declarative scenario spec (compare, sweep, grid, timeline,\n"
+         "      node_dse, breakeven, sensitivity) through the unified engine;\n"
+         "      see examples/specs/ and docs/CLI.md for the spec shape\n"
          "  greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]\n"
          "      evaluate a scenario file (see `greenfpga dump-config` for the shape)\n"
          "  greenfpga sweep <dnn|imgproc|crypto> <apps|lifetime|volume>\n"
@@ -59,8 +340,36 @@ int print_usage(std::ostream& out, bool error) {
          "  greenfpga figures\n"
          "      run every paper experiment; print measured crossovers vs paper\n"
          "  greenfpga dump-config\n"
-         "      print the calibrated paper-default model suite as JSON\n";
+         "      print the calibrated paper-default model suite as JSON\n"
+         "\n"
+         "  --threads N sets the engine worker count (default: the\n"
+         "  GREENFPGA_THREADS environment variable, else hardware concurrency).\n";
   return error ? 2 : 0;
+}
+
+int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "run: missing spec file\n";
+    return 2;
+  }
+  std::optional<std::string> json_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      json_out = args[i + 1];
+      ++i;
+    } else {
+      err << "run: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  const scenario::ScenarioSpec spec = scenario::load_spec(args[0]);
+  const scenario::ScenarioResult result = make_engine().run(spec);
+  render_result(result, out);
+  if (json_out) {
+    io::write_json_file(*json_out, result_to_json(result));
+    out << "wrote " << *json_out << "\n";
+  }
+  return 0;
 }
 
 int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -84,9 +393,14 @@ int run_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   }
 
   const core::ScenarioConfig scenario = core::load_scenario(args[0]);
-  const core::LifecycleModel model(scenario.suite);
-  const core::Comparison comparison =
-      core::compare(model, scenario.asic, scenario.fpga, scenario.schedule);
+  scenario::ScenarioSpec spec;
+  spec.name = scenario.name;
+  spec.kind = scenario::ScenarioKind::compare;
+  spec.suite = scenario.suite;
+  spec.platforms = {scenario::PlatformRef{.name = "asic", .chip = scenario.asic},
+                    scenario::PlatformRef{.name = "fpga", .chip = scenario.fpga}};
+  spec.schedule.explicit_schedule = scenario.schedule;
+  const core::Comparison comparison = make_engine().run(spec).comparison();
   print_comparison(scenario.name, comparison, out);
 
   if (json_out) {
@@ -130,29 +444,32 @@ int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostr
     err << "sweep: unknown domain '" << args[0] << "'\n";
     return 2;
   }
-  const core::SweepDefaults defaults = core::paper_sweep_defaults();
-  const scenario::SweepEngine engine(core::LifecycleModel(core::paper_suite()),
-                                     device::domain_testcase(*domain));
-  scenario::SweepSeries series;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, *domain);
   if (args[1] == "apps") {
-    series = engine.sweep_app_count(1, 12, defaults.app_lifetime, defaults.app_volume);
+    spec.axes = {scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 12, 12)};
   } else if (args[1] == "lifetime") {
-    const std::vector<double> lifetimes = scenario::linspace(0.2, 2.5, 24);
-    series = engine.sweep_lifetime(lifetimes, defaults.app_count, defaults.app_volume);
+    spec.axes = {
+        scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years, 0.2, 2.5, 24)};
   } else if (args[1] == "volume") {
-    const std::vector<double> volumes = scenario::logspace(1e3, 1e7, 25);
-    series = engine.sweep_volume(volumes, defaults.app_count, defaults.app_lifetime);
+    spec.axes = {scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e3, 1e7, 25)};
   } else {
     err << "sweep: unknown variable '" << args[1] << "'\n";
     return 2;
   }
+  const scenario::SweepSeries series = make_engine().run(spec).sweep_series();
   out << "== " << to_string(*domain) << " sweep over " << series.parameter << " ==\n"
       << report::sweep_table(series) << "crossovers: " << report::crossover_summary(series)
       << "\n";
   return 0;
 }
 
-int run_industry(std::ostream& out) {
+int run_industry(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (!args.empty()) {
+    err << "industry: unexpected argument '" << args.front() << "'\n";
+    return 2;
+  }
   const core::LifecycleModel model(core::industry_suite());
 
   // Fig. 10 setup: each FPGA runs 6 years / 3 applications / 1M volume.
@@ -191,28 +508,28 @@ int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostr
     err << "nodes: unknown domain '" << args[0] << "'\n";
     return 2;
   }
-  const scenario::NodeDse dse(core::LifecycleModel(core::paper_suite()),
-                              core::paper_schedule(*domain));
-  const auto candidates = dse.explore(device::domain_testcase(*domain).fpga);
-  io::TextTable table;
-  table.set_headers({"rank", "node", "die area", "peak power", "total [t CO2e]", "vs best"});
-  int rank = 1;
-  for (const scenario::NodeCandidate& candidate : candidates) {
-    table.add_row({std::to_string(rank++), tech::to_string(candidate.chip.node),
-                   units::format_area(candidate.chip.die_area),
-                   units::format_power(candidate.chip.peak_power),
-                   units::format_significant(candidate.total().in(units::unit::t_co2e), 5),
-                   units::format_significant(candidate.total_vs_best, 4)});
-  }
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::node_dse, *domain);
+  const scenario::ScenarioResult result = make_engine().run(spec);
   out << "== node ranking for the " << to_string(*domain)
-      << " FPGA (paper schedule: 5 apps x 2 y x 1M) ==\n"
-      << table.render();
+      << " FPGA (paper schedule: 5 apps x 2 y x 1M) ==\n";
+  print_node_candidates(result.candidates, out);
   return 0;
 }
 
-int run_figures(std::ostream& out) {
-  const core::LifecycleModel model(core::paper_suite());
-  const core::SweepDefaults defaults = core::paper_sweep_defaults();
+int run_figures(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (!args.empty()) {
+    err << "figures: unexpected argument '" << args.front() << "'\n";
+    return 2;
+  }
+  const scenario::Engine engine = make_engine();
+  const auto sweep_series = [&](device::Domain domain, scenario::AxisSpec axis) {
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, domain);
+    spec.axes = {std::move(axis)};
+    return engine.run(spec).sweep_series();
+  };
 
   io::TextTable table;
   table.set_headers({"experiment", "domain", "paper", "measured"});
@@ -221,28 +538,25 @@ int run_figures(std::ostream& out) {
   };
 
   for (const device::Domain domain : device::all_domains()) {
-    const scenario::SweepEngine engine(model, device::domain_testcase(domain));
-
-    const auto fig4 =
-        engine.sweep_app_count(1, 16, defaults.app_lifetime, defaults.app_volume);
+    const auto fig4 = sweep_series(
+        domain, scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 16, 16));
     const auto a2f = first_crossover(fig4.crossovers(), scenario::CrossoverKind::a2f);
     const char* paper_a2f = domain == device::Domain::dnn       ? "~6"
                             : domain == device::Domain::imgproc ? "~12 (past 8)"
                                                                 : "1 (immediate)";
     table.add_row({"Fig. 4 A2F [apps]", to_string(domain), paper_a2f, fmt(a2f)});
 
-    const std::vector<double> lifetimes = scenario::linspace(0.2, 2.5, 47);
-    const auto fig5 =
-        engine.sweep_lifetime(lifetimes, defaults.app_count, defaults.app_volume);
+    const auto fig5 = sweep_series(
+        domain,
+        scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years, 0.2, 2.5, 47));
     const auto f2a_t = first_crossover(fig5.crossovers(), scenario::CrossoverKind::f2a);
     const char* paper_f2a_t = domain == device::Domain::dnn       ? "~1.6"
                               : domain == device::Domain::imgproc ? "none (ASIC)"
                                                                   : "none (FPGA)";
     table.add_row({"Fig. 5 F2A [years]", to_string(domain), paper_f2a_t, fmt(f2a_t)});
 
-    const std::vector<double> volumes = scenario::logspace(1e3, 1e7, 41);
-    const auto fig6 =
-        engine.sweep_volume(volumes, defaults.app_count, defaults.app_lifetime);
+    const auto fig6 = sweep_series(
+        domain, scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e3, 1e7, 41));
     const auto f2a_v = first_crossover(fig6.crossovers(), scenario::CrossoverKind::f2a);
     const char* paper_f2a_v = domain == device::Domain::dnn       ? "~2e6"
                               : domain == device::Domain::imgproc ? "~3e5"
@@ -250,9 +564,10 @@ int run_figures(std::ostream& out) {
     table.add_row({"Fig. 6 F2A [units]", to_string(domain), paper_f2a_v, fmt(f2a_v)});
   }
 
-  const scenario::SweepEngine dnn(model, device::domain_testcase(device::Domain::dnn));
-  const double fig2 =
-      dnn.evaluate_point(10, defaults.app_lifetime, defaults.app_volume).ratio();
+  scenario::ScenarioSpec fig2_spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::compare, device::Domain::dnn);
+  fig2_spec.schedule.app_count = 10;
+  const double fig2 = engine.run(fig2_spec).comparison().ratio();
   table.add_row({"Fig. 2 FPGA saving at 10 apps", "DNN", "~25 %",
                  units::format_significant(100.0 * (1.0 - fig2), 4) + " %"});
 
@@ -261,7 +576,12 @@ int run_figures(std::ostream& out) {
   return 0;
 }
 
-int run_dump_config(std::ostream& out) {
+int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  if (!args.empty()) {
+    err << "dump-config: unexpected argument '" << args.front() << "'\n";
+    return 2;
+  }
   io::Json scenario = io::Json::object();
   scenario["name"] = "example scenario (edit me)";
   scenario["suite"] = core::to_json(core::paper_suite());
@@ -274,15 +594,49 @@ int run_dump_config(std::ostream& out) {
 }
 
 int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
-  if (args.empty()) {
+  // Strip the global --threads flag (valid anywhere before/after the
+  // command name) and remember it for make_engine().
+  g_threads = 0;
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads") {
+      if (i + 1 >= args.size()) {
+        err << "--threads: missing worker count\n";
+        return 2;
+      }
+      // Strict parse (trailing garbage and overflow rejected), same rules
+      // as the GREENFPGA_THREADS environment path; the engine clamps to
+      // its kMaxThreads pool bound.
+      const std::string& value = args[i + 1];
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE ||
+          parsed < 1) {
+        err << "--threads: invalid worker count '" << value << "'\n";
+        return 2;
+      }
+      g_threads = static_cast<int>(
+          std::min<long>(parsed, scenario::Engine::kMaxThreads));
+      ++i;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+
+  if (rest.empty()) {
     return print_usage(err);
   }
-  if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+  if (rest[0] == "--help" || rest[0] == "-h" || rest[0] == "help") {
     return print_usage(out, /*error=*/false);
   }
   try {
-    const std::string& command = args[0];
-    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    const std::string command = rest[0];
+    rest.erase(rest.begin());
+    if (command == "run") {
+      return run_spec(rest, out, err);
+    }
     if (command == "compare") {
       return run_compare(rest, out, err);
     }
@@ -290,16 +644,16 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
       return run_sweep(rest, out, err);
     }
     if (command == "industry") {
-      return run_industry(out);
+      return run_industry(rest, out, err);
     }
     if (command == "nodes") {
       return run_nodes(rest, out, err);
     }
     if (command == "figures") {
-      return run_figures(out);
+      return run_figures(rest, out, err);
     }
     if (command == "dump-config") {
-      return run_dump_config(out);
+      return run_dump_config(rest, out, err);
     }
     err << "unknown command '" << command << "'\n";
     return print_usage(err);

@@ -5,8 +5,12 @@
 /// The `greenfpga` CLI commands as a library, so they are unit-testable
 /// with captured streams; main.cpp is a thin argv shim.
 ///
-/// Every command returns its process exit code: 0 success, 1 runtime
-/// failure (bad config content, model error), 2 usage error.
+/// Every command has the same shape -- `(args, out, err)` returning its
+/// process exit code: 0 success, 1 runtime failure (bad config content,
+/// model error), 2 usage error.  `dispatch` additionally handles the
+/// global `--threads N` flag (engine worker count; falls back to the
+/// GREENFPGA_THREADS environment variable, then hardware concurrency) and
+/// maps uncaught exceptions to exit code 1 with a message on `err`.
 
 #include <iosfwd>
 #include <string>
@@ -18,6 +22,10 @@ namespace greenfpga::cli {
 /// errors) -- pass `error = false` for `--help`, which exits 0.
 int print_usage(std::ostream& out, bool error = true);
 
+/// `greenfpga run <spec.json> [--json <out.json>]` -- evaluate any
+/// declarative scenario spec through the unified engine.
+int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
 /// `greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]`.
 int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
@@ -25,20 +33,24 @@ int run_compare(const std::vector<std::string>& args, std::ostream& out, std::os
 int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// `greenfpga industry`.
-int run_industry(std::ostream& out);
+int run_industry(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
 
 /// `greenfpga nodes <dnn|imgproc|crypto>` -- carbon-aware node ranking.
 int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// `greenfpga figures` -- run every paper experiment and print the
 /// headline crossovers next to the paper's reported values.
-int run_figures(std::ostream& out);
+int run_figures(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
 
 /// `greenfpga dump-config`.
-int run_dump_config(std::ostream& out);
+int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
 
-/// Full dispatch: `args` excludes argv[0].  Catches exceptions and maps
-/// them to exit code 1 with a message on `err`.
+/// Full dispatch: `args` excludes argv[0].  Strips the global `--threads`
+/// flag, then routes to the command.  Catches exceptions and maps them to
+/// exit code 1 with a message on `err`.
 int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 }  // namespace greenfpga::cli

@@ -10,14 +10,8 @@
 
 namespace greenfpga::core {
 
-namespace {
-
-using io::Json;
-using namespace units::unit;
-
-/// Verifies an object uses only known keys, so config typos fail loudly.
-void check_keys(const Json& json, const std::string& context,
-                std::initializer_list<std::string_view> allowed) {
+void check_known_keys(const io::Json& json, const std::string& context,
+                      std::initializer_list<std::string_view> allowed) {
   for (const auto& [key, value] : json.as_object()) {
     bool known = false;
     for (const std::string_view candidate : allowed) {
@@ -30,6 +24,35 @@ void check_keys(const Json& json, const std::string& context,
       throw ConfigError("unknown key \"" + key + "\" in " + context);
     }
   }
+}
+
+std::int64_t int_field_or(const io::Json& json, std::string_view key,
+                          std::int64_t fallback, std::int64_t lo, std::int64_t hi) {
+  if (!json.contains(key)) {
+    return fallback;
+  }
+  std::int64_t value = 0;
+  try {
+    value = json.at(key).as_int();
+  } catch (const io::JsonError&) {
+    throw ConfigError("\"" + std::string(key) + "\" must be an integer");
+  }
+  if (value < lo || value > hi) {
+    throw ConfigError("\"" + std::string(key) + "\" must be in [" + std::to_string(lo) +
+                      ", " + std::to_string(hi) + "], got " + std::to_string(value));
+  }
+  return value;
+}
+
+namespace {
+
+using io::Json;
+using namespace units::unit;
+
+/// Local alias for the shared unknown-key guard.
+void check_keys(const Json& json, const std::string& context,
+                std::initializer_list<std::string_view> allowed) {
+  check_known_keys(json, context, allowed);
 }
 
 units::CarbonIntensity intensity_from(const Json& json, const std::string& key,
@@ -288,7 +311,7 @@ ScenarioConfig scenario_from_json(const Json& json) {
   }
   config.asic = chip_from_json(json.at("asic"));
   config.fpga = chip_from_json(json.at("fpga"));
-  if (config.asic.is_fpga() || !config.fpga.is_fpga()) {
+  if (config.asic.kind != device::ChipKind::asic || !config.fpga.is_fpga()) {
     throw ConfigError("scenario.asic must be an ASIC and scenario.fpga an FPGA");
   }
   config.schedule = schedule_from_json(json.at("schedule"));

@@ -22,8 +22,11 @@
 /// released tool's configs.  Unknown keys raise ConfigError so typos fail
 /// loudly instead of silently keeping defaults.
 
+#include <cstdint>
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/lifecycle_model.hpp"
 #include "core/paper_config.hpp"
@@ -46,6 +49,19 @@ struct ScenarioConfig {
   device::ChipSpec fpga;
   workload::Schedule schedule;
 };
+
+/// Verifies a JSON object uses only `allowed` keys, raising ConfigError
+/// naming the offender and `context` otherwise (shared by every config
+/// reader so typos fail loudly and identically).
+void check_known_keys(const io::Json& json, const std::string& context,
+                      std::initializer_list<std::string_view> allowed);
+
+/// Reads an optional integer field with a range check: absent -> fallback,
+/// non-integral or outside [lo, hi] -> ConfigError (never a raw
+/// double-to-int cast, which would be UB for out-of-range input).
+[[nodiscard]] std::int64_t int_field_or(const io::Json& json, std::string_view key,
+                                        std::int64_t fallback, std::int64_t lo,
+                                        std::int64_t hi);
 
 // -- readers (each starts from defaults and applies present fields) ----------
 [[nodiscard]] ModelSuite suite_from_json(const io::Json& json, ModelSuite defaults = {});

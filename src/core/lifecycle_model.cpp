@@ -41,6 +41,7 @@ LifecycleModel::LifecycleModel(ModelSuite suite)
 
 LifecycleModel& LifecycleModel::operator=(const LifecycleModel& other) {
   if (this != &other) {
+    embodied_cache_.clear();
     suite_ = other.suite_;
     design_ = DesignModel(suite_.design);
     appdev_ = AppDevModel(suite_.appdev);
@@ -58,13 +59,34 @@ LifecycleModel& LifecycleModel::operator=(LifecycleModel&& other) noexcept {
   return *this = other;
 }
 
+namespace {
+
+/// Cache key equality: every field that could feed the embodied sub-models.
+bool same_chip(const device::ChipSpec& a, const device::ChipSpec& b) {
+  return a.kind == b.kind && a.node == b.node &&
+         a.die_area.canonical() == b.die_area.canonical() &&
+         a.peak_power.canonical() == b.peak_power.canonical() &&
+         a.capacity_gates == b.capacity_gates &&
+         a.service_life.canonical() == b.service_life.canonical() && a.name == b.name;
+}
+
+/// Cache growth bound; past it, lookups miss and results are recomputed.
+constexpr std::size_t kEmbodiedCacheLimit = 64;
+
+}  // namespace
+
 CfpBreakdown LifecycleModel::per_chip_embodied(const device::ChipSpec& chip) const {
   chip.validate();
+  for (const EmbodiedCacheEntry& entry : embodied_cache_) {
+    if (same_chip(entry.chip, chip)) {
+      return entry.embodied;
+    }
+  }
   const act::ManufacturingBreakdown mfg = fab_.manufacture_die(chip.node, chip.die_area);
   const pkg::PackageBreakdown package = package_.package(chip.die_area);
   const units::Mass mass = package_.package_mass(chip.die_area);
   const eol::EolBreakdown end_of_life = eol_.end_of_life(mass);
-  return CfpBreakdown{
+  const CfpBreakdown result{
       .design = units::CarbonMass{},
       .manufacturing = mfg.total(),
       .packaging = package.total(),
@@ -72,6 +94,10 @@ CfpBreakdown LifecycleModel::per_chip_embodied(const device::ChipSpec& chip) con
       .operational = units::CarbonMass{},
       .app_dev = units::CarbonMass{},
   };
+  if (embodied_cache_.size() < kEmbodiedCacheLimit) {
+    embodied_cache_.push_back({chip, result});
+  }
+  return result;
 }
 
 CfpBreakdown LifecycleModel::per_chip_embodied_chiplet(

@@ -115,6 +115,13 @@ class LifecycleModel {
   /// Per-chip embodied components WITHOUT design CFP: manufacturing,
   /// packaging and end-of-life for one manufactured chip (the
   /// N_vol-multiplied bracket of Eq. 3).
+  ///
+  /// The result is schedule-independent, so it is memoised per chip: a
+  /// grid/sweep evaluating the same devices at thousands of scenario
+  /// points computes the fab/package/EOL sub-models once per device.  The
+  /// cache makes this method (and the evaluate entry points using it)
+  /// non-reentrant: do not share one model instance across threads --
+  /// `scenario::Engine` gives each worker its own copy.
   [[nodiscard]] CfpBreakdown per_chip_embodied(const device::ChipSpec& chip) const;
 
   /// ECO-CHIP-style chiplet construction of the same device: the chip's
@@ -155,6 +162,15 @@ class LifecycleModel {
   /// Applies the app-dev accounting policy (one-time vs literal per-year).
   [[nodiscard]] units::CarbonMass scaled_app_dev(units::CarbonMass per_app,
                                                  units::TimeSpan lifetime) const;
+
+  /// Memoised `per_chip_embodied` results, keyed by the full chip spec.
+  /// Bounded (evaluations only ever touch a handful of devices); not
+  /// copied with the model, cleared on assignment.
+  struct EmbodiedCacheEntry {
+    device::ChipSpec chip;
+    CfpBreakdown embodied;
+  };
+  mutable std::vector<EmbodiedCacheEntry> embodied_cache_;
 
   ModelSuite suite_;
   DesignModel design_;

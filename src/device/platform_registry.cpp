@@ -1,0 +1,66 @@
+/// \file platform_registry.cpp
+/// Built-in platform resolvers and name lookup.
+
+#include "device/platform_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "device/iso_performance.hpp"
+
+namespace greenfpga::device {
+
+PlatformRegistry PlatformRegistry::with_builtins() {
+  PlatformRegistry registry;
+  registry.add("asic", [](Domain domain) { return domain_testcase(domain).asic; });
+  registry.add("fpga", [](Domain domain) { return domain_testcase(domain).fpga; });
+  registry.add("gpu", [](Domain domain) {
+    return derive_iso_gpu(domain_testcase(domain).asic, domain);
+  });
+  return registry;
+}
+
+const PlatformRegistry& PlatformRegistry::builtins() {
+  static const PlatformRegistry instance = with_builtins();
+  return instance;
+}
+
+void PlatformRegistry::add(std::string name, Resolver resolver) {
+  if (name.empty()) {
+    throw std::invalid_argument("PlatformRegistry: platform name must be non-empty");
+  }
+  if (!resolver) {
+    throw std::invalid_argument("PlatformRegistry: resolver for '" + name +
+                                "' must be callable");
+  }
+  resolvers_[std::move(name)] = std::move(resolver);
+}
+
+bool PlatformRegistry::contains(std::string_view name) const {
+  return resolvers_.find(name) != resolvers_.end();
+}
+
+ChipSpec PlatformRegistry::resolve(std::string_view name, Domain domain) const {
+  const auto it = resolvers_.find(name);
+  if (it == resolvers_.end()) {
+    std::string known;
+    for (const auto& [key, value] : resolvers_) {
+      known += known.empty() ? "" : ", ";
+      known += key;
+    }
+    throw std::out_of_range("PlatformRegistry: unknown platform '" + std::string(name) +
+                            "' (registered: " + known + ")");
+  }
+  return it->second(domain);
+}
+
+std::vector<std::string> PlatformRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(resolvers_.size());
+  for (const auto& [key, value] : resolvers_) {
+    out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace greenfpga::device

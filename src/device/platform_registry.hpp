@@ -1,0 +1,70 @@
+#ifndef GREENFPGA_DEVICE_PLATFORM_REGISTRY_HPP
+#define GREENFPGA_DEVICE_PLATFORM_REGISTRY_HPP
+
+/// \file platform_registry.hpp
+/// Named, extensible catalogue of evaluatable platforms.
+///
+/// The paper compares two platforms (ASIC, FPGA) and the repo's extensions
+/// add a third (GPU); the follow-up literature ("Evaluating Computing
+/// Platforms for Sustainability") extends the comparison further (CPUs,
+/// chiplet assemblies).  Hard-coding two/three-way structs does not scale
+/// to that, so the evaluation engine resolves platforms *by name* through
+/// this registry: a platform name maps to a resolver that derives the
+/// concrete `ChipSpec` for a given application domain.
+///
+/// Built-in names:
+///   * "asic" -- the domain testcase's calibrated ASIC (Table 2),
+///   * "fpga" -- its iso-performance FPGA counterpart,
+///   * "gpu"  -- the iso-performance GPU derived from the ASIC.
+///
+/// New platforms (a CPU baseline, a chiplet FPGA, a vendor device) are one
+/// `add()` call away and immediately usable from `ScenarioSpec` without
+/// touching the engine.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/catalog.hpp"
+#include "device/chip_spec.hpp"
+
+namespace greenfpga::device {
+
+/// Maps platform names to domain-parameterised device resolvers.
+class PlatformRegistry {
+ public:
+  /// Derives the platform's concrete device for an application domain.
+  using Resolver = std::function<ChipSpec(Domain)>;
+
+  /// An empty registry; use `with_builtins()` for the standard platforms.
+  PlatformRegistry() = default;
+
+  /// A registry pre-loaded with "asic", "fpga" and "gpu".
+  [[nodiscard]] static PlatformRegistry with_builtins();
+
+  /// Shared immutable instance of `with_builtins()` (the engine default).
+  [[nodiscard]] static const PlatformRegistry& builtins();
+
+  /// Register (or replace) a platform under `name`.
+  void add(std::string name, Resolver resolver);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Resolve `name` for `domain`.  Throws std::out_of_range listing the
+  /// registered names when `name` is unknown.
+  [[nodiscard]] ChipSpec resolve(std::string_view name, Domain domain) const;
+
+  /// Registered platform names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const { return resolvers_.size(); }
+
+ private:
+  std::map<std::string, Resolver, std::less<>> resolvers_;
+};
+
+}  // namespace greenfpga::device
+
+#endif  // GREENFPGA_DEVICE_PLATFORM_REGISTRY_HPP

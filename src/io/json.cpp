@@ -62,6 +62,14 @@ double Json::as_number() const {
 
 std::int64_t Json::as_int() const {
   const double n = as_number();
+  // Range-check before casting: double-to-int64 conversion outside the
+  // representable range (or of NaN) is undefined behaviour.  2^63 is
+  // exactly representable as a double; the valid half-open range is
+  // [-2^63, 2^63).
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (!(n >= -kTwo63 && n < kTwo63)) {
+    throw JsonError("JSON number is not an integer: " + std::to_string(n));
+  }
   const auto i = static_cast<std::int64_t>(n);
   if (static_cast<double>(i) != n) {
     throw JsonError("JSON number is not an integer: " + std::to_string(n));

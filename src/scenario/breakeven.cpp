@@ -1,5 +1,9 @@
 /// \file breakeven.cpp
 /// Closed-form crossover solvers from two model probes per platform.
+///
+/// The solves live in free functions (the engine primitives); the legacy
+/// `BreakevenSolver` builds breakeven-kind specs and runs them through
+/// `scenario::Engine`, which dispatches back to the free functions.
 
 #include "scenario/breakeven.hpp"
 
@@ -8,6 +12,7 @@
 
 #include "core/comparator.hpp"
 #include "core/paper_config.hpp"
+#include "scenario/engine.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::scenario {
@@ -32,30 +37,32 @@ std::optional<double> affine_root(double x1, double y1, double x2, double y2) {
   return root;
 }
 
-}  // namespace
+/// FPGA-minus-ASIC total at an explicit point.
+double difference(const core::LifecycleModel& model,
+                  const device::DomainTestcase& testcase, int app_count,
+                  units::TimeSpan lifetime, double volume) {
+  const workload::Schedule schedule =
+      core::paper_schedule(testcase.domain, app_count, lifetime, volume);
+  const core::Comparison comparison = core::compare(model, testcase, schedule);
+  return comparison.fpga.total.total().canonical() -
+         comparison.asic.total.total().canonical();
+}
 
-BreakevenSolver::BreakevenSolver(core::LifecycleModel model, device::DomainTestcase testcase)
-    : model_(std::move(model)), testcase_(std::move(testcase)) {
-  if (model_.suite().appdev.accounting != core::AppDevAccounting::one_time) {
+/// Affinity precondition: one-time app-dev accounting.
+void require_one_time_accounting(const core::LifecycleModel& model) {
+  if (model.suite().appdev.accounting != core::AppDevAccounting::one_time) {
     throw std::invalid_argument(
         "BreakevenSolver: per-year accounting makes totals bilinear in (T, N_app); "
         "use the sweep engine instead");
   }
 }
 
-double BreakevenSolver::difference(int app_count, units::TimeSpan lifetime,
-                                   double volume) const {
-  const workload::Schedule schedule =
-      core::paper_schedule(testcase_.domain, app_count, lifetime, volume);
-  const core::Comparison comparison = core::compare(model_, testcase_, schedule);
-  return comparison.fpga.total.total().canonical() -
-         comparison.asic.total.total().canonical();
-}
-
-void BreakevenSolver::require_single_fleet(int app_count, units::TimeSpan lifetime) const {
+/// Validity guard: the schedule must fit one FPGA service life.
+void require_single_fleet(const device::DomainTestcase& testcase, int app_count,
+                          units::TimeSpan lifetime) {
   const double horizon_years =
       static_cast<double>(app_count) * lifetime.in(units::unit::years);
-  const double service_years = testcase_.fpga.service_life.in(units::unit::years);
+  const double service_years = testcase.fpga.service_life.in(units::unit::years);
   if (horizon_years > service_years + 1e-9) {
     throw std::invalid_argument(
         "BreakevenSolver: schedule exceeds one FPGA service life (" +
@@ -64,11 +71,34 @@ void BreakevenSolver::require_single_fleet(int app_count, units::TimeSpan lifeti
   }
 }
 
-std::optional<double> BreakevenSolver::app_count_breakeven(
-    const BreakevenContext& context) const {
-  require_single_fleet(/*app_count=*/2, context.app_lifetime);
-  const double y1 = difference(1, context.app_lifetime, context.app_volume);
-  const double y2 = difference(2, context.app_lifetime, context.app_volume);
+/// Spec skeleton for the solver shims.
+ScenarioSpec breakeven_spec(const core::LifecycleModel& model,
+                            const device::DomainTestcase& testcase,
+                            const BreakevenContext& context) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::breakeven;
+  spec.domain = testcase.domain;
+  spec.suite = model.suite();
+  spec.platforms = {PlatformRef{.name = "asic", .chip = testcase.asic},
+                    PlatformRef{.name = "fpga", .chip = testcase.fpga}};
+  spec.schedule.app_count = context.app_count;
+  spec.schedule.lifetime_years = context.app_lifetime.in(units::unit::years);
+  spec.schedule.volume = context.app_volume;
+  spec.breakeven = BreakevenSpec{.solve_app_count = false,
+                                 .solve_lifetime = false,
+                                 .solve_volume = false};
+  return spec;
+}
+
+}  // namespace
+
+std::optional<double> solve_app_count_breakeven(const core::LifecycleModel& model,
+                                                const device::DomainTestcase& testcase,
+                                                const BreakevenContext& context) {
+  require_one_time_accounting(model);
+  require_single_fleet(testcase, /*app_count=*/2, context.app_lifetime);
+  const double y1 = difference(model, testcase, 1, context.app_lifetime, context.app_volume);
+  const double y2 = difference(model, testcase, 2, context.app_lifetime, context.app_volume);
   const std::optional<double> root = affine_root(1.0, y1, 2.0, y2);
   // Schedules start at one application: a root below 1 means one platform
   // dominates over the whole meaningful range.
@@ -78,23 +108,55 @@ std::optional<double> BreakevenSolver::app_count_breakeven(
   return root;
 }
 
+std::optional<double> solve_lifetime_breakeven(const core::LifecycleModel& model,
+                                               const device::DomainTestcase& testcase,
+                                               const BreakevenContext& context) {
+  using units::unit::years;
+  require_one_time_accounting(model);
+  require_single_fleet(testcase, context.app_count, 2.0 * years);
+  const double y1 =
+      difference(model, testcase, context.app_count, 1.0 * years, context.app_volume);
+  const double y2 =
+      difference(model, testcase, context.app_count, 2.0 * years, context.app_volume);
+  return affine_root(1.0, y1, 2.0, y2);
+}
+
+std::optional<double> solve_volume_breakeven(const core::LifecycleModel& model,
+                                             const device::DomainTestcase& testcase,
+                                             const BreakevenContext& context) {
+  require_one_time_accounting(model);
+  require_single_fleet(testcase, context.app_count, context.app_lifetime);
+  const double v1 = 1e5;
+  const double v2 = 1e6;
+  const double y1 = difference(model, testcase, context.app_count, context.app_lifetime, v1);
+  const double y2 = difference(model, testcase, context.app_count, context.app_lifetime, v2);
+  return affine_root(v1, y1, v2, y2);
+}
+
+BreakevenSolver::BreakevenSolver(core::LifecycleModel model, device::DomainTestcase testcase)
+    : model_(std::move(model)), testcase_(std::move(testcase)) {
+  require_one_time_accounting(model_);
+}
+
+std::optional<double> BreakevenSolver::app_count_breakeven(
+    const BreakevenContext& context) const {
+  ScenarioSpec spec = breakeven_spec(model_, testcase_, context);
+  spec.breakeven.solve_app_count = true;
+  return Engine().run(spec).breakeven->app_count;
+}
+
 std::optional<double> BreakevenSolver::lifetime_breakeven(
     const BreakevenContext& context) const {
-  using units::unit::years;
-  require_single_fleet(context.app_count, 2.0 * years);
-  const double y1 = difference(context.app_count, 1.0 * years, context.app_volume);
-  const double y2 = difference(context.app_count, 2.0 * years, context.app_volume);
-  return affine_root(1.0, y1, 2.0, y2);
+  ScenarioSpec spec = breakeven_spec(model_, testcase_, context);
+  spec.breakeven.solve_lifetime = true;
+  return Engine().run(spec).breakeven->lifetime_years;
 }
 
 std::optional<double> BreakevenSolver::volume_breakeven(
     const BreakevenContext& context) const {
-  require_single_fleet(context.app_count, context.app_lifetime);
-  const double v1 = 1e5;
-  const double v2 = 1e6;
-  const double y1 = difference(context.app_count, context.app_lifetime, v1);
-  const double y2 = difference(context.app_count, context.app_lifetime, v2);
-  return affine_root(v1, y1, v2, y2);
+  ScenarioSpec spec = breakeven_spec(model_, testcase_, context);
+  spec.breakeven.solve_volume = true;
+  return Engine().run(spec).breakeven->volume;
 }
 
 }  // namespace greenfpga::scenario

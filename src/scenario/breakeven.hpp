@@ -38,7 +38,26 @@ struct BreakevenContext {
   double app_volume = 1e6;
 };
 
+/// Engine primitives: the closed-form solves, probing `model` directly.
+/// Each validates the one-time-accounting and single-fleet preconditions
+/// (std::invalid_argument on violation) exactly as the corresponding
+/// `BreakevenSolver` method.  Prefer `Engine::run` with a breakeven-kind
+/// `ScenarioSpec`; these exist so the engine and the solver shim share one
+/// implementation.
+[[nodiscard]] std::optional<double> solve_app_count_breakeven(
+    const core::LifecycleModel& model, const device::DomainTestcase& testcase,
+    const BreakevenContext& context);
+[[nodiscard]] std::optional<double> solve_lifetime_breakeven(
+    const core::LifecycleModel& model, const device::DomainTestcase& testcase,
+    const BreakevenContext& context);
+[[nodiscard]] std::optional<double> solve_volume_breakeven(
+    const core::LifecycleModel& model, const device::DomainTestcase& testcase,
+    const BreakevenContext& context);
+
 /// Closed-form crossover solver for one domain testcase.
+///
+/// \deprecated Thin shim over `scenario::Engine`; new code should build a
+/// breakeven-kind `ScenarioSpec` and call `Engine::run`.
 class BreakevenSolver {
  public:
   BreakevenSolver(core::LifecycleModel model, device::DomainTestcase testcase);
@@ -60,12 +79,6 @@ class BreakevenSolver {
       const BreakevenContext& context) const;
 
  private:
-  /// FPGA-minus-ASIC total at an explicit point.
-  [[nodiscard]] double difference(int app_count, units::TimeSpan lifetime,
-                                  double volume) const;
-  /// Validity guard: the schedule must fit one FPGA service life.
-  void require_single_fleet(int app_count, units::TimeSpan lifetime) const;
-
   core::LifecycleModel model_;
   device::DomainTestcase testcase_;
 };

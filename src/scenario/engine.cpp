@@ -1,0 +1,399 @@
+/// \file engine.cpp
+/// Spec dispatch, the parallel point executor, and legacy-shaped views.
+
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "act/grid_profile.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+
+namespace {
+
+/// Run `fn(model, index)` for every index in [0, n) on up to `threads`
+/// workers.  Each worker owns a private LifecycleModel built from `suite`
+/// (the model's embodied-carbon memoisation is not thread-safe to share).
+/// Work items are independent and write to disjoint slots, so results are
+/// identical for any worker count; the first exception is rethrown on the
+/// caller's thread.
+template <typename Fn>
+void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&& fn) {
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(std::max(threads, 1)), n));
+  if (workers <= 1) {
+    core::LifecycleModel model(suite);
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(model, i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      // The whole body (model construction included -- suite validation
+      // can throw) stays inside the try: an exception escaping a thread
+      // would call std::terminate instead of reporting a runtime error.
+      try {
+        core::LifecycleModel model(suite);
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) {
+            return;
+          }
+          fn(model, i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        next.store(n, std::memory_order_relaxed);  // drain remaining work
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+/// Replace the flat use-phase intensity with the profile-scheduled one.
+core::ModelSuite apply_grid_profile(core::ModelSuite suite, const GridProfileSpec& spec) {
+  act::DailyProfile profile;
+  if (spec.profile == "uniform") {
+    profile = act::DailyProfile();
+  } else if (spec.profile == "solar_duck") {
+    profile = act::DailyProfile::solar_duck();
+  } else if (spec.profile == "windy_night") {
+    profile = act::DailyProfile::windy_night();
+  } else {
+    throw std::invalid_argument("Engine: unknown grid profile '" + spec.profile +
+                                "' (uniform, solar_duck, windy_night)");
+  }
+  act::DutySchedulingPolicy policy = act::DutySchedulingPolicy::uniform;
+  if (spec.policy == "uniform") {
+    policy = act::DutySchedulingPolicy::uniform;
+  } else if (spec.policy == "carbon_aware") {
+    policy = act::DutySchedulingPolicy::carbon_aware;
+  } else if (spec.policy == "worst_case") {
+    policy = act::DutySchedulingPolicy::worst_case;
+  } else {
+    throw std::invalid_argument("Engine: unknown duty policy '" + spec.policy +
+                                "' (uniform, carbon_aware, worst_case)");
+  }
+  suite.operation.use_intensity = act::scheduled_intensity(
+      suite.operation.use_intensity, profile, suite.operation.duty_cycle, policy);
+  return suite;
+}
+
+/// Apply one axis coordinate to the homogeneous schedule fields.
+void apply_axis(ScheduleSpec& schedule, SweepVariable variable, double value) {
+  switch (variable) {
+    case SweepVariable::app_count:
+      schedule.app_count = static_cast<int>(std::llround(value));
+      return;
+    case SweepVariable::lifetime_years:
+      schedule.lifetime_years = value;
+      return;
+    case SweepVariable::volume:
+      schedule.volume = value;
+      return;
+  }
+  throw std::logic_error("Engine: unknown sweep variable");
+}
+
+/// The ASIC/FPGA testcase required by the testcase-shaped kinds.  Exactly
+/// two platforms: silently ignoring extras would let a user believe e.g.
+/// a GPU took part in a timeline that cannot model it.
+device::DomainTestcase testcase_of(const ScenarioResult& result,
+                                   const std::string& kind_name) {
+  const auto asic = result.platform_index(device::ChipKind::asic);
+  const auto fpga = result.platform_index(device::ChipKind::fpga);
+  if (!asic || !fpga || result.resolved_chips.size() != 2) {
+    throw std::invalid_argument("Engine: " + kind_name +
+                                " scenarios need exactly one ASIC and one FPGA platform");
+  }
+  return device::DomainTestcase{.domain = result.spec.domain,
+                                .asic = result.resolved_chips[*asic],
+                                .fpga = result.resolved_chips[*fpga]};
+}
+
+}  // namespace
+
+double EvalPoint::ratio(std::size_t index, std::size_t baseline) const {
+  return platforms.at(index).total.total().canonical() /
+         platforms.at(baseline).total.total().canonical();
+}
+
+std::optional<std::size_t> ScenarioResult::platform_index(device::ChipKind kind) const {
+  for (std::size_t i = 0; i < resolved_chips.size(); ++i) {
+    if (resolved_chips[i].kind == kind) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+core::Comparison ScenarioResult::comparison() const {
+  if (points.size() != 1) {
+    throw std::logic_error("ScenarioResult::comparison: needs exactly one point");
+  }
+  const auto asic = platform_index(device::ChipKind::asic);
+  const auto fpga = platform_index(device::ChipKind::fpga);
+  if (!asic || !fpga) {
+    throw std::logic_error("ScenarioResult::comparison: needs ASIC and FPGA platforms");
+  }
+  return core::Comparison{.asic = points.front().platforms[*asic],
+                          .fpga = points.front().platforms[*fpga]};
+}
+
+SweepSeries ScenarioResult::sweep_series() const {
+  if (spec.axes.size() != 1) {
+    throw std::logic_error("ScenarioResult::sweep_series: needs exactly one axis");
+  }
+  const auto asic = platform_index(device::ChipKind::asic);
+  const auto fpga = platform_index(device::ChipKind::fpga);
+  if (!asic || !fpga) {
+    throw std::logic_error("ScenarioResult::sweep_series: needs ASIC and FPGA platforms");
+  }
+  SweepSeries series;
+  series.parameter = spec.axes.front().label();
+  series.domain = spec.domain;
+  series.x.reserve(points.size());
+  series.asic.reserve(points.size());
+  series.fpga.reserve(points.size());
+  for (const EvalPoint& point : points) {
+    series.x.push_back(point.coords.front());
+    series.asic.push_back(point.platforms[*asic].total);
+    series.fpga.push_back(point.platforms[*fpga].total);
+  }
+  return series;
+}
+
+Heatmap ScenarioResult::heatmap() const {
+  if (spec.axes.size() != 2) {
+    throw std::logic_error("ScenarioResult::heatmap: needs exactly two axes");
+  }
+  const auto asic = platform_index(device::ChipKind::asic);
+  const auto fpga = platform_index(device::ChipKind::fpga);
+  if (!asic || !fpga) {
+    throw std::logic_error("ScenarioResult::heatmap: needs ASIC and FPGA platforms");
+  }
+  Heatmap map;
+  map.x_name = spec.axes[0].label();
+  map.y_name = spec.axes[1].label();
+  map.domain = spec.domain;
+  map.x = spec.axes[0].values();
+  map.y = spec.axes[1].values();
+  map.ratio.assign(map.y.size(), std::vector<double>(map.x.size(), 0.0));
+  if (points.size() != map.x.size() * map.y.size()) {
+    throw std::logic_error("ScenarioResult::heatmap: point count does not match axes");
+  }
+  for (std::size_t iy = 0; iy < map.y.size(); ++iy) {
+    for (std::size_t ix = 0; ix < map.x.size(); ++ix) {
+      const EvalPoint& point = points[iy * map.x.size() + ix];
+      map.ratio[iy][ix] = point.platforms[*fpga].total.total().canonical() /
+                          point.platforms[*asic].total.total().canonical();
+    }
+  }
+  return map;
+}
+
+Engine::Engine(EngineOptions options)
+    : threads_(options.threads > 0 ? std::min(options.threads, kMaxThreads)
+                                   : default_threads()),
+      registry_(options.registry) {}
+
+int Engine::default_threads() {
+  if (const char* env = std::getenv("GREENFPGA_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+const device::PlatformRegistry& Engine::registry() const {
+  return registry_ != nullptr ? *registry_ : device::PlatformRegistry::builtins();
+}
+
+ScenarioResult Engine::run(const ScenarioSpec& spec) const {
+  spec.validate();
+
+  ScenarioResult result;
+  result.spec = spec;
+  if (result.spec.platforms.empty()) {
+    result.spec.platforms = {PlatformRef{.name = "asic", .chip = std::nullopt},
+                             PlatformRef{.name = "fpga", .chip = std::nullopt}};
+  }
+  for (const PlatformRef& platform : result.spec.platforms) {
+    result.platform_names.push_back(platform.name);
+    result.resolved_chips.push_back(
+        platform.chip ? *platform.chip
+                      : registry().resolve(platform.name, result.spec.domain));
+  }
+
+  const core::ModelSuite suite =
+      result.spec.grid_profile
+          ? apply_grid_profile(result.spec.suite, *result.spec.grid_profile)
+          : result.spec.suite;
+
+  switch (result.spec.kind) {
+    case ScenarioKind::compare:
+    case ScenarioKind::sweep:
+    case ScenarioKind::grid:
+      run_points(result.spec, suite, result);
+      return result;
+    case ScenarioKind::timeline:
+      run_timeline(result.spec, suite, result);
+      return result;
+    case ScenarioKind::breakeven:
+      run_breakeven(result.spec, suite, result);
+      return result;
+    case ScenarioKind::node_dse:
+      run_node_dse(result.spec, suite, result);
+      return result;
+    case ScenarioKind::sensitivity:
+      run_sensitivity(result.spec, suite, result);
+      return result;
+  }
+  throw std::logic_error("Engine: unknown scenario kind");
+}
+
+void Engine::run_points(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                        ScenarioResult& result) const {
+  // Coordinate grid: axis 0 is the inner (fastest) dimension.
+  std::vector<std::vector<double>> axis_values;
+  axis_values.reserve(spec.axes.size());
+  std::size_t total = 1;
+  for (const AxisSpec& axis : spec.axes) {
+    axis_values.push_back(axis.values());
+    total *= axis_values.back().size();
+  }
+
+  const bool keep_per_application =
+      spec.kind == ScenarioKind::compare || spec.outputs.per_application;
+
+  result.points.resize(total);
+  parallel_for(total, threads_, suite, [&](core::LifecycleModel& model, std::size_t i) {
+    EvalPoint& point = result.points[i];
+    ScheduleSpec schedule_spec = spec.schedule;
+    std::size_t remainder = i;
+    point.coords.reserve(axis_values.size());
+    for (const std::vector<double>& values : axis_values) {
+      const double value = values[remainder % values.size()];
+      remainder /= values.size();
+      point.coords.push_back(value);
+    }
+    for (std::size_t a = 0; a < axis_values.size(); ++a) {
+      apply_axis(schedule_spec, spec.axes[a].variable, point.coords[a]);
+    }
+    const workload::Schedule schedule = schedule_spec.materialise(spec.domain);
+    point.platforms.reserve(result.resolved_chips.size());
+    for (const device::ChipSpec& chip : result.resolved_chips) {
+      point.platforms.push_back(model.evaluate(chip, schedule));
+      if (!keep_per_application) {
+        point.platforms.back().per_application.clear();
+        point.platforms.back().per_application.shrink_to_fit();
+      }
+    }
+  });
+}
+
+void Engine::run_timeline(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                          ScenarioResult& result) const {
+  const device::DomainTestcase testcase = testcase_of(result, "timeline");
+  const core::LifecycleModel model(suite);
+  result.timeline =
+      simulate_timeline(model, testcase, spec.timeline.horizon_years,
+                        spec.schedule.lifetime_years, spec.schedule.volume,
+                        spec.timeline.step_years);
+}
+
+void Engine::run_breakeven(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                           ScenarioResult& result) const {
+  const device::DomainTestcase testcase = testcase_of(result, "breakeven");
+  const core::LifecycleModel model(suite);
+  const BreakevenContext context{
+      .app_count = spec.schedule.app_count,
+      .app_lifetime = spec.schedule.lifetime_years * units::unit::years,
+      .app_volume = spec.schedule.volume,
+  };
+  BreakevenReport report;
+  if (spec.breakeven.solve_app_count) {
+    report.app_count = solve_app_count_breakeven(model, testcase, context);
+  }
+  if (spec.breakeven.solve_lifetime) {
+    report.lifetime_years = solve_lifetime_breakeven(model, testcase, context);
+  }
+  if (spec.breakeven.solve_volume) {
+    report.volume = solve_volume_breakeven(model, testcase, context);
+  }
+  result.breakeven = report;
+}
+
+void Engine::run_node_dse(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                          ScenarioResult& result) const {
+  const device::ChipSpec subject =
+      spec.dse.chip ? *spec.dse.chip : device::domain_testcase(spec.domain).fpga;
+  const std::span<const tech::ProcessNode> nodes =
+      spec.dse.nodes.empty() ? tech::all_nodes()
+                             : std::span<const tech::ProcessNode>(spec.dse.nodes);
+  const workload::Schedule schedule = spec.schedule.materialise(spec.domain);
+
+  // Retarget serially (cheap, and infeasible nodes are simply skipped),
+  // then evaluate the surviving candidates on the pool.
+  std::vector<device::ChipSpec> retargeted;
+  retargeted.reserve(nodes.size());
+  for (const tech::ProcessNode node : nodes) {
+    try {
+      retargeted.push_back(retarget_to_node(subject, node));
+    } catch (const std::invalid_argument&) {
+      continue;  // does not fit the reticle on this node
+    }
+  }
+  result.candidates.resize(retargeted.size());
+  parallel_for(retargeted.size(), threads_, suite,
+               [&](core::LifecycleModel& model, std::size_t i) {
+                 result.candidates[i] =
+                     evaluate_node_candidate(model, schedule, retargeted[i]);
+               });
+  rank_node_candidates(result.candidates);  // throws when nothing fits a reticle
+}
+
+void Engine::run_sensitivity(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                             ScenarioResult& result) const {
+  const device::DomainTestcase testcase = testcase_of(result, "sensitivity");
+  const workload::Schedule schedule = spec.schedule.materialise(spec.domain);
+  if (spec.sensitivity.run_tornado) {
+    result.tornado =
+        detail::tornado_analysis(suite, testcase, schedule, spec.sensitivity.ranges);
+  }
+  if (spec.sensitivity.run_monte_carlo) {
+    result.monte_carlo = detail::monte_carlo_analysis(
+        suite, testcase, schedule, spec.sensitivity.ranges, spec.sensitivity.samples,
+        spec.sensitivity.seed);
+  }
+}
+
+}  // namespace greenfpga::scenario

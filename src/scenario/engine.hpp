@@ -1,0 +1,139 @@
+#ifndef GREENFPGA_SCENARIO_ENGINE_HPP
+#define GREENFPGA_SCENARIO_ENGINE_HPP
+
+/// \file engine.hpp
+/// The unified evaluation engine: one entry point for every scenario.
+///
+/// `Engine::run(spec)` dispatches a declarative `ScenarioSpec` to the
+/// lifecycle models and returns a `ScenarioResult`:
+///
+///   * compare / sweep / grid specs evaluate every (platform, scenario
+///     point) pair, with independent points executed **in parallel** on a
+///     worker pool (each worker owns its own `LifecycleModel` copy, whose
+///     memoised embodied-carbon sub-results make a 50x50 heat-map compute
+///     fab/package/EOL once per platform instead of 2500 times);
+///   * timeline / breakeven / node_dse / sensitivity specs dispatch to the
+///     corresponding scenario primitives (node-DSE candidates also run on
+///     the pool).
+///
+/// Results are **bit-identical across thread counts**: every point is
+/// computed by the same deterministic code from the same inputs, and
+/// workers write to pre-sized slots (pinned by tests/engine_test.cpp).
+///
+/// The legacy per-module classes (SweepEngine, HeatmapEngine,
+/// BreakevenSolver, NodeDse, TimelineSimulator, tornado/monte_carlo) are
+/// thin spec-builders over this engine and remain as deprecated shims.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/comparator.hpp"
+#include "device/platform_registry.hpp"
+#include "scenario/breakeven.hpp"
+#include "scenario/heatmap.hpp"
+#include "scenario/node_dse.hpp"
+#include "scenario/sensitivity.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+#include "scenario/timeline.hpp"
+
+namespace greenfpga::scenario {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Worker count for independent points; 0 means `Engine::default_threads()`
+  /// (the `GREENFPGA_THREADS` environment variable, else hardware
+  /// concurrency).  Clamped to `Engine::kMaxThreads`.  Results do not
+  /// depend on this value.
+  int threads = 0;
+  /// Platform-name resolver; nullptr means `PlatformRegistry::builtins()`.
+  /// The registry must outlive the engine.
+  const device::PlatformRegistry* registry = nullptr;
+};
+
+/// One evaluated scenario point: axis coordinates plus every platform's
+/// lifecycle result (in `ScenarioSpec::platforms` order).
+struct EvalPoint {
+  std::vector<double> coords;
+  std::vector<core::PlatformCfp> platforms;
+
+  /// Total-CFP ratio of platform `index` over platform `baseline`.
+  [[nodiscard]] double ratio(std::size_t index, std::size_t baseline = 0) const;
+};
+
+/// Closed-form breakeven solves (nullopt = not requested or no crossover).
+struct BreakevenReport {
+  std::optional<double> app_count;
+  std::optional<double> lifetime_years;
+  std::optional<double> volume;
+};
+
+/// The engine's output: the resolved spec plus the kind-dependent payload.
+struct ScenarioResult {
+  ScenarioSpec spec;                            ///< as run (platforms defaulted)
+  std::vector<std::string> platform_names;      ///< one per spec platform
+  std::vector<device::ChipSpec> resolved_chips; ///< one per spec platform
+
+  /// compare: 1 point; sweep: one per axis sample; grid: row-major with
+  /// axis 1 (y) outer, axis 0 (x) inner.
+  std::vector<EvalPoint> points;
+
+  std::optional<TimelineSeries> timeline;       ///< timeline kind
+  std::vector<NodeCandidate> candidates;        ///< node_dse kind, ranked
+  std::vector<TornadoEntry> tornado;            ///< sensitivity kind
+  std::optional<MonteCarloResult> monte_carlo;  ///< sensitivity kind
+  std::optional<BreakevenReport> breakeven;     ///< breakeven kind
+
+  // -- legacy-shaped views (throw std::logic_error when the shape does not
+  //    match, e.g. no ASIC/FPGA platform pair) --------------------------------
+  [[nodiscard]] core::Comparison comparison() const;  ///< compare kind
+  [[nodiscard]] SweepSeries sweep_series() const;     ///< sweep kind
+  [[nodiscard]] Heatmap heatmap() const;              ///< grid kind
+
+  /// Index of the first platform of `kind`, if any.
+  [[nodiscard]] std::optional<std::size_t> platform_index(device::ChipKind kind) const;
+};
+
+/// The unified evaluation engine.
+class Engine {
+ public:
+  /// Upper bound on the worker count (a pool is spawned per run; an
+  /// unbounded request would otherwise spawn one OS thread per grid
+  /// point).
+  static constexpr int kMaxThreads = 256;
+
+  explicit Engine(EngineOptions options = {});
+
+  /// Evaluate one scenario.  Validates the spec, resolves platforms,
+  /// applies the grid profile, dispatches on kind.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) const;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// GREENFPGA_THREADS (>= 1) when set and parseable, else hardware
+  /// concurrency (>= 1).
+  [[nodiscard]] static int default_threads();
+
+ private:
+  [[nodiscard]] const device::PlatformRegistry& registry() const;
+
+  void run_points(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                  ScenarioResult& result) const;
+  void run_timeline(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                    ScenarioResult& result) const;
+  void run_breakeven(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                     ScenarioResult& result) const;
+  void run_node_dse(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                    ScenarioResult& result) const;
+  void run_sensitivity(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                       ScenarioResult& result) const;
+
+  int threads_ = 1;
+  const device::PlatformRegistry* registry_ = nullptr;
+};
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_ENGINE_HPP

@@ -5,10 +5,37 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "scenario/engine.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::scenario {
+
+namespace {
+
+/// Grid-kind spec skeleton for the heat-map shims.
+ScenarioSpec grid_spec_base(const core::LifecycleModel& model,
+                            const device::DomainTestcase& testcase) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::grid;
+  spec.domain = testcase.domain;
+  spec.suite = model.suite();
+  spec.platforms = {PlatformRef{.name = "asic", .chip = testcase.asic},
+                    PlatformRef{.name = "fpga", .chip = testcase.fpga}};
+  return spec;
+}
+
+std::vector<double> as_doubles(std::span<const int> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const int v : values) {
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<Heatmap::ContourPoint> Heatmap::unity_contour() const {
   std::vector<ContourPoint> contour;
@@ -51,25 +78,13 @@ Heatmap HeatmapEngine::app_count_vs_lifetime(std::span<const int> app_counts,
   if (app_counts.empty() || lifetimes_years.empty()) {
     throw std::invalid_argument("heatmap: axes must be non-empty");
   }
-  Heatmap map;
-  map.x_name = "N_app";
-  map.y_name = "T_i [years]";
-  map.domain = engine_.testcase().domain;
-  map.x.assign(app_counts.size(), 0.0);
-  for (std::size_t i = 0; i < app_counts.size(); ++i) {
-    map.x[i] = static_cast<double>(app_counts[i]);
-  }
-  map.y.assign(lifetimes_years.begin(), lifetimes_years.end());
-  for (const double years : lifetimes_years) {
-    std::vector<double> row;
-    row.reserve(app_counts.size());
-    for (const int k : app_counts) {
-      row.push_back(
-          engine_.evaluate_point(k, years * units::unit::years, volume).ratio());
-    }
-    map.ratio.push_back(std::move(row));
-  }
-  return map;
+  ScenarioSpec spec = grid_spec_base(engine_.model(), engine_.testcase());
+  spec.schedule.volume = volume;
+  spec.axes = {AxisSpec::list(SweepVariable::app_count, as_doubles(app_counts)),
+               AxisSpec::list(SweepVariable::lifetime_years,
+                              std::vector<double>(lifetimes_years.begin(),
+                                                  lifetimes_years.end()))};
+  return Engine().run(spec).heatmap();
 }
 
 Heatmap HeatmapEngine::volume_vs_lifetime(std::span<const double> volumes,
@@ -78,22 +93,14 @@ Heatmap HeatmapEngine::volume_vs_lifetime(std::span<const double> volumes,
   if (volumes.empty() || lifetimes_years.empty()) {
     throw std::invalid_argument("heatmap: axes must be non-empty");
   }
-  Heatmap map;
-  map.x_name = "N_vol [units]";
-  map.y_name = "T_i [years]";
-  map.domain = engine_.testcase().domain;
-  map.x.assign(volumes.begin(), volumes.end());
-  map.y.assign(lifetimes_years.begin(), lifetimes_years.end());
-  for (const double years : lifetimes_years) {
-    std::vector<double> row;
-    row.reserve(volumes.size());
-    for (const double volume : volumes) {
-      row.push_back(
-          engine_.evaluate_point(app_count, years * units::unit::years, volume).ratio());
-    }
-    map.ratio.push_back(std::move(row));
-  }
-  return map;
+  ScenarioSpec spec = grid_spec_base(engine_.model(), engine_.testcase());
+  spec.schedule.app_count = app_count;
+  spec.axes = {AxisSpec::list(SweepVariable::volume,
+                              std::vector<double>(volumes.begin(), volumes.end())),
+               AxisSpec::list(SweepVariable::lifetime_years,
+                              std::vector<double>(lifetimes_years.begin(),
+                                                  lifetimes_years.end()))};
+  return Engine().run(spec).heatmap();
 }
 
 Heatmap HeatmapEngine::volume_vs_app_count(std::span<const double> volumes,
@@ -102,24 +109,12 @@ Heatmap HeatmapEngine::volume_vs_app_count(std::span<const double> volumes,
   if (volumes.empty() || app_counts.empty()) {
     throw std::invalid_argument("heatmap: axes must be non-empty");
   }
-  Heatmap map;
-  map.x_name = "N_vol [units]";
-  map.y_name = "N_app";
-  map.domain = engine_.testcase().domain;
-  map.x.assign(volumes.begin(), volumes.end());
-  map.y.assign(app_counts.size(), 0.0);
-  for (std::size_t i = 0; i < app_counts.size(); ++i) {
-    map.y[i] = static_cast<double>(app_counts[i]);
-  }
-  for (const int k : app_counts) {
-    std::vector<double> row;
-    row.reserve(volumes.size());
-    for (const double volume : volumes) {
-      row.push_back(engine_.evaluate_point(k, lifetime, volume).ratio());
-    }
-    map.ratio.push_back(std::move(row));
-  }
-  return map;
+  ScenarioSpec spec = grid_spec_base(engine_.model(), engine_.testcase());
+  spec.schedule.lifetime_years = lifetime.in(units::unit::years);
+  spec.axes = {AxisSpec::list(SweepVariable::volume,
+                              std::vector<double>(volumes.begin(), volumes.end())),
+               AxisSpec::list(SweepVariable::app_count, as_doubles(app_counts))};
+  return Engine().run(spec).heatmap();
 }
 
 }  // namespace greenfpga::scenario

@@ -41,6 +41,11 @@ struct Heatmap {
 };
 
 /// Generates the paper's three pairwise heat-maps for one domain.
+///
+/// \deprecated Thin shim over `scenario::Engine`: every heat-map builds a
+/// grid-kind `ScenarioSpec` and runs it, so the grid points are evaluated
+/// in parallel with memoised embodied carbon.  New code should construct
+/// specs directly.
 class HeatmapEngine {
  public:
   HeatmapEngine(core::LifecycleModel model, device::DomainTestcase testcase);

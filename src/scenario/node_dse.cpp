@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "scenario/engine.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::scenario {
@@ -36,26 +37,16 @@ device::ChipSpec retarget_to_node(const device::ChipSpec& chip, tech::ProcessNod
   return result;
 }
 
-NodeDse::NodeDse(core::LifecycleModel model, workload::Schedule schedule)
-    : model_(std::move(model)), schedule_(std::move(schedule)) {
-  workload::validate(schedule_);
+NodeCandidate evaluate_node_candidate(const core::LifecycleModel& model,
+                                      const workload::Schedule& schedule,
+                                      const device::ChipSpec& retargeted) {
+  NodeCandidate candidate;
+  candidate.chip = retargeted;
+  candidate.lifecycle = model.evaluate(retargeted, schedule).total;
+  return candidate;
 }
 
-std::vector<NodeCandidate> NodeDse::explore(
-    const device::ChipSpec& chip, std::span<const tech::ProcessNode> nodes) const {
-  std::vector<NodeCandidate> candidates;
-  for (const tech::ProcessNode node : nodes) {
-    device::ChipSpec retargeted;
-    try {
-      retargeted = retarget_to_node(chip, node);
-    } catch (const std::invalid_argument&) {
-      continue;  // does not fit the reticle on this node
-    }
-    NodeCandidate candidate;
-    candidate.chip = retargeted;
-    candidate.lifecycle = model_.evaluate(retargeted, schedule_).total;
-    candidates.push_back(std::move(candidate));
-  }
+void rank_node_candidates(std::vector<NodeCandidate>& candidates) {
   if (candidates.empty()) {
     throw std::invalid_argument("NodeDse: no candidate node can manufacture this design");
   }
@@ -67,7 +58,27 @@ std::vector<NodeCandidate> NodeDse::explore(
   for (NodeCandidate& candidate : candidates) {
     candidate.total_vs_best = candidate.total().canonical() / best;
   }
-  return candidates;
+}
+
+NodeDse::NodeDse(core::LifecycleModel model, workload::Schedule schedule)
+    : model_(std::move(model)), schedule_(std::move(schedule)) {
+  workload::validate(schedule_);
+}
+
+std::vector<NodeCandidate> NodeDse::explore(
+    const device::ChipSpec& chip, std::span<const tech::ProcessNode> nodes) const {
+  if (nodes.empty()) {
+    // Legacy contract: an explicitly empty node list has no candidates.
+    // (In a DseSpec, an empty list means "all database nodes" instead.)
+    throw std::invalid_argument("NodeDse: no candidate node can manufacture this design");
+  }
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::node_dse;
+  spec.suite = model_.suite();
+  spec.schedule.explicit_schedule = schedule_;
+  spec.dse.chip = chip;
+  spec.dse.nodes.assign(nodes.begin(), nodes.end());
+  return Engine().run(spec).candidates;
 }
 
 NodeCandidate NodeDse::best(const device::ChipSpec& chip) const {

@@ -51,7 +51,23 @@ struct NodeCandidate {
   [[nodiscard]] units::CarbonMass total() const { return lifecycle.total(); }
 };
 
+/// Engine primitive: evaluate one (already retargeted) candidate device
+/// against a schedule.  `total_vs_best` is left at 1.0; see
+/// `rank_node_candidates`.
+[[nodiscard]] NodeCandidate evaluate_node_candidate(const core::LifecycleModel& model,
+                                                    const workload::Schedule& schedule,
+                                                    const device::ChipSpec& retargeted);
+
+/// Engine primitive: sort candidates by ascending lifecycle CFP and fill
+/// `total_vs_best`.  Throws std::invalid_argument when `candidates` is
+/// empty (no node can manufacture the design).
+void rank_node_candidates(std::vector<NodeCandidate>& candidates);
+
 /// Ranks fabrication nodes for one device + schedule by lifecycle CFP.
+///
+/// \deprecated Thin shim over `scenario::Engine`; new code should build a
+/// node_dse-kind `ScenarioSpec` and call `Engine::run` (which also
+/// evaluates the candidates in parallel).
 class NodeDse {
  public:
   /// `model` supplies every sub-model; the schedule fixes the deployment.

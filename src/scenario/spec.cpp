@@ -1,0 +1,550 @@
+/// \file spec.cpp
+/// ScenarioSpec helpers, validation and canonical JSON round-trip.
+
+#include "scenario/spec.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/config_io.hpp"
+#include "scenario/sweep.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+
+namespace {
+
+using io::Json;
+
+/// Unknown-key guard, shared with the core config readers.
+void check_keys(const Json& json, const std::string& context,
+                std::initializer_list<std::string_view> allowed) {
+  core::check_known_keys(json, context, allowed);
+}
+
+std::string domain_token(device::Domain domain) {
+  switch (domain) {
+    case device::Domain::dnn:
+      return "dnn";
+    case device::Domain::imgproc:
+      return "imgproc";
+    case device::Domain::crypto:
+      return "crypto";
+  }
+  return "dnn";
+}
+
+device::Domain domain_from_token(const std::string& text) {
+  if (text == "dnn" || text == "DNN") return device::Domain::dnn;
+  if (text == "imgproc" || text == "ImgProc") return device::Domain::imgproc;
+  if (text == "crypto" || text == "Crypto") return device::Domain::crypto;
+  throw core::ConfigError("unknown domain \"" + text + "\"");
+}
+
+}  // namespace
+
+std::string to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::compare:
+      return "compare";
+    case ScenarioKind::sweep:
+      return "sweep";
+    case ScenarioKind::grid:
+      return "grid";
+    case ScenarioKind::timeline:
+      return "timeline";
+    case ScenarioKind::node_dse:
+      return "node_dse";
+    case ScenarioKind::breakeven:
+      return "breakeven";
+    case ScenarioKind::sensitivity:
+      return "sensitivity";
+  }
+  return "unknown";
+}
+
+std::optional<ScenarioKind> parse_scenario_kind(std::string_view text) {
+  if (text == "compare") return ScenarioKind::compare;
+  if (text == "sweep") return ScenarioKind::sweep;
+  if (text == "grid" || text == "heatmap") return ScenarioKind::grid;
+  if (text == "timeline") return ScenarioKind::timeline;
+  if (text == "node_dse" || text == "nodes") return ScenarioKind::node_dse;
+  if (text == "breakeven") return ScenarioKind::breakeven;
+  if (text == "sensitivity") return ScenarioKind::sensitivity;
+  return std::nullopt;
+}
+
+std::string to_string(SweepVariable variable) {
+  switch (variable) {
+    case SweepVariable::app_count:
+      return "app_count";
+    case SweepVariable::lifetime_years:
+      return "lifetime_years";
+    case SweepVariable::volume:
+      return "volume";
+  }
+  return "unknown";
+}
+
+std::optional<SweepVariable> parse_sweep_variable(std::string_view text) {
+  if (text == "app_count" || text == "apps") return SweepVariable::app_count;
+  if (text == "lifetime_years" || text == "lifetime") return SweepVariable::lifetime_years;
+  if (text == "volume") return SweepVariable::volume;
+  return std::nullopt;
+}
+
+std::string to_string(AxisScale scale) {
+  switch (scale) {
+    case AxisScale::list:
+      return "list";
+    case AxisScale::linear:
+      return "linear";
+    case AxisScale::log:
+      return "log";
+  }
+  return "unknown";
+}
+
+std::vector<double> AxisSpec::values() const {
+  switch (scale) {
+    case AxisScale::list:
+      if (explicit_values.empty()) {
+        throw std::invalid_argument("AxisSpec: list axis needs at least one value");
+      }
+      return explicit_values;
+    case AxisScale::linear:
+      return linspace(from, to, count);
+    case AxisScale::log:
+      return logspace(from, to, count);
+  }
+  throw std::logic_error("AxisSpec: unknown scale");
+}
+
+std::string AxisSpec::label() const {
+  switch (variable) {
+    case SweepVariable::app_count:
+      return "N_app";
+    case SweepVariable::lifetime_years:
+      return "T_i [years]";
+    case SweepVariable::volume:
+      return "N_vol [units]";
+  }
+  return "x";
+}
+
+AxisSpec AxisSpec::list(SweepVariable variable, std::vector<double> values) {
+  AxisSpec axis;
+  axis.variable = variable;
+  axis.scale = AxisScale::list;
+  axis.explicit_values = std::move(values);
+  return axis;
+}
+
+AxisSpec AxisSpec::linear(SweepVariable variable, double from, double to, int count) {
+  AxisSpec axis;
+  axis.variable = variable;
+  axis.scale = AxisScale::linear;
+  axis.from = from;
+  axis.to = to;
+  axis.count = count;
+  return axis;
+}
+
+AxisSpec AxisSpec::log(SweepVariable variable, double from, double to, int count) {
+  AxisSpec axis;
+  axis.variable = variable;
+  axis.scale = AxisScale::log;
+  axis.from = from;
+  axis.to = to;
+  axis.count = count;
+  return axis;
+}
+
+workload::Schedule ScheduleSpec::materialise(device::Domain domain) const {
+  if (explicit_schedule) {
+    return *explicit_schedule;
+  }
+  return core::paper_schedule(domain, app_count, lifetime_years * units::unit::years,
+                              volume);
+}
+
+ScenarioSpec ScenarioSpec::make(ScenarioKind kind, device::Domain domain) {
+  ScenarioSpec spec;
+  spec.kind = kind;
+  spec.domain = domain;
+  spec.suite = core::paper_suite();
+  // Seed the schedule from the calibrated paper defaults (single source of
+  // truth: a SweepDefaults recalibration must reach the engine path too).
+  const core::SweepDefaults defaults = core::paper_sweep_defaults();
+  spec.schedule.app_count = defaults.app_count;
+  spec.schedule.lifetime_years = defaults.app_lifetime.in(units::unit::years);
+  spec.schedule.volume = defaults.app_volume;
+  spec.sensitivity.ranges = table1_ranges();
+  return spec;
+}
+
+void ScenarioSpec::validate() const {
+  const std::size_t expected_axes = kind == ScenarioKind::sweep  ? 1
+                                    : kind == ScenarioKind::grid ? 2
+                                                                 : 0;
+  if (axes.size() != expected_axes) {
+    throw std::invalid_argument("ScenarioSpec '" + name + "': kind " + to_string(kind) +
+                                " needs exactly " + std::to_string(expected_axes) +
+                                " axes, got " + std::to_string(axes.size()));
+  }
+  if (!axes.empty() && schedule.explicit_schedule) {
+    throw std::invalid_argument("ScenarioSpec '" + name +
+                                "': axes cannot override an explicit schedule");
+  }
+  if (schedule.explicit_schedule &&
+      (kind == ScenarioKind::timeline || kind == ScenarioKind::breakeven)) {
+    // These kinds are parameterised by the homogeneous fields only (the
+    // timeline replays one repeating application; the solver's context is
+    // a fixed point); silently dropping an application list would be a
+    // trap.
+    throw std::invalid_argument("ScenarioSpec '" + name + "': kind " + to_string(kind) +
+                                " uses the homogeneous schedule fields, not an explicit "
+                                "application list");
+  }
+  for (const AxisSpec& axis : axes) {
+    if (axis.scale == AxisScale::list) {
+      if (axis.explicit_values.empty()) {
+        throw std::invalid_argument("ScenarioSpec '" + name + "': axis " +
+                                    to_string(axis.variable) + " has no values");
+      }
+    } else if (axis.count < 2) {
+      throw std::invalid_argument("ScenarioSpec '" + name + "': axis " +
+                                  to_string(axis.variable) +
+                                  " needs count >= 2 samples");
+    } else if (axis.scale == AxisScale::log && (axis.from <= 0.0 || axis.to <= 0.0)) {
+      throw std::invalid_argument("ScenarioSpec '" + name + "': log axis " +
+                                  to_string(axis.variable) + " needs positive bounds");
+    }
+  }
+  if (!schedule.explicit_schedule) {
+    if (schedule.app_count < 1) {
+      throw std::invalid_argument("ScenarioSpec '" + name + "': app_count must be >= 1");
+    }
+    if (schedule.lifetime_years <= 0.0 || schedule.volume <= 0.0) {
+      throw std::invalid_argument("ScenarioSpec '" + name +
+                                  "': lifetime and volume must be positive");
+    }
+  }
+  for (const PlatformRef& platform : platforms) {
+    if (platform.name.empty()) {
+      throw std::invalid_argument("ScenarioSpec '" + name +
+                                  "': platform names must be non-empty");
+    }
+  }
+  if (kind == ScenarioKind::sensitivity && sensitivity.run_monte_carlo &&
+      sensitivity.samples < 1) {
+    throw std::invalid_argument("ScenarioSpec '" + name +
+                                "': sensitivity needs at least one Monte-Carlo sample");
+  }
+  if (kind == ScenarioKind::timeline &&
+      (timeline.horizon_years <= 0.0 || timeline.step_years <= 0.0)) {
+    throw std::invalid_argument("ScenarioSpec '" + name +
+                                "': timeline horizon and step must be positive");
+  }
+}
+
+// -- JSON -----------------------------------------------------------------------
+
+namespace {
+
+Json axis_to_json(const AxisSpec& axis) {
+  Json out = Json::object();
+  out["variable"] = to_string(axis.variable);
+  out["scale"] = to_string(axis.scale);
+  if (axis.scale == AxisScale::list) {
+    Json values = Json::array();
+    for (const double v : axis.explicit_values) {
+      values.push_back(v);
+    }
+    out["values"] = std::move(values);
+  } else {
+    out["from"] = axis.from;
+    out["to"] = axis.to;
+    out["count"] = axis.count;
+  }
+  return out;
+}
+
+AxisSpec axis_from_json(const Json& json) {
+  check_keys(json, "axis", {"variable", "scale", "from", "to", "count", "values"});
+  AxisSpec axis;
+  const std::string variable = json.string_or("variable", "app_count");
+  const auto parsed_variable = parse_sweep_variable(variable);
+  if (!parsed_variable) {
+    throw core::ConfigError("unknown axis variable \"" + variable + "\"");
+  }
+  axis.variable = *parsed_variable;
+  const std::string scale = json.string_or("scale", json.contains("values") ? "list" : "linear");
+  if (scale == "list") {
+    axis.scale = AxisScale::list;
+    if (!json.contains("values")) {
+      throw core::ConfigError("list axis needs a \"values\" array");
+    }
+    for (const Json& v : json.at("values").as_array()) {
+      axis.explicit_values.push_back(v.as_number());
+    }
+  } else if (scale == "linear" || scale == "log") {
+    axis.scale = scale == "linear" ? AxisScale::linear : AxisScale::log;
+    if (!json.contains("from") || !json.contains("to") || !json.contains("count")) {
+      throw core::ConfigError(scale + " axis needs \"from\", \"to\" and \"count\"");
+    }
+    axis.from = json.at("from").as_number();
+    axis.to = json.at("to").as_number();
+    axis.count = static_cast<int>(core::int_field_or(json, "count", 0, 2, 1'000'000));
+  } else {
+    throw core::ConfigError("unknown axis scale \"" + scale + "\"");
+  }
+  return axis;
+}
+
+Json platform_to_json(const PlatformRef& platform) {
+  if (!platform.chip) {
+    return Json(platform.name);
+  }
+  Json out = Json::object();
+  out["name"] = platform.name;
+  out["chip"] = core::to_json(*platform.chip);
+  return out;
+}
+
+PlatformRef platform_from_json(const Json& json) {
+  PlatformRef platform;
+  if (json.is_string()) {
+    platform.name = json.as_string();
+    return platform;
+  }
+  check_keys(json, "platform", {"name", "chip"});
+  platform.name = json.string_or("name", "");
+  if (platform.name.empty()) {
+    throw core::ConfigError("platform entries need a \"name\"");
+  }
+  if (json.contains("chip")) {
+    platform.chip = core::chip_from_json(json.at("chip"));
+  }
+  return platform;
+}
+
+Json schedule_to_json(const ScheduleSpec& schedule) {
+  Json out = Json::object();
+  out["app_count"] = schedule.app_count;
+  out["lifetime_years"] = schedule.lifetime_years;
+  out["volume"] = schedule.volume;
+  if (schedule.explicit_schedule) {
+    out["applications"] = core::to_json(*schedule.explicit_schedule);
+  }
+  return out;
+}
+
+ScheduleSpec schedule_spec_from_json(const Json& json, ScheduleSpec schedule) {
+  check_keys(json, "schedule",
+             {"app_count", "lifetime_years", "volume", "applications"});
+  schedule.app_count =
+      static_cast<int>(core::int_field_or(json, "app_count", schedule.app_count, 1,
+                                          1'000'000));
+  schedule.lifetime_years = json.number_or("lifetime_years", schedule.lifetime_years);
+  schedule.volume = json.number_or("volume", schedule.volume);
+  if (json.contains("applications")) {
+    schedule.explicit_schedule = core::schedule_from_json(json.at("applications"));
+  }
+  return schedule;
+}
+
+Json sensitivity_to_json(const SensitivitySpec& sensitivity) {
+  Json out = Json::object();
+  out["run_tornado"] = sensitivity.run_tornado;
+  out["run_monte_carlo"] = sensitivity.run_monte_carlo;
+  out["samples"] = sensitivity.samples;
+  out["seed"] = static_cast<std::int64_t>(sensitivity.seed);
+  Json ranges = Json::array();
+  for (const ParameterRange& range : sensitivity.ranges) {
+    ranges.push_back(range.name);
+  }
+  out["ranges"] = std::move(ranges);
+  return out;
+}
+
+SensitivitySpec sensitivity_from_json(const Json& json, SensitivitySpec sensitivity) {
+  check_keys(json, "sensitivity",
+             {"run_tornado", "run_monte_carlo", "samples", "seed", "ranges"});
+  sensitivity.run_tornado = json.bool_or("run_tornado", sensitivity.run_tornado);
+  sensitivity.run_monte_carlo =
+      json.bool_or("run_monte_carlo", sensitivity.run_monte_carlo);
+  sensitivity.samples = static_cast<int>(
+      core::int_field_or(json, "samples", sensitivity.samples, 1, 100'000'000));
+  sensitivity.seed = static_cast<unsigned>(
+      core::int_field_or(json, "seed", sensitivity.seed, 0, 4294967295LL));
+  if (json.contains("ranges")) {
+    sensitivity.ranges.clear();
+    const std::vector<ParameterRange> known = table1_ranges();
+    for (const Json& entry : json.at("ranges").as_array()) {
+      const std::string& range_name = entry.as_string();
+      bool found = false;
+      for (const ParameterRange& range : known) {
+        if (range.name == range_name) {
+          sensitivity.ranges.push_back(range);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw core::ConfigError("unknown sensitivity range \"" + range_name +
+                                "\" (see table1_ranges)");
+      }
+    }
+  }
+  return sensitivity;
+}
+
+Json dse_to_json(const DseSpec& dse) {
+  Json out = Json::object();
+  if (dse.chip) {
+    out["chip"] = core::to_json(*dse.chip);
+  }
+  Json nodes = Json::array();
+  for (const tech::ProcessNode node : dse.nodes) {
+    nodes.push_back(tech::to_string(node));
+  }
+  out["nodes"] = std::move(nodes);
+  return out;
+}
+
+DseSpec dse_from_json(const Json& json) {
+  check_keys(json, "dse", {"chip", "nodes"});
+  DseSpec dse;
+  if (json.contains("chip")) {
+    dse.chip = core::chip_from_json(json.at("chip"));
+  }
+  if (json.contains("nodes")) {
+    for (const Json& entry : json.at("nodes").as_array()) {
+      const auto node = tech::parse_node(entry.as_string());
+      if (!node) {
+        throw core::ConfigError("unknown process node \"" + entry.as_string() + "\"");
+      }
+      dse.nodes.push_back(*node);
+    }
+  }
+  return dse;
+}
+
+}  // namespace
+
+Json spec_to_json(const ScenarioSpec& spec) {
+  Json out = Json::object();
+  out["name"] = spec.name;
+  out["kind"] = to_string(spec.kind);
+  out["domain"] = domain_token(spec.domain);
+  Json platforms = Json::array();
+  for (const PlatformRef& platform : spec.platforms) {
+    platforms.push_back(platform_to_json(platform));
+  }
+  out["platforms"] = std::move(platforms);
+  out["suite"] = core::to_json(spec.suite);
+  out["schedule"] = schedule_to_json(spec.schedule);
+  Json axes = Json::array();
+  for (const AxisSpec& axis : spec.axes) {
+    axes.push_back(axis_to_json(axis));
+  }
+  out["axes"] = std::move(axes);
+  if (spec.grid_profile) {
+    Json profile = Json::object();
+    profile["profile"] = spec.grid_profile->profile;
+    profile["policy"] = spec.grid_profile->policy;
+    out["grid_profile"] = std::move(profile);
+  }
+  Json timeline = Json::object();
+  timeline["horizon_years"] = spec.timeline.horizon_years;
+  timeline["step_years"] = spec.timeline.step_years;
+  out["timeline"] = std::move(timeline);
+  out["dse"] = dse_to_json(spec.dse);
+  Json breakeven = Json::object();
+  breakeven["solve_app_count"] = spec.breakeven.solve_app_count;
+  breakeven["solve_lifetime"] = spec.breakeven.solve_lifetime;
+  breakeven["solve_volume"] = spec.breakeven.solve_volume;
+  out["breakeven"] = std::move(breakeven);
+  out["sensitivity"] = sensitivity_to_json(spec.sensitivity);
+  Json outputs = Json::object();
+  outputs["per_application"] = spec.outputs.per_application;
+  out["outputs"] = std::move(outputs);
+  return out;
+}
+
+ScenarioSpec spec_from_json(const Json& json) {
+  check_keys(json, "scenario spec",
+             {"name", "kind", "domain", "platforms", "suite", "schedule", "axes",
+              "grid_profile", "timeline", "dse", "breakeven", "sensitivity", "outputs"});
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare);
+  spec.name = json.string_or("name", spec.name);
+  const std::string kind = json.string_or("kind", "compare");
+  const auto parsed_kind = parse_scenario_kind(kind);
+  if (!parsed_kind) {
+    throw core::ConfigError("unknown scenario kind \"" + kind + "\"");
+  }
+  spec.kind = *parsed_kind;
+  spec.domain = domain_from_token(json.string_or("domain", "dnn"));
+  if (json.contains("platforms")) {
+    for (const Json& entry : json.at("platforms").as_array()) {
+      spec.platforms.push_back(platform_from_json(entry));
+    }
+  }
+  if (json.contains("suite")) {
+    spec.suite = core::suite_from_json(json.at("suite"), spec.suite);
+  }
+  if (json.contains("schedule")) {
+    // Partial schedule objects keep the make()-seeded paper defaults for
+    // whatever they omit ("omitted fields keep their paper defaults").
+    spec.schedule = schedule_spec_from_json(json.at("schedule"), spec.schedule);
+  }
+  if (json.contains("axes")) {
+    for (const Json& entry : json.at("axes").as_array()) {
+      spec.axes.push_back(axis_from_json(entry));
+    }
+  }
+  if (json.contains("grid_profile")) {
+    check_keys(json.at("grid_profile"), "grid_profile", {"profile", "policy"});
+    GridProfileSpec profile;
+    profile.profile = json.at("grid_profile").string_or("profile", profile.profile);
+    profile.policy = json.at("grid_profile").string_or("policy", profile.policy);
+    spec.grid_profile = std::move(profile);
+  }
+  if (json.contains("timeline")) {
+    check_keys(json.at("timeline"), "timeline", {"horizon_years", "step_years"});
+    spec.timeline.horizon_years =
+        json.at("timeline").number_or("horizon_years", spec.timeline.horizon_years);
+    spec.timeline.step_years =
+        json.at("timeline").number_or("step_years", spec.timeline.step_years);
+  }
+  if (json.contains("dse")) {
+    spec.dse = dse_from_json(json.at("dse"));
+  }
+  if (json.contains("breakeven")) {
+    check_keys(json.at("breakeven"), "breakeven",
+               {"solve_app_count", "solve_lifetime", "solve_volume"});
+    spec.breakeven.solve_app_count =
+        json.at("breakeven").bool_or("solve_app_count", spec.breakeven.solve_app_count);
+    spec.breakeven.solve_lifetime =
+        json.at("breakeven").bool_or("solve_lifetime", spec.breakeven.solve_lifetime);
+    spec.breakeven.solve_volume =
+        json.at("breakeven").bool_or("solve_volume", spec.breakeven.solve_volume);
+  }
+  if (json.contains("sensitivity")) {
+    spec.sensitivity = sensitivity_from_json(json.at("sensitivity"), spec.sensitivity);
+  }
+  if (json.contains("outputs")) {
+    check_keys(json.at("outputs"), "outputs", {"per_application"});
+    spec.outputs.per_application =
+        json.at("outputs").bool_or("per_application", spec.outputs.per_application);
+  }
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec load_spec(const std::string& path) {
+  return spec_from_json(io::parse_json_file(path));
+}
+
+}  // namespace greenfpga::scenario

@@ -1,0 +1,214 @@
+#ifndef GREENFPGA_SCENARIO_SPEC_HPP
+#define GREENFPGA_SCENARIO_SPEC_HPP
+
+/// \file spec.hpp
+/// Declarative scenario specification: the single input type of the
+/// evaluation engine.
+///
+/// A `ScenarioSpec` is a plain data object describing *what* to evaluate
+/// -- platforms (by registry name or explicit device), a model suite, a
+/// deployment schedule, optional sweep/grid axes, an optional time-varying
+/// grid profile, and output selection -- while `scenario::Engine` decides
+/// *how* (dispatch, parallelism, memoisation).  Every legacy scenario
+/// entry point (sweep, heatmap, breakeven, node DSE, timeline,
+/// sensitivity) is a thin builder over this type, and the same shape
+/// round-trips through JSON (`spec_to_json` / `spec_from_json`) so
+/// arbitrary user-authored scenarios run via `greenfpga run <spec.json>`
+/// without recompiling.
+///
+/// JSON round-trip contract: `spec_to_json` is canonical and total (every
+/// field, defaults included), so serialize -> parse -> re-serialize is
+/// byte-identical (pinned by tests/engine_test.cpp).  The only spec
+/// content that does not survive JSON is a *programmatic* sensitivity
+/// range (a custom `ParameterRange` applier): ranges serialize by name and
+/// are reconstructed from `table1_ranges()` on load.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/lifecycle_model.hpp"
+#include "core/paper_config.hpp"
+#include "device/chip_spec.hpp"
+#include "io/json.hpp"
+#include "scenario/sensitivity.hpp"
+#include "tech/node.hpp"
+#include "workload/application.hpp"
+
+namespace greenfpga::scenario {
+
+/// What kind of experiment a spec describes; selects the engine's
+/// dispatch path.
+enum class ScenarioKind {
+  compare,      ///< one evaluation point, all platforms head-to-head
+  sweep,        ///< 1-D sweep over one axis (paper Figs. 4-6)
+  grid,         ///< 2-D grid over two axes (paper Fig. 8 heat-maps)
+  timeline,     ///< cumulative multi-decade replay (paper Fig. 9)
+  node_dse,     ///< fabrication-node design-space exploration
+  breakeven,    ///< closed-form crossover solves in all three variables
+  sensitivity,  ///< tornado + Monte-Carlo over parameter ranges
+};
+
+[[nodiscard]] std::string to_string(ScenarioKind kind);
+[[nodiscard]] std::optional<ScenarioKind> parse_scenario_kind(std::string_view text);
+
+/// The scenario variables an axis can sweep (the paper's N_app, T_i, N_vol).
+enum class SweepVariable {
+  app_count,
+  lifetime_years,
+  volume,
+};
+
+[[nodiscard]] std::string to_string(SweepVariable variable);
+[[nodiscard]] std::optional<SweepVariable> parse_sweep_variable(std::string_view text);
+
+/// How an axis generates its sample values.
+enum class AxisScale {
+  list,    ///< explicit values
+  linear,  ///< linspace(from, to, count)
+  log,     ///< logspace(from, to, count)
+};
+
+[[nodiscard]] std::string to_string(AxisScale scale);
+
+/// One sweep/grid axis: a scenario variable plus its sample generator.
+/// Keeping the generator (rather than materialised samples) preserves the
+/// author's intent through JSON round-trips.
+struct AxisSpec {
+  SweepVariable variable = SweepVariable::app_count;
+  AxisScale scale = AxisScale::list;
+  double from = 0.0;
+  double to = 0.0;
+  int count = 0;
+  std::vector<double> explicit_values;  ///< used when scale == list
+
+  /// Materialise the sample values.
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Legacy axis label ("N_app", "T_i [years]", "N_vol [units]").
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] static AxisSpec list(SweepVariable variable, std::vector<double> values);
+  [[nodiscard]] static AxisSpec linear(SweepVariable variable, double from, double to,
+                                       int count);
+  [[nodiscard]] static AxisSpec log(SweepVariable variable, double from, double to,
+                                    int count);
+};
+
+/// A platform under evaluation: a registry name, optionally pinned to an
+/// explicit device (which bypasses the registry lookup).
+struct PlatformRef {
+  std::string name;
+  std::optional<device::ChipSpec> chip;
+};
+
+/// The deployment schedule, in the paper's homogeneous parameterisation
+/// (N_app identical applications at T_i / N_vol), or an explicit
+/// application list.  Axes override the homogeneous fields per point;
+/// an explicit schedule is incompatible with axes.  The member defaults
+/// mirror `core::SweepDefaults`; `ScenarioSpec::make()` re-seeds them
+/// from `core::paper_sweep_defaults()` so a calibration change reaches
+/// the engine path.
+struct ScheduleSpec {
+  int app_count = 5;
+  double lifetime_years = 2.0;
+  double volume = 1e6;
+  std::optional<workload::Schedule> explicit_schedule;
+
+  /// Build the concrete schedule for `domain` (paper prototype apps).
+  [[nodiscard]] workload::Schedule materialise(device::Domain domain) const;
+};
+
+/// Time-varying grid-intensity selection (act/grid_profile): a named
+/// 24-hour profile plus the duty scheduling policy.  When set, the engine
+/// replaces `suite.operation.use_intensity` with the effective scheduled
+/// intensity before evaluating.
+struct GridProfileSpec {
+  std::string profile = "uniform";  ///< "uniform" | "solar_duck" | "windy_night"
+  std::string policy = "uniform";   ///< "uniform" | "carbon_aware" | "worst_case"
+};
+
+/// Timeline-kind parameters (schedule supplies T_i and N_vol).
+struct TimelineSpec {
+  double horizon_years = 45.0;
+  double step_years = 0.25;
+};
+
+/// Node-DSE-kind parameters.  Default subject: the domain's FPGA.
+struct DseSpec {
+  std::optional<device::ChipSpec> chip;
+  std::vector<tech::ProcessNode> nodes;  ///< empty = all database nodes
+};
+
+/// Breakeven-kind parameters: which closed-form solves to run (the
+/// schedule supplies the fixed-point context).  Each solve validates its
+/// own single-fleet precondition, so selecting a subset matches the
+/// legacy per-method behaviour exactly.
+struct BreakevenSpec {
+  bool solve_app_count = true;
+  bool solve_lifetime = true;
+  bool solve_volume = true;
+};
+
+/// Sensitivity-kind parameters.  `ranges` is taken verbatim (empty =
+/// perturb nothing); `ScenarioSpec::make()` seeds it with
+/// `table1_ranges()`, and a JSON spec that omits "ranges" keeps that
+/// default while "ranges": [...] (by name, including []) replaces it.
+struct SensitivitySpec {
+  bool run_tornado = true;
+  bool run_monte_carlo = true;
+  int samples = 256;
+  unsigned seed = 42;
+  std::vector<ParameterRange> ranges;
+};
+
+/// Output selection: what the engine retains in the result.
+struct OutputSpec {
+  /// Keep per-application attribution in every evaluated point.  Always
+  /// kept for `compare`; off by default for sweeps/grids, where it would
+  /// multiply the result size by the schedule length.
+  bool per_application = false;
+};
+
+/// The declarative scenario: a plain aggregate, JSON round-trippable.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  ScenarioKind kind = ScenarioKind::compare;
+  device::Domain domain = device::Domain::dnn;
+  /// Platforms in evaluation order; the first is the ratio baseline.
+  /// Empty means {"asic", "fpga"}.
+  std::vector<PlatformRef> platforms;
+  core::ModelSuite suite;  ///< defaults to core::paper_suite() via make()
+  ScheduleSpec schedule;
+  std::vector<AxisSpec> axes;  ///< sweep: exactly 1; grid: exactly 2
+  std::optional<GridProfileSpec> grid_profile;
+  TimelineSpec timeline;
+  DseSpec dse;
+  BreakevenSpec breakeven;
+  SensitivitySpec sensitivity;
+  OutputSpec outputs;
+
+  /// A spec with the paper-default suite (aggregate initialisation would
+  /// zero-initialise `suite`, which is never what an author wants).
+  [[nodiscard]] static ScenarioSpec make(ScenarioKind kind,
+                                         device::Domain domain = device::Domain::dnn);
+
+  /// Structural validation (axis arity per kind, axis generators,
+  /// schedule/axes compatibility).  Throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Canonical JSON form (every field, defaults included, keys sorted).
+[[nodiscard]] io::Json spec_to_json(const ScenarioSpec& spec);
+
+/// Parse a spec; absent fields keep their defaults (suite defaults to the
+/// paper suite).  Unknown keys raise core::ConfigError.
+[[nodiscard]] ScenarioSpec spec_from_json(const io::Json& json);
+
+/// Load a spec file (JSON with // comments allowed).
+[[nodiscard]] ScenarioSpec load_spec(const std::string& path);
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_SPEC_HPP

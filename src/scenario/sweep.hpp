@@ -65,11 +65,16 @@ struct SweepSeries {
                                                     CrossoverKind kind);
 
 /// Sweep engine bound to one model and one domain testcase.
+///
+/// \deprecated Thin shim over `scenario::Engine`: every sweep builds a
+/// sweep-kind `ScenarioSpec` and runs it (points evaluated in parallel).
+/// New code should construct specs directly.
 class SweepEngine {
  public:
   SweepEngine(core::LifecycleModel model, device::DomainTestcase testcase);
 
   [[nodiscard]] const device::DomainTestcase& testcase() const { return testcase_; }
+  [[nodiscard]] const core::LifecycleModel& model() const { return model_; }
 
   /// Experiment A (Fig. 4): vary N_app from `from` to `to` inclusive.
   [[nodiscard]] SweepSeries sweep_app_count(int from, int to, units::TimeSpan lifetime,

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "device/iso_performance.hpp"
+#include "scenario/engine.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::scenario {
@@ -33,42 +34,57 @@ TimelineSimulator::TimelineSimulator(core::LifecycleModel model,
     : model_(std::move(model)), testcase_(std::move(testcase)) {}
 
 TimelineSeries TimelineSimulator::run(const TimelineParameters& parameters) const {
-  if (parameters.horizon.canonical() <= 0.0 || parameters.app_lifetime.canonical() <= 0.0 ||
-      parameters.step.canonical() <= 0.0) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::timeline;
+  spec.domain = testcase_.domain;
+  spec.suite = model_.suite();
+  spec.platforms = {PlatformRef{.name = "asic", .chip = testcase_.asic},
+                    PlatformRef{.name = "fpga", .chip = testcase_.fpga}};
+  spec.schedule.lifetime_years = parameters.app_lifetime.in(years);
+  spec.schedule.volume = parameters.volume;
+  spec.timeline.horizon_years = parameters.horizon.in(years);
+  spec.timeline.step_years = parameters.step.in(years);
+  return *Engine().run(spec).timeline;
+}
+
+TimelineSeries simulate_timeline(const core::LifecycleModel& model,
+                                 const device::DomainTestcase& testcase,
+                                 double horizon_years, double app_lifetime_years,
+                                 double volume, double step_years) {
+  if (horizon_years <= 0.0 || app_lifetime_years <= 0.0 || step_years <= 0.0) {
     throw std::invalid_argument("TimelineSimulator: durations must be positive");
   }
-  if (parameters.volume <= 0.0) {
+  if (volume <= 0.0) {
     throw std::invalid_argument("TimelineSimulator: volume must be positive");
   }
 
-  const double horizon = parameters.horizon.in(years);
-  const double app_period = parameters.app_lifetime.in(years);
-  const double step = parameters.step.in(years);
-  const double fpga_life = testcase_.fpga.service_life.in(years);
+  const double horizon = horizon_years;
+  const double app_period = app_lifetime_years;
+  const double step = step_years;
+  const double fpga_life = testcase.fpga.service_life.in(years);
 
   // Per-event carbon quantities (volume-scaled).
-  const int n_fpga = device::chips_per_unit(testcase_.fpga, /*application_gates=*/0.0);
-  const double fleet_chips = parameters.volume * static_cast<double>(n_fpga);
+  const int n_fpga = device::chips_per_unit(testcase.fpga, /*application_gates=*/0.0);
+  const double fleet_chips = volume * static_cast<double>(n_fpga);
 
   const units::CarbonMass asic_embodied_per_app =
-      model_.per_chip_embodied(testcase_.asic).total() * parameters.volume +
-      model_.design_model().design_carbon(testcase_.asic);
+      model.per_chip_embodied(testcase.asic).total() * volume +
+      model.design_model().design_carbon(testcase.asic);
   const units::CarbonMass fpga_fleet_silicon =
-      model_.per_chip_embodied(testcase_.fpga).total() * fleet_chips;
-  const units::CarbonMass fpga_design = model_.design_model().design_carbon(testcase_.fpga);
+      model.per_chip_embodied(testcase.fpga).total() * fleet_chips;
+  const units::CarbonMass fpga_design = model.design_model().design_carbon(testcase.fpga);
   const units::CarbonMass fpga_appdev_per_app =
-      model_.appdev_model().per_application(fleet_chips, /*is_fpga=*/true).total();
+      model.appdev_model().per_application(fleet_chips, /*is_fpga=*/true).total();
   const units::CarbonMass asic_appdev_per_app =
-      model_.appdev_model().per_application(parameters.volume, /*is_fpga=*/false).total();
+      model.appdev_model().per_application(volume, /*is_fpga=*/false).total();
 
   // Continuous operational rates (per year of deployment).
   const units::CarbonMass asic_op_per_year =
-      model_.operational_model().annual_carbon(testcase_.asic.peak_power) *
-      parameters.volume;
+      model.operational_model().annual_carbon(testcase.asic.peak_power) * volume;
   const units::CarbonMass fpga_op_per_year =
-      model_.operational_model().annual_carbon(testcase_.fpga.peak_power *
-                                               static_cast<double>(n_fpga)) *
-      parameters.volume;
+      model.operational_model().annual_carbon(testcase.fpga.peak_power *
+                                              static_cast<double>(n_fpga)) *
+      volume;
 
   TimelineSeries series;
   const int samples = static_cast<int>(std::round(horizon / step)) + 1;

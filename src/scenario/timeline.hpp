@@ -49,7 +49,20 @@ struct TimelineSeries {
   [[nodiscard]] std::vector<Crossover> crossovers() const;
 };
 
+/// Engine primitive: replay the cumulative timeline for an explicit
+/// testcase, all durations in years.  Prefer `Engine::run` with a
+/// timeline-kind `ScenarioSpec`; this exists so the engine and the
+/// simulator shim share one implementation.
+[[nodiscard]] TimelineSeries simulate_timeline(const core::LifecycleModel& model,
+                                               const device::DomainTestcase& testcase,
+                                               double horizon_years,
+                                               double app_lifetime_years, double volume,
+                                               double step_years);
+
 /// Replays the Fig. 9 experiment for one domain testcase.
+///
+/// \deprecated Thin shim over `scenario::Engine`; new code should build a
+/// timeline-kind `ScenarioSpec` and call `Engine::run`.
 class TimelineSimulator {
  public:
   TimelineSimulator(core::LifecycleModel model, device::DomainTestcase testcase);

@@ -10,6 +10,7 @@
 #include "core/paper_config.hpp"
 #include "device/catalog.hpp"
 #include "io/json.hpp"
+#include "scenario/spec.hpp"
 
 namespace greenfpga::cli {
 namespace {
@@ -138,6 +139,72 @@ TEST(Cli, DumpConfigIsValidScenarioJson) {
   const core::ScenarioConfig scenario = core::scenario_from_json(parsed);
   EXPECT_EQ(scenario.schedule.size(), 5u);
   EXPECT_TRUE(scenario.fpga.is_fpga());
+}
+
+std::string write_spec_file(const std::string& filename, greenfpga::scenario::ScenarioSpec spec) {
+  const std::string path = ::testing::TempDir() + "/" + filename;
+  io::write_json_file(path, scenario::spec_to_json(spec));
+  return path;
+}
+
+TEST(Cli, RunEvaluatesCompareSpec) {
+  auto spec = scenario::ScenarioSpec::make(scenario::ScenarioKind::compare,
+                                           device::Domain::crypto);
+  spec.name = "cli run compare";
+  spec.platforms = {scenario::PlatformRef{.name = "asic"},
+                    scenario::PlatformRef{.name = "fpga"},
+                    scenario::PlatformRef{.name = "gpu"}};
+  const CliRun result =
+      run_cli({"run", write_spec_file("greenfpga_cli_compare_spec.json", spec)});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("cli run compare"), std::string::npos);
+  EXPECT_NE(result.out.find("gpu:asic ratio"), std::string::npos);
+}
+
+TEST(Cli, RunEvaluatesSweepSpecAndWritesJson) {
+  auto spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, device::Domain::dnn);
+  spec.name = "cli run sweep";
+  spec.axes = {scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 6, 6)};
+  const std::string report_path = ::testing::TempDir() + "/greenfpga_cli_run_report.json";
+  const CliRun result =
+      run_cli({"run", write_spec_file("greenfpga_cli_sweep_spec.json", spec), "--json",
+               report_path});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("crossovers:"), std::string::npos);
+  const io::Json report = io::parse_json_file(report_path);
+  EXPECT_EQ(report.at("points").size(), 6u);
+  EXPECT_EQ(report.at("spec").at("name").as_string(), "cli run sweep");
+}
+
+TEST(Cli, RunUsageAndRuntimeErrors) {
+  EXPECT_EQ(run_cli({"run"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"run", "spec.json", "--bogus"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"run", "/nonexistent/spec.json"}).exit_code, 1);
+}
+
+TEST(Cli, ThreadsFlagIsAcceptedAnywhereAndValidated) {
+  const CliRun result = run_cli({"--threads", "2", "sweep", "dnn", "apps"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("crossovers:"), std::string::npos);
+  EXPECT_EQ(run_cli({"sweep", "--threads", "2", "dnn", "apps"}).exit_code, 0);
+  EXPECT_EQ(run_cli({"--threads"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"--threads", "0", "figures"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"--threads", "lots", "figures"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"--threads", "4abc", "figures"}).exit_code, 2);
+}
+
+TEST(Cli, ThreadCountDoesNotChangeSweepOutput) {
+  const CliRun one = run_cli({"--threads", "1", "sweep", "dnn", "volume"});
+  const CliRun four = run_cli({"--threads", "4", "sweep", "dnn", "volume"});
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_EQ(one.out, four.out);
+}
+
+TEST(Cli, CommandsRejectUnexpectedArguments) {
+  EXPECT_EQ(run_cli({"industry", "extra"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"figures", "extra"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"dump-config", "extra"}).exit_code, 2);
 }
 
 TEST(Cli, FiguresPrintsPaperVsMeasured) {

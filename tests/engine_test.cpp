@@ -1,0 +1,515 @@
+/// Tests for the unified evaluation API: ScenarioSpec JSON round-trip,
+/// PlatformRegistry, Engine dispatch, engine-vs-legacy equivalence for all
+/// six scenario modules, and thread-count determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/comparator.hpp"
+#include "core/config_io.hpp"
+#include "core/paper_config.hpp"
+#include "device/catalog.hpp"
+#include "device/platform_registry.hpp"
+#include "scenario/breakeven.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/heatmap.hpp"
+#include "scenario/node_dse.hpp"
+#include "scenario/sensitivity.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+#include "scenario/timeline.hpp"
+#include "units/units.hpp"
+
+namespace greenfpga::scenario {
+namespace {
+
+using units::unit::years;
+
+void expect_same_breakdown(const core::CfpBreakdown& a, const core::CfpBreakdown& b) {
+  EXPECT_EQ(a.design.canonical(), b.design.canonical());
+  EXPECT_EQ(a.manufacturing.canonical(), b.manufacturing.canonical());
+  EXPECT_EQ(a.packaging.canonical(), b.packaging.canonical());
+  EXPECT_EQ(a.eol.canonical(), b.eol.canonical());
+  EXPECT_EQ(a.operational.canonical(), b.operational.canonical());
+  EXPECT_EQ(a.app_dev.canonical(), b.app_dev.canonical());
+}
+
+ScenarioSpec sweep_spec() {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::sweep, device::Domain::dnn);
+  spec.name = "sweep";
+  spec.axes = {AxisSpec::linear(SweepVariable::app_count, 1, 8, 8)};
+  return spec;
+}
+
+ScenarioSpec grid_spec(int nx = 5, int ny = 4) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::grid, device::Domain::dnn);
+  spec.name = "grid";
+  spec.axes = {AxisSpec::log(SweepVariable::volume, 1e4, 1e6, nx),
+               AxisSpec::linear(SweepVariable::lifetime_years, 0.5, 2.5, ny)};
+  return spec;
+}
+
+// -- JSON round-trip ----------------------------------------------------------
+
+TEST(ScenarioSpecJson, RoundTripIsByteIdentical) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(ScenarioSpec::make(ScenarioKind::compare, device::Domain::crypto));
+  specs.back().platforms = {PlatformRef{.name = "asic"}, PlatformRef{.name = "fpga"},
+                            PlatformRef{.name = "gpu"}};
+  specs.push_back(sweep_spec());
+  specs.push_back(grid_spec());
+  specs.back().grid_profile = GridProfileSpec{.profile = "solar_duck",
+                                              .policy = "carbon_aware"};
+  specs.push_back(ScenarioSpec::make(ScenarioKind::timeline, device::Domain::imgproc));
+  specs.back().timeline = TimelineSpec{.horizon_years = 30.0, .step_years = 0.5};
+  specs.push_back(ScenarioSpec::make(ScenarioKind::node_dse, device::Domain::dnn));
+  specs.back().dse.nodes = {tech::ProcessNode::n10, tech::ProcessNode::n7};
+  specs.back().dse.chip = device::domain_testcase(device::Domain::dnn).fpga;
+  specs.push_back(ScenarioSpec::make(ScenarioKind::breakeven, device::Domain::dnn));
+  specs.back().breakeven.solve_volume = false;
+  specs.push_back(ScenarioSpec::make(ScenarioKind::sensitivity, device::Domain::dnn));
+  specs.back().sensitivity.samples = 32;
+  specs.back().sensitivity.ranges = table1_ranges();
+  // A platform pinned to an explicit chip survives the round-trip too.
+  specs.push_back(ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn));
+  specs.back().platforms = {
+      PlatformRef{.name = "asic"},
+      PlatformRef{.name = "my-fpga",
+                  .chip = device::domain_testcase(device::Domain::dnn).fpga}};
+
+  for (const ScenarioSpec& spec : specs) {
+    const std::string once = spec_to_json(spec).dump();
+    const ScenarioSpec reparsed = spec_from_json(io::parse_json(once));
+    const std::string twice = spec_to_json(reparsed).dump();
+    EXPECT_EQ(once, twice) << "kind " << to_string(spec.kind);
+  }
+}
+
+TEST(ScenarioSpecJson, UnknownKeysFailLoudly) {
+  io::Json json = spec_to_json(sweep_spec());
+  json["bogus_key"] = 1.0;
+  EXPECT_THROW(spec_from_json(json), core::ConfigError);
+}
+
+TEST(ScenarioSpecJson, UnknownKindAndVariableFail) {
+  io::Json json = spec_to_json(sweep_spec());
+  json["kind"] = "frobnicate";
+  EXPECT_THROW(spec_from_json(json), core::ConfigError);
+}
+
+TEST(ScenarioSpecJson, SensitivityRangesSerialiseByName) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::sensitivity, device::Domain::dnn);
+  spec.sensitivity.ranges = {table1_ranges().front()};
+  const ScenarioSpec reparsed = spec_from_json(spec_to_json(spec));
+  ASSERT_EQ(reparsed.sensitivity.ranges.size(), 1u);
+  EXPECT_EQ(reparsed.sensitivity.ranges.front().name, spec.sensitivity.ranges.front().name);
+}
+
+TEST(ScenarioSpecValidate, RejectsAxisArityMismatch) {
+  ScenarioSpec spec = sweep_spec();
+  spec.axes.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = grid_spec();
+  spec.axes.pop_back();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidate, RejectsAxesOverExplicitSchedule) {
+  ScenarioSpec spec = sweep_spec();
+  spec.schedule.explicit_schedule = core::paper_schedule(device::Domain::dnn);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidate, TimelineAndBreakevenRejectExplicitSchedules) {
+  // These kinds read only the homogeneous fields; an application list
+  // would be silently dropped, so it is rejected up front.
+  for (const ScenarioKind kind : {ScenarioKind::timeline, ScenarioKind::breakeven}) {
+    ScenarioSpec spec = ScenarioSpec::make(kind, device::Domain::dnn);
+    spec.schedule.explicit_schedule = core::paper_schedule(device::Domain::dnn);
+    EXPECT_THROW(spec.validate(), std::invalid_argument) << to_string(kind);
+  }
+}
+
+TEST(ScenarioSpecJson, SensitivityRangesDefaultToTable1AndEmptyMeansNone) {
+  // make() seeds the Table 1 ranges; omitting "ranges" in JSON keeps them.
+  const ScenarioSpec made = ScenarioSpec::make(ScenarioKind::sensitivity,
+                                               device::Domain::dnn);
+  EXPECT_EQ(made.sensitivity.ranges.size(), table1_ranges().size());
+  io::Json json = spec_to_json(made);
+  io::Json::Object& sensitivity =
+      json.as_object().at("sensitivity").as_object();
+  sensitivity.erase("ranges");
+  EXPECT_EQ(spec_from_json(json).sensitivity.ranges.size(), table1_ranges().size());
+  // An explicit empty list means "perturb nothing": the tornado is empty.
+  sensitivity["ranges"] = io::Json::array();
+  ScenarioSpec none = spec_from_json(json);
+  EXPECT_TRUE(none.sensitivity.ranges.empty());
+  none.sensitivity.run_monte_carlo = false;
+  EXPECT_TRUE(Engine(EngineOptions{.threads = 1}).run(none).tornado.empty());
+}
+
+// -- PlatformRegistry ---------------------------------------------------------
+
+TEST(PlatformRegistry, BuiltinsResolveAllThreeKinds) {
+  const device::PlatformRegistry& registry = device::PlatformRegistry::builtins();
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"asic", "fpga", "gpu"}));
+  EXPECT_EQ(registry.resolve("asic", device::Domain::dnn).kind, device::ChipKind::asic);
+  EXPECT_EQ(registry.resolve("fpga", device::Domain::dnn).kind, device::ChipKind::fpga);
+  EXPECT_EQ(registry.resolve("gpu", device::Domain::crypto).kind, device::ChipKind::gpu);
+}
+
+TEST(PlatformRegistry, UnknownNameThrowsListingKnownNames) {
+  try {
+    (void)device::PlatformRegistry::builtins().resolve("cpu", device::Domain::dnn);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& error) {
+    EXPECT_NE(std::string(error.what()).find("asic, fpga, gpu"), std::string::npos);
+  }
+}
+
+TEST(PlatformRegistry, CustomPlatformsAreResolvable) {
+  device::PlatformRegistry registry = device::PlatformRegistry::with_builtins();
+  registry.add("fpga-7nm", [](device::Domain domain) {
+    return retarget_to_node(device::domain_testcase(domain).fpga, tech::ProcessNode::n7);
+  });
+  EXPECT_TRUE(registry.contains("fpga-7nm"));
+  EXPECT_EQ(registry.resolve("fpga-7nm", device::Domain::dnn).node, tech::ProcessNode::n7);
+
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  spec.platforms = {PlatformRef{.name = "asic"}, PlatformRef{.name = "fpga-7nm"}};
+  const Engine engine(EngineOptions{.threads = 1, .registry = &registry});
+  const ScenarioResult result = engine.run(spec);
+  EXPECT_EQ(result.resolved_chips[1].node, tech::ProcessNode::n7);
+}
+
+TEST(EngineErrors, UnknownPlatformNameThrows) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  spec.platforms = {PlatformRef{.name = "quantum"}};
+  EXPECT_THROW((void)Engine(EngineOptions{.threads = 1}).run(spec), std::out_of_range);
+}
+
+// -- engine vs direct model evaluation (the independent reference) -----------
+
+TEST(EngineEquivalence, CompareMatchesDirectModelEvaluation) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const workload::Schedule schedule = core::paper_schedule(device::Domain::dnn);
+  const core::Comparison direct = core::compare(model, testcase, schedule);
+
+  const ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  const core::Comparison via_engine = Engine(EngineOptions{.threads = 1}).run(spec).comparison();
+
+  expect_same_breakdown(direct.asic.total, via_engine.asic.total);
+  expect_same_breakdown(direct.fpga.total, via_engine.fpga.total);
+  EXPECT_EQ(direct.asic.chips_manufactured, via_engine.asic.chips_manufactured);
+  EXPECT_EQ(direct.ratio(), via_engine.ratio());
+}
+
+TEST(EngineEquivalence, SweepShimMatchesDirectLoop) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const core::SweepDefaults defaults = core::paper_sweep_defaults();
+
+  // Legacy entry point (now an engine shim).
+  const SweepEngine legacy(model, testcase);
+  const SweepSeries series =
+      legacy.sweep_app_count(1, 8, defaults.app_lifetime, defaults.app_volume);
+
+  // Independent reference: hand-rolled direct model loop.
+  ASSERT_EQ(series.x.size(), 8u);
+  for (int k = 1; k <= 8; ++k) {
+    const workload::Schedule schedule = core::paper_schedule(
+        device::Domain::dnn, k, defaults.app_lifetime, defaults.app_volume);
+    const core::Comparison direct = core::compare(model, testcase, schedule);
+    EXPECT_EQ(series.x[static_cast<std::size_t>(k - 1)], static_cast<double>(k));
+    expect_same_breakdown(series.asic[static_cast<std::size_t>(k - 1)], direct.asic.total);
+    expect_same_breakdown(series.fpga[static_cast<std::size_t>(k - 1)], direct.fpga.total);
+  }
+}
+
+TEST(EngineEquivalence, LifetimeAndVolumeSweepsMatchDirectLoops) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::crypto);
+  const SweepEngine legacy(model, testcase);
+
+  const std::vector<double> lifetimes = linspace(0.5, 2.5, 5);
+  const SweepSeries by_lifetime = legacy.sweep_lifetime(lifetimes, 4, 1e6);
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const workload::Schedule schedule =
+        core::paper_schedule(testcase.domain, 4, lifetimes[i] * years, 1e6);
+    const core::Comparison direct = core::compare(model, testcase, schedule);
+    expect_same_breakdown(by_lifetime.asic[i], direct.asic.total);
+    expect_same_breakdown(by_lifetime.fpga[i], direct.fpga.total);
+  }
+
+  const std::vector<double> volumes = logspace(1e4, 1e6, 5);
+  const SweepSeries by_volume = legacy.sweep_volume(volumes, 4, 2.0 * years);
+  for (std::size_t i = 0; i < volumes.size(); ++i) {
+    const workload::Schedule schedule =
+        core::paper_schedule(testcase.domain, 4, 2.0 * years, volumes[i]);
+    const core::Comparison direct = core::compare(model, testcase, schedule);
+    expect_same_breakdown(by_volume.asic[i], direct.asic.total);
+    expect_same_breakdown(by_volume.fpga[i], direct.fpga.total);
+  }
+}
+
+TEST(EngineEquivalence, HeatmapShimMatchesDirectLoop) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const HeatmapEngine legacy(model, testcase);
+  const SweepEngine probe(model, testcase);
+
+  const std::vector<int> app_counts{1, 3, 5, 7};
+  const std::vector<double> lifetimes{0.5, 1.5, 2.5};
+  const Heatmap map = legacy.app_count_vs_lifetime(app_counts, lifetimes, 1e6);
+
+  ASSERT_EQ(map.ratio.size(), lifetimes.size());
+  for (std::size_t iy = 0; iy < lifetimes.size(); ++iy) {
+    ASSERT_EQ(map.ratio[iy].size(), app_counts.size());
+    for (std::size_t ix = 0; ix < app_counts.size(); ++ix) {
+      const double direct =
+          probe.evaluate_point(app_counts[ix], lifetimes[iy] * years, 1e6).ratio();
+      EXPECT_EQ(map.ratio[iy][ix], direct);
+    }
+  }
+}
+
+TEST(EngineEquivalence, BreakevenShimMatchesPrimitives) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const BreakevenSolver solver(model, testcase);
+  const BreakevenContext context;
+
+  EXPECT_EQ(solver.app_count_breakeven(context),
+            solve_app_count_breakeven(model, testcase, context));
+  EXPECT_EQ(solver.lifetime_breakeven(context),
+            solve_lifetime_breakeven(model, testcase, context));
+  EXPECT_EQ(solver.volume_breakeven(context),
+            solve_volume_breakeven(model, testcase, context));
+}
+
+TEST(EngineEquivalence, NodeDseShimMatchesDirectLoop) {
+  const core::LifecycleModel model(core::paper_suite());
+  const workload::Schedule schedule = core::paper_schedule(device::Domain::dnn);
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+
+  const NodeDse legacy(model, schedule);
+  const std::vector<NodeCandidate> via_engine = legacy.explore(fpga);
+
+  // Independent reference: retarget + evaluate + rank by hand.
+  std::vector<NodeCandidate> direct;
+  for (const tech::ProcessNode node : tech::all_nodes()) {
+    try {
+      direct.push_back(
+          evaluate_node_candidate(model, schedule, retarget_to_node(fpga, node)));
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+  }
+  rank_node_candidates(direct);
+
+  ASSERT_EQ(via_engine.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_engine[i].chip.node, direct[i].chip.node);
+    expect_same_breakdown(via_engine[i].lifecycle, direct[i].lifecycle);
+    EXPECT_EQ(via_engine[i].total_vs_best, direct[i].total_vs_best);
+  }
+}
+
+TEST(EngineEquivalence, TimelineShimMatchesPrimitive) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const TimelineSimulator legacy(model, testcase);
+
+  TimelineParameters parameters;
+  parameters.horizon = 30.0 * years;
+  parameters.app_lifetime = 1.0 * years;
+  parameters.step = 0.5 * years;
+  const TimelineSeries via_engine = legacy.run(parameters);
+  const TimelineSeries direct = simulate_timeline(model, testcase, 30.0, 1.0, 1e6, 0.5);
+
+  EXPECT_EQ(via_engine.time_years, direct.time_years);
+  EXPECT_EQ(via_engine.asic_cumulative_kg, direct.asic_cumulative_kg);
+  EXPECT_EQ(via_engine.fpga_cumulative_kg, direct.fpga_cumulative_kg);
+  EXPECT_EQ(via_engine.fpga_purchase_years, direct.fpga_purchase_years);
+}
+
+TEST(EngineEquivalence, SensitivityShimsMatchPrimitives) {
+  const core::ModelSuite base = core::paper_suite();
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const workload::Schedule schedule = core::paper_schedule(device::Domain::dnn);
+  const std::vector<ParameterRange> ranges = table1_ranges();
+
+  const std::vector<TornadoEntry> via_engine = tornado(base, testcase, schedule, ranges);
+  const std::vector<TornadoEntry> direct =
+      detail::tornado_analysis(base, testcase, schedule, ranges);
+  ASSERT_EQ(via_engine.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_engine[i].name, direct[i].name);
+    EXPECT_EQ(via_engine[i].ratio_at_low, direct[i].ratio_at_low);
+    EXPECT_EQ(via_engine[i].ratio_at_high, direct[i].ratio_at_high);
+  }
+
+  const MonteCarloResult mc_engine = monte_carlo(base, testcase, schedule, ranges, 64, 7);
+  const MonteCarloResult mc_direct =
+      detail::monte_carlo_analysis(base, testcase, schedule, ranges, 64, 7);
+  EXPECT_EQ(mc_engine.mean, mc_direct.mean);
+  EXPECT_EQ(mc_engine.stddev, mc_direct.stddev);
+  EXPECT_EQ(mc_engine.p05, mc_direct.p05);
+  EXPECT_EQ(mc_engine.p95, mc_direct.p95);
+  EXPECT_EQ(mc_engine.fpga_win_fraction, mc_direct.fpga_win_fraction);
+}
+
+// -- determinism and parallel semantics ---------------------------------------
+
+TEST(EngineDeterminism, GridIsBitIdenticalAcrossThreadCounts) {
+  const ScenarioSpec spec = grid_spec(10, 10);
+  const ScenarioResult one = Engine(EngineOptions{.threads = 1}).run(spec);
+  const ScenarioResult four = Engine(EngineOptions{.threads = 4}).run(spec);
+  const ScenarioResult seven = Engine(EngineOptions{.threads = 7}).run(spec);
+
+  ASSERT_EQ(one.points.size(), 100u);
+  ASSERT_EQ(four.points.size(), one.points.size());
+  ASSERT_EQ(seven.points.size(), one.points.size());
+  for (std::size_t i = 0; i < one.points.size(); ++i) {
+    EXPECT_EQ(one.points[i].coords, four.points[i].coords);
+    for (std::size_t p = 0; p < one.points[i].platforms.size(); ++p) {
+      expect_same_breakdown(one.points[i].platforms[p].total,
+                            four.points[i].platforms[p].total);
+      expect_same_breakdown(one.points[i].platforms[p].total,
+                            seven.points[i].platforms[p].total);
+    }
+  }
+}
+
+TEST(EngineDeterminism, InvalidSuiteReportsAsExceptionOnEveryThreadCount) {
+  // A bad suite throws from the per-worker model *constructor*; that must
+  // surface as the original exception, never std::terminate.
+  ScenarioSpec spec = grid_spec(4, 4);
+  spec.suite.operation.duty_cycle = 1.7;
+  EXPECT_THROW((void)Engine(EngineOptions{.threads = 1}).run(spec),
+               std::invalid_argument);
+  EXPECT_THROW((void)Engine(EngineOptions{.threads = 4}).run(spec),
+               std::invalid_argument);
+}
+
+TEST(EngineEquivalence, EmptySweepSpansYieldEmptySeries) {
+  // Legacy contract: empty sample lists are valid and produce empty series.
+  const SweepEngine legacy(core::LifecycleModel(core::paper_suite()),
+                           device::domain_testcase(device::Domain::dnn));
+  const SweepSeries by_lifetime = legacy.sweep_lifetime({}, 5, 1e6);
+  EXPECT_EQ(by_lifetime.parameter, "T_i [years]");
+  EXPECT_TRUE(by_lifetime.x.empty());
+  const SweepSeries by_volume = legacy.sweep_volume({}, 5, 2.0 * years);
+  EXPECT_EQ(by_volume.parameter, "N_vol [units]");
+  EXPECT_TRUE(by_volume.x.empty());
+}
+
+TEST(ScenarioSpecDefaults, MakeSeedsScheduleFromPaperSweepDefaults) {
+  const core::SweepDefaults defaults = core::paper_sweep_defaults();
+  const ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  EXPECT_EQ(spec.schedule.app_count, defaults.app_count);
+  EXPECT_EQ(spec.schedule.lifetime_years, defaults.app_lifetime.in(years));
+  EXPECT_EQ(spec.schedule.volume, defaults.app_volume);
+}
+
+TEST(EngineDeterminism, WorkerExceptionsPropagate) {
+  // A log axis materialises lazily inside the engine run; an invalid axis
+  // generator must surface as the original exception, not a crash.
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::sweep, device::Domain::dnn);
+  spec.axes = {AxisSpec::list(SweepVariable::volume, {1e6, -5.0, 1e6, 1e6})};
+  EXPECT_THROW((void)Engine(EngineOptions{.threads = 4}).run(spec),
+               std::invalid_argument);
+}
+
+TEST(EngineOutputs, PerApplicationDroppedForGridsKeptForCompare) {
+  const ScenarioResult grid = Engine(EngineOptions{.threads = 1}).run(grid_spec());
+  for (const EvalPoint& point : grid.points) {
+    for (const core::PlatformCfp& platform : point.platforms) {
+      EXPECT_TRUE(platform.per_application.empty());
+    }
+  }
+
+  ScenarioSpec verbose = grid_spec();
+  verbose.outputs.per_application = true;
+  const ScenarioResult kept = Engine(EngineOptions{.threads = 1}).run(verbose);
+  EXPECT_FALSE(kept.points.front().platforms.front().per_application.empty());
+
+  const ScenarioResult compare = Engine(EngineOptions{.threads = 1})
+                                     .run(ScenarioSpec::make(ScenarioKind::compare,
+                                                             device::Domain::dnn));
+  EXPECT_FALSE(compare.points.front().platforms.front().per_application.empty());
+}
+
+TEST(EngineOptionsTest, DefaultThreadsHonoursEnvironment) {
+  ::setenv("GREENFPGA_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(Engine::default_threads(), 3);
+  EXPECT_EQ(Engine().threads(), 3);
+  ::setenv("GREENFPGA_THREADS", "not-a-number", 1);
+  EXPECT_GE(Engine::default_threads(), 1);  // falls back to hardware concurrency
+  ::unsetenv("GREENFPGA_THREADS");
+  EXPECT_GE(Engine::default_threads(), 1);
+  EXPECT_EQ(Engine(EngineOptions{.threads = 2}).threads(), 2);
+  // Requests beyond the pool bound are clamped, not honoured literally.
+  EXPECT_EQ(Engine(EngineOptions{.threads = 100000}).threads(), Engine::kMaxThreads);
+}
+
+TEST(EngineGridProfile, CarbonAwareSchedulingLowersOperationalCarbon) {
+  ScenarioSpec flat = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  ScenarioSpec aware = flat;
+  aware.grid_profile = GridProfileSpec{.profile = "solar_duck", .policy = "carbon_aware"};
+
+  const Engine engine(EngineOptions{.threads = 1});
+  const double flat_op =
+      engine.run(flat).points.front().platforms[1].total.operational.canonical();
+  const double aware_op =
+      engine.run(aware).points.front().platforms[1].total.operational.canonical();
+  EXPECT_LT(aware_op, flat_op);
+
+  ScenarioSpec bogus = flat;
+  bogus.grid_profile = GridProfileSpec{.profile = "volcanic", .policy = "uniform"};
+  EXPECT_THROW((void)engine.run(bogus), std::invalid_argument);
+}
+
+TEST(EngineViews, SweepSeriesAndHeatmapMatchLegacyShapes) {
+  const ScenarioResult swept = Engine(EngineOptions{.threads = 2}).run(sweep_spec());
+  const SweepSeries series = swept.sweep_series();
+  EXPECT_EQ(series.parameter, "N_app");
+  EXPECT_EQ(series.x.size(), 8u);
+  EXPECT_EQ(series.domain, device::Domain::dnn);
+
+  const ScenarioResult gridded = Engine(EngineOptions{.threads = 2}).run(grid_spec(5, 4));
+  const Heatmap map = gridded.heatmap();
+  EXPECT_EQ(map.x_name, "N_vol [units]");
+  EXPECT_EQ(map.y_name, "T_i [years]");
+  EXPECT_EQ(map.x.size(), 5u);
+  EXPECT_EQ(map.y.size(), 4u);
+}
+
+TEST(EngineViews, TestcaseKindsRequireAsicAndFpga) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::timeline, device::Domain::dnn);
+  spec.platforms = {PlatformRef{.name = "gpu"}};
+  EXPECT_THROW((void)Engine(EngineOptions{.threads = 1}).run(spec),
+               std::invalid_argument);
+}
+
+// -- memoisation --------------------------------------------------------------
+
+TEST(EmbodiedMemoisation, CachedEmbodiedEqualsFreshModel) {
+  const device::DomainTestcase testcase = device::domain_testcase(device::Domain::dnn);
+  const core::LifecycleModel warm(core::paper_suite());
+  // Warm the cache, then compare against a fresh (cold) model.
+  (void)warm.per_chip_embodied(testcase.fpga);
+  const core::CfpBreakdown cached = warm.per_chip_embodied(testcase.fpga);
+  const core::LifecycleModel cold(core::paper_suite());
+  expect_same_breakdown(cached, cold.per_chip_embodied(testcase.fpga));
+
+  // Copies must not share (or keep) cache state observable as results.
+  core::LifecycleModel assigned(core::industry_suite());
+  assigned = warm;
+  expect_same_breakdown(assigned.per_chip_embodied(testcase.fpga), cached);
+}
+
+}  // namespace
+}  // namespace greenfpga::scenario
