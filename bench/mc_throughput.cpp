@@ -1,0 +1,73 @@
+/// \file mc_throughput.cpp
+/// Monte-Carlo sampler throughput baseline: 2048 distribution-sampled
+/// lifecycle evaluations (x 2 platforms) at 1 / 2 / 4 / hardware threads.
+///
+/// This is the perf baseline for the uncertainty-quantification path:
+/// every sample re-parameterises the model suite, so unlike the memoised
+/// grid path each sample pays a full fab/package/EOL evaluation -- the
+/// sampler is embarrassingly parallel and should scale near-linearly.
+/// Counter-based per-sample RNG streams keep the results bit-identical
+/// across thread counts (pinned by tests/engine_test.cpp), so scheduling
+/// changes here can never move the numbers.
+
+#include <chrono>
+#include <iomanip>
+
+#include "bench_common.hpp"
+#include "scenario/engine.hpp"
+#include "units/format.hpp"
+
+namespace {
+
+using namespace greenfpga;
+
+scenario::ScenarioSpec mc_spec(int samples) {
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::montecarlo, device::Domain::dnn);
+  spec.name = "mc-throughput";
+  spec.montecarlo.samples = samples;
+  spec.montecarlo.seed = 42;
+  return spec;
+}
+
+double run_once_seconds(const scenario::ScenarioSpec& spec, int threads) {
+  const scenario::Engine engine(scenario::EngineOptions{.threads = threads});
+  const auto start = std::chrono::steady_clock::now();
+  const scenario::ScenarioResult result = engine.run(spec);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.uncertainty->platform_total.data());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void print_speedups() {
+  bench::banner("Monte-Carlo throughput",
+                "2048 Table 1 samples x 2 platforms, wall-clock speedup vs 1 thread");
+  const scenario::ScenarioSpec spec = mc_spec(2048);
+  const double base = run_once_seconds(spec, 1);
+  std::cout << "  threads   seconds   samples/s   speedup\n";
+  for (const int threads : {1, 2, 4, scenario::Engine::default_threads()}) {
+    const double seconds = threads == 1 ? base : run_once_seconds(spec, threads);
+    std::cout << "  " << std::setw(7) << threads << "   " << std::setw(7)
+              << units::format_significant(seconds, 4) << "   " << std::setw(9)
+              << units::format_significant(2048.0 / seconds, 4) << "   "
+              << units::format_significant(base / seconds, 4) << "x\n";
+  }
+  std::cout << "\n";
+}
+
+void BM_MonteCarlo(benchmark::State& state) {
+  const scenario::ScenarioSpec spec = mc_spec(512);
+  const scenario::Engine engine(
+      scenario::EngineOptions{.threads = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    const scenario::ScenarioResult result = engine.run(spec);
+    benchmark::DoNotOptimize(result.uncertainty->platform_total.data());
+  }
+  state.counters["samples"] = 512.0;
+}
+BENCHMARK(BM_MonteCarlo)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(print_speedups)

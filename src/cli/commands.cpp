@@ -12,14 +12,17 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "core/comparator.hpp"
 #include "core/config_io.hpp"
 #include "core/paper_config.hpp"
 #include "device/catalog.hpp"
+#include "io/csv.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/figure_writer.hpp"
 #include "report/markdown_report.hpp"
@@ -154,6 +157,43 @@ io::Json result_to_json(const scenario::ScenarioResult& result) {
     mc["p95"] = result.monte_carlo->p95;
     mc["fpga_win_fraction"] = result.monte_carlo->fpga_win_fraction;
     out["monte_carlo"] = std::move(mc);
+  }
+  if (result.uncertainty) {
+    const scenario::MonteCarloUq& uq = *result.uncertainty;
+    io::Json mc = io::Json::object();
+    mc["samples"] = uq.samples;
+    io::Json percentiles = io::Json::array();
+    for (const double p : uq.percentiles) {
+      percentiles.push_back(p);
+    }
+    mc["percentiles"] = std::move(percentiles);
+    const auto stat_to_json = [&uq](const scenario::UqStat& stat) {
+      io::Json entry = io::Json::object();
+      entry["mean"] = stat.mean;
+      entry["stddev"] = stat.stddev;
+      io::Json values = io::Json::array();
+      for (const double v : stat.percentile_values) {
+        values.push_back(v);
+      }
+      entry["percentile_values"] = std::move(values);
+      return entry;
+    };
+    io::Json platforms = io::Json::array();
+    for (std::size_t p = 0; p < uq.platform_total.size(); ++p) {
+      io::Json entry = stat_to_json(uq.platform_total[p]);
+      entry["name"] = result.platform_names[p];
+      platforms.push_back(std::move(entry));
+    }
+    mc["platform_total_kg"] = std::move(platforms);
+    io::Json ratios = io::Json::array();
+    for (std::size_t k = 0; k < uq.ratio.size(); ++k) {
+      io::Json entry = stat_to_json(uq.ratio[k]);
+      entry["name"] = result.platform_names[k + 1] + ":" + result.platform_names[0];
+      entry["win_fraction"] = uq.win_fraction[k];
+      ratios.push_back(std::move(entry));
+    }
+    mc["ratio"] = std::move(ratios);
+    out["uncertainty"] = std::move(mc);
   }
   if (result.breakeven) {
     // Requested solves always emit their key (null = no crossover);
@@ -293,6 +333,48 @@ void render_result(const scenario::ScenarioResult& result, std::ostream& out) {
           << fmt(result.spec.breakeven.solve_volume, result.breakeven->volume) << "\n";
       return;
     }
+    case scenario::ScenarioKind::montecarlo: {
+      const scenario::MonteCarloUq& uq = *result.uncertainty;
+      out << "Monte-Carlo: " << uq.samples << " samples, seed "
+          << result.spec.montecarlo.seed << ", "
+          << result.spec.montecarlo.distributions.size() << " uncertain parameter(s)\n";
+      io::TextTable table;
+      std::vector<std::string> headers{"metric", "mean", "stddev"};
+      for (const double p : uq.percentiles) {
+        headers.push_back("p" + units::format_significant(p, 4));
+      }
+      table.set_headers(std::move(headers));
+      const auto add_stat = [&table, &uq](const std::string& name,
+                                          const scenario::UqStat& stat, double scale) {
+        std::vector<std::string> row{name,
+                                     units::format_significant(stat.mean * scale, 5),
+                                     units::format_significant(stat.stddev * scale, 5)};
+        for (const double v : stat.percentile_values) {
+          row.push_back(units::format_significant(v * scale, 5));
+        }
+        table.add_row(std::move(row));
+      };
+      for (std::size_t p = 0; p < uq.platform_total.size(); ++p) {
+        add_stat(result.platform_names[p] + " [t CO2e]", uq.platform_total[p], 1e-3);
+      }
+      for (std::size_t k = 0; k < uq.ratio.size(); ++k) {
+        add_stat(result.platform_names[k + 1] + ":" + result.platform_names[0] + " ratio",
+                 uq.ratio[k], 1.0);
+      }
+      out << table.render();
+      for (std::size_t k = 0; k < uq.win_fraction.size(); ++k) {
+        out << result.platform_names[k + 1] << " beats " << result.platform_names[0]
+            << " in " << units::format_significant(100.0 * uq.win_fraction[k], 4)
+            << " % of samples\n";
+      }
+      if (!uq.ratio.empty()) {
+        std::vector<double> ratios = uq.ratio_samples(1);
+        std::sort(ratios.begin(), ratios.end());
+        out << report::render_cdf(ratios, result.platform_names[1] + ":" +
+                                              result.platform_names[0] + " ratio");
+      }
+      return;
+    }
     case scenario::ScenarioKind::sensitivity: {
       if (!result.tornado.empty()) {
         io::TextTable table;
@@ -317,6 +399,63 @@ void render_result(const scenario::ScenarioResult& result, std::ostream& out) {
   }
 }
 
+/// Per-sample CSV of a Monte-Carlo result: one row per sample, a total
+/// column per platform plus a ratio column per non-baseline platform.
+/// Cells carry full double precision so the export reproduces percentiles
+/// exactly.
+io::CsvWriter mc_samples_csv(const scenario::ScenarioResult& result) {
+  const scenario::MonteCarloUq& uq = *result.uncertainty;
+  const auto fmt = [](double v) {
+    std::ostringstream cell;
+    cell << std::setprecision(17) << v;
+    return cell.str();
+  };
+  io::CsvWriter csv;
+  std::vector<std::string> header{"sample"};
+  for (const std::string& name : result.platform_names) {
+    header.push_back(name + "_total_kg");
+  }
+  for (std::size_t k = 1; k < result.platform_names.size(); ++k) {
+    header.push_back(result.platform_names[k] + "_over_" + result.platform_names[0] +
+                     "_ratio");
+  }
+  csv.add_row(std::move(header));
+  std::vector<std::vector<double>> ratio_columns;
+  for (std::size_t k = 1; k < uq.sample_totals_kg.size(); ++k) {
+    ratio_columns.push_back(uq.ratio_samples(k));
+  }
+  const std::size_t samples = uq.sample_totals_kg.front().size();
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (const std::vector<double>& totals : uq.sample_totals_kg) {
+      row.push_back(fmt(totals[i]));
+    }
+    for (const std::vector<double>& ratios : ratio_columns) {
+      row.push_back(fmt(ratios[i]));
+    }
+    csv.add_row(std::move(row));
+  }
+  return csv;
+}
+
+/// Shared tail of `run` and `mc`: evaluate the spec, render, write the
+/// optional machine-readable exports.
+int run_and_emit(const scenario::ScenarioSpec& spec,
+                 const std::optional<std::string>& json_out,
+                 const std::optional<std::string>& csv_out, std::ostream& out) {
+  const scenario::ScenarioResult result = make_engine().run(spec);
+  render_result(result, out);
+  if (json_out) {
+    io::write_json_file(*json_out, result_to_json(result));
+    out << "wrote " << *json_out << "\n";
+  }
+  if (csv_out) {
+    mc_samples_csv(result).write_file(*csv_out);
+    out << "wrote " << *csv_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int print_usage(std::ostream& out, bool error) {
@@ -325,10 +464,15 @@ int print_usage(std::ostream& out, bool error) {
          "usage:\n"
          "  greenfpga [--threads N] <command> ...\n"
          "\n"
-         "  greenfpga run <spec.json> [--json <out.json>]\n"
+         "  greenfpga run <spec.json> [--json <out.json>] [--csv <out.csv>]\n"
          "      evaluate a declarative scenario spec (compare, sweep, grid, timeline,\n"
-         "      node_dse, breakeven, sensitivity) through the unified engine;\n"
-         "      see examples/specs/ and docs/CLI.md for the spec shape\n"
+         "      node_dse, breakeven, sensitivity, montecarlo) through the unified\n"
+         "      engine; see examples/specs/ and docs/CLI.md for the spec shape\n"
+         "      (--csv exports per-sample Monte-Carlo totals, montecarlo kind only)\n"
+         "  greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]\n"
+         "              [--csv <out.csv>] [--json <out.json>]\n"
+         "      Monte-Carlo uncertainty quantification over the Table 1 parameter\n"
+         "      distributions: percentile bands, win fractions and a ratio CDF\n"
          "  greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]\n"
          "      evaluate a scenario file (see `greenfpga dump-config` for the shape)\n"
          "  greenfpga sweep <dnn|imgproc|crypto> <apps|lifetime|volume>\n"
@@ -353,23 +497,84 @@ int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostre
     return 2;
   }
   std::optional<std::string> json_out;
+  std::optional<std::string> csv_out;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--json" && i + 1 < args.size()) {
       json_out = args[i + 1];
+      ++i;
+    } else if (args[i] == "--csv" && i + 1 < args.size()) {
+      csv_out = args[i + 1];
       ++i;
     } else {
       err << "run: unknown argument '" << args[i] << "'\n";
       return 2;
     }
   }
+  // load_spec reports parse/validation errors with the spec path and the
+  // offending key, so a bad file fails with an actionable message.
   const scenario::ScenarioSpec spec = scenario::load_spec(args[0]);
-  const scenario::ScenarioResult result = make_engine().run(spec);
-  render_result(result, out);
-  if (json_out) {
-    io::write_json_file(*json_out, result_to_json(result));
-    out << "wrote " << *json_out << "\n";
+  if (csv_out && spec.kind != scenario::ScenarioKind::montecarlo) {
+    err << "run: --csv exports Monte-Carlo samples; spec '" << spec.name
+        << "' has kind " << to_string(spec.kind) << "\n";
+    return 2;
   }
-  return 0;
+  return run_and_emit(spec, json_out, csv_out, out);
+}
+
+int run_mc(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "mc: expected <domain> [--samples N] [--seed S] [--csv <out.csv>] "
+           "[--json <out.json>]\n";
+    return 2;
+  }
+  const auto domain = parse_domain(args[0]);
+  if (!domain) {
+    err << "mc: unknown domain '" << args[0] << "'\n";
+    return 2;
+  }
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::montecarlo, *domain);
+  spec.name = to_string(*domain) + " Monte-Carlo uncertainty";
+  std::optional<std::string> json_out;
+  std::optional<std::string> csv_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const bool has_value = i + 1 < args.size();
+    if (args[i] == "--samples" && has_value) {
+      // Same strict range-guarded read as the JSON path: int_field_or
+      // rejects junk instead of silently truncating.
+      io::Json value = io::Json::object();
+      try {
+        value["samples"] = io::parse_json(args[i + 1]);
+        spec.montecarlo.samples = static_cast<int>(
+            core::int_field_or(value, "samples", 0, 1, 10'000'000));
+      } catch (const std::exception& error) {
+        err << "mc: invalid --samples '" << args[i + 1] << "': " << error.what() << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--seed" && has_value) {
+      io::Json value = io::Json::object();
+      try {
+        value["seed"] = io::parse_json(args[i + 1]);
+        spec.montecarlo.seed = static_cast<unsigned>(
+            core::int_field_or(value, "seed", 0, 0, 4294967295LL));
+      } catch (const std::exception& error) {
+        err << "mc: invalid --seed '" << args[i + 1] << "': " << error.what() << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--csv" && has_value) {
+      csv_out = args[i + 1];
+      ++i;
+    } else if (args[i] == "--json" && has_value) {
+      json_out = args[i + 1];
+      ++i;
+    } else {
+      err << "mc: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  return run_and_emit(spec, json_out, csv_out, out);
 }
 
 int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -636,6 +841,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
     rest.erase(rest.begin());
     if (command == "run") {
       return run_spec(rest, out, err);
+    }
+    if (command == "mc") {
+      return run_mc(rest, out, err);
     }
     if (command == "compare") {
       return run_compare(rest, out, err);

@@ -22,9 +22,15 @@ namespace greenfpga::cli {
 /// errors) -- pass `error = false` for `--help`, which exits 0.
 int print_usage(std::ostream& out, bool error = true);
 
-/// `greenfpga run <spec.json> [--json <out.json>]` -- evaluate any
-/// declarative scenario spec through the unified engine.
+/// `greenfpga run <spec.json> [--json <out.json>] [--csv <out.csv>]` --
+/// evaluate any declarative scenario spec through the unified engine
+/// (--csv exports per-sample Monte-Carlo totals; montecarlo kind only).
 int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// `greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]
+/// [--csv <out.csv>] [--json <out.json>]` -- Monte-Carlo uncertainty
+/// quantification over the Table 1 distributions for a built-in testcase.
+int run_mc(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// `greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]`.
 int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);

@@ -1,0 +1,206 @@
+/// \file param_distributions.cpp
+/// Inverse-CDF sampling and the counter-based uniform stream.
+
+#include "core/param_distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace greenfpga::core {
+
+std::string to_string(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::uniform:
+      return "uniform";
+    case DistributionKind::normal:
+      return "normal";
+    case DistributionKind::triangular:
+      return "triangular";
+  }
+  return "unknown";
+}
+
+std::optional<DistributionKind> parse_distribution_kind(std::string_view text) {
+  if (text == "uniform") return DistributionKind::uniform;
+  if (text == "normal" || text == "gaussian") return DistributionKind::normal;
+  if (text == "triangular") return DistributionKind::triangular;
+  return std::nullopt;
+}
+
+void ParamDistribution::validate() const {
+  const auto fail = [this](const std::string& why) {
+    throw std::invalid_argument("distribution for \"" + parameter + "\": " + why);
+  };
+  if (parameter.empty()) {
+    throw std::invalid_argument("distribution needs a parameter name");
+  }
+  if (!std::isfinite(low) || !std::isfinite(high)) {
+    fail("bounds must be finite");
+  }
+  switch (kind) {
+    case DistributionKind::uniform:
+      if (low > high) fail("needs low <= high");
+      return;
+    case DistributionKind::normal:
+      if (!(stddev > 0.0) || !std::isfinite(stddev)) fail("needs stddev > 0");
+      if (!std::isfinite(mean)) fail("mean must be finite");
+      if (!(low < high)) fail("needs a non-empty truncation interval low < high");
+      return;
+    case DistributionKind::triangular:
+      if (!(low < high)) fail("needs low < high");
+      if (mode < low || mode > high) fail("needs low <= mode <= high");
+      return;
+  }
+  fail("unknown distribution kind");
+}
+
+namespace {
+
+/// Standard normal CDF via std::erfc (accurate in both tails).
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double inverse_normal_cdf(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("inverse_normal_cdf: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation, refined with one Halley step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement against the exact CDF pins the approximation to
+  // near machine precision (keeps percentile goldens insensitive to the
+  // rational coefficients).
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  return x - u / (1.0 + x * u / 2.0);
+}
+
+double ParamDistribution::sample(double u) const {
+  if (!(u > 0.0) || !(u < 1.0)) {
+    throw std::invalid_argument("ParamDistribution::sample: u must be in (0, 1)");
+  }
+  switch (kind) {
+    case DistributionKind::uniform:
+      return low + u * (high - low);
+    case DistributionKind::normal: {
+      // Truncated normal via the inverse-CDF of the conditional law:
+      // map u onto [CDF(low), CDF(high)] before inverting.
+      const double cdf_low = normal_cdf((low - mean) / stddev);
+      const double cdf_high = normal_cdf((high - mean) / stddev);
+      const double width = cdf_high - cdf_low;
+      if (!(width > 0.0)) {
+        // Degenerate truncation window (support many stddevs into one
+        // tail, both CDFs rounding to the same value): the conditional
+        // mass concentrates at the bound nearest the mean.
+        return mean < low ? low : high;
+      }
+      const double p = cdf_low + u * width;
+      if (!(p > 0.0)) return low;
+      if (!(p < 1.0)) return high;
+      const double x = mean + stddev * inverse_normal_cdf(p);
+      return std::fmin(std::fmax(x, low), high);
+    }
+    case DistributionKind::triangular: {
+      const double span = high - low;
+      const double cut = (mode - low) / span;  // CDF value at the mode
+      if (u < cut) {
+        return low + std::sqrt(u * span * (mode - low));
+      }
+      return high - std::sqrt((1.0 - u) * span * (high - mode));
+    }
+  }
+  throw std::logic_error("ParamDistribution::sample: unknown kind");
+}
+
+ParamDistribution ParamDistribution::uniform(std::string parameter, double low,
+                                             double high) {
+  ParamDistribution dist;
+  dist.parameter = std::move(parameter);
+  dist.kind = DistributionKind::uniform;
+  dist.low = low;
+  dist.high = high;
+  return dist;
+}
+
+ParamDistribution ParamDistribution::normal(std::string parameter, double mean,
+                                            double stddev, double low, double high) {
+  ParamDistribution dist;
+  dist.parameter = std::move(parameter);
+  dist.kind = DistributionKind::normal;
+  dist.mean = mean;
+  dist.stddev = stddev;
+  dist.low = low;
+  dist.high = high;
+  return dist;
+}
+
+ParamDistribution ParamDistribution::triangular(std::string parameter, double low,
+                                                double mode, double high) {
+  ParamDistribution dist;
+  dist.parameter = std::move(parameter);
+  dist.kind = DistributionKind::triangular;
+  dist.low = low;
+  dist.mode = mode;
+  dist.high = high;
+  return dist;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi
+
+}  // namespace
+
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t sample,
+                           std::uint64_t dimension) {
+  // Two mixing rounds so neighbouring (sample, dimension) counters land in
+  // statistically independent positions; +1 offsets keep (0, 0, 0) away
+  // from the weak all-zero input.
+  std::uint64_t z = mix64(seed + kGolden * (sample + 1));
+  z = mix64(z + kGolden * (dimension + 1));
+  return z;
+}
+
+double counter_uniform01(std::uint64_t seed, std::uint64_t sample,
+                         std::uint64_t dimension) {
+  // Top 53 bits -> (0, 1): the half-ulp offset keeps the result strictly
+  // inside the open interval, so inverse CDFs never see 0 or 1.
+  const std::uint64_t bits = counter_hash(seed, sample, dimension) >> 11;
+  return (static_cast<double>(bits) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace greenfpga::core

@@ -47,6 +47,7 @@
 #include "core/design_model.hpp"
 #include "core/lifecycle_model.hpp"
 #include "core/paper_config.hpp"
+#include "core/param_distributions.hpp"
 
 // Scenarios: the unified engine plus the legacy per-module shims.
 #include "scenario/breakeven.hpp"

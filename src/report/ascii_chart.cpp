@@ -90,6 +90,52 @@ std::string render_line_chart(std::span<const double> x, std::span<const ChartSe
   return out;
 }
 
+std::string render_cdf(std::span<const double> sorted_values, const std::string& label,
+                       double marker_x, int width, int height) {
+  if (sorted_values.empty()) {
+    throw std::invalid_argument("render_cdf: empty input");
+  }
+  if (width < 16 || height < 4) {
+    throw std::invalid_argument("render_cdf: canvas too small");
+  }
+  if (!std::is_sorted(sorted_values.begin(), sorted_values.end())) {
+    throw std::invalid_argument("render_cdf: values must be sorted ascending");
+  }
+
+  const double x_lo = sorted_values.front();
+  const double x_hi = sorted_values.back();
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  if (marker_x >= x_lo && marker_x <= x_hi) {
+    const int col = to_pixel(marker_x, x_lo, x_hi, width);
+    for (std::string& row : canvas) {
+      row[static_cast<std::size_t>(col)] = '|';
+    }
+  }
+  const auto n = static_cast<double>(sorted_values.size());
+  for (std::size_t i = 0; i < sorted_values.size(); ++i) {
+    const double fraction = (static_cast<double>(i) + 1.0) / n;
+    const int col = to_pixel(sorted_values[i], x_lo, x_hi, width);
+    const int row = height - 1 - to_pixel(fraction, 0.0, 1.0, height);
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = '*';
+  }
+
+  std::string out;
+  out += "  P(" + label + " <= x)\n";
+  out += "  1.0\n";
+  for (const std::string& row : canvas) {
+    out += "  |" + row + "\n";
+  }
+  out += "  +" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += "   " + units::format_significant(x_lo, 4) +
+         std::string(static_cast<std::size_t>(std::max(1, width - 16)), ' ') +
+         units::format_significant(x_hi, 4) + "\n";
+  if (marker_x >= x_lo && marker_x <= x_hi) {
+    out += "  '|' marks x = " + units::format_significant(marker_x, 4) + "\n";
+  }
+  return out;
+}
+
 std::string render_heatmap(const scenario::Heatmap& map) {
   if (map.ratio.empty()) {
     throw std::invalid_argument("render_heatmap: empty map");

@@ -33,6 +33,15 @@ struct ChartSeries {
 /// dark = ASIC wins), with a '+' on cells straddling ratio = 1.
 [[nodiscard]] std::string render_heatmap(const scenario::Heatmap& map);
 
+/// Render the empirical CDF of `sorted_values` (ascending) as an ASCII
+/// chart: x is the metric (axis label `label`), y is the cumulative
+/// fraction 0..1.  A vertical '|' rules the x = `marker_x` position when
+/// it falls inside the value range (the Monte-Carlo report marks the
+/// ratio = 1 verdict boundary with it).
+[[nodiscard]] std::string render_cdf(std::span<const double> sorted_values,
+                                     const std::string& label, double marker_x = 1.0,
+                                     int width = 72, int height = 16);
+
 /// One bar of a horizontal bar chart.
 struct Bar {
   std::string label;

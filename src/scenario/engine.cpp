@@ -20,20 +20,19 @@ namespace greenfpga::scenario {
 
 namespace {
 
-/// Run `fn(model, index)` for every index in [0, n) on up to `threads`
-/// workers.  Each worker owns a private LifecycleModel built from `suite`
-/// (the model's embodied-carbon memoisation is not thread-safe to share).
+/// Run `fn(state, index)` for every index in [0, n) on up to `threads`
+/// workers, where each worker owns a private `state = make_state()`.
 /// Work items are independent and write to disjoint slots, so results are
 /// identical for any worker count; the first exception is rethrown on the
 /// caller's thread.
-template <typename Fn>
-void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&& fn) {
+template <typename MakeState, typename Fn>
+void parallel_for_state(std::size_t n, int threads, MakeState&& make_state, Fn&& fn) {
   const int workers =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(std::max(threads, 1)), n));
   if (workers <= 1) {
-    core::LifecycleModel model(suite);
+    auto state = make_state();
     for (std::size_t i = 0; i < n; ++i) {
-      fn(model, i);
+      fn(state, i);
     }
     return;
   }
@@ -45,17 +44,17 @@ void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
-      // The whole body (model construction included -- suite validation
+      // The whole body (state construction included -- suite validation
       // can throw) stays inside the try: an exception escaping a thread
       // would call std::terminate instead of reporting a runtime error.
       try {
-        core::LifecycleModel model(suite);
+        auto state = make_state();
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) {
             return;
           }
-          fn(model, i);
+          fn(state, i);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -72,6 +71,15 @@ void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+/// The classic shape: each worker owns a private LifecycleModel built from
+/// `suite` (the model's embodied-carbon memoisation is not thread-safe to
+/// share).
+template <typename Fn>
+void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&& fn) {
+  parallel_for_state(
+      n, threads, [&suite] { return core::LifecycleModel(suite); }, std::forward<Fn>(fn));
 }
 
 /// Replace the flat use-phase intensity with the profile-scheduled one.
@@ -136,6 +144,20 @@ device::DomainTestcase testcase_of(const ScenarioResult& result,
 }
 
 }  // namespace
+
+std::vector<double> MonteCarloUq::ratio_samples(std::size_t index) const {
+  if (index == 0 || index >= sample_totals_kg.size()) {
+    throw std::out_of_range("MonteCarloUq::ratio_samples: no platform " +
+                            std::to_string(index));
+  }
+  const std::vector<double>& baseline = sample_totals_kg.front();
+  const std::vector<double>& platform = sample_totals_kg[index];
+  std::vector<double> ratios(platform.size());
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    ratios[i] = platform[i] / baseline[i];
+  }
+  return ratios;
+}
 
 double EvalPoint::ratio(std::size_t index, std::size_t baseline) const {
   return platforms.at(index).total.total().canonical() /
@@ -276,6 +298,9 @@ ScenarioResult Engine::run(const ScenarioSpec& spec) const {
     case ScenarioKind::sensitivity:
       run_sensitivity(result.spec, suite, result);
       return result;
+    case ScenarioKind::montecarlo:
+      run_montecarlo(result.spec, suite, result);
+      return result;
   }
   throw std::logic_error("Engine: unknown scenario kind");
 }
@@ -394,6 +419,119 @@ void Engine::run_sensitivity(const ScenarioSpec& spec, const core::ModelSuite& s
         suite, testcase, schedule, spec.sensitivity.ranges, spec.sensitivity.samples,
         spec.sensitivity.seed);
   }
+}
+
+UqStat summarise_samples(std::vector<double> values,
+                         const std::vector<double>& percentiles) {
+  if (values.empty()) {
+    throw std::invalid_argument("summarise_samples: need at least one value");
+  }
+  for (const double p : percentiles) {
+    if (!(p >= 0.0) || !(p <= 100.0)) {
+      throw std::invalid_argument(
+          "summarise_samples: percentiles must be in [0, 100]");
+    }
+  }
+  UqStat stat;
+  const std::size_t n = values.size();
+  // Sort first so the accumulation order (and thus the last-ulp bits of
+  // mean/stddev) is a function of the value set alone.
+  std::sort(values.begin(), values.end());
+  if (values.front() == values.back()) {
+    // All samples identical (e.g. an empty distribution list collapsing
+    // to the point estimate): the mean is exact and the variance exactly
+    // zero -- a naive sum would round and report phantom uncertainty.
+    stat.mean = values.front();
+    stat.stddev = 0.0;
+    stat.percentile_values.assign(percentiles.size(), values.front());
+    return stat;
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  stat.mean = sum / static_cast<double>(n);
+  double sq = 0.0;
+  for (const double v : values) {
+    sq += (v - stat.mean) * (v - stat.mean);
+  }
+  stat.stddev = n > 1 ? std::sqrt(sq / static_cast<double>(n - 1)) : 0.0;
+  stat.percentile_values.reserve(percentiles.size());
+  for (const double p : percentiles) {
+    const double index = (p / 100.0) * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(index));
+    const auto hi = static_cast<std::size_t>(std::ceil(index));
+    const double t = index - std::floor(index);
+    stat.percentile_values.push_back(values[lo] * (1.0 - t) + values[hi] * t);
+  }
+  return stat;
+}
+
+void Engine::run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                            ScenarioResult& result) const {
+  const MonteCarloUqSpec& mc = spec.montecarlo;
+  const workload::Schedule schedule = spec.schedule.materialise(spec.domain);
+
+  // Bind each distribution to its Table 1 applier by name (spec.validate()
+  // has already rejected unknown names).
+  const std::vector<ParameterRange> known = table1_ranges();
+  std::vector<const ParameterRange*> appliers;
+  appliers.reserve(mc.distributions.size());
+  for (const core::ParamDistribution& distribution : mc.distributions) {
+    for (const ParameterRange& range : known) {
+      if (range.name == distribution.parameter) {
+        appliers.push_back(&range);
+        break;
+      }
+    }
+  }
+
+  const std::size_t samples = static_cast<std::size_t>(mc.samples);
+  const std::size_t platforms = result.resolved_chips.size();
+  MonteCarloUq uq;
+  uq.samples = mc.samples;
+  uq.percentiles = mc.percentiles;
+  uq.sample_totals_kg.assign(platforms, std::vector<double>(samples, 0.0));
+
+  // Shard samples across the pool.  Sample i draws its parameter values
+  // from the counter stream (seed, i, dimension) -- fully determined by
+  // the sample index, never by which worker ran it or in what order -- and
+  // writes to pre-sized slot i, so results are bit-identical for any
+  // thread count.  Every sample re-parameterises the suite, so the
+  // memoised per-worker model is useless here: each sample builds its own
+  // LifecycleModel from the sampled suite.
+  parallel_for_state(
+      samples, threads_, [] { return 0; },
+      [&](int& /*state*/, std::size_t i) {
+        core::ModelSuite sampled = suite;
+        for (std::size_t j = 0; j < mc.distributions.size(); ++j) {
+          const double u = core::counter_uniform01(mc.seed, i, j);
+          appliers[j]->apply(sampled, mc.distributions[j].sample(u));
+        }
+        const core::LifecycleModel model(sampled);
+        for (std::size_t p = 0; p < platforms; ++p) {
+          uq.sample_totals_kg[p][i] =
+              model.evaluate(result.resolved_chips[p], schedule).total.total().canonical();
+        }
+      });
+
+  // Serial reduction on the caller's thread (deterministic order).
+  uq.platform_total.reserve(platforms);
+  for (std::size_t p = 0; p < platforms; ++p) {
+    uq.platform_total.push_back(summarise_samples(uq.sample_totals_kg[p], mc.percentiles));
+  }
+  for (std::size_t p = 1; p < platforms; ++p) {
+    const std::vector<double> ratios = uq.ratio_samples(p);
+    std::size_t wins = 0;
+    for (const double r : ratios) {
+      if (r < 1.0) {
+        ++wins;
+      }
+    }
+    uq.win_fraction.push_back(static_cast<double>(wins) / static_cast<double>(samples));
+    uq.ratio.push_back(summarise_samples(ratios, mc.percentiles));
+  }
+  result.uncertainty = std::move(uq);
 }
 
 }  // namespace greenfpga::scenario

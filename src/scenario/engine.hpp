@@ -70,6 +70,47 @@ struct BreakevenReport {
   std::optional<double> volume;
 };
 
+/// Summary statistics of one Monte-Carlo-sampled metric.
+struct UqStat {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n - 1)
+  /// One value per requested percentile (`MonteCarloUq::percentiles`),
+  /// linearly interpolated over the sorted samples.
+  std::vector<double> percentile_values;
+};
+
+/// Mean / sample stddev / interpolated percentiles (in percent) of one
+/// sampled metric.  The single definition shared by the montecarlo kind
+/// and the sensitivity module's Monte-Carlo summary, so the two reports
+/// can never disagree on what a percentile means.  Requires at least one
+/// value; sorts internally.
+[[nodiscard]] UqStat summarise_samples(std::vector<double> values,
+                                       const std::vector<double>& percentiles);
+
+/// Monte-Carlo uncertainty quantification over the spec's platform set:
+/// every metric the point estimate produced, as a sampled distribution.
+/// Produced by the montecarlo kind; bit-identical for any thread count
+/// (counter-based per-sample RNG streams, pre-sized result slots).
+struct MonteCarloUq {
+  int samples = 0;
+  std::vector<double> percentiles;     ///< requested percentiles, in percent
+  std::vector<UqStat> platform_total;  ///< total CFP [kg CO2e], spec platform order
+  /// Total-CFP ratio of platform p over the baseline (platform 0); entry
+  /// k describes platform k + 1.  Empty with fewer than two platforms.
+  std::vector<UqStat> ratio;
+  /// Fraction of samples where platform k + 1 beats (is below) the
+  /// baseline; aligned with `ratio`.
+  std::vector<double> win_fraction;
+  /// Raw per-sample totals [kg CO2e], [platform][sample] in sample order
+  /// (sample i is reproducible in isolation from the seed alone): the CSV
+  /// export and CDF charts read these.
+  std::vector<std::vector<double>> sample_totals_kg;
+
+  /// Per-sample ratio series of platform `index` over the baseline,
+  /// in sample order.
+  [[nodiscard]] std::vector<double> ratio_samples(std::size_t index = 1) const;
+};
+
 /// The engine's output: the resolved spec plus the kind-dependent payload.
 struct ScenarioResult {
   ScenarioSpec spec;                            ///< as run (platforms defaulted)
@@ -85,6 +126,7 @@ struct ScenarioResult {
   std::vector<TornadoEntry> tornado;            ///< sensitivity kind
   std::optional<MonteCarloResult> monte_carlo;  ///< sensitivity kind
   std::optional<BreakevenReport> breakeven;     ///< breakeven kind
+  std::optional<MonteCarloUq> uncertainty;      ///< montecarlo kind
 
   // -- legacy-shaped views (throw std::logic_error when the shape does not
   //    match, e.g. no ASIC/FPGA platform pair) --------------------------------
@@ -129,6 +171,8 @@ class Engine {
                     ScenarioResult& result) const;
   void run_sensitivity(const ScenarioSpec& spec, const core::ModelSuite& suite,
                        ScenarioResult& result) const;
+  void run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                      ScenarioResult& result) const;
 
   int threads_ = 1;
   const device::PlatformRegistry* registry_ = nullptr;

@@ -163,31 +163,21 @@ MonteCarloResult monte_carlo_analysis(const core::ModelSuite& base,
     ratios.push_back(ratio_for(suite, testcase, schedule));
   }
 
-  std::sort(ratios.begin(), ratios.end());
   MonteCarloResult result;
   result.samples = samples;
-  double sum = 0.0;
   int wins = 0;
   for (const double r : ratios) {
-    sum += r;
     if (r < 1.0) ++wins;
   }
-  result.mean = sum / static_cast<double>(samples);
-  double sq = 0.0;
-  for (const double r : ratios) {
-    sq += (r - result.mean) * (r - result.mean);
-  }
-  result.stddev = samples > 1 ? std::sqrt(sq / static_cast<double>(samples - 1)) : 0.0;
-  const auto percentile = [&](double p) {
-    const double index = p * static_cast<double>(samples - 1);
-    const auto lo = static_cast<std::size_t>(std::floor(index));
-    const auto hi = static_cast<std::size_t>(std::ceil(index));
-    const double t = index - std::floor(index);
-    return ratios[lo] * (1.0 - t) + ratios[hi] * t;
-  };
-  result.p05 = percentile(0.05);
-  result.p50 = percentile(0.50);
-  result.p95 = percentile(0.95);
+  // One shared definition of mean/stddev/percentiles (summarise_samples,
+  // also behind the montecarlo kind), so the two Monte-Carlo reports can
+  // never drift apart.
+  const UqStat stat = summarise_samples(std::move(ratios), {5.0, 50.0, 95.0});
+  result.mean = stat.mean;
+  result.stddev = stat.stddev;
+  result.p05 = stat.percentile_values[0];
+  result.p50 = stat.percentile_values[1];
+  result.p95 = stat.percentile_values[2];
   result.fpga_win_fraction = static_cast<double>(wins) / static_cast<double>(samples);
   return result;
 }

@@ -3,6 +3,7 @@
 
 #include "scenario/spec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -59,6 +60,8 @@ std::string to_string(ScenarioKind kind) {
       return "breakeven";
     case ScenarioKind::sensitivity:
       return "sensitivity";
+    case ScenarioKind::montecarlo:
+      return "montecarlo";
   }
   return "unknown";
 }
@@ -71,6 +74,9 @@ std::optional<ScenarioKind> parse_scenario_kind(std::string_view text) {
   if (text == "node_dse" || text == "nodes") return ScenarioKind::node_dse;
   if (text == "breakeven") return ScenarioKind::breakeven;
   if (text == "sensitivity") return ScenarioKind::sensitivity;
+  if (text == "montecarlo" || text == "monte_carlo" || text == "mc") {
+    return ScenarioKind::montecarlo;
+  }
   return std::nullopt;
 }
 
@@ -160,6 +166,15 @@ AxisSpec AxisSpec::log(SweepVariable variable, double from, double to, int count
   return axis;
 }
 
+std::vector<core::ParamDistribution> default_distributions() {
+  std::vector<core::ParamDistribution> distributions;
+  for (const ParameterRange& range : table1_ranges()) {
+    distributions.push_back(
+        core::ParamDistribution::uniform(range.name, range.low, range.high));
+  }
+  return distributions;
+}
+
 workload::Schedule ScheduleSpec::materialise(device::Domain domain) const {
   if (explicit_schedule) {
     return *explicit_schedule;
@@ -180,6 +195,7 @@ ScenarioSpec ScenarioSpec::make(ScenarioKind kind, device::Domain domain) {
   spec.schedule.lifetime_years = defaults.app_lifetime.in(units::unit::years);
   spec.schedule.volume = defaults.app_volume;
   spec.sensitivity.ranges = table1_ranges();
+  spec.montecarlo.distributions = default_distributions();
   return spec;
 }
 
@@ -246,11 +262,77 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument("ScenarioSpec '" + name +
                                 "': timeline horizon and step must be positive");
   }
+  if (kind == ScenarioKind::montecarlo) {
+    if (montecarlo.samples < 1) {
+      throw std::invalid_argument("ScenarioSpec '" + name +
+                                  "': montecarlo needs at least one sample");
+    }
+    double previous = -1.0;
+    for (const double p : montecarlo.percentiles) {
+      if (p < 0.0 || p > 100.0 || p <= previous) {
+        throw std::invalid_argument(
+            "ScenarioSpec '" + name +
+            "': montecarlo percentiles must be strictly increasing in [0, 100]");
+      }
+      previous = p;
+    }
+    const std::vector<ParameterRange> known = table1_ranges();
+    std::vector<std::string_view> seen;
+    for (const core::ParamDistribution& distribution : montecarlo.distributions) {
+      distribution.validate();  // bounds/stddev/mode checks, names the parameter
+      const bool found =
+          std::any_of(known.begin(), known.end(), [&](const ParameterRange& range) {
+            return range.name == distribution.parameter;
+          });
+      if (!found) {
+        throw std::invalid_argument("ScenarioSpec '" + name +
+                                    "': unknown distribution parameter \"" +
+                                    distribution.parameter + "\" (see table1_ranges)");
+      }
+      // Duplicates would apply last-writer-wins per sample, silently
+      // dropping the earlier entry's uncertainty.
+      if (std::find(seen.begin(), seen.end(), distribution.parameter) != seen.end()) {
+        throw std::invalid_argument("ScenarioSpec '" + name +
+                                    "': duplicate distribution for parameter \"" +
+                                    distribution.parameter + "\"");
+      }
+      seen.push_back(distribution.parameter);
+    }
+  }
 }
 
 // -- JSON -----------------------------------------------------------------------
 
 namespace {
+
+/// Named-field numeric reads: a type-mismatched value raises io::JsonError
+/// without saying *which* field was bad, so wrap the access and rethrow as
+/// ConfigError naming the enclosing context and key (surfaced verbatim by
+/// `greenfpga run` together with the spec path).
+double number_field(const Json& json, const std::string& context, std::string_view key) {
+  try {
+    return json.at(key).as_number();
+  } catch (const io::JsonError& error) {
+    throw core::ConfigError(context + "." + std::string(key) + ": " + error.what());
+  }
+}
+
+double number_field_or(const Json& json, const std::string& context, std::string_view key,
+                       double fallback) {
+  return json.contains(key) ? number_field(json, context, key) : fallback;
+}
+
+/// int_field_or with the same context-prefixed errors as number_field, so
+/// integer fields (samples, seed, count) report their section too.
+std::int64_t int_field_ctx(const Json& json, const std::string& context,
+                           std::string_view key, std::int64_t fallback, std::int64_t lo,
+                           std::int64_t hi) {
+  try {
+    return core::int_field_or(json, key, fallback, lo, hi);
+  } catch (const core::ConfigError& error) {
+    throw core::ConfigError(context + "." + std::string(key) + ": " + error.what());
+  }
+}
 
 Json axis_to_json(const AxisSpec& axis) {
   Json out = Json::object();
@@ -286,16 +368,20 @@ AxisSpec axis_from_json(const Json& json) {
       throw core::ConfigError("list axis needs a \"values\" array");
     }
     for (const Json& v : json.at("values").as_array()) {
-      axis.explicit_values.push_back(v.as_number());
+      try {
+        axis.explicit_values.push_back(v.as_number());
+      } catch (const io::JsonError& error) {
+        throw core::ConfigError("axis.values: " + std::string(error.what()));
+      }
     }
   } else if (scale == "linear" || scale == "log") {
     axis.scale = scale == "linear" ? AxisScale::linear : AxisScale::log;
     if (!json.contains("from") || !json.contains("to") || !json.contains("count")) {
       throw core::ConfigError(scale + " axis needs \"from\", \"to\" and \"count\"");
     }
-    axis.from = json.at("from").as_number();
-    axis.to = json.at("to").as_number();
-    axis.count = static_cast<int>(core::int_field_or(json, "count", 0, 2, 1'000'000));
+    axis.from = number_field(json, "axis", "from");
+    axis.to = number_field(json, "axis", "to");
+    axis.count = static_cast<int>(int_field_ctx(json, "axis", "count", 0, 2, 1'000'000));
   } else {
     throw core::ConfigError("unknown axis scale \"" + scale + "\"");
   }
@@ -344,10 +430,11 @@ ScheduleSpec schedule_spec_from_json(const Json& json, ScheduleSpec schedule) {
   check_keys(json, "schedule",
              {"app_count", "lifetime_years", "volume", "applications"});
   schedule.app_count =
-      static_cast<int>(core::int_field_or(json, "app_count", schedule.app_count, 1,
-                                          1'000'000));
-  schedule.lifetime_years = json.number_or("lifetime_years", schedule.lifetime_years);
-  schedule.volume = json.number_or("volume", schedule.volume);
+      static_cast<int>(int_field_ctx(json, "schedule", "app_count",
+                                     schedule.app_count, 1, 1'000'000));
+  schedule.lifetime_years =
+      number_field_or(json, "schedule", "lifetime_years", schedule.lifetime_years);
+  schedule.volume = number_field_or(json, "schedule", "volume", schedule.volume);
   if (json.contains("applications")) {
     schedule.explicit_schedule = core::schedule_from_json(json.at("applications"));
   }
@@ -375,9 +462,11 @@ SensitivitySpec sensitivity_from_json(const Json& json, SensitivitySpec sensitiv
   sensitivity.run_monte_carlo =
       json.bool_or("run_monte_carlo", sensitivity.run_monte_carlo);
   sensitivity.samples = static_cast<int>(
-      core::int_field_or(json, "samples", sensitivity.samples, 1, 100'000'000));
+      int_field_ctx(json, "sensitivity", "samples", sensitivity.samples, 1,
+                    100'000'000));
   sensitivity.seed = static_cast<unsigned>(
-      core::int_field_or(json, "seed", sensitivity.seed, 0, 4294967295LL));
+      int_field_ctx(json, "sensitivity", "seed", sensitivity.seed, 0,
+                    4294967295LL));
   if (json.contains("ranges")) {
     sensitivity.ranges.clear();
     const std::vector<ParameterRange> known = table1_ranges();
@@ -398,6 +487,121 @@ SensitivitySpec sensitivity_from_json(const Json& json, SensitivitySpec sensitiv
     }
   }
   return sensitivity;
+}
+
+/// Canonical form: only the fields the kind actually uses, so authors see
+/// no spurious knobs and the round-trip stays byte-identical.
+Json distribution_to_json(const core::ParamDistribution& distribution) {
+  Json out = Json::object();
+  out["parameter"] = distribution.parameter;
+  out["kind"] = core::to_string(distribution.kind);
+  out["low"] = distribution.low;
+  out["high"] = distribution.high;
+  if (distribution.kind == core::DistributionKind::normal) {
+    out["mean"] = distribution.mean;
+    out["stddev"] = distribution.stddev;
+  } else if (distribution.kind == core::DistributionKind::triangular) {
+    out["mode"] = distribution.mode;
+  }
+  return out;
+}
+
+core::ParamDistribution distribution_from_json(const Json& json) {
+  check_keys(json, "distribution",
+             {"parameter", "kind", "low", "high", "mean", "stddev", "mode"});
+  core::ParamDistribution distribution;
+  distribution.parameter = json.string_or("parameter", "");
+  if (distribution.parameter.empty()) {
+    throw core::ConfigError("distribution entries need a \"parameter\" name");
+  }
+  // The named Table 1 range supplies the default support (and validates
+  // the name): {"parameter": "E_des [GWh]"} alone is a complete entry.
+  const std::vector<ParameterRange> known = table1_ranges();
+  const auto range = std::find_if(known.begin(), known.end(), [&](const ParameterRange& r) {
+    return r.name == distribution.parameter;
+  });
+  if (range == known.end()) {
+    throw core::ConfigError("unknown distribution parameter \"" +
+                            distribution.parameter + "\" (see table1_ranges)");
+  }
+  const std::string kind = json.string_or("kind", "uniform");
+  const auto parsed_kind = core::parse_distribution_kind(kind);
+  if (!parsed_kind) {
+    throw core::ConfigError("distribution \"" + distribution.parameter +
+                            "\": unknown kind \"" + kind +
+                            "\" (uniform, normal, triangular)");
+  }
+  distribution.kind = *parsed_kind;
+  const std::string context = "distribution \"" + distribution.parameter + "\"";
+  // Kind-irrelevant fields are rejected, not ignored: a normal entry with
+  // "kind" forgotten would otherwise silently sample uniform over the
+  // full range and drop the author's mean/stddev.
+  for (const std::string_view key : {"mean", "stddev"}) {
+    if (distribution.kind != core::DistributionKind::normal && json.contains(key)) {
+      throw core::ConfigError(context + ": \"" + std::string(key) +
+                              "\" needs \"kind\": \"normal\"");
+    }
+  }
+  if (distribution.kind != core::DistributionKind::triangular && json.contains("mode")) {
+    throw core::ConfigError(context + ": \"mode\" needs \"kind\": \"triangular\"");
+  }
+  distribution.low = number_field_or(json, context, "low", range->low);
+  distribution.high = number_field_or(json, context, "high", range->high);
+  if (distribution.kind == core::DistributionKind::normal) {
+    distribution.mean = number_field_or(json, context, "mean",
+                                        0.5 * (distribution.low + distribution.high));
+    distribution.stddev = number_field_or(json, context, "stddev",
+                                          (distribution.high - distribution.low) / 4.0);
+  } else if (distribution.kind == core::DistributionKind::triangular) {
+    distribution.mode = number_field_or(json, context, "mode",
+                                        0.5 * (distribution.low + distribution.high));
+  }
+  return distribution;
+}
+
+Json montecarlo_to_json(const MonteCarloUqSpec& montecarlo) {
+  Json out = Json::object();
+  out["samples"] = montecarlo.samples;
+  out["seed"] = static_cast<std::int64_t>(montecarlo.seed);
+  Json distributions = Json::array();
+  for (const core::ParamDistribution& distribution : montecarlo.distributions) {
+    distributions.push_back(distribution_to_json(distribution));
+  }
+  out["distributions"] = std::move(distributions);
+  Json percentiles = Json::array();
+  for (const double p : montecarlo.percentiles) {
+    percentiles.push_back(p);
+  }
+  out["percentiles"] = std::move(percentiles);
+  return out;
+}
+
+MonteCarloUqSpec montecarlo_from_json(const Json& json, MonteCarloUqSpec montecarlo) {
+  check_keys(json, "montecarlo", {"samples", "seed", "distributions", "percentiles"});
+  // Range-guarded integer reads (int_field_or rejects non-integral values
+  // and out-of-range input instead of casting, which would be UB).
+  montecarlo.samples = static_cast<int>(
+      int_field_ctx(json, "montecarlo", "samples", montecarlo.samples, 1,
+                    10'000'000));
+  montecarlo.seed = static_cast<unsigned>(
+      int_field_ctx(json, "montecarlo", "seed", montecarlo.seed, 0, 4294967295LL));
+  if (json.contains("distributions")) {
+    montecarlo.distributions.clear();
+    for (const Json& entry : json.at("distributions").as_array()) {
+      montecarlo.distributions.push_back(distribution_from_json(entry));
+    }
+  }
+  if (json.contains("percentiles")) {
+    montecarlo.percentiles.clear();
+    for (const Json& entry : json.at("percentiles").as_array()) {
+      try {
+        montecarlo.percentiles.push_back(entry.as_number());
+      } catch (const io::JsonError& error) {
+        throw core::ConfigError("montecarlo.percentiles: " + std::string(error.what()));
+      }
+    }
+  }
+  return montecarlo;
 }
 
 Json dse_to_json(const DseSpec& dse) {
@@ -467,6 +671,7 @@ Json spec_to_json(const ScenarioSpec& spec) {
   breakeven["solve_volume"] = spec.breakeven.solve_volume;
   out["breakeven"] = std::move(breakeven);
   out["sensitivity"] = sensitivity_to_json(spec.sensitivity);
+  out["montecarlo"] = montecarlo_to_json(spec.montecarlo);
   Json outputs = Json::object();
   outputs["per_application"] = spec.outputs.per_application;
   out["outputs"] = std::move(outputs);
@@ -476,7 +681,8 @@ Json spec_to_json(const ScenarioSpec& spec) {
 ScenarioSpec spec_from_json(const Json& json) {
   check_keys(json, "scenario spec",
              {"name", "kind", "domain", "platforms", "suite", "schedule", "axes",
-              "grid_profile", "timeline", "dse", "breakeven", "sensitivity", "outputs"});
+              "grid_profile", "timeline", "dse", "breakeven", "sensitivity",
+              "montecarlo", "outputs"});
   ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare);
   spec.name = json.string_or("name", spec.name);
   const std::string kind = json.string_or("kind", "compare");
@@ -534,6 +740,9 @@ ScenarioSpec spec_from_json(const Json& json) {
   if (json.contains("sensitivity")) {
     spec.sensitivity = sensitivity_from_json(json.at("sensitivity"), spec.sensitivity);
   }
+  if (json.contains("montecarlo")) {
+    spec.montecarlo = montecarlo_from_json(json.at("montecarlo"), spec.montecarlo);
+  }
   if (json.contains("outputs")) {
     check_keys(json.at("outputs"), "outputs", {"per_application"});
     spec.outputs.per_application =
@@ -544,7 +753,17 @@ ScenarioSpec spec_from_json(const Json& json) {
 }
 
 ScenarioSpec load_spec(const std::string& path) {
-  return spec_from_json(io::parse_json_file(path));
+  // Every parse/validation failure names the offending file: a CLI user
+  // piping several specs must be able to tell which one was bad.
+  try {
+    return spec_from_json(io::parse_json_file(path));
+  } catch (const core::ConfigError& error) {
+    throw core::ConfigError("spec file '" + path + "': " + error.what());
+  } catch (const io::JsonError& error) {
+    throw core::ConfigError("spec file '" + path + "': " + error.what());
+  } catch (const std::invalid_argument& error) {
+    throw core::ConfigError("spec file '" + path + "': " + error.what());
+  }
 }
 
 }  // namespace greenfpga::scenario

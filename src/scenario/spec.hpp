@@ -30,6 +30,7 @@
 
 #include "core/lifecycle_model.hpp"
 #include "core/paper_config.hpp"
+#include "core/param_distributions.hpp"
 #include "device/chip_spec.hpp"
 #include "io/json.hpp"
 #include "scenario/sensitivity.hpp"
@@ -48,6 +49,7 @@ enum class ScenarioKind {
   node_dse,     ///< fabrication-node design-space exploration
   breakeven,    ///< closed-form crossover solves in all three variables
   sensitivity,  ///< tornado + Monte-Carlo over parameter ranges
+  montecarlo,   ///< uncertainty quantification: distribution-sampled inputs
 };
 
 [[nodiscard]] std::string to_string(ScenarioKind kind);
@@ -163,6 +165,27 @@ struct SensitivitySpec {
   std::vector<ParameterRange> ranges;
 };
 
+/// Monte-Carlo-kind parameters: how many lifecycle evaluations to sample,
+/// the RNG seed, the per-parameter input distributions, and which output
+/// percentiles to report.  `distributions` attach to *named* Table 1
+/// parameters (`table1_ranges()` names); `ScenarioSpec::make()` seeds them
+/// as uniform over every Table 1 range, and a JSON spec that omits
+/// "distributions" keeps that default while "distributions": [...]
+/// (including []) replaces it.  Sampling uses counter-based per-sample RNG
+/// streams (`core::counter_uniform01`), so engine results are bit-identical
+/// for any worker count.
+struct MonteCarloUqSpec {
+  int samples = 1024;
+  unsigned seed = 42;
+  std::vector<core::ParamDistribution> distributions;
+  /// Reported percentiles, in percent, strictly increasing in [0, 100].
+  std::vector<double> percentiles = {5.0, 25.0, 50.0, 75.0, 95.0};
+};
+
+/// Uniform distributions over every Table 1 range: the montecarlo default
+/// (mirrors `table1_ranges()` name-for-name).
+[[nodiscard]] std::vector<core::ParamDistribution> default_distributions();
+
 /// Output selection: what the engine retains in the result.
 struct OutputSpec {
   /// Keep per-application attribution in every evaluated point.  Always
@@ -187,6 +210,7 @@ struct ScenarioSpec {
   DseSpec dse;
   BreakevenSpec breakeven;
   SensitivitySpec sensitivity;
+  MonteCarloUqSpec montecarlo;
   OutputSpec outputs;
 
   /// A spec with the paper-default suite (aggregate initialisation would

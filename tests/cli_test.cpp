@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "cli/commands.hpp"
@@ -205,6 +206,88 @@ TEST(Cli, CommandsRejectUnexpectedArguments) {
   EXPECT_EQ(run_cli({"industry", "extra"}).exit_code, 2);
   EXPECT_EQ(run_cli({"figures", "extra"}).exit_code, 2);
   EXPECT_EQ(run_cli({"dump-config", "extra"}).exit_code, 2);
+}
+
+scenario::ScenarioSpec small_mc_spec() {
+  auto spec = scenario::ScenarioSpec::make(scenario::ScenarioKind::montecarlo,
+                                           device::Domain::dnn);
+  spec.name = "cli run montecarlo";
+  spec.montecarlo.samples = 24;
+  spec.montecarlo.seed = 5;
+  return spec;
+}
+
+TEST(Cli, McRunsAndWritesCsvAndJson) {
+  const std::string csv_path = ::testing::TempDir() + "/greenfpga_cli_mc.csv";
+  const std::string json_path = ::testing::TempDir() + "/greenfpga_cli_mc.json";
+  const CliRun result = run_cli({"mc", "dnn", "--samples", "16", "--seed", "3", "--csv",
+                                 csv_path, "--json", json_path});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("Monte-Carlo: 16 samples, seed 3"), std::string::npos);
+  EXPECT_NE(result.out.find("beats"), std::string::npos);
+
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(csv, line)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 17u);  // header + 16 samples
+
+  const io::Json report = io::parse_json_file(json_path);
+  EXPECT_EQ(report.at("uncertainty").at("samples").as_int(), 16);
+  EXPECT_EQ(report.at("uncertainty").at("ratio").size(), 1u);
+}
+
+TEST(Cli, McValidatesArguments) {
+  EXPECT_EQ(run_cli({"mc"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"mc", "quantum"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"mc", "dnn", "--bogus"}).exit_code, 2);
+  // --samples/--seed share the range-guarded integer read with the JSON
+  // path: junk, fractions and out-of-range values are usage errors.
+  EXPECT_EQ(run_cli({"mc", "dnn", "--samples", "lots"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"mc", "dnn", "--samples", "1.5"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"mc", "dnn", "--samples", "0"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"mc", "dnn", "--seed", "-1"}).exit_code, 2);
+}
+
+TEST(Cli, RunMontecarloSpecIsThreadDeterministic) {
+  const std::string path = write_spec_file("greenfpga_cli_mc_spec.json", small_mc_spec());
+  const CliRun one = run_cli({"--threads", "1", "run", path});
+  const CliRun four = run_cli({"--threads", "4", "run", path});
+  EXPECT_EQ(one.exit_code, 0) << one.err;
+  EXPECT_EQ(one.out, four.out);
+  EXPECT_NE(one.out.find("P(fpga:asic ratio <= x)"), std::string::npos);
+}
+
+TEST(Cli, RunCsvExportIsMontecarloOnly) {
+  auto sweep = scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep,
+                                            device::Domain::dnn);
+  sweep.axes = {scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 4, 4)};
+  const std::string csv_path = ::testing::TempDir() + "/greenfpga_cli_no.csv";
+  EXPECT_EQ(run_cli({"run", write_spec_file("greenfpga_cli_sweep_csv.json", sweep),
+                     "--csv", csv_path})
+                .exit_code,
+            2);
+  const CliRun ok = run_cli({"run", write_spec_file("greenfpga_cli_mc_csv.json",
+                                                    small_mc_spec()),
+                             "--csv", csv_path});
+  EXPECT_EQ(ok.exit_code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("wrote " + csv_path), std::string::npos);
+}
+
+TEST(Cli, RunParseErrorsNameThePathAndKey) {
+  // A type-mismatched field must fail naming the spec file *and* the
+  // offending key, not just "expected number".
+  const std::string path = ::testing::TempDir() + "/greenfpga_cli_bad_spec.json";
+  io::Json json = scenario::spec_to_json(small_mc_spec());
+  json.as_object().at("schedule").as_object()["volume"] = "a few";
+  io::write_json_file(path, json);
+  const CliRun result = run_cli({"run", path});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find(path), std::string::npos) << result.err;
+  EXPECT_NE(result.err.find("schedule.volume"), std::string::npos) << result.err;
 }
 
 TEST(Cli, FiguresPrintsPaperVsMeasured) {

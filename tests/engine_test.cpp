@@ -494,6 +494,134 @@ TEST(EngineViews, TestcaseKindsRequireAsicAndFpga) {
                std::invalid_argument);
 }
 
+// -- Monte-Carlo uncertainty determinism --------------------------------------
+
+ScenarioSpec mc_spec(unsigned seed, int samples = 96) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::montecarlo, device::Domain::dnn);
+  spec.name = "mc determinism pin";
+  spec.montecarlo.samples = samples;
+  spec.montecarlo.seed = seed;
+  return spec;
+}
+
+TEST(MonteCarloDeterminism, BitIdenticalAcrossThreadCounts) {
+  // The acceptance contract of the sampler: counter-based per-sample RNG
+  // streams + pre-sized slots make results bit-identical for --threads
+  // 1 / 2 / 8 (not merely statistically close).
+  const ScenarioSpec spec = mc_spec(42);
+  const ScenarioResult one = Engine(EngineOptions{.threads = 1}).run(spec);
+  const ScenarioResult two = Engine(EngineOptions{.threads = 2}).run(spec);
+  const ScenarioResult eight = Engine(EngineOptions{.threads = 8}).run(spec);
+
+  ASSERT_TRUE(one.uncertainty.has_value());
+  for (const ScenarioResult* other : {&two, &eight}) {
+    ASSERT_TRUE(other->uncertainty.has_value());
+    EXPECT_EQ(one.uncertainty->sample_totals_kg, other->uncertainty->sample_totals_kg);
+    ASSERT_EQ(one.uncertainty->platform_total.size(),
+              other->uncertainty->platform_total.size());
+    for (std::size_t p = 0; p < one.uncertainty->platform_total.size(); ++p) {
+      EXPECT_EQ(one.uncertainty->platform_total[p].mean,
+                other->uncertainty->platform_total[p].mean);
+      EXPECT_EQ(one.uncertainty->platform_total[p].stddev,
+                other->uncertainty->platform_total[p].stddev);
+      EXPECT_EQ(one.uncertainty->platform_total[p].percentile_values,
+                other->uncertainty->platform_total[p].percentile_values);
+    }
+    EXPECT_EQ(one.uncertainty->win_fraction, other->uncertainty->win_fraction);
+  }
+}
+
+TEST(MonteCarloDeterminism, SameSeedReproducesDifferentSeedDiffers) {
+  const Engine engine(EngineOptions{.threads = 2});
+  const ScenarioResult first = engine.run(mc_spec(7));
+  const ScenarioResult again = engine.run(mc_spec(7));
+  EXPECT_EQ(first.uncertainty->sample_totals_kg, again.uncertainty->sample_totals_kg);
+
+  const ScenarioResult reseeded = engine.run(mc_spec(8));
+  EXPECT_NE(first.uncertainty->sample_totals_kg, reseeded.uncertainty->sample_totals_kg);
+}
+
+TEST(MonteCarloDeterminism, SampleOrderIsIndexNotScheduleOrder) {
+  // Slot i depends only on (seed, i): prefix-truncating the run must
+  // reproduce the same leading samples even on a racing thread pool.
+  const Engine engine(EngineOptions{.threads = 8});
+  const ScenarioResult full = engine.run(mc_spec(11, 64));
+  const ScenarioResult prefix = engine.run(mc_spec(11, 16));
+  for (std::size_t p = 0; p < prefix.uncertainty->sample_totals_kg.size(); ++p) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(prefix.uncertainty->sample_totals_kg[p][i],
+                full.uncertainty->sample_totals_kg[p][i]);
+    }
+  }
+}
+
+TEST(MonteCarloUqResult, RatioAndWinFractionAreConsistent) {
+  const ScenarioResult result = Engine(EngineOptions{.threads = 1}).run(mc_spec(3));
+  const MonteCarloUq& uq = *result.uncertainty;
+  ASSERT_EQ(uq.platform_total.size(), 2u);  // default asic + fpga
+  ASSERT_EQ(uq.ratio.size(), 1u);
+  const std::vector<double> ratios = uq.ratio_samples(1);
+  ASSERT_EQ(ratios.size(), static_cast<std::size_t>(uq.samples));
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    EXPECT_EQ(ratios[i],
+              uq.sample_totals_kg[1][i] / uq.sample_totals_kg[0][i]);
+    if (ratios[i] < 1.0) {
+      ++wins;
+    }
+  }
+  EXPECT_EQ(uq.win_fraction.front(),
+            static_cast<double>(wins) / static_cast<double>(uq.samples));
+  EXPECT_THROW((void)uq.ratio_samples(0), std::out_of_range);
+  EXPECT_THROW((void)uq.ratio_samples(2), std::out_of_range);
+}
+
+TEST(MonteCarloUqResult, SummariseSamplesValidatesItsInputs) {
+  // The shared stats helper is public API: out-of-range percentiles must
+  // throw, never index past the sample buffer.
+  EXPECT_THROW((void)summarise_samples({}, {50.0}), std::invalid_argument);
+  EXPECT_THROW((void)summarise_samples({1.0, 2.0}, {150.0}), std::invalid_argument);
+  EXPECT_THROW((void)summarise_samples({1.0, 2.0}, {-1.0}), std::invalid_argument);
+  const UqStat stat = summarise_samples({1.0, 2.0, 3.0}, {0.0, 50.0, 100.0});
+  EXPECT_EQ(stat.percentile_values, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(stat.mean, 2.0);
+}
+
+TEST(MonteCarloUqResult, PercentilesAreMonotoneAndBracketTheMedian) {
+  const ScenarioResult result = Engine(EngineOptions{.threads = 2}).run(mc_spec(5, 256));
+  const MonteCarloUq& uq = *result.uncertainty;
+  for (const UqStat& stat : uq.platform_total) {
+    ASSERT_EQ(stat.percentile_values.size(), uq.percentiles.size());
+    for (std::size_t i = 1; i < stat.percentile_values.size(); ++i) {
+      EXPECT_LE(stat.percentile_values[i - 1], stat.percentile_values[i]);
+    }
+    EXPECT_GT(stat.stddev, 0.0);
+  }
+}
+
+TEST(MonteCarloUqResult, NoDistributionsCollapsesToThePointEstimate) {
+  // Empty distribution list: every sample evaluates the unperturbed suite,
+  // so the "distribution" is a spike at the deterministic answer.
+  ScenarioSpec spec = mc_spec(1, 8);
+  spec.montecarlo.distributions.clear();
+  const ScenarioResult result = Engine(EngineOptions{.threads = 2}).run(spec);
+
+  const ScenarioSpec point = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  const core::Comparison comparison =
+      Engine(EngineOptions{.threads = 1}).run(point).comparison();
+  const MonteCarloUq& uq = *result.uncertainty;
+  for (const double total : uq.sample_totals_kg[0]) {
+    EXPECT_EQ(total, comparison.asic.total.total().canonical());
+  }
+  for (const double total : uq.sample_totals_kg[1]) {
+    EXPECT_EQ(total, comparison.fpga.total.total().canonical());
+  }
+  // Identical samples must report exactly zero uncertainty (no phantom
+  // stddev from the rounded running mean).
+  EXPECT_EQ(uq.platform_total[0].stddev, 0.0);
+  EXPECT_EQ(uq.platform_total[0].mean, comparison.asic.total.total().canonical());
+}
+
 // -- memoisation --------------------------------------------------------------
 
 TEST(EmbodiedMemoisation, CachedEmbodiedEqualsFreshModel) {

@@ -1,0 +1,300 @@
+/// Golden-figure regression suite: pins the numeric outputs of the paper
+/// figure paths (Figs. 2, 4, 5, 6, 8) against checked-in JSON snapshots in
+/// tests/golden/, so a refactor can never silently drift the reproduction's
+/// headline numbers.
+///
+/// Comparison is per-value with a relative tolerance of 1e-9 (absolute
+/// 1e-12 near zero): tight enough that any model change trips it, loose
+/// enough to survive benign FP-reassociation differences across compilers.
+///
+/// Regenerating the snapshots after an *intentional* model change:
+///
+///     GREENFPGA_REGEN_GOLDEN=1 ./golden_figures_test
+///
+/// then review the diff of tests/golden/*.json like any other code change.
+/// The golden directory is baked in at compile time (GREENFPGA_GOLDEN_DIR,
+/// set by CMakeLists.txt to <source>/tests/golden), so the suite runs from
+/// any build directory.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "core/paper_config.hpp"
+#include "io/json.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+
+#ifndef GREENFPGA_GOLDEN_DIR
+#error "GREENFPGA_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
+#endif
+
+namespace greenfpga::scenario {
+namespace {
+
+constexpr double kRelTolerance = 1e-9;
+constexpr double kAbsTolerance = 1e-12;
+
+/// Recursive JSON comparison: identical structure, numbers within
+/// tolerance.  Appends one message per mismatch, prefixed with the JSON
+/// path, so a failure names exactly which figure value drifted.
+void compare_json(const io::Json& golden, const io::Json& actual, const std::string& path,
+                  std::vector<std::string>& errors) {
+  if (golden.type() != actual.type()) {
+    errors.push_back(path + ": type mismatch");
+    return;
+  }
+  switch (golden.type()) {
+    case io::Json::Type::number: {
+      const double g = golden.as_number();
+      const double a = actual.as_number();
+      const double scale = std::max(std::fabs(g), std::fabs(a));
+      if (std::fabs(g - a) > std::max(kAbsTolerance, kRelTolerance * scale)) {
+        errors.push_back(path + ": golden " + std::to_string(g) + " vs actual " +
+                         std::to_string(a));
+      }
+      return;
+    }
+    case io::Json::Type::array: {
+      if (golden.size() != actual.size()) {
+        errors.push_back(path + ": array size " + std::to_string(golden.size()) +
+                         " vs " + std::to_string(actual.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < golden.size(); ++i) {
+        compare_json(golden.at(i), actual.at(i), path + "[" + std::to_string(i) + "]",
+                     errors);
+      }
+      return;
+    }
+    case io::Json::Type::object: {
+      for (const auto& [key, value] : golden.as_object()) {
+        if (!actual.contains(key)) {
+          errors.push_back(path + ": missing key \"" + key + "\"");
+          continue;
+        }
+        compare_json(value, actual.at(key), path + "." + key, errors);
+      }
+      for (const auto& [key, value] : actual.as_object()) {
+        if (!golden.contains(key)) {
+          errors.push_back(path + ": unexpected key \"" + key + "\"");
+        }
+      }
+      return;
+    }
+    default:
+      if (!(golden == actual)) {
+        errors.push_back(path + ": value mismatch");
+      }
+      return;
+  }
+}
+
+/// Compare `actual` against tests/golden/<name>.json, or rewrite the
+/// snapshot when GREENFPGA_REGEN_GOLDEN is set.
+void check_against_golden(const std::string& name, const io::Json& actual) {
+  const std::string path = std::string(GREENFPGA_GOLDEN_DIR) + "/" + name + ".json";
+  if (std::getenv("GREENFPGA_REGEN_GOLDEN") != nullptr) {
+    io::write_json_file(path, actual);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const io::Json golden = io::parse_json_file(path);
+  std::vector<std::string> errors;
+  compare_json(golden, actual, name, errors);
+  for (const std::string& error : errors) {
+    ADD_FAILURE() << error;
+  }
+  if (!errors.empty()) {
+    FAIL() << errors.size() << " golden value(s) drifted; if the model change is "
+           << "intentional, regenerate with GREENFPGA_REGEN_GOLDEN=1 and review the "
+           << "diff of " << path;
+  }
+}
+
+const Engine& engine() {
+  static const Engine instance(EngineOptions{.threads = 1});
+  return instance;
+}
+
+std::string domain_token(device::Domain domain) {
+  return to_string(domain);  // "DNN" / "ImgProc" / "Crypto"
+}
+
+io::Json breakdown_to_json(const core::CfpBreakdown& breakdown) {
+  io::Json out = io::Json::object();
+  out["design_kg"] = breakdown.design.canonical();
+  out["manufacturing_kg"] = breakdown.manufacturing.canonical();
+  out["packaging_kg"] = breakdown.packaging.canonical();
+  out["eol_kg"] = breakdown.eol.canonical();
+  out["operational_kg"] = breakdown.operational.canonical();
+  out["app_dev_kg"] = breakdown.app_dev.canonical();
+  out["total_kg"] = breakdown.total().canonical();
+  return out;
+}
+
+/// One sweep figure path: per-domain x / totals / crossovers.
+io::Json sweep_figure(device::Domain domain, AxisSpec axis, CrossoverKind kind) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::sweep, domain);
+  spec.axes = {std::move(axis)};
+  const SweepSeries series = engine().run(spec).sweep_series();
+
+  io::Json out = io::Json::object();
+  io::Json x = io::Json::array();
+  io::Json asic = io::Json::array();
+  io::Json fpga = io::Json::array();
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    x.push_back(series.x[i]);
+    asic.push_back(series.asic[i].total().canonical());
+    fpga.push_back(series.fpga[i].total().canonical());
+  }
+  out["x"] = std::move(x);
+  out["asic_total_kg"] = std::move(asic);
+  out["fpga_total_kg"] = std::move(fpga);
+  const auto crossover = first_crossover(series.crossovers(), kind);
+  out["first_crossover"] = crossover ? io::Json(*crossover) : io::Json(nullptr);
+  return out;
+}
+
+io::Json heatmap_figure(AxisSpec x_axis, AxisSpec y_axis) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::grid, device::Domain::dnn);
+  spec.axes = {std::move(x_axis), std::move(y_axis)};
+  const Heatmap map = engine().run(spec).heatmap();
+
+  io::Json out = io::Json::object();
+  io::Json x = io::Json::array();
+  for (const double v : map.x) {
+    x.push_back(v);
+  }
+  io::Json y = io::Json::array();
+  for (const double v : map.y) {
+    y.push_back(v);
+  }
+  io::Json ratio = io::Json::array();
+  for (const std::vector<double>& row : map.ratio) {
+    io::Json cells = io::Json::array();
+    for (const double r : row) {
+      cells.push_back(r);
+    }
+    ratio.push_back(std::move(cells));
+  }
+  out["x"] = std::move(x);
+  out["y"] = std::move(y);
+  out["fpga_to_asic_ratio"] = std::move(ratio);
+  out["min_ratio"] = map.min_ratio();
+  out["max_ratio"] = map.max_ratio();
+  out["unity_contour_points"] = map.unity_contour().size();
+  return out;
+}
+
+// -- Fig. 2: FPGA saving at 10 applications (DNN) ------------------------------
+
+TEST(GoldenFigures, Fig2MotivationCompare) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  spec.schedule.app_count = 10;
+  const core::Comparison comparison = engine().run(spec).comparison();
+
+  io::Json out = io::Json::object();
+  out["asic"] = breakdown_to_json(comparison.asic.total);
+  out["fpga"] = breakdown_to_json(comparison.fpga.total);
+  out["ratio"] = comparison.ratio();
+  out["fpga_saving_percent"] = 100.0 * (1.0 - comparison.ratio());
+  check_against_golden("fig2_motivation", out);
+}
+
+// -- Figs. 4 / 5 / 6: the three sweep figures, all domains ---------------------
+
+class GoldenSweepFigures : public ::testing::TestWithParam<device::Domain> {};
+
+TEST_P(GoldenSweepFigures, Fig4AppCountSweep) {
+  const device::Domain domain = GetParam();
+  check_against_golden(
+      "fig4_apps_" + domain_token(domain),
+      sweep_figure(domain, AxisSpec::linear(SweepVariable::app_count, 1, 16, 16),
+                   CrossoverKind::a2f));
+}
+
+TEST_P(GoldenSweepFigures, Fig5LifetimeSweep) {
+  const device::Domain domain = GetParam();
+  check_against_golden(
+      "fig5_lifetime_" + domain_token(domain),
+      sweep_figure(domain, AxisSpec::linear(SweepVariable::lifetime_years, 0.2, 2.5, 47),
+                   CrossoverKind::f2a));
+}
+
+TEST_P(GoldenSweepFigures, Fig6VolumeSweep) {
+  const device::Domain domain = GetParam();
+  check_against_golden(
+      "fig6_volume_" + domain_token(domain),
+      sweep_figure(domain, AxisSpec::log(SweepVariable::volume, 1e3, 1e7, 41),
+                   CrossoverKind::f2a));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, GoldenSweepFigures,
+                         ::testing::Values(device::Domain::dnn, device::Domain::imgproc,
+                                           device::Domain::crypto),
+                         [](const ::testing::TestParamInfo<device::Domain>& info) {
+                           return to_string(info.param);
+                         });
+
+// -- Fig. 8: the pairwise DNN heat-maps ---------------------------------------
+
+TEST(GoldenFigures, Fig8aAppCountVsLifetime) {
+  check_against_golden(
+      "fig8a_apps_lifetime",
+      heatmap_figure(
+          AxisSpec::list(SweepVariable::app_count,
+                         {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16}),
+          AxisSpec::linear(SweepVariable::lifetime_years, 0.25, 2.5, 10)));
+}
+
+TEST(GoldenFigures, Fig8bVolumeVsLifetime) {
+  check_against_golden(
+      "fig8b_volume_lifetime",
+      heatmap_figure(AxisSpec::log(SweepVariable::volume, 1e4, 1e7, 12),
+                     AxisSpec::linear(SweepVariable::lifetime_years, 0.25, 2.5, 10)));
+}
+
+TEST(GoldenFigures, Fig8cVolumeVsAppCount) {
+  check_against_golden(
+      "fig8c_volume_apps",
+      heatmap_figure(AxisSpec::log(SweepVariable::volume, 1e4, 1e7, 12),
+                     AxisSpec::list(SweepVariable::app_count,
+                                    {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16})));
+}
+
+// -- suite hygiene ------------------------------------------------------------
+
+TEST(GoldenFigures, ToleranceTripsOnRealDrift) {
+  // The comparator itself must catch a 1e-6 relative drift (far above the
+  // 1e-9 gate): guard against a future "tolerance loosened to always-pass".
+  io::Json golden = io::Json::object();
+  golden["value"] = 1.0;
+  io::Json drifted = io::Json::object();
+  drifted["value"] = 1.0 + 1e-6;
+  std::vector<std::string> errors;
+  compare_json(golden, drifted, "probe", errors);
+  EXPECT_EQ(errors.size(), 1u);
+
+  io::Json fine = io::Json::object();
+  fine["value"] = 1.0 + 1e-12;
+  errors.clear();
+  compare_json(golden, fine, "probe", errors);
+  EXPECT_TRUE(errors.empty());
+}
+
+TEST(GoldenFigures, StructuralMismatchesAreReported) {
+  io::Json golden = io::Json::object();
+  golden["a"] = io::Json::array({1.0, 2.0});
+  io::Json actual = io::Json::object();
+  actual["a"] = io::Json::array({1.0});
+  actual["b"] = "extra";
+  std::vector<std::string> errors;
+  compare_json(golden, actual, "probe", errors);
+  EXPECT_EQ(errors.size(), 2u);  // size mismatch + unexpected key
+}
+
+}  // namespace
+}  // namespace greenfpga::scenario
