@@ -1,0 +1,93 @@
+/// \file batch_throughput.cpp
+/// Batch-evaluation throughput baseline: a mixed fleet of specs (compare,
+/// sweeps, a grid, Monte-Carlo) through `Engine::run_batch` at 1 / 2 / 4 /
+/// hardware threads.
+///
+/// This is the perf baseline for the fleet-scale path: the batch flattens
+/// spec-level and point-level work onto one pool, so a mix of one large
+/// grid and many small compares should keep every worker busy instead of
+/// serialising spec-by-spec.  Per-worker suite-keyed model caches share
+/// the embodied-carbon memoisation across specs, and results are
+/// bit-identical to individual runs at any thread count (pinned by
+/// tests/golden_results_test.cpp), so scheduling changes here can never
+/// move the numbers.
+
+#include <chrono>
+#include <iomanip>
+
+#include "bench_common.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_io.hpp"
+#include "units/format.hpp"
+
+namespace {
+
+using namespace greenfpga;
+
+/// A workload shaped like a real manifest: point-heavy and sample-heavy
+/// specs mixed with cheap ones, several sharing the paper-default suite.
+std::vector<scenario::ScenarioSpec> fleet() {
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const device::Domain domain : device::all_domains()) {
+    specs.push_back(
+        scenario::ScenarioSpec::make(scenario::ScenarioKind::compare, domain));
+    scenario::ScenarioSpec sweep =
+        scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, domain);
+    sweep.axes = {
+        scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 16, 16)};
+    specs.push_back(std::move(sweep));
+  }
+  scenario::ScenarioSpec grid =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::grid, device::Domain::dnn);
+  grid.axes = {scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e4, 1e7, 25),
+               scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years, 0.25,
+                                          2.5, 25)};
+  specs.push_back(std::move(grid));
+  scenario::ScenarioSpec mc = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::montecarlo, device::Domain::dnn);
+  mc.montecarlo.samples = 512;
+  specs.push_back(std::move(mc));
+  return specs;
+}
+
+double run_once_seconds(const std::vector<scenario::ScenarioSpec>& specs, int threads) {
+  const scenario::Engine engine(scenario::EngineOptions{.threads = threads});
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<scenario::ScenarioResult> results = engine.run_batch(specs);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(results.data());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void print_speedups() {
+  bench::banner("Batch throughput",
+                "11-spec fleet (3 compares, 3 sweeps, 25x25 grid, 512-sample MC), "
+                "wall-clock speedup vs 1 thread");
+  const std::vector<scenario::ScenarioSpec> specs = fleet();
+  const double base = run_once_seconds(specs, 1);
+  std::cout << "  threads   seconds   specs/s   speedup\n";
+  for (const int threads : {1, 2, 4, scenario::Engine::default_threads()}) {
+    const double seconds = threads == 1 ? base : run_once_seconds(specs, threads);
+    std::cout << "  " << std::setw(7) << threads << "   " << std::setw(7)
+              << units::format_significant(seconds, 4) << "   " << std::setw(7)
+              << units::format_significant(static_cast<double>(specs.size()) / seconds, 4)
+              << "   " << units::format_significant(base / seconds, 4) << "x\n";
+  }
+  std::cout << "\n";
+}
+
+void BM_Batch(benchmark::State& state) {
+  const std::vector<scenario::ScenarioSpec> specs = fleet();
+  const scenario::Engine engine(
+      scenario::EngineOptions{.threads = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    const std::vector<scenario::ScenarioResult> results = engine.run_batch(specs);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.counters["specs"] = static_cast<double>(specs.size());
+}
+BENCHMARK(BM_Batch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(print_speedups)

@@ -4,15 +4,18 @@
 /// Every evaluating command builds a `scenario::ScenarioSpec` and runs it
 /// through `scenario::Engine`; the spec path (`greenfpga run`) accepts the
 /// same shape from a JSON file, so anything the CLI can do is also
-/// expressible declaratively without recompiling.
+/// expressible declaratively without recompiling.  Rendering is not done
+/// here: results lower into `report::ResultFrame`s and the `--format`
+/// renderers in `report::result_render` present them.
 
 #include "cli/commands.hpp"
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
-#include <iomanip>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -22,11 +25,11 @@
 #include "core/config_io.hpp"
 #include "core/paper_config.hpp"
 #include "device/catalog.hpp"
-#include "io/csv.hpp"
-#include "report/ascii_chart.hpp"
 #include "report/figure_writer.hpp"
 #include "report/markdown_report.hpp"
+#include "report/result_render.hpp"
 #include "scenario/engine.hpp"
+#include "scenario/result_io.hpp"
 #include "units/format.hpp"
 #include "units/units.hpp"
 
@@ -34,12 +37,15 @@ namespace greenfpga::cli {
 
 namespace {
 
-/// Worker count chosen by the current dispatch's --threads flag (0 =
-/// engine default).  Dispatch resets it at the top of every call; the
-/// exported run_* entry points therefore inherit the *latest* dispatch's
-/// flag when called directly (and dispatch itself is not re-entrant
-/// across threads) -- acceptable for a CLI process, documented here.
+/// Global flags chosen by the current dispatch (worker count, output
+/// format, output path).  Dispatch resets them at the top of every call;
+/// the exported run_* entry points therefore inherit the *latest*
+/// dispatch's flags when called directly (and dispatch itself is not
+/// re-entrant across threads) -- acceptable for a CLI process, documented
+/// here.
 int g_threads = 0;
+report::OutputFormat g_format = report::OutputFormat::text;
+std::optional<std::string> g_output;
 
 scenario::Engine make_engine() {
   return scenario::Engine(scenario::EngineOptions{.threads = g_threads});
@@ -52,405 +58,65 @@ std::optional<device::Domain> parse_domain(const std::string& text) {
   return std::nullopt;
 }
 
-void print_comparison(const std::string& title, const core::Comparison& comparison,
-                      std::ostream& out) {
-  out << "== " << title << " ==\n";
-  const std::vector<std::pair<std::string, core::CfpBreakdown>> platforms{
-      {"ASIC", comparison.asic.total},
-      {"FPGA", comparison.fpga.total},
-  };
-  out << report::breakdown_table(platforms);
-  out << "FPGA:ASIC ratio " << units::format_significant(comparison.ratio(), 4)
-      << " -> greener platform: " << to_string(comparison.verdict()) << "\n\n";
+/// Run `render` against `--output` (if set) or `out`.  An unwritable
+/// output path fails naming the flag and the value, matching the spec
+/// parse-error style.
+int emit(const std::function<void(std::ostream&)>& render, std::ostream& out,
+         std::ostream& err) {
+  if (!g_output) {
+    render(out);
+    return 0;
+  }
+  const std::filesystem::path path(*g_output);
+  if (path.has_parent_path()) {
+    std::error_code ignored;
+    std::filesystem::create_directories(path.parent_path(), ignored);
+  }
+  std::ofstream file(path);
+  if (!file) {
+    err << "--output: cannot write '" << *g_output << "'\n";
+    return 1;
+  }
+  render(file);
+  out << "wrote " << *g_output << "\n";
+  return 0;
 }
 
-void print_node_candidates(const std::vector<scenario::NodeCandidate>& candidates,
-                           std::ostream& out) {
-  io::TextTable table;
-  table.set_headers({"rank", "node", "die area", "peak power", "total [t CO2e]", "vs best"});
-  int rank = 1;
-  for (const scenario::NodeCandidate& candidate : candidates) {
-    table.add_row({std::to_string(rank++), tech::to_string(candidate.chip.node),
-                   units::format_area(candidate.chip.die_area),
-                   units::format_power(candidate.chip.peak_power),
-                   units::format_significant(candidate.total().in(units::unit::t_co2e), 5),
-                   units::format_significant(candidate.total_vs_best, 4)});
-  }
-  out << table.render();
+int emit_result(const scenario::ScenarioResult& result, std::ostream& out,
+                std::ostream& err) {
+  return emit(
+      [&result](std::ostream& stream) {
+        report::render_result(result, g_format, stream);
+      },
+      out, err);
 }
 
-/// Machine-readable form of an engine result (`greenfpga run --json`).
-io::Json result_to_json(const scenario::ScenarioResult& result) {
-  io::Json out = io::Json::object();
-  out["spec"] = scenario::spec_to_json(result.spec);
-  if (!result.points.empty()) {
-    io::Json points = io::Json::array();
-    for (const scenario::EvalPoint& point : result.points) {
-      io::Json entry = io::Json::object();
-      io::Json coords = io::Json::array();
-      for (const double c : point.coords) {
-        coords.push_back(c);
-      }
-      entry["coords"] = std::move(coords);
-      io::Json platforms = io::Json::array();
-      for (std::size_t i = 0; i < point.platforms.size(); ++i) {
-        io::Json platform = io::Json::object();
-        platform["name"] = result.platform_names[i];
-        platform["result"] = core::to_json(point.platforms[i]);
-        platforms.push_back(std::move(platform));
-      }
-      entry["platforms"] = std::move(platforms);
-      points.push_back(std::move(entry));
-    }
-    out["points"] = std::move(points);
-  }
-  if (result.timeline) {
-    io::Json timeline = io::Json::object();
-    io::Json time = io::Json::array();
-    io::Json asic = io::Json::array();
-    io::Json fpga = io::Json::array();
-    for (std::size_t i = 0; i < result.timeline->time_years.size(); ++i) {
-      time.push_back(result.timeline->time_years[i]);
-      asic.push_back(result.timeline->asic_cumulative_kg[i]);
-      fpga.push_back(result.timeline->fpga_cumulative_kg[i]);
-    }
-    timeline["time_years"] = std::move(time);
-    timeline["asic_cumulative_kg"] = std::move(asic);
-    timeline["fpga_cumulative_kg"] = std::move(fpga);
-    io::Json purchases = io::Json::array();
-    for (const double year : result.timeline->fpga_purchase_years) {
-      purchases.push_back(year);
-    }
-    timeline["fpga_purchase_years"] = std::move(purchases);
-    out["timeline"] = std::move(timeline);
-  }
-  if (!result.candidates.empty()) {
-    io::Json candidates = io::Json::array();
-    for (const scenario::NodeCandidate& candidate : result.candidates) {
-      io::Json entry = io::Json::object();
-      entry["chip"] = core::to_json(candidate.chip);
-      entry["total_kg"] = candidate.total().canonical();
-      entry["total_vs_best"] = candidate.total_vs_best;
-      candidates.push_back(std::move(entry));
-    }
-    out["candidates"] = std::move(candidates);
-  }
-  if (!result.tornado.empty()) {
-    io::Json tornado = io::Json::array();
-    for (const scenario::TornadoEntry& entry : result.tornado) {
-      io::Json row = io::Json::object();
-      row["name"] = entry.name;
-      row["ratio_at_low"] = entry.ratio_at_low;
-      row["ratio_at_high"] = entry.ratio_at_high;
-      row["swing"] = entry.swing();
-      tornado.push_back(std::move(row));
-    }
-    out["tornado"] = std::move(tornado);
-  }
-  if (result.monte_carlo) {
-    io::Json mc = io::Json::object();
-    mc["samples"] = result.monte_carlo->samples;
-    mc["mean"] = result.monte_carlo->mean;
-    mc["stddev"] = result.monte_carlo->stddev;
-    mc["p05"] = result.monte_carlo->p05;
-    mc["p50"] = result.monte_carlo->p50;
-    mc["p95"] = result.monte_carlo->p95;
-    mc["fpga_win_fraction"] = result.monte_carlo->fpga_win_fraction;
-    out["monte_carlo"] = std::move(mc);
-  }
-  if (result.uncertainty) {
-    const scenario::MonteCarloUq& uq = *result.uncertainty;
-    io::Json mc = io::Json::object();
-    mc["samples"] = uq.samples;
-    io::Json percentiles = io::Json::array();
-    for (const double p : uq.percentiles) {
-      percentiles.push_back(p);
-    }
-    mc["percentiles"] = std::move(percentiles);
-    const auto stat_to_json = [&uq](const scenario::UqStat& stat) {
-      io::Json entry = io::Json::object();
-      entry["mean"] = stat.mean;
-      entry["stddev"] = stat.stddev;
-      io::Json values = io::Json::array();
-      for (const double v : stat.percentile_values) {
-        values.push_back(v);
-      }
-      entry["percentile_values"] = std::move(values);
-      return entry;
-    };
-    io::Json platforms = io::Json::array();
-    for (std::size_t p = 0; p < uq.platform_total.size(); ++p) {
-      io::Json entry = stat_to_json(uq.platform_total[p]);
-      entry["name"] = result.platform_names[p];
-      platforms.push_back(std::move(entry));
-    }
-    mc["platform_total_kg"] = std::move(platforms);
-    io::Json ratios = io::Json::array();
-    for (std::size_t k = 0; k < uq.ratio.size(); ++k) {
-      io::Json entry = stat_to_json(uq.ratio[k]);
-      entry["name"] = result.platform_names[k + 1] + ":" + result.platform_names[0];
-      entry["win_fraction"] = uq.win_fraction[k];
-      ratios.push_back(std::move(entry));
-    }
-    mc["ratio"] = std::move(ratios);
-    out["uncertainty"] = std::move(mc);
-  }
-  if (result.breakeven) {
-    // Requested solves always emit their key (null = no crossover);
-    // unrequested solves omit it, so consumers can tell the states apart.
-    io::Json breakeven = io::Json::object();
-    const auto emit = [&breakeven](bool requested, const char* key,
-                                   const std::optional<double>& value) {
-      if (requested) {
-        breakeven[key] = value ? io::Json(*value) : io::Json(nullptr);
-      }
-    };
-    emit(result.spec.breakeven.solve_app_count, "app_count", result.breakeven->app_count);
-    emit(result.spec.breakeven.solve_lifetime, "lifetime_years",
-         result.breakeven->lifetime_years);
-    emit(result.spec.breakeven.solve_volume, "volume", result.breakeven->volume);
-    out["breakeven"] = std::move(breakeven);
-  }
-  return out;
+int emit_frames(std::span<const report::ResultFrame> frames, std::ostream& out,
+                std::ostream& err) {
+  return emit(
+      [frames](std::ostream& stream) {
+        report::render_frames(frames, g_format, stream);
+      },
+      out, err);
 }
 
-/// True only for the classic two-platform pair: the legacy sweep/heat-map
-/// renderings show exactly ASIC and FPGA columns, so any extra platform
-/// must route to the generic table instead of being silently dropped.
-bool is_classic_pair(const scenario::ScenarioResult& result) {
-  return result.platform_names.size() == 2 &&
-         result.platform_index(device::ChipKind::asic) &&
-         result.platform_index(device::ChipKind::fpga);
-}
-
-/// Totals table over every platform at every point (the generic rendering
-/// for platform sets beyond the classic ASIC/FPGA pair).
-void print_points_table(const scenario::ScenarioResult& result, std::ostream& out) {
-  io::TextTable table;
-  std::vector<std::string> headers;
-  for (const scenario::AxisSpec& axis : result.spec.axes) {
-    headers.push_back(axis.label());
-  }
-  for (const std::string& name : result.platform_names) {
-    headers.push_back(name + " [t CO2e]");
-  }
-  for (std::size_t i = 1; i < result.platform_names.size(); ++i) {
-    headers.push_back(result.platform_names[i] + ":" + result.platform_names[0]);
-  }
-  table.set_headers(std::move(headers));
-  for (const scenario::EvalPoint& point : result.points) {
-    std::vector<std::string> row;
-    for (const double c : point.coords) {
-      row.push_back(units::format_significant(c, 4));
-    }
-    for (const core::PlatformCfp& platform : point.platforms) {
-      row.push_back(units::format_significant(
-          platform.total.total().in(units::unit::t_co2e), 5));
-    }
-    for (std::size_t i = 1; i < point.platforms.size(); ++i) {
-      row.push_back(units::format_significant(point.ratio(i), 4));
-    }
-    table.add_row(std::move(row));
-  }
-  out << table.render();
-}
-
-void render_result(const scenario::ScenarioResult& result, std::ostream& out) {
-  out << "== " << result.spec.name << " (" << to_string(result.spec.kind) << ", "
-      << to_string(result.spec.domain) << ") ==\n";
-  switch (result.spec.kind) {
-    case scenario::ScenarioKind::compare: {
-      std::vector<std::pair<std::string, core::CfpBreakdown>> rows;
-      for (std::size_t i = 0; i < result.platform_names.size(); ++i) {
-        rows.emplace_back(result.platform_names[i],
-                          result.points.front().platforms[i].total);
-      }
-      out << report::breakdown_table(rows);
-      for (std::size_t i = 1; i < result.platform_names.size(); ++i) {
-        out << result.platform_names[i] << ":" << result.platform_names[0] << " ratio "
-            << units::format_significant(result.points.front().ratio(i), 4) << "\n";
-      }
-      return;
-    }
-    case scenario::ScenarioKind::sweep: {
-      if (is_classic_pair(result)) {
-        const scenario::SweepSeries series = result.sweep_series();
-        out << report::sweep_table(series)
-            << "crossovers: " << report::crossover_summary(series) << "\n";
-      } else {
-        print_points_table(result, out);
-      }
-      return;
-    }
-    case scenario::ScenarioKind::grid: {
-      if (is_classic_pair(result)) {
-        const scenario::Heatmap map = result.heatmap();
-        out << report::render_heatmap(map) << "ratio range ["
-            << units::format_significant(map.min_ratio(), 4) << ", "
-            << units::format_significant(map.max_ratio(), 4) << "], "
-            << map.unity_contour().size() << " unity-contour points\n";
-      } else {
-        print_points_table(result, out);
-      }
-      return;
-    }
-    case scenario::ScenarioKind::timeline: {
-      const scenario::TimelineSeries& series = *result.timeline;
-      out << "horizon " << units::format_significant(series.time_years.back(), 4)
-          << " years, " << series.fpga_purchase_years.size() << " FPGA fleet purchase(s)\n"
-          << "final cumulative: ASIC "
-          << units::format_significant(series.asic_cumulative_kg.back() / 1000.0, 5)
-          << " t CO2e, FPGA "
-          << units::format_significant(series.fpga_cumulative_kg.back() / 1000.0, 5)
-          << " t CO2e\n";
-      const auto crossovers = series.crossovers();
-      out << "crossovers:";
-      if (crossovers.empty()) {
-        out << " none";
-      }
-      for (const scenario::Crossover& crossover : crossovers) {
-        out << " " << to_string(crossover.kind) << " at "
-            << units::format_significant(crossover.x, 4) << " y";
-      }
-      out << "\n";
-      return;
-    }
-    case scenario::ScenarioKind::node_dse:
-      print_node_candidates(result.candidates, out);
-      return;
-    case scenario::ScenarioKind::breakeven: {
-      const auto fmt = [](bool requested, const std::optional<double>& x) {
-        if (!requested) return std::string("not requested");
-        return x ? units::format_significant(*x, 4) : std::string("none");
-      };
-      out << "breakeven N_app: "
-          << fmt(result.spec.breakeven.solve_app_count, result.breakeven->app_count)
-          << "\n"
-          << "breakeven T_i [years]: "
-          << fmt(result.spec.breakeven.solve_lifetime, result.breakeven->lifetime_years)
-          << "\n"
-          << "breakeven N_vol [units]: "
-          << fmt(result.spec.breakeven.solve_volume, result.breakeven->volume) << "\n";
-      return;
-    }
-    case scenario::ScenarioKind::montecarlo: {
-      const scenario::MonteCarloUq& uq = *result.uncertainty;
-      out << "Monte-Carlo: " << uq.samples << " samples, seed "
-          << result.spec.montecarlo.seed << ", "
-          << result.spec.montecarlo.distributions.size() << " uncertain parameter(s)\n";
-      io::TextTable table;
-      std::vector<std::string> headers{"metric", "mean", "stddev"};
-      for (const double p : uq.percentiles) {
-        headers.push_back("p" + units::format_significant(p, 4));
-      }
-      table.set_headers(std::move(headers));
-      const auto add_stat = [&table, &uq](const std::string& name,
-                                          const scenario::UqStat& stat, double scale) {
-        std::vector<std::string> row{name,
-                                     units::format_significant(stat.mean * scale, 5),
-                                     units::format_significant(stat.stddev * scale, 5)};
-        for (const double v : stat.percentile_values) {
-          row.push_back(units::format_significant(v * scale, 5));
-        }
-        table.add_row(std::move(row));
-      };
-      for (std::size_t p = 0; p < uq.platform_total.size(); ++p) {
-        add_stat(result.platform_names[p] + " [t CO2e]", uq.platform_total[p], 1e-3);
-      }
-      for (std::size_t k = 0; k < uq.ratio.size(); ++k) {
-        add_stat(result.platform_names[k + 1] + ":" + result.platform_names[0] + " ratio",
-                 uq.ratio[k], 1.0);
-      }
-      out << table.render();
-      for (std::size_t k = 0; k < uq.win_fraction.size(); ++k) {
-        out << result.platform_names[k + 1] << " beats " << result.platform_names[0]
-            << " in " << units::format_significant(100.0 * uq.win_fraction[k], 4)
-            << " % of samples\n";
-      }
-      if (!uq.ratio.empty()) {
-        std::vector<double> ratios = uq.ratio_samples(1);
-        std::sort(ratios.begin(), ratios.end());
-        out << report::render_cdf(ratios, result.platform_names[1] + ":" +
-                                              result.platform_names[0] + " ratio");
-      }
-      return;
-    }
-    case scenario::ScenarioKind::sensitivity: {
-      if (!result.tornado.empty()) {
-        io::TextTable table;
-        table.set_headers({"parameter", "ratio at low", "ratio at high", "swing"});
-        for (const scenario::TornadoEntry& entry : result.tornado) {
-          table.add_row({entry.name, units::format_significant(entry.ratio_at_low, 4),
-                         units::format_significant(entry.ratio_at_high, 4),
-                         units::format_significant(entry.swing(), 4)});
-        }
-        out << table.render();
-      }
-      if (result.monte_carlo) {
-        const scenario::MonteCarloResult& mc = *result.monte_carlo;
-        out << "Monte-Carlo (" << mc.samples << " samples): mean ratio "
-            << units::format_significant(mc.mean, 4) << ", p05 "
-            << units::format_significant(mc.p05, 4) << ", p95 "
-            << units::format_significant(mc.p95, 4) << ", FPGA wins "
-            << units::format_significant(100.0 * mc.fpga_win_fraction, 4) << " %\n";
-      }
-      return;
-    }
-  }
-}
-
-/// Per-sample CSV of a Monte-Carlo result: one row per sample, a total
-/// column per platform plus a ratio column per non-baseline platform.
-/// Cells carry full double precision so the export reproduces percentiles
-/// exactly.
-io::CsvWriter mc_samples_csv(const scenario::ScenarioResult& result) {
-  const scenario::MonteCarloUq& uq = *result.uncertainty;
-  const auto fmt = [](double v) {
-    std::ostringstream cell;
-    cell << std::setprecision(17) << v;
-    return cell.str();
-  };
-  io::CsvWriter csv;
-  std::vector<std::string> header{"sample"};
-  for (const std::string& name : result.platform_names) {
-    header.push_back(name + "_total_kg");
-  }
-  for (std::size_t k = 1; k < result.platform_names.size(); ++k) {
-    header.push_back(result.platform_names[k] + "_over_" + result.platform_names[0] +
-                     "_ratio");
-  }
-  csv.add_row(std::move(header));
-  std::vector<std::vector<double>> ratio_columns;
-  for (std::size_t k = 1; k < uq.sample_totals_kg.size(); ++k) {
-    ratio_columns.push_back(uq.ratio_samples(k));
-  }
-  const std::size_t samples = uq.sample_totals_kg.front().size();
-  for (std::size_t i = 0; i < samples; ++i) {
-    std::vector<std::string> row{std::to_string(i)};
-    for (const std::vector<double>& totals : uq.sample_totals_kg) {
-      row.push_back(fmt(totals[i]));
-    }
-    for (const std::vector<double>& ratios : ratio_columns) {
-      row.push_back(fmt(ratios[i]));
-    }
-    csv.add_row(std::move(row));
-  }
-  return csv;
-}
-
-/// Shared tail of `run` and `mc`: evaluate the spec, render, write the
-/// optional machine-readable exports.
+/// Shared tail of `run` and `mc`: evaluate the spec, render per --format,
+/// write the optional legacy machine-readable exports.
 int run_and_emit(const scenario::ScenarioSpec& spec,
                  const std::optional<std::string>& json_out,
-                 const std::optional<std::string>& csv_out, std::ostream& out) {
+                 const std::optional<std::string>& csv_out, std::ostream& out,
+                 std::ostream& err) {
   const scenario::ScenarioResult result = make_engine().run(spec);
-  render_result(result, out);
+  const int code = emit_result(result, out, err);
+  if (code != 0) {
+    return code;
+  }
   if (json_out) {
-    io::write_json_file(*json_out, result_to_json(result));
+    io::write_json_file(*json_out, scenario::result_to_json(result));
     out << "wrote " << *json_out << "\n";
   }
   if (csv_out) {
-    mc_samples_csv(result).write_file(*csv_out);
+    report::frame_to_csv(scenario::mc_samples_frame(result)).write_file(*csv_out);
     out << "wrote " << *csv_out << "\n";
   }
   return 0;
@@ -462,13 +128,19 @@ int print_usage(std::ostream& out, bool error) {
   out << "GreenFPGA: lifecycle carbon-footprint comparison of FPGA and ASIC computing\n"
          "\n"
          "usage:\n"
-         "  greenfpga [--threads N] <command> ...\n"
+         "  greenfpga [--threads N] [--format text|json|csv|md] [--output <path>]\n"
+         "            <command> ...\n"
          "\n"
          "  greenfpga run <spec.json> [--json <out.json>] [--csv <out.csv>]\n"
          "      evaluate a declarative scenario spec (compare, sweep, grid, timeline,\n"
          "      node_dse, breakeven, sensitivity, montecarlo) through the unified\n"
          "      engine; see examples/specs/ and docs/CLI.md for the spec shape\n"
          "      (--csv exports per-sample Monte-Carlo totals, montecarlo kind only)\n"
+         "  greenfpga batch <manifest.json|directory> [--validate]\n"
+         "      evaluate many specs as one batch on the worker pool; writes one\n"
+         "      result JSON per spec plus an aggregate index to the --output\n"
+         "      directory (default batch_results); --validate re-reads every\n"
+         "      emitted JSON and fails unless it round-trips canonically\n"
          "  greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]\n"
          "              [--csv <out.csv>] [--json <out.json>]\n"
          "      Monte-Carlo uncertainty quantification over the Table 1 parameter\n"
@@ -487,7 +159,11 @@ int print_usage(std::ostream& out, bool error) {
          "      print the calibrated paper-default model suite as JSON\n"
          "\n"
          "  --threads N sets the engine worker count (default: the\n"
-         "  GREENFPGA_THREADS environment variable, else hardware concurrency).\n";
+         "  GREENFPGA_THREADS environment variable, else hardware concurrency).\n"
+         "  --format selects the renderer: text (default), json (canonical result\n"
+         "  JSON, byte-identical at any --threads), csv, md.\n"
+         "  --output writes the rendered output to a file (for `batch`: the\n"
+         "  results directory).\n";
   return error ? 2 : 0;
 }
 
@@ -518,7 +194,7 @@ int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostre
         << "' has kind " << to_string(spec.kind) << "\n";
     return 2;
   }
-  return run_and_emit(spec, json_out, csv_out, out);
+  return run_and_emit(spec, json_out, csv_out, out, err);
 }
 
 int run_mc(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -574,7 +250,7 @@ int run_mc(const std::vector<std::string>& args, std::ostream& out, std::ostream
       return 2;
     }
   }
-  return run_and_emit(spec, json_out, csv_out, out);
+  return run_and_emit(spec, json_out, csv_out, out, err);
 }
 
 int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -605,17 +281,39 @@ int run_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   spec.platforms = {scenario::PlatformRef{.name = "asic", .chip = scenario.asic},
                     scenario::PlatformRef{.name = "fpga", .chip = scenario.fpga}};
   spec.schedule.explicit_schedule = scenario.schedule;
-  const core::Comparison comparison = make_engine().run(spec).comparison();
-  print_comparison(scenario.name, comparison, out);
+  const scenario::ScenarioResult result = make_engine().run(spec);
+  const core::Comparison comparison = result.comparison();
+
+  int code;
+  if (g_format == report::OutputFormat::text) {
+    // The classic component-stack view plus the verdict line.
+    code = emit(
+        [&](std::ostream& stream) {
+          stream << "== " << scenario.name << " ==\n";
+          const std::vector<std::pair<std::string, core::CfpBreakdown>> platforms{
+              {"ASIC", comparison.asic.total},
+              {"FPGA", comparison.fpga.total},
+          };
+          stream << report::breakdown_table(platforms) << "FPGA:ASIC ratio "
+                 << units::format_significant(comparison.ratio(), 4)
+                 << " -> greener platform: " << to_string(comparison.verdict()) << "\n\n";
+        },
+        out, err);
+  } else {
+    code = emit_result(result, out, err);
+  }
+  if (code != 0) {
+    return code;
+  }
 
   if (json_out) {
-    io::Json result = io::Json::object();
-    result["scenario"] = scenario.name;
-    result["asic"] = core::to_json(comparison.asic);
-    result["fpga"] = core::to_json(comparison.fpga);
-    result["ratio"] = comparison.ratio();
-    result["greener"] = to_string(comparison.verdict());
-    io::write_json_file(*json_out, result);
+    io::Json report = io::Json::object();
+    report["scenario"] = scenario.name;
+    report["asic"] = core::to_json(comparison.asic);
+    report["fpga"] = core::to_json(comparison.fpga);
+    report["ratio"] = comparison.ratio();
+    report["greener"] = to_string(comparison.verdict());
+    io::write_json_file(*json_out, report);
     out << "wrote " << *json_out << "\n";
   }
   if (markdown_out) {
@@ -662,11 +360,8 @@ int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostr
     err << "sweep: unknown variable '" << args[1] << "'\n";
     return 2;
   }
-  const scenario::SweepSeries series = make_engine().run(spec).sweep_series();
-  out << "== " << to_string(*domain) << " sweep over " << series.parameter << " ==\n"
-      << report::sweep_table(series) << "crossovers: " << report::crossover_summary(series)
-      << "\n";
-  return 0;
+  spec.name = to_string(*domain) + " sweep over " + spec.axes.front().label();
+  return emit_result(make_engine().run(spec), out, err);
 }
 
 int run_industry(const std::vector<std::string>& args, std::ostream& out,
@@ -698,9 +393,19 @@ int run_industry(const std::vector<std::string>& args, std::ostream& out,
   for (const device::ChipSpec& asic : {device::industry_asic1(), device::industry_asic2()}) {
     rows.emplace_back(asic.name, model.evaluate_asic(asic, asic_schedule).total);
   }
-  out << "== Industry testcases (Table 3; FPGAs: 6 y / 3 apps / 1M; ASICs: 6 y / 1M) ==\n"
-      << report::breakdown_table(rows);
-  return 0;
+  const std::vector<report::ResultFrame> frames{
+      report::breakdown_frame("industry", rows)};
+  return emit(
+      [&](std::ostream& stream) {
+        if (g_format == report::OutputFormat::text) {
+          stream << "== Industry testcases (Table 3; FPGAs: 6 y / 3 apps / 1M; "
+                    "ASICs: 6 y / 1M) ==\n"
+                 << report::breakdown_table(rows);
+        } else {
+          report::render_frames(frames, g_format, stream);
+        }
+      },
+      out, err);
 }
 
 int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -713,13 +418,11 @@ int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostr
     err << "nodes: unknown domain '" << args[0] << "'\n";
     return 2;
   }
-  const scenario::ScenarioSpec spec =
+  scenario::ScenarioSpec spec =
       scenario::ScenarioSpec::make(scenario::ScenarioKind::node_dse, *domain);
-  const scenario::ScenarioResult result = make_engine().run(spec);
-  out << "== node ranking for the " << to_string(*domain)
-      << " FPGA (paper schedule: 5 apps x 2 y x 1M) ==\n";
-  print_node_candidates(result.candidates, out);
-  return 0;
+  spec.name = "node ranking for the " + to_string(*domain) +
+              " FPGA (paper schedule: 5 apps x 2 y x 1M)";
+  return emit_result(make_engine().run(spec), out, err);
 }
 
 int run_figures(const std::vector<std::string>& args, std::ostream& out,
@@ -736,8 +439,12 @@ int run_figures(const std::vector<std::string>& args, std::ostream& out,
     return engine.run(spec).sweep_series();
   };
 
-  io::TextTable table;
-  table.set_headers({"experiment", "domain", "paper", "measured"});
+  report::ResultFrame frame;
+  frame.name = "paper-vs-measured";
+  frame.columns = {report::Column{.name = "experiment", .unit = ""},
+                   report::Column{.name = "domain", .unit = ""},
+                   report::Column{.name = "paper", .unit = ""},
+                   report::Column{.name = "measured", .unit = ""}};
   const auto fmt = [](const std::optional<double>& x) {
     return x ? units::format_significant(*x, 4) : std::string("none");
   };
@@ -749,7 +456,9 @@ int run_figures(const std::vector<std::string>& args, std::ostream& out,
     const char* paper_a2f = domain == device::Domain::dnn       ? "~6"
                             : domain == device::Domain::imgproc ? "~12 (past 8)"
                                                                 : "1 (immediate)";
-    table.add_row({"Fig. 4 A2F [apps]", to_string(domain), paper_a2f, fmt(a2f)});
+    frame.add_row({report::Cell(std::string("Fig. 4 A2F [apps]")),
+                   report::Cell(to_string(domain)), report::Cell(std::string(paper_a2f)),
+                   report::Cell(fmt(a2f))});
 
     const auto fig5 = sweep_series(
         domain,
@@ -758,7 +467,9 @@ int run_figures(const std::vector<std::string>& args, std::ostream& out,
     const char* paper_f2a_t = domain == device::Domain::dnn       ? "~1.6"
                               : domain == device::Domain::imgproc ? "none (ASIC)"
                                                                   : "none (FPGA)";
-    table.add_row({"Fig. 5 F2A [years]", to_string(domain), paper_f2a_t, fmt(f2a_t)});
+    frame.add_row({report::Cell(std::string("Fig. 5 F2A [years]")),
+                   report::Cell(to_string(domain)), report::Cell(std::string(paper_f2a_t)),
+                   report::Cell(fmt(f2a_t))});
 
     const auto fig6 = sweep_series(
         domain, scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e3, 1e7, 41));
@@ -766,25 +477,40 @@ int run_figures(const std::vector<std::string>& args, std::ostream& out,
     const char* paper_f2a_v = domain == device::Domain::dnn       ? "~2e6"
                               : domain == device::Domain::imgproc ? "~3e5"
                                                                   : "none (FPGA)";
-    table.add_row({"Fig. 6 F2A [units]", to_string(domain), paper_f2a_v, fmt(f2a_v)});
+    frame.add_row({report::Cell(std::string("Fig. 6 F2A [units]")),
+                   report::Cell(to_string(domain)), report::Cell(std::string(paper_f2a_v)),
+                   report::Cell(fmt(f2a_v))});
   }
 
   scenario::ScenarioSpec fig2_spec =
       scenario::ScenarioSpec::make(scenario::ScenarioKind::compare, device::Domain::dnn);
   fig2_spec.schedule.app_count = 10;
   const double fig2 = engine.run(fig2_spec).comparison().ratio();
-  table.add_row({"Fig. 2 FPGA saving at 10 apps", "DNN", "~25 %",
-                 units::format_significant(100.0 * (1.0 - fig2), 4) + " %"});
+  frame.add_row({report::Cell(std::string("Fig. 2 FPGA saving at 10 apps")),
+                 report::Cell(std::string("DNN")), report::Cell(std::string("~25 %")),
+                 report::Cell(units::format_significant(100.0 * (1.0 - fig2), 4) + " %")});
 
-  out << "== paper-vs-measured headline summary (see EXPERIMENTS.md for analysis) ==\n"
-      << table.render();
-  return 0;
+  const std::vector<report::ResultFrame> frames{std::move(frame)};
+  return emit(
+      [&](std::ostream& stream) {
+        if (g_format == report::OutputFormat::text) {
+          stream << "== paper-vs-measured headline summary (see EXPERIMENTS.md for "
+                    "analysis) ==\n";
+        }
+        report::render_frames(frames, g_format, stream);
+      },
+      out, err);
 }
 
 int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
                     std::ostream& err) {
   if (!args.empty()) {
     err << "dump-config: unexpected argument '" << args.front() << "'\n";
+    return 2;
+  }
+  if (g_format != report::OutputFormat::text && g_format != report::OutputFormat::json) {
+    err << "dump-config: --format " << to_string(g_format)
+        << " not supported (the dump is JSON; use text or json)\n";
     return 2;
   }
   io::Json scenario = io::Json::object();
@@ -794,14 +520,155 @@ int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
   scenario["asic"] = core::to_json(testcase.asic);
   scenario["fpga"] = core::to_json(testcase.fpga);
   scenario["schedule"] = core::to_json(core::paper_schedule(device::Domain::dnn));
-  out << scenario.dump() << "\n";
+  return emit([&](std::ostream& stream) { stream << scenario.dump() << "\n"; }, out,
+              err);
+}
+
+int run_batch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "batch: expected <manifest.json|directory> [--validate]\n";
+    return 2;
+  }
+  bool validate = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--validate") {
+      validate = true;
+    } else {
+      err << "batch: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path target(args[0]);
+
+  // Collect and parse the spec files (parse errors name the offending
+  // file): every *.json in a directory -- each read once; manifests,
+  // i.e. objects with a "specs" key, are skipped -- or the manifest's
+  // listed paths, resolved relative to the manifest.
+  std::vector<fs::path> spec_paths;
+  std::vector<scenario::ScenarioSpec> specs;
+  if (fs::is_directory(target)) {
+    std::vector<fs::path> candidates;
+    for (const fs::directory_entry& entry : fs::directory_iterator(target)) {
+      if (entry.path().extension() == ".json" && entry.is_regular_file()) {
+        candidates.push_back(entry.path());
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const fs::path& path : candidates) {
+      const io::Json parsed = io::parse_json_file(path.string());
+      if (parsed.is_object() && parsed.contains("specs")) {
+        continue;  // a manifest living next to its specs
+      }
+      specs.push_back(scenario::load_spec_json(parsed, path.string()));
+      spec_paths.push_back(path);
+    }
+  } else {
+    const io::Json manifest = io::parse_json_file(target.string());
+    core::check_known_keys(manifest, "batch manifest '" + target.string() + "'",
+                           {"name", "specs"});
+    for (const io::Json& entry : manifest.at("specs").as_array()) {
+      const fs::path listed(entry.as_string());
+      spec_paths.push_back(listed.is_absolute() ? listed
+                                                : target.parent_path() / listed);
+      specs.push_back(scenario::load_spec(spec_paths.back().string()));
+    }
+  }
+  if (spec_paths.empty()) {
+    err << "batch: no scenario specs found in '" << args[0] << "'\n";
+    return 2;
+  }
+
+  const std::vector<scenario::ScenarioResult> results = make_engine().run_batch(specs);
+
+  // Per-spec result JSON under the output directory, named after the spec
+  // file (collisions get a numeric suffix so nothing is overwritten;
+  // "index.json" is reserved for the aggregate index written below).
+  const std::string out_dir = g_output.value_or("batch_results");
+  std::vector<std::string> taken{"index.json"};
+  std::vector<std::string> filenames;
+  filenames.reserve(results.size());
+  for (const fs::path& path : spec_paths) {
+    std::string stem = path.stem().string();
+    std::string candidate = stem + ".json";
+    int suffix = 2;
+    while (std::find(taken.begin(), taken.end(), candidate) != taken.end()) {
+      candidate = stem + "-" + std::to_string(suffix++) + ".json";
+    }
+    taken.push_back(candidate);
+    filenames.push_back(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    io::write_json_file((fs::path(out_dir) / filenames[i]).string(),
+                        scenario::result_to_json(results[i]));
+  }
+
+  if (validate) {
+    for (const std::string& filename : filenames) {
+      const std::string path = (fs::path(out_dir) / filename).string();
+      const io::Json written = io::parse_json_file(path);
+      const io::Json reserialized =
+          scenario::result_to_json(scenario::result_from_json(written));
+      if (written.dump() != reserialized.dump()) {
+        err << "batch: result '" << path << "' failed the canonical round-trip\n";
+        return 1;
+      }
+    }
+  }
+
+  // Aggregate index: one row per spec with its headline numbers and the
+  // result file it lowered into.
+  report::ResultFrame index;
+  index.name = "batch";
+  index.columns = {report::Column{.name = "spec", .unit = ""},
+                   report::Column{.name = "scenario", .unit = ""},
+                   report::Column{.name = "kind", .unit = ""},
+                   report::Column{.name = "domain", .unit = ""},
+                   report::Column{.name = "platforms", .unit = "", .precision = 4},
+                   report::Column{.name = "points", .unit = "", .precision = 6},
+                   report::Column{.name = "baseline total", .unit = "t CO2e",
+                                  .precision = 5},
+                   report::Column{.name = "ratio", .unit = "", .precision = 4},
+                   report::Column{.name = "result", .unit = ""}};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const scenario::ScenarioResult& result = results[i];
+    report::Cell total(nullptr);
+    report::Cell ratio(nullptr);
+    if (!result.points.empty()) {
+      total = result.points.front().platforms.front().total.total().in(
+          units::unit::t_co2e);
+      if (result.points.front().platforms.size() > 1) {
+        ratio = result.points.front().ratio(1);
+      }
+    }
+    index.add_row({report::Cell(spec_paths[i].filename().string()),
+                   report::Cell(result.spec.name),
+                   report::Cell(to_string(result.spec.kind)),
+                   report::Cell(to_string(result.spec.domain)),
+                   report::Cell(static_cast<double>(result.platform_names.size())),
+                   report::Cell(static_cast<double>(result.points.size())), total, ratio,
+                   report::Cell(filenames[i])});
+  }
+  io::write_json_file((fs::path(out_dir) / "index.json").string(),
+                      report::frame_to_json(index));
+
+  const std::vector<report::ResultFrame> frames{std::move(index)};
+  report::render_frames(frames, g_format, out);
+  if (g_format == report::OutputFormat::text) {
+    // Keep the machine formats pure: the summary line is text-only.
+    out << "wrote " << results.size() << " result(s) + index.json to " << out_dir
+        << "\n";
+  }
   return 0;
 }
 
 int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
-  // Strip the global --threads flag (valid anywhere before/after the
-  // command name) and remember it for make_engine().
+  // Strip the global flags (valid anywhere before/after the command name)
+  // and remember them for the command bodies.
   g_threads = 0;
+  g_format = report::OutputFormat::text;
+  g_output = std::nullopt;
   std::vector<std::string> rest;
   rest.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -825,6 +692,26 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
       g_threads = static_cast<int>(
           std::min<long>(parsed, scenario::Engine::kMaxThreads));
       ++i;
+    } else if (args[i] == "--format") {
+      if (i + 1 >= args.size()) {
+        err << "--format: missing format (text, json, csv, md)\n";
+        return 2;
+      }
+      const auto format = report::parse_output_format(args[i + 1]);
+      if (!format) {
+        err << "--format: unknown format '" << args[i + 1]
+            << "' (text, json, csv, md)\n";
+        return 2;
+      }
+      g_format = *format;
+      ++i;
+    } else if (args[i] == "--output") {
+      if (i + 1 >= args.size()) {
+        err << "--output: missing path\n";
+        return 2;
+      }
+      g_output = args[i + 1];
+      ++i;
     } else {
       rest.push_back(args[i]);
     }
@@ -841,6 +728,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
     rest.erase(rest.begin());
     if (command == "run") {
       return run_spec(rest, out, err);
+    }
+    if (command == "batch") {
+      return run_batch(rest, out, err);
     }
     if (command == "mc") {
       return run_mc(rest, out, err);

@@ -8,9 +8,15 @@
 /// Every command has the same shape -- `(args, out, err)` returning its
 /// process exit code: 0 success, 1 runtime failure (bad config content,
 /// model error), 2 usage error.  `dispatch` additionally handles the
-/// global `--threads N` flag (engine worker count; falls back to the
-/// GREENFPGA_THREADS environment variable, then hardware concurrency) and
-/// maps uncaught exceptions to exit code 1 with a message on `err`.
+/// global flags -- `--threads N` (engine worker count; falls back to the
+/// GREENFPGA_THREADS environment variable, then hardware concurrency),
+/// `--format {text,json,csv,md}` (output renderer) and `--output <path>`
+/// (write the rendered output to a file; the `batch` results directory)
+/// -- and maps uncaught exceptions to exit code 1 with a message on `err`.
+///
+/// Commands parse arguments and assemble data; *rendering* lives in
+/// `report::` (`render_result` / `render_frames` over the frame IR), so
+/// no scenario kind is formatted here.
 
 #include <iosfwd>
 #include <string>
@@ -53,6 +59,13 @@ int run_figures(const std::vector<std::string>& args, std::ostream& out,
 /// `greenfpga dump-config`.
 int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
                     std::ostream& err);
+
+/// `greenfpga batch <manifest.json|directory> [--validate]` -- evaluate
+/// many specs as one engine batch; writes per-spec result JSON plus an
+/// aggregate index under the `--output` directory (default
+/// "batch_results").  `--validate` re-reads every emitted JSON and fails
+/// unless it round-trips canonically.
+int run_batch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// Full dispatch: `args` excludes argv[0].  Strips the global `--threads`
 /// flag, then routes to the command.  Catches exceptions and maps them to

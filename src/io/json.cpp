@@ -494,18 +494,20 @@ void write_escaped(std::string& out, const std::string& s) {
   out.push_back('"');
 }
 
-void write_number(std::string& out, double n) {
+void write_number(std::string& out, double n) { out += format_number(n); }
+
+}  // namespace
+
+std::string format_number(double n) {
   if (!std::isfinite(n)) {
     // JSON has no inf/nan; null is the conventional stand-in.
-    out += "null";
-    return;
+    return "null";
   }
   if (n == std::floor(n) && std::fabs(n) < 1e15) {
     // Integral values print without a fraction for readability.
     char buffer[32];
     std::snprintf(buffer, sizeof buffer, "%.0f", n);
-    out += buffer;
-    return;
+    return buffer;
   }
   char buffer[32];
   std::snprintf(buffer, sizeof buffer, "%.17g", n);
@@ -517,12 +519,13 @@ void write_number(std::string& out, double n) {
     double parsed = 0.0;
     std::from_chars(candidate, candidate + std::char_traits<char>::length(candidate), parsed);
     if (parsed == n) {
-      out += candidate;
-      return;
+      return candidate;
     }
   }
-  out += buffer;
+  return buffer;
 }
+
+namespace {
 
 void dump_value(const Json& value, std::string& out, int indent, int depth) {
   const auto newline_pad = [&](int d) {

@@ -114,6 +114,12 @@ struct JsonParseOptions {
   bool allow_comments = false;
 };
 
+/// Shortest decimal form of `n` that parses back to exactly the same
+/// double (the JSON writer's number format; non-finite values render as
+/// "null").  Shared by every machine-readable emitter (JSON, CSV) so a
+/// value exported anywhere re-imports bit-identically.
+[[nodiscard]] std::string format_number(double n);
+
 /// Parse a complete JSON document.  Throws JsonError with 1-based
 /// line:column on malformed input or trailing garbage.
 [[nodiscard]] Json parse_json(std::string_view text, JsonParseOptions options = {});

@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "core/comparator.hpp"
+#include "report/result_frame.hpp"
 #include "units/format.hpp"
 #include "units/units.hpp"
 
@@ -96,37 +97,71 @@ std::string breakdown_table(
   return table.render();
 }
 
+ResultFrame breakdown_frame(
+    std::string name,
+    std::span<const std::pair<std::string, core::CfpBreakdown>> platforms) {
+  ResultFrame frame;
+  frame.name = std::move(name);
+  frame.columns.push_back(Column{.name = "platform", .unit = "", .precision = 5});
+  for (const char* component : {"design", "manufacturing", "packaging", "end-of-life",
+                                "operational", "app-dev", "embodied", "deployment",
+                                "total"}) {
+    frame.columns.push_back(Column{.name = component, .unit = "t CO2e", .precision = 5});
+  }
+  for (const auto& [label, breakdown] : platforms) {
+    frame.add_row({Cell(label), Cell(breakdown.design.in(t_co2e)),
+                   Cell(breakdown.manufacturing.in(t_co2e)),
+                   Cell(breakdown.packaging.in(t_co2e)), Cell(breakdown.eol.in(t_co2e)),
+                   Cell(breakdown.operational.in(t_co2e)),
+                   Cell(breakdown.app_dev.in(t_co2e)),
+                   Cell(breakdown.embodied().in(t_co2e)),
+                   Cell(breakdown.deployment().in(t_co2e)),
+                   Cell(breakdown.total().in(t_co2e))});
+  }
+  return frame;
+}
+
 io::CsvWriter sweep_csv(const scenario::SweepSeries& series) {
-  io::CsvWriter csv;
-  csv.add_row({series.parameter, "asic_design_kg", "asic_mfg_kg", "asic_pkg_kg",
-               "asic_eol_kg", "asic_op_kg", "asic_appdev_kg", "asic_total_kg",
-               "fpga_design_kg", "fpga_mfg_kg", "fpga_pkg_kg", "fpga_eol_kg", "fpga_op_kg",
-               "fpga_appdev_kg", "fpga_total_kg", "ratio"});
+  // Lowered to a frame so every CSV export in the project funnels through
+  // the one `frame_to_csv` writer (round-trip numbers, RFC 4180 quoting).
+  ResultFrame frame;
+  frame.name = "sweep";
+  for (const char* column :
+       {"asic_design_kg", "asic_mfg_kg", "asic_pkg_kg", "asic_eol_kg", "asic_op_kg",
+        "asic_appdev_kg", "asic_total_kg", "fpga_design_kg", "fpga_mfg_kg",
+        "fpga_pkg_kg", "fpga_eol_kg", "fpga_op_kg", "fpga_appdev_kg", "fpga_total_kg",
+        "ratio"}) {
+    frame.columns.push_back(Column{.name = column, .unit = ""});
+  }
+  frame.columns.insert(frame.columns.begin(),
+                       Column{.name = series.parameter, .unit = ""});
   const std::vector<double> ratios = series.ratios();
   for (std::size_t i = 0; i < series.x.size(); ++i) {
     const core::CfpBreakdown& a = series.asic[i];
     const core::CfpBreakdown& f = series.fpga[i];
-    const auto num = [](double v) { return units::format_significant(v, 10); };
-    csv.add_row({num(series.x[i]), num(a.design.canonical()), num(a.manufacturing.canonical()),
-                 num(a.packaging.canonical()), num(a.eol.canonical()),
-                 num(a.operational.canonical()), num(a.app_dev.canonical()),
-                 num(a.total().canonical()), num(f.design.canonical()),
-                 num(f.manufacturing.canonical()), num(f.packaging.canonical()),
-                 num(f.eol.canonical()), num(f.operational.canonical()),
-                 num(f.app_dev.canonical()), num(f.total().canonical()), num(ratios[i])});
+    frame.add_row({Cell(series.x[i]), Cell(a.design.canonical()),
+                   Cell(a.manufacturing.canonical()), Cell(a.packaging.canonical()),
+                   Cell(a.eol.canonical()), Cell(a.operational.canonical()),
+                   Cell(a.app_dev.canonical()), Cell(a.total().canonical()),
+                   Cell(f.design.canonical()), Cell(f.manufacturing.canonical()),
+                   Cell(f.packaging.canonical()), Cell(f.eol.canonical()),
+                   Cell(f.operational.canonical()), Cell(f.app_dev.canonical()),
+                   Cell(f.total().canonical()), Cell(ratios[i])});
   }
-  return csv;
+  return frame_to_csv(frame);
 }
 
 io::CsvWriter timeline_csv(const scenario::TimelineSeries& series) {
-  io::CsvWriter csv;
-  csv.add_row({"time_years", "asic_cumulative_kg", "fpga_cumulative_kg"});
+  ResultFrame frame;
+  frame.name = "timeline";
+  frame.columns = {Column{.name = "time_years", .unit = ""},
+                   Column{.name = "asic_cumulative_kg", .unit = ""},
+                   Column{.name = "fpga_cumulative_kg", .unit = ""}};
   for (std::size_t i = 0; i < series.time_years.size(); ++i) {
-    csv.add_row({units::format_significant(series.time_years[i], 6),
-                 units::format_significant(series.asic_cumulative_kg[i], 10),
-                 units::format_significant(series.fpga_cumulative_kg[i], 10)});
+    frame.add_row({Cell(series.time_years[i]), Cell(series.asic_cumulative_kg[i]),
+                   Cell(series.fpga_cumulative_kg[i])});
   }
-  return csv;
+  return frame_to_csv(frame);
 }
 
 std::string results_dir() {

@@ -11,6 +11,7 @@
 #include "core/lifecycle_model.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "report/result_frame.hpp"
 #include "scenario/sweep.hpp"
 #include "scenario/timeline.hpp"
 
@@ -25,6 +26,13 @@ namespace greenfpga::report {
 /// Component table of platform breakdowns (one column per platform), in
 /// tonnes CO2e: the paper's Figs. 7/10/11 stacks as numbers.
 [[nodiscard]] std::string breakdown_table(
+    std::span<const std::pair<std::string, core::CfpBreakdown>> platforms);
+
+/// Frame form of a platform-breakdown table (one row per platform, one
+/// component column each, tonnes CO2e): the structured counterpart of
+/// `breakdown_table` for format-dispatched commands (`industry`).
+[[nodiscard]] ResultFrame breakdown_frame(
+    std::string name,
     std::span<const std::pair<std::string, core::CfpBreakdown>> platforms);
 
 /// CSV of a sweep series (x, per-component columns for both platforms).

@@ -1,0 +1,93 @@
+#ifndef GREENFPGA_REPORT_RESULT_FRAME_HPP
+#define GREENFPGA_REPORT_RESULT_FRAME_HPP
+
+/// \file result_frame.hpp
+/// The report intermediate representation: a columnar result table.
+///
+/// Every scenario answer the engine produces lowers into one or more
+/// `ResultFrame`s (`scenario::to_frames`), and every output format the CLI
+/// speaks -- text tables, JSON, CSV, Markdown -- is a *renderer* over
+/// frames.  Computing a result and presenting it are thereby separated:
+/// new scenario kinds only write a lowering, new formats only write a
+/// renderer, and the two never multiply.
+///
+/// A frame is deliberately dumb: a name, typed columns (name + unit +
+/// text-rendering precision), rows of nullable double-or-string cells, and
+/// ordered key/value metadata for the scalar facts (crossovers, seeds,
+/// win fractions) that accompany a table.  Machine renderers
+/// (`frame_to_json`, `frame_to_csv`) emit numbers in shortest round-trip
+/// form via `io::format_number`, so exported values re-import
+/// bit-identically; human renderers (`frame_to_table`,
+/// `frame_to_markdown`) use the column's significant-digit precision.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+
+namespace greenfpga::report {
+
+/// One table cell: null (not applicable), a number, or text.
+using Cell = std::variant<std::nullptr_t, double, std::string>;
+
+/// One typed column of a frame.
+struct Column {
+  std::string name;
+  /// Unit suffix shown as "name [unit]" in headers; empty for text or
+  /// dimensionless columns.
+  std::string unit;
+  /// Significant digits used by the human renderers (table/markdown);
+  /// machine renderers always emit full round-trip precision.
+  int precision = 5;
+};
+
+/// A named columnar result table with metadata.
+struct ResultFrame {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<std::vector<Cell>> rows;
+  /// Scalar facts attached to the table, in insertion order (JSON sorts
+  /// keys; the text renderers preserve this order).
+  std::vector<std::pair<std::string, std::string>> metadata;
+
+  /// Append a row; throws std::invalid_argument when the cell count does
+  /// not match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Append or overwrite a metadata entry.
+  void set_meta(std::string key, std::string value);
+
+  /// "name [unit]" (or just "name" for unit-less columns).
+  [[nodiscard]] std::string column_header(std::size_t index) const;
+};
+
+/// Canonical JSON form: {"name", "columns": [{"name","unit"}...],
+/// "rows": [[cell...]...], "metadata": [["key","value"]...]}.  Numeric
+/// cells stay JSON numbers and metadata keeps its insertion order (an
+/// array, since JSON objects here sort keys), so the frame round-trips
+/// exactly through `frame_from_json`.
+[[nodiscard]] io::Json frame_to_json(const ResultFrame& frame);
+
+/// Inverse of `frame_to_json` (column precisions reset to the default;
+/// they are presentation hints, not data).  Throws io::JsonError /
+/// std::invalid_argument on malformed input.
+[[nodiscard]] ResultFrame frame_from_json(const io::Json& json);
+
+/// RFC 4180 CSV: one header row of column headers, then data rows.
+/// Numbers are emitted in shortest round-trip form; null cells are empty.
+[[nodiscard]] io::CsvWriter frame_to_csv(const ResultFrame& frame);
+
+/// Fixed-width text table (io::TextTable) preceded by the metadata lines.
+[[nodiscard]] std::string frame_to_table(const ResultFrame& frame);
+
+/// GitHub-flavoured Markdown table under a "### name" heading, metadata as
+/// a trailing bullet list.
+[[nodiscard]] std::string frame_to_markdown(const ResultFrame& frame);
+
+}  // namespace greenfpga::report
+
+#endif  // GREENFPGA_REPORT_RESULT_FRAME_HPP

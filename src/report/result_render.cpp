@@ -1,0 +1,166 @@
+/// \file result_render.cpp
+/// The four renderers over scenario frames, including the per-kind text
+/// report formerly hand-rolled in the CLI layer.
+
+#include "report/result_render.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "report/ascii_chart.hpp"
+#include "scenario/result_io.hpp"
+#include "units/format.hpp"
+
+namespace greenfpga::report {
+
+namespace {
+
+/// CSV block list: a single frame renders bare; several get `# <name>`
+/// separators so the blocks can be split back apart.
+void frames_to_csv(std::span<const ResultFrame> frames, std::ostream& out) {
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (frames.size() > 1) {
+      out << (i > 0 ? "\n" : "") << "# " << frames[i].name << "\n";
+    }
+    out << frame_to_csv(frames[i]).render();
+  }
+}
+
+void frames_to_text(std::span<const ResultFrame> frames, std::ostream& out) {
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << frame_to_table(frames[i]);
+  }
+}
+
+void frames_to_markdown(std::span<const ResultFrame> frames, std::ostream& out) {
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << frame_to_markdown(frames[i]);
+  }
+}
+
+/// The human text report: header, kind-specific summary/chart content,
+/// frame tables.
+void render_text(const scenario::ScenarioResult& result,
+                 std::span<const ResultFrame> frames, std::ostream& out) {
+  out << "== " << result.spec.name << " (" << to_string(result.spec.kind) << ", "
+      << to_string(result.spec.domain) << ") ==\n";
+  switch (result.spec.kind) {
+    case scenario::ScenarioKind::grid: {
+      // The classic ASIC/FPGA pair reads better as the shaded ratio grid
+      // than as a point-per-row table; other platform sets have no 2-D
+      // ratio rendering, so they print the frame.
+      const bool classic_pair = result.platform_names.size() == 2 &&
+                                result.platform_index(device::ChipKind::asic) &&
+                                result.platform_index(device::ChipKind::fpga);
+      if (classic_pair) {
+        out << render_heatmap(result.heatmap());
+        for (const auto& [key, value] : frames.front().metadata) {
+          out << key << ": " << value << "\n";
+        }
+      } else {
+        frames_to_text(frames, out);
+      }
+      return;
+    }
+    case scenario::ScenarioKind::timeline:
+      // The cumulative series runs to hundreds of samples; the human
+      // report is its summary lines (CSV/JSON carry the full series).
+      for (const auto& [key, value] : frames.front().metadata) {
+        out << key << ": " << value << "\n";
+      }
+      return;
+    case scenario::ScenarioKind::montecarlo: {
+      frames_to_text(frames, out);
+      const scenario::MonteCarloUq& uq = *result.uncertainty;
+      if (!uq.ratio.empty()) {
+        std::vector<double> ratios = uq.ratio_samples(1);
+        std::sort(ratios.begin(), ratios.end());
+        out << render_cdf(ratios, result.platform_names[1] + ":" +
+                                      result.platform_names[0] + " ratio");
+      }
+      return;
+    }
+    default:
+      frames_to_text(frames, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string to_string(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::text:
+      return "text";
+    case OutputFormat::json:
+      return "json";
+    case OutputFormat::csv:
+      return "csv";
+    case OutputFormat::markdown:
+      return "md";
+  }
+  return "unknown";
+}
+
+std::optional<OutputFormat> parse_output_format(std::string_view text) {
+  if (text == "text") return OutputFormat::text;
+  if (text == "json") return OutputFormat::json;
+  if (text == "csv") return OutputFormat::csv;
+  if (text == "md" || text == "markdown") return OutputFormat::markdown;
+  return std::nullopt;
+}
+
+void render_result(const scenario::ScenarioResult& result, OutputFormat format,
+                   std::ostream& out) {
+  std::vector<ResultFrame> frames = scenario::to_frames(result);
+  switch (format) {
+    case OutputFormat::text:
+      render_text(result, frames, out);
+      return;
+    case OutputFormat::json:
+      out << scenario::result_to_json(result).dump() << "\n";
+      return;
+    case OutputFormat::csv:
+      if (result.spec.kind == scenario::ScenarioKind::montecarlo) {
+        frames.push_back(scenario::mc_samples_frame(result));
+      }
+      frames_to_csv(frames, out);
+      return;
+    case OutputFormat::markdown:
+      out << "## " << result.spec.name << " (" << to_string(result.spec.kind) << ", "
+          << to_string(result.spec.domain) << ")\n\n";
+      frames_to_markdown(frames, out);
+      return;
+  }
+}
+
+void render_frames(std::span<const ResultFrame> frames, OutputFormat format,
+                   std::ostream& out) {
+  switch (format) {
+    case OutputFormat::text:
+      frames_to_text(frames, out);
+      return;
+    case OutputFormat::json: {
+      io::Json array = io::Json::array();
+      for (const ResultFrame& frame : frames) {
+        array.push_back(frame_to_json(frame));
+      }
+      out << array.dump() << "\n";
+      return;
+    }
+    case OutputFormat::csv:
+      frames_to_csv(frames, out);
+      return;
+    case OutputFormat::markdown:
+      frames_to_markdown(frames, out);
+      return;
+  }
+}
+
+}  // namespace greenfpga::report

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "act/grid_profile.hpp"
+#include "core/config_io.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::scenario {
@@ -125,6 +126,161 @@ void apply_axis(ScheduleSpec& schedule, SweepVariable variable, double value) {
       return;
   }
   throw std::logic_error("Engine: unknown sweep variable");
+}
+
+/// Spec validation + platform resolution + grid-profile application: the
+/// shared front half of `run` and `run_batch`.
+struct PreparedSpec {
+  ScenarioResult result;   ///< spec as run, platform names, resolved chips
+  core::ModelSuite suite;  ///< effective suite (grid profile applied)
+};
+
+PreparedSpec prepare_spec(const ScenarioSpec& spec,
+                          const device::PlatformRegistry& registry) {
+  spec.validate();
+  PreparedSpec prepared;
+  prepared.result.spec = spec;
+  if (prepared.result.spec.platforms.empty()) {
+    prepared.result.spec.platforms = {PlatformRef{.name = "asic", .chip = std::nullopt},
+                                      PlatformRef{.name = "fpga", .chip = std::nullopt}};
+  }
+  for (const PlatformRef& platform : prepared.result.spec.platforms) {
+    prepared.result.platform_names.push_back(platform.name);
+    prepared.result.resolved_chips.push_back(
+        platform.chip ? *platform.chip
+                      : registry.resolve(platform.name, prepared.result.spec.domain));
+  }
+  prepared.suite = prepared.result.spec.grid_profile
+                       ? apply_grid_profile(prepared.result.spec.suite,
+                                            *prepared.result.spec.grid_profile)
+                       : prepared.result.spec.suite;
+  return prepared;
+}
+
+/// Materialised point grid of a compare/sweep/grid spec.
+struct PointPlan {
+  std::vector<std::vector<double>> axis_values;
+  std::size_t total = 1;
+  bool keep_per_application = false;
+};
+
+PointPlan plan_points(const ScenarioSpec& spec) {
+  PointPlan plan;
+  plan.axis_values.reserve(spec.axes.size());
+  for (const AxisSpec& axis : spec.axes) {
+    plan.axis_values.push_back(axis.values());
+    plan.total *= plan.axis_values.back().size();
+  }
+  plan.keep_per_application =
+      spec.kind == ScenarioKind::compare || spec.outputs.per_application;
+  return plan;
+}
+
+/// Evaluate scenario point `i` into `point` (pre-sized slot).  Pure in
+/// (spec, plan, chips, i): results never depend on which worker runs it.
+void evaluate_point(const ScenarioSpec& spec, const PointPlan& plan,
+                    const std::vector<device::ChipSpec>& chips,
+                    core::LifecycleModel& model, std::size_t i, EvalPoint& point) {
+  ScheduleSpec schedule_spec = spec.schedule;
+  std::size_t remainder = i;
+  point.coords.reserve(plan.axis_values.size());
+  for (const std::vector<double>& values : plan.axis_values) {
+    const double value = values[remainder % values.size()];
+    remainder /= values.size();
+    point.coords.push_back(value);
+  }
+  for (std::size_t a = 0; a < plan.axis_values.size(); ++a) {
+    apply_axis(schedule_spec, spec.axes[a].variable, point.coords[a]);
+  }
+  const workload::Schedule schedule = schedule_spec.materialise(spec.domain);
+  point.platforms.reserve(chips.size());
+  for (const device::ChipSpec& chip : chips) {
+    point.platforms.push_back(model.evaluate(chip, schedule));
+    if (!plan.keep_per_application) {
+      point.platforms.back().per_application.clear();
+      point.platforms.back().per_application.shrink_to_fit();
+    }
+  }
+}
+
+/// Per-spec montecarlo context: the schedule plus each distribution's
+/// Table 1 applier, bound by index so the plan stays movable.
+struct McPlan {
+  std::vector<ParameterRange> known;
+  std::vector<std::size_t> applier_index;  ///< into `known`, one per distribution
+  workload::Schedule schedule;
+};
+
+McPlan plan_montecarlo(const ScenarioSpec& spec) {
+  McPlan plan;
+  plan.schedule = spec.schedule.materialise(spec.domain);
+  // Bind each distribution to its Table 1 applier by name (spec.validate()
+  // has already rejected unknown names).
+  plan.known = table1_ranges();
+  plan.applier_index.reserve(spec.montecarlo.distributions.size());
+  for (const core::ParamDistribution& distribution : spec.montecarlo.distributions) {
+    for (std::size_t r = 0; r < plan.known.size(); ++r) {
+      if (plan.known[r].name == distribution.parameter) {
+        plan.applier_index.push_back(r);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+MonteCarloUq make_mc_skeleton(const ScenarioSpec& spec, std::size_t platforms) {
+  MonteCarloUq uq;
+  uq.samples = spec.montecarlo.samples;
+  uq.percentiles = spec.montecarlo.percentiles;
+  uq.sample_totals_kg.assign(
+      platforms,
+      std::vector<double>(static_cast<std::size_t>(spec.montecarlo.samples), 0.0));
+  return uq;
+}
+
+/// Evaluate Monte-Carlo sample `i` into column i of `uq.sample_totals_kg`.
+/// Sample i draws its parameter values from the counter stream
+/// (seed, i, dimension) -- fully determined by the sample index, never by
+/// which worker ran it or in what order.  Every sample re-parameterises
+/// the suite, so the memoised per-worker model is useless here: each
+/// sample builds its own LifecycleModel from the sampled suite.
+void evaluate_mc_sample(const ScenarioSpec& spec, const McPlan& plan,
+                        const core::ModelSuite& suite,
+                        const std::vector<device::ChipSpec>& chips, std::size_t i,
+                        MonteCarloUq& uq) {
+  const MonteCarloUqSpec& mc = spec.montecarlo;
+  core::ModelSuite sampled = suite;
+  for (std::size_t j = 0; j < mc.distributions.size(); ++j) {
+    const double u = core::counter_uniform01(mc.seed, i, j);
+    plan.known[plan.applier_index[j]].apply(sampled, mc.distributions[j].sample(u));
+  }
+  const core::LifecycleModel model(sampled);
+  for (std::size_t p = 0; p < chips.size(); ++p) {
+    uq.sample_totals_kg[p][i] =
+        model.evaluate(chips[p], plan.schedule).total.total().canonical();
+  }
+}
+
+/// Serial reduction over the filled sample matrix (deterministic order).
+void reduce_montecarlo(MonteCarloUq& uq) {
+  const std::size_t platforms = uq.sample_totals_kg.size();
+  const std::size_t samples = uq.sample_totals_kg.front().size();
+  uq.platform_total.reserve(platforms);
+  for (std::size_t p = 0; p < platforms; ++p) {
+    uq.platform_total.push_back(summarise_samples(uq.sample_totals_kg[p], uq.percentiles));
+  }
+  for (std::size_t p = 1; p < platforms; ++p) {
+    const std::vector<double> ratios = uq.ratio_samples(p);
+    std::size_t wins = 0;
+    for (const double r : ratios) {
+      if (r < 1.0) {
+        ++wins;
+      }
+    }
+    uq.win_fraction.push_back(static_cast<double>(wins) / static_cast<double>(samples));
+    uq.ratio.push_back(summarise_samples(ratios, uq.percentiles));
+  }
 }
 
 /// The ASIC/FPGA testcase required by the testcase-shaped kinds.  Exactly
@@ -260,25 +416,9 @@ const device::PlatformRegistry& Engine::registry() const {
 }
 
 ScenarioResult Engine::run(const ScenarioSpec& spec) const {
-  spec.validate();
-
-  ScenarioResult result;
-  result.spec = spec;
-  if (result.spec.platforms.empty()) {
-    result.spec.platforms = {PlatformRef{.name = "asic", .chip = std::nullopt},
-                             PlatformRef{.name = "fpga", .chip = std::nullopt}};
-  }
-  for (const PlatformRef& platform : result.spec.platforms) {
-    result.platform_names.push_back(platform.name);
-    result.resolved_chips.push_back(
-        platform.chip ? *platform.chip
-                      : registry().resolve(platform.name, result.spec.domain));
-  }
-
-  const core::ModelSuite suite =
-      result.spec.grid_profile
-          ? apply_grid_profile(result.spec.suite, *result.spec.grid_profile)
-          : result.spec.suite;
+  PreparedSpec prepared = prepare_spec(spec, registry());
+  ScenarioResult result = std::move(prepared.result);
+  const core::ModelSuite suite = std::move(prepared.suite);
 
   switch (result.spec.kind) {
     case ScenarioKind::compare:
@@ -308,41 +448,13 @@ ScenarioResult Engine::run(const ScenarioSpec& spec) const {
 void Engine::run_points(const ScenarioSpec& spec, const core::ModelSuite& suite,
                         ScenarioResult& result) const {
   // Coordinate grid: axis 0 is the inner (fastest) dimension.
-  std::vector<std::vector<double>> axis_values;
-  axis_values.reserve(spec.axes.size());
-  std::size_t total = 1;
-  for (const AxisSpec& axis : spec.axes) {
-    axis_values.push_back(axis.values());
-    total *= axis_values.back().size();
-  }
-
-  const bool keep_per_application =
-      spec.kind == ScenarioKind::compare || spec.outputs.per_application;
-
-  result.points.resize(total);
-  parallel_for(total, threads_, suite, [&](core::LifecycleModel& model, std::size_t i) {
-    EvalPoint& point = result.points[i];
-    ScheduleSpec schedule_spec = spec.schedule;
-    std::size_t remainder = i;
-    point.coords.reserve(axis_values.size());
-    for (const std::vector<double>& values : axis_values) {
-      const double value = values[remainder % values.size()];
-      remainder /= values.size();
-      point.coords.push_back(value);
-    }
-    for (std::size_t a = 0; a < axis_values.size(); ++a) {
-      apply_axis(schedule_spec, spec.axes[a].variable, point.coords[a]);
-    }
-    const workload::Schedule schedule = schedule_spec.materialise(spec.domain);
-    point.platforms.reserve(result.resolved_chips.size());
-    for (const device::ChipSpec& chip : result.resolved_chips) {
-      point.platforms.push_back(model.evaluate(chip, schedule));
-      if (!keep_per_application) {
-        point.platforms.back().per_application.clear();
-        point.platforms.back().per_application.shrink_to_fit();
-      }
-    }
-  });
+  const PointPlan plan = plan_points(spec);
+  result.points.resize(plan.total);
+  parallel_for(plan.total, threads_, suite,
+               [&](core::LifecycleModel& model, std::size_t i) {
+                 evaluate_point(spec, plan, result.resolved_chips, model, i,
+                                result.points[i]);
+               });
 }
 
 void Engine::run_timeline(const ScenarioSpec& spec, const core::ModelSuite& suite,
@@ -469,69 +581,134 @@ UqStat summarise_samples(std::vector<double> values,
 
 void Engine::run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& suite,
                             ScenarioResult& result) const {
-  const MonteCarloUqSpec& mc = spec.montecarlo;
-  const workload::Schedule schedule = spec.schedule.materialise(spec.domain);
+  const McPlan plan = plan_montecarlo(spec);
+  MonteCarloUq uq = make_mc_skeleton(spec, result.resolved_chips.size());
 
-  // Bind each distribution to its Table 1 applier by name (spec.validate()
-  // has already rejected unknown names).
-  const std::vector<ParameterRange> known = table1_ranges();
-  std::vector<const ParameterRange*> appliers;
-  appliers.reserve(mc.distributions.size());
-  for (const core::ParamDistribution& distribution : mc.distributions) {
-    for (const ParameterRange& range : known) {
-      if (range.name == distribution.parameter) {
-        appliers.push_back(&range);
-        break;
-      }
-    }
-  }
-
-  const std::size_t samples = static_cast<std::size_t>(mc.samples);
-  const std::size_t platforms = result.resolved_chips.size();
-  MonteCarloUq uq;
-  uq.samples = mc.samples;
-  uq.percentiles = mc.percentiles;
-  uq.sample_totals_kg.assign(platforms, std::vector<double>(samples, 0.0));
-
-  // Shard samples across the pool.  Sample i draws its parameter values
-  // from the counter stream (seed, i, dimension) -- fully determined by
-  // the sample index, never by which worker ran it or in what order -- and
-  // writes to pre-sized slot i, so results are bit-identical for any
-  // thread count.  Every sample re-parameterises the suite, so the
-  // memoised per-worker model is useless here: each sample builds its own
-  // LifecycleModel from the sampled suite.
+  // Shard samples across the pool: every sample writes to pre-sized slot
+  // i, so results are bit-identical for any thread count.
   parallel_for_state(
-      samples, threads_, [] { return 0; },
+      static_cast<std::size_t>(spec.montecarlo.samples), threads_, [] { return 0; },
       [&](int& /*state*/, std::size_t i) {
-        core::ModelSuite sampled = suite;
-        for (std::size_t j = 0; j < mc.distributions.size(); ++j) {
-          const double u = core::counter_uniform01(mc.seed, i, j);
-          appliers[j]->apply(sampled, mc.distributions[j].sample(u));
-        }
-        const core::LifecycleModel model(sampled);
-        for (std::size_t p = 0; p < platforms; ++p) {
-          uq.sample_totals_kg[p][i] =
-              model.evaluate(result.resolved_chips[p], schedule).total.total().canonical();
-        }
+        evaluate_mc_sample(spec, plan, suite, result.resolved_chips, i, uq);
       });
 
   // Serial reduction on the caller's thread (deterministic order).
-  uq.platform_total.reserve(platforms);
-  for (std::size_t p = 0; p < platforms; ++p) {
-    uq.platform_total.push_back(summarise_samples(uq.sample_totals_kg[p], mc.percentiles));
-  }
-  for (std::size_t p = 1; p < platforms; ++p) {
-    const std::vector<double> ratios = uq.ratio_samples(p);
-    std::size_t wins = 0;
-    for (const double r : ratios) {
-      if (r < 1.0) {
-        ++wins;
-      }
-    }
-    uq.win_fraction.push_back(static_cast<double>(wins) / static_cast<double>(samples));
-    uq.ratio.push_back(summarise_samples(ratios, mc.percentiles));
-  }
+  reduce_montecarlo(uq);
   result.uncertainty = std::move(uq);
+}
+
+std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& specs) const {
+  enum class TaskKind { point, sample, whole };
+  struct SpecJob {
+    PreparedSpec prepared;
+    std::size_t suite_id = 0;  ///< into `suites` (point tasks only)
+    PointPlan points;          ///< compare / sweep / grid
+    McPlan mc;                 ///< montecarlo
+    TaskKind kind = TaskKind::whole;
+  };
+  struct Task {
+    std::size_t spec = 0;
+    std::size_t index = 0;  ///< point / sample index; unused for whole
+  };
+
+  // Serial prepare phase: validate + resolve every spec, plan its work
+  // items, and deduplicate effective suites so workers can share one
+  // memoised LifecycleModel across every spec using the same suite.
+  std::vector<SpecJob> jobs;
+  jobs.reserve(specs.size());
+  std::vector<core::ModelSuite> suites;
+  std::vector<std::string> suite_keys;  // canonical JSON, parallel to `suites`
+  std::vector<Task> tasks;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    SpecJob job;
+    job.prepared = prepare_spec(specs[s], registry());
+    const ScenarioSpec& spec = job.prepared.result.spec;
+    switch (spec.kind) {
+      case ScenarioKind::compare:
+      case ScenarioKind::sweep:
+      case ScenarioKind::grid: {
+        job.kind = TaskKind::point;
+        job.points = plan_points(spec);
+        job.prepared.result.points.resize(job.points.total);
+        const std::string key = core::to_json(job.prepared.suite).dump(0);
+        std::size_t id = 0;
+        while (id < suite_keys.size() && suite_keys[id] != key) {
+          ++id;
+        }
+        if (id == suite_keys.size()) {
+          suites.push_back(job.prepared.suite);
+          suite_keys.push_back(key);
+        }
+        job.suite_id = id;
+        for (std::size_t i = 0; i < job.points.total; ++i) {
+          tasks.push_back(Task{.spec = s, .index = i});
+        }
+        break;
+      }
+      case ScenarioKind::montecarlo: {
+        job.kind = TaskKind::sample;
+        job.mc = plan_montecarlo(spec);
+        job.prepared.result.uncertainty =
+            make_mc_skeleton(spec, job.prepared.result.resolved_chips.size());
+        for (std::size_t i = 0; i < static_cast<std::size_t>(spec.montecarlo.samples);
+             ++i) {
+          tasks.push_back(Task{.spec = s, .index = i});
+        }
+        break;
+      }
+      default:
+        // Timeline / breakeven / node_dse / sensitivity run whole-spec on
+        // one worker (they are single evaluations or internally small);
+        // a serial engine keeps the pool flat.
+        job.kind = TaskKind::whole;
+        tasks.push_back(Task{.spec = s, .index = 0});
+        break;
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  // One pool over the flattened task list.  Worker state: one lazily
+  // built LifecycleModel per distinct suite (the embodied-carbon memo is
+  // per model, so specs sharing a suite share fab/package/EOL results).
+  using WorkerModels = std::vector<std::optional<core::LifecycleModel>>;
+  parallel_for_state(
+      tasks.size(), threads_, [&suites] { return WorkerModels(suites.size()); },
+      [&](WorkerModels& models, std::size_t t) {
+        const Task& task = tasks[t];
+        SpecJob& job = jobs[task.spec];
+        ScenarioResult& result = job.prepared.result;
+        switch (job.kind) {
+          case TaskKind::point: {
+            std::optional<core::LifecycleModel>& model = models[job.suite_id];
+            if (!model) {
+              model.emplace(suites[job.suite_id]);
+            }
+            evaluate_point(result.spec, job.points, result.resolved_chips, *model,
+                           task.index, result.points[task.index]);
+            return;
+          }
+          case TaskKind::sample:
+            evaluate_mc_sample(result.spec, job.mc, job.prepared.suite,
+                               result.resolved_chips, task.index, *result.uncertainty);
+            return;
+          case TaskKind::whole: {
+            const Engine serial(EngineOptions{.threads = 1, .registry = registry_});
+            result = serial.run(result.spec);
+            return;
+          }
+        }
+      });
+
+  // Serial post phase: deterministic Monte-Carlo reductions.
+  std::vector<ScenarioResult> results;
+  results.reserve(jobs.size());
+  for (SpecJob& job : jobs) {
+    if (job.kind == TaskKind::sample) {
+      reduce_montecarlo(*job.prepared.result.uncertainty);
+    }
+    results.push_back(std::move(job.prepared.result));
+  }
+  return results;
 }
 
 }  // namespace greenfpga::scenario

@@ -152,6 +152,25 @@ class Engine {
   /// applies the grid profile, dispatches on kind.
   [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) const;
 
+  /// Evaluate many specs as one batch, returning results in spec order.
+  ///
+  /// The batch flattens every spec's independent work items -- one task
+  /// per scenario point (compare/sweep/grid), one per Monte-Carlo sample
+  /// (montecarlo), one per remaining spec (timeline, breakeven, node_dse,
+  /// sensitivity) -- onto a single worker pool, so spec-level and
+  /// point-level work share the same `threads()` workers instead of
+  /// serialising spec-by-spec.  Each worker keeps one `LifecycleModel`
+  /// per distinct effective model suite, so the embodied-carbon
+  /// memoisation is shared across every spec evaluating the same
+  /// platform set under the same suite.
+  ///
+  /// Results are bit-identical to running each spec individually at any
+  /// thread count: every task computes from its spec's inputs alone and
+  /// writes a pre-sized slot (pinned by tests/golden_results_test.cpp).
+  /// A failing spec fails the whole batch with that spec's error.
+  [[nodiscard]] std::vector<ScenarioResult> run_batch(
+      const std::vector<ScenarioSpec>& specs) const;
+
   [[nodiscard]] int threads() const { return threads_; }
 
   /// GREENFPGA_THREADS (>= 1) when set and parseable, else hardware

@@ -756,13 +756,21 @@ ScenarioSpec load_spec(const std::string& path) {
   // Every parse/validation failure names the offending file: a CLI user
   // piping several specs must be able to tell which one was bad.
   try {
-    return spec_from_json(io::parse_json_file(path));
-  } catch (const core::ConfigError& error) {
-    throw core::ConfigError("spec file '" + path + "': " + error.what());
+    return load_spec_json(io::parse_json_file(path), path);
   } catch (const io::JsonError& error) {
     throw core::ConfigError("spec file '" + path + "': " + error.what());
+  }
+}
+
+ScenarioSpec load_spec_json(const Json& json, const std::string& source) {
+  try {
+    return spec_from_json(json);
+  } catch (const core::ConfigError& error) {
+    throw core::ConfigError("spec file '" + source + "': " + error.what());
+  } catch (const io::JsonError& error) {
+    throw core::ConfigError("spec file '" + source + "': " + error.what());
   } catch (const std::invalid_argument& error) {
-    throw core::ConfigError("spec file '" + path + "': " + error.what());
+    throw core::ConfigError("spec file '" + source + "': " + error.what());
   }
 }
 

@@ -233,6 +233,11 @@ struct ScenarioSpec {
 /// Load a spec file (JSON with // comments allowed).
 [[nodiscard]] ScenarioSpec load_spec(const std::string& path);
 
+/// Parse an already-loaded spec document, wrapping every parse/validation
+/// error with `source` exactly like `load_spec` (for callers that have
+/// read the file for other reasons, e.g. the batch manifest scan).
+[[nodiscard]] ScenarioSpec load_spec_json(const io::Json& json, const std::string& source);
+
 }  // namespace greenfpga::scenario
 
 #endif  // GREENFPGA_SCENARIO_SPEC_HPP

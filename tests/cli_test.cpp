@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "cli/commands.hpp"
@@ -288,6 +290,173 @@ TEST(Cli, RunParseErrorsNameThePathAndKey) {
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.err.find(path), std::string::npos) << result.err;
   EXPECT_NE(result.err.find("schedule.volume"), std::string::npos) << result.err;
+}
+
+TEST(Cli, FormatFlagIsValidatedNamingTheValue) {
+  const CliRun result = run_cli({"--format", "xml", "sweep", "dnn", "apps"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--format: unknown format 'xml'"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("text, json, csv, md"), std::string::npos);
+  EXPECT_EQ(run_cli({"sweep", "dnn", "apps", "--format"}).exit_code, 2);
+}
+
+TEST(Cli, OutputFlagFailuresNameThePath) {
+  // A parent that is a regular file is unwritable for any user (tests may
+  // run as root, where permission-based probes pass).
+  const std::string blocker = ::testing::TempDir() + "/greenfpga_cli_blocker";
+  std::ofstream(blocker) << "not a directory";
+  const std::string path = blocker + "/out.json";
+  const CliRun result = run_cli({"--output", path, "sweep", "dnn", "apps"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--output: cannot write '" + path + "'"),
+            std::string::npos)
+      << result.err;
+  EXPECT_EQ(run_cli({"sweep", "dnn", "apps", "--output"}).exit_code, 2);
+}
+
+TEST(Cli, OutputFlagWritesRenderedFile) {
+  const std::string path = ::testing::TempDir() + "/greenfpga_cli_fmt/out.json";
+  const CliRun result =
+      run_cli({"--format", "json", "--output", path, "sweep", "dnn", "apps"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("wrote " + path), std::string::npos);
+  const io::Json report = io::parse_json_file(path);
+  EXPECT_EQ(report.at("points").size(), 12u);
+}
+
+TEST(Cli, FormatJsonIsCanonicalAndThreadInvariant) {
+  const std::vector<std::string> args{"--format", "json", "run",
+                                      write_spec_file("greenfpga_cli_fmt_mc.json",
+                                                      small_mc_spec())};
+  const CliRun one = run_cli([&] {
+    std::vector<std::string> a{"--threads", "1"};
+    a.insert(a.end(), args.begin(), args.end());
+    return a;
+  }());
+  const CliRun eight = run_cli([&] {
+    std::vector<std::string> a{"--threads", "8"};
+    a.insert(a.end(), args.begin(), args.end());
+    return a;
+  }());
+  EXPECT_EQ(one.exit_code, 0) << one.err;
+  EXPECT_EQ(one.out, eight.out);
+  // The bytes round-trip through the canonical reader.
+  const io::Json parsed = io::parse_json(one.out);
+  EXPECT_EQ(parsed.at("spec").at("name").as_string(), "cli run montecarlo");
+}
+
+TEST(Cli, FormatCsvAndMarkdownRenderFrames) {
+  auto spec = scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep,
+                                           device::Domain::dnn);
+  spec.name = "cli format sweep";
+  spec.axes = {scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 3, 3)};
+  const std::string path = write_spec_file("greenfpga_cli_fmt_sweep.json", spec);
+  const CliRun csv = run_cli({"--format", "csv", "run", path});
+  EXPECT_EQ(csv.exit_code, 0) << csv.err;
+  EXPECT_NE(csv.out.find("N_app,asic [t CO2e],fpga [t CO2e],fpga:asic"),
+            std::string::npos)
+      << csv.out;
+  const CliRun md = run_cli({"--format", "md", "run", path});
+  EXPECT_EQ(md.exit_code, 0) << md.err;
+  EXPECT_NE(md.out.find("## cli format sweep (sweep, DNN)"), std::string::npos);
+  EXPECT_NE(md.out.find("| N_app |"), std::string::npos);
+}
+
+TEST(Cli, FormatWorksOnEverySubcommand) {
+  for (const char* format : {"text", "json", "csv", "md"}) {
+    EXPECT_EQ(run_cli({"--format", format, "sweep", "dnn", "apps"}).exit_code, 0)
+        << format;
+    EXPECT_EQ(run_cli({"--format", format, "nodes", "crypto"}).exit_code, 0) << format;
+    EXPECT_EQ(run_cli({"--format", format, "industry"}).exit_code, 0) << format;
+  }
+  // dump-config is already JSON; the frame formats are a usage error.
+  EXPECT_EQ(run_cli({"--format", "json", "dump-config"}).exit_code, 0);
+  EXPECT_EQ(run_cli({"--format", "csv", "dump-config"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"--format", "md", "dump-config"}).exit_code, 2);
+}
+
+std::string write_batch_inputs() {
+  const std::string dir = ::testing::TempDir() + "/greenfpga_cli_batch_specs";
+  std::filesystem::create_directories(dir);
+  auto compare = scenario::ScenarioSpec::make(scenario::ScenarioKind::compare,
+                                              device::Domain::crypto);
+  compare.name = "batch compare";
+  io::write_json_file(dir + "/a_compare.json", scenario::spec_to_json(compare));
+  auto sweep =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, device::Domain::dnn);
+  sweep.name = "batch sweep";
+  sweep.axes = {scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 3, 3)};
+  io::write_json_file(dir + "/b_sweep.json", scenario::spec_to_json(sweep));
+  io::write_json_file(dir + "/c_mc.json", scenario::spec_to_json(small_mc_spec()));
+  // A manifest sitting next to its specs must be skipped by the directory
+  // scan (and usable directly as the batch argument).
+  io::Json manifest = io::Json::object();
+  manifest["name"] = "cli batch";
+  io::Json list = io::Json::array();
+  list.push_back("a_compare.json");
+  list.push_back("b_sweep.json");
+  list.push_back("c_mc.json");
+  manifest["specs"] = std::move(list);
+  io::write_json_file(dir + "/manifest.json", manifest);
+  return dir;
+}
+
+TEST(Cli, BatchOverDirectoryWritesResultsAndIndex) {
+  const std::string dir = write_batch_inputs();
+  const std::string out_dir = ::testing::TempDir() + "/greenfpga_cli_batch_out";
+  std::filesystem::remove_all(out_dir);
+  const CliRun result = run_cli({"--output", out_dir, "batch", dir, "--validate"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("wrote 3 result(s) + index.json to " + out_dir),
+            std::string::npos)
+      << result.out;
+  for (const char* name : {"a_compare.json", "b_sweep.json", "c_mc.json"}) {
+    const io::Json written = io::parse_json_file(out_dir + "/" + name);
+    EXPECT_TRUE(written.contains("spec")) << name;
+  }
+  const io::Json index = io::parse_json_file(out_dir + "/index.json");
+  EXPECT_EQ(index.at("name").as_string(), "batch");
+  EXPECT_EQ(index.at("rows").size(), 3u);
+}
+
+TEST(Cli, BatchResultsMatchIndividualRunsAtAnyThreads) {
+  const std::string dir = write_batch_inputs();
+  const std::string out_dir = ::testing::TempDir() + "/greenfpga_cli_batch_threads";
+  std::filesystem::remove_all(out_dir);
+  const CliRun batch =
+      run_cli({"--threads", "4", "--output", out_dir, "batch", dir + "/manifest.json"});
+  EXPECT_EQ(batch.exit_code, 0) << batch.err;
+  for (const char* name : {"a_compare", "b_sweep", "c_mc"}) {
+    const std::string individual_path =
+        ::testing::TempDir() + "/greenfpga_cli_batch_ind_" + name + ".json";
+    const CliRun individual = run_cli({"--threads", "1", "run",
+                                       dir + "/" + name + ".json", "--json",
+                                       individual_path});
+    ASSERT_EQ(individual.exit_code, 0) << individual.err;
+    std::ifstream a(out_dir + "/" + std::string(name) + ".json");
+    std::ifstream b(individual_path);
+    const std::string batch_bytes((std::istreambuf_iterator<char>(a)),
+                                  std::istreambuf_iterator<char>());
+    const std::string individual_bytes((std::istreambuf_iterator<char>(b)),
+                                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(batch_bytes, individual_bytes) << name;
+  }
+}
+
+TEST(Cli, BatchValidatesArguments) {
+  EXPECT_EQ(run_cli({"batch"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"batch", "dir", "--bogus"}).exit_code, 2);
+  const CliRun missing = run_cli({"batch", "/nonexistent/manifest.json"});
+  EXPECT_EQ(missing.exit_code, 1);
+  // An empty directory is a usage error naming the argument.
+  const std::string empty_dir = ::testing::TempDir() + "/greenfpga_cli_batch_empty";
+  std::filesystem::create_directories(empty_dir);
+  const CliRun empty = run_cli({"batch", empty_dir});
+  EXPECT_EQ(empty.exit_code, 2);
+  EXPECT_NE(empty.err.find("no scenario specs found in '" + empty_dir + "'"),
+            std::string::npos)
+      << empty.err;
 }
 
 TEST(Cli, FiguresPrintsPaperVsMeasured) {

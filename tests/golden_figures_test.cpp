@@ -23,96 +23,17 @@
 #include <string>
 
 #include "core/paper_config.hpp"
+#include "golden_test_util.hpp"
 #include "io/json.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep.hpp"
 
-#ifndef GREENFPGA_GOLDEN_DIR
-#error "GREENFPGA_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
-#endif
-
 namespace greenfpga::scenario {
 namespace {
 
-constexpr double kRelTolerance = 1e-9;
-constexpr double kAbsTolerance = 1e-12;
-
-/// Recursive JSON comparison: identical structure, numbers within
-/// tolerance.  Appends one message per mismatch, prefixed with the JSON
-/// path, so a failure names exactly which figure value drifted.
-void compare_json(const io::Json& golden, const io::Json& actual, const std::string& path,
-                  std::vector<std::string>& errors) {
-  if (golden.type() != actual.type()) {
-    errors.push_back(path + ": type mismatch");
-    return;
-  }
-  switch (golden.type()) {
-    case io::Json::Type::number: {
-      const double g = golden.as_number();
-      const double a = actual.as_number();
-      const double scale = std::max(std::fabs(g), std::fabs(a));
-      if (std::fabs(g - a) > std::max(kAbsTolerance, kRelTolerance * scale)) {
-        errors.push_back(path + ": golden " + std::to_string(g) + " vs actual " +
-                         std::to_string(a));
-      }
-      return;
-    }
-    case io::Json::Type::array: {
-      if (golden.size() != actual.size()) {
-        errors.push_back(path + ": array size " + std::to_string(golden.size()) +
-                         " vs " + std::to_string(actual.size()));
-        return;
-      }
-      for (std::size_t i = 0; i < golden.size(); ++i) {
-        compare_json(golden.at(i), actual.at(i), path + "[" + std::to_string(i) + "]",
-                     errors);
-      }
-      return;
-    }
-    case io::Json::Type::object: {
-      for (const auto& [key, value] : golden.as_object()) {
-        if (!actual.contains(key)) {
-          errors.push_back(path + ": missing key \"" + key + "\"");
-          continue;
-        }
-        compare_json(value, actual.at(key), path + "." + key, errors);
-      }
-      for (const auto& [key, value] : actual.as_object()) {
-        if (!golden.contains(key)) {
-          errors.push_back(path + ": unexpected key \"" + key + "\"");
-        }
-      }
-      return;
-    }
-    default:
-      if (!(golden == actual)) {
-        errors.push_back(path + ": value mismatch");
-      }
-      return;
-  }
-}
-
-/// Compare `actual` against tests/golden/<name>.json, or rewrite the
-/// snapshot when GREENFPGA_REGEN_GOLDEN is set.
-void check_against_golden(const std::string& name, const io::Json& actual) {
-  const std::string path = std::string(GREENFPGA_GOLDEN_DIR) + "/" + name + ".json";
-  if (std::getenv("GREENFPGA_REGEN_GOLDEN") != nullptr) {
-    io::write_json_file(path, actual);
-    GTEST_SKIP() << "regenerated " << path;
-  }
-  const io::Json golden = io::parse_json_file(path);
-  std::vector<std::string> errors;
-  compare_json(golden, actual, name, errors);
-  for (const std::string& error : errors) {
-    ADD_FAILURE() << error;
-  }
-  if (!errors.empty()) {
-    FAIL() << errors.size() << " golden value(s) drifted; if the model change is "
-           << "intentional, regenerate with GREENFPGA_REGEN_GOLDEN=1 and review the "
-           << "diff of " << path;
-  }
-}
+using greenfpga::testing::check_against_golden;
+using greenfpga::testing::compare_json;
 
 const Engine& engine() {
   static const Engine instance(EngineOptions{.threads = 1});

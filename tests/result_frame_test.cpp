@@ -1,0 +1,129 @@
+/// Tests for the report IR: ResultFrame invariants and the four frame
+/// renderers (JSON round-trip, RFC 4180 CSV escaping, text, Markdown).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "report/result_frame.hpp"
+
+namespace greenfpga::report {
+namespace {
+
+ResultFrame small_frame() {
+  ResultFrame frame;
+  frame.name = "demo";
+  frame.columns = {Column{.name = "label", .unit = "", .precision = 4},
+                   Column{.name = "total", .unit = "t CO2e", .precision = 5},
+                   Column{.name = "ratio", .unit = "", .precision = 4}};
+  frame.add_row({Cell(std::string("asic")), Cell(123.456), Cell(1.0)});
+  frame.add_row({Cell(std::string("fpga")), Cell(78.9), Cell(nullptr)});
+  frame.set_meta("crossovers", "A2F at N_app = 5.177");
+  return frame;
+}
+
+TEST(ResultFrame, AddRowChecksArity) {
+  ResultFrame frame;
+  frame.name = "arity";
+  frame.columns = {Column{.name = "a"}, Column{.name = "b"}};
+  EXPECT_THROW(frame.add_row({Cell(1.0)}), std::invalid_argument);
+  EXPECT_NO_THROW(frame.add_row({Cell(1.0), Cell(2.0)}));
+}
+
+TEST(ResultFrame, SetMetaOverwritesInPlace) {
+  ResultFrame frame;
+  frame.set_meta("k", "v1");
+  frame.set_meta("other", "x");
+  frame.set_meta("k", "v2");
+  ASSERT_EQ(frame.metadata.size(), 2u);
+  EXPECT_EQ(frame.metadata[0].first, "k");
+  EXPECT_EQ(frame.metadata[0].second, "v2");
+}
+
+TEST(ResultFrame, ColumnHeaderAppendsUnit) {
+  const ResultFrame frame = small_frame();
+  EXPECT_EQ(frame.column_header(0), "label");
+  EXPECT_EQ(frame.column_header(1), "total [t CO2e]");
+}
+
+TEST(FrameJson, RoundTripsExactly) {
+  const ResultFrame frame = small_frame();
+  const io::Json json = frame_to_json(frame);
+  const ResultFrame back = frame_from_json(json);
+  EXPECT_EQ(back.name, frame.name);
+  ASSERT_EQ(back.columns.size(), frame.columns.size());
+  EXPECT_EQ(back.columns[1].unit, "t CO2e");
+  ASSERT_EQ(back.rows.size(), frame.rows.size());
+  EXPECT_EQ(back.metadata, frame.metadata);
+  // Cell-exact: numbers stay doubles, null stays null.
+  EXPECT_EQ(back.rows, frame.rows);
+  // And the canonical JSON text is stable through a parse cycle.
+  EXPECT_EQ(io::parse_json(json.dump()).dump(), json.dump());
+}
+
+TEST(FrameCsv, HeaderUnitsAndNullCells) {
+  const std::string csv = frame_to_csv(small_frame()).render();
+  EXPECT_NE(csv.find("label,total [t CO2e],ratio"), std::string::npos);
+  // Numbers render in round-trip form; the null cell is empty.
+  EXPECT_NE(csv.find("asic,123.456,1"), std::string::npos);
+  EXPECT_NE(csv.find("fpga,78.9,"), std::string::npos);
+}
+
+TEST(FrameCsv, EscapesCommasQuotesAndNewlines) {
+  ResultFrame frame;
+  frame.name = "escapes";
+  frame.columns = {Column{.name = "name, with comma", .unit = ""},
+                   Column{.name = "value", .unit = ""}};
+  frame.add_row({Cell(std::string("say \"hi\"")), Cell(1.5)});
+  frame.add_row({Cell(std::string("two\nlines")), Cell(2.5)});
+  frame.add_row({Cell(std::string("plain")), Cell(3.5)});
+  const std::string csv = frame_to_csv(frame).render();
+  // RFC 4180: comma-bearing headers quoted, quotes doubled, newlines kept
+  // inside a quoted cell.
+  EXPECT_NE(csv.find("\"name, with comma\",value"), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\",1.5"), std::string::npos);
+  EXPECT_NE(csv.find("\"two\nlines\",2.5"), std::string::npos);
+  EXPECT_NE(csv.find("plain,3.5"), std::string::npos);
+  // The quoted newline must not split the logical row: the parseable row
+  // count is header + 3, so raw '\n' count is 5 (one extra inside quotes).
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(FrameCsv, NumbersRoundTripThroughText) {
+  // A full-precision double must survive CSV -> parse exactly (the shared
+  // io::format_number contract).
+  const double value = 0.1 + 0.2;  // 0.30000000000000004
+  ResultFrame frame;
+  frame.name = "precision";
+  frame.columns = {Column{.name = "x", .unit = ""}};
+  frame.add_row({Cell(value)});
+  const std::string csv = frame_to_csv(frame).render();
+  const std::size_t newline = csv.find('\n');
+  const std::string cell = csv.substr(newline + 1, csv.size() - newline - 2);
+  EXPECT_EQ(std::stod(cell), value);
+}
+
+TEST(FrameTable, RendersMetadataAndDashForNull) {
+  const std::string table = frame_to_table(small_frame());
+  EXPECT_NE(table.find("crossovers: A2F at N_app = 5.177"), std::string::npos);
+  EXPECT_NE(table.find("total [t CO2e]"), std::string::npos);
+  EXPECT_NE(table.find("123.46"), std::string::npos);  // 5 significant digits
+  EXPECT_NE(table.find(" - |"), std::string::npos);    // null cell (right-aligned)
+}
+
+TEST(FrameMarkdown, TableShapeAndPipeEscaping) {
+  ResultFrame frame;
+  frame.name = "md";
+  frame.columns = {Column{.name = "a", .unit = ""}, Column{.name = "b", .unit = "W"}};
+  frame.add_row({Cell(std::string("x|y")), Cell(2.0)});
+  const std::string md = frame_to_markdown(frame);
+  EXPECT_NE(md.find("### md"), std::string::npos);
+  EXPECT_NE(md.find("| a | b [W] |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("x\\|y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greenfpga::report
