@@ -30,6 +30,8 @@
 #include "report/result_render.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/result_io.hpp"
+#include "serve/handlers.hpp"
+#include "serve/server.hpp"
 #include "units/format.hpp"
 #include "units/units.hpp"
 
@@ -37,18 +39,8 @@ namespace greenfpga::cli {
 
 namespace {
 
-/// Global flags chosen by the current dispatch (worker count, output
-/// format, output path).  Dispatch resets them at the top of every call;
-/// the exported run_* entry points therefore inherit the *latest*
-/// dispatch's flags when called directly (and dispatch itself is not
-/// re-entrant across threads) -- acceptable for a CLI process, documented
-/// here.
-int g_threads = 0;
-report::OutputFormat g_format = report::OutputFormat::text;
-std::optional<std::string> g_output;
-
-scenario::Engine make_engine() {
-  return scenario::Engine(scenario::EngineOptions{.threads = g_threads});
+scenario::Engine make_engine(const CommandContext& context) {
+  return scenario::Engine(scenario::EngineOptions{.threads = context.threads});
 }
 
 std::optional<device::Domain> parse_domain(const std::string& text) {
@@ -61,53 +53,56 @@ std::optional<device::Domain> parse_domain(const std::string& text) {
 /// Run `render` against `--output` (if set) or `out`.  An unwritable
 /// output path fails naming the flag and the value, matching the spec
 /// parse-error style.
-int emit(const std::function<void(std::ostream&)>& render, std::ostream& out,
-         std::ostream& err) {
-  if (!g_output) {
+int emit(const CommandContext& context, const std::function<void(std::ostream&)>& render,
+         std::ostream& out, std::ostream& err) {
+  if (!context.output) {
     render(out);
     return 0;
   }
-  const std::filesystem::path path(*g_output);
+  const std::filesystem::path path(*context.output);
   if (path.has_parent_path()) {
     std::error_code ignored;
     std::filesystem::create_directories(path.parent_path(), ignored);
   }
   std::ofstream file(path);
   if (!file) {
-    err << "--output: cannot write '" << *g_output << "'\n";
+    err << "--output: cannot write '" << *context.output << "'\n";
     return 1;
   }
   render(file);
-  out << "wrote " << *g_output << "\n";
+  out << "wrote " << *context.output << "\n";
   return 0;
 }
 
-int emit_result(const scenario::ScenarioResult& result, std::ostream& out,
-                std::ostream& err) {
+int emit_result(const CommandContext& context, const scenario::ScenarioResult& result,
+                std::ostream& out, std::ostream& err) {
   return emit(
-      [&result](std::ostream& stream) {
-        report::render_result(result, g_format, stream);
+      context,
+      [&result, &context](std::ostream& stream) {
+        report::render_result(result, context.format, stream);
       },
       out, err);
 }
 
-int emit_frames(std::span<const report::ResultFrame> frames, std::ostream& out,
+int emit_frames(const CommandContext& context,
+                std::span<const report::ResultFrame> frames, std::ostream& out,
                 std::ostream& err) {
   return emit(
-      [frames](std::ostream& stream) {
-        report::render_frames(frames, g_format, stream);
+      context,
+      [frames, &context](std::ostream& stream) {
+        report::render_frames(frames, context.format, stream);
       },
       out, err);
 }
 
 /// Shared tail of `run` and `mc`: evaluate the spec, render per --format,
 /// write the optional legacy machine-readable exports.
-int run_and_emit(const scenario::ScenarioSpec& spec,
+int run_and_emit(const CommandContext& context, const scenario::ScenarioSpec& spec,
                  const std::optional<std::string>& json_out,
                  const std::optional<std::string>& csv_out, std::ostream& out,
                  std::ostream& err) {
-  const scenario::ScenarioResult result = make_engine().run(spec);
-  const int code = emit_result(result, out, err);
+  const scenario::ScenarioResult result = make_engine(context).run(spec);
+  const int code = emit_result(context, result, out, err);
   if (code != 0) {
     return code;
   }
@@ -136,6 +131,14 @@ int print_usage(std::ostream& out, bool error) {
          "      node_dse, breakeven, sensitivity, montecarlo) through the unified\n"
          "      engine; see examples/specs/ and docs/CLI.md for the spec shape\n"
          "      (--csv exports per-sample Monte-Carlo totals, montecarlo kind only)\n"
+         "  greenfpga serve [--port N] [--host ADDR] [--cache-capacity N]\n"
+         "                  [--max-connections N]\n"
+         "      run the persistent HTTP/1.1 evaluation daemon: POST /v1/run and\n"
+         "      /v1/batch take spec JSON and answer the canonical result JSON\n"
+         "      (byte-identical to `run --format json`), served through a\n"
+         "      content-addressed LRU result cache (GET /v1/stats for hit/miss\n"
+         "      counters, GET /v1/platforms, GET /healthz; default port 8080,\n"
+         "      --port 0 picks an ephemeral port, loopback-only by default)\n"
          "  greenfpga batch <manifest.json|directory> [--validate]\n"
          "      evaluate many specs as one batch on the worker pool; writes one\n"
          "      result JSON per spec plus an aggregate index to the --output\n"
@@ -167,7 +170,8 @@ int print_usage(std::ostream& out, bool error) {
   return error ? 2 : 0;
 }
 
-int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+int run_spec(const CommandContext& context, const std::vector<std::string>& args,
+            std::ostream& out, std::ostream& err) {
   if (args.empty()) {
     err << "run: missing spec file\n";
     return 2;
@@ -194,10 +198,80 @@ int run_spec(const std::vector<std::string>& args, std::ostream& out, std::ostre
         << "' has kind " << to_string(spec.kind) << "\n";
     return 2;
   }
-  return run_and_emit(spec, json_out, csv_out, out, err);
+  return run_and_emit(context, spec, json_out, csv_out, out, err);
 }
 
-int run_mc(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+namespace {
+
+/// Strict bounded integer flag parse (trailing garbage and overflow
+/// rejected), mirroring the global --threads rules.
+std::optional<long> parse_flag_int(const std::string& value, long lo, long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE ||
+      parsed < lo || parsed > hi) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int run_serve(const CommandContext& context, const std::vector<std::string>& args,
+              std::ostream& out, std::ostream& err) {
+  serve::ServerOptions server_options;
+  server_options.port = 8080;
+  std::size_t cache_capacity = 1024;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const bool has_value = i + 1 < args.size();
+    if (args[i] == "--port" && has_value) {
+      const auto port = parse_flag_int(args[i + 1], 0, 65535);
+      if (!port) {
+        err << "serve: invalid --port '" << args[i + 1] << "' (0..65535; 0 = ephemeral)\n";
+        return 2;
+      }
+      server_options.port = static_cast<int>(*port);
+      ++i;
+    } else if (args[i] == "--host" && has_value) {
+      server_options.host = args[i + 1];
+      ++i;
+    } else if (args[i] == "--cache-capacity" && has_value) {
+      const auto capacity = parse_flag_int(args[i + 1], 1, 1'000'000'000);
+      if (!capacity) {
+        err << "serve: invalid --cache-capacity '" << args[i + 1] << "' (>= 1)\n";
+        return 2;
+      }
+      cache_capacity = static_cast<std::size_t>(*capacity);
+      ++i;
+    } else if (args[i] == "--max-connections" && has_value) {
+      const auto limit = parse_flag_int(args[i + 1], 1, 65536);
+      if (!limit) {
+        err << "serve: invalid --max-connections '" << args[i + 1] << "' (>= 1)\n";
+        return 2;
+      }
+      server_options.max_connections = static_cast<int>(*limit);
+      ++i;
+    } else {
+      err << "serve: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  serve::ServeContext serve_context(
+      scenario::EngineOptions{.threads = context.threads}, cache_capacity);
+  serve::Server server(serve::make_router(serve_context), server_options);
+  server.start();
+  // Flush before blocking: supervisors and the CI smoke step wait for
+  // this line to know the port (essential with --port 0).
+  out << "greenfpga serve listening on http://" << server_options.host << ":"
+      << server.port() << " (cache capacity " << cache_capacity << ", "
+      << serve_context.engine().threads() << " worker thread(s))" << std::endl;
+  server.wait();
+  return 0;
+}
+
+int run_mc(const CommandContext& context, const std::vector<std::string>& args,
+          std::ostream& out, std::ostream& err) {
   if (args.empty()) {
     err << "mc: expected <domain> [--samples N] [--seed S] [--csv <out.csv>] "
            "[--json <out.json>]\n";
@@ -250,10 +324,11 @@ int run_mc(const std::vector<std::string>& args, std::ostream& out, std::ostream
       return 2;
     }
   }
-  return run_and_emit(spec, json_out, csv_out, out, err);
+  return run_and_emit(context, spec, json_out, csv_out, out, err);
 }
 
-int run_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+int run_compare(const CommandContext& context, const std::vector<std::string>& args,
+               std::ostream& out, std::ostream& err) {
   if (args.empty()) {
     err << "compare: missing scenario file\n";
     return 2;
@@ -281,13 +356,14 @@ int run_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   spec.platforms = {scenario::PlatformRef{.name = "asic", .chip = scenario.asic},
                     scenario::PlatformRef{.name = "fpga", .chip = scenario.fpga}};
   spec.schedule.explicit_schedule = scenario.schedule;
-  const scenario::ScenarioResult result = make_engine().run(spec);
+  const scenario::ScenarioResult result = make_engine(context).run(spec);
   const core::Comparison comparison = result.comparison();
 
   int code;
-  if (g_format == report::OutputFormat::text) {
+  if (context.format == report::OutputFormat::text) {
     // The classic component-stack view plus the verdict line.
     code = emit(
+        context,
         [&](std::ostream& stream) {
           stream << "== " << scenario.name << " ==\n";
           const std::vector<std::pair<std::string, core::CfpBreakdown>> platforms{
@@ -300,7 +376,7 @@ int run_compare(const std::vector<std::string>& args, std::ostream& out, std::os
         },
         out, err);
   } else {
-    code = emit_result(result, out, err);
+    code = emit_result(context, result, out, err);
   }
   if (code != 0) {
     return code;
@@ -337,7 +413,8 @@ int run_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   return 0;
 }
 
-int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+int run_sweep(const CommandContext& context, const std::vector<std::string>& args,
+             std::ostream& out, std::ostream& err) {
   if (args.size() != 2) {
     err << "sweep: expected <domain> <variable>\n";
     return 2;
@@ -361,11 +438,11 @@ int run_sweep(const std::vector<std::string>& args, std::ostream& out, std::ostr
     return 2;
   }
   spec.name = to_string(*domain) + " sweep over " + spec.axes.front().label();
-  return emit_result(make_engine().run(spec), out, err);
+  return emit_result(context, make_engine(context).run(spec), out, err);
 }
 
-int run_industry(const std::vector<std::string>& args, std::ostream& out,
-                 std::ostream& err) {
+int run_industry(const CommandContext& context, const std::vector<std::string>& args,
+                 std::ostream& out, std::ostream& err) {
   if (!args.empty()) {
     err << "industry: unexpected argument '" << args.front() << "'\n";
     return 2;
@@ -396,19 +473,21 @@ int run_industry(const std::vector<std::string>& args, std::ostream& out,
   const std::vector<report::ResultFrame> frames{
       report::breakdown_frame("industry", rows)};
   return emit(
+      context,
       [&](std::ostream& stream) {
-        if (g_format == report::OutputFormat::text) {
+        if (context.format == report::OutputFormat::text) {
           stream << "== Industry testcases (Table 3; FPGAs: 6 y / 3 apps / 1M; "
                     "ASICs: 6 y / 1M) ==\n"
                  << report::breakdown_table(rows);
         } else {
-          report::render_frames(frames, g_format, stream);
+          report::render_frames(frames, context.format, stream);
         }
       },
       out, err);
 }
 
-int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+int run_nodes(const CommandContext& context, const std::vector<std::string>& args,
+             std::ostream& out, std::ostream& err) {
   if (args.size() != 1) {
     err << "nodes: expected <domain>\n";
     return 2;
@@ -422,16 +501,16 @@ int run_nodes(const std::vector<std::string>& args, std::ostream& out, std::ostr
       scenario::ScenarioSpec::make(scenario::ScenarioKind::node_dse, *domain);
   spec.name = "node ranking for the " + to_string(*domain) +
               " FPGA (paper schedule: 5 apps x 2 y x 1M)";
-  return emit_result(make_engine().run(spec), out, err);
+  return emit_result(context, make_engine(context).run(spec), out, err);
 }
 
-int run_figures(const std::vector<std::string>& args, std::ostream& out,
-                std::ostream& err) {
+int run_figures(const CommandContext& context, const std::vector<std::string>& args,
+                std::ostream& out, std::ostream& err) {
   if (!args.empty()) {
     err << "figures: unexpected argument '" << args.front() << "'\n";
     return 2;
   }
-  const scenario::Engine engine = make_engine();
+  const scenario::Engine engine = make_engine(context);
   const auto sweep_series = [&](device::Domain domain, scenario::AxisSpec axis) {
     scenario::ScenarioSpec spec =
         scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, domain);
@@ -492,24 +571,26 @@ int run_figures(const std::vector<std::string>& args, std::ostream& out,
 
   const std::vector<report::ResultFrame> frames{std::move(frame)};
   return emit(
+      context,
       [&](std::ostream& stream) {
-        if (g_format == report::OutputFormat::text) {
+        if (context.format == report::OutputFormat::text) {
           stream << "== paper-vs-measured headline summary (see EXPERIMENTS.md for "
                     "analysis) ==\n";
         }
-        report::render_frames(frames, g_format, stream);
+        report::render_frames(frames, context.format, stream);
       },
       out, err);
 }
 
-int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
-                    std::ostream& err) {
+int run_dump_config(const CommandContext& context, const std::vector<std::string>& args,
+                    std::ostream& out, std::ostream& err) {
   if (!args.empty()) {
     err << "dump-config: unexpected argument '" << args.front() << "'\n";
     return 2;
   }
-  if (g_format != report::OutputFormat::text && g_format != report::OutputFormat::json) {
-    err << "dump-config: --format " << to_string(g_format)
+  if (context.format != report::OutputFormat::text &&
+      context.format != report::OutputFormat::json) {
+    err << "dump-config: --format " << to_string(context.format)
         << " not supported (the dump is JSON; use text or json)\n";
     return 2;
   }
@@ -520,11 +601,13 @@ int run_dump_config(const std::vector<std::string>& args, std::ostream& out,
   scenario["asic"] = core::to_json(testcase.asic);
   scenario["fpga"] = core::to_json(testcase.fpga);
   scenario["schedule"] = core::to_json(core::paper_schedule(device::Domain::dnn));
-  return emit([&](std::ostream& stream) { stream << scenario.dump() << "\n"; }, out,
+  return emit(context,
+              [&](std::ostream& stream) { stream << scenario.dump() << "\n"; }, out,
               err);
 }
 
-int run_batch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+int run_batch(const CommandContext& context, const std::vector<std::string>& args,
+             std::ostream& out, std::ostream& err) {
   if (args.empty()) {
     err << "batch: expected <manifest.json|directory> [--validate]\n";
     return 2;
@@ -580,12 +663,13 @@ int run_batch(const std::vector<std::string>& args, std::ostream& out, std::ostr
     return 2;
   }
 
-  const std::vector<scenario::ScenarioResult> results = make_engine().run_batch(specs);
+  const std::vector<scenario::ScenarioResult> results =
+      make_engine(context).run_batch(specs);
 
   // Per-spec result JSON under the output directory, named after the spec
   // file (collisions get a numeric suffix so nothing is overwritten;
   // "index.json" is reserved for the aggregate index written below).
-  const std::string out_dir = g_output.value_or("batch_results");
+  const std::string out_dir = context.output.value_or("batch_results");
   std::vector<std::string> taken{"index.json"};
   std::vector<std::string> filenames;
   filenames.reserve(results.size());
@@ -654,8 +738,8 @@ int run_batch(const std::vector<std::string>& args, std::ostream& out, std::ostr
                       report::frame_to_json(index));
 
   const std::vector<report::ResultFrame> frames{std::move(index)};
-  report::render_frames(frames, g_format, out);
-  if (g_format == report::OutputFormat::text) {
+  report::render_frames(frames, context.format, out);
+  if (context.format == report::OutputFormat::text) {
     // Keep the machine formats pure: the summary line is text-only.
     out << "wrote " << results.size() << " result(s) + index.json to " << out_dir
         << "\n";
@@ -665,10 +749,8 @@ int run_batch(const std::vector<std::string>& args, std::ostream& out, std::ostr
 
 int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   // Strip the global flags (valid anywhere before/after the command name)
-  // and remember them for the command bodies.
-  g_threads = 0;
-  g_format = report::OutputFormat::text;
-  g_output = std::nullopt;
+  // into the context handed to the command body.
+  CommandContext context;
   std::vector<std::string> rest;
   rest.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -689,7 +771,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
         err << "--threads: invalid worker count '" << value << "'\n";
         return 2;
       }
-      g_threads = static_cast<int>(
+      context.threads = static_cast<int>(
           std::min<long>(parsed, scenario::Engine::kMaxThreads));
       ++i;
     } else if (args[i] == "--format") {
@@ -703,14 +785,14 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
             << "' (text, json, csv, md)\n";
         return 2;
       }
-      g_format = *format;
+      context.format = *format;
       ++i;
     } else if (args[i] == "--output") {
       if (i + 1 >= args.size()) {
         err << "--output: missing path\n";
         return 2;
       }
-      g_output = args[i + 1];
+      context.output = args[i + 1];
       ++i;
     } else {
       rest.push_back(args[i]);
@@ -727,31 +809,34 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
     const std::string command = rest[0];
     rest.erase(rest.begin());
     if (command == "run") {
-      return run_spec(rest, out, err);
+      return run_spec(context, rest, out, err);
+    }
+    if (command == "serve") {
+      return run_serve(context, rest, out, err);
     }
     if (command == "batch") {
-      return run_batch(rest, out, err);
+      return run_batch(context, rest, out, err);
     }
     if (command == "mc") {
-      return run_mc(rest, out, err);
+      return run_mc(context, rest, out, err);
     }
     if (command == "compare") {
-      return run_compare(rest, out, err);
+      return run_compare(context, rest, out, err);
     }
     if (command == "sweep") {
-      return run_sweep(rest, out, err);
+      return run_sweep(context, rest, out, err);
     }
     if (command == "industry") {
-      return run_industry(rest, out, err);
+      return run_industry(context, rest, out, err);
     }
     if (command == "nodes") {
-      return run_nodes(rest, out, err);
+      return run_nodes(context, rest, out, err);
     }
     if (command == "figures") {
-      return run_figures(rest, out, err);
+      return run_figures(context, rest, out, err);
     }
     if (command == "dump-config") {
-      return run_dump_config(rest, out, err);
+      return run_dump_config(context, rest, out, err);
     }
     err << "unknown command '" << command << "'\n";
     return print_usage(err);

@@ -426,13 +426,18 @@ CfpBreakdown breakdown_from_json(const Json& json) {
   check_keys(json, "breakdown",
              {"design_kg", "manufacturing_kg", "packaging_kg", "eol_kg",
               "operational_kg", "app_dev_kg", "embodied_kg", "total_kg"});
+  // Total reads (non-finite sentinels decoded): breakdowns are *result*
+  // payload written by the canonical writer, never hand-authored config.
+  const auto component = [&json](std::string_view key) {
+    return units::CarbonMass(json.contains(key) ? json.at(key).as_number_total() : 0.0);
+  };
   CfpBreakdown breakdown;
-  breakdown.design = units::CarbonMass(json.number_or("design_kg", 0.0));
-  breakdown.manufacturing = units::CarbonMass(json.number_or("manufacturing_kg", 0.0));
-  breakdown.packaging = units::CarbonMass(json.number_or("packaging_kg", 0.0));
-  breakdown.eol = units::CarbonMass(json.number_or("eol_kg", 0.0));
-  breakdown.operational = units::CarbonMass(json.number_or("operational_kg", 0.0));
-  breakdown.app_dev = units::CarbonMass(json.number_or("app_dev_kg", 0.0));
+  breakdown.design = component("design_kg");
+  breakdown.manufacturing = component("manufacturing_kg");
+  breakdown.packaging = component("packaging_kg");
+  breakdown.eol = component("eol_kg");
+  breakdown.operational = component("operational_kg");
+  breakdown.app_dev = component("app_dev_kg");
   return breakdown;
 }
 

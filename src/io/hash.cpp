@@ -1,0 +1,31 @@
+/// \file hash.cpp
+/// FNV-1a content fingerprints.
+
+#include "io/hash.hpp"
+
+namespace greenfpga::io {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string content_digest(std::string_view bytes) {
+  return "fnv1a64:" + hex64(fnv1a64(bytes));
+}
+
+}  // namespace greenfpga::io

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace greenfpga::io {
@@ -56,6 +57,23 @@ bool Json::as_bool() const {
 }
 
 double Json::as_number() const {
+  if (!is_number()) throw_type_error(Type::number, type());
+  return std::get<double>(value_);
+}
+
+double Json::as_number_total() const {
+  if (is_string()) {
+    // The writer's non-finite encoding: JSON has no inf/nan literal, so
+    // dump() emits these exact string sentinels in number position and
+    // this accessor decodes them, keeping the *result* round-trip total.
+    // Deliberately not part of as_number(): config/spec ingestion stays
+    // strict, so untrusted input cannot smuggle non-finite values past
+    // comparison-based validation.
+    const std::string& s = std::get<std::string>(value_);
+    if (s == "inf") return std::numeric_limits<double>::infinity();
+    if (s == "-inf") return -std::numeric_limits<double>::infinity();
+    if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+  }
   if (!is_number()) throw_type_error(Type::number, type());
   return std::get<double>(value_);
 }
@@ -262,7 +280,27 @@ class Parser {
     pos_ += keyword.size();
   }
 
+  /// RAII nesting guard: one per parse_object/parse_array activation.
+  /// The recursive-descent parser spends one stack frame per level, so
+  /// the cap turns a deeply-nested bomb ("["*100k) into a JsonError at
+  /// the offending bracket instead of a stack overflow.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > parser_.options_.max_depth) {
+        parser_.fail("nesting depth exceeds " + std::to_string(parser_.options_.max_depth));
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json::Object members;
     skip_whitespace();
@@ -291,6 +329,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json::Array elements;
     skip_whitespace();
@@ -450,6 +489,7 @@ class Parser {
   std::string_view text_;
   JsonParseOptions options_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -494,14 +534,27 @@ void write_escaped(std::string& out, const std::string& s) {
   out.push_back('"');
 }
 
-void write_number(std::string& out, double n) { out += format_number(n); }
+void write_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    // RFC 8259 has no inf/nan number syntax; emit the sentinel *quoted*
+    // so the output stays valid JSON (as_number() decodes it on read --
+    // the old bare `null` in number position broke every reader).
+    out.push_back('"');
+    out += format_number(n);
+    out.push_back('"');
+    return;
+  }
+  out += format_number(n);
+}
 
 }  // namespace
 
 std::string format_number(double n) {
   if (!std::isfinite(n)) {
-    // JSON has no inf/nan; null is the conventional stand-in.
-    return "null";
+    // The canonical non-finite text tokens (quoted by the JSON writer,
+    // bare in CSV); parse back via Json::as_number.
+    if (std::isnan(n)) return "nan";
+    return n > 0.0 ? "inf" : "-inf";
   }
   if (n == std::floor(n) && std::fabs(n) < 1e15) {
     // Integral values print without a fraction for readability.

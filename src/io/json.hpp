@@ -73,7 +73,16 @@ class Json {
 
   // -- checked accessors (throw JsonError on type mismatch) --------------------
   [[nodiscard]] bool as_bool() const;
+  /// Strict number access: a JSON number only.  The non-finite string
+  /// sentinels are *not* accepted here, so spec/config readers cannot be
+  /// fed smuggled inf/NaN values that evade range validation.
   [[nodiscard]] double as_number() const;
+  /// Total number access: a JSON number, or one of the canonical
+  /// non-finite string sentinels "inf" / "-inf" / "nan" (which is how
+  /// `dump` writes non-finite doubles, JSON having no literal for them).
+  /// Used by the *result* re-import paths, whose only producer is the
+  /// canonical writer, so any number it emits reads back bit-identically.
+  [[nodiscard]] double as_number_total() const;
   [[nodiscard]] std::int64_t as_int() const;  ///< number, checked integral
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const Array& as_array() const;
@@ -100,6 +109,10 @@ class Json {
   void push_back(Json element);
 
   /// Serialize; `indent` <= 0 yields compact single-line output.
+  /// Non-finite numbers serialize as the string sentinels "inf" / "-inf"
+  /// / "nan" (RFC 8259 has no number syntax for them; the old behaviour
+  /// of emitting `null` silently broke the documented total round-trip).
+  /// `as_number()` reverses the encoding on read.
   [[nodiscard]] std::string dump(int indent = 2) const;
 
   friend bool operator==(const Json& a, const Json& b) = default;
@@ -109,15 +122,23 @@ class Json {
 };
 
 /// Parser options; `allow_comments` additionally accepts `//`-to-end-of-line
-/// comments (used for hand-written scenario configs).
+/// comments (used for hand-written scenario configs).  `max_depth` caps
+/// array/object nesting: a recursive-descent parser consumes one stack
+/// frame per level, so without a cap a `[[[[...` bomb overflows the stack
+/// instead of failing cleanly (exceeding it raises JsonError with the
+/// usual line:column position).
 struct JsonParseOptions {
   bool allow_comments = false;
+  int max_depth = 256;
 };
 
 /// Shortest decimal form of `n` that parses back to exactly the same
-/// double (the JSON writer's number format; non-finite values render as
-/// "null").  Shared by every machine-readable emitter (JSON, CSV) so a
-/// value exported anywhere re-imports bit-identically.
+/// double (the JSON writer's number format).  Non-finite values render as
+/// the text sentinels "inf" / "-inf" / "nan" (quoted as strings in JSON
+/// output -- see `Json::dump` -- and bare in CSV).  Shared by every
+/// machine-readable emitter so a value exported anywhere re-imports
+/// bit-identically: `as_number()` decodes the sentinels back to the
+/// non-finite double.
 [[nodiscard]] std::string format_number(double n);
 
 /// Parse a complete JSON document.  Throws JsonError with 1-based

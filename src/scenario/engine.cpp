@@ -11,13 +11,22 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "act/grid_profile.hpp"
 #include "core/config_io.hpp"
+#include "scenario/result_cache.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::scenario {
+
+/// Spec validation + platform resolution + grid-profile application: the
+/// shared front half of every entry point.
+struct Engine::PreparedRun {
+  ScenarioResult result;   ///< spec as run, platform names, resolved chips
+  core::ModelSuite suite;  ///< effective suite (grid profile applied)
+};
 
 namespace {
 
@@ -126,35 +135,6 @@ void apply_axis(ScheduleSpec& schedule, SweepVariable variable, double value) {
       return;
   }
   throw std::logic_error("Engine: unknown sweep variable");
-}
-
-/// Spec validation + platform resolution + grid-profile application: the
-/// shared front half of `run` and `run_batch`.
-struct PreparedSpec {
-  ScenarioResult result;   ///< spec as run, platform names, resolved chips
-  core::ModelSuite suite;  ///< effective suite (grid profile applied)
-};
-
-PreparedSpec prepare_spec(const ScenarioSpec& spec,
-                          const device::PlatformRegistry& registry) {
-  spec.validate();
-  PreparedSpec prepared;
-  prepared.result.spec = spec;
-  if (prepared.result.spec.platforms.empty()) {
-    prepared.result.spec.platforms = {PlatformRef{.name = "asic", .chip = std::nullopt},
-                                      PlatformRef{.name = "fpga", .chip = std::nullopt}};
-  }
-  for (const PlatformRef& platform : prepared.result.spec.platforms) {
-    prepared.result.platform_names.push_back(platform.name);
-    prepared.result.resolved_chips.push_back(
-        platform.chip ? *platform.chip
-                      : registry.resolve(platform.name, prepared.result.spec.domain));
-  }
-  prepared.suite = prepared.result.spec.grid_profile
-                       ? apply_grid_profile(prepared.result.spec.suite,
-                                            *prepared.result.spec.grid_profile)
-                       : prepared.result.spec.suite;
-  return prepared;
 }
 
 /// Materialised point grid of a compare/sweep/grid spec.
@@ -397,7 +377,8 @@ Heatmap ScenarioResult::heatmap() const {
 Engine::Engine(EngineOptions options)
     : threads_(options.threads > 0 ? std::min(options.threads, kMaxThreads)
                                    : default_threads()),
-      registry_(options.registry) {}
+      registry_(options.registry),
+      cache_(options.cache) {}
 
 int Engine::default_threads() {
   if (const char* env = std::getenv("GREENFPGA_THREADS")) {
@@ -415,8 +396,77 @@ const device::PlatformRegistry& Engine::registry() const {
   return registry_ != nullptr ? *registry_ : device::PlatformRegistry::builtins();
 }
 
+Engine::PreparedRun Engine::prepare(const ScenarioSpec& spec) const {
+  spec.validate();
+  PreparedRun prepared;
+  prepared.result.spec = spec;
+  if (prepared.result.spec.platforms.empty()) {
+    prepared.result.spec.platforms = {PlatformRef{.name = "asic", .chip = std::nullopt},
+                                      PlatformRef{.name = "fpga", .chip = std::nullopt}};
+  }
+  for (const PlatformRef& platform : prepared.result.spec.platforms) {
+    prepared.result.platform_names.push_back(platform.name);
+    prepared.result.resolved_chips.push_back(
+        platform.chip ? *platform.chip
+                      : registry().resolve(platform.name, prepared.result.spec.domain));
+  }
+  prepared.suite = prepared.result.spec.grid_profile
+                       ? apply_grid_profile(prepared.result.spec.suite,
+                                            *prepared.result.spec.grid_profile)
+                       : prepared.result.spec.suite;
+  return prepared;
+}
+
+namespace {
+
+/// The content-address of a prepared evaluation: compact canonical JSON
+/// of the as-run spec (platforms defaulted, suite embedded) plus the
+/// registry-resolved chips.  Everything the engine's deterministic answer
+/// depends on is in these bytes.
+std::string content_key(const ScenarioResult& resolved) {
+  io::Json key = io::Json::object();
+  key["spec"] = spec_to_json(resolved.spec);
+  io::Json chips = io::Json::array();
+  for (const device::ChipSpec& chip : resolved.resolved_chips) {
+    chips.push_back(core::to_json(chip));
+  }
+  key["platforms"] = std::move(chips);
+  return key.dump(0);
+}
+
+}  // namespace
+
+std::string Engine::cache_key(const ScenarioSpec& spec) const {
+  return content_key(prepare(spec).result);
+}
+
 ScenarioResult Engine::run(const ScenarioSpec& spec) const {
-  PreparedSpec prepared = prepare_spec(spec, registry());
+  if (cache_ != nullptr) {
+    return *run_cached(spec).result;
+  }
+  return run_prepared(prepare(spec));
+}
+
+Engine::CachedRun Engine::run_cached(const ScenarioSpec& spec) const {
+  PreparedRun prepared = prepare(spec);
+  CachedRun outcome;
+  outcome.key = content_key(prepared.result);
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const ScenarioResult> hit = cache_->lookup(outcome.key)) {
+      outcome.result = std::move(hit);
+      outcome.hit = true;
+      return outcome;
+    }
+  }
+  auto fresh = std::make_shared<ScenarioResult>(run_prepared(std::move(prepared)));
+  if (cache_ != nullptr) {
+    cache_->insert(outcome.key, fresh);
+  }
+  outcome.result = std::move(fresh);
+  return outcome;
+}
+
+ScenarioResult Engine::run_prepared(PreparedRun prepared) const {
   ScenarioResult result = std::move(prepared.result);
   const core::ModelSuite suite = std::move(prepared.suite);
 
@@ -598,9 +648,63 @@ void Engine::run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& su
 }
 
 std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& specs) const {
+  // Prepare (validate + resolve) every spec exactly once; the prepared
+  // form both carries the content key and feeds the evaluator.
+  std::vector<PreparedRun> prepared;
+  prepared.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    prepared.push_back(prepare(spec));
+  }
+  if (cache_ == nullptr) {
+    return run_batch_prepared(std::move(prepared));
+  }
+
+  // Content-address every spec, then look each *distinct* key up once:
+  // duplicates within the batch and results cached by earlier runs are
+  // never re-evaluated.
+  std::vector<std::string> keys;
+  keys.reserve(prepared.size());
+  for (const PreparedRun& run : prepared) {
+    keys.push_back(content_key(run.result));
+  }
+  std::unordered_map<std::string, std::shared_ptr<const ScenarioResult>> by_key;
+  std::vector<std::size_t> to_eval;  // index of each distinct key's first spec
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    if (by_key.find(keys[i]) != by_key.end()) {
+      continue;
+    }
+    std::shared_ptr<const ScenarioResult> hit = cache_->lookup(keys[i]);
+    if (!hit) {
+      to_eval.push_back(i);
+    }
+    by_key.emplace(keys[i], std::move(hit));
+  }
+
+  std::vector<PreparedRun> misses;
+  misses.reserve(to_eval.size());
+  for (const std::size_t i : to_eval) {
+    misses.push_back(std::move(prepared[i]));
+  }
+  std::vector<ScenarioResult> fresh = run_batch_prepared(std::move(misses));
+  for (std::size_t j = 0; j < to_eval.size(); ++j) {
+    auto shared = std::make_shared<const ScenarioResult>(std::move(fresh[j]));
+    cache_->insert(keys[to_eval[j]], shared);
+    by_key[keys[to_eval[j]]] = std::move(shared);
+  }
+
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results.push_back(*by_key[keys[i]]);
+  }
+  return results;
+}
+
+std::vector<ScenarioResult> Engine::run_batch_prepared(
+    std::vector<PreparedRun> prepared_runs) const {
   enum class TaskKind { point, sample, whole };
   struct SpecJob {
-    PreparedSpec prepared;
+    PreparedRun prepared;
     std::size_t suite_id = 0;  ///< into `suites` (point tasks only)
     PointPlan points;          ///< compare / sweep / grid
     McPlan mc;                 ///< montecarlo
@@ -611,17 +715,18 @@ std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& s
     std::size_t index = 0;  ///< point / sample index; unused for whole
   };
 
-  // Serial prepare phase: validate + resolve every spec, plan its work
-  // items, and deduplicate effective suites so workers can share one
-  // memoised LifecycleModel across every spec using the same suite.
+  // Serial planning phase over the already-prepared specs: plan each
+  // one's work items and deduplicate effective suites so workers can
+  // share one memoised LifecycleModel across every spec using the same
+  // suite.
   std::vector<SpecJob> jobs;
-  jobs.reserve(specs.size());
+  jobs.reserve(prepared_runs.size());
   std::vector<core::ModelSuite> suites;
   std::vector<std::string> suite_keys;  // canonical JSON, parallel to `suites`
   std::vector<Task> tasks;
-  for (std::size_t s = 0; s < specs.size(); ++s) {
+  for (std::size_t s = 0; s < prepared_runs.size(); ++s) {
     SpecJob job;
-    job.prepared = prepare_spec(specs[s], registry());
+    job.prepared = std::move(prepared_runs[s]);
     const ScenarioSpec& spec = job.prepared.result.spec;
     switch (spec.kind) {
       case ScenarioKind::compare:

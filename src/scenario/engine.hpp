@@ -25,6 +25,7 @@
 /// thin spec-builders over this engine and remain as deprecated shims.
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +42,8 @@
 
 namespace greenfpga::scenario {
 
+class ResultCache;
+
 /// Engine construction knobs.
 struct EngineOptions {
   /// Worker count for independent points; 0 means `Engine::default_threads()`
@@ -51,6 +54,13 @@ struct EngineOptions {
   /// Platform-name resolver; nullptr means `PlatformRegistry::builtins()`.
   /// The registry must outlive the engine.
   const device::PlatformRegistry* registry = nullptr;
+  /// Optional shared result cache (see scenario/result_cache.hpp): `run`
+  /// consults it keyed by `cache_key`, and `run_batch` evaluates each
+  /// distinct uncached key once.  Cached results are byte-identical to a
+  /// cold run (the engine is deterministic), pinned by tests.  nullptr
+  /// disables caching.  The cache must outlive the engine; it is
+  /// thread-safe and may be shared across engines.
+  ResultCache* cache = nullptr;
 };
 
 /// One evaluated scenario point: axis coordinates plus every platform's
@@ -149,8 +159,30 @@ class Engine {
   explicit Engine(EngineOptions options = {});
 
   /// Evaluate one scenario.  Validates the spec, resolves platforms,
-  /// applies the grid profile, dispatches on kind.
+  /// applies the grid profile, dispatches on kind.  With a configured
+  /// `EngineOptions::cache`, a repeated spec returns the cached result
+  /// (byte-identical to a cold run).
   [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) const;
+
+  /// One cache-aware evaluation: the (shared, immutable) result plus
+  /// whether it came out of the cache, for callers that surface hit/miss
+  /// (the serve handlers' X-Cache header).  Without a configured cache
+  /// this evaluates and reports `hit = false`.
+  struct CachedRun {
+    std::shared_ptr<const ScenarioResult> result;
+    bool hit = false;
+    std::string key;  ///< the content key (see cache_key)
+  };
+  [[nodiscard]] CachedRun run_cached(const ScenarioSpec& spec) const;
+
+  /// The content-address of `spec` under this engine: the compact
+  /// canonical JSON of the validated spec (platforms defaulted, model
+  /// suite embedded) plus the registry-resolved platform chips.  Two
+  /// specs share a key exactly when the engine computes byte-identical
+  /// results for them; resolving through the registry keeps engines with
+  /// different registries from colliding on a name.  Throws on an invalid
+  /// spec, like `run`.
+  [[nodiscard]] std::string cache_key(const ScenarioSpec& spec) const;
 
   /// Evaluate many specs as one batch, returning results in spec order.
   ///
@@ -168,6 +200,11 @@ class Engine {
   /// thread count: every task computes from its spec's inputs alone and
   /// writes a pre-sized slot (pinned by tests/golden_results_test.cpp).
   /// A failing spec fails the whole batch with that spec's error.
+  ///
+  /// With a configured `EngineOptions::cache`, each *distinct* cache key
+  /// is looked up once (one hit or miss counted per distinct key) and the
+  /// misses are evaluated as one batch, so a manifest repeating a spec --
+  /// or repeating one across invocations -- evaluates it once.
   [[nodiscard]] std::vector<ScenarioResult> run_batch(
       const std::vector<ScenarioSpec>& specs) const;
 
@@ -178,7 +215,13 @@ class Engine {
   [[nodiscard]] static int default_threads();
 
  private:
+  struct PreparedRun;  ///< prepared spec + effective suite (engine.cpp)
+
   [[nodiscard]] const device::PlatformRegistry& registry() const;
+  [[nodiscard]] PreparedRun prepare(const ScenarioSpec& spec) const;
+  [[nodiscard]] ScenarioResult run_prepared(PreparedRun prepared) const;
+  [[nodiscard]] std::vector<ScenarioResult> run_batch_prepared(
+      std::vector<PreparedRun> prepared) const;
 
   void run_points(const ScenarioSpec& spec, const core::ModelSuite& suite,
                   ScenarioResult& result) const;
@@ -195,6 +238,7 @@ class Engine {
 
   int threads_ = 1;
   const device::PlatformRegistry* registry_ = nullptr;
+  ResultCache* cache_ = nullptr;
 };
 
 }  // namespace greenfpga::scenario

@@ -1,0 +1,67 @@
+/// \file result_cache.cpp
+/// The content-addressed LRU over immutable scenario results.
+
+#include "scenario/result_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/engine.hpp"
+
+namespace greenfpga::scenario {
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const ScenarioResult> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // freshen
+  return it->second->result;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const ScenarioResult> result) {
+  if (!result) {
+    throw std::invalid_argument("ResultCache::insert: null result");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same content key => same deterministic result; refresh recency only.
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  index_.clear();
+  lru_.clear();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.size = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace greenfpga::scenario

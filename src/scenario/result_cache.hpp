@@ -1,0 +1,82 @@
+#ifndef GREENFPGA_SCENARIO_RESULT_CACHE_HPP
+#define GREENFPGA_SCENARIO_RESULT_CACHE_HPP
+
+/// \file result_cache.hpp
+/// A thread-safe, content-addressed LRU cache of scenario results.
+///
+/// Operators re-ask the same lifecycle-CFP questions continuously with
+/// slightly varying parameters; a long-lived process (`greenfpga serve`, a
+/// batch over a manifest with repeated specs) should evaluate each
+/// distinct question once.  The cache key is the *content* of the
+/// evaluation -- the canonical JSON of the validated spec (which embeds
+/// the full model suite) plus the resolved platform chips, built by
+/// `Engine::cache_key` -- so two requests hit the same entry exactly when
+/// the engine would compute byte-identical results for them.  Entries are
+/// immutable `shared_ptr<const ScenarioResult>`s: readers keep their
+/// snapshot alive even if the entry is evicted mid-use.
+///
+/// Eviction is least-recently-used with a fixed entry capacity;
+/// hit/miss/eviction counters are surfaced on `GET /v1/stats`.  All
+/// operations take one mutex -- the cache serialises microseconds of
+/// bookkeeping around milliseconds of model evaluation, so a sharded
+/// design is not warranted yet.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace greenfpga::scenario {
+
+struct ScenarioResult;
+
+/// Monotonic cache counters plus the current occupancy (a consistent
+/// snapshot: taken under the same lock as the operations).
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// Content-addressed LRU over immutable scenario results.  Thread-safe.
+class ResultCache {
+ public:
+  /// `capacity` is the maximum entry count (>= 1 enforced; the cache
+  /// would otherwise be an expensive way to spell "never hit").
+  explicit ResultCache(std::size_t capacity = 1024);
+
+  /// The cached result for `key`, or nullptr.  Counts a hit or a miss and
+  /// freshens the entry's LRU position.
+  [[nodiscard]] std::shared_ptr<const ScenarioResult> lookup(const std::string& key);
+
+  /// Insert (or refresh) `key -> result`, evicting the least recently
+  /// used entry when over capacity.  `result` must not be null.
+  void insert(const std::string& key, std::shared_ptr<const ScenarioResult> result);
+
+  /// Drop every entry (counters are preserved: they are lifetime totals).
+  void clear();
+
+  [[nodiscard]] ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const ScenarioResult> result;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace greenfpga::scenario
+
+#endif  // GREENFPGA_SCENARIO_RESULT_CACHE_HPP

@@ -36,7 +36,10 @@ std::vector<double> doubles_from_json(const Json& json) {
   std::vector<double> out;
   out.reserve(json.size());
   for (const Json& v : json.as_array()) {
-    out.push_back(v.as_number());
+    // Total read: the canonical writer encodes non-finite cells as
+    // string sentinels, and result payloads may legitimately carry them
+    // (a zero-baseline ratio, an unbounded solve).
+    out.push_back(v.as_number_total());
   }
   return out;
 }
@@ -51,8 +54,8 @@ Json stat_to_json(const UqStat& stat) {
 
 UqStat stat_from_json(const Json& json) {
   UqStat stat;
-  stat.mean = json.at("mean").as_number();
-  stat.stddev = json.at("stddev").as_number();
+  stat.mean = json.at("mean").as_number_total();
+  stat.stddev = json.at("stddev").as_number_total();
   stat.percentile_values = doubles_from_json(json.at("percentile_values"));
   return stat;
 }
@@ -439,7 +442,7 @@ ScenarioResult result_from_json(const Json& json) {
       NodeCandidate candidate;
       candidate.chip = core::chip_from_json(entry.at("chip"));
       candidate.lifecycle = core::breakdown_from_json(entry.at("lifecycle"));
-      candidate.total_vs_best = entry.at("total_vs_best").as_number();
+      candidate.total_vs_best = entry.at("total_vs_best").as_number_total();
       result.candidates.push_back(std::move(candidate));
     }
   }
@@ -449,8 +452,8 @@ ScenarioResult result_from_json(const Json& json) {
                              {"name", "ratio_at_low", "ratio_at_high", "swing"});
       TornadoEntry tornado;
       tornado.name = entry.at("name").as_string();
-      tornado.ratio_at_low = entry.at("ratio_at_low").as_number();
-      tornado.ratio_at_high = entry.at("ratio_at_high").as_number();
+      tornado.ratio_at_low = entry.at("ratio_at_low").as_number_total();
+      tornado.ratio_at_high = entry.at("ratio_at_high").as_number_total();
       result.tornado.push_back(std::move(tornado));
     }
   }
@@ -461,12 +464,12 @@ ScenarioResult result_from_json(const Json& json) {
                             "fpga_win_fraction"});
     MonteCarloResult summary;
     summary.samples = static_cast<int>(mc.at("samples").as_int());
-    summary.mean = mc.at("mean").as_number();
-    summary.stddev = mc.at("stddev").as_number();
-    summary.p05 = mc.at("p05").as_number();
-    summary.p50 = mc.at("p50").as_number();
-    summary.p95 = mc.at("p95").as_number();
-    summary.fpga_win_fraction = mc.at("fpga_win_fraction").as_number();
+    summary.mean = mc.at("mean").as_number_total();
+    summary.stddev = mc.at("stddev").as_number_total();
+    summary.p05 = mc.at("p05").as_number_total();
+    summary.p50 = mc.at("p50").as_number_total();
+    summary.p95 = mc.at("p95").as_number_total();
+    summary.fpga_win_fraction = mc.at("fpga_win_fraction").as_number_total();
     result.monte_carlo = summary;
   }
   if (json.contains("uncertainty")) {
@@ -498,7 +501,7 @@ ScenarioResult result_from_json(const Json& json) {
       if (!breakeven.contains(key) || breakeven.at(key).is_null()) {
         return std::nullopt;
       }
-      return breakeven.at(key).as_number();
+      return breakeven.at(key).as_number_total();
     };
     report.app_count = read("app_count");
     report.lifetime_years = read("lifetime_years");
@@ -509,7 +512,12 @@ ScenarioResult result_from_json(const Json& json) {
 }
 
 bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
-  return result_to_json(a) == result_to_json(b);
+  // Compare the *serialized* canonical forms, not the Json trees: tree
+  // equality compares doubles with ==, under which NaN != NaN, so a
+  // result carrying a NaN cell (e.g. a 0/0 ratio) would never equal
+  // itself.  The dump encodes non-finite values as text sentinels, making
+  // the canonical-bytes identity total.
+  return result_to_json(a).dump(0) == result_to_json(b).dump(0);
 }
 
 // -- frames ---------------------------------------------------------------------

@@ -1,0 +1,171 @@
+/// \file handlers.cpp
+/// The serve endpoints: spec in, canonical result JSON out, cached.
+
+#include "serve/handlers.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "device/catalog.hpp"
+#include "io/hash.hpp"
+#include "io/json.hpp"
+#include "scenario/result_io.hpp"
+#include "scenario/spec.hpp"
+
+namespace greenfpga::serve {
+
+namespace {
+
+using io::Json;
+
+/// Wrap a handler with the uniform error mapping: domain errors (bad
+/// JSON, unknown keys, invalid specs) answer 400 with the same
+/// offending-key-naming message the CLI prints; anything else is a 500.
+/// Also maintains the context's request/error counters.
+Router::Handler wrap(ServeContext& context, Router::Handler handler) {
+  return [&context, handler = std::move(handler)](const HttpRequest& request) {
+    context.requests.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    try {
+      response = handler(request);
+    } catch (const io::JsonError& error) {
+      response = error_response(400, error.what());
+    } catch (const core::ConfigError& error) {
+      response = error_response(400, error.what());
+    } catch (const std::invalid_argument& error) {
+      response = error_response(400, error.what());
+    } catch (const std::out_of_range& error) {
+      response = error_response(400, error.what());
+    } catch (const std::exception& error) {
+      response = error_response(500, error.what());
+    }
+    if (response.status >= 400) {
+      context.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return response;
+  };
+}
+
+/// Parse one spec out of request-body JSON: the exact dialect of
+/// `greenfpga run <spec.json>` (// comments allowed, so a spec file can
+/// be POSTed verbatim), with the parser's nesting cap, so a depth bomb
+/// is a 400, never a crash.
+scenario::ScenarioSpec spec_of_body(const std::string& body) {
+  const Json parsed = io::parse_json(body, io::JsonParseOptions{.allow_comments = true});
+  scenario::ScenarioSpec spec = scenario::spec_from_json(parsed);
+  spec.validate();
+  return spec;
+}
+
+HttpResponse handle_run(ServeContext& context, const HttpRequest& request) {
+  const scenario::ScenarioSpec spec = spec_of_body(request.body);
+  const scenario::Engine::CachedRun run = context.engine().run_cached(spec);
+  HttpResponse response =
+      json_response(200, scenario::result_to_json(*run.result));
+  response.set_header("X-Cache", run.hit ? "hit" : "miss");
+  response.set_header("X-Cache-Key", io::content_digest(run.key));
+  return response;
+}
+
+HttpResponse handle_batch(ServeContext& context, const HttpRequest& request) {
+  // Same dialect as /v1/run, so spec files embed verbatim.
+  const Json parsed =
+      io::parse_json(request.body, io::JsonParseOptions{.allow_comments = true});
+  core::check_known_keys(parsed, "batch request", {"name", "specs"});
+  std::vector<scenario::ScenarioSpec> specs;
+  const Json::Array& entries = parsed.at("specs").as_array();
+  specs.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    try {
+      specs.push_back(scenario::spec_from_json(entries[i]));
+      specs.back().validate();
+    } catch (const std::exception& error) {
+      throw core::ConfigError("specs[" + std::to_string(i) + "]: " + error.what());
+    }
+  }
+  const std::vector<scenario::ScenarioResult> results =
+      context.engine().run_batch(specs);
+  Json body = Json::array();
+  for (const scenario::ScenarioResult& result : results) {
+    body.push_back(scenario::result_to_json(result));
+  }
+  return json_response(200, body);
+}
+
+HttpResponse handle_platforms(const ServeContext& context, const HttpRequest&) {
+  Json body = Json::object();
+  Json platforms = Json::array();
+  for (const std::string& name : context.registry().names()) {
+    platforms.push_back(name);
+  }
+  body["platforms"] = std::move(platforms);
+  Json domains = Json::array();
+  for (const device::Domain domain : device::all_domains()) {
+    domains.push_back(to_string(domain));
+  }
+  body["domains"] = std::move(domains);
+  return json_response(200, body);
+}
+
+HttpResponse handle_stats(ServeContext& context, const HttpRequest&) {
+  const scenario::ResultCacheStats stats = context.cache().stats();
+  Json cache = Json::object();
+  cache["hits"] = stats.hits;
+  cache["misses"] = stats.misses;
+  cache["evictions"] = stats.evictions;
+  cache["size"] = stats.size;
+  cache["capacity"] = stats.capacity;
+  Json body = Json::object();
+  body["cache"] = std::move(cache);
+  body["requests"] = context.requests.load(std::memory_order_relaxed);
+  body["errors"] = context.errors.load(std::memory_order_relaxed);
+  body["threads"] = context.engine().threads();
+  return json_response(200, body);
+}
+
+HttpResponse handle_healthz(const HttpRequest&) {
+  Json body = Json::object();
+  body["status"] = "ok";
+  return json_response(200, body);
+}
+
+}  // namespace
+
+ServeContext::ServeContext(scenario::EngineOptions engine_options,
+                           std::size_t cache_capacity)
+    : cache_(cache_capacity),
+      engine_([&] {
+        engine_options.cache = &cache_;
+        return scenario::Engine(engine_options);
+      }()),
+      registry_(engine_options.registry != nullptr
+                    ? engine_options.registry
+                    : &device::PlatformRegistry::builtins()) {}
+
+Router make_router(ServeContext& context) {
+  Router router;
+  router.add("POST", "/v1/run", wrap(context, [&context](const HttpRequest& request) {
+               return handle_run(context, request);
+             }));
+  router.add("POST", "/v1/batch",
+             wrap(context, [&context](const HttpRequest& request) {
+               return handle_batch(context, request);
+             }));
+  router.add("GET", "/v1/platforms",
+             wrap(context, [&context](const HttpRequest& request) {
+               return handle_platforms(context, request);
+             }));
+  router.add("GET", "/v1/stats", wrap(context, [&context](const HttpRequest& request) {
+               return handle_stats(context, request);
+             }));
+  router.add("GET", "/healthz", wrap(context, [](const HttpRequest& request) {
+               return handle_healthz(request);
+             }));
+  return router;
+}
+
+}  // namespace greenfpga::serve

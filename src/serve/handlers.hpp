@@ -1,0 +1,67 @@
+#ifndef GREENFPGA_SERVE_HANDLERS_HPP
+#define GREENFPGA_SERVE_HANDLERS_HPP
+
+/// \file handlers.hpp
+/// The `greenfpga serve` API surface over the evaluation engine.
+///
+/// Endpoints (all bodies JSON; non-2xx bodies are `{"error": ...}`):
+///
+///   * `POST /v1/run`    -- one scenario spec in (the `greenfpga run`
+///     spec shape), the canonical result JSON out, **byte-identical to
+///     `greenfpga run --format json`** on the same spec (pinned by
+///     tests/serve_test.cpp), cache hits included.  The `X-Cache` header
+///     reports `hit` or `miss` and `X-Cache-Key` the spec's content
+///     digest.
+///   * `POST /v1/batch`  -- `{"specs": [<spec>, ...]}` in, the array of
+///     canonical result JSONs out (spec order); repeated/previously-seen
+///     specs come from the cache.
+///   * `GET /v1/platforms` -- registry platform names and known domains.
+///   * `GET /v1/stats`   -- cache hit/miss/eviction counters, occupancy,
+///     request counts, engine worker count.
+///   * `GET /healthz`    -- liveness: `{"status":"ok"}`.
+///
+/// Spec parse/validation failures answer 400 with the same
+/// offending-key-naming message the CLI prints; over-limit or malformed
+/// HTTP answers 4xx at the transport layer (serve/http.hpp).  Every
+/// handler is safe under concurrent requests: the engine is stateless,
+/// the cache is thread-safe, and the counters are atomic.
+
+#include <atomic>
+#include <cstdint>
+
+#include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
+#include "serve/router.hpp"
+
+namespace greenfpga::serve {
+
+/// Shared state behind one serving process: the content-addressed result
+/// cache and the engine wired to it, plus request counters.  Construct
+/// once, then build the router over it; must outlive the server.
+class ServeContext {
+ public:
+  /// `engine_options.cache` is overwritten to point at the owned cache.
+  explicit ServeContext(scenario::EngineOptions engine_options = {},
+                        std::size_t cache_capacity = 1024);
+
+  [[nodiscard]] scenario::ResultCache& cache() { return cache_; }
+  [[nodiscard]] const scenario::Engine& engine() const { return engine_; }
+  /// The registry the engine resolves platform names against.
+  [[nodiscard]] const device::PlatformRegistry& registry() const { return *registry_; }
+
+  std::atomic<std::uint64_t> requests{0};  ///< routed requests
+  std::atomic<std::uint64_t> errors{0};    ///< non-2xx responses
+
+ private:
+  scenario::ResultCache cache_;  ///< declared before engine_: engine points here
+  scenario::Engine engine_;
+  const device::PlatformRegistry* registry_;
+};
+
+/// Build the dispatch table over `context` (which must outlive the
+/// returned router and any server running it).
+[[nodiscard]] Router make_router(ServeContext& context);
+
+}  // namespace greenfpga::serve
+
+#endif  // GREENFPGA_SERVE_HANDLERS_HPP

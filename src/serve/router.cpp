@@ -1,0 +1,48 @@
+/// \file router.cpp
+/// (method, path) dispatch and the uniform JSON error shape.
+
+#include "serve/router.hpp"
+
+namespace greenfpga::serve {
+
+HttpResponse json_response(int status, const io::Json& value) {
+  HttpResponse response;
+  response.status = status;
+  response.set_header("Content-Type", "application/json");
+  response.body = value.dump() + "\n";
+  return response;
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  io::Json body = io::Json::object();
+  body["error"] = message;
+  return json_response(status, body);
+}
+
+void Router::add(std::string method, std::string path, Handler handler) {
+  handlers_[{std::move(method), std::move(path)}] = std::move(handler);
+}
+
+HttpResponse Router::route(const HttpRequest& request) const {
+  const auto it = handlers_.find({request.method, request.target});
+  if (it != handlers_.end()) {
+    return it->second(request);
+  }
+  // Path registered under another method? Then 405 naming the allowed
+  // methods; otherwise 404.
+  std::string allow;
+  for (const auto& [key, handler] : handlers_) {
+    if (key.second == request.target) {
+      allow += (allow.empty() ? "" : ", ") + key.first;
+    }
+  }
+  if (!allow.empty()) {
+    HttpResponse response = error_response(
+        405, "method " + request.method + " not allowed for " + request.target);
+    response.set_header("Allow", allow);
+    return response;
+  }
+  return error_response(404, "no route for " + request.target);
+}
+
+}  // namespace greenfpga::serve

@@ -1,0 +1,50 @@
+#ifndef GREENFPGA_SERVE_ROUTER_HPP
+#define GREENFPGA_SERVE_ROUTER_HPP
+
+/// \file router.hpp
+/// Exact-path request routing with JSON error responses.
+///
+/// The daemon's surface is a handful of fixed paths, so the router is a
+/// map from (method, path) to handler -- no wildcard grammar to get
+/// wrong in front of untrusted traffic.  Misses produce the same JSON
+/// error shape the handlers use (`{"error": ...}`), so every non-2xx
+/// body a client sees is machine-readable.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "io/json.hpp"
+#include "serve/http.hpp"
+
+namespace greenfpga::serve {
+
+/// A JSON response: `value` pretty-printed with a trailing newline (the
+/// same bytes `Json::dump(2)` produces everywhere else) plus the
+/// Content-Type header.
+[[nodiscard]] HttpResponse json_response(int status, const io::Json& value);
+
+/// The uniform error body: `{"error": <message>}`.
+[[nodiscard]] HttpResponse error_response(int status, const std::string& message);
+
+/// Exact-match (method, path) dispatch table.
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Register `handler` for `method path` (replacing any existing one).
+  void add(std::string method, std::string path, Handler handler);
+
+  /// Dispatch: 404 for an unknown path, 405 (with an Allow header) for a
+  /// known path under the wrong method.  Exceptions from handlers
+  /// propagate to the caller (the server's connection loop maps them).
+  [[nodiscard]] HttpResponse route(const HttpRequest& request) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, Handler> handlers_;
+};
+
+}  // namespace greenfpga::serve
+
+#endif  // GREENFPGA_SERVE_ROUTER_HPP

@@ -1,0 +1,204 @@
+/// \file server.cpp
+/// Acceptor + per-connection keep-alive loops with clean shutdown.
+
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace greenfpga::serve {
+
+Server::Server(Router router, ServerOptions options)
+    : router_(std::move(router)), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) {
+    throw std::logic_error("Server::start: already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    running_ = false;
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+    throw std::runtime_error("invalid bind address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+    throw std::runtime_error("cannot listen on " + options_.host + ":" +
+                             std::to_string(options_.port) + ": " +
+                             std::strerror(saved));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_relaxed)) {
+        return;  // stop() closed the listener
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // listener is gone; nothing left to accept
+    }
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      // Overload: answer fast and shed, never queue unboundedly.
+      SocketStream stream(fd, options_.limits);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        stream.write_response(error_response(503, "connection limit reached"));
+      } catch (const HttpError&) {
+        // Shedding best-effort: the peer may already be gone.
+      }
+      continue;
+    }
+    connections_.push_back(std::make_unique<Connection>());
+    Connection& connection = *connections_.back();
+    connection.fd = fd;
+    connection.thread = std::thread([this, &connection] {
+      handle_connection(connection);
+      connection.done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::handle_connection(Connection& connection) {
+  SocketStream stream(connection.fd, options_.limits);
+  HttpRequest request;
+  while (running_.load(std::memory_order_relaxed)) {
+    bool got = false;
+    try {
+      got = stream.read_request(request);
+    } catch (const HttpError& error) {
+      // Transport-level failure (malformed framing, over-limit input):
+      // answer with its status and close -- the byte stream can no
+      // longer be trusted for framing.
+      try {
+        HttpResponse response = error_response(error.status(), error.what());
+        response.set_header("Connection", "close");
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        stream.write_response(response);
+      } catch (const HttpError&) {
+      }
+      return;
+    }
+    if (!got) {
+      return;  // peer closed an idle keep-alive connection
+    }
+    // Last-resort exception mapping (router.hpp documents that handler
+    // exceptions propagate to this loop): a handler registered without
+    // the handlers.cpp error wrapper, or a failure while building the
+    // 404/405 response, must cost one 500, never the daemon.
+    HttpResponse response;
+    try {
+      response = router_.route(request);
+    } catch (const std::exception& error) {
+      response = error_response(500, error.what());
+    } catch (...) {
+      response = error_response(500, "unknown handler failure");
+    }
+    const bool keep =
+        request.keep_alive() && running_.load(std::memory_order_relaxed);
+    response.set_header("Connection", keep ? "keep-alive" : "close");
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      stream.write_response(response);
+    } catch (const HttpError&) {
+      return;  // peer went away mid-write
+    }
+    if (!keep) {
+      return;
+    }
+  }
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Unblock the acceptor: shutdown() forces accept() to return on every
+  // platform; close() releases the fd.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  {
+    // Unblock every connection read; the threads observe running_ ==
+    // false (or EOF) and exit.  SocketStream still owns and closes the
+    // fds.
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) {
+        break;
+      }
+      victim = std::move(connections_.front());
+      connections_.pop_front();
+    }
+    victim->thread.join();
+  }
+  {
+    // Taking the lock orders this notify after any in-flight wait()'s
+    // predicate check, so the wakeup cannot be lost.
+    const std::lock_guard<std::mutex> lock(stopped_mutex_);
+  }
+  stopped_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stopped_mutex_);
+  stopped_.wait(lock, [this] { return !running_.load(std::memory_order_relaxed); });
+}
+
+}  // namespace greenfpga::serve

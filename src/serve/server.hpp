@@ -1,0 +1,99 @@
+#ifndef GREENFPGA_SERVE_SERVER_HPP
+#define GREENFPGA_SERVE_SERVER_HPP
+
+/// \file server.hpp
+/// The blocking-socket HTTP/1.1 daemon behind `greenfpga serve`.
+///
+/// One acceptor thread plus one thread per live connection (keep-alive:
+/// a connection serves many requests, so the thread count tracks
+/// concurrent *clients*, not request rate).  A `max_connections` cap
+/// turns overload into fast 503s instead of unbounded threads.  `stop()`
+/// is safe from any thread: it closes the listener, shuts down every
+/// live connection socket (unblocking their reads) and joins all
+/// threads, so tests can start/stop servers in-process.
+///
+/// The server owns no evaluation state -- it drives a `Router` built by
+/// `serve::make_router` over a `ServeContext` (engine + result cache);
+/// see serve/handlers.hpp.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/http.hpp"
+#include "serve/router.hpp"
+
+namespace greenfpga::serve {
+
+struct ServerOptions {
+  /// Bind address.  The default is loopback-only: the daemon speaks
+  /// plaintext HTTP, so exposing it beyond the host is an explicit
+  /// operator decision ("0.0.0.0").
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
+  int port = 0;
+  /// Concurrent-connection cap; further accepts answer 503 and close.
+  int max_connections = 64;
+  HttpLimits limits;
+};
+
+class Server {
+ public:
+  Server(Router router, ServerOptions options = {});
+  ~Server();  ///< calls stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the acceptor thread.  Throws
+  /// std::runtime_error on bind failure (e.g. port in use).
+  void start();
+
+  /// The bound port (the real one when options.port was 0).  Valid after
+  /// start().
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Stop accepting, unblock and join every connection, release sockets.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  /// Block until stop() is called from elsewhere (the CLI foreground
+  /// path: the process serves until killed).
+  void wait();
+
+  /// Requests answered so far (all routes, including error responses).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Connection& connection);
+  void reap_finished_locked();  ///< joins connections flagged done
+
+  Router router_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_;
+};
+
+}  // namespace greenfpga::serve
+
+#endif  // GREENFPGA_SERVE_SERVER_HPP

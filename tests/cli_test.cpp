@@ -469,5 +469,84 @@ TEST(Cli, FiguresPrintsPaperVsMeasured) {
   EXPECT_NE(result.out.find("ImgProc"), std::string::npos);
 }
 
+std::string write_depth_bomb(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream file(path);
+  file << std::string(100'000, '[');
+  return path;
+}
+
+TEST(Cli, RunSurvivesJsonDepthBomb) {
+  // 100k-deep '[': a parse error naming the file and position, never a
+  // stack-overflow crash.
+  const CliRun result = run_cli({"run", write_depth_bomb("greenfpga_bomb_run.json")});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("nesting depth exceeds 256"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("greenfpga_bomb_run.json"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, BatchSurvivesJsonDepthBomb) {
+  // Both batch ingestion paths -- directory scan and manifest -- must
+  // fail the same controlled way.
+  const std::string dir = ::testing::TempDir() + "/greenfpga_bomb_batch";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream file(dir + "/bomb.json");
+    file << std::string(100'000, '[');
+  }
+  const CliRun by_dir = run_cli({"batch", dir});
+  EXPECT_EQ(by_dir.exit_code, 1);
+  EXPECT_NE(by_dir.err.find("nesting depth exceeds 256"), std::string::npos)
+      << by_dir.err;
+
+  const std::string manifest = ::testing::TempDir() + "/greenfpga_bomb_manifest.json";
+  {
+    std::ofstream file(manifest);
+    file << R"({"specs": ["greenfpga_bomb_batch/bomb.json"]})";
+  }
+  const CliRun by_manifest = run_cli({"batch", manifest});
+  EXPECT_EQ(by_manifest.exit_code, 1);
+  EXPECT_NE(by_manifest.err.find("nesting depth exceeds 256"), std::string::npos)
+      << by_manifest.err;
+}
+
+TEST(Cli, RunRejectsSmuggledNonFiniteSpecValues) {
+  // The non-finite string sentinels belong to *result* re-import only;
+  // a spec carrying "nan" in number position must fail like any other
+  // type error, not evaluate to a NaN-filled result.
+  const std::string path = ::testing::TempDir() + "/greenfpga_nan_spec.json";
+  {
+    std::ofstream file(path);
+    file << R"({"kind": "compare", "schedule": {"volume": "nan"}})";
+  }
+  const CliRun result = run_cli({"run", path});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("expected number"), std::string::npos) << result.err;
+}
+
+TEST(Cli, ServeValidatesItsFlags) {
+  // Flag validation only -- never binds a socket (exit code 2 happens
+  // before the server is constructed).
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"serve", "--port", "junk"},
+        std::vector<std::string>{"serve", "--port", "70000"},
+        std::vector<std::string>{"serve", "--cache-capacity", "0"},
+        std::vector<std::string>{"serve", "--max-connections", "-1"},
+        std::vector<std::string>{"serve", "--nope"}}) {
+    const CliRun result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args[1];
+    EXPECT_NE(result.err.find("serve:"), std::string::npos) << args[1];
+  }
+}
+
+TEST(Cli, UsageDocumentsServe) {
+  const CliRun result = run_cli({"--help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("greenfpga serve"), std::string::npos);
+  EXPECT_NE(result.out.find("/v1/run"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace greenfpga::cli

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -193,6 +195,46 @@ TEST(GoldenResults, BatchSharesSuitesAcrossDuplicateSpecs) {
             result_to_json(Engine(EngineOptions{.threads = 1}).run(sweep)).dump());
   EXPECT_EQ(result_to_json(batch[1]).dump(),
             result_to_json(Engine(EngineOptions{.threads = 1}).run(grid)).dump());
+}
+
+TEST(GoldenResults, NonFiniteResultValuesRoundTrip) {
+  // A zero-baseline ratio or an unbounded breakeven solve produces
+  // inf/NaN cells; the canonical JSON must stay total over them (the old
+  // `null`-for-non-finite encoding corrupted the documented round-trip).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ScenarioResult result = run_kind(ScenarioKind::breakeven);
+  ASSERT_TRUE(result.breakeven.has_value());
+  result.breakeven->app_count = kInf;
+  result.breakeven->lifetime_years = -kInf;
+  result.breakeven->volume = std::numeric_limits<double>::quiet_NaN();
+
+  const io::Json json = result_to_json(result);
+  // Value round-trip (equality is canonical-bytes equality, so NaN cells
+  // compare equal to themselves).
+  EXPECT_TRUE(result_from_json(json) == result);
+  // Text round-trip is byte-identical.
+  const std::string text = json.dump();
+  EXPECT_EQ(result_to_json(result_from_json(io::parse_json(text))).dump(), text);
+  // The decoded values really are the non-finite doubles again.
+  const ScenarioResult reread = result_from_json(io::parse_json(text));
+  ASSERT_TRUE(reread.breakeven.has_value());
+  EXPECT_EQ(reread.breakeven->app_count, kInf);
+  EXPECT_EQ(reread.breakeven->lifetime_years, -kInf);
+  ASSERT_TRUE(reread.breakeven->volume.has_value());
+  EXPECT_TRUE(std::isnan(*reread.breakeven->volume));
+}
+
+TEST(GoldenResults, NonFiniteUncertaintyCellsRoundTrip) {
+  // Inf/NaN in the Monte-Carlo payload (a zero-baseline sample makes the
+  // ratio stream non-finite) survive the canonical round-trip too.
+  ScenarioResult result = run_kind(ScenarioKind::montecarlo);
+  ASSERT_TRUE(result.uncertainty.has_value());
+  result.uncertainty->ratio.front().mean = std::numeric_limits<double>::infinity();
+  result.uncertainty->sample_totals_kg.front().front() =
+      std::numeric_limits<double>::quiet_NaN();
+  const std::string text = result_to_json(result).dump();
+  EXPECT_EQ(result_to_json(result_from_json(io::parse_json(text))).dump(), text);
+  EXPECT_TRUE(result_from_json(io::parse_json(text)) == result);
 }
 
 TEST(GoldenResults, BreakevenJsonDistinguishesUnrequestedFromNoCrossover) {

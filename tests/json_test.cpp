@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "io/json.hpp"
 
@@ -154,9 +156,90 @@ TEST(JsonDump, EscapesControlCharacters) {
   EXPECT_EQ(v.dump(0), "\"a\\nb\\u0001\"");
 }
 
-TEST(JsonDump, NonFiniteNumbersBecomeNull) {
-  const Json v{std::numeric_limits<double>::infinity()};
-  EXPECT_EQ(v.dump(0), "null");
+TEST(JsonParse, DepthBombFailsCleanly) {
+  // 100k unclosed '[': without the recursion cap the recursive-descent
+  // parser overflows the stack; with it, this is an ordinary parse error
+  // at the first bracket past the limit (1-based line:column).
+  const std::string bomb(100'000, '[');
+  try {
+    (void)parse_json(bomb);
+    FAIL() << "depth bomb parsed";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("nesting depth exceeds 256"),
+              std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("1:257"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(JsonParse, DepthBombOfObjectsFailsCleanly) {
+  std::string bomb;
+  for (int i = 0; i < 100'000; ++i) {
+    bomb += "{\"k\":";
+  }
+  EXPECT_THROW((void)parse_json(bomb), JsonError);
+}
+
+TEST(JsonParse, NestingAtTheLimitStillParses) {
+  // Exactly max_depth levels parse; one more fails.
+  JsonParseOptions options;
+  options.max_depth = 4;
+  EXPECT_EQ(parse_json("[[[[1]]]]", options).dump(0), "[[[[1]]]]");
+  EXPECT_THROW((void)parse_json("[[[[[1]]]]]", options), JsonError);
+}
+
+TEST(JsonParse, MixedNestingCountsBothContainerKinds) {
+  JsonParseOptions options;
+  options.max_depth = 3;
+  EXPECT_EQ(parse_json(R"({"a":[{"b":1}]})", options).dump(0), R"({"a":[{"b":1}]})");
+  EXPECT_THROW((void)parse_json(R"({"a":[{"b":[1]}]})", options), JsonError);
+}
+
+TEST(JsonDump, NonFiniteNumbersUseStringSentinels) {
+  // JSON has no inf/nan literal; the writer encodes them as string
+  // sentinels (still valid RFC 8259) and as_number() decodes them, so the
+  // round-trip stays total (the old `null` stand-in broke every reader).
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(0), "\"inf\"");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(0), "\"-inf\"");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(0), "\"nan\"");
+}
+
+TEST(JsonDump, NonFiniteRoundTripIsByteIdentical) {
+  const Json original = Json::array({std::numeric_limits<double>::infinity(),
+                                     -std::numeric_limits<double>::infinity(),
+                                     std::numeric_limits<double>::quiet_NaN(), 1.5});
+  const std::string bytes = original.dump(0);
+  const Json reparsed = parse_json(bytes);
+  EXPECT_EQ(reparsed.dump(0), bytes);
+  EXPECT_EQ(reparsed.at(std::size_t{0}).as_number_total(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(reparsed.at(std::size_t{1}).as_number_total(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(reparsed.at(std::size_t{2}).as_number_total()));
+  EXPECT_EQ(reparsed.at(std::size_t{3}).as_number_total(), 1.5);
+}
+
+TEST(JsonAccess, StrictAsNumberRejectsTheSentinels) {
+  // Only as_number_total() decodes the writer's non-finite encoding;
+  // plain as_number() stays strict so spec/config ingestion cannot be
+  // fed smuggled inf/NaN values that evade range validation.
+  EXPECT_THROW(Json("inf").as_number(), JsonError);
+  EXPECT_THROW(Json("-inf").as_number(), JsonError);
+  EXPECT_THROW(Json("nan").as_number(), JsonError);
+}
+
+TEST(JsonAccess, NonSentinelStringIsNotANumberEvenTotally) {
+  EXPECT_THROW(Json("infinity").as_number_total(), JsonError);
+  EXPECT_THROW(Json("NaN").as_number_total(), JsonError);
+  EXPECT_THROW(Json("").as_number_total(), JsonError);
+  EXPECT_THROW(Json("infinity").as_number(), JsonError);
+}
+
+TEST(JsonFormatNumber, NonFiniteTokens) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()), "nan");
 }
 
 TEST(JsonDump, IntegersPrintWithoutFraction) {

@@ -1,0 +1,217 @@
+/// Tests for the content-addressed LRU result cache and its engine hook:
+/// hit/miss/eviction determinism (a cached result is byte-identical to a
+/// cold run), capacity-bound eviction order, batch dedup, and a
+/// multi-threaded hammer (runs under the ASan+UBSan CI job).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/hash.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
+#include "scenario/result_io.hpp"
+
+namespace greenfpga::scenario {
+namespace {
+
+ScenarioSpec compare_spec(int app_count) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  spec.name = "cache test " + std::to_string(app_count);
+  spec.schedule.app_count = app_count;
+  return spec;
+}
+
+std::string canonical(const ScenarioResult& result) {
+  return result_to_json(result).dump();
+}
+
+std::shared_ptr<const ScenarioResult> result_of(const ScenarioSpec& spec) {
+  return std::make_shared<const ScenarioResult>(
+      Engine(EngineOptions{.threads = 1}).run(spec));
+}
+
+TEST(ResultCache, MissThenHitWithCounters) {
+  ResultCache cache(8);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  cache.insert("k", result_of(compare_spec(1)));
+  const std::shared_ptr<const ScenarioResult> hit = cache.lookup("k");
+  ASSERT_NE(hit, nullptr);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.capacity, 8u);
+}
+
+TEST(ResultCache, InsertRejectsNull) {
+  ResultCache cache(2);
+  EXPECT_THROW(cache.insert("k", nullptr), std::invalid_argument);
+}
+
+TEST(ResultCache, CapacityBoundEvictionIsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const auto a = result_of(compare_spec(1));
+  const auto b = result_of(compare_spec(2));
+  const auto c = result_of(compare_spec(3));
+  cache.insert("a", a);
+  cache.insert("b", b);
+  // Freshen "a": "b" becomes the LRU entry.
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  cache.insert("c", c);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.lookup("b"), nullptr);  // evicted
+  EXPECT_NE(cache.lookup("a"), nullptr);  // survived the eviction
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(ResultCache, EvictedEntrySurvivesForHolders) {
+  // A reader holding the shared_ptr keeps its snapshot alive across
+  // eviction (the serve handler may still be serializing it).
+  ResultCache cache(1);
+  cache.insert("a", result_of(compare_spec(1)));
+  const std::shared_ptr<const ScenarioResult> held = cache.lookup("a");
+  cache.insert("b", result_of(compare_spec(2)));
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_EQ(held->spec.schedule.app_count, 1);
+}
+
+TEST(ResultCache, ClearKeepsLifetimeCounters) {
+  ResultCache cache(4);
+  cache.insert("a", result_of(compare_spec(1)));
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+}
+
+TEST(ResultCache, ZeroCapacityClampsToOne) {
+  ResultCache cache(0);
+  EXPECT_EQ(cache.stats().capacity, 1u);
+}
+
+TEST(ResultCache, EngineRunReturnsByteIdenticalCachedResult) {
+  ResultCache cache(8);
+  const Engine cached(EngineOptions{.threads = 1, .cache = &cache});
+  const Engine cold(EngineOptions{.threads = 1});
+  const ScenarioSpec spec = compare_spec(4);
+  const std::string first = canonical(cached.run(spec));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  const std::string second = canonical(cached.run(spec));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, canonical(cold.run(spec)));
+}
+
+TEST(ResultCache, RunCachedReportsHitAndStableKey) {
+  ResultCache cache(8);
+  const Engine engine(EngineOptions{.threads = 1, .cache = &cache});
+  const Engine::CachedRun first = engine.run_cached(compare_spec(2));
+  EXPECT_FALSE(first.hit);
+  const Engine::CachedRun second = engine.run_cached(compare_spec(2));
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_EQ(second.result, first.result);  // the same shared snapshot
+  EXPECT_NE(engine.run_cached(compare_spec(3)).key, first.key);
+  // Without a configured cache, run_cached still evaluates.
+  const Engine uncached(EngineOptions{.threads = 1});
+  EXPECT_FALSE(uncached.run_cached(compare_spec(2)).hit);
+}
+
+TEST(ResultCache, CacheKeyCoversSuiteAndResolvedPlatforms) {
+  const Engine engine(EngineOptions{.threads = 1});
+  ScenarioSpec spec = compare_spec(2);
+  const std::string base = engine.cache_key(spec);
+  // Same content -> same key, regardless of object identity.
+  EXPECT_EQ(engine.cache_key(compare_spec(2)), base);
+  // A model-suite change is a different content address.
+  ScenarioSpec other_suite = compare_spec(2);
+  other_suite.suite.operation.use_intensity =
+      2.0 * other_suite.suite.operation.use_intensity;
+  EXPECT_NE(engine.cache_key(other_suite), base);
+  // A different platform set too.
+  ScenarioSpec other_platforms = compare_spec(2);
+  other_platforms.platforms = {PlatformRef{.name = "asic"},
+                               PlatformRef{.name = "gpu"}};
+  EXPECT_NE(engine.cache_key(other_platforms), base);
+  // The key is a deterministic function of content, so its digest is too.
+  EXPECT_EQ(io::content_digest(base), io::content_digest(engine.cache_key(spec)));
+}
+
+TEST(ResultCache, RunBatchEvaluatesRepeatedSpecsOnce) {
+  ResultCache cache(16);
+  const Engine engine(EngineOptions{.threads = 2, .cache = &cache});
+  const ScenarioSpec a = compare_spec(1);
+  const ScenarioSpec b = compare_spec(2);
+  const std::vector<ScenarioResult> results = engine.run_batch({a, b, a, a});
+  ASSERT_EQ(results.size(), 4u);
+  // One lookup (miss) per *distinct* key, not per spec.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(canonical(results[0]), canonical(results[2]));
+  EXPECT_EQ(canonical(results[0]), canonical(results[3]));
+  // Batch results match cold individual runs byte-for-byte.
+  const Engine cold(EngineOptions{.threads = 1});
+  EXPECT_EQ(canonical(results[0]), canonical(cold.run(a)));
+  EXPECT_EQ(canonical(results[1]), canonical(cold.run(b)));
+  // A second batch over the same specs is served from the cache.
+  const std::vector<ScenarioResult> again = engine.run_batch({a, b});
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(canonical(again[0]), canonical(results[0]));
+  EXPECT_EQ(canonical(again[1]), canonical(results[1]));
+}
+
+TEST(ResultCache, MultiThreadedHammerStaysDeterministic) {
+  // Many threads, few distinct specs, a capacity small enough to force
+  // eviction churn: every returned result must still be byte-identical
+  // to the cold answer for its spec (raced under ASan+UBSan in CI).
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 25;
+  constexpr int kSpecs = 4;
+  std::vector<std::string> expected;
+  std::vector<ScenarioSpec> specs;
+  for (int s = 0; s < kSpecs; ++s) {
+    specs.push_back(compare_spec(s + 1));
+    expected.push_back(canonical(Engine(EngineOptions{.threads = 1}).run(specs.back())));
+  }
+  ResultCache cache(2);  // smaller than the working set: constant eviction
+  const Engine engine(EngineOptions{.threads = 1, .cache = &cache});
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const int s = (t + i) % kSpecs;
+        const Engine::CachedRun run = engine.run_cached(specs[s]);
+        if (canonical(*run.result) != expected[s]) {
+          failures[t] = "thread " + std::to_string(t) + " iteration " +
+                        std::to_string(i) + ": wrong result for spec " +
+                        std::to_string(s);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_LE(stats.size, 2u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace greenfpga::scenario

@@ -1,0 +1,287 @@
+/// In-process tests of the `greenfpga serve` daemon: an ephemeral-port
+/// server driven through the real socket client.  Pins the acceptance
+/// contract -- POST /v1/run responses byte-identical to
+/// `greenfpga run --format json` for all eight scenario kinds, cache
+/// hits included -- plus the stats/platforms/health endpoints, graceful
+/// 4xx errors (offending key named, depth bomb survived), and concurrent
+/// keep-alive clients (raced under ASan+UBSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "report/result_render.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_io.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+
+namespace greenfpga::serve {
+namespace {
+
+using scenario::ScenarioKind;
+using scenario::ScenarioSpec;
+
+/// Small, fast specs, one per kind (mirrors the golden suite's shapes).
+ScenarioSpec spec_for(ScenarioKind kind) {
+  ScenarioSpec spec = ScenarioSpec::make(kind, device::Domain::dnn);
+  spec.name = "serve " + to_string(kind);
+  switch (kind) {
+    case ScenarioKind::sweep:
+      spec.axes = {scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 3, 3)};
+      break;
+    case ScenarioKind::grid:
+      spec.axes = {scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e5, 1e6, 2),
+                   scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years,
+                                              0.5, 1.5, 2)};
+      break;
+    case ScenarioKind::timeline:
+      spec.timeline.horizon_years = 10.0;
+      spec.timeline.step_years = 1.0;
+      break;
+    case ScenarioKind::sensitivity:
+      spec.sensitivity.samples = 16;
+      break;
+    case ScenarioKind::montecarlo:
+      spec.montecarlo.samples = 8;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+const std::vector<ScenarioKind>& all_kinds() {
+  static const std::vector<ScenarioKind> kinds{
+      ScenarioKind::compare,     ScenarioKind::sweep,     ScenarioKind::grid,
+      ScenarioKind::timeline,    ScenarioKind::node_dse,  ScenarioKind::breakeven,
+      ScenarioKind::sensitivity, ScenarioKind::montecarlo};
+  return kinds;
+}
+
+/// One running server + context per fixture instance.
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest()
+      : context_(scenario::EngineOptions{.threads = 1}, /*cache_capacity=*/64),
+        server_(make_router(context_), ServerOptions{}) {
+    server_.start();
+  }
+  ~ServeTest() override { server_.stop(); }
+
+  [[nodiscard]] HttpClient client() { return HttpClient("127.0.0.1", server_.port()); }
+
+  ServeContext context_;
+  Server server_;
+};
+
+/// The exact bytes `greenfpga run --format json` prints for `spec`.
+std::string cli_json_bytes(const ScenarioSpec& spec) {
+  const scenario::Engine engine(scenario::EngineOptions{.threads = 1});
+  std::ostringstream out;
+  report::render_result(engine.run(spec), report::OutputFormat::json, out);
+  return out.str();
+}
+
+TEST_F(ServeTest, HealthzReportsOk) {
+  HttpClient http = client();
+  const HttpResponse response = http.request("GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(io::parse_json(response.body).at("status").as_string(), "ok");
+}
+
+TEST_F(ServeTest, PlatformsListsBuiltinsAndDomains) {
+  HttpClient http = client();
+  const HttpResponse response = http.request("GET", "/v1/platforms");
+  EXPECT_EQ(response.status, 200);
+  const io::Json body = io::parse_json(response.body);
+  const io::Json::Array& platforms = body.at("platforms").as_array();
+  ASSERT_EQ(platforms.size(), 3u);
+  EXPECT_EQ(platforms[0].as_string(), "asic");
+  EXPECT_EQ(platforms[1].as_string(), "fpga");
+  EXPECT_EQ(platforms[2].as_string(), "gpu");
+  EXPECT_EQ(body.at("domains").size(), 3u);
+}
+
+TEST_F(ServeTest, RunIsByteIdenticalToCliJsonForAllKinds) {
+  HttpClient http = client();
+  for (const ScenarioKind kind : all_kinds()) {
+    const ScenarioSpec spec = spec_for(kind);
+    const std::string body = spec_to_json(spec).dump();
+    const std::string expected = cli_json_bytes(spec);
+    // Cold: a miss, byte-identical to the CLI.
+    const HttpResponse first = http.request("POST", "/v1/run", body);
+    ASSERT_EQ(first.status, 200) << to_string(kind) << ": " << first.body;
+    EXPECT_EQ(first.header_or("x-cache"), "miss") << to_string(kind);
+    EXPECT_EQ(first.body, expected) << to_string(kind);
+    // Warm: a hit, still the same bytes.
+    const HttpResponse second = http.request("POST", "/v1/run", body);
+    ASSERT_EQ(second.status, 200) << to_string(kind);
+    EXPECT_EQ(second.header_or("x-cache"), "hit") << to_string(kind);
+    EXPECT_EQ(second.body, expected) << to_string(kind);
+    EXPECT_EQ(second.header_or("x-cache-key"), first.header_or("x-cache-key"));
+  }
+}
+
+TEST_F(ServeTest, RunAcceptsSpecFileDialectWithComments) {
+  HttpClient http = client();
+  const std::string body =
+      "// a spec file POSTed verbatim\n" + spec_to_json(spec_for(ScenarioKind::compare)).dump();
+  EXPECT_EQ(http.request("POST", "/v1/run", body).status, 200);
+}
+
+TEST_F(ServeTest, StatsCountsCacheAndRequests) {
+  HttpClient http = client();
+  const std::string body = spec_to_json(spec_for(ScenarioKind::compare)).dump();
+  (void)http.request("POST", "/v1/run", body);
+  (void)http.request("POST", "/v1/run", body);
+  const HttpResponse response = http.request("GET", "/v1/stats");
+  ASSERT_EQ(response.status, 200);
+  const io::Json stats = io::parse_json(response.body);
+  EXPECT_EQ(stats.at("cache").at("hits").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache").at("misses").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache").at("size").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache").at("capacity").as_number(), 64.0);
+  EXPECT_EQ(stats.at("requests").as_number(), 3.0);
+  EXPECT_EQ(stats.at("errors").as_number(), 0.0);
+}
+
+TEST_F(ServeTest, BatchMatchesIndividualRunsAndDedups) {
+  HttpClient http = client();
+  const ScenarioSpec a = spec_for(ScenarioKind::compare);
+  const ScenarioSpec b = spec_for(ScenarioKind::breakeven);
+  io::Json request = io::Json::object();
+  io::Json specs = io::Json::array();
+  specs.push_back(spec_to_json(a));
+  specs.push_back(spec_to_json(b));
+  specs.push_back(spec_to_json(a));  // repeated: evaluated once
+  request["specs"] = std::move(specs);
+  const HttpResponse response = http.request("POST", "/v1/batch", request.dump());
+  ASSERT_EQ(response.status, 200) << response.body;
+  const io::Json results = io::parse_json(response.body);
+  ASSERT_EQ(results.size(), 3u);
+  const scenario::Engine cold(scenario::EngineOptions{.threads = 1});
+  EXPECT_EQ(results.at(std::size_t{0}).dump(),
+            scenario::result_to_json(cold.run(a)).dump());
+  EXPECT_EQ(results.at(std::size_t{1}).dump(),
+            scenario::result_to_json(cold.run(b)).dump());
+  EXPECT_EQ(results.at(std::size_t{2}).dump(), results.at(std::size_t{0}).dump());
+  // The repeat was deduplicated: two distinct keys -> two misses.
+  EXPECT_EQ(context_.cache().stats().misses, 2u);
+}
+
+TEST_F(ServeTest, BadSpecAnswers400NamingTheOffendingKey) {
+  HttpClient http = client();
+  const HttpResponse response =
+      http.request("POST", "/v1/run", R"({"kind": "compare", "bogus_key": 1})");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(io::parse_json(response.body).at("error").as_string().find("bogus_key"),
+            std::string::npos)
+      << response.body;
+  // Bad batch entries name the index.
+  const HttpResponse batch =
+      http.request("POST", "/v1/batch", R"({"specs": [{"kind": "nope"}]})");
+  EXPECT_EQ(batch.status, 400);
+  EXPECT_NE(io::parse_json(batch.body).at("error").as_string().find("specs[0]"),
+            std::string::npos)
+      << batch.body;
+}
+
+TEST_F(ServeTest, DepthBombAnswers400WithoutCrashing) {
+  HttpClient http = client();
+  const std::string bomb(100'000, '[');
+  const HttpResponse response = http.request("POST", "/v1/run", bomb);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(io::parse_json(response.body).at("error").as_string().find("nesting depth"),
+            std::string::npos)
+      << response.body;
+  // The daemon survived: the same connection keeps serving.
+  EXPECT_EQ(http.request("GET", "/healthz").status, 200);
+}
+
+TEST_F(ServeTest, UnknownRoutesAnswer404And405) {
+  HttpClient http = client();
+  EXPECT_EQ(http.request("GET", "/nope").status, 404);
+  const HttpResponse wrong_method = http.request("GET", "/v1/run");
+  EXPECT_EQ(wrong_method.status, 405);
+  EXPECT_EQ(wrong_method.header_or("allow"), "POST");
+}
+
+TEST_F(ServeTest, OversizedBodyAnswers413) {
+  // Over the 8 MiB ingestion bound: rejected at the framing layer.
+  HttpClient http = client();
+  const std::string huge(9 * 1024 * 1024, 'x');
+  const HttpResponse response = http.request("POST", "/v1/run", huge);
+  EXPECT_EQ(response.status, 413);
+}
+
+TEST_F(ServeTest, ConcurrentClientsGetIdenticalBytes) {
+  constexpr int kClients = 6;
+  constexpr int kRequests = 8;
+  const ScenarioSpec spec = spec_for(ScenarioKind::compare);
+  const std::string body = spec_to_json(spec).dump();
+  const std::string expected = cli_json_bytes(spec);
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        HttpClient http("127.0.0.1", server_.port());
+        for (int r = 0; r < kRequests; ++r) {
+          const HttpResponse response = http.request("POST", "/v1/run", body);
+          if (response.status != 200 || response.body != expected) {
+            failures[c] = "client " + std::to_string(c) + " request " +
+                          std::to_string(r) + ": status " +
+                          std::to_string(response.status);
+            return;
+          }
+        }
+      } catch (const std::exception& error) {
+        failures[c] = error.what();
+      }
+    });
+  }
+  for (std::thread& worker : clients) {
+    worker.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  const scenario::ResultCacheStats stats = context_.cache().stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kClients) * kRequests);
+  EXPECT_EQ(stats.size, 1u);  // one distinct spec
+}
+
+TEST(ServeServer, StopUnblocksIdleConnectionsAndIsIdempotent) {
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  Server server(make_router(context), ServerOptions{});
+  server.start();
+  HttpClient http("127.0.0.1", server.port());
+  EXPECT_EQ(http.request("GET", "/healthz").status, 200);
+  // The client's keep-alive connection is idle inside the server now.
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(ServeServer, EphemeralPortsAreIndependent) {
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  Server first(make_router(context), ServerOptions{});
+  Server second(make_router(context), ServerOptions{});
+  first.start();
+  second.start();
+  EXPECT_NE(first.port(), second.port());
+  HttpClient http("127.0.0.1", second.port());
+  EXPECT_EQ(http.request("GET", "/healthz").status, 200);
+}
+
+}  // namespace
+}  // namespace greenfpga::serve
