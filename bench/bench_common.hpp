@@ -11,12 +11,114 @@
 ///     that figure, so the cost of the analytical models is tracked.
 ///
 /// `GF_BENCH_MAIN(print_function)` wires both into a main().
+///
+/// Google Benchmark is optional: when the build has it (CMake defines
+/// GREENFPGA_HAVE_BENCHMARK), the real library runs; otherwise the shim
+/// below satisfies the registration API as no-ops, so the reproduction
+/// print and its CSV emission under results/ still run on machines
+/// without libbenchmark-dev instead of the whole binary being skipped at
+/// configure time.  (`benchmark::DoNotOptimize` stays a real optimisation
+/// barrier in both modes -- the reproduction paths rely on it.)
 
+#if defined(GREENFPGA_HAVE_BENCHMARK)
 #include <benchmark/benchmark.h>
+#else
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+/// Minimal stand-in for the google-benchmark registration surface the
+/// bench/ drivers use.  Registered functions are never executed (a State
+/// iterates zero times if one ever were), and RunSpecifiedBenchmarks()
+/// prints a one-line notice so a log reader knows why no timings follow.
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+class State {
+ public:
+  /// What `for (auto _ : state)` binds: the user-provided destructor
+  /// keeps -Wunused-but-set-variable quiet on the customary unused `_`
+  /// (the real library lives in a system include dir, which silences the
+  /// warning for it; a shim in the project tree needs the dtor).
+  struct Value {
+    ~Value() {}
+  };
+  struct iterator {
+    bool operator!=(const iterator&) const { return false; }
+    iterator& operator++() { return *this; }
+    Value operator*() const { return Value(); }
+  };
+  [[nodiscard]] iterator begin() { return {}; }
+  [[nodiscard]] iterator end() { return {}; }
+  [[nodiscard]] std::int64_t range(std::size_t = 0) const { return 0; }
+  [[nodiscard]] std::int64_t iterations() const { return 0; }
+  void SetItemsProcessed(std::int64_t) {}
+  void SetBytesProcessed(std::int64_t) {}
+  void SkipWithError(const char*) {}
+  std::map<std::string, double> counters;
+};
+
+template <class T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+/// The fluent no-op returned by the BENCHMARK() macro.
+class Registration {
+ public:
+  Registration* Arg(std::int64_t) { return this; }
+  Registration* Args(std::initializer_list<std::int64_t>) { return this; }
+  Registration* DenseRange(std::int64_t, std::int64_t, std::int64_t = 1) { return this; }
+  Registration* Range(std::int64_t, std::int64_t) { return this; }
+  Registration* RangeMultiplier(int) { return this; }
+  Registration* Unit(TimeUnit) { return this; }
+  Registration* UseRealTime() { return this; }
+  Registration* Threads(int) { return this; }
+  Registration* Iterations(std::int64_t) { return this; }
+};
+
+/// Registering keeps a pointer to the function, which also marks it used
+/// (the drivers define benchmark bodies in anonymous namespaces, and
+/// -Wunused-function would otherwise fire in shim builds).
+inline Registration* RegisterShimBenchmark(void (*fn)(State&)) {
+  static Registration registration;
+  DoNotOptimize(fn);
+  return &registration;
+}
+
+inline void Initialize(int*, char**) {}
+inline bool ReportUnrecognizedArguments(int, char**) { return false; }
+inline void RunSpecifiedBenchmarks();
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define GF_BENCH_CONCAT_IMPL(a, b) a##b
+#define GF_BENCH_CONCAT(a, b) GF_BENCH_CONCAT_IMPL(a, b)
+#define BENCHMARK(fn)                                               \
+  static ::benchmark::Registration* GF_BENCH_CONCAT(gf_bench_reg_, \
+                                                    __LINE__) =     \
+      ::benchmark::RegisterShimBenchmark(fn)
+
+#endif  // GREENFPGA_HAVE_BENCHMARK
 
 #include <iostream>
 
 #include "core/paper_config.hpp"
+
+#if !defined(GREENFPGA_HAVE_BENCHMARK)
+inline void benchmark::RunSpecifiedBenchmarks() {
+  std::cout << "(google-benchmark not available in this build; reproduction "
+               "output above, timing loops skipped)\n";
+}
+#endif
 
 namespace greenfpga::bench {
 

@@ -1,0 +1,148 @@
+#include "bench/artifact.hpp"
+
+#include <utility>
+
+namespace greenfpga::bench {
+
+io::Json environment_to_json(const Environment& env) {
+  io::Json json = io::Json::object();
+  json["build_type"] = env.build_type;
+  json["compiler"] = env.compiler;
+  json["cores"] = env.cores;
+  json["os"] = env.os;
+  json["pointer_bits"] = env.pointer_bits;
+  return json;
+}
+
+Environment environment_from_json(const io::Json& json) {
+  Environment env;
+  env.cores = static_cast<int>(json.at("cores").as_int());
+  env.compiler = json.at("compiler").as_string();
+  env.build_type = json.at("build_type").as_string();
+  env.os = json.at("os").as_string();
+  env.pointer_bits = static_cast<int>(json.at("pointer_bits").as_int());
+  return env;
+}
+
+namespace {
+
+io::Json stats_to_json(const SampleStats& stats) {
+  io::Json json = io::Json::object();
+  json["mad"] = stats.mad;
+  json["max"] = stats.max;
+  json["mean"] = stats.mean;
+  json["median"] = stats.median;
+  json["min"] = stats.min;
+  json["p10"] = stats.p10;
+  json["p90"] = stats.p90;
+  json["p95"] = stats.p95;
+  json["p99"] = stats.p99;
+  return json;
+}
+
+SampleStats stats_from_json(const io::Json& json) {
+  SampleStats stats;
+  stats.mad = json.at("mad").as_number();
+  stats.max = json.at("max").as_number();
+  stats.mean = json.at("mean").as_number();
+  stats.median = json.at("median").as_number();
+  stats.min = json.at("min").as_number();
+  stats.p10 = json.at("p10").as_number();
+  stats.p90 = json.at("p90").as_number();
+  stats.p95 = json.at("p95").as_number();
+  stats.p99 = json.at("p99").as_number();
+  return stats;
+}
+
+io::Json case_to_json(const CaseResult& result) {
+  io::Json json = io::Json::object();
+  json["bytes_per_s"] = result.bytes_per_s;
+  json["group"] = result.group;
+  json["iterations"] = result.iterations;
+  json["name"] = result.name;
+  json["ops_per_s"] = result.ops_per_s;
+  json["repetitions"] = result.repetitions;
+  json["seconds"] = stats_to_json(result.seconds);
+  json["warmup"] = result.warmup;
+  return json;
+}
+
+CaseResult case_from_json(const io::Json& json) {
+  CaseResult result;
+  result.group = json.at("group").as_string();
+  result.name = json.at("name").as_string();
+  result.warmup = static_cast<int>(json.at("warmup").as_int());
+  result.repetitions = static_cast<int>(json.at("repetitions").as_int());
+  result.iterations = json.at("iterations").as_int();
+  result.seconds = stats_from_json(json.at("seconds"));
+  result.ops_per_s = json.at("ops_per_s").as_number();
+  result.bytes_per_s = json.at("bytes_per_s").as_number();
+  return result;
+}
+
+}  // namespace
+
+io::Json artifact_to_json(const BenchArtifact& artifact) {
+  io::Json json = io::Json::object();
+  io::Json cases = io::Json::array();
+  for (const CaseResult& result : artifact.cases) {
+    cases.push_back(case_to_json(result));
+  }
+  json["cases"] = std::move(cases);
+  json["environment"] = environment_to_json(artifact.environment);
+  json["group"] = artifact.group;
+  json["schema"] = artifact.schema;
+  return json;
+}
+
+BenchArtifact artifact_from_json(const io::Json& json) {
+  BenchArtifact artifact;
+  artifact.schema = json.at("schema").as_string();
+  if (artifact.schema != kArtifactSchema) {
+    throw io::JsonError("bench artifact: unsupported schema '" + artifact.schema +
+                        "' (this build reads '" + kArtifactSchema + "')");
+  }
+  artifact.group = json.at("group").as_string();
+  artifact.environment = environment_from_json(json.at("environment"));
+  for (const io::Json& entry : json.at("cases").as_array()) {
+    artifact.cases.push_back(case_from_json(entry));
+  }
+  return artifact;
+}
+
+std::string artifact_filename(const std::string& group) {
+  return "BENCH_" + group + ".json";
+}
+
+void write_artifact_file(const std::string& path, const BenchArtifact& artifact) {
+  io::write_json_file(path, artifact_to_json(artifact));
+}
+
+BenchArtifact read_artifact_file(const std::string& path) {
+  return artifact_from_json(io::parse_json_file(path));
+}
+
+std::vector<BenchArtifact> artifacts_from_results(
+    const std::vector<CaseResult>& results, const Environment& env) {
+  std::vector<BenchArtifact> artifacts;
+  for (const CaseResult& result : results) {
+    BenchArtifact* artifact = nullptr;
+    for (BenchArtifact& candidate : artifacts) {
+      if (candidate.group == result.group) {
+        artifact = &candidate;
+        break;
+      }
+    }
+    if (artifact == nullptr) {
+      artifacts.push_back(BenchArtifact{.schema = kArtifactSchema,
+                                        .group = result.group,
+                                        .environment = env,
+                                        .cases = {}});
+      artifact = &artifacts.back();
+    }
+    artifact->cases.push_back(result);
+  }
+  return artifacts;
+}
+
+}  // namespace greenfpga::bench

@@ -1,0 +1,62 @@
+#ifndef GREENFPGA_BENCH_ARTIFACT_HPP
+#define GREENFPGA_BENCH_ARTIFACT_HPP
+
+/// \file artifact.hpp
+/// The canonical `BENCH_<group>.json` bench artifact.
+///
+/// One artifact per case group, written through `io::Json` so it inherits
+/// the repo-wide canonical form: sorted keys, `io::format_number`
+/// shortest-round-trip numerics, and a byte-identical
+/// serialize -> parse -> re-serialize round-trip (pinned by
+/// tests/bench_artifact_test.cpp).  The files are checked in at the repo
+/// root as the performance baseline of record and compared per-PR by the
+/// CI bench gate (bench/compare.hpp).
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "io/json.hpp"
+
+namespace greenfpga::bench {
+
+/// Current artifact schema tag, bumped on incompatible shape changes so a
+/// stale baseline fails loudly instead of comparing garbage.
+inline constexpr const char* kArtifactSchema = "greenfpga-bench/1";
+
+/// One BENCH_<group>.json: the group's measured cases plus the machine
+/// fingerprint that produced them.
+struct BenchArtifact {
+  std::string schema = kArtifactSchema;
+  std::string group;
+  Environment environment;
+  std::vector<CaseResult> cases;
+};
+
+[[nodiscard]] io::Json environment_to_json(const Environment& env);
+[[nodiscard]] Environment environment_from_json(const io::Json& json);
+
+[[nodiscard]] io::Json artifact_to_json(const BenchArtifact& artifact);
+
+/// Inverse of `artifact_to_json`.  Throws io::JsonError on a malformed
+/// document or a schema tag this build does not understand.
+[[nodiscard]] BenchArtifact artifact_from_json(const io::Json& json);
+
+/// The conventional file name of a group's artifact ("BENCH_engine.json").
+[[nodiscard]] std::string artifact_filename(const std::string& group);
+
+/// Write `artifact` canonically (pretty-printed, trailing newline) to
+/// `path`, creating parent directories as needed.
+void write_artifact_file(const std::string& path, const BenchArtifact& artifact);
+
+/// Read and validate one artifact file.
+[[nodiscard]] BenchArtifact read_artifact_file(const std::string& path);
+
+/// Group `results` into one artifact per distinct group, in first-seen
+/// order, all stamped with `env`.
+[[nodiscard]] std::vector<BenchArtifact> artifacts_from_results(
+    const std::vector<CaseResult>& results, const Environment& env);
+
+}  // namespace greenfpga::bench
+
+#endif  // GREENFPGA_BENCH_ARTIFACT_HPP

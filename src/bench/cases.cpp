@@ -1,0 +1,253 @@
+/// \file cases.cpp
+/// The built-in bench case registry: the five hot paths the repo tracks
+/// per-PR as BENCH_<group>.json baselines.
+///
+/// Every case fixes its workload *shape* permanently -- `--quick` only
+/// reduces repetitions -- so a median measured in any mode is comparable
+/// against the checked-in baseline.  Engines run with threads = 1: the
+/// baselines measure single-worker cost, which is what scheduling and
+/// model changes move, and stays meaningful on single-core CI runners.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "io/json.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
+#include "scenario/result_io.hpp"
+#include "scenario/spec.hpp"
+
+namespace greenfpga::bench {
+
+namespace {
+
+scenario::Engine single_thread_engine() {
+  return scenario::Engine(scenario::EngineOptions{.threads = 1});
+}
+
+/// The 50x50 DNN volume x lifetime heat-map (the engine_throughput
+/// driver's grid): 2500 points x 2 platforms through the memoised
+/// embodied-carbon path.
+scenario::ScenarioSpec grid_spec() {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::grid, device::Domain::dnn);
+  spec.name = "bench engine grid";
+  spec.axes = {
+      scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e3, 1e7, 50),
+      scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years, 0.2, 2.5, 50)};
+  return spec;
+}
+
+/// 256 Table 1 Monte-Carlo samples x 2 platforms: every sample
+/// re-parameterises the suite, so this is the unmemoised full-evaluation
+/// path.
+scenario::ScenarioSpec mc_spec() {
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::montecarlo, device::Domain::dnn);
+  spec.name = "bench mc";
+  spec.montecarlo.samples = 256;
+  spec.montecarlo.seed = 42;
+  return spec;
+}
+
+/// A fleet shaped like examples/specs/batch_manifest.json -- three-way
+/// compare, 16-point sweep, 25x24 grid, node DSE, Monte-Carlo -- built in
+/// code so the case does not depend on the working directory.
+std::vector<scenario::ScenarioSpec> fleet_specs() {
+  std::vector<scenario::ScenarioSpec> specs;
+  scenario::ScenarioSpec compare = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::compare, device::Domain::crypto);
+  compare.platforms = {scenario::PlatformRef{.name = "asic", .chip = {}},
+                       scenario::PlatformRef{.name = "fpga", .chip = {}},
+                       scenario::PlatformRef{.name = "gpu", .chip = {}}};
+  specs.push_back(std::move(compare));
+  scenario::ScenarioSpec sweep = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::sweep, device::Domain::imgproc);
+  sweep.axes = {
+      scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 16, 16)};
+  specs.push_back(std::move(sweep));
+  scenario::ScenarioSpec grid =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::grid, device::Domain::dnn);
+  grid.axes = {
+      scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e3, 1e7, 25),
+      scenario::AxisSpec::linear(scenario::SweepVariable::lifetime_years, 0.2, 2.5, 24)};
+  specs.push_back(std::move(grid));
+  specs.push_back(scenario::ScenarioSpec::make(scenario::ScenarioKind::node_dse,
+                                               device::Domain::dnn));
+  scenario::ScenarioSpec mc = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::montecarlo, device::Domain::dnn);
+  mc.montecarlo.samples = 128;
+  mc.montecarlo.seed = 7;
+  specs.push_back(std::move(mc));
+  return specs;
+}
+
+/// The 25x24 grid's canonical result JSON: the "large result" the serve
+/// and batch paths round-trip per request (~hundreds of KB of text).
+std::string large_result_text() {
+  const scenario::ScenarioSpec spec = fleet_specs()[2];
+  const scenario::ScenarioResult result = single_thread_engine().run(spec);
+  return scenario::result_to_json(result).dump();
+}
+
+volatile std::size_t g_sink = 0;  ///< defeats dead-code elimination
+
+}  // namespace
+
+std::vector<BenchCase> builtin_cases() {
+  std::vector<BenchCase> cases;
+
+  cases.push_back(BenchCase{
+      .group = "engine",
+      .name = "grid_50x50",
+      .description = "Engine::run of a 50x50 DNN volume x lifetime heat-map "
+                     "(2500 points x 2 platforms, memoised embodied carbon, 1 thread)",
+      .setup = [] {
+        auto engine = std::make_shared<scenario::Engine>(single_thread_engine());
+        auto spec = std::make_shared<scenario::ScenarioSpec>(grid_spec());
+        return PreparedCase{.op =
+                                [engine, spec] {
+                                  const scenario::ScenarioResult result =
+                                      engine->run(*spec);
+                                  g_sink = result.points.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = 0.0};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "mc",
+      .name = "samples_256",
+      .description = "Engine::run of a 256-sample DNN Monte-Carlo uncertainty spec "
+                     "(full unmemoised evaluation per sample, 1 thread)",
+      .setup = [] {
+        auto engine = std::make_shared<scenario::Engine>(single_thread_engine());
+        auto spec = std::make_shared<scenario::ScenarioSpec>(mc_spec());
+        return PreparedCase{.op =
+                                [engine, spec] {
+                                  const scenario::ScenarioResult result =
+                                      engine->run(*spec);
+                                  g_sink = result.uncertainty->sample_totals_kg.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = 0.0};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "batch",
+      .name = "fleet_mixed",
+      .description = "Engine::run_batch of a 5-spec fleet shaped like "
+                     "examples/specs/batch_manifest.json (compare, sweep, 25x24 grid, "
+                     "node DSE, 128-sample MC; 1 thread)",
+      .setup = [] {
+        auto engine = std::make_shared<scenario::Engine>(single_thread_engine());
+        auto specs =
+            std::make_shared<std::vector<scenario::ScenarioSpec>>(fleet_specs());
+        return PreparedCase{.op =
+                                [engine, specs] {
+                                  const std::vector<scenario::ScenarioResult> results =
+                                      engine->run_batch(*specs);
+                                  g_sink = results.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = 0.0};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "parse_result",
+      .description = "io::parse_json of a large canonical result document "
+                     "(25x24 grid result, compact form)",
+      .setup = [] {
+        auto text = std::make_shared<std::string>(large_result_text());
+        return PreparedCase{.op =
+                                [text] {
+                                  const io::Json parsed = io::parse_json(*text);
+                                  g_sink = parsed.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = static_cast<double>(text->size())};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "dump_result",
+      .description = "io::Json::dump (compact) of the same large canonical result "
+                     "document",
+      .setup = [] {
+        auto document =
+            std::make_shared<io::Json>(io::parse_json(large_result_text()));
+        const double bytes = static_cast<double>(document->dump(0).size());
+        return PreparedCase{.op =
+                                [document] {
+                                  const std::string text = document->dump(0);
+                                  g_sink = text.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = bytes};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "cache",
+      .name = "hit",
+      .description = "ResultCache::lookup hit over 512 resident keys (content-"
+                     "addressed LRU, one shared result)",
+      .setup = [] {
+        auto cache = std::make_shared<scenario::ResultCache>(1024);
+        const scenario::ScenarioSpec spec = scenario::ScenarioSpec::make(
+            scenario::ScenarioKind::compare, device::Domain::dnn);
+        auto result = std::make_shared<const scenario::ScenarioResult>(
+            single_thread_engine().run(spec));
+        auto keys = std::make_shared<std::vector<std::string>>();
+        for (int i = 0; i < 512; ++i) {
+          keys->push_back("bench-key-" + std::to_string(i));
+          cache->insert(keys->back(), result);
+        }
+        auto next = std::make_shared<std::size_t>(0);
+        return PreparedCase{.op =
+                                [cache, keys, next] {
+                                  const auto hit =
+                                      cache->lookup((*keys)[*next % keys->size()]);
+                                  g_sink = hit ? 1 : 0;
+                                  ++*next;
+                                },
+                            .iterations = 512,
+                            .bytes_per_op = 0.0};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "cache",
+      .name = "miss",
+      .description = "ResultCache::lookup miss (absent keys against 512 resident "
+                     "entries)",
+      .setup = [] {
+        auto cache = std::make_shared<scenario::ResultCache>(1024);
+        const scenario::ScenarioSpec spec = scenario::ScenarioSpec::make(
+            scenario::ScenarioKind::compare, device::Domain::dnn);
+        auto result = std::make_shared<const scenario::ScenarioResult>(
+            single_thread_engine().run(spec));
+        for (int i = 0; i < 512; ++i) {
+          cache->insert("bench-key-" + std::to_string(i), result);
+        }
+        auto keys = std::make_shared<std::vector<std::string>>();
+        for (int i = 0; i < 512; ++i) {
+          keys->push_back("bench-absent-" + std::to_string(i));
+        }
+        auto next = std::make_shared<std::size_t>(0);
+        return PreparedCase{.op =
+                                [cache, keys, next] {
+                                  const auto hit =
+                                      cache->lookup((*keys)[*next % keys->size()]);
+                                  g_sink = hit ? 1 : 0;
+                                  ++*next;
+                                },
+                            .iterations = 512,
+                            .bytes_per_op = 0.0};
+      }});
+
+  return cases;
+}
+
+}  // namespace greenfpga::bench

@@ -1,0 +1,77 @@
+#include "bench/compare.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace greenfpga::bench {
+
+std::string to_string(CaseVerdict verdict) {
+  switch (verdict) {
+    case CaseVerdict::ok: return "ok";
+    case CaseVerdict::regressed: return "regressed";
+    case CaseVerdict::missing: return "missing";
+    case CaseVerdict::added: return "added";
+  }
+  return "unknown";
+}
+
+std::vector<CaseComparison> compare_results(
+    const std::vector<CaseResult>& results,
+    const std::vector<BenchArtifact>& baselines, double max_regression) {
+  if (!(max_regression > 0.0)) {
+    throw std::invalid_argument("compare_results: max_regression must be > 0");
+  }
+  std::vector<CaseComparison> rows;
+  std::unordered_set<std::string> matched;
+  for (const BenchArtifact& baseline : baselines) {
+    for (const CaseResult& base : baseline.cases) {
+      if (!(base.seconds.median > 0.0)) {
+        throw std::invalid_argument("compare_results: baseline case '" + base.id() +
+                                    "' has non-positive median");
+      }
+      CaseComparison row;
+      row.id = base.id();
+      row.baseline_median = base.seconds.median;
+      const CaseResult* fresh = nullptr;
+      for (const CaseResult& candidate : results) {
+        if (candidate.group == base.group && candidate.name == base.name) {
+          fresh = &candidate;
+          break;
+        }
+      }
+      if (fresh == nullptr) {
+        row.verdict = CaseVerdict::missing;
+      } else {
+        matched.insert(row.id);
+        row.current_median = fresh->seconds.median;
+        row.factor = fresh->seconds.median / base.seconds.median;
+        // Strictly-greater: a case exactly at the threshold passes.
+        row.verdict = row.factor > max_regression ? CaseVerdict::regressed
+                                                  : CaseVerdict::ok;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  for (const CaseResult& fresh : results) {
+    if (matched.contains(fresh.id())) {
+      continue;
+    }
+    rows.push_back(CaseComparison{.id = fresh.id(),
+                                  .verdict = CaseVerdict::added,
+                                  .current_median = fresh.seconds.median,
+                                  .baseline_median = 0.0,
+                                  .factor = 0.0});
+  }
+  return rows;
+}
+
+bool comparison_passes(const std::vector<CaseComparison>& rows) {
+  for (const CaseComparison& row : rows) {
+    if (row.verdict == CaseVerdict::regressed || row.verdict == CaseVerdict::missing) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace greenfpga::bench

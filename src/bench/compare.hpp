@@ -1,0 +1,59 @@
+#ifndef GREENFPGA_BENCH_COMPARE_HPP
+#define GREENFPGA_BENCH_COMPARE_HPP
+
+/// \file compare.hpp
+/// The bench regression verdict: fresh results vs checked-in baselines.
+///
+/// The contract of the CI bench gate: a case regresses when its fresh
+/// *median* exceeds the baseline median by strictly more than the
+/// tolerated factor (`max_regression`; exactly-at-threshold passes, so a
+/// gate at 10x fails only past an order of magnitude -- loose enough for
+/// shared runners, tight enough to catch the 2x-and-compounding class of
+/// regression).  A baseline case the fresh run did not execute is a
+/// failure too -- otherwise renaming a case would silently retire its
+/// baseline -- while a fresh case with no baseline yet is informational
+/// (the baseline gets checked in with the PR that adds the case).
+/// Medians only: environment fingerprints are recorded for forensics, not
+/// compared.
+
+#include <string>
+#include <vector>
+
+#include "bench/artifact.hpp"
+
+namespace greenfpga::bench {
+
+enum class CaseVerdict {
+  ok,        ///< present in both, within tolerance (or faster)
+  regressed, ///< fresh median > baseline median * max_regression
+  missing,   ///< in a baseline, not in the fresh run: gate failure
+  added,     ///< fresh case with no baseline yet: informational
+};
+
+[[nodiscard]] std::string to_string(CaseVerdict verdict);
+
+/// One case's comparison row.
+struct CaseComparison {
+  std::string id;               ///< "group/name"
+  CaseVerdict verdict = CaseVerdict::ok;
+  double current_median = 0.0;  ///< seconds; 0 when missing
+  double baseline_median = 0.0; ///< seconds; 0 when added
+  /// current/baseline median ratio (> 1 = slower); 0 unless both present.
+  double factor = 0.0;
+};
+
+/// Compare fresh `results` against `baselines`, case by case, under the
+/// tolerated slowdown `max_regression` (> 0).  Rows come back in baseline
+/// order followed by added cases in result order.  Throws
+/// std::invalid_argument on max_regression <= 0 or a baseline median <= 0
+/// (a corrupt baseline must not vacuously pass).
+[[nodiscard]] std::vector<CaseComparison> compare_results(
+    const std::vector<CaseResult>& results,
+    const std::vector<BenchArtifact>& baselines, double max_regression);
+
+/// True when no row is `regressed` or `missing`.
+[[nodiscard]] bool comparison_passes(const std::vector<CaseComparison>& rows);
+
+}  // namespace greenfpga::bench
+
+#endif  // GREENFPGA_BENCH_COMPARE_HPP

@@ -1,0 +1,48 @@
+#include "bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace greenfpga::bench {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+SampleStats compute_stats(std::vector<double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("compute_stats: empty sample set");
+  }
+  std::sort(samples.begin(), samples.end());
+  SampleStats stats;
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.p10 = percentile(samples, 10.0);
+  stats.median = percentile(samples, 50.0);
+  stats.p90 = percentile(samples, 90.0);
+  stats.p95 = percentile(samples, 95.0);
+  stats.p99 = percentile(samples, 99.0);
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double sample : samples) {
+    deviations.push_back(std::abs(sample - stats.median));
+  }
+  std::sort(deviations.begin(), deviations.end());
+  stats.mad = percentile(deviations, 50.0);
+  return stats;
+}
+
+}  // namespace greenfpga::bench

@@ -1,0 +1,49 @@
+#ifndef GREENFPGA_BENCH_STATS_HPP
+#define GREENFPGA_BENCH_STATS_HPP
+
+/// \file stats.hpp
+/// Robust summary statistics for micro-benchmark timing samples.
+///
+/// Timing samples on shared machines are contaminated by scheduler noise
+/// that is strictly one-sided (a preempted run is slower, never faster),
+/// so the harness reports order statistics -- median and percentiles --
+/// and the median absolute deviation rather than mean/stddev, which a
+/// single descheduled repetition can move arbitrarily.  The percentile
+/// scheme (linear interpolation over the sorted samples at rank
+/// p/100 * (n-1)) matches `scenario::summarise_samples`, so a percentile
+/// means the same thing in a bench artifact as in a Monte-Carlo report.
+
+#include <vector>
+
+namespace greenfpga::bench {
+
+/// Order-statistic summary of one sample set (same unit as the samples;
+/// the harness feeds per-operation seconds).
+struct SampleStats {
+  double min = 0.0;
+  double p10 = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Median absolute deviation from the median: the robust spread
+  /// (0 for a single sample).
+  double mad = 0.0;
+};
+
+/// Percentile `p` (in percent, 0..100) of an ascending-sorted sample set:
+/// linear interpolation at rank p/100 * (n-1).  Requires a non-empty,
+/// sorted input.
+[[nodiscard]] double percentile(const std::vector<double>& sorted, double p);
+
+/// Full summary of `samples` (unsorted input accepted; sorts a copy).
+/// Throws std::invalid_argument on an empty set -- a benchmark with zero
+/// repetitions has no statistics, and silently returning zeros would read
+/// as an infinitely fast case.
+[[nodiscard]] SampleStats compute_stats(std::vector<double> samples);
+
+}  // namespace greenfpga::bench
+
+#endif  // GREENFPGA_BENCH_STATS_HPP

@@ -18,9 +18,13 @@
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <regex>
 #include <sstream>
 #include <utility>
 
+#include "bench/artifact.hpp"
+#include "bench/compare.hpp"
+#include "bench/harness.hpp"
 #include "core/comparator.hpp"
 #include "core/config_io.hpp"
 #include "core/paper_config.hpp"
@@ -144,6 +148,15 @@ int print_usage(std::ostream& out, bool error) {
          "      result JSON per spec plus an aggregate index to the --output\n"
          "      directory (default batch_results); --validate re-reads every\n"
          "      emitted JSON and fails unless it round-trips canonically\n"
+         "  greenfpga bench [--filter RE] [--quick] [--list] [--out <path>]\n"
+         "                  [--compare <baseline>]... [--max-regression X]\n"
+         "      run the built-in micro-benchmark cases (engine grid, Monte-Carlo\n"
+         "      sampler, batch pool, JSON codec, result cache); --out writes one\n"
+         "      canonical BENCH_<group>.json per case group; --compare checks the\n"
+         "      medians against checked-in baselines (file or directory) and exits\n"
+         "      non-zero naming each case slower than --max-regression times its\n"
+         "      baseline (default 10); --quick lowers repetitions only, so medians\n"
+         "      stay comparable; --list prints the case registry\n"
          "  greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]\n"
          "              [--csv <out.csv>] [--json <out.json>]\n"
          "      Monte-Carlo uncertainty quantification over the Table 1 parameter\n"
@@ -267,6 +280,258 @@ int run_serve(const CommandContext& context, const std::vector<std::string>& arg
       << server.port() << " (cache capacity " << cache_capacity << ", "
       << serve_context.engine().threads() << " worker thread(s))" << std::endl;
   server.wait();
+  return 0;
+}
+
+namespace {
+
+/// Loads the baseline artifacts named by one `--compare` operand: a
+/// single artifact file, or every `BENCH_*.json` directly inside a
+/// directory (sorted, so output order is stable).
+std::vector<bench::BenchArtifact> load_baselines(const std::string& target) {
+  namespace fs = std::filesystem;
+  std::vector<bench::BenchArtifact> baselines;
+  if (fs::is_directory(target)) {
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& entry : fs::directory_iterator(target)) {
+      const std::string filename = entry.path().filename().string();
+      if (entry.is_regular_file() && filename.starts_with("BENCH_") &&
+          entry.path().extension() == ".json") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      baselines.push_back(bench::read_artifact_file(file.string()));
+    }
+  } else {
+    baselines.push_back(bench::read_artifact_file(target));
+  }
+  return baselines;
+}
+
+}  // namespace
+
+int run_bench(const CommandContext& context, const std::vector<std::string>& args,
+              std::ostream& out, std::ostream& err) {
+  std::optional<std::string> filter;
+  bool quick = false;
+  bool list = false;
+  std::optional<std::string> out_path;
+  std::vector<std::string> compare_paths;
+  std::optional<double> max_regression;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const bool has_value = i + 1 < args.size();
+    if (args[i] == "--filter" && has_value) {
+      filter = args[i + 1];
+      ++i;
+    } else if (args[i] == "--quick") {
+      quick = true;
+    } else if (args[i] == "--list") {
+      list = true;
+    } else if (args[i] == "--out" && has_value) {
+      out_path = args[i + 1];
+      ++i;
+    } else if (args[i] == "--compare" && has_value) {
+      compare_paths.push_back(args[i + 1]);
+      ++i;
+    } else if (args[i] == "--max-regression" && has_value) {
+      char* end = nullptr;
+      errno = 0;
+      const double parsed = std::strtod(args[i + 1].c_str(), &end);
+      if (args[i + 1].empty() || end != args[i + 1].c_str() + args[i + 1].size() ||
+          errno == ERANGE || !(parsed > 0.0)) {
+        err << "bench: invalid --max-regression '" << args[i + 1]
+            << "' (a factor > 0, e.g. 10)\n";
+        return 2;
+      }
+      max_regression = parsed;
+      ++i;
+    } else {
+      err << "bench: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  if (max_regression && compare_paths.empty()) {
+    err << "bench: --max-regression requires --compare\n";
+    return 2;
+  }
+
+  std::optional<std::regex> filter_re;
+  if (filter) {
+    try {
+      filter_re.emplace(*filter);
+    } catch (const std::regex_error& error) {
+      err << "bench: invalid --filter regex '" << *filter << "': " << error.what()
+          << "\n";
+      return 2;
+    }
+  }
+  const auto matches = [&filter_re](const std::string& id) {
+    return !filter_re || std::regex_search(id, *filter_re);
+  };
+
+  std::vector<bench::BenchCase> cases;
+  for (bench::BenchCase& bench_case : bench::builtin_cases()) {
+    if (matches(bench_case.id())) {
+      cases.push_back(std::move(bench_case));
+    }
+  }
+  if (list) {
+    for (const bench::BenchCase& bench_case : cases) {
+      out << bench_case.id() << "\n    " << bench_case.description << "\n";
+    }
+    return 0;
+  }
+  if (cases.empty()) {
+    err << "bench: no cases match --filter '" << filter.value_or("") << "'\n";
+    return 2;
+  }
+
+  const bench::BenchOptions options =
+      quick ? bench::BenchOptions::quick() : bench::BenchOptions{};
+  const bench::Environment environment = bench::capture_environment();
+  std::vector<bench::CaseResult> results;
+  results.reserve(cases.size());
+  for (const bench::BenchCase& bench_case : cases) {
+    results.push_back(bench::run_case(bench_case, options));
+  }
+
+  // The measurement table, through the frame IR so --format/--output
+  // dispatch like every other command.
+  report::ResultFrame frame;
+  frame.name = "bench";
+  frame.columns = {report::Column{.name = "case", .unit = ""},
+                   report::Column{.name = "reps", .unit = "", .precision = 3},
+                   report::Column{.name = "iters", .unit = "", .precision = 6},
+                   report::Column{.name = "median", .unit = "s", .precision = 4},
+                   report::Column{.name = "p10", .unit = "s", .precision = 4},
+                   report::Column{.name = "p90", .unit = "s", .precision = 4},
+                   report::Column{.name = "mad", .unit = "s", .precision = 3},
+                   report::Column{.name = "ops/s", .unit = "", .precision = 4},
+                   report::Column{.name = "MB/s", .unit = "", .precision = 4}};
+  for (const bench::CaseResult& result : results) {
+    frame.add_row({report::Cell(result.id()),
+                   report::Cell(static_cast<double>(result.repetitions)),
+                   report::Cell(static_cast<double>(result.iterations)),
+                   report::Cell(result.seconds.median), report::Cell(result.seconds.p10),
+                   report::Cell(result.seconds.p90), report::Cell(result.seconds.mad),
+                   report::Cell(result.ops_per_s),
+                   result.bytes_per_s > 0.0
+                       ? report::Cell(result.bytes_per_s / 1e6)
+                       : report::Cell(nullptr)});
+  }
+  frame.set_meta("mode", quick ? "quick" : "full");
+  frame.set_meta("compiler", environment.compiler);
+  frame.set_meta("build_type", environment.build_type);
+  frame.set_meta("cores", std::to_string(environment.cores));
+  const std::vector<report::ResultFrame> frames{std::move(frame)};
+  const int code = emit_frames(context, frames, out, err);
+  if (code != 0) {
+    return code;
+  }
+
+  const std::vector<bench::BenchArtifact> artifacts =
+      bench::artifacts_from_results(results, environment);
+  if (out_path) {
+    namespace fs = std::filesystem;
+    if (out_path->ends_with(".json")) {
+      if (artifacts.size() != 1) {
+        err << "bench: --out '" << *out_path << "' names a single file but "
+            << artifacts.size()
+            << " case groups ran; pass a directory or narrow --filter\n";
+        return 2;
+      }
+      bench::write_artifact_file(*out_path, artifacts.front());
+      out << "wrote " << *out_path << "\n";
+    } else {
+      for (const bench::BenchArtifact& artifact : artifacts) {
+        const std::string path =
+            (fs::path(*out_path) / bench::artifact_filename(artifact.group)).string();
+        bench::write_artifact_file(path, artifact);
+        out << "wrote " << path << "\n";
+      }
+    }
+  }
+
+  if (compare_paths.empty()) {
+    return 0;
+  }
+
+  // Baseline comparison.  Whole groups the run did not execute are
+  // skipped with a note (a directory baseline may track groups produced
+  // by external drivers, e.g. BENCH_serve.json), and --filter applies to
+  // baseline cases exactly as to the run, so a filtered run never reports
+  // deliberately-skipped cases as missing.  Within a compared group,
+  // a baseline case absent from the run is a failure.
+  const double limit = max_regression.value_or(10.0);
+  std::vector<bench::BenchArtifact> baselines;
+  for (const std::string& target : compare_paths) {
+    std::vector<bench::BenchArtifact> loaded = load_baselines(target);
+    if (loaded.empty()) {
+      err << "bench: no BENCH_*.json baselines found in '" << target << "'\n";
+      return 2;
+    }
+    baselines.insert(baselines.end(), std::make_move_iterator(loaded.begin()),
+                     std::make_move_iterator(loaded.end()));
+  }
+  std::vector<bench::BenchArtifact> compared;
+  for (bench::BenchArtifact& baseline : baselines) {
+    const bool executed =
+        std::any_of(artifacts.begin(), artifacts.end(),
+                    [&baseline](const bench::BenchArtifact& artifact) {
+                      return artifact.group == baseline.group;
+                    });
+    if (!executed) {
+      out << "compare: skipping baseline group '" << baseline.group
+          << "' (not executed in this run)\n";
+      continue;
+    }
+    std::erase_if(baseline.cases, [&matches](const bench::CaseResult& result) {
+      return !matches(result.id());
+    });
+    if (!baseline.cases.empty()) {
+      compared.push_back(std::move(baseline));
+    }
+  }
+  const std::vector<bench::CaseComparison> rows =
+      bench::compare_results(results, compared, limit);
+  for (const bench::CaseComparison& row : rows) {
+    out << "compare: " << to_string(row.verdict) << "  " << row.id;
+    if (row.verdict == bench::CaseVerdict::ok ||
+        row.verdict == bench::CaseVerdict::regressed) {
+      out << "  " << units::format_significant(row.factor, 3) << "x of baseline ("
+          << io::format_number(row.current_median) << " s vs "
+          << io::format_number(row.baseline_median) << " s, limit "
+          << units::format_significant(limit, 3) << "x)";
+    } else if (row.verdict == bench::CaseVerdict::missing) {
+      out << "  in baseline but not executed";
+    } else {
+      out << "  no baseline yet";
+    }
+    out << "\n";
+  }
+  bool failed = false;
+  for (const bench::CaseComparison& row : rows) {
+    if (row.verdict == bench::CaseVerdict::regressed) {
+      failed = true;
+      err << "bench: case '" << row.id << "' regressed: median "
+          << io::format_number(row.current_median) << " s vs baseline "
+          << io::format_number(row.baseline_median) << " s ("
+          << units::format_significant(row.factor, 3) << "x > limit "
+          << units::format_significant(limit, 3) << "x)\n";
+    } else if (row.verdict == bench::CaseVerdict::missing) {
+      failed = true;
+      err << "bench: case '" << row.id
+          << "' is in the baseline but was not executed (renamed or removed? "
+             "regenerate the baseline deliberately)\n";
+    }
+  }
+  if (failed) {
+    return 1;
+  }
+  out << "compare: all " << rows.size() << " case(s) within "
+      << units::format_significant(limit, 3) << "x of baseline\n";
   return 0;
 }
 
@@ -816,6 +1081,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
     }
     if (command == "batch") {
       return run_batch(context, rest, out, err);
+    }
+    if (command == "bench") {
+      return run_bench(context, rest, out, err);
     }
     if (command == "mc") {
       return run_mc(context, rest, out, err);

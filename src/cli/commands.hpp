@@ -60,6 +60,20 @@ int run_spec(const CommandContext& context, const std::vector<std::string>& args
 int run_serve(const CommandContext& context, const std::vector<std::string>& args,
               std::ostream& out, std::ostream& err);
 
+/// `greenfpga bench [--filter RE] [--quick] [--list] [--out PATH]
+/// [--compare BASELINE]... [--max-regression X]` -- run the registered
+/// micro-benchmark cases (engine grid, Monte-Carlo sampler, batch pool,
+/// JSON codec, result cache) through the dependency-free harness in
+/// src/bench/.  `--out` writes one canonical BENCH_<group>.json per case
+/// group (a directory path, or a single .json file when one group ran);
+/// `--compare` loads baselines (file or directory of BENCH_*.json) and
+/// exits 1 naming every case whose median regressed beyond
+/// `--max-regression` (a factor; default 10).  `--quick` lowers
+/// warmup/repetitions only -- workloads are fixed, so medians stay
+/// comparable with full-mode baselines.
+int run_bench(const CommandContext& context, const std::vector<std::string>& args,
+              std::ostream& out, std::ostream& err);
+
 /// `greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]
 /// [--csv <out.csv>] [--json <out.json>]` -- Monte-Carlo uncertainty
 /// quantification over the Table 1 distributions for a built-in testcase.

@@ -1,0 +1,328 @@
+/// Tests for the dependency-free micro-benchmark harness (src/bench/):
+/// the robust stats kernel, the warmup/repetition/iteration accounting
+/// under an injected fake clock, and the baseline regression verdict.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bench/compare.hpp"
+#include "bench/harness.hpp"
+#include "bench/stats.hpp"
+
+namespace greenfpga::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stats kernel
+// ---------------------------------------------------------------------------
+
+TEST(BenchStats, OddLengthPinned) {
+  const SampleStats stats = compute_stats({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  // rank = p/100 * (n-1): p10 at rank 0.4 -> 1.4, p90 at rank 3.6 -> 4.6.
+  EXPECT_DOUBLE_EQ(stats.p10, 1.4);
+  EXPECT_DOUBLE_EQ(stats.p90, 4.6);
+  EXPECT_DOUBLE_EQ(stats.p95, 4.8);
+  EXPECT_DOUBLE_EQ(stats.p99, 4.96);
+  // Deviations from the median {2,1,0,1,2} -> MAD 1.
+  EXPECT_DOUBLE_EQ(stats.mad, 1.0);
+}
+
+TEST(BenchStats, EvenLengthInterpolates) {
+  const SampleStats stats = compute_stats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(stats.median, 2.5);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.p10, 1.3);
+  EXPECT_DOUBLE_EQ(stats.p90, 3.7);
+  // Deviations {1.5, 0.5, 0.5, 1.5} -> median of the middle pair = 1.
+  EXPECT_DOUBLE_EQ(stats.mad, 1.0);
+}
+
+TEST(BenchStats, SingleSampleDegenerates) {
+  const SampleStats stats = compute_stats({7.0});
+  EXPECT_DOUBLE_EQ(stats.min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.p10, 7.0);
+  EXPECT_DOUBLE_EQ(stats.median, 7.0);
+  EXPECT_DOUBLE_EQ(stats.p90, 7.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 7.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.mad, 0.0);
+}
+
+TEST(BenchStats, EmptySampleSetThrows) {
+  EXPECT_THROW(compute_stats({}), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(BenchStats, PercentileEndpointsClamp) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 25.0), 1.5);
+}
+
+TEST(BenchStats, UnsortedInputAccepted) {
+  // compute_stats sorts internally; reversed input gives the same summary.
+  const SampleStats forward = compute_stats({1.0, 2.0, 3.0, 4.0, 5.0});
+  const SampleStats reversed = compute_stats({5.0, 4.0, 3.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(forward.median, reversed.median);
+  EXPECT_DOUBLE_EQ(forward.p10, reversed.p10);
+  EXPECT_DOUBLE_EQ(forward.mad, reversed.mad);
+}
+
+// ---------------------------------------------------------------------------
+// Harness accounting under a fake clock
+// ---------------------------------------------------------------------------
+
+/// A scripted nanosecond clock: returns the next value of `ticks` on each
+/// call and counts how often it was consulted.
+struct FakeClock {
+  std::vector<std::uint64_t> ticks;
+  std::size_t calls = 0;
+
+  std::function<std::uint64_t()> fn() {
+    return [this] {
+      if (calls >= ticks.size()) {
+        throw std::logic_error("fake clock consulted more often than scripted");
+      }
+      return ticks[calls++];
+    };
+  }
+};
+
+TEST(BenchHarness, WarmupAndRepetitionAccounting) {
+  int op_calls = 0;
+  const BenchCase bench_case{
+      .group = "test",
+      .name = "counting",
+      .description = "",
+      .setup = [&op_calls] {
+        return PreparedCase{.op = [&op_calls] { ++op_calls; },
+                            .iterations = 4,
+                            .bytes_per_op = 0.0};
+      }};
+  // Timed batches of 4 iterations: 8000 ns, 4000 ns, 16000 ns ->
+  // per-op samples 2 us, 1 us, 4 us.
+  FakeClock clock{.ticks = {0, 8000, 10000, 14000, 20000, 36000}, .calls = 0};
+  const BenchOptions options{.warmup = 2, .repetitions = 3, .clock_ns = clock.fn()};
+  const CaseResult result = run_case(bench_case, options);
+
+  // (2 warmup + 3 timed) batches x 4 iterations each.
+  EXPECT_EQ(op_calls, 20);
+  // The clock is read exactly twice per *timed* batch; warmup is untimed.
+  EXPECT_EQ(clock.calls, 6u);
+  EXPECT_EQ(result.warmup, 2);
+  EXPECT_EQ(result.repetitions, 3);
+  EXPECT_EQ(result.iterations, 4);
+  EXPECT_DOUBLE_EQ(result.seconds.min, 1e-6);
+  EXPECT_DOUBLE_EQ(result.seconds.median, 2e-6);
+  EXPECT_DOUBLE_EQ(result.seconds.max, 4e-6);
+  EXPECT_DOUBLE_EQ(result.ops_per_s, 1.0 / 2e-6);
+  EXPECT_DOUBLE_EQ(result.bytes_per_s, 0.0);
+  EXPECT_EQ(result.id(), "test/counting");
+}
+
+TEST(BenchHarness, SingleRepetitionWorks) {
+  const BenchCase bench_case{.group = "test",
+                             .name = "single",
+                             .description = "",
+                             .setup = [] {
+                               return PreparedCase{.op = [] {}, .iterations = 1,
+                                                   .bytes_per_op = 0.0};
+                             }};
+  FakeClock clock{.ticks = {1000, 4000}, .calls = 0};
+  const BenchOptions options{.warmup = 0, .repetitions = 1, .clock_ns = clock.fn()};
+  const CaseResult result = run_case(bench_case, options);
+  EXPECT_EQ(clock.calls, 2u);
+  EXPECT_DOUBLE_EQ(result.seconds.median, 3e-6);
+  EXPECT_DOUBLE_EQ(result.seconds.mad, 0.0);
+}
+
+TEST(BenchHarness, BytesPerOpDerivesBytesPerSecond) {
+  const BenchCase bench_case{.group = "test",
+                             .name = "bytes",
+                             .description = "",
+                             .setup = [] {
+                               return PreparedCase{.op = [] {}, .iterations = 2,
+                                                   .bytes_per_op = 100.0};
+                             }};
+  // One timed batch of 2 iterations taking 2000 ns -> 1 us per op.
+  FakeClock clock{.ticks = {0, 2000}, .calls = 0};
+  const BenchOptions options{.warmup = 0, .repetitions = 1, .clock_ns = clock.fn()};
+  const CaseResult result = run_case(bench_case, options);
+  EXPECT_DOUBLE_EQ(result.seconds.median, 1e-6);
+  EXPECT_DOUBLE_EQ(result.bytes_per_s, 100.0 / 1e-6);
+}
+
+TEST(BenchHarness, ZeroElapsedBatchYieldsZeroOpsPerSecond) {
+  // A clock that never advances must not produce infinite ops/s.
+  const BenchCase bench_case{.group = "test",
+                             .name = "frozen",
+                             .description = "",
+                             .setup = [] {
+                               return PreparedCase{.op = [] {}, .iterations = 1,
+                                                   .bytes_per_op = 50.0};
+                             }};
+  FakeClock clock{.ticks = {5000, 5000}, .calls = 0};
+  const BenchOptions options{.warmup = 0, .repetitions = 1, .clock_ns = clock.fn()};
+  const CaseResult result = run_case(bench_case, options);
+  EXPECT_DOUBLE_EQ(result.seconds.median, 0.0);
+  EXPECT_DOUBLE_EQ(result.ops_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.bytes_per_s, 0.0);
+}
+
+TEST(BenchHarness, InvalidCasesThrow) {
+  const BenchOptions options;
+  EXPECT_THROW(
+      (void)run_case(BenchCase{.group = "g", .name = "n", .description = "",
+                               .setup = nullptr},
+                     options),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)run_case(BenchCase{.group = "g", .name = "n", .description = "",
+                               .setup =
+                                   [] {
+                                     return PreparedCase{.op = nullptr,
+                                                         .iterations = 1,
+                                                         .bytes_per_op = 0.0};
+                                   }},
+                     options),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)run_case(BenchCase{.group = "g", .name = "n", .description = "",
+                               .setup =
+                                   [] {
+                                     return PreparedCase{.op = [] {},
+                                                         .iterations = 0,
+                                                         .bytes_per_op = 0.0};
+                                   }},
+                     options),
+      std::invalid_argument);
+}
+
+TEST(BenchHarness, BuiltinRegistryCoversTheFiveHotPaths) {
+  const std::vector<BenchCase> cases = builtin_cases();
+  ASSERT_GE(cases.size(), 5u);
+  std::vector<std::string> groups;
+  for (const BenchCase& bench_case : cases) {
+    EXPECT_TRUE(bench_case.setup) << bench_case.id();
+    EXPECT_FALSE(bench_case.description.empty()) << bench_case.id();
+    groups.push_back(bench_case.group);
+  }
+  for (const char* group : {"engine", "mc", "batch", "json", "cache"}) {
+    EXPECT_NE(std::find(groups.begin(), groups.end(), group), groups.end())
+        << "missing builtin group " << group;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression verdict
+// ---------------------------------------------------------------------------
+
+CaseResult make_result(const std::string& group, const std::string& name,
+                       double median_seconds) {
+  CaseResult result;
+  result.group = group;
+  result.name = name;
+  result.warmup = 1;
+  result.repetitions = 3;
+  result.iterations = 1;
+  result.seconds.min = median_seconds;
+  result.seconds.p10 = median_seconds;
+  result.seconds.median = median_seconds;
+  result.seconds.p90 = median_seconds;
+  result.seconds.p95 = median_seconds;
+  result.seconds.p99 = median_seconds;
+  result.seconds.max = median_seconds;
+  result.seconds.mean = median_seconds;
+  result.ops_per_s = 1.0 / median_seconds;
+  return result;
+}
+
+BenchArtifact make_baseline(const std::string& group,
+                            std::vector<CaseResult> cases) {
+  return BenchArtifact{.schema = kArtifactSchema,
+                       .group = group,
+                       .environment = capture_environment(),
+                       .cases = std::move(cases)};
+}
+
+TEST(BenchCompare, ExactlyAtThresholdPasses) {
+  const std::vector<CaseResult> current{make_result("engine", "grid", 1e-2)};
+  const std::vector<BenchArtifact> baselines{
+      make_baseline("engine", {make_result("engine", "grid", 1e-3)})};
+  // current == baseline * 10: factor exactly at the limit -> ok.
+  const std::vector<CaseComparison> rows = compare_results(current, baselines, 10.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].verdict, CaseVerdict::ok);
+  EXPECT_DOUBLE_EQ(rows[0].factor, 10.0);
+  EXPECT_TRUE(comparison_passes(rows));
+}
+
+TEST(BenchCompare, BeyondThresholdRegresses) {
+  const std::vector<CaseResult> current{make_result("engine", "grid", 1.001e-2)};
+  const std::vector<BenchArtifact> baselines{
+      make_baseline("engine", {make_result("engine", "grid", 1e-3)})};
+  const std::vector<CaseComparison> rows = compare_results(current, baselines, 10.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].verdict, CaseVerdict::regressed);
+  EXPECT_GT(rows[0].factor, 10.0);
+  EXPECT_FALSE(comparison_passes(rows));
+}
+
+TEST(BenchCompare, FasterThanBaselinePasses) {
+  const std::vector<CaseResult> current{make_result("engine", "grid", 1e-4)};
+  const std::vector<BenchArtifact> baselines{
+      make_baseline("engine", {make_result("engine", "grid", 1e-3)})};
+  const std::vector<CaseComparison> rows = compare_results(current, baselines, 10.0);
+  EXPECT_EQ(rows[0].verdict, CaseVerdict::ok);
+  EXPECT_DOUBLE_EQ(rows[0].factor, 0.1);
+}
+
+TEST(BenchCompare, BaselineCaseNotExecutedIsMissing) {
+  const std::vector<CaseResult> current{make_result("engine", "grid", 1e-3)};
+  const std::vector<BenchArtifact> baselines{make_baseline(
+      "engine",
+      {make_result("engine", "grid", 1e-3), make_result("engine", "renamed", 1e-3)})};
+  const std::vector<CaseComparison> rows = compare_results(current, baselines, 10.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].verdict, CaseVerdict::ok);
+  EXPECT_EQ(rows[1].id, "engine/renamed");
+  EXPECT_EQ(rows[1].verdict, CaseVerdict::missing);
+  EXPECT_FALSE(comparison_passes(rows));
+}
+
+TEST(BenchCompare, NewCaseWithoutBaselineIsAddedAndPasses) {
+  const std::vector<CaseResult> current{make_result("engine", "grid", 1e-3),
+                                        make_result("engine", "fresh", 1e-3)};
+  const std::vector<BenchArtifact> baselines{
+      make_baseline("engine", {make_result("engine", "grid", 1e-3)})};
+  const std::vector<CaseComparison> rows = compare_results(current, baselines, 10.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].id, "engine/fresh");
+  EXPECT_EQ(rows[1].verdict, CaseVerdict::added);
+  EXPECT_TRUE(comparison_passes(rows));
+}
+
+TEST(BenchCompare, InvalidInputsThrow) {
+  const std::vector<CaseResult> current{make_result("engine", "grid", 1e-3)};
+  const std::vector<BenchArtifact> baselines{
+      make_baseline("engine", {make_result("engine", "grid", 1e-3)})};
+  EXPECT_THROW((void)compare_results(current, baselines, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)compare_results(current, baselines, -1.0), std::invalid_argument);
+  const std::vector<BenchArtifact> corrupt{
+      make_baseline("engine", {make_result("engine", "grid", 0.0)})};
+  EXPECT_THROW((void)compare_results(current, corrupt, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenfpga::bench
