@@ -11,7 +11,9 @@
 
 #include "bench_common.hpp"
 #include "device/catalog.hpp"
+#include "device/platform_registry.hpp"
 #include "io/table.hpp"
+#include "scenario/engine.hpp"
 #include "scenario/sweep.hpp"
 #include "units/format.hpp"
 #include "units/units.hpp"
@@ -56,44 +58,54 @@ void print_split_table() {
                      units::format_significant(split.total().canonical() / monolithic, 3)});
     }
   }
+  // The sweet spot ships as the registry's first-class "chiplet_fpga"
+  // platform: per_chip_embodied dispatches on its chiplet_count.
+  const device::ChipSpec registry_chiplet =
+      device::PlatformRegistry::builtins().resolve("chiplet_fpga", device::Domain::dnn);
+  const core::CfpBreakdown registry_split = model.per_chip_embodied(registry_chiplet);
+  table.add_row({"registry chiplet_fpga (" + registry_chiplet.chiplet_package + ")",
+                 std::to_string(registry_chiplet.chiplet_count),
+                 units::format_significant(
+                     model.fab_model().yield(
+                         registry_chiplet.node,
+                         registry_chiplet.die_area /
+                             static_cast<double>(registry_chiplet.chiplet_count)),
+                     3),
+                 units::format_significant(registry_split.manufacturing.canonical(), 4),
+                 units::format_significant(registry_split.packaging.canonical(), 4),
+                 units::format_significant(registry_split.total().canonical(), 4),
+                 units::format_significant(registry_split.total().canonical() / monolithic,
+                                           3)});
   std::cout << "600 mm^2 DNN iso-FPGA, chiplet constructions (per chip):\n"
             << table.render() << "\n";
 }
 
 void print_crossover_effect() {
-  // Approximate the schedule-level effect: scale the FPGA embodied carbon
-  // by the best chiplet construction's ratio and recompute the Fig. 4
-  // crossover analytically from the sweep series.
-  const core::LifecycleModel model(core::paper_suite());
-  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
-  const double mono = model.per_chip_embodied(fpga).total().canonical();
-  const double best =
-      model
-          .per_chip_embodied_chiplet(fpga, 4, style(pkg::PackageType::emib))
-          .total()
-          .canonical();
-
-  const scenario::SweepEngine engine(model, device::domain_testcase(device::Domain::dnn));
-  const auto series = engine.sweep_app_count(1, 12, bench::kDefaults.app_lifetime,
-                                             bench::kDefaults.app_volume);
-  // Adjust the FPGA series by the per-chip embodied delta x fleet size.
-  const double delta_kg = (best - mono) * bench::kDefaults.app_volume;
-  std::vector<double> adjusted = series.fpga_totals_kg();
-  for (double& value : adjusted) {
-    value += delta_kg;
-  }
-  const auto base_a2f =
-      first_crossover(series.crossovers(), scenario::CrossoverKind::a2f);
-  const auto chiplet_a2f = first_crossover(
-      scenario::find_crossovers(series.x, series.asic_totals_kg(), adjusted),
-      scenario::CrossoverKind::a2f);
+  // The schedule-level effect through the unified engine: sweep the app
+  // count for asic-vs-fpga and asic-vs-chiplet_fpga (the registry
+  // platform -- no hand-adjusted series) and compare the A2F crossover.
+  const auto a2f_for = [](const std::string& platform) {
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::make(scenario::ScenarioKind::sweep, device::Domain::dnn);
+    spec.name = "asic vs " + platform + " app sweep";
+    spec.axes = {
+        scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 12, 12)};
+    spec.platforms = {scenario::PlatformRef{.name = "asic", .chip = std::nullopt},
+                      scenario::PlatformRef{.name = platform, .chip = std::nullopt}};
+    const scenario::Engine engine;
+    return first_crossover(engine.run(spec).sweep_series().crossovers(),
+                           scenario::CrossoverKind::a2f);
+  };
+  const auto base_a2f = a2f_for("fpga");
+  const auto chiplet_a2f = a2f_for("chiplet_fpga");
 
   io::TextTable table;
   table.set_headers({"FPGA construction", "DNN A2F crossover [apps]"});
-  table.add_row({"monolithic",
+  table.add_row({"monolithic (registry fpga)",
                  base_a2f ? units::format_significant(*base_a2f, 4) : std::string("none")});
-  table.add_row({"4-chiplet EMIB", chiplet_a2f ? units::format_significant(*chiplet_a2f, 4)
-                                               : std::string("none")});
+  table.add_row({"registry chiplet_fpga",
+                 chiplet_a2f ? units::format_significant(*chiplet_a2f, 4)
+                             : std::string("none")});
   std::cout << "crossover effect of chiplet construction:\n" << table.render();
 }
 
@@ -115,6 +127,16 @@ void bm_chiplet_embodied(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_chiplet_embodied)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_registry_chiplet_embodied(benchmark::State& state) {
+  const core::LifecycleModel model(core::paper_suite());
+  const device::ChipSpec chiplet =
+      device::PlatformRegistry::builtins().resolve("chiplet_fpga", device::Domain::dnn);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.per_chip_embodied(chiplet));
+  }
+}
+BENCHMARK(bm_registry_chiplet_embodied);
 
 }  // namespace
 

@@ -1,5 +1,5 @@
 /// \file cases.cpp
-/// The built-in bench case registry: the five hot paths the repo tracks
+/// The built-in bench case registry: the six hot paths the repo tracks
 /// per-PR as BENCH_<group>.json baselines.
 ///
 /// Every case fixes its workload *shape* permanently -- `--quick` only
@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "dse/frontier_spec.hpp"
 #include "io/json.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/result_cache.hpp"
@@ -49,6 +50,22 @@ scenario::ScenarioSpec mc_spec() {
   spec.name = "bench mc";
   spec.montecarlo.samples = 256;
   spec.montecarlo.seed = 42;
+  return spec;
+}
+
+/// The four-way 16x12 DNN frontier: 192 cells x 4 platforms through the
+/// memoised search, plus winner/slice/boundary extraction.
+scenario::ScenarioSpec frontier_spec() {
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::make(
+      scenario::ScenarioKind::frontier, device::Domain::dnn);
+  spec.name = "bench frontier";
+  spec.platforms = {scenario::PlatformRef{.name = "asic", .chip = {}},
+                    scenario::PlatformRef{.name = "fpga", .chip = {}},
+                    scenario::PlatformRef{.name = "gpu", .chip = {}},
+                    scenario::PlatformRef{.name = "cpu", .chip = {}}};
+  spec.frontier.axes = {
+      dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1, 16, 16),
+      dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e3, 1e7, 12)};
   return spec;
 }
 
@@ -130,6 +147,25 @@ std::vector<BenchCase> builtin_cases() {
                                   const scenario::ScenarioResult result =
                                       engine->run(*spec);
                                   g_sink = result.uncertainty->sample_totals_kg.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = 0.0};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "frontier",
+      .name = "four_way_16x12",
+      .description = "Engine::run of a four-way (asic/fpga/gpu/cpu) DNN frontier "
+                     "search over a 16x12 apps x volume grid (192 cells, winner + "
+                     "slice + boundary extraction, 1 thread)",
+      .setup = [] {
+        auto engine = std::make_shared<scenario::Engine>(single_thread_engine());
+        auto spec = std::make_shared<scenario::ScenarioSpec>(frontier_spec());
+        return PreparedCase{.op =
+                                [engine, spec] {
+                                  const scenario::ScenarioResult result =
+                                      engine->run(*spec);
+                                  g_sink = result.frontier->cells.size();
                                 },
                             .iterations = 1,
                             .bytes_per_op = 0.0};

@@ -29,6 +29,7 @@
 #include "core/config_io.hpp"
 #include "core/paper_config.hpp"
 #include "device/catalog.hpp"
+#include "dse/frontier_spec.hpp"
 #include "report/figure_writer.hpp"
 #include "report/markdown_report.hpp"
 #include "report/result_render.hpp"
@@ -99,6 +100,41 @@ int emit_frames(const CommandContext& context,
       out, err);
 }
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream stream(text);
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+/// Default axis shape for one `--axes` entry of `greenfpga frontier`;
+/// custom ranges go through `greenfpga run` with a frontier spec.
+std::optional<dse::FrontierAxisSpec> frontier_axis_preset(const std::string& name) {
+  const std::optional<dse::FrontierVariable> variable =
+      dse::parse_frontier_variable(name);
+  if (!variable) {
+    return std::nullopt;
+  }
+  switch (*variable) {
+    case dse::FrontierVariable::app_count:
+      return dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1.0, 10.0,
+                                           10);
+    case dse::FrontierVariable::lifetime_years:
+      return dse::FrontierAxisSpec::linear(dse::FrontierVariable::lifetime_years, 0.5,
+                                           8.0, 10);
+    case dse::FrontierVariable::volume:
+      return dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e4, 1e7, 10);
+    case dse::FrontierVariable::node:
+      return dse::FrontierAxisSpec::node_list({});
+  }
+  return std::nullopt;
+}
+
 /// Shared tail of `run` and `mc`: evaluate the spec, render per --format,
 /// write the optional legacy machine-readable exports.
 int run_and_emit(const CommandContext& context, const scenario::ScenarioSpec& spec,
@@ -157,6 +193,14 @@ int print_usage(std::ostream& out, bool error) {
          "      non-zero naming each case slower than --max-regression times its\n"
          "      baseline (default 10); --quick lowers repetitions only, so medians\n"
          "      stay comparable; --list prints the case registry\n"
+         "  greenfpga frontier <dnn|imgproc|crypto> [--platforms a,b,...] [--axes x,y]\n"
+         "                     [--objective total|embodied|operational] [--samples N]\n"
+         "                     [--seed S] [--json <out.json>]\n"
+         "      platform win-region DSE: evaluate every registry platform\n"
+         "      (default asic,fpga,gpu,cpu) over a deployment grid (default\n"
+         "      apps x volume; axes: apps, lifetime, volume, node), report the\n"
+         "      per-cell winner, win fractions, breakeven boundary polylines, and\n"
+         "      (with --samples) Monte-Carlo win confidence\n"
          "  greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]\n"
          "              [--csv <out.csv>] [--json <out.json>]\n"
          "      Monte-Carlo uncertainty quantification over the Table 1 parameter\n"
@@ -533,6 +577,95 @@ int run_bench(const CommandContext& context, const std::vector<std::string>& arg
   out << "compare: all " << rows.size() << " case(s) within "
       << units::format_significant(limit, 3) << "x of baseline\n";
   return 0;
+}
+
+int run_frontier(const CommandContext& context, const std::vector<std::string>& args,
+                 std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "frontier: expected <dnn|imgproc|crypto> [--platforms a,b,...] [--axes x,y]"
+           " [--objective total|embodied|operational] [--samples N] [--seed S]"
+           " [--json <out.json>]\n";
+    return 2;
+  }
+  const auto domain = parse_domain(args[0]);
+  if (!domain) {
+    err << "frontier: unknown domain '" << args[0] << "'\n";
+    return 2;
+  }
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::frontier, *domain);
+  std::vector<std::string> platforms{"asic", "fpga", "gpu", "cpu"};
+  std::optional<std::string> json_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const bool has_value = i + 1 < args.size();
+    if (args[i] == "--platforms" && has_value) {
+      platforms = split_csv(args[i + 1]);
+      if (platforms.size() < 2) {
+        err << "frontier: --platforms needs at least two comma-separated names\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--axes" && has_value) {
+      spec.frontier.axes.clear();
+      for (const std::string& name : split_csv(args[i + 1])) {
+        const auto axis = frontier_axis_preset(name);
+        if (!axis) {
+          err << "frontier: unknown axis '" << name
+              << "' (apps, lifetime, volume, node)\n";
+          return 2;
+        }
+        spec.frontier.axes.push_back(*axis);
+      }
+      ++i;
+    } else if (args[i] == "--objective" && has_value) {
+      const auto objective = dse::parse_frontier_objective(args[i + 1]);
+      if (!objective) {
+        err << "frontier: unknown --objective '" << args[i + 1]
+            << "' (total, embodied, operational)\n";
+        return 2;
+      }
+      spec.frontier.objective = *objective;
+      ++i;
+    } else if (args[i] == "--samples" && has_value) {
+      io::Json value = io::Json::object();
+      try {
+        value["samples"] = io::parse_json(args[i + 1]);
+        spec.frontier.confidence_samples =
+            static_cast<int>(core::int_field_or(value, "samples", 0, 0, 1'000'000));
+      } catch (const std::exception& error) {
+        err << "frontier: invalid --samples '" << args[i + 1] << "': " << error.what()
+            << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--seed" && has_value) {
+      io::Json value = io::Json::object();
+      try {
+        value["seed"] = io::parse_json(args[i + 1]);
+        spec.frontier.seed =
+            static_cast<unsigned>(core::int_field_or(value, "seed", 0, 0, 4294967295LL));
+      } catch (const std::exception& error) {
+        err << "frontier: invalid --seed '" << args[i + 1] << "': " << error.what()
+            << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--json" && has_value) {
+      json_out = args[i + 1];
+      ++i;
+    } else {
+      err << "frontier: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  spec.platforms.clear();
+  std::string joined;
+  for (const std::string& name : platforms) {
+    spec.platforms.push_back(scenario::PlatformRef{.name = name, .chip = std::nullopt});
+    joined += (joined.empty() ? "" : " vs ") + name;
+  }
+  spec.name = to_string(*domain) + " platform frontier: " + joined;
+  return run_and_emit(context, spec, json_out, std::nullopt, out, err);
 }
 
 int run_mc(const CommandContext& context, const std::vector<std::string>& args,
@@ -1084,6 +1217,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
     }
     if (command == "bench") {
       return run_bench(context, rest, out, err);
+    }
+    if (command == "frontier") {
+      return run_frontier(context, rest, out, err);
     }
     if (command == "mc") {
       return run_mc(context, rest, out, err);

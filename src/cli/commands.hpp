@@ -74,6 +74,14 @@ int run_serve(const CommandContext& context, const std::vector<std::string>& arg
 int run_bench(const CommandContext& context, const std::vector<std::string>& args,
               std::ostream& out, std::ostream& err);
 
+/// `greenfpga frontier <dnn|imgproc|crypto> [--platforms a,b,...]
+/// [--axes x,y] [--objective total|embodied|operational] [--samples N]
+/// [--seed S] [--json <out.json>]` -- platform win-region DSE over a
+/// deployment grid: per-cell winners, win fractions, breakeven boundary
+/// polylines, optional Monte-Carlo win confidence.
+int run_frontier(const CommandContext& context, const std::vector<std::string>& args,
+                 std::ostream& out, std::ostream& err);
+
 /// `greenfpga mc <dnn|imgproc|crypto> [--samples N] [--seed S]
 /// [--csv <out.csv>] [--json <out.json>]` -- Monte-Carlo uncertainty
 /// quantification over the Table 1 distributions for a built-in testcase.

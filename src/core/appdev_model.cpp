@@ -20,7 +20,8 @@ AppDevModel::AppDevModel(AppDevParameters parameters) : parameters_(parameters) 
       parameters_.backend_time.canonical() < 0.0 ||
       parameters_.config_time.canonical() < 0.0 ||
       parameters_.asic_software_dev_time.canonical() < 0.0 ||
-      parameters_.gpu_software_dev_time.canonical() < 0.0) {
+      parameters_.gpu_software_dev_time.canonical() < 0.0 ||
+      parameters_.cpu_software_dev_time.canonical() < 0.0) {
     throw std::invalid_argument("AppDevModel: times must be non-negative");
   }
 }
@@ -57,6 +58,8 @@ units::TimeSpan AppDevModel::engineering_time(device::ChipKind kind) const {
       return parameters_.asic_software_dev_time;
     case device::ChipKind::gpu:
       return parameters_.gpu_software_dev_time;
+    case device::ChipKind::cpu:
+      return parameters_.cpu_software_dev_time;
   }
   throw std::invalid_argument("engineering_time: unknown chip kind");
 }

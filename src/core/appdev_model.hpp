@@ -44,7 +44,8 @@ class AppDevModel {
   [[nodiscard]] AppDevBreakdown per_application(double chip_volume, bool is_fpga) const;
 
   /// Platform-kind dispatch: FPGA -> hardware flow (T_FE + T_BE + config),
-  /// ASIC -> optional software flow, GPU -> kernel-porting software flow.
+  /// ASIC -> optional software flow, GPU -> kernel-porting software flow,
+  /// CPU -> plain-software flow.
   [[nodiscard]] AppDevBreakdown per_application(double chip_volume,
                                                 device::ChipKind kind) const;
 

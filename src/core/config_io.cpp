@@ -84,7 +84,8 @@ AppDevParameters appdev_from_json(const Json& json, AppDevParameters p) {
   check_keys(json, "appdev parameters",
              {"frontend_months", "backend_months", "config_minutes", "dev_system_power_w",
               "dev_systems", "dev_intensity_g_per_kwh", "accounting",
-              "asic_software_dev_months", "gpu_software_dev_months"});
+              "asic_software_dev_months", "gpu_software_dev_months",
+              "cpu_software_dev_months"});
   p.frontend_time = json.number_or("frontend_months", p.frontend_time.in(months)) * months;
   p.backend_time = json.number_or("backend_months", p.backend_time.in(months)) * months;
   p.config_time = json.number_or("config_minutes", p.config_time.in(minutes)) * minutes;
@@ -108,6 +109,8 @@ AppDevParameters appdev_from_json(const Json& json, AppDevParameters p) {
       months;
   p.gpu_software_dev_time =
       json.number_or("gpu_software_dev_months", p.gpu_software_dev_time.in(months)) * months;
+  p.cpu_software_dev_time =
+      json.number_or("cpu_software_dev_months", p.cpu_software_dev_time.in(months)) * months;
   return p;
 }
 
@@ -227,7 +230,7 @@ ModelSuite suite_from_json(const Json& json, ModelSuite defaults) {
 device::ChipSpec chip_from_json(const Json& json) {
   check_keys(json, "chip",
              {"name", "kind", "node", "die_area_mm2", "peak_power_w", "capacity_gates",
-              "service_life_years"});
+              "service_life_years", "chiplet_count", "chiplet_package"});
   device::ChipSpec chip;
   chip.name = json.string_or("name", "chip");
   const std::string kind = json.string_or("kind", "asic");
@@ -237,9 +240,11 @@ device::ChipSpec chip_from_json(const Json& json) {
     chip.kind = device::ChipKind::fpga;
   } else if (kind == "gpu") {
     chip.kind = device::ChipKind::gpu;
+  } else if (kind == "cpu") {
+    chip.kind = device::ChipKind::cpu;
   } else {
-    throw ConfigError("chip.kind must be \"asic\", \"fpga\" or \"gpu\", got \"" + kind +
-                      "\"");
+    throw ConfigError("chip.kind must be \"asic\", \"fpga\", \"gpu\" or \"cpu\", got \"" +
+                      kind + "\"");
   }
   const std::string node_text = json.string_or("node", "10nm");
   const auto node = tech::parse_node(node_text);
@@ -263,8 +268,12 @@ device::ChipSpec chip_from_json(const Json& json) {
   }
   chip.service_life =
       json.number_or("service_life_years",
-                     chip.is_fpga() ? 15.0 : (chip.is_gpu() ? 7.0 : 8.0)) *
+                     chip.is_fpga() ? 15.0
+                                    : (chip.is_gpu() ? 7.0 : (chip.is_cpu() ? 5.0 : 8.0))) *
       years;
+  chip.chiplet_count =
+      static_cast<int>(int_field_or(json, "chiplet_count", chip.chiplet_count, 1, 64));
+  chip.chiplet_package = json.string_or("chiplet_package", chip.chiplet_package);
   chip.validate();
   return chip;
 }
@@ -345,6 +354,7 @@ Json to_json(const ModelSuite& suite) {
       suite.appdev.accounting == AppDevAccounting::one_time ? "one_time" : "per_year";
   appdev["asic_software_dev_months"] = suite.appdev.asic_software_dev_time.in(months);
   appdev["gpu_software_dev_months"] = suite.appdev.gpu_software_dev_time.in(months);
+  appdev["cpu_software_dev_months"] = suite.appdev.cpu_software_dev_time.in(months);
 
   Json fab = Json::object();
   fab["energy_intensity_g_per_kwh"] = suite.fab.fab_energy_intensity.in(g_per_kwh);
@@ -382,12 +392,15 @@ Json to_json(const ModelSuite& suite) {
 Json to_json(const device::ChipSpec& chip) {
   Json out = Json::object();
   out["name"] = chip.name;
-  out["kind"] = chip.is_fpga() ? "fpga" : (chip.is_gpu() ? "gpu" : "asic");
+  out["kind"] = chip.is_fpga() ? "fpga"
+                               : (chip.is_gpu() ? "gpu" : (chip.is_cpu() ? "cpu" : "asic"));
   out["node"] = tech::to_string(chip.node);
   out["die_area_mm2"] = chip.die_area.in(mm2);
   out["peak_power_w"] = chip.peak_power.in(w);
   out["capacity_gates"] = chip.capacity_gates;
   out["service_life_years"] = chip.service_life.in(years);
+  out["chiplet_count"] = chip.chiplet_count;
+  out["chiplet_package"] = chip.chiplet_package;
   return out;
 }
 
@@ -452,9 +465,12 @@ PlatformCfp platform_cfp_from_json(const Json& json) {
     platform.kind = device::ChipKind::fpga;
   } else if (kind == "GPU") {
     platform.kind = device::ChipKind::gpu;
+  } else if (kind == "CPU") {
+    platform.kind = device::ChipKind::cpu;
   } else {
-    throw ConfigError("platform result kind must be \"ASIC\", \"FPGA\" or \"GPU\", got \"" +
-                      kind + "\"");
+    throw ConfigError(
+        "platform result kind must be \"ASIC\", \"FPGA\", \"GPU\" or \"CPU\", got \"" +
+        kind + "\"");
   }
   platform.chips_manufactured = json.number_or("chips_manufactured", 0.0);
   platform.total = breakdown_from_json(json.at("total"));

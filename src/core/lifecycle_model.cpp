@@ -67,7 +67,9 @@ bool same_chip(const device::ChipSpec& a, const device::ChipSpec& b) {
          a.die_area.canonical() == b.die_area.canonical() &&
          a.peak_power.canonical() == b.peak_power.canonical() &&
          a.capacity_gates == b.capacity_gates &&
-         a.service_life.canonical() == b.service_life.canonical() && a.name == b.name;
+         a.service_life.canonical() == b.service_life.canonical() &&
+         a.chiplet_count == b.chiplet_count &&
+         a.chiplet_package == b.chiplet_package && a.name == b.name;
 }
 
 /// Cache growth bound; past it, lookups miss and results are recomputed.
@@ -82,18 +84,36 @@ CfpBreakdown LifecycleModel::per_chip_embodied(const device::ChipSpec& chip) con
       return entry.embodied;
     }
   }
-  const act::ManufacturingBreakdown mfg = fab_.manufacture_die(chip.node, chip.die_area);
-  const pkg::PackageBreakdown package = package_.package(chip.die_area);
-  const units::Mass mass = package_.package_mass(chip.die_area);
-  const eol::EolBreakdown end_of_life = eol_.end_of_life(mass);
-  const CfpBreakdown result{
-      .design = units::CarbonMass{},
-      .manufacturing = mfg.total(),
-      .packaging = package.total(),
-      .eol = end_of_life.total(),
-      .operational = units::CarbonMass{},
-      .app_dev = units::CarbonMass{},
-  };
+  CfpBreakdown result;
+  if (chip.chiplet_count > 1) {
+    // Chiplet-constructed devices (e.g. the registry's "chiplet_fpga")
+    // route through the ECO-CHIP model: the chip carries its die count and
+    // package style, the suite supplies every other package parameter.
+    const std::optional<pkg::PackageType> type =
+        pkg::parse_package_type(chip.chiplet_package);
+    if (!type) {
+      throw std::invalid_argument("per_chip_embodied: chip '" + chip.name +
+                                  "': unknown chiplet package \"" +
+                                  chip.chiplet_package + "\"");
+    }
+    pkg::PackageParameters parameters = suite_.package;
+    parameters.type = *type;
+    result = per_chip_embodied_chiplet(chip, chip.chiplet_count, parameters);
+  } else {
+    const act::ManufacturingBreakdown mfg =
+        fab_.manufacture_die(chip.node, chip.die_area);
+    const pkg::PackageBreakdown package = package_.package(chip.die_area);
+    const units::Mass mass = package_.package_mass(chip.die_area);
+    const eol::EolBreakdown end_of_life = eol_.end_of_life(mass);
+    result = CfpBreakdown{
+        .design = units::CarbonMass{},
+        .manufacturing = mfg.total(),
+        .packaging = package.total(),
+        .eol = end_of_life.total(),
+        .operational = units::CarbonMass{},
+        .app_dev = units::CarbonMass{},
+    };
+  }
   if (embodied_cache_.size() < kEmbodiedCacheLimit) {
     embodied_cache_.push_back({chip, result});
   }

@@ -88,6 +88,10 @@ struct AppDevParameters {
   /// porting and tuning -- faster than RTL, slower than nothing).  Used by
   /// the three-way platform extension.
   units::TimeSpan gpu_software_dev_time = 0.75 * units::unit::months;
+  /// Per-application software development time for CPU platforms: plain
+  /// software against a mature toolchain, the cheapest flow of all.  Used
+  /// by the four-way platform extension (TOCS follow-up).
+  units::TimeSpan cpu_software_dev_time = 0.5 * units::unit::months;
 };
 
 }  // namespace greenfpga::core

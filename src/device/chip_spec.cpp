@@ -15,6 +15,8 @@ std::string to_string(ChipKind kind) {
       return "FPGA";
     case ChipKind::gpu:
       return "GPU";
+    case ChipKind::cpu:
+      return "CPU";
   }
   return "unknown";
 }
@@ -46,6 +48,13 @@ void ChipSpec::validate() const {
   }
   if (service_life.canonical() <= 0.0) {
     throw std::invalid_argument("ChipSpec '" + name + "': service life must be positive");
+  }
+  if (chiplet_count < 1) {
+    throw std::invalid_argument("ChipSpec '" + name + "': chiplet count must be >= 1");
+  }
+  if (chiplet_package.empty()) {
+    throw std::invalid_argument("ChipSpec '" + name +
+                                "': chiplet package must be non-empty");
   }
 }
 

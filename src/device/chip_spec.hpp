@@ -19,6 +19,9 @@ enum class ChipKind {
   gpu,   ///< programmable accelerator; reused across applications via
          ///< software, but no circuit-level reconfigurability (paper §1:
          ///< "GPUs have high power and less flexibility than FPGAs")
+  cpu,   ///< general-purpose processor; the software-only baseline of the
+         ///< TOCS follow-up ("FPGAs against ASICs, GPUs, and CPUs"):
+         ///< maximal reuse, worst iso-performance silicon and power
 };
 
 [[nodiscard]] std::string to_string(ChipKind kind);
@@ -45,9 +48,20 @@ struct ChipSpec {
   /// Useful service life of the physical chip (not of any one application).
   /// Paper §2: FPGAs last 12-15 years, ASICs become obsolete in 5-8.
   units::TimeSpan service_life = 15.0 * units::unit::years;
+  /// Chiplet construction (ECO-CHIP): the device's total silicon fabbed as
+  /// this many equal chiplets.  1 = monolithic (the paper default); values
+  /// above 1 route embodied carbon through
+  /// `LifecycleModel::per_chip_embodied_chiplet`.
+  int chiplet_count = 1;
+  /// Advanced package style joining the chiplets ("rdl_fanout",
+  /// "silicon_interposer", "emib", "three_d"); parsed by
+  /// `pkg::parse_package_type` at evaluation time.  Ignored while
+  /// `chiplet_count == 1`.
+  std::string chiplet_package = "emib";
 
   [[nodiscard]] bool is_fpga() const { return kind == ChipKind::fpga; }
   [[nodiscard]] bool is_gpu() const { return kind == ChipKind::gpu; }
+  [[nodiscard]] bool is_cpu() const { return kind == ChipKind::cpu; }
   /// Platforms whose silicon is reused across applications (Eq. 2 shape).
   [[nodiscard]] bool is_reusable() const { return kind != ChipKind::asic; }
 

@@ -40,6 +40,24 @@ IsoPerformanceRatios gpu_domain_ratios(Domain domain) {
   throw std::invalid_argument("gpu_domain_ratios: unknown domain");
 }
 
+IsoPerformanceRatios cpu_domain_ratios(Domain domain) {
+  // Extension estimates (not Table 2): published accelerator-vs-CPU gaps
+  // put domain ASICs 1-2 orders of magnitude ahead of general-purpose
+  // cores in perf/W (the TPU paper's ~30-80x over server CPUs for DNNs is
+  // the canonical data point).  At iso-performance the CPU platform is an
+  // aggregate of sockets, so both ratios exceed the GPU's: worst for
+  // crypto (bit-level kernels), best for imgproc (SIMD-friendly).
+  switch (domain) {
+    case Domain::dnn:
+      return {.area_ratio = 10.0, .power_ratio = 15.0};
+    case Domain::imgproc:
+      return {.area_ratio = 8.0, .power_ratio = 6.0};
+    case Domain::crypto:
+      return {.area_ratio = 12.0, .power_ratio = 20.0};
+  }
+  throw std::invalid_argument("cpu_domain_ratios: unknown domain");
+}
+
 ChipSpec derive_iso_gpu(const ChipSpec& asic, Domain domain) {
   asic.validate();
   const IsoPerformanceRatios ratios = gpu_domain_ratios(domain);
@@ -51,6 +69,37 @@ ChipSpec derive_iso_gpu(const ChipSpec& asic, Domain domain) {
   gpu.capacity_gates = asic.capacity_gates;
   gpu.service_life = 7.0 * units::unit::years;
   return gpu;
+}
+
+ChipSpec derive_iso_cpu(const ChipSpec& asic, Domain domain) {
+  asic.validate();
+  const IsoPerformanceRatios ratios = cpu_domain_ratios(domain);
+  ChipSpec cpu = asic;
+  cpu.name = asic.name + "-iso-cpu";
+  cpu.kind = ChipKind::cpu;
+  cpu.die_area = asic.die_area * ratios.area_ratio;
+  cpu.peak_power = asic.peak_power * ratios.power_ratio;
+  cpu.capacity_gates = asic.capacity_gates;
+  cpu.service_life = 5.0 * units::unit::years;
+  return cpu;
+}
+
+ChipSpec derive_chiplet_fpga(const ChipSpec& fpga, int die_count,
+                             const std::string& package) {
+  fpga.validate();
+  if (!fpga.is_fpga()) {
+    throw std::invalid_argument("derive_chiplet_fpga: chip '" + fpga.name +
+                                "' is not an FPGA");
+  }
+  if (die_count < 2) {
+    throw std::invalid_argument(
+        "derive_chiplet_fpga: a chiplet FPGA needs at least 2 dies");
+  }
+  ChipSpec chiplet = fpga;
+  chiplet.name = fpga.name + "-chiplet";
+  chiplet.chiplet_count = die_count;
+  chiplet.chiplet_package = package;
+  return chiplet;
 }
 
 ChipSpec derive_iso_fpga(const ChipSpec& asic, Domain domain) {

@@ -35,6 +35,14 @@ struct IsoPerformanceRatios {
 /// domain ASICs by ~3-10x in perf/W, worst for bit-level crypto kernels).
 [[nodiscard]] IsoPerformanceRatios gpu_domain_ratios(Domain domain);
 
+/// CPU-to-ASIC ratios at iso-performance (the TOCS follow-up's
+/// general-purpose baseline: "FPGAs against ASICs, GPUs, and CPUs").
+/// Synthetic estimates at published magnitudes -- a general-purpose core
+/// cluster trails a domain ASIC by roughly an order of magnitude in both
+/// silicon and energy per delivered operation; the area ratio counts the
+/// aggregate sockets needed to reach the accelerator's throughput.
+[[nodiscard]] IsoPerformanceRatios cpu_domain_ratios(Domain domain);
+
 /// Derive the iso-performance FPGA counterpart of an ASIC: area and power
 /// scaled by the domain ratios, same node, FPGA service life (15 years),
 /// capacity equal to the ASIC's design size (it must fit the application).
@@ -43,6 +51,18 @@ struct IsoPerformanceRatios {
 /// Derive the iso-performance GPU counterpart of an ASIC (same rules with
 /// the GPU ratios; GPUs serve 5-8 product years, we use 7).
 [[nodiscard]] ChipSpec derive_iso_gpu(const ChipSpec& asic, Domain domain);
+
+/// Derive the iso-performance CPU counterpart of an ASIC (same rules with
+/// the CPU ratios; datacenter refresh cycles retire CPUs in ~5 years).
+[[nodiscard]] ChipSpec derive_iso_cpu(const ChipSpec& asic, Domain domain);
+
+/// The ECO-CHIP chiplet construction of an FPGA: the same device with its
+/// silicon fabbed as `die_count` equal chiplets in an advanced package
+/// (EMIB by default -- the cheapest multi-die style end to end).  Identical
+/// workload behaviour; only the embodied-carbon path changes, through
+/// `LifecycleModel::per_chip_embodied_chiplet`.
+[[nodiscard]] ChipSpec derive_chiplet_fpga(const ChipSpec& fpga, int die_count = 4,
+                                           const std::string& package = "emib");
 
 /// The `N_FPGA` rule.  Throws std::invalid_argument for non-positive
 /// capacity or negative application size; a zero-size application still

@@ -17,6 +17,15 @@ PlatformRegistry PlatformRegistry::with_builtins() {
   registry.add("gpu", [](Domain domain) {
     return derive_iso_gpu(domain_testcase(domain).asic, domain);
   });
+  registry.add("cpu", [](Domain domain) {
+    return derive_iso_cpu(domain_testcase(domain).asic, domain);
+  });
+  registry.add("chiplet_fpga", [](Domain domain) {
+    // The domain FPGA, silicon split four ways on EMIB bridges: the
+    // sweet spot of bench/extension_chiplet_fpga.cpp's design-space scan
+    // (yield savings beat bonding overhead for reticle-class dies).
+    return derive_chiplet_fpga(domain_testcase(domain).fpga);
+  });
   return registry;
 }
 

@@ -15,11 +15,15 @@
 /// Built-in names:
 ///   * "asic" -- the domain testcase's calibrated ASIC (Table 2),
 ///   * "fpga" -- its iso-performance FPGA counterpart,
-///   * "gpu"  -- the iso-performance GPU derived from the ASIC.
+///   * "gpu"  -- the iso-performance GPU derived from the ASIC,
+///   * "cpu"  -- the iso-performance general-purpose CPU baseline (the
+///               TOCS follow-up's fourth platform),
+///   * "chiplet_fpga" -- the domain FPGA fabbed as four EMIB-bridged
+///               chiplets (ECO-CHIP embodied model).
 ///
-/// New platforms (a CPU baseline, a chiplet FPGA, a vendor device) are one
-/// `add()` call away and immediately usable from `ScenarioSpec` without
-/// touching the engine.
+/// New platforms (a vendor device, another package style) are one `add()`
+/// call away and immediately usable from `ScenarioSpec` without touching
+/// the engine.
 
 #include <functional>
 #include <map>

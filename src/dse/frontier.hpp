@@ -1,0 +1,141 @@
+#ifndef GREENFPGA_DSE_FRONTIER_HPP
+#define GREENFPGA_DSE_FRONTIER_HPP
+
+/// \file frontier.hpp
+/// Frontier design-space exploration: where does each platform win?
+///
+/// `FrontierSearch` evaluates every cell of the `FrontierSpec` grid --
+/// each cell is one deployment scenario (N_app, T_i, N_vol, node) -- for
+/// every platform, decides the per-cell winner under the spec objective,
+/// and extracts the win-region structure:
+///
+///   * per-platform win counts and overall win fraction;
+///   * per-axis slice win fractions (how the win region shifts along each
+///     axis);
+///   * for 2-axis grids, breakeven boundary polylines: the interpolated
+///     zero crossings of the pairwise objective difference between
+///     adjacent cells with different winners;
+///   * optional Monte-Carlo win confidence: `confidence_samples`
+///     parameter-sampled re-evaluations of the grid, reporting per cell
+///     the fraction of samples that agree with the point-estimate winner.
+///
+/// Determinism contract (matching the scenario engine): cells are
+/// evaluated on a worker pool via `core::parallel_for_state`, each worker
+/// owns a memoised `core::LifecycleModel`, every cell writes a pre-sized
+/// slot, and the Monte-Carlo pass draws from the counter RNG
+/// (`core::counter_uniform01`) keyed by sample index alone -- results are
+/// **bit-identical for any thread count** (pinned by
+/// tests/frontier_test.cpp).
+///
+/// The problem description is plain data (names, chips, suite, schedule
+/// parameters): the scenario layer sits above dse, so scenario-only
+/// machinery (Table 1 appliers, node retargeting) is injected as
+/// std::function hooks.
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/lifecycle_model.hpp"
+#include "core/param_distributions.hpp"
+#include "device/catalog.hpp"
+#include "device/chip_spec.hpp"
+#include "dse/frontier_spec.hpp"
+#include "tech/node.hpp"
+
+namespace greenfpga::dse {
+
+/// One uncertain model input for the confidence pass: a distribution plus
+/// the applier that writes a sampled value into a `ModelSuite` (bound by
+/// the caller from `scenario::table1_ranges()`).
+struct SampledParameter {
+  core::ParamDistribution distribution;
+  std::function<void(core::ModelSuite&, double)> apply;
+};
+
+/// The frontier problem: what to search, over which platforms.
+struct FrontierProblem {
+  FrontierSpec frontier;
+  std::vector<std::string> platform_names;      ///< display names, cell winner order
+  std::vector<device::ChipSpec> chips;          ///< one per platform
+  core::ModelSuite suite;
+  device::Domain domain = device::Domain::dnn;
+  /// Base deployment point; axes override their own variable per cell.
+  int app_count = 5;
+  double lifetime_years = 2.0;
+  double volume = 1e6;
+  /// Confidence-pass inputs (ignored when confidence_samples == 0).
+  std::vector<SampledParameter> sampled;
+  /// Node-axis hook: retarget a chip onto a node (throwing
+  /// std::invalid_argument marks the platform infeasible in that cell).
+  /// Required when the spec has a node axis.
+  std::function<device::ChipSpec(const device::ChipSpec&, tech::ProcessNode)> retarget;
+  int threads = 1;
+};
+
+/// One evaluated grid cell.
+struct FrontierCell {
+  std::vector<double> coords;        ///< one per axis, spec axis order
+  std::vector<double> objective_kg;  ///< per platform; +inf = infeasible here
+  int winner = -1;                   ///< platform index; -1 = no feasible platform
+  /// Runner-up objective over winner objective (>= 1); +inf with fewer
+  /// than two feasible platforms.  1 means a contested cell.
+  double margin = 0.0;
+  /// Fraction of confidence samples agreeing with `winner`; 1 when the
+  /// confidence pass is disabled.
+  double confidence = 1.0;
+};
+
+/// Win fractions across one slice of one axis.
+struct FrontierSlice {
+  std::size_t axis = 0;               ///< index into spec.axes
+  double value = 0.0;                 ///< the axis coordinate of this slice
+  std::vector<double> win_fraction;   ///< per platform, over the slice's cells
+};
+
+/// One breakeven boundary between two platforms (2-axis grids only): the
+/// interpolated points where the pairwise objective difference crosses
+/// zero, sorted lexicographically by (x, y) for determinism.
+struct FrontierBoundary {
+  int platform_a = 0;  ///< lower platform index of the pair
+  int platform_b = 0;  ///< higher platform index of the pair
+  std::vector<std::array<double, 2>> points;  ///< (axis0, axis1) coordinates
+};
+
+/// The search output.
+struct FrontierResult {
+  FrontierSpec spec;
+  std::vector<std::string> platform_names;
+  std::vector<std::vector<double>> axis_values;  ///< materialised, per axis
+  /// Row-major cells: axis 0 is the innermost (fastest-varying) dimension.
+  std::vector<FrontierCell> cells;
+  std::vector<std::size_t> win_counts;  ///< per platform
+  std::vector<double> win_fraction;     ///< per platform, over all cells
+  std::size_t infeasible_cells = 0;     ///< cells with no feasible platform
+  std::vector<FrontierSlice> slices;    ///< every (axis, value) slice
+  std::vector<FrontierBoundary> boundaries;  ///< 2-axis grids only
+  int confidence_samples = 0;
+
+  /// Flat cell index of grid coordinates (axis 0 fastest).
+  [[nodiscard]] std::size_t cell_index(const std::vector<std::size_t>& indices) const;
+};
+
+/// The frontier search engine.
+class FrontierSearch {
+ public:
+  /// Validates the problem (spec structure, platform/chip arity, node-axis
+  /// hook present when needed).  Throws std::invalid_argument.
+  explicit FrontierSearch(FrontierProblem problem);
+
+  /// Evaluate the grid and extract the win-region structure.
+  [[nodiscard]] FrontierResult run() const;
+
+ private:
+  FrontierProblem problem_;
+};
+
+}  // namespace greenfpga::dse
+
+#endif  // GREENFPGA_DSE_FRONTIER_HPP

@@ -1,0 +1,381 @@
+/// \file frontier_spec.cpp
+/// FrontierSpec validation and canonical JSON round-trip.
+
+#include "dse/frontier_spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/config_io.hpp"
+
+namespace greenfpga::dse {
+
+namespace {
+
+using io::Json;
+
+/// Local linspace/logspace mirroring scenario/sweep.cpp bit-for-bit (the
+/// scenario layer sits above dse, so the helpers cannot be shared without
+/// inverting the dependency).
+std::vector<double> linspace(double lo, double hi, int count) {
+  if (count < 2) {
+    throw std::invalid_argument("linspace: need at least 2 points");
+  }
+  std::vector<double> out(static_cast<std::size_t>(count));
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    out[static_cast<std::size_t>(i)] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int count) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("logspace: bounds must be positive");
+  }
+  std::vector<double> out = linspace(std::log10(lo), std::log10(hi), count);
+  for (double& v : out) {
+    v = std::pow(10.0, v);
+  }
+  out.back() = hi;
+  return out;
+}
+
+double number_field(const Json& json, const std::string& context, std::string_view key) {
+  try {
+    return json.at(key).as_number();
+  } catch (const io::JsonError& error) {
+    throw core::ConfigError(context + "." + std::string(key) + ": " + error.what());
+  }
+}
+
+std::int64_t int_field_ctx(const Json& json, const std::string& context,
+                           std::string_view key, std::int64_t fallback, std::int64_t lo,
+                           std::int64_t hi) {
+  try {
+    return core::int_field_or(json, key, fallback, lo, hi);
+  } catch (const core::ConfigError& error) {
+    throw core::ConfigError(context + "." + std::string(key) + ": " + error.what());
+  }
+}
+
+Json frontier_axis_to_json(const FrontierAxisSpec& axis) {
+  Json out = Json::object();
+  out["variable"] = to_string(axis.variable);
+  if (axis.variable == FrontierVariable::node) {
+    Json nodes = Json::array();
+    for (const tech::ProcessNode node : axis.nodes) {
+      nodes.push_back(tech::to_string(node));
+    }
+    out["nodes"] = std::move(nodes);
+    return out;
+  }
+  out["scale"] = to_string(axis.scale);
+  if (axis.scale == FrontierAxisScale::list) {
+    Json values = Json::array();
+    for (const double v : axis.explicit_values) {
+      values.push_back(v);
+    }
+    out["values"] = std::move(values);
+  } else {
+    out["from"] = axis.from;
+    out["to"] = axis.to;
+    out["count"] = axis.count;
+  }
+  return out;
+}
+
+FrontierAxisSpec frontier_axis_from_json(const Json& json, const std::string& context) {
+  core::check_known_keys(json, context,
+                         {"variable", "scale", "from", "to", "count", "values", "nodes"});
+  FrontierAxisSpec axis;
+  const std::string variable = json.string_or("variable", "app_count");
+  const auto parsed_variable = parse_frontier_variable(variable);
+  if (!parsed_variable) {
+    throw core::ConfigError(context + ": unknown axis variable \"" + variable +
+                            "\" (app_count, lifetime_years, volume, node)");
+  }
+  axis.variable = *parsed_variable;
+  if (axis.variable == FrontierVariable::node) {
+    for (const std::string_view key : {"scale", "from", "to", "count", "values"}) {
+      if (json.contains(key)) {
+        throw core::ConfigError(context + ": a node axis takes a \"nodes\" list, not \"" +
+                                std::string(key) + "\"");
+      }
+    }
+    if (json.contains("nodes")) {
+      for (const Json& entry : json.at("nodes").as_array()) {
+        const auto node = tech::parse_node(entry.as_string());
+        if (!node) {
+          throw core::ConfigError(context + ": unknown process node \"" +
+                                  entry.as_string() + "\"");
+        }
+        axis.nodes.push_back(*node);
+      }
+    }
+    return axis;
+  }
+  if (json.contains("nodes")) {
+    throw core::ConfigError(context + ": \"nodes\" needs \"variable\": \"node\"");
+  }
+  const std::string scale =
+      json.string_or("scale", json.contains("values") ? "list" : "linear");
+  if (scale == "list") {
+    axis.scale = FrontierAxisScale::list;
+    if (!json.contains("values")) {
+      throw core::ConfigError(context + ": list axis needs a \"values\" array");
+    }
+    for (const Json& v : json.at("values").as_array()) {
+      try {
+        axis.explicit_values.push_back(v.as_number());
+      } catch (const io::JsonError& error) {
+        throw core::ConfigError(context + ".values: " + std::string(error.what()));
+      }
+    }
+  } else if (scale == "linear" || scale == "log") {
+    axis.scale = scale == "linear" ? FrontierAxisScale::linear : FrontierAxisScale::log;
+    if (!json.contains("from") || !json.contains("to") || !json.contains("count")) {
+      throw core::ConfigError(context + ": " + scale +
+                              " axis needs \"from\", \"to\" and \"count\"");
+    }
+    axis.from = number_field(json, context, "from");
+    axis.to = number_field(json, context, "to");
+    axis.count = static_cast<int>(int_field_ctx(json, context, "count", 0, 2, 1'000'000));
+  } else {
+    throw core::ConfigError(context + ": unknown axis scale \"" + scale + "\"");
+  }
+  return axis;
+}
+
+}  // namespace
+
+std::string to_string(FrontierVariable variable) {
+  switch (variable) {
+    case FrontierVariable::app_count:
+      return "app_count";
+    case FrontierVariable::lifetime_years:
+      return "lifetime_years";
+    case FrontierVariable::volume:
+      return "volume";
+    case FrontierVariable::node:
+      return "node";
+  }
+  return "unknown";
+}
+
+std::optional<FrontierVariable> parse_frontier_variable(std::string_view text) {
+  if (text == "app_count" || text == "apps") return FrontierVariable::app_count;
+  if (text == "lifetime_years" || text == "lifetime") {
+    return FrontierVariable::lifetime_years;
+  }
+  if (text == "volume") return FrontierVariable::volume;
+  if (text == "node" || text == "nodes") return FrontierVariable::node;
+  return std::nullopt;
+}
+
+std::string to_string(FrontierObjective objective) {
+  switch (objective) {
+    case FrontierObjective::total:
+      return "total";
+    case FrontierObjective::embodied:
+      return "embodied";
+    case FrontierObjective::operational:
+      return "operational";
+  }
+  return "unknown";
+}
+
+std::optional<FrontierObjective> parse_frontier_objective(std::string_view text) {
+  if (text == "total") return FrontierObjective::total;
+  if (text == "embodied") return FrontierObjective::embodied;
+  if (text == "operational") return FrontierObjective::operational;
+  return std::nullopt;
+}
+
+std::string to_string(FrontierAxisScale scale) {
+  switch (scale) {
+    case FrontierAxisScale::list:
+      return "list";
+    case FrontierAxisScale::linear:
+      return "linear";
+    case FrontierAxisScale::log:
+      return "log";
+  }
+  return "unknown";
+}
+
+std::vector<tech::ProcessNode> FrontierAxisSpec::materialised_nodes() const {
+  if (variable != FrontierVariable::node) {
+    throw std::logic_error("FrontierAxisSpec: not a node axis");
+  }
+  if (!nodes.empty()) {
+    return nodes;
+  }
+  const std::span<const tech::ProcessNode> all = tech::all_nodes();
+  return {all.begin(), all.end()};
+}
+
+std::vector<double> FrontierAxisSpec::values() const {
+  if (variable == FrontierVariable::node) {
+    std::vector<double> out;
+    for (const tech::ProcessNode node : materialised_nodes()) {
+      out.push_back(static_cast<double>(static_cast<std::int16_t>(node)));
+    }
+    return out;
+  }
+  switch (scale) {
+    case FrontierAxisScale::list:
+      if (explicit_values.empty()) {
+        throw std::invalid_argument(
+            "FrontierAxisSpec: list axis needs at least one value");
+      }
+      return explicit_values;
+    case FrontierAxisScale::linear:
+      return linspace(from, to, count);
+    case FrontierAxisScale::log:
+      return logspace(from, to, count);
+  }
+  throw std::logic_error("FrontierAxisSpec: unknown scale");
+}
+
+std::string FrontierAxisSpec::label() const {
+  switch (variable) {
+    case FrontierVariable::app_count:
+      return "N_app";
+    case FrontierVariable::lifetime_years:
+      return "T_i [years]";
+    case FrontierVariable::volume:
+      return "N_vol [units]";
+    case FrontierVariable::node:
+      return "node [nm]";
+  }
+  return "x";
+}
+
+FrontierAxisSpec FrontierAxisSpec::list(FrontierVariable variable,
+                                        std::vector<double> values) {
+  FrontierAxisSpec axis;
+  axis.variable = variable;
+  axis.scale = FrontierAxisScale::list;
+  axis.explicit_values = std::move(values);
+  return axis;
+}
+
+FrontierAxisSpec FrontierAxisSpec::linear(FrontierVariable variable, double from,
+                                          double to, int count) {
+  FrontierAxisSpec axis;
+  axis.variable = variable;
+  axis.scale = FrontierAxisScale::linear;
+  axis.from = from;
+  axis.to = to;
+  axis.count = count;
+  return axis;
+}
+
+FrontierAxisSpec FrontierAxisSpec::log(FrontierVariable variable, double from, double to,
+                                       int count) {
+  FrontierAxisSpec axis;
+  axis.variable = variable;
+  axis.scale = FrontierAxisScale::log;
+  axis.from = from;
+  axis.to = to;
+  axis.count = count;
+  return axis;
+}
+
+FrontierAxisSpec FrontierAxisSpec::node_list(std::vector<tech::ProcessNode> nodes) {
+  FrontierAxisSpec axis;
+  axis.variable = FrontierVariable::node;
+  axis.nodes = std::move(nodes);
+  return axis;
+}
+
+void FrontierSpec::validate() const {
+  if (axes.size() < 2 || axes.size() > 4) {
+    throw std::invalid_argument("FrontierSpec: needs 2-4 axes, got " +
+                                std::to_string(axes.size()));
+  }
+  int node_axes = 0;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    const FrontierAxisSpec& axis = axes[a];
+    for (std::size_t b = 0; b < a; ++b) {
+      if (axes[b].variable == axis.variable) {
+        throw std::invalid_argument("FrontierSpec: duplicate axis over " +
+                                    to_string(axis.variable));
+      }
+    }
+    if (axis.variable == FrontierVariable::node) {
+      ++node_axes;
+      continue;
+    }
+    if (axis.scale == FrontierAxisScale::list) {
+      if (axis.explicit_values.empty()) {
+        throw std::invalid_argument("FrontierSpec: axis " + to_string(axis.variable) +
+                                    " has no values");
+      }
+      for (const double v : axis.explicit_values) {
+        if (!(v > 0.0)) {
+          throw std::invalid_argument("FrontierSpec: axis " + to_string(axis.variable) +
+                                      " values must be positive");
+        }
+      }
+    } else {
+      if (axis.count < 2) {
+        throw std::invalid_argument("FrontierSpec: axis " + to_string(axis.variable) +
+                                    " needs count >= 2 samples");
+      }
+      if (axis.from <= 0.0 || axis.to <= 0.0) {
+        throw std::invalid_argument("FrontierSpec: axis " + to_string(axis.variable) +
+                                    " needs positive bounds");
+      }
+    }
+  }
+  if (node_axes > 1) {
+    throw std::invalid_argument("FrontierSpec: at most one node axis");
+  }
+  if (confidence_samples < 0) {
+    throw std::invalid_argument("FrontierSpec: confidence_samples must be >= 0");
+  }
+}
+
+io::Json frontier_spec_to_json(const FrontierSpec& spec) {
+  Json out = Json::object();
+  Json axes = Json::array();
+  for (const FrontierAxisSpec& axis : spec.axes) {
+    axes.push_back(frontier_axis_to_json(axis));
+  }
+  out["axes"] = std::move(axes);
+  out["objective"] = to_string(spec.objective);
+  out["confidence_samples"] = spec.confidence_samples;
+  out["seed"] = static_cast<std::int64_t>(spec.seed);
+  return out;
+}
+
+FrontierSpec frontier_spec_from_json(const io::Json& json, const std::string& context,
+                                     FrontierSpec defaults) {
+  core::check_known_keys(json, context,
+                         {"axes", "objective", "confidence_samples", "seed"});
+  FrontierSpec spec = std::move(defaults);
+  if (json.contains("axes")) {
+    spec.axes.clear();
+    for (const Json& entry : json.at("axes").as_array()) {
+      spec.axes.push_back(frontier_axis_from_json(entry, context + ".axes"));
+    }
+  }
+  const std::string objective = json.string_or("objective", to_string(spec.objective));
+  const auto parsed = parse_frontier_objective(objective);
+  if (!parsed) {
+    throw core::ConfigError(context + ": unknown objective \"" + objective +
+                            "\" (total, embodied, operational)");
+  }
+  spec.objective = *parsed;
+  spec.confidence_samples = static_cast<int>(int_field_ctx(
+      json, context, "confidence_samples", spec.confidence_samples, 0, 1'000'000));
+  spec.seed = static_cast<unsigned>(
+      int_field_ctx(json, context, "seed", spec.seed, 0, 4294967295LL));
+  return spec;
+}
+
+}  // namespace greenfpga::dse

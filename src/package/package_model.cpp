@@ -25,6 +25,21 @@ std::string to_string(PackageType type) {
   return "unknown";
 }
 
+std::optional<PackageType> parse_package_type(std::string_view text) {
+  std::string token(text);
+  for (char& c : token) {
+    if (c == '_') {
+      c = '-';
+    }
+  }
+  if (token == "monolithic") return PackageType::monolithic;
+  if (token == "rdl-fanout") return PackageType::rdl_fanout;
+  if (token == "silicon-interposer") return PackageType::silicon_interposer;
+  if (token == "emib") return PackageType::emib;
+  if (token == "3d" || token == "three-d") return PackageType::three_d;
+  return std::nullopt;
+}
+
 PackageModel::PackageModel(PackageParameters parameters, const act::FabModel* fab)
     : parameters_(parameters), fab_(fab) {
   if (parameters_.footprint_ratio < 1.0) {

@@ -18,7 +18,9 @@
 /// The module also estimates the finished-package *mass*, which feeds the
 /// end-of-life model (EPA WARM factors are per unit mass of e-waste).
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "act/fab_model.hpp"
 #include "tech/node.hpp"
@@ -36,6 +38,10 @@ enum class PackageType {
 };
 
 [[nodiscard]] std::string to_string(PackageType type);
+
+/// Inverse of `to_string` (accepting '_' for '-' as well, so the tokens
+/// are usable as JSON/ChipSpec fields); nullopt for unknown names.
+[[nodiscard]] std::optional<PackageType> parse_package_type(std::string_view text);
 
 /// Parameters of the package model; defaults follow the ECO-CHIP monolithic
 /// data (assembly overhead ~150 g CO2e per package, organic substrate

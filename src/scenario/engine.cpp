@@ -4,11 +4,8 @@
 #include "scenario/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +13,7 @@
 
 #include "act/grid_profile.hpp"
 #include "core/config_io.hpp"
+#include "core/parallel.hpp"
 #include "scenario/result_cache.hpp"
 #include "units/units.hpp"
 
@@ -30,58 +28,7 @@ struct Engine::PreparedRun {
 
 namespace {
 
-/// Run `fn(state, index)` for every index in [0, n) on up to `threads`
-/// workers, where each worker owns a private `state = make_state()`.
-/// Work items are independent and write to disjoint slots, so results are
-/// identical for any worker count; the first exception is rethrown on the
-/// caller's thread.
-template <typename MakeState, typename Fn>
-void parallel_for_state(std::size_t n, int threads, MakeState&& make_state, Fn&& fn) {
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(std::max(threads, 1)), n));
-  if (workers <= 1) {
-    auto state = make_state();
-    for (std::size_t i = 0; i < n; ++i) {
-      fn(state, i);
-    }
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      // The whole body (state construction included -- suite validation
-      // can throw) stays inside the try: an exception escaping a thread
-      // would call std::terminate instead of reporting a runtime error.
-      try {
-        auto state = make_state();
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) {
-            return;
-          }
-          fn(state, i);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        next.store(n, std::memory_order_relaxed);  // drain remaining work
-      }
-    });
-  }
-  for (std::thread& worker : pool) {
-    worker.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
-}
+using core::parallel_for_state;
 
 /// The classic shape: each worker owns a private LifecycleModel built from
 /// `suite` (the model's embodied-carbon memoisation is not thread-safe to
@@ -265,14 +212,22 @@ void reduce_montecarlo(MonteCarloUq& uq) {
 
 /// The ASIC/FPGA testcase required by the testcase-shaped kinds.  Exactly
 /// two platforms: silently ignoring extras would let a user believe e.g.
-/// a GPU took part in a timeline that cannot model it.
+/// a GPU took part in a timeline that cannot model it.  The error names
+/// the actual platform list so a four-way spec fails with an actionable
+/// message instead of a bare arity complaint.
 device::DomainTestcase testcase_of(const ScenarioResult& result,
                                    const std::string& kind_name) {
   const auto asic = result.platform_index(device::ChipKind::asic);
   const auto fpga = result.platform_index(device::ChipKind::fpga);
   if (!asic || !fpga || result.resolved_chips.size() != 2) {
+    std::string got;
+    for (const std::string& name : result.platform_names) {
+      got += got.empty() ? name : ", " + name;
+    }
     throw std::invalid_argument("Engine: " + kind_name +
-                                " scenarios need exactly one ASIC and one FPGA platform");
+                                " scenarios need exactly one ASIC and one FPGA "
+                                "platform, got {" +
+                                got + "}");
   }
   return device::DomainTestcase{.domain = result.spec.domain,
                                 .asic = result.resolved_chips[*asic],
@@ -401,8 +356,15 @@ Engine::PreparedRun Engine::prepare(const ScenarioSpec& spec) const {
   PreparedRun prepared;
   prepared.result.spec = spec;
   if (prepared.result.spec.platforms.empty()) {
-    prepared.result.spec.platforms = {PlatformRef{.name = "asic", .chip = std::nullopt},
-                                      PlatformRef{.name = "fpga", .chip = std::nullopt}};
+    // node_dse explores ONE subject device across nodes (the domain FPGA
+    // by default); every other kind defaults to the paper's ASIC/FPGA
+    // head-to-head.
+    prepared.result.spec.platforms =
+        spec.kind == ScenarioKind::node_dse
+            ? std::vector<PlatformRef>{PlatformRef{.name = "fpga", .chip = std::nullopt}}
+            : std::vector<PlatformRef>{
+                  PlatformRef{.name = "asic", .chip = std::nullopt},
+                  PlatformRef{.name = "fpga", .chip = std::nullopt}};
   }
   for (const PlatformRef& platform : prepared.result.spec.platforms) {
     prepared.result.platform_names.push_back(platform.name);
@@ -491,6 +453,9 @@ ScenarioResult Engine::run_prepared(PreparedRun prepared) const {
     case ScenarioKind::montecarlo:
       run_montecarlo(result.spec, suite, result);
       return result;
+    case ScenarioKind::frontier:
+      run_frontier(result.spec, suite, result);
+      return result;
   }
   throw std::logic_error("Engine: unknown scenario kind");
 }
@@ -541,8 +506,21 @@ void Engine::run_breakeven(const ScenarioSpec& spec, const core::ModelSuite& sui
 
 void Engine::run_node_dse(const ScenarioSpec& spec, const core::ModelSuite& suite,
                           ScenarioResult& result) const {
+  // The subject is dse.chip when pinned, else the spec's single platform
+  // (prepare() defaults an empty list to {"fpga"}).  More than one
+  // platform is a shape error: a node DSE ranks retargets of ONE device.
+  if (!spec.dse.chip && result.resolved_chips.size() != 1) {
+    std::string got;
+    for (const std::string& name : result.platform_names) {
+      got += got.empty() ? name : ", " + name;
+    }
+    throw std::invalid_argument(
+        "Engine: node_dse scenarios explore one subject platform (or an explicit "
+        "dse.chip), got {" +
+        got + "}");
+  }
   const device::ChipSpec subject =
-      spec.dse.chip ? *spec.dse.chip : device::domain_testcase(spec.domain).fpga;
+      spec.dse.chip ? *spec.dse.chip : result.resolved_chips.front();
   const std::span<const tech::ProcessNode> nodes =
       spec.dse.nodes.empty() ? tech::all_nodes()
                              : std::span<const tech::ProcessNode>(spec.dse.nodes);
@@ -645,6 +623,39 @@ void Engine::run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& su
   // Serial reduction on the caller's thread (deterministic order).
   reduce_montecarlo(uq);
   result.uncertainty = std::move(uq);
+}
+
+void Engine::run_frontier(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                          ScenarioResult& result) const {
+  dse::FrontierProblem problem;
+  problem.frontier = spec.frontier;
+  problem.platform_names = result.platform_names;
+  problem.chips = result.resolved_chips;
+  problem.suite = suite;
+  problem.domain = spec.domain;
+  problem.app_count = spec.schedule.app_count;
+  problem.lifetime_years = spec.schedule.lifetime_years;
+  problem.volume = spec.schedule.volume;
+  problem.threads = threads_;
+  problem.retarget = [](const device::ChipSpec& chip, tech::ProcessNode node) {
+    return retarget_to_node(chip, node);
+  };
+  if (spec.frontier.confidence_samples > 0) {
+    // Bind each montecarlo distribution to its Table 1 applier by name
+    // (spec.validate() has already rejected unknown names), exactly like
+    // the montecarlo kind.
+    const std::vector<ParameterRange> known = table1_ranges();
+    for (const core::ParamDistribution& distribution : spec.montecarlo.distributions) {
+      for (const ParameterRange& range : known) {
+        if (range.name == distribution.parameter) {
+          problem.sampled.push_back(
+              dse::SampledParameter{.distribution = distribution, .apply = range.apply});
+          break;
+        }
+      }
+    }
+  }
+  result.frontier = dse::FrontierSearch(std::move(problem)).run();
 }
 
 std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& specs) const {

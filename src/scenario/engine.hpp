@@ -32,6 +32,7 @@
 
 #include "core/comparator.hpp"
 #include "device/platform_registry.hpp"
+#include "dse/frontier.hpp"
 #include "scenario/breakeven.hpp"
 #include "scenario/heatmap.hpp"
 #include "scenario/node_dse.hpp"
@@ -137,6 +138,7 @@ struct ScenarioResult {
   std::optional<MonteCarloResult> monte_carlo;  ///< sensitivity kind
   std::optional<BreakevenReport> breakeven;     ///< breakeven kind
   std::optional<MonteCarloUq> uncertainty;      ///< montecarlo kind
+  std::optional<dse::FrontierResult> frontier;  ///< frontier kind
 
   // -- legacy-shaped views (throw std::logic_error when the shape does not
   //    match, e.g. no ASIC/FPGA platform pair) --------------------------------
@@ -235,6 +237,8 @@ class Engine {
                        ScenarioResult& result) const;
   void run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& suite,
                       ScenarioResult& result) const;
+  void run_frontier(const ScenarioSpec& spec, const core::ModelSuite& suite,
+                    ScenarioResult& result) const;
 
   int threads_ = 1;
   const device::PlatformRegistry* registry_ = nullptr;

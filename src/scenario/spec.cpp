@@ -62,6 +62,8 @@ std::string to_string(ScenarioKind kind) {
       return "sensitivity";
     case ScenarioKind::montecarlo:
       return "montecarlo";
+    case ScenarioKind::frontier:
+      return "frontier";
   }
   return "unknown";
 }
@@ -77,6 +79,7 @@ std::optional<ScenarioKind> parse_scenario_kind(std::string_view text) {
   if (text == "montecarlo" || text == "monte_carlo" || text == "mc") {
     return ScenarioKind::montecarlo;
   }
+  if (text == "frontier") return ScenarioKind::frontier;
   return std::nullopt;
 }
 
@@ -196,6 +199,12 @@ ScenarioSpec ScenarioSpec::make(ScenarioKind kind, device::Domain domain) {
   spec.schedule.volume = defaults.app_volume;
   spec.sensitivity.ranges = table1_ranges();
   spec.montecarlo.distributions = default_distributions();
+  // Frontier default: the paper's two headline deployment axes at a
+  // resolution that keeps `greenfpga frontier` on a minimal spec fast.
+  spec.frontier.axes = {
+      dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1.0, 10.0, 10),
+      dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e4, 1e7, 10),
+  };
   return spec;
 }
 
@@ -262,6 +271,23 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument("ScenarioSpec '" + name +
                                 "': timeline horizon and step must be positive");
   }
+  if (kind == ScenarioKind::frontier) {
+    if (schedule.explicit_schedule) {
+      throw std::invalid_argument("ScenarioSpec '" + name +
+                                  "': kind frontier uses the homogeneous schedule "
+                                  "fields, not an explicit application list");
+    }
+    try {
+      frontier.validate();
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("ScenarioSpec '" + name + "': " + error.what());
+    }
+  }
+  // The frontier confidence pass samples the montecarlo distributions, so
+  // it needs them validated exactly like the montecarlo kind.
+  const bool needs_distributions =
+      kind == ScenarioKind::montecarlo ||
+      (kind == ScenarioKind::frontier && frontier.confidence_samples > 0);
   if (kind == ScenarioKind::montecarlo) {
     if (montecarlo.samples < 1) {
       throw std::invalid_argument("ScenarioSpec '" + name +
@@ -276,6 +302,8 @@ void ScenarioSpec::validate() const {
       }
       previous = p;
     }
+  }
+  if (needs_distributions) {
     const std::vector<ParameterRange> known = table1_ranges();
     std::vector<std::string_view> seen;
     for (const core::ParamDistribution& distribution : montecarlo.distributions) {
@@ -672,6 +700,7 @@ Json spec_to_json(const ScenarioSpec& spec) {
   out["breakeven"] = std::move(breakeven);
   out["sensitivity"] = sensitivity_to_json(spec.sensitivity);
   out["montecarlo"] = montecarlo_to_json(spec.montecarlo);
+  out["frontier"] = dse::frontier_spec_to_json(spec.frontier);
   Json outputs = Json::object();
   outputs["per_application"] = spec.outputs.per_application;
   out["outputs"] = std::move(outputs);
@@ -682,7 +711,7 @@ ScenarioSpec spec_from_json(const Json& json) {
   check_keys(json, "scenario spec",
              {"name", "kind", "domain", "platforms", "suite", "schedule", "axes",
               "grid_profile", "timeline", "dse", "breakeven", "sensitivity",
-              "montecarlo", "outputs"});
+              "montecarlo", "frontier", "outputs"});
   ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare);
   spec.name = json.string_or("name", spec.name);
   const std::string kind = json.string_or("kind", "compare");
@@ -742,6 +771,10 @@ ScenarioSpec spec_from_json(const Json& json) {
   }
   if (json.contains("montecarlo")) {
     spec.montecarlo = montecarlo_from_json(json.at("montecarlo"), spec.montecarlo);
+  }
+  if (json.contains("frontier")) {
+    spec.frontier = dse::frontier_spec_from_json(json.at("frontier"), "frontier",
+                                                 std::move(spec.frontier));
   }
   if (json.contains("outputs")) {
     check_keys(json.at("outputs"), "outputs", {"per_application"});

@@ -32,6 +32,7 @@
 #include "core/paper_config.hpp"
 #include "core/param_distributions.hpp"
 #include "device/chip_spec.hpp"
+#include "dse/frontier_spec.hpp"
 #include "io/json.hpp"
 #include "scenario/sensitivity.hpp"
 #include "tech/node.hpp"
@@ -50,6 +51,7 @@ enum class ScenarioKind {
   breakeven,    ///< closed-form crossover solves in all three variables
   sensitivity,  ///< tornado + Monte-Carlo over parameter ranges
   montecarlo,   ///< uncertainty quantification: distribution-sampled inputs
+  frontier,     ///< platform win-region DSE over 2-4 deployment axes
 };
 
 [[nodiscard]] std::string to_string(ScenarioKind kind);
@@ -211,6 +213,10 @@ struct ScenarioSpec {
   BreakevenSpec breakeven;
   SensitivitySpec sensitivity;
   MonteCarloUqSpec montecarlo;
+  /// Frontier-kind parameters (dse/frontier_spec.hpp).  `make()` seeds a
+  /// default app_count x volume grid; the confidence pass draws its
+  /// parameter distributions from `montecarlo.distributions`.
+  dse::FrontierSpec frontier;
   OutputSpec outputs;
 
   /// A spec with the paper-default suite (aggregate initialisation would

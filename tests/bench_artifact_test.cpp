@@ -128,7 +128,8 @@ TEST(BenchArtifact, GroupingPreservesFirstSeenOrder) {
 TEST(BenchCli, ListEnumeratesBuiltinCases) {
   const CliRun result = run_cli({"bench", "--list"});
   EXPECT_EQ(result.exit_code, 0) << result.err;
-  for (const char* id : {"engine/grid_50x50", "mc/samples_256", "batch/fleet_mixed",
+  for (const char* id : {"engine/grid_50x50", "mc/samples_256",
+                         "frontier/four_way_16x12", "batch/fleet_mixed",
                          "json/parse_result", "json/dump_result", "cache/hit",
                          "cache/miss"}) {
     EXPECT_NE(result.out.find(id), std::string::npos) << id;

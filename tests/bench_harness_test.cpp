@@ -209,16 +209,16 @@ TEST(BenchHarness, InvalidCasesThrow) {
       std::invalid_argument);
 }
 
-TEST(BenchHarness, BuiltinRegistryCoversTheFiveHotPaths) {
+TEST(BenchHarness, BuiltinRegistryCoversTheSixHotPaths) {
   const std::vector<BenchCase> cases = builtin_cases();
-  ASSERT_GE(cases.size(), 5u);
+  ASSERT_GE(cases.size(), 6u);
   std::vector<std::string> groups;
   for (const BenchCase& bench_case : cases) {
     EXPECT_TRUE(bench_case.setup) << bench_case.id();
     EXPECT_FALSE(bench_case.description.empty()) << bench_case.id();
     groups.push_back(bench_case.group);
   }
-  for (const char* group : {"engine", "mc", "batch", "json", "cache"}) {
+  for (const char* group : {"engine", "mc", "frontier", "batch", "json", "cache"}) {
     EXPECT_NE(std::find(groups.begin(), groups.end(), group), groups.end())
         << "missing builtin group " << group;
   }

@@ -5,6 +5,9 @@
 #include "core/lifecycle_model.hpp"
 #include "core/paper_config.hpp"
 #include "device/catalog.hpp"
+#include "device/iso_performance.hpp"
+#include "device/platform_registry.hpp"
+#include "scenario/engine.hpp"
 #include "units/units.hpp"
 
 namespace greenfpga::core {
@@ -92,6 +95,59 @@ TEST(Chiplet, InvalidArgumentsThrow) {
   mono.type = pkg::PackageType::monolithic;
   EXPECT_THROW(m.per_chip_embodied_chiplet(fpga, 2, mono), std::invalid_argument);
   EXPECT_NO_THROW(m.per_chip_embodied_chiplet(fpga, 1, mono));
+}
+
+// -- the first-class registry platform ------------------------------------------
+
+TEST(ChipletPlatform, RegistryResolvesFourDieEmibSplitOfTheDomainFpga) {
+  for (const device::Domain domain : device::all_domains()) {
+    const device::ChipSpec chiplet =
+        device::PlatformRegistry::builtins().resolve("chiplet_fpga", domain);
+    const device::ChipSpec fpga = device::domain_testcase(domain).fpga;
+    EXPECT_TRUE(chiplet.is_fpga());
+    EXPECT_EQ(chiplet.chiplet_count, 4);
+    EXPECT_EQ(chiplet.chiplet_package, "emib");
+    EXPECT_DOUBLE_EQ(chiplet.die_area.canonical(), fpga.die_area.canonical());
+    EXPECT_DOUBLE_EQ(chiplet.peak_power.canonical(), fpga.peak_power.canonical());
+  }
+}
+
+TEST(ChipletPlatform, EmbodiedDispatchMatchesExplicitChipletCall) {
+  // per_chip_embodied on the registry chip must route through the chiplet
+  // path: same numbers as the explicit per_chip_embodied_chiplet call.
+  const LifecycleModel m = model();
+  const device::ChipSpec chiplet =
+      device::PlatformRegistry::builtins().resolve("chiplet_fpga", device::Domain::dnn);
+  pkg::PackageParameters emib = interposer();
+  emib.type = pkg::PackageType::emib;
+  const CfpBreakdown dispatched = m.per_chip_embodied(chiplet);
+  const CfpBreakdown explicit_call = m.per_chip_embodied_chiplet(chiplet, 4, emib);
+  EXPECT_DOUBLE_EQ(dispatched.total().canonical(), explicit_call.total().canonical());
+  // And it must beat the monolithic FPGA (the ECO-CHIP benefit survives
+  // the registry wrapping).
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  EXPECT_LT(dispatched.total().canonical(), m.per_chip_embodied(fpga).total().canonical());
+}
+
+TEST(ChipletPlatform, EngineComparesChipletFpgaAgainstMonolithic) {
+  // The platform is usable everywhere a name is: a compare spec over
+  // {fpga, chiplet_fpga} runs and shows the chiplet build greener.
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::compare, device::Domain::dnn);
+  spec.platforms = {scenario::PlatformRef{.name = "fpga", .chip = std::nullopt},
+                    scenario::PlatformRef{.name = "chiplet_fpga", .chip = std::nullopt}};
+  const scenario::Engine engine;
+  const scenario::ScenarioResult result = engine.run(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  ASSERT_EQ(result.points.front().platforms.size(), 2u);
+  EXPECT_LT(result.points.front().ratio(1), 1.0);
+}
+
+TEST(ChipletPlatform, DeriveChipletFpgaRejectsNonFpgasAndSingleDies) {
+  const device::ChipSpec asic = device::domain_testcase(device::Domain::dnn).asic;
+  EXPECT_THROW(device::derive_chiplet_fpga(asic), std::invalid_argument);
+  const device::ChipSpec fpga = device::domain_testcase(device::Domain::dnn).fpga;
+  EXPECT_THROW(device::derive_chiplet_fpga(fpga, 1), std::invalid_argument);
 }
 
 // Property: total silicon area is conserved across splits, so the

@@ -186,6 +186,46 @@ TEST(Cli, RunUsageAndRuntimeErrors) {
   EXPECT_EQ(run_cli({"run", "/nonexistent/spec.json"}).exit_code, 1);
 }
 
+TEST(Cli, RunSurfacesTheRegistryResolveErrorVerbatim) {
+  // An unknown platform name must fail with the PlatformRegistry message,
+  // including the full list of registered names, on stderr.
+  auto spec = scenario::ScenarioSpec::make(scenario::ScenarioKind::compare,
+                                           device::Domain::dnn);
+  spec.platforms = {scenario::PlatformRef{.name = "asic"},
+                    scenario::PlatformRef{.name = "tpu"}};
+  const CliRun result =
+      run_cli({"run", write_spec_file("greenfpga_cli_unknown_platform.json", spec)});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("PlatformRegistry: unknown platform 'tpu'"),
+            std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("(registered: asic, chiplet_fpga, cpu, fpga, gpu)"),
+            std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, FrontierSearchesFourPlatformsAndReportsWinRegions) {
+  const std::string report_path = ::testing::TempDir() + "/greenfpga_cli_frontier.json";
+  const CliRun result = run_cli({"frontier", "dnn", "--json", report_path});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  // The default search is four-way over apps x volume.
+  EXPECT_NE(result.out.find("asic vs fpga vs gpu vs cpu"), std::string::npos);
+  EXPECT_NE(result.out.find("win fraction"), std::string::npos);
+  const io::Json report = io::parse_json_file(report_path);
+  EXPECT_EQ(report.at("platforms").size(), 4u);
+  EXPECT_EQ(report.at("frontier").at("cells").size(), 100u);  // 10 x 10 grid
+  EXPECT_FALSE(report.at("frontier").at("boundaries").as_array().empty());
+}
+
+TEST(Cli, FrontierFlagsAreValidated) {
+  EXPECT_EQ(run_cli({"frontier"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"frontier", "quantum"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"frontier", "dnn", "--platforms", "asic"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"frontier", "dnn", "--platforms", "asic,tpu"}).exit_code, 1);
+  EXPECT_EQ(run_cli({"frontier", "dnn", "--axes", "bogus"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"frontier", "dnn", "--samples", "-1"}).exit_code, 2);
+}
+
 TEST(Cli, ThreadsFlagIsAcceptedAnywhereAndValidated) {
   const CliRun result = run_cli({"--threads", "2", "sweep", "dnn", "apps"});
   EXPECT_EQ(result.exit_code, 0) << result.err;

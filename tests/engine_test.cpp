@@ -151,20 +151,26 @@ TEST(ScenarioSpecJson, SensitivityRangesDefaultToTable1AndEmptyMeansNone) {
 
 // -- PlatformRegistry ---------------------------------------------------------
 
-TEST(PlatformRegistry, BuiltinsResolveAllThreeKinds) {
+TEST(PlatformRegistry, BuiltinsResolveAllFivePlatforms) {
   const device::PlatformRegistry& registry = device::PlatformRegistry::builtins();
-  EXPECT_EQ(registry.names(), (std::vector<std::string>{"asic", "fpga", "gpu"}));
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"asic", "chiplet_fpga", "cpu",
+                                                        "fpga", "gpu"}));
   EXPECT_EQ(registry.resolve("asic", device::Domain::dnn).kind, device::ChipKind::asic);
   EXPECT_EQ(registry.resolve("fpga", device::Domain::dnn).kind, device::ChipKind::fpga);
   EXPECT_EQ(registry.resolve("gpu", device::Domain::crypto).kind, device::ChipKind::gpu);
+  EXPECT_EQ(registry.resolve("cpu", device::Domain::imgproc).kind, device::ChipKind::cpu);
+  EXPECT_GT(registry.resolve("chiplet_fpga", device::Domain::dnn).chiplet_count, 1);
 }
 
 TEST(PlatformRegistry, UnknownNameThrowsListingKnownNames) {
   try {
-    (void)device::PlatformRegistry::builtins().resolve("cpu", device::Domain::dnn);
+    (void)device::PlatformRegistry::builtins().resolve("tpu", device::Domain::dnn);
     FAIL() << "expected std::out_of_range";
   } catch (const std::out_of_range& error) {
-    EXPECT_NE(std::string(error.what()).find("asic, fpga, gpu"), std::string::npos);
+    EXPECT_NE(std::string(error.what())
+                  .find("(registered: asic, chiplet_fpga, cpu, fpga, gpu)"),
+              std::string::npos)
+        << error.what();
   }
 }
 
@@ -492,6 +498,100 @@ TEST(EngineViews, TestcaseKindsRequireAsicAndFpga) {
   spec.platforms = {PlatformRef{.name = "gpu"}};
   EXPECT_THROW((void)Engine(EngineOptions{.threads = 1}).run(spec),
                std::invalid_argument);
+}
+
+// -- four-way platform audit --------------------------------------------------
+//
+// Every scenario kind either evaluates an arbitrary platform list or
+// fails with an error naming the kind AND the unsupported platform
+// shape.  One sub-case per kind, all with the same four registry
+// platforms.
+
+std::vector<PlatformRef> four_way_platforms() {
+  return {PlatformRef{.name = "asic", .chip = std::nullopt},
+          PlatformRef{.name = "fpga", .chip = std::nullopt},
+          PlatformRef{.name = "gpu", .chip = std::nullopt},
+          PlatformRef{.name = "cpu", .chip = std::nullopt}};
+}
+
+TEST(EngineFourWay, PointKindsEvaluateAllFourPlatforms) {
+  const Engine engine(EngineOptions{.threads = 2});
+  for (const ScenarioKind kind :
+       {ScenarioKind::compare, ScenarioKind::sweep, ScenarioKind::grid,
+        ScenarioKind::montecarlo, ScenarioKind::frontier}) {
+    ScenarioSpec spec = ScenarioSpec::make(kind, device::Domain::dnn);
+    spec.name = "four-way " + to_string(kind);
+    spec.platforms = four_way_platforms();
+    if (kind == ScenarioKind::sweep) {
+      spec.axes = {AxisSpec::linear(SweepVariable::app_count, 1, 4, 4)};
+    } else if (kind == ScenarioKind::grid) {
+      spec.axes = {AxisSpec::log(SweepVariable::volume, 1e4, 1e6, 3),
+                   AxisSpec::linear(SweepVariable::lifetime_years, 0.5, 2.5, 3)};
+    } else if (kind == ScenarioKind::montecarlo) {
+      spec.montecarlo.samples = 16;
+    } else if (kind == ScenarioKind::frontier) {
+      spec.frontier.axes = {
+          dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1, 4, 4),
+          dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e4, 1e6, 3)};
+    }
+    const ScenarioResult result = engine.run(spec);
+    ASSERT_EQ(result.platform_names.size(), 4u) << to_string(kind);
+    if (kind == ScenarioKind::montecarlo) {
+      ASSERT_TRUE(result.uncertainty);
+      EXPECT_EQ(result.uncertainty->platform_total.size(), 4u);
+      EXPECT_EQ(result.uncertainty->ratio.size(), 3u);
+    } else if (kind == ScenarioKind::frontier) {
+      ASSERT_TRUE(result.frontier);
+      ASSERT_FALSE(result.frontier->cells.empty());
+      EXPECT_EQ(result.frontier->cells.front().objective_kg.size(), 4u);
+      EXPECT_EQ(result.frontier->win_counts.size(), 4u);
+    } else {
+      ASSERT_FALSE(result.points.empty());
+      EXPECT_EQ(result.points.front().platforms.size(), 4u);
+    }
+  }
+}
+
+TEST(EngineFourWay, TestcaseKindsFailNamingKindAndPlatformList) {
+  const Engine engine(EngineOptions{.threads = 1});
+  for (const ScenarioKind kind :
+       {ScenarioKind::timeline, ScenarioKind::breakeven, ScenarioKind::sensitivity}) {
+    ScenarioSpec spec = ScenarioSpec::make(kind, device::Domain::dnn);
+    spec.name = "four-way " + to_string(kind);
+    spec.platforms = four_way_platforms();
+    try {
+      (void)engine.run(spec);
+      FAIL() << to_string(kind) << " accepted four platforms";
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(to_string(kind)), std::string::npos) << what;
+      EXPECT_NE(what.find("asic, fpga, gpu, cpu"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(EngineFourWay, NodeDseFailsNamingItsSingleSubjectShape) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::node_dse, device::Domain::dnn);
+  spec.name = "four-way node_dse";
+  spec.platforms = four_way_platforms();
+  try {
+    (void)Engine(EngineOptions{.threads = 1}).run(spec);
+    FAIL() << "node_dse accepted four platforms";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("node_dse"), std::string::npos) << what;
+    EXPECT_NE(what.find("asic, fpga, gpu, cpu"), std::string::npos) << what;
+  }
+}
+
+TEST(EngineFourWay, NodeDseRanksAnExplicitSinglePlatform) {
+  // A one-platform list names the subject; the registry's gpu works.
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::node_dse, device::Domain::dnn);
+  spec.name = "gpu node ranking";
+  spec.platforms = {PlatformRef{.name = "gpu", .chip = std::nullopt}};
+  const ScenarioResult result = Engine(EngineOptions{.threads = 2}).run(spec);
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_TRUE(result.candidates.front().chip.is_gpu());
 }
 
 // -- Monte-Carlo uncertainty determinism --------------------------------------

@@ -1,6 +1,6 @@
 /// Golden regression suite for the structured result pipeline: pins the
 /// canonical `--format json` output (`scenario::result_to_json`) of all
-/// eight scenario kinds against checked-in snapshots in tests/golden/,
+/// nine scenario kinds against checked-in snapshots in tests/golden/,
 /// the byte-identical round-trip `result_from_json(result_to_json(r)) == r`,
 /// thread-count invariance of the JSON bytes, and `Engine::run_batch`
 /// bit-identity against individual runs.
@@ -81,6 +81,18 @@ ScenarioSpec spec_for(ScenarioKind kind) {
       spec.montecarlo.seed = 3;
       return spec;
     }
+    case ScenarioKind::frontier: {
+      ScenarioSpec spec = ScenarioSpec::make(kind, device::Domain::dnn);
+      spec.name = "golden frontier";
+      spec.platforms = {PlatformRef{.name = "asic"}, PlatformRef{.name = "fpga"},
+                        PlatformRef{.name = "gpu"}, PlatformRef{.name = "cpu"}};
+      spec.frontier.axes = {
+          dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1, 4, 4),
+          dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e4, 1e6, 3)};
+      spec.frontier.confidence_samples = 8;
+      spec.frontier.seed = 11;
+      return spec;
+    }
   }
   throw std::logic_error("spec_for: unknown kind");
 }
@@ -89,7 +101,7 @@ const std::vector<ScenarioKind>& all_kinds() {
   static const std::vector<ScenarioKind> kinds{
       ScenarioKind::compare,   ScenarioKind::sweep,     ScenarioKind::grid,
       ScenarioKind::timeline,  ScenarioKind::node_dse,  ScenarioKind::breakeven,
-      ScenarioKind::sensitivity, ScenarioKind::montecarlo};
+      ScenarioKind::sensitivity, ScenarioKind::montecarlo, ScenarioKind::frontier};
   return kinds;
 }
 

@@ -1,7 +1,7 @@
 /// In-process tests of the `greenfpga serve` daemon: an ephemeral-port
 /// server driven through the real socket client.  Pins the acceptance
 /// contract -- POST /v1/run responses byte-identical to
-/// `greenfpga run --format json` for all eight scenario kinds, cache
+/// `greenfpga run --format json` for all nine scenario kinds, cache
 /// hits included -- plus the stats/platforms/health endpoints, graceful
 /// 4xx errors (offending key named, depth bomb survived), and concurrent
 /// keep-alive clients (raced under ASan+UBSan in CI).
@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "dse/frontier_spec.hpp"
 #include "io/json.hpp"
 #include "report/result_render.hpp"
 #include "scenario/engine.hpp"
@@ -51,6 +52,16 @@ ScenarioSpec spec_for(ScenarioKind kind) {
     case ScenarioKind::montecarlo:
       spec.montecarlo.samples = 8;
       break;
+    case ScenarioKind::frontier:
+      spec.platforms = {scenario::PlatformRef{.name = "asic"},
+                        scenario::PlatformRef{.name = "fpga"},
+                        scenario::PlatformRef{.name = "gpu"},
+                        scenario::PlatformRef{.name = "cpu"}};
+      spec.frontier.axes = {
+          dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1, 3, 3),
+          dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e5, 1e6, 2)};
+      spec.frontier.confidence_samples = 4;
+      break;
     default:
       break;
   }
@@ -61,7 +72,8 @@ const std::vector<ScenarioKind>& all_kinds() {
   static const std::vector<ScenarioKind> kinds{
       ScenarioKind::compare,     ScenarioKind::sweep,     ScenarioKind::grid,
       ScenarioKind::timeline,    ScenarioKind::node_dse,  ScenarioKind::breakeven,
-      ScenarioKind::sensitivity, ScenarioKind::montecarlo};
+      ScenarioKind::sensitivity, ScenarioKind::montecarlo,
+      ScenarioKind::frontier};
   return kinds;
 }
 
@@ -102,11 +114,31 @@ TEST_F(ServeTest, PlatformsListsBuiltinsAndDomains) {
   EXPECT_EQ(response.status, 200);
   const io::Json body = io::parse_json(response.body);
   const io::Json::Array& platforms = body.at("platforms").as_array();
-  ASSERT_EQ(platforms.size(), 3u);
+  ASSERT_EQ(platforms.size(), 5u);
   EXPECT_EQ(platforms[0].as_string(), "asic");
-  EXPECT_EQ(platforms[1].as_string(), "fpga");
-  EXPECT_EQ(platforms[2].as_string(), "gpu");
+  EXPECT_EQ(platforms[1].as_string(), "chiplet_fpga");
+  EXPECT_EQ(platforms[2].as_string(), "cpu");
+  EXPECT_EQ(platforms[3].as_string(), "fpga");
+  EXPECT_EQ(platforms[4].as_string(), "gpu");
   EXPECT_EQ(body.at("domains").size(), 3u);
+}
+
+TEST_F(ServeTest, UnknownPlatformAnswers400WithTheRegistryError) {
+  // The PlatformRegistry::resolve message -- including the full list of
+  // registered names -- must reach the HTTP client verbatim.
+  HttpClient http = client();
+  ScenarioSpec spec = spec_for(ScenarioKind::compare);
+  spec.platforms = {scenario::PlatformRef{.name = "asic"},
+                    scenario::PlatformRef{.name = "tpu"}};
+  const HttpResponse response =
+      http.request("POST", "/v1/run", scenario::spec_to_json(spec).dump());
+  ASSERT_EQ(response.status, 400) << response.body;
+  const std::string error = io::parse_json(response.body).at("error").as_string();
+  EXPECT_NE(error.find("PlatformRegistry: unknown platform 'tpu'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("(registered: asic, chiplet_fpga, cpu, fpga, gpu)"),
+            std::string::npos)
+      << error;
 }
 
 TEST_F(ServeTest, RunIsByteIdenticalToCliJsonForAllKinds) {

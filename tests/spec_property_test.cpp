@@ -65,7 +65,7 @@ device::Domain random_domain(std::mt19937& rng) {
 
 std::vector<PlatformRef> random_platforms(std::mt19937& rng, device::Domain domain) {
   std::vector<PlatformRef> platforms;
-  for (const char* name : {"asic", "fpga", "gpu"}) {
+  for (const char* name : {"asic", "fpga", "gpu", "cpu", "chiplet_fpga"}) {
     if (coin(rng)) {
       PlatformRef ref;
       ref.name = name;
@@ -168,6 +168,52 @@ ScenarioSpec random_spec(ScenarioKind kind, std::mt19937& rng) {
     spec.sensitivity.ranges.push_back(ranges.front());
   }
 
+  if (kind == ScenarioKind::frontier) {
+    // Always the two paper deployment axes, plus coin-flipped lifetime
+    // and node axes: 2-4 distinct variables, every generator shape.
+    std::vector<dse::FrontierVariable> chosen{dse::FrontierVariable::app_count,
+                                              dse::FrontierVariable::volume};
+    if (coin(rng)) {
+      chosen.push_back(dse::FrontierVariable::lifetime_years);
+    }
+    if (coin(rng)) {
+      chosen.push_back(dse::FrontierVariable::node);
+    }
+    spec.frontier.axes.clear();
+    for (const dse::FrontierVariable variable : chosen) {
+      if (variable == dse::FrontierVariable::node) {
+        std::vector<tech::ProcessNode> nodes;
+        for (const tech::ProcessNode node : tech::all_nodes()) {
+          if (coin(rng)) {
+            nodes.push_back(node);
+          }
+        }
+        spec.frontier.axes.push_back(
+            dse::FrontierAxisSpec::node_list(std::move(nodes)));
+      } else if (coin(rng)) {
+        spec.frontier.axes.push_back(dse::FrontierAxisSpec::linear(
+            variable, uniform(rng, 0.5, 10.0), uniform(rng, 10.0, 1e6),
+            uniform_int(rng, 2, 12)));
+      } else if (coin(rng)) {
+        spec.frontier.axes.push_back(dse::FrontierAxisSpec::log(
+            variable, uniform(rng, 0.5, 100.0), uniform(rng, 100.0, 1e6),
+            uniform_int(rng, 2, 12)));
+      } else {
+        std::vector<double> values;
+        const int count = uniform_int(rng, 1, 5);
+        for (int i = 0; i < count; ++i) {
+          values.push_back(uniform(rng, 0.5, 1e6));
+        }
+        spec.frontier.axes.push_back(
+            dse::FrontierAxisSpec::list(variable, std::move(values)));
+      }
+    }
+    spec.frontier.objective =
+        static_cast<dse::FrontierObjective>(uniform_int(rng, 0, 2));
+    spec.frontier.confidence_samples = uniform_int(rng, 0, 64);
+    spec.frontier.seed = static_cast<unsigned>(uniform_int(rng, 0, 1 << 30));
+  }
+
   spec.montecarlo.samples = uniform_int(rng, 1, 100000);
   spec.montecarlo.seed = static_cast<unsigned>(uniform_int(rng, 0, 1 << 30));
   spec.montecarlo.distributions.clear();
@@ -216,7 +262,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          ScenarioKind::grid, ScenarioKind::timeline,
                                          ScenarioKind::node_dse, ScenarioKind::breakeven,
                                          ScenarioKind::sensitivity,
-                                         ScenarioKind::montecarlo),
+                                         ScenarioKind::montecarlo,
+                                         ScenarioKind::frontier),
                        ::testing::Range(0u, 5u)),
     [](const ::testing::TestParamInfo<std::tuple<ScenarioKind, unsigned>>& info) {
       return to_string(std::get<0>(info.param)) + "_seed" +
