@@ -160,6 +160,11 @@ void print_serve_throughput() {
   before = context.cache().stats();
   const LoadReport hot8 = hammer(server, context, 8, 100);
   print_report("hot x8 clients", hot8, before);
+  // The event-loop acceptance load: well past the old thread-per-
+  // connection comfort zone, still inside max_connections (64).
+  before = context.cache().stats();
+  const LoadReport hot32 = hammer(server, context, 32, 50);
+  print_report("hot x32 clients", hot32, before);
 
   const scenario::ResultCacheStats stats = context.cache().stats();
   std::cout << "  lifetime: " << stats.hits << " hits / " << stats.misses
@@ -178,6 +183,8 @@ void print_serve_throughput() {
       "serve", "hot_4x100", /*warmup=*/0, /*iterations=*/1, hot4.latencies));
   artifact.cases.push_back(bench::result_from_samples(
       "serve", "hot_8x100", /*warmup=*/0, /*iterations=*/1, hot8.latencies));
+  artifact.cases.push_back(bench::result_from_samples(
+      "serve", "hot_32x50", /*warmup=*/0, /*iterations=*/1, hot32.latencies));
   const std::string path = report::results_dir() + "/BENCH_serve.json";
   bench::write_artifact_file(path, artifact);
   std::cout << "  wrote " << path << "\n";

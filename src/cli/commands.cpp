@@ -172,7 +172,9 @@ int print_usage(std::ostream& out, bool error) {
          "      engine; see examples/specs/ and docs/CLI.md for the spec shape\n"
          "      (--csv exports per-sample Monte-Carlo totals, montecarlo kind only)\n"
          "  greenfpga serve [--port N] [--host ADDR] [--cache-capacity N]\n"
-         "                  [--max-connections N]\n"
+         "                  [--cache-shards N] [--cache-dir PATH]\n"
+         "                  [--max-connections N] [--io-timeout-ms N]\n"
+         "                  [--idle-timeout-ms N]\n"
          "      run the persistent HTTP/1.1 evaluation daemon: POST /v1/run and\n"
          "      /v1/batch take spec JSON and answer the canonical result JSON\n"
          "      (byte-identical to `run --format json`), served through a\n"
@@ -280,6 +282,8 @@ int run_serve(const CommandContext& context, const std::vector<std::string>& arg
   serve::ServerOptions server_options;
   server_options.port = 8080;
   std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+  std::string cache_dir;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const bool has_value = i + 1 < args.size();
     if (args[i] == "--port" && has_value) {
@@ -301,6 +305,39 @@ int run_serve(const CommandContext& context, const std::vector<std::string>& arg
       }
       cache_capacity = static_cast<std::size_t>(*capacity);
       ++i;
+    } else if (args[i] == "--cache-shards" && has_value) {
+      const auto shards = parse_flag_int(args[i + 1], 1, 4096);
+      if (!shards) {
+        err << "serve: invalid --cache-shards '" << args[i + 1] << "' (1..4096)\n";
+        return 2;
+      }
+      cache_shards = static_cast<std::size_t>(*shards);
+      ++i;
+    } else if (args[i] == "--cache-dir" && has_value) {
+      cache_dir = args[i + 1];
+      if (cache_dir.empty()) {
+        err << "serve: invalid --cache-dir '' (non-empty path)\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--io-timeout-ms" && has_value) {
+      const auto timeout = parse_flag_int(args[i + 1], 0, 3'600'000);
+      if (!timeout) {
+        err << "serve: invalid --io-timeout-ms '" << args[i + 1]
+            << "' (0..3600000; 0 disables)\n";
+        return 2;
+      }
+      server_options.io_timeout_ms = static_cast<int>(*timeout);
+      ++i;
+    } else if (args[i] == "--idle-timeout-ms" && has_value) {
+      const auto timeout = parse_flag_int(args[i + 1], 0, 86'400'000);
+      if (!timeout) {
+        err << "serve: invalid --idle-timeout-ms '" << args[i + 1]
+            << "' (0..86400000; 0 disables)\n";
+        return 2;
+      }
+      server_options.idle_timeout_ms = static_cast<int>(*timeout);
+      ++i;
     } else if (args[i] == "--max-connections" && has_value) {
       const auto limit = parse_flag_int(args[i + 1], 1, 65536);
       if (!limit) {
@@ -314,15 +351,24 @@ int run_serve(const CommandContext& context, const std::vector<std::string>& arg
       return 2;
     }
   }
-  serve::ServeContext serve_context(
-      scenario::EngineOptions{.threads = context.threads}, cache_capacity);
-  serve::Server server(serve::make_router(serve_context), server_options);
+  std::optional<serve::ServeContext> serve_context;
+  try {
+    serve_context.emplace(scenario::EngineOptions{.threads = context.threads},
+                          cache_capacity, cache_shards, cache_dir);
+  } catch (const std::runtime_error& error) {
+    err << "serve: " << error.what() << "\n";
+    return 2;
+  }
+  serve::Server server(serve::make_router(*serve_context), server_options);
   server.start();
   // Flush before blocking: supervisors and the CI smoke step wait for
   // this line to know the port (essential with --port 0).
   out << "greenfpga serve listening on http://" << server_options.host << ":"
-      << server.port() << " (cache capacity " << cache_capacity << ", "
-      << serve_context.engine().threads() << " worker thread(s))" << std::endl;
+      << server.port() << " (cache capacity " << cache_capacity << " in "
+      << cache_shards << " shard(s), "
+      << serve_context->engine().threads() << " worker thread(s)"
+      << (cache_dir.empty() ? std::string() : ", cache dir " + cache_dir) << ")"
+      << std::endl;
   server.wait();
   return 0;
 }

@@ -1,28 +1,60 @@
 /// \file result_cache.cpp
-/// The content-addressed LRU over immutable scenario results.
+/// The sharded content-addressed LRU over immutable scenario results.
 
 #include "scenario/result_cache.hpp"
 
 #include <stdexcept>
 #include <utility>
 
+#include "io/hash.hpp"
+#include "scenario/cache_store.hpp"
 #include "scenario/engine.hpp"
 
 namespace greenfpga::scenario {
 
-ResultCache::ResultCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0) {
+    capacity = 1;
+  }
+  if (shards == 0) {
+    shards = 1;
+  }
+  shard_capacity_ = (capacity + shards - 1) / shards;  // ceil: never 0
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return *shards_[io::fnv1a64(key) % shards_.size()];
+}
 
 std::shared_ptr<const ScenarioResult> ResultCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
+  Shard& shard = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // freshen
+      return it->second->result;
+    }
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // freshen
-  return it->second->result;
+  // Memory miss: consult the disk tier with no lock held -- store IO is
+  // file IO and must never serialize the shard.
+  if (store_ != nullptr) {
+    if (std::shared_ptr<const ScenarioResult> loaded = store_->load(key)) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.hits;
+      ++shard.disk_hits;
+      insert_locked(shard, key, loaded);
+      return loaded;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;
+  return nullptr;
 }
 
 void ResultCache::insert(const std::string& key,
@@ -30,37 +62,54 @@ void ResultCache::insert(const std::string& key,
   if (!result) {
     throw std::invalid_argument("ResultCache::insert: null result");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    insert_locked(shard, key, result);
+  }
+  if (store_ != nullptr) {
+    store_->save(key, *result);  // best-effort; outside the lock
+  }
+}
+
+void ResultCache::insert_locked(Shard& shard, const std::string& key,
+                                std::shared_ptr<const ScenarioResult> result) {
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     // Same content key => same deterministic result; refresh recency only.
     it->second->result = std::move(result);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(result)});
-  index_.emplace(key, lru_.begin());
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
+  shard.lru.push_front(Entry{key, std::move(result)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
 void ResultCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  index_.clear();
-  lru_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->index.clear();
+    shard->lru.clear();
+  }
 }
 
 ResultCacheStats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
   ResultCacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.evictions = evictions_;
-  stats.size = lru_.size();
-  stats.capacity = capacity_;
+  stats.capacity = shard_capacity_ * shards_.size();
+  stats.shards = shards_.size();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.disk_hits += shard->disk_hits;
+    stats.size += shard->lru.size();
+  }
   return stats;
 }
 

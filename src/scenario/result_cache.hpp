@@ -2,7 +2,8 @@
 #define GREENFPGA_SCENARIO_RESULT_CACHE_HPP
 
 /// \file result_cache.hpp
-/// A thread-safe, content-addressed LRU cache of scenario results.
+/// A thread-safe, content-addressed, sharded LRU cache of scenario
+/// results, with an optional disk tier.
 ///
 /// Operators re-ask the same lifecycle-CFP questions continuously with
 /// slightly varying parameters; a long-lived process (`greenfpga serve`, a
@@ -15,11 +16,19 @@
 /// immutable `shared_ptr<const ScenarioResult>`s: readers keep their
 /// snapshot alive even if the entry is evicted mid-use.
 ///
-/// Eviction is least-recently-used with a fixed entry capacity;
-/// hit/miss/eviction counters are surfaced on `GET /v1/stats`.  All
-/// operations take one mutex -- the cache serialises microseconds of
-/// bookkeeping around milliseconds of model evaluation, so a sharded
-/// design is not warranted yet.
+/// The key space is split across `shards` independent LRU shards (FNV-1a
+/// digest of the key, modulo shard count), each with its own mutex, so
+/// concurrent serve workers contend only when they touch the same shard.
+/// One shard (the default) is plain LRU with globally exact recency;
+/// with N shards, capacity and recency are per-shard (total capacity is
+/// split evenly, rounding up).  Eviction counters and occupancy are
+/// aggregated across shards for `GET /v1/stats`.
+///
+/// An optional `CacheStore` adds a disk tier: inserts are persisted,
+/// and a memory miss consults the store before reporting a miss -- a
+/// disk hit re-promotes the entry to memory and counts as a hit (plus
+/// `disk_hits`).  Store IO runs *outside* every shard lock, so a slow
+/// disk never serializes the memory tier.
 
 #include <cstdint>
 #include <list>
@@ -27,37 +36,52 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace greenfpga::scenario {
 
 struct ScenarioResult;
+class CacheStore;
 
-/// Monotonic cache counters plus the current occupancy (a consistent
-/// snapshot: taken under the same lock as the operations).
+/// Monotonic cache counters plus the current occupancy, aggregated over
+/// shards (each shard snapshots consistently under its own lock).
 struct ResultCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t disk_hits = 0;  ///< subset of hits served from the store
   std::size_t size = 0;
   std::size_t capacity = 0;
+  std::size_t shards = 1;
 };
 
 /// Content-addressed LRU over immutable scenario results.  Thread-safe.
 class ResultCache {
  public:
-  /// `capacity` is the maximum entry count (>= 1 enforced; the cache
-  /// would otherwise be an expensive way to spell "never hit").
-  explicit ResultCache(std::size_t capacity = 1024);
+  /// `capacity` is the maximum total entry count (>= 1 enforced; the
+  /// cache would otherwise be an expensive way to spell "never hit"),
+  /// split evenly across `shards` (>= 1 enforced) rounding up -- so the
+  /// effective total is `ceil(capacity / shards) * shards`.
+  explicit ResultCache(std::size_t capacity = 1024, std::size_t shards = 1);
+
+  /// Attach (or detach, with nullptr) a disk tier.  Not synchronized
+  /// with concurrent operations: attach before sharing the cache across
+  /// threads.  The store must outlive the cache.
+  void attach_store(CacheStore* store) { store_ = store; }
 
   /// The cached result for `key`, or nullptr.  Counts a hit or a miss and
-  /// freshens the entry's LRU position.
+  /// freshens the entry's LRU position.  On a memory miss with a store
+  /// attached, a disk hit re-promotes the entry and counts as a hit.
   [[nodiscard]] std::shared_ptr<const ScenarioResult> lookup(const std::string& key);
 
   /// Insert (or refresh) `key -> result`, evicting the least recently
-  /// used entry when over capacity.  `result` must not be null.
+  /// used entry of the key's shard when over capacity.  `result` must not
+  /// be null.  Persisted to the store when one is attached (best-effort,
+  /// outside the shard lock).
   void insert(const std::string& key, std::shared_ptr<const ScenarioResult> result);
 
-  /// Drop every entry (counters are preserved: they are lifetime totals).
+  /// Drop every in-memory entry (counters are preserved: they are
+  /// lifetime totals).  Disk entries are untouched.
   void clear();
 
   [[nodiscard]] ResultCacheStats stats() const;
@@ -68,13 +92,25 @@ class ResultCache {
     std::shared_ptr<const ScenarioResult> result;
   };
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t disk_hits = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key);
+
+  /// Insert/refresh under `shard.mutex` (already held by the caller).
+  void insert_locked(Shard& shard, const std::string& key,
+                     std::shared_ptr<const ScenarioResult> result);
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  CacheStore* store_ = nullptr;
 };
 
 }  // namespace greenfpga::scenario

@@ -1,0 +1,285 @@
+/// \file event_loop.cpp
+/// epoll (Linux) / kqueue (BSD, macOS) readiness dispatch.
+
+#include "serve/event_loop.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#else
+#include <fcntl.h>
+#include <sys/event.h>
+#include <sys/time.h>
+#endif
+
+namespace greenfpga::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if defined(__linux__)
+
+EventLoop::EventLoop() {
+  queue_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (queue_fd_ < 0) {
+    throw_errno("epoll_create1");
+  }
+  const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (efd < 0) {
+    ::close(queue_fd_);
+    throw_errno("eventfd");
+  }
+  wake_read_fd_ = wake_write_fd_ = efd;
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_read_fd_;
+  if (::epoll_ctl(queue_fd_, EPOLL_CTL_ADD, wake_read_fd_, &event) != 0) {
+    throw_errno("epoll_ctl(wakeup)");
+  }
+}
+
+void EventLoop::apply_interest(int fd, std::uint32_t interest, bool add) {
+  epoll_event event{};
+  event.events = ((interest & kRead) != 0 ? EPOLLIN : 0u) |
+                 ((interest & kWrite) != 0 ? EPOLLOUT : 0u);
+  event.data.fd = fd;
+  if (::epoll_ctl(queue_fd_, add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &event) != 0) {
+    throw_errno("epoll_ctl");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  if (registrations_.erase(fd) > 0) {
+    ::epoll_ctl(queue_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &one, sizeof one);
+}
+
+void EventLoop::drain_wake_fd() {
+  std::uint64_t counter = 0;
+  while (::read(wake_read_fd_, &counter, sizeof counter) > 0) {
+  }
+}
+
+void EventLoop::run(const std::function<void()>& on_tick,
+                    std::chrono::milliseconds tick) {
+  std::vector<epoll_event> events(64);
+  auto last_tick = std::chrono::steady_clock::now();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(queue_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               static_cast<int>(tick.count()));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_read_fd_) {
+        drain_wake_fd();
+        continue;
+      }
+      std::uint32_t ready = 0;
+      if ((events[i].events & (EPOLLIN | EPOLLHUP)) != 0) {
+        ready |= kRead;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        ready |= kWrite;
+      }
+      if ((events[i].events & EPOLLERR) != 0) {
+        ready |= kError;
+      }
+      // Look the handler up per event: an earlier callback in this batch
+      // may have removed this fd (and the kernel may reuse fd numbers
+      // only after close, which remove() precedes).
+      const auto it = registrations_.find(fd);
+      if (it != registrations_.end() && ready != 0) {
+        it->second.callback(ready);
+      }
+    }
+    run_posted();
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_tick >= tick) {
+      last_tick = now;
+      on_tick();
+    }
+  }
+  run_posted();  // drain anything posted just before stop
+}
+
+#else  // kqueue platforms (macOS, *BSD)
+
+EventLoop::EventLoop() {
+  queue_fd_ = ::kqueue();
+  if (queue_fd_ < 0) {
+    throw_errno("kqueue");
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(queue_fd_);
+    throw_errno("pipe");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  ::fcntl(wake_read_fd_, F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_write_fd_, F_SETFL, O_NONBLOCK);
+  struct kevent event;
+  EV_SET(&event, wake_read_fd_, EVFILT_READ, EV_ADD, 0, 0, nullptr);
+  if (::kevent(queue_fd_, &event, 1, nullptr, 0, nullptr) != 0) {
+    throw_errno("kevent(wakeup)");
+  }
+}
+
+void EventLoop::apply_interest(int fd, std::uint32_t interest, bool add) {
+  (void)add;  // kqueue EV_ADD is idempotent; filters toggle independently
+  struct kevent events[2];
+  EV_SET(&events[0], fd, EVFILT_READ,
+         (interest & kRead) != 0 ? EV_ADD : (EV_ADD | EV_DISABLE), 0, 0, nullptr);
+  EV_SET(&events[1], fd, EVFILT_WRITE,
+         (interest & kWrite) != 0 ? EV_ADD : (EV_ADD | EV_DISABLE), 0, 0, nullptr);
+  if (::kevent(queue_fd_, events, 2, nullptr, 0, nullptr) != 0) {
+    throw_errno("kevent");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  if (registrations_.erase(fd) > 0) {
+    struct kevent events[2];
+    EV_SET(&events[0], fd, EVFILT_READ, EV_DELETE, 0, 0, nullptr);
+    EV_SET(&events[1], fd, EVFILT_WRITE, EV_DELETE, 0, 0, nullptr);
+    ::kevent(queue_fd_, events, 2, nullptr, 0, nullptr);
+  }
+}
+
+void EventLoop::wake() {
+  const char one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &one, 1);
+}
+
+void EventLoop::drain_wake_fd() {
+  char sink[256];
+  while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
+  }
+}
+
+void EventLoop::run(const std::function<void()>& on_tick,
+                    std::chrono::milliseconds tick) {
+  std::vector<struct kevent> events(64);
+  auto last_tick = std::chrono::steady_clock::now();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    struct timespec timeout;
+    timeout.tv_sec = static_cast<time_t>(tick.count() / 1000);
+    timeout.tv_nsec = static_cast<long>((tick.count() % 1000) * 1'000'000);
+    const int n = ::kevent(queue_fd_, nullptr, 0, events.data(),
+                           static_cast<int>(events.size()), &timeout);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("kevent");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = static_cast<int>(events[i].ident);
+      if (fd == wake_read_fd_) {
+        drain_wake_fd();
+        continue;
+      }
+      std::uint32_t ready = 0;
+      if (events[i].filter == EVFILT_READ) {
+        ready |= kRead;
+      }
+      if (events[i].filter == EVFILT_WRITE) {
+        ready |= kWrite;
+      }
+      if ((events[i].flags & EV_ERROR) != 0) {
+        ready |= kError;
+      }
+      const auto it = registrations_.find(fd);
+      if (it != registrations_.end() && ready != 0) {
+        it->second.callback(ready);
+      }
+    }
+    run_posted();
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_tick >= tick) {
+      last_tick = now;
+      on_tick();
+    }
+  }
+  run_posted();
+}
+
+#endif
+
+EventLoop::~EventLoop() {
+  if (queue_fd_ >= 0) {
+    ::close(queue_fd_);
+  }
+  if (wake_read_fd_ >= 0) {
+    ::close(wake_read_fd_);
+  }
+  if (wake_write_fd_ >= 0 && wake_write_fd_ != wake_read_fd_) {
+    ::close(wake_write_fd_);
+  }
+}
+
+void EventLoop::add(int fd, std::uint32_t interest, IoCallback callback) {
+  apply_interest(fd, interest, /*add=*/true);
+  registrations_[fd] = Registration{interest, std::move(callback)};
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  const auto it = registrations_.find(fd);
+  if (it == registrations_.end()) {
+    return;
+  }
+  if (it->second.interest == interest) {
+    return;
+  }
+  apply_interest(fd, interest, /*add=*/false);
+  it->second.interest = interest;
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (const std::function<void()>& task : tasks) {
+    task();
+  }
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace greenfpga::serve

@@ -1,0 +1,92 @@
+#ifndef GREENFPGA_SERVE_EVENT_LOOP_HPP
+#define GREENFPGA_SERVE_EVENT_LOOP_HPP
+
+/// \file event_loop.hpp
+/// A minimal readiness event loop: epoll on Linux, kqueue elsewhere.
+///
+/// The serve daemon's acceptor used to be blocking-socket with one
+/// thread per connection; at "millions of users" scale the thread count
+/// tracks concurrent clients and one stalled write can freeze shared
+/// state (the PR-8 head-of-line bug).  This loop inverts the design: one
+/// thread owns *all* socket readiness -- accept, read, write -- over
+/// non-blocking file descriptors, and CPU-bound work (request handling)
+/// happens elsewhere, results posted back via `post`.
+///
+/// Threading contract: `add`, `set_interest` and `remove` are loop-thread
+/// only (call them from callbacks or posted tasks); `post` and `stop` are
+/// safe from any thread and wake the loop via an eventfd/pipe.  Callbacks
+/// may add or remove any fd, including their own: dispatch looks handlers
+/// up per event, so a handler removed mid-batch is simply skipped.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace greenfpga::serve {
+
+class EventLoop {
+ public:
+  /// Readiness bits passed to callbacks and accepted by `add`/`set_interest`
+  /// (kError is always reported, never requested).
+  static constexpr std::uint32_t kRead = 1;
+  static constexpr std::uint32_t kWrite = 2;
+  static constexpr std::uint32_t kError = 4;
+
+  using IoCallback = std::function<void(std::uint32_t ready)>;
+
+  EventLoop();  ///< throws std::runtime_error when the kernel queue fails
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` (must already be non-blocking) for `interest` bits.
+  void add(int fd, std::uint32_t interest, IoCallback callback);
+
+  /// Change the interest set of a registered fd.  `interest` may be 0
+  /// (keep the registration, deliver only errors) -- used to pause reads
+  /// while a request is being handled (backpressure).
+  void set_interest(int fd, std::uint32_t interest);
+
+  /// Deregister `fd`.  The caller still owns (and closes) the fd.
+  void remove(int fd);
+
+  /// Run `task` on the loop thread at the next wakeup.  Thread-safe; the
+  /// only way other threads talk to the loop.  Tasks posted after `stop`
+  /// are discarded when the loop drains.
+  void post(std::function<void()> task);
+
+  /// Dispatch events until `stop`, invoking `on_tick` at least every
+  /// `tick` interval (connection timeout sweeps).  Call from exactly one
+  /// thread.
+  void run(const std::function<void()>& on_tick, std::chrono::milliseconds tick);
+
+  /// Ask `run` to return; safe from any thread, idempotent.
+  void stop();
+
+ private:
+  struct Registration {
+    std::uint32_t interest = 0;
+    IoCallback callback;
+  };
+
+  void apply_interest(int fd, std::uint32_t interest, bool add);
+  void wake();
+  void drain_wake_fd();
+  void run_posted();
+
+  int queue_fd_ = -1;  ///< epoll or kqueue descriptor
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;  ///< == wake_read_fd_ on eventfd platforms
+  std::unordered_map<int, Registration> registrations_;
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace greenfpga::serve
+
+#endif  // GREENFPGA_SERVE_EVENT_LOOP_HPP

@@ -117,8 +117,10 @@ HttpResponse handle_stats(ServeContext& context, const HttpRequest&) {
   cache["hits"] = stats.hits;
   cache["misses"] = stats.misses;
   cache["evictions"] = stats.evictions;
+  cache["disk_hits"] = stats.disk_hits;
   cache["size"] = stats.size;
   cache["capacity"] = stats.capacity;
+  cache["shards"] = stats.shards;
   Json body = Json::object();
   body["cache"] = std::move(cache);
   body["requests"] = context.requests.load(std::memory_order_relaxed);
@@ -136,15 +138,23 @@ HttpResponse handle_healthz(const HttpRequest&) {
 }  // namespace
 
 ServeContext::ServeContext(scenario::EngineOptions engine_options,
-                           std::size_t cache_capacity)
-    : cache_(cache_capacity),
+                           std::size_t cache_capacity, std::size_t cache_shards,
+                           const std::string& cache_dir)
+    : store_(cache_dir.empty()
+                 ? std::nullopt
+                 : std::optional<scenario::CacheStore>(std::in_place, cache_dir)),
+      cache_(cache_capacity, cache_shards),
       engine_([&] {
         engine_options.cache = &cache_;
         return scenario::Engine(engine_options);
       }()),
       registry_(engine_options.registry != nullptr
                     ? engine_options.registry
-                    : &device::PlatformRegistry::builtins()) {}
+                    : &device::PlatformRegistry::builtins()) {
+  if (store_.has_value()) {
+    cache_.attach_store(&*store_);
+  }
+}
 
 Router make_router(ServeContext& context) {
   Router router;

@@ -28,7 +28,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string>
 
+#include "scenario/cache_store.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/result_cache.hpp"
 #include "serve/router.hpp"
@@ -36,13 +39,19 @@
 namespace greenfpga::serve {
 
 /// Shared state behind one serving process: the content-addressed result
-/// cache and the engine wired to it, plus request counters.  Construct
-/// once, then build the router over it; must outlive the server.
+/// cache (sharded; optionally disk-backed) and the engine wired to it,
+/// plus request counters.  Construct once, then build the router over
+/// it; must outlive the server.
 class ServeContext {
  public:
   /// `engine_options.cache` is overwritten to point at the owned cache.
+  /// A non-empty `cache_dir` attaches a disk tier (created if absent;
+  /// throws std::runtime_error when unusable), so a restarted daemon
+  /// keeps its previously evaluated results.
   explicit ServeContext(scenario::EngineOptions engine_options = {},
-                        std::size_t cache_capacity = 1024);
+                        std::size_t cache_capacity = 1024,
+                        std::size_t cache_shards = 8,
+                        const std::string& cache_dir = "");
 
   [[nodiscard]] scenario::ResultCache& cache() { return cache_; }
   [[nodiscard]] const scenario::Engine& engine() const { return engine_; }
@@ -53,7 +62,10 @@ class ServeContext {
   std::atomic<std::uint64_t> errors{0};    ///< non-2xx responses
 
  private:
-  scenario::ResultCache cache_;  ///< declared before engine_: engine points here
+  /// Declaration order is load-bearing: the store outlives the cache
+  /// that points at it, and the cache outlives the engine wired to it.
+  std::optional<scenario::CacheStore> store_;
+  scenario::ResultCache cache_;
   scenario::Engine engine_;
   const device::PlatformRegistry* registry_;
 };

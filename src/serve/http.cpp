@@ -137,6 +137,8 @@ std::string reason_phrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
     case 413:
       return "Payload Too Large";
     case 500:
@@ -150,7 +152,112 @@ std::string reason_phrase(int status) {
   }
 }
 
-SocketStream::SocketStream(int fd, HttpLimits limits) : fd_(fd), limits_(limits) {}
+RequestFramer::RequestFramer(HttpLimits limits) : limits_(limits) {}
+
+bool RequestFramer::next(std::string& buffer, HttpRequest& out) {
+  if (drain_remaining_ > 0) {
+    // Over-limit body: discard what the peer is committed to sending,
+    // within a hard bound, so the 413 can actually be delivered --
+    // rejecting with unread bytes in flight makes the close RST the
+    // connection and eat the response.  Past the bound we give up and
+    // let the close happen.
+    const std::size_t n = std::min(buffer.size(), drain_remaining_);
+    buffer.erase(0, n);
+    drain_remaining_ -= n;
+    if (drain_remaining_ > 0) {
+      return false;
+    }
+    throw HttpError(413, drain_error_);
+  }
+  if (!head_done_) {
+    // Accept CRLFCRLF and (leniently) LFLF as the header terminator.
+    const std::size_t crlf = buffer.find("\r\n\r\n");
+    const std::size_t lflf = buffer.find("\n\n");
+    std::size_t end = std::string::npos;
+    std::size_t skip = 0;
+    if (crlf != std::string::npos && (lflf == std::string::npos || crlf < lflf)) {
+      end = crlf;
+      skip = 4;
+    } else if (lflf != std::string::npos) {
+      end = lflf;
+      skip = 2;
+    }
+    if (end == std::string::npos) {
+      if (buffer.size() > limits_.max_header_bytes) {
+        throw HttpError(413, "header block exceeds " +
+                                 std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return false;
+    }
+    const std::string block = buffer.substr(0, end);
+    buffer.erase(0, end + skip);
+    const std::vector<std::string_view> lines = split_lines(block);
+    if (lines.empty()) {
+      throw HttpError(400, "empty request");
+    }
+    // Request line: METHOD SP TARGET SP VERSION -- exactly two spaces.  A
+    // target with an embedded space is malformed framing, not a path.
+    const std::string_view line = lines.front();
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? std::string_view::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      throw HttpError(400, "malformed request line");
+    }
+    pending_ = HttpRequest{};
+    pending_.method = std::string(line.substr(0, sp1));
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    pending_.version = std::string(line.substr(sp2 + 1));
+    if (pending_.version != "HTTP/1.1" && pending_.version != "HTTP/1.0") {
+      throw HttpError(400, "unsupported HTTP version '" + pending_.version + "'");
+    }
+    const std::size_t question = target.find('?');
+    if (question != std::string_view::npos) {
+      pending_.query = std::string(target.substr(question + 1));
+      target = target.substr(0, question);
+    }
+    pending_.target = std::string(target);
+    if (pending_.target.empty() || pending_.target.front() != '/') {
+      throw HttpError(400, "request target must be an absolute path");
+    }
+    parse_headers(lines, pending_.headers);
+    if (!pending_.header_or("transfer-encoding").empty()) {
+      throw HttpError(501, "chunked transfer coding is not supported; "
+                           "send Content-Length");
+    }
+    body_needed_ = 0;
+    const std::string length_text = pending_.header_or("content-length");
+    if (!length_text.empty()) {
+      const std::optional<std::size_t> length = parse_content_length(length_text);
+      if (!length) {
+        throw HttpError(400, "malformed Content-Length '" + length_text + "'");
+      }
+      if (*length > limits_.max_body_bytes) {
+        drain_remaining_ = std::min(*length, limits_.max_body_bytes * 8);
+        drain_error_ = "body of " + std::to_string(*length) + " bytes exceeds limit " +
+                       std::to_string(limits_.max_body_bytes);
+        pending_ = HttpRequest{};
+        return next(buffer, out);  // start draining what is already buffered
+      }
+      body_needed_ = *length;
+    }
+    head_done_ = true;
+  }
+  if (buffer.size() < body_needed_) {
+    return false;
+  }
+  pending_.body = buffer.substr(0, body_needed_);
+  buffer.erase(0, body_needed_);
+  out = std::move(pending_);
+  pending_ = HttpRequest{};
+  body_needed_ = 0;
+  head_done_ = false;
+  return true;
+}
+
+SocketStream::SocketStream(int fd, HttpLimits limits)
+    : fd_(fd), limits_(limits), framer_(limits) {}
 
 SocketStream::~SocketStream() {
   if (fd_ >= 0) {
@@ -172,7 +279,12 @@ bool SocketStream::fill() {
     if (errno == EINTR) {
       continue;
     }
-    return false;  // reset/shutdown: treat as end-of-stream
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired: the peer is alive but silent.  That is a
+      // timeout to report (408), not a clean end-of-stream.
+      throw HttpError(408, "receive timed out");
+    }
+    throw HttpError(400, std::string("recv failed: ") + std::strerror(errno));
   }
 }
 
@@ -236,51 +348,17 @@ void SocketStream::read_body(std::size_t length, std::string& out) {
 }
 
 bool SocketStream::read_request(HttpRequest& out) {
-  std::string block;
-  if (!read_header_block(block)) {
-    return false;
-  }
-  const std::vector<std::string_view> lines = split_lines(block);
-  if (lines.empty()) {
-    throw HttpError(400, "empty request");
-  }
-  // Request line: METHOD SP TARGET SP VERSION.
-  const std::string_view line = lines.front();
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string_view::npos || sp2 == sp1) {
-    throw HttpError(400, "malformed request line");
-  }
-  out = HttpRequest{};
-  out.method = std::string(line.substr(0, sp1));
-  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  out.version = std::string(line.substr(sp2 + 1));
-  if (out.version != "HTTP/1.1" && out.version != "HTTP/1.0") {
-    throw HttpError(400, "unsupported HTTP version '" + out.version + "'");
-  }
-  const std::size_t question = target.find('?');
-  if (question != std::string_view::npos) {
-    out.query = std::string(target.substr(question + 1));
-    target = target.substr(0, question);
-  }
-  out.target = std::string(target);
-  if (out.target.empty() || out.target.front() != '/') {
-    throw HttpError(400, "request target must be an absolute path");
-  }
-  parse_headers(lines, out.headers);
-  if (!out.header_or("transfer-encoding").empty()) {
-    throw HttpError(501, "chunked transfer coding is not supported; "
-                         "send Content-Length");
-  }
-  const std::string length_text = out.header_or("content-length");
-  if (!length_text.empty()) {
-    const std::optional<std::size_t> length = parse_content_length(length_text);
-    if (!length) {
-      throw HttpError(400, "malformed Content-Length '" + length_text + "'");
+  for (;;) {
+    if (framer_.next(buffer_, out)) {
+      return true;
     }
-    read_body(*length, out.body);
+    if (!fill()) {
+      if (!framer_.mid_request(buffer_)) {
+        return false;  // clean EOF between messages
+      }
+      throw HttpError(400, "connection closed mid-request");
+    }
   }
-  return true;
 }
 
 bool SocketStream::read_response(HttpResponse& out) {
@@ -332,7 +410,7 @@ void SocketStream::send_all(std::string_view bytes) {
   }
 }
 
-void SocketStream::write_response(const HttpResponse& response) {
+std::string serialize_response(const HttpResponse& response) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     reason_phrase(response.status) + "\r\n";
   for (const auto& [name, value] : response.headers) {
@@ -340,7 +418,11 @@ void SocketStream::write_response(const HttpResponse& response) {
   }
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n\r\n";
   out += response.body;
-  send_all(out);
+  return out;
+}
+
+void SocketStream::write_response(const HttpResponse& response) {
+  send_all(serialize_response(response));
 }
 
 void SocketStream::write_request(const HttpRequest& request) {

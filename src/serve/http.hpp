@@ -81,6 +81,47 @@ struct HttpLimits {
   std::size_t max_body_bytes = 8 * 1024 * 1024;
 };
 
+/// Serialize `response` to wire bytes (status line, headers,
+/// Content-Length, body).  The single definition used by the blocking
+/// stream and the event-loop server, so both paths emit identical bytes.
+[[nodiscard]] std::string serialize_response(const HttpResponse& response);
+
+/// Incremental HTTP/1.1 request framing over a caller-owned receive
+/// buffer.  `next` consumes at most one complete request per call and
+/// never blocks, so it works for both the blocking `SocketStream` (which
+/// fills the buffer between calls) and the event-loop server (which
+/// appends whatever `recv` returned and retries).  Enforces the
+/// `HttpLimits` ingestion bounds; an over-limit declared body is drained
+/// (discarded, within a hard bound) before the 413 surfaces, so the
+/// rejection can actually be delivered instead of being eaten by an RST.
+/// After a throw the framer is poisoned: the byte stream can no longer be
+/// trusted for framing and the connection must close after the error
+/// response.
+class RequestFramer {
+ public:
+  explicit RequestFramer(HttpLimits limits = {});
+
+  /// Try to extract one complete request from `buffer` (consuming its
+  /// bytes).  Returns true with `out` filled, false when more bytes are
+  /// needed.  Throws HttpError on malformed or over-limit input.
+  [[nodiscard]] bool next(std::string& buffer, HttpRequest& out);
+
+  /// True when bytes of a partially-received request are pending (header
+  /// bytes buffered, a body still owed, or an over-limit drain running):
+  /// EOF here is a truncation error, not a clean close.
+  [[nodiscard]] bool mid_request(const std::string& buffer) const {
+    return head_done_ || drain_remaining_ > 0 || !buffer.empty();
+  }
+
+ private:
+  HttpLimits limits_;
+  HttpRequest pending_;            ///< head parsed, awaiting its body
+  std::size_t body_needed_ = 0;    ///< body bytes still owed to pending_
+  bool head_done_ = false;
+  std::size_t drain_remaining_ = 0;  ///< over-limit body bytes to discard
+  std::string drain_error_;          ///< the 413 to throw once drained
+};
+
 /// Buffered, bounded HTTP framing over one connected socket.  Owns the
 /// file descriptor (closed on destruction).  Not thread-safe; one
 /// connection is driven by one thread.
@@ -93,7 +134,8 @@ class SocketStream {
 
   /// Read one request.  Returns false on clean end-of-stream before any
   /// request byte (the peer closed an idle keep-alive connection); throws
-  /// HttpError on malformed or over-limit input.
+  /// HttpError on malformed or over-limit input, HttpError(408) when a
+  /// socket receive timeout (SO_RCVTIMEO) expires mid-request.
   [[nodiscard]] bool read_request(HttpRequest& out);
 
   /// Read one response (client side).  Returns false on clean EOF before
@@ -108,7 +150,11 @@ class SocketStream {
   void write_request(const HttpRequest& request);
 
  private:
-  [[nodiscard]] bool fill();  ///< one recv into the buffer; false on EOF
+  /// One recv into the buffer; false on orderly peer EOF.  Throws
+  /// HttpError(408) on a receive timeout (EAGAIN/EWOULDBLOCK under
+  /// SO_RCVTIMEO) and HttpError(400) on any other receive failure --
+  /// a reset peer is not a clean end-of-stream.
+  [[nodiscard]] bool fill();
   /// Block until the buffer holds a blank-line-terminated header block;
   /// returns it (consumed from the buffer), or nullopt on clean EOF at
   /// offset 0.
@@ -119,6 +165,7 @@ class SocketStream {
   int fd_;
   HttpLimits limits_;
   std::string buffer_;  ///< bytes received but not yet consumed
+  RequestFramer framer_;  ///< server-side request framing over buffer_
 };
 
 /// A minimal keep-alive client for tests and the bench load driver.

@@ -1,19 +1,53 @@
 /// \file server.cpp
-/// Acceptor + per-connection keep-alive loops with clean shutdown.
+/// Event-loop acceptor + worker-pool dispatch with clean shutdown.
 
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 namespace greenfpga::serve {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// SO_SNDTIMEO/SO_RCVTIMEO: bound any blocking IO on this socket.  The
+/// event loop never blocks on sockets, but the timeouts are cheap
+/// defense in depth -- and they make a descriptor handed to blocking
+/// code (tests, future handlers) safe by construction.
+void set_socket_timeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    return;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+int default_worker_count() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hardware, 2u, 16u));
+}
+
+}  // namespace
 
 Server::Server(Router router, ServerOptions options)
     : router_(std::move(router)), options_(std::move(options)) {}
@@ -54,102 +88,288 @@ void Server::start() {
   socklen_t bound_len = sizeof bound;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = static_cast<int>(ntohs(bound.sin_port));
-  acceptor_ = std::thread([this] { accept_loop(); });
+  set_nonblocking(listen_fd_);
+
+  // Registered before the loop thread exists, so no synchronization with
+  // dispatch is needed.
+  loop_.add(listen_fd_, EventLoop::kRead, [this](std::uint32_t) {
+    on_listener_ready();
+  });
+
+  const int tick_source = std::min(options_.io_timeout_ms > 0 ? options_.io_timeout_ms
+                                                              : options_.idle_timeout_ms,
+                                   options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms
+                                                                : options_.io_timeout_ms);
+  const int tick_ms = std::clamp(tick_source > 0 ? tick_source / 4 : 250, 10, 250);
+  loop_thread_ = std::thread([this, tick_ms] {
+    loop_.run([this] { sweep_timeouts(); }, std::chrono::milliseconds(tick_ms));
+  });
+
+  const int worker_count =
+      options_.workers > 0 ? options_.workers : default_worker_count();
+  workers_.reserve(static_cast<std::size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
 }
 
-void Server::accept_loop() {
-  while (running_.load(std::memory_order_relaxed)) {
+void Server::on_listener_ready() {
+  for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (!running_.load(std::memory_order_relaxed)) {
-        return;  // stop() closed the listener
-      }
       if (errno == EINTR || errno == ECONNABORTED) {
         continue;
       }
-      return;  // listener is gone; nothing left to accept
+      return;  // EAGAIN: drained, or the listener is gone
     }
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
-    reap_finished_locked();
+    set_nonblocking(fd);
+    set_socket_timeouts(fd, options_.io_timeout_ms);
+    const int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
     if (static_cast<int>(connections_.size()) >= options_.max_connections) {
-      // Overload: answer fast and shed, never queue unboundedly.
-      SocketStream stream(fd, options_.limits);
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      try {
-        stream.write_response(error_response(503, "connection limit reached"));
-      } catch (const HttpError&) {
-        // Shedding best-effort: the peer may already be gone.
-      }
+      shed_connection(fd);
       continue;
     }
-    connections_.push_back(std::make_unique<Connection>());
-    Connection& connection = *connections_.back();
-    connection.fd = fd;
-    connection.thread = std::thread([this, &connection] {
-      handle_connection(connection);
-      connection.done.store(true, std::memory_order_release);
+    auto connection = std::make_unique<Connection>(options_.limits);
+    connection->id = next_connection_id_++;
+    connection->fd = fd;
+    connection->last_activity = std::chrono::steady_clock::now();
+    Connection* raw = connection.get();
+    connections_.emplace(connection->id, std::move(connection));
+    loop_.add(fd, EventLoop::kRead, [this, raw](std::uint32_t ready) {
+      on_connection_ready(*raw, ready);
     });
   }
 }
 
-void Server::handle_connection(Connection& connection) {
-  SocketStream stream(connection.fd, options_.limits);
-  HttpRequest request;
-  while (running_.load(std::memory_order_relaxed)) {
-    bool got = false;
-    try {
-      got = stream.read_request(request);
-    } catch (const HttpError& error) {
-      // Transport-level failure (malformed framing, over-limit input):
-      // answer with its status and close -- the byte stream can no
-      // longer be trusted for framing.
-      try {
-        HttpResponse response = error_response(error.status(), error.what());
-        response.set_header("Connection", "close");
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        stream.write_response(response);
-      } catch (const HttpError&) {
+void Server::shed_connection(int fd) {
+  // Overload: answer fast and shed, never queue unboundedly -- and never
+  // block.  One non-blocking send (the 503 fits any fresh socket buffer);
+  // a peer that cannot take even that just gets the close.  No lock is
+  // held and no shared thread waits, so a stuck or never-reading peer
+  // costs exactly this fd, not the acceptor (the PR-8 head-of-line bug).
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse response = error_response(503, "connection limit reached");
+  response.set_header("Connection", "close");
+  const std::string bytes = serialize_response(response);
+  [[maybe_unused]] const ssize_t n =
+      ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  ::close(fd);
+}
+
+void Server::on_connection_ready(Connection& connection, std::uint32_t ready) {
+  if ((ready & EventLoop::kError) != 0) {
+    destroy_connection(connection);
+    return;
+  }
+  if ((ready & EventLoop::kWrite) != 0) {
+    if (!flush_outbox(connection)) {
+      return;  // connection destroyed
+    }
+  }
+  if ((ready & EventLoop::kRead) != 0) {
+    char chunk[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(connection.fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        connection.inbox.append(chunk, static_cast<std::size_t>(n));
+        connection.last_activity = std::chrono::steady_clock::now();
+        continue;
       }
+      if (n == 0) {
+        connection.peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      destroy_connection(connection);  // reset mid-read
       return;
     }
-    if (!got) {
-      return;  // peer closed an idle keep-alive connection
+    advance(connection);
+  }
+}
+
+void Server::advance(Connection& connection) {
+  if (connection.processing || !connection.outbox.empty()) {
+    return;  // a request is in flight; reads stay paused (backpressure)
+  }
+  HttpRequest request;
+  bool got = false;
+  try {
+    got = connection.framer.next(connection.inbox, request);
+  } catch (const HttpError& error) {
+    // Transport-level failure (malformed framing, over-limit input):
+    // answer with its status and close -- the byte stream can no longer
+    // be trusted for framing.
+    HttpResponse response = error_response(error.status(), error.what());
+    queue_response(connection, response, /*keep_alive=*/false);
+    flush_outbox(connection);
+    return;
+  }
+  if (got) {
+    connection.processing = true;
+    loop_.set_interest(connection.fd, 0);
+    dispatch(connection, std::move(request));
+    return;
+  }
+  if (connection.peer_eof) {
+    // No complete request left and none can arrive: the peer closed an
+    // idle keep-alive connection (or truncated a request mid-flight --
+    // nothing can be answered either way).
+    destroy_connection(connection);
+    return;
+  }
+  loop_.set_interest(connection.fd, EventLoop::kRead);
+}
+
+void Server::queue_response(Connection& connection, const HttpResponse& response,
+                            bool keep_alive) {
+  HttpResponse finished = response;
+  finished.set_header("Connection", keep_alive ? "keep-alive" : "close");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  connection.outbox += serialize_response(finished);
+  connection.close_after_write = !keep_alive;
+  connection.last_activity = std::chrono::steady_clock::now();
+}
+
+bool Server::flush_outbox(Connection& connection) {
+  while (connection.sent < connection.outbox.size()) {
+    const ssize_t n = ::send(connection.fd, connection.outbox.data() + connection.sent,
+                             connection.outbox.size() - connection.sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      connection.sent += static_cast<std::size_t>(n);
+      connection.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full (slow or never-reading peer): let the loop
+      // call back when writable; the timeout sweep bounds the stall.
+      loop_.set_interest(connection.fd, EventLoop::kWrite);
+      return true;
+    }
+    destroy_connection(connection);  // peer went away mid-write
+    return false;
+  }
+  connection.outbox.clear();
+  connection.sent = 0;
+  if (connection.close_after_write) {
+    destroy_connection(connection);
+    return false;
+  }
+  // Response delivered: serve the next pipelined request if one is
+  // already buffered, otherwise resume reading.
+  advance(connection);
+  return true;
+}
+
+void Server::complete(std::uint64_t connection_id, std::string bytes,
+                      bool keep_alive) {
+  const auto it = connections_.find(connection_id);
+  if (it == connections_.end()) {
+    return;  // connection timed out or reset while the handler ran
+  }
+  Connection& connection = *it->second;
+  connection.processing = false;
+  connection.outbox += bytes;
+  connection.close_after_write = !keep_alive;
+  connection.last_activity = std::chrono::steady_clock::now();
+  flush_outbox(connection);
+}
+
+void Server::destroy_connection(Connection& connection) {
+  loop_.remove(connection.fd);
+  ::close(connection.fd);
+  connection.fd = -1;
+  connections_.erase(connection.id);  // invalidates `connection`
+}
+
+void Server::sweep_timeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto io_limit = std::chrono::milliseconds(options_.io_timeout_ms);
+  const auto idle_limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  // Collect first: destroying mutates the map.
+  std::vector<Connection*> stalled;
+  std::vector<Connection*> half_received;
+  std::vector<Connection*> idle;
+  for (const auto& [id, connection] : connections_) {
+    if (connection->processing) {
+      continue;  // the handler is computing; no socket stall involved
+    }
+    const auto quiet = now - connection->last_activity;
+    if (!connection->outbox.empty()) {
+      if (options_.io_timeout_ms > 0 && quiet > io_limit) {
+        stalled.push_back(connection.get());
+      }
+    } else if (connection->framer.mid_request(connection->inbox)) {
+      if (options_.io_timeout_ms > 0 && quiet > io_limit) {
+        half_received.push_back(connection.get());
+      }
+    } else if (options_.idle_timeout_ms > 0 && quiet > idle_limit) {
+      idle.push_back(connection.get());
+    }
+  }
+  for (Connection* connection : stalled) {
+    destroy_connection(*connection);
+  }
+  for (Connection* connection : half_received) {
+    // The peer started a request and went quiet: 408, then close.
+    HttpResponse response = error_response(408, "request timed out");
+    queue_response(*connection, response, /*keep_alive=*/false);
+    flush_outbox(*connection);
+  }
+  for (Connection* connection : idle) {
+    destroy_connection(*connection);
+  }
+}
+
+void Server::dispatch(Connection& connection, HttpRequest request) {
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.push_back(Job{connection.id, std::move(request)});
+  }
+  jobs_ready_.notify_one();
+}
+
+void Server::worker_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_ready_.wait(lock, [this] { return workers_stopping_ || !jobs_.empty(); });
+      if (workers_stopping_) {
+        return;  // shutdown drops queued work; the loop closes the sockets
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
     }
     // Last-resort exception mapping (router.hpp documents that handler
-    // exceptions propagate to this loop): a handler registered without
-    // the handlers.cpp error wrapper, or a failure while building the
+    // exceptions propagate here): a handler registered without the
+    // handlers.cpp error wrapper, or a failure while building the
     // 404/405 response, must cost one 500, never the daemon.
     HttpResponse response;
     try {
-      response = router_.route(request);
+      response = router_.route(job.request);
     } catch (const std::exception& error) {
       response = error_response(500, error.what());
     } catch (...) {
       response = error_response(500, "unknown handler failure");
     }
     const bool keep =
-        request.keep_alive() && running_.load(std::memory_order_relaxed);
+        job.request.keep_alive() && running_.load(std::memory_order_relaxed);
     response.set_header("Connection", keep ? "keep-alive" : "close");
     requests_.fetch_add(1, std::memory_order_relaxed);
-    try {
-      stream.write_response(response);
-    } catch (const HttpError&) {
-      return;  // peer went away mid-write
-    }
-    if (!keep) {
-      return;
-    }
-  }
-}
-
-void Server::reap_finished_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
+    std::string bytes = serialize_response(response);
+    loop_.post([this, id = job.connection_id, bytes = std::move(bytes), keep]() mutable {
+      complete(id, std::move(bytes), keep);
+    });
   }
 }
 
@@ -157,36 +377,31 @@ void Server::stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  // Unblock the acceptor: shutdown() forces accept() to return on every
-  // platform; close() releases the fd.
+  // Workers first: in-flight handlers finish and post their responses
+  // while the loop is still alive to write them.
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    workers_stopping_ = true;
+  }
+  jobs_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  loop_.stop();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  // The loop is gone: tear sockets down without synchronization.
+  for (const auto& [id, connection] : connections_) {
+    if (connection->fd >= 0) {
+      ::close(connection->fd);
+    }
+  }
+  connections_.clear();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
-  }
-  if (acceptor_.joinable()) {
-    acceptor_.join();
-  }
-  {
-    // Unblock every connection read; the threads observe running_ ==
-    // false (or EOF) and exit.  SocketStream still owns and closes the
-    // fds.
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const std::unique_ptr<Connection>& connection : connections_) {
-      ::shutdown(connection->fd, SHUT_RDWR);
-    }
-  }
-  for (;;) {
-    std::unique_ptr<Connection> victim;
-    {
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
-      if (connections_.empty()) {
-        break;
-      }
-      victim = std::move(connections_.front());
-      connections_.pop_front();
-    }
-    victim->thread.join();
   }
   {
     // Taking the lock orders this notify after any in-flight wait()'s

@@ -1,0 +1,139 @@
+/// Tests for the content-addressed disk cache store: byte-identical
+/// round-trips through the canonical result JSON, absent/corrupt/
+/// truncated files degrading to miss, full-key verification rejecting
+/// fingerprint collisions, directory creation, and startup failure on an
+/// unusable path.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "io/hash.hpp"
+#include "io/json.hpp"
+#include "scenario/cache_store.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_io.hpp"
+
+namespace greenfpga::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioResult small_result(int app_count) {
+  ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare, device::Domain::dnn);
+  spec.name = "store test " + std::to_string(app_count);
+  spec.schedule.app_count = app_count;
+  return Engine(EngineOptions{.threads = 1}).run(spec);
+}
+
+std::string canonical(const ScenarioResult& result) {
+  return result_to_json(result).dump();
+}
+
+/// A per-test scratch directory (unique per test name: ctest runs test
+/// cases as parallel processes), wiped on both ends.
+class CacheStoreTest : public ::testing::Test {
+ protected:
+  CacheStoreTest()
+      : dir_(::testing::TempDir() + "/greenfpga_cache_store_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()) {
+    fs::remove_all(dir_);
+  }
+  ~CacheStoreTest() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CacheStoreTest, RoundTripIsByteIdenticalAndCreatesTheDirectory) {
+  ASSERT_FALSE(fs::exists(dir_ + "/nested"));
+  CacheStore store(dir_ + "/nested");  // parents created on construction
+  const ScenarioResult result = small_result(1);
+  ASSERT_TRUE(store.save("the key", result));
+  ASSERT_TRUE(fs::is_regular_file(store.path_for("the key")));
+  const std::shared_ptr<const ScenarioResult> loaded = store.load("the key");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(canonical(*loaded), canonical(result));
+}
+
+TEST_F(CacheStoreTest, PathIsTheKeyFingerprint) {
+  const CacheStore store(dir_);
+  const std::string key = "spec content bytes";
+  const std::string expected_name = io::hex64(io::fnv1a64(key)) + ".json";
+  EXPECT_EQ(fs::path(store.path_for(key)).filename().string(), expected_name);
+}
+
+TEST_F(CacheStoreTest, AbsentEntryLoadsAsNull) {
+  const CacheStore store(dir_);
+  EXPECT_EQ(store.load("never saved"), nullptr);
+}
+
+TEST_F(CacheStoreTest, CorruptOrTruncatedFilesLoadAsNull) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.save("k", small_result(1)));
+  // Unparsable JSON.
+  std::ofstream(store.path_for("k"), std::ios::trunc) << "{ not json";
+  EXPECT_EQ(store.load("k"), nullptr);
+  // Valid JSON, wrong schema.
+  std::ofstream(store.path_for("k"), std::ios::trunc) << R"({"key": "k"})";
+  EXPECT_EQ(store.load("k"), nullptr);
+  // Empty file (a crashed writer can't leave this -- renames are atomic
+  // -- but an operator's stray file can).
+  std::ofstream(store.path_for("k"), std::ios::trunc);
+  EXPECT_EQ(store.load("k"), nullptr);
+}
+
+TEST_F(CacheStoreTest, EmbeddedKeyMismatchIsAMiss) {
+  // The file name is only a 64-bit fingerprint; a (forced) collision
+  // must read as a miss for the other key, never as its answer.
+  CacheStore store(dir_);
+  const ScenarioResult result = small_result(1);
+  ASSERT_TRUE(store.save("actual key", result));
+  io::Json entry = io::parse_json_file(store.path_for("actual key"));
+  EXPECT_EQ(entry.at("key").as_string(), "actual key");
+  // Impersonate a collision: copy the file to another key's slot.
+  fs::copy_file(store.path_for("actual key"), store.path_for("other key"));
+  EXPECT_EQ(store.load("other key"), nullptr);
+  // The honest key still loads.
+  EXPECT_NE(store.load("actual key"), nullptr);
+}
+
+TEST_F(CacheStoreTest, DistinctKeysCoexist) {
+  CacheStore store(dir_);
+  const ScenarioResult one = small_result(1);
+  const ScenarioResult two = small_result(2);
+  ASSERT_TRUE(store.save("one", one));
+  ASSERT_TRUE(store.save("two", two));
+  EXPECT_EQ(canonical(*store.load("one")), canonical(one));
+  EXPECT_EQ(canonical(*store.load("two")), canonical(two));
+}
+
+TEST_F(CacheStoreTest, SaveOverwritesInPlaceAndLeavesNoTempFiles) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.save("k", small_result(1)));
+  const ScenarioResult updated = small_result(2);
+  ASSERT_TRUE(store.save("k", updated));
+  EXPECT_EQ(canonical(*store.load("k")), canonical(updated));
+  std::size_t files = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(CacheStoreTest, UnusableDirectoryFailsAtConstruction) {
+  // A regular file where the directory should be: fail at startup with
+  // an actionable error, not silently on every save.
+  const std::string blocker = dir_ + "_blocker";
+  std::ofstream(blocker, std::ios::trunc) << "in the way";
+  EXPECT_THROW(CacheStore{blocker}, std::runtime_error);
+  EXPECT_THROW(CacheStore{""}, std::runtime_error);
+  fs::remove(blocker);
+}
+
+}  // namespace
+}  // namespace greenfpga::scenario

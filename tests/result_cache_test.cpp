@@ -1,17 +1,21 @@
 /// Tests for the content-addressed LRU result cache and its engine hook:
 /// hit/miss/eviction determinism (a cached result is byte-identical to a
-/// cold run), capacity-bound eviction order, batch dedup, and a
-/// multi-threaded hammer (runs under the ASan+UBSan CI job).
+/// cold run), capacity-bound eviction order, batch dedup, sharded
+/// counters staying exact, the disk tier promoting on memory miss, and
+/// multi-threaded hammers (run under the ASan+UBSan CI job).
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "io/hash.hpp"
+#include "scenario/cache_store.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/result_cache.hpp"
 #include "scenario/result_io.hpp"
@@ -95,6 +99,119 @@ TEST(ResultCache, ClearKeepsLifetimeCounters) {
 TEST(ResultCache, ZeroCapacityClampsToOne) {
   ResultCache cache(0);
   EXPECT_EQ(cache.stats().capacity, 1u);
+}
+
+TEST(ResultCache, ShardedCountersStayExact) {
+  // Capacity 4 over 2 shards (2 each).  Ten distinct keys land on shards
+  // by FNV-1a digest; whatever the split, the aggregated counters must
+  // account for every operation exactly.
+  ResultCache cache(4, 2);
+  const auto result = result_of(compare_spec(1));
+  for (int i = 0; i < 10; ++i) {
+    cache.insert("key " + std::to_string(i), result);
+  }
+  const ResultCacheStats after_inserts = cache.stats();
+  EXPECT_EQ(after_inserts.shards, 2u);
+  EXPECT_EQ(after_inserts.capacity, 4u);
+  EXPECT_LE(after_inserts.size, 4u);
+  EXPECT_EQ(after_inserts.evictions, 10u - after_inserts.size);
+  std::uint64_t found = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (cache.lookup("key " + std::to_string(i)) != nullptr) {
+      ++found;
+    }
+  }
+  const ResultCacheStats after_lookups = cache.stats();
+  EXPECT_EQ(found, after_inserts.size);  // exactly the residents hit
+  EXPECT_EQ(after_lookups.hits, found);
+  EXPECT_EQ(after_lookups.misses, 10u - found);
+  EXPECT_EQ(after_lookups.hits + after_lookups.misses, 10u);
+}
+
+TEST(ResultCache, ShardCapacityRoundsUp) {
+  // ceil(5 / 4) = 2 per shard: the effective total is 8, never 4.
+  const ResultCache cache(5, 4);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.capacity, 8u);
+  // Degenerate inputs clamp instead of dividing by zero.
+  EXPECT_EQ(ResultCache(0, 0).stats().capacity, 1u);
+  EXPECT_EQ(ResultCache(0, 0).stats().shards, 1u);
+}
+
+TEST(ResultCache, ShardedHammerAccountsForEveryOperation) {
+  // The sharded path under thread churn: distinct keys spread over
+  // shards, capacity forcing eviction, every lookup+insert tallied.
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  constexpr int kKeys = 16;
+  ResultCache cache(8, 4);
+  const auto result = result_of(compare_spec(1));
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string key = "key " + std::to_string((t + i) % kKeys);
+        if (cache.lookup(key) == nullptr) {
+          cache.insert(key, result);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_LE(stats.size, 8u);
+  EXPECT_EQ(stats.disk_hits, 0u);  // no store attached
+}
+
+TEST(ResultCache, DiskTierPromotesOnMemoryMissAndSurvivesEviction) {
+  const std::string dir = ::testing::TempDir() + "/greenfpga_cache_tier";
+  std::filesystem::remove_all(dir);
+  CacheStore store(dir);
+  const ScenarioSpec spec = compare_spec(1);
+  const auto a = result_of(spec);
+  const auto b = result_of(compare_spec(2));
+  {
+    ResultCache cache(1);
+    cache.attach_store(&store);
+    cache.insert("a", a);
+    cache.insert("b", b);  // evicts "a" from memory; disk keeps it
+    const std::shared_ptr<const ScenarioResult> back = cache.lookup("a");
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(canonical(*back), canonical(*a));
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.disk_hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+  }
+  // A fresh cache over the same store: still answered, from disk.
+  {
+    ResultCache cache(4);
+    cache.attach_store(&store);
+    const std::shared_ptr<const ScenarioResult> back = cache.lookup("b");
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(canonical(*back), canonical(*b));
+    // Promoted: the second lookup is a pure memory hit.
+    ASSERT_NE(cache.lookup("b"), nullptr);
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.disk_hits, 1u);
+  }
+  // A corrupted entry degrades to an honest miss, never a wrong answer.
+  {
+    std::ofstream(store.path_for("a"), std::ios::trunc) << "{ not json";
+    ResultCache cache(4);
+    cache.attach_store(&store);
+    EXPECT_EQ(cache.lookup("a"), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ResultCache, EngineRunReturnsByteIdenticalCachedResult) {

@@ -4,11 +4,22 @@
 /// `greenfpga run --format json` for all nine scenario kinds, cache
 /// hits included -- plus the stats/platforms/health endpoints, graceful
 /// 4xx errors (offending key named, depth bomb survived), and concurrent
-/// keep-alive clients (raced under ASan+UBSan in CI).
+/// keep-alive clients (raced under ASan+UBSan in CI).  The event-loop
+/// regression suite drives raw sockets: a connected-but-never-reading
+/// peer must not freeze accept or shedding, pipelined keep-alive
+/// requests answer in order, half-received requests 408 out, and a
+/// `--cache-dir` restart answers from disk with identical bytes.
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -290,6 +301,238 @@ TEST_F(ServeTest, ConcurrentClientsGetIdenticalBytes) {
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<std::uint64_t>(kClients) * kRequests);
   EXPECT_EQ(stats.size, 1u);  // one distinct spec
+}
+
+/// A raw TCP connection for driving the server below the HttpClient
+/// abstraction: malformed bytes, pipelined writes, silent peers.
+class RawSocket {
+ public:
+  explicit RawSocket(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      throw std::runtime_error("RawSocket: connect failed");
+    }
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~RawSocket() { close(); }
+  RawSocket(const RawSocket&) = delete;
+  RawSocket& operator=(const RawSocket&) = delete;
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void send_bytes(const std::string& bytes) const {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Everything received until the server closes (or the 5 s guard).
+  [[nodiscard]] std::string read_until_close() const {
+    std::string received;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        break;
+      }
+      received.append(chunk, static_cast<std::size_t>(n));
+    }
+    return received;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeServer, NeverReadingPeerDoesNotFreezeAcceptOrShedding) {
+  // The old acceptor's 503 overload path wrote to the shed peer while
+  // holding the connection lock with no send timeout: one connected
+  // peer that never read froze accept and reaping for everyone.  With
+  // max_connections=1 the single slot is held by a silent peer and a
+  // second silent peer is shed -- and reading clients must still get
+  // prompt answers throughout.
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  ServerOptions options;
+  options.max_connections = 1;
+  Server server(make_router(context), options);
+  server.start();
+
+  RawSocket slot_holder(server.port());  // occupies the only slot, stays silent
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  RawSocket shed_and_silent(server.port());  // shed; never reads its 503
+  // Reading clients are shed promptly -- accept never blocked.
+  for (int i = 0; i < 3; ++i) {
+    const RawSocket reader(server.port());
+    const std::string answer = reader.read_until_close();
+    EXPECT_NE(answer.find("HTTP/1.1 503"), std::string::npos) << answer;
+    EXPECT_NE(answer.find("connection limit reached"), std::string::npos) << answer;
+  }
+  // Freeing the slot un-sheds: the next client is served normally.
+  slot_holder.close();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  int status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    HttpClient http("127.0.0.1", server.port());
+    status = http.request("GET", "/healthz").status;
+    if (status == 200) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(status, 200);
+}
+
+TEST(ServeServer, RequestLineWithSpacedTargetAnswers400) {
+  // `rfind(' ')` parsing used to silently accept `GET /a b HTTP/1.1` as
+  // target "/a b"; a spaced request line is malformed and must be 400.
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  Server server(make_router(context), ServerOptions{});
+  server.start();
+  RawSocket raw(server.port());
+  raw.send_bytes("GET /a b HTTP/1.1\r\nhost: t\r\n\r\n");
+  const std::string answer = raw.read_until_close();
+  EXPECT_NE(answer.find("HTTP/1.1 400"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("malformed request line"), std::string::npos) << answer;
+}
+
+TEST(ServeServer, PipelinedKeepAliveRequestsAnswerInOrder) {
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  Server server(make_router(context), ServerOptions{});
+  server.start();
+  RawSocket raw(server.port());
+  raw.send_bytes(
+      "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n"
+      "GET /v1/platforms HTTP/1.1\r\nhost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+  const std::string answer = raw.read_until_close();
+  // Three responses, in request order, on the one connection.
+  const std::size_t first = answer.find("HTTP/1.1 200 OK");
+  ASSERT_NE(first, std::string::npos) << answer;
+  const std::size_t ok1 = answer.find("\"status\": \"ok\"", first);
+  ASSERT_NE(ok1, std::string::npos) << answer;
+  const std::size_t platforms = answer.find("\"platforms\"", ok1);
+  ASSERT_NE(platforms, std::string::npos) << answer;
+  const std::size_t ok2 = answer.find("\"status\": \"ok\"", platforms);
+  ASSERT_NE(ok2, std::string::npos) << answer;
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(ServeServer, HalfReceivedRequestTimesOutWith408) {
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  ServerOptions options;
+  options.io_timeout_ms = 200;
+  Server server(make_router(context), options);
+  server.start();
+  RawSocket raw(server.port());
+  raw.send_bytes("GET /healthz HTT");  // and then silence
+  const std::string answer = raw.read_until_close();
+  EXPECT_NE(answer.find("HTTP/1.1 408"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("request timed out"), std::string::npos) << answer;
+}
+
+TEST(ServeServer, IdleKeepAliveConnectionsAreReaped) {
+  ServeContext context(scenario::EngineOptions{.threads = 1}, 4);
+  ServerOptions options;
+  options.idle_timeout_ms = 150;
+  Server server(make_router(context), options);
+  server.start();
+  RawSocket raw(server.port());
+  raw.send_bytes("GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+  // One answer arrives, then the idle sweep closes the connection --
+  // read_until_close returning (instead of hanging to its 5 s guard
+  // after one response) is the reap.
+  const std::string answer = raw.read_until_close();
+  EXPECT_NE(answer.find("HTTP/1.1 200 OK"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("\"status\": \"ok\""), std::string::npos) << answer;
+}
+
+TEST(ServeServer, CacheDirSurvivesRestartWithIdenticalBytes) {
+  const std::string dir = ::testing::TempDir() + "/greenfpga_serve_cache_dir";
+  std::filesystem::remove_all(dir);
+  const ScenarioSpec spec = spec_for(ScenarioKind::compare);
+  const std::string body = spec_to_json(spec).dump();
+  const std::string expected = cli_json_bytes(spec);
+  {
+    ServeContext context(scenario::EngineOptions{.threads = 1}, 64, 8, dir);
+    Server server(make_router(context), ServerOptions{});
+    server.start();
+    HttpClient http("127.0.0.1", server.port());
+    const HttpResponse response = http.request("POST", "/v1/run", body);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.header_or("x-cache"), "miss");
+    EXPECT_EQ(response.body, expected);
+    server.stop();
+  }
+  // A brand-new daemon over the same directory: the answer comes from
+  // the disk tier -- a hit, byte-identical, engine never re-runs.
+  {
+    ServeContext context(scenario::EngineOptions{.threads = 1}, 64, 8, dir);
+    Server server(make_router(context), ServerOptions{});
+    server.start();
+    HttpClient http("127.0.0.1", server.port());
+    const HttpResponse response = http.request("POST", "/v1/run", body);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.header_or("x-cache"), "hit");
+    EXPECT_EQ(response.body, expected);
+    const scenario::ResultCacheStats stats = context.cache().stats();
+    EXPECT_EQ(stats.disk_hits, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RequestFramerTest, FramesIncrementallyAndPipelined) {
+  RequestFramer framer;
+  HttpRequest request;
+  std::string buffer;
+  const std::string post =
+      "POST /v1/run HTTP/1.1\r\ncontent-length: 4\r\n\r\nspec";
+  // Byte-at-a-time arrival: no request until the last body byte lands.
+  for (std::size_t i = 0; i + 1 < post.size(); ++i) {
+    buffer.push_back(post[i]);
+    EXPECT_FALSE(framer.next(buffer, request)) << "byte " << i;
+  }
+  buffer.push_back(post.back());
+  ASSERT_TRUE(framer.next(buffer, request));
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/run");
+  EXPECT_EQ(request.body, "spec");
+  EXPECT_TRUE(buffer.empty());
+  // Two pipelined requests in one burst: consumed one `next` at a time.
+  buffer = "GET /a HTTP/1.1\r\n\r\nGET /b?x=1 HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(framer.next(buffer, request));
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_TRUE(framer.next(buffer, request));
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.query, "x=1");
+  EXPECT_FALSE(framer.next(buffer, request));
+  EXPECT_FALSE(framer.mid_request(buffer));
+}
+
+TEST(RequestFramerTest, RejectsMalformedRequestLines) {
+  HttpRequest request;
+  for (const std::string& line :
+       {std::string("GET /a b HTTP/1.1"), std::string("GET /a"),
+        std::string("GET  /a HTTP/1.1"), std::string("GET /a HTTP/2.0")}) {
+    RequestFramer framer;
+    std::string buffer = line + "\r\n\r\n";
+    EXPECT_THROW((void)framer.next(buffer, request), HttpError) << line;
+  }
+  // Relative targets only: no authority-form or garbage.
+  RequestFramer framer;
+  std::string buffer = "GET example.com HTTP/1.1\r\n\r\n";
+  EXPECT_THROW((void)framer.next(buffer, request), HttpError);
 }
 
 TEST(ServeServer, StopUnblocksIdleConnectionsAndIsIdempotent) {
