@@ -15,6 +15,7 @@
 #include "bench/harness.hpp"
 #include "dse/frontier_spec.hpp"
 #include "io/json.hpp"
+#include "io/json_arena.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/result_cache.hpp"
 #include "scenario/result_io.hpp"
@@ -109,6 +110,25 @@ std::string large_result_text() {
   return scenario::result_to_json(result).dump();
 }
 
+/// The serve request shape: one spec document as a client would POST it
+/// to /v1/run (pretty form, the same bytes `greenfpga run` reads from a
+/// file).  Small -- a few KB -- so these cases track per-request fixed
+/// cost, not bulk throughput.
+std::string spec_request_text() { return scenario::spec_to_json(grid_spec()).dump(); }
+
+/// The /v1/batch request shape: a manifest with the five fleet specs
+/// embedded, as POSTed to the daemon.
+std::string batch_manifest_text() {
+  io::Json manifest = io::Json::object();
+  manifest["name"] = "bench fleet";
+  io::Json specs = io::Json::array();
+  for (const scenario::ScenarioSpec& spec : fleet_specs()) {
+    specs.push_back(scenario::spec_to_json(spec));
+  }
+  manifest["specs"] = std::move(specs);
+  return manifest.dump();
+}
+
 volatile std::size_t g_sink = 0;  ///< defeats dead-code elimination
 
 }  // namespace
@@ -194,8 +214,25 @@ std::vector<BenchCase> builtin_cases() {
   cases.push_back(BenchCase{
       .group = "json",
       .name = "parse_result",
-      .description = "io::parse_json of a large canonical result document "
-                     "(25x24 grid result, compact form)",
+      .description = "io::parse_json_arena of a large canonical result document "
+                     "(25x24 grid result) -- the serve/cache ingestion path",
+      .setup = [] {
+        auto text = std::make_shared<std::string>(large_result_text());
+        return PreparedCase{.op =
+                                [text] {
+                                  const io::JsonDocument parsed =
+                                      io::parse_json_arena(*text);
+                                  g_sink = parsed.root().size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = static_cast<double>(text->size())};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "parse_result_facade",
+      .description = "io::parse_json of the same large result document into the "
+                     "mutable Json facade (the result re-import path)",
       .setup = [] {
         auto text = std::make_shared<std::string>(large_result_text());
         return PreparedCase{.op =
@@ -222,6 +259,80 @@ std::vector<BenchCase> builtin_cases() {
                                   g_sink = text.size();
                                 },
                             .iterations = 1,
+                            .bytes_per_op = bytes};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "parse_spec",
+      .description = "io::parse_json_arena with hash-while-parse of one serve "
+                     "request body (the /v1/run spec shape, pretty form)",
+      .setup = [] {
+        auto text = std::make_shared<std::string>(spec_request_text());
+        return PreparedCase{.op =
+                                [text] {
+                                  const io::JsonDocument parsed = io::parse_json_arena(
+                                      *text, {}, /*hash_canonical=*/true);
+                                  g_sink = static_cast<std::size_t>(
+                                      parsed.parse_digest().value_or(0));
+                                },
+                            .iterations = 32,
+                            .bytes_per_op = static_cast<double>(text->size())};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "dump_spec",
+      .description = "io::Json::dump_to_hashed (compact) of one spec document -- "
+                     "the engine cache-key serialization",
+      .setup = [] {
+        auto document = std::make_shared<io::Json>(
+            scenario::spec_to_json(grid_spec()));
+        const double bytes = static_cast<double>(document->dump(0).size());
+        return PreparedCase{.op =
+                                [document] {
+                                  std::string text;
+                                  const std::uint64_t digest =
+                                      document->dump_to_hashed(text, 0);
+                                  g_sink = text.size() ^ static_cast<std::size_t>(digest);
+                                },
+                            .iterations = 32,
+                            .bytes_per_op = bytes};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "parse_manifest",
+      .description = "io::parse_json_arena of a /v1/batch manifest embedding the "
+                     "five fleet specs",
+      .setup = [] {
+        auto text = std::make_shared<std::string>(batch_manifest_text());
+        return PreparedCase{.op =
+                                [text] {
+                                  const io::JsonDocument parsed =
+                                      io::parse_json_arena(*text);
+                                  g_sink = parsed.root().size();
+                                },
+                            .iterations = 8,
+                            .bytes_per_op = static_cast<double>(text->size())};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "json",
+      .name = "dump_manifest",
+      .description = "io::Json::dump_to (pretty) of the same batch manifest -- "
+                     "the response-assembly direction",
+      .setup = [] {
+        auto document =
+            std::make_shared<io::Json>(io::parse_json(batch_manifest_text()));
+        const double bytes = static_cast<double>(document->dump().size());
+        return PreparedCase{.op =
+                                [document] {
+                                  std::string text;
+                                  document->dump_to(text);
+                                  g_sink = text.size();
+                                },
+                            .iterations = 8,
                             .bytes_per_op = bytes};
       }});
 

@@ -1046,8 +1046,13 @@ int run_dump_config(const CommandContext& context, const std::vector<std::string
   scenario["fpga"] = core::to_json(testcase.fpga);
   scenario["schedule"] = core::to_json(core::paper_schedule(device::Domain::dnn));
   return emit(context,
-              [&](std::ostream& stream) { stream << scenario.dump() << "\n"; }, out,
-              err);
+              [&](std::ostream& stream) {
+                std::string text;
+                scenario.dump_to(text);
+                text.push_back('\n');
+                stream << text;
+              },
+              out, err);
 }
 
 int run_batch(const CommandContext& context, const std::vector<std::string>& args,
@@ -1138,7 +1143,13 @@ int run_batch(const CommandContext& context, const std::vector<std::string>& arg
       const io::Json written = io::parse_json_file(path);
       const io::Json reserialized =
           scenario::result_to_json(scenario::result_from_json(written));
-      if (written.dump() != reserialized.dump()) {
+      // Byte-compare the canonical compact forms (appended in place --
+      // no per-spec multi-MB pretty temporaries as before).
+      std::string written_text;
+      written.dump_to(written_text, 0);
+      std::string reserialized_text;
+      reserialized.dump_to(reserialized_text, 0);
+      if (written_text != reserialized_text) {
         err << "batch: result '" << path << "' failed the canonical round-trip\n";
         return 1;
       }

@@ -6,12 +6,9 @@
 namespace greenfpga::io {
 
 std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
+  Fnv1aHasher hasher;
+  hasher.update(bytes);
+  return hasher.digest();
 }
 
 std::string hex64(std::uint64_t value) {
@@ -25,7 +22,11 @@ std::string hex64(std::uint64_t value) {
 }
 
 std::string content_digest(std::string_view bytes) {
-  return "fnv1a64:" + hex64(fnv1a64(bytes));
+  return content_digest_of_hash(fnv1a64(bytes));
+}
+
+std::string content_digest_of_hash(std::uint64_t hash) {
+  return "fnv1a64:" + hex64(hash);
 }
 
 }  // namespace greenfpga::io

@@ -18,6 +18,31 @@
 
 namespace greenfpga::io {
 
+/// FNV-1a 64 parameters, shared with the JSON writer/parser streaming
+/// sinks (src/io/json_detail.hpp) so every digest in the system agrees.
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a 64: feed bytes in any chunking, `digest()` equals
+/// `fnv1a64` of the concatenation.  This is what hash-while-parse and
+/// hash-while-dump fold into, so a document can be fingerprinted without
+/// ever materializing its canonical bytes.
+class Fnv1aHasher {
+ public:
+  void update(std::string_view bytes) {
+    for (const char c : bytes) {
+      update(c);
+    }
+  }
+  void update(char c) {
+    hash_ = (hash_ ^ static_cast<unsigned char>(c)) * kFnv1aPrime;
+  }
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnv1aOffset;
+};
+
 /// 64-bit FNV-1a over `bytes` (offset basis 14695981039346656037,
 /// prime 1099511628211).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
@@ -28,6 +53,10 @@ namespace greenfpga::io {
 /// The human-readable digest of a content string:
 /// `"fnv1a64:" + hex64(fnv1a64(bytes))`.
 [[nodiscard]] std::string content_digest(std::string_view bytes);
+
+/// `content_digest` when the 64-bit hash is already known (e.g. from
+/// hash-while-parse/dump): same text, no re-hash of the bytes.
+[[nodiscard]] std::string content_digest_of_hash(std::uint64_t hash);
 
 }  // namespace greenfpga::io
 

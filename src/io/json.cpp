@@ -1,16 +1,20 @@
 /// \file json.cpp
-/// RFC 8259 JSON parser, writer and checked value model.
+/// RFC 8259 JSON value model plus the facade side of the shared parser
+/// and writer (src/io/json_detail.hpp).
 
 #include "io/json.hpp"
 
-#include <cctype>
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
+
+#include "io/json_detail.hpp"
 
 namespace greenfpga::io {
 
@@ -42,7 +46,15 @@ namespace {
 }  // namespace
 
 Json Json::object(std::initializer_list<std::pair<const std::string, Json>> members) {
-  return Json(Object(members));
+  // Sorted-unique insertion with first-occurrence-wins on duplicate keys,
+  // matching the std::map initializer-list semantics this factory had.
+  Object object;
+  for (const auto& [key, value] : members) {
+    if (!object.contains(key)) {
+      object[key] = value;
+    }
+  }
+  return Json(std::move(object));
 }
 
 Json Json::array(std::initializer_list<Json> elements) { return Json(Array(elements)); }
@@ -121,12 +133,7 @@ Json::Object& Json::as_object() {
 }
 
 const Json& Json::at(std::string_view key) const {
-  const Object& obj = as_object();
-  const auto it = obj.find(key);
-  if (it == obj.end()) {
-    throw JsonError("JSON object has no member \"" + std::string(key) + "\"");
-  }
-  return it->second;
+  return as_object().at(key);
 }
 
 const Json& Json::at(std::size_t index) const {
@@ -139,7 +146,7 @@ const Json& Json::at(std::size_t index) const {
 }
 
 bool Json::contains(std::string_view key) const {
-  return is_object() && as_object().find(key) != as_object().end();
+  return is_object() && as_object().contains(key);
 }
 
 std::size_t Json::size() const {
@@ -175,474 +182,191 @@ void Json::push_back(Json element) {
 }
 
 // ---------------------------------------------------------------------------
-// Parser
+// Number formatting
 // ---------------------------------------------------------------------------
 
-namespace {
+namespace detail {
 
-class Parser {
- public:
-  Parser(std::string_view text, JsonParseOptions options) : text_(text), options_(options) {
-    // Skip a UTF-8 byte-order mark if present.
-    if (text_.substr(0, 3) == "\xEF\xBB\xBF") {
-      pos_ = 3;
-    }
-  }
-
-  Json parse_document() {
-    Json value = parse_value();
-    skip_whitespace();
-    if (pos_ != text_.size()) {
-      fail("trailing characters after JSON document");
-    }
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& message) const {
-    std::size_t line = 1;
-    std::size_t column = 1;
-    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
-      if (text_[i] == '\n') {
-        ++line;
-        column = 1;
-      } else {
-        ++column;
-      }
-    }
-    throw JsonError("JSON parse error at " + std::to_string(line) + ":" + std::to_string(column) +
-                    ": " + message);
-  }
-
-  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
-
-  [[nodiscard]] char peek() const {
-    if (at_end()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  char advance() {
-    const char c = peek();
-    ++pos_;
-    return c;
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "', got '" + peek() + "'");
-    }
-    ++pos_;
-  }
-
-  void skip_whitespace() {
-    while (!at_end()) {
-      const char c = text_[pos_];
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
-        ++pos_;
-      } else if (options_.allow_comments && c == '/' && pos_ + 1 < text_.size() &&
-                 text_[pos_ + 1] == '/') {
-        while (!at_end() && text_[pos_] != '\n') {
-          ++pos_;
-        }
-      } else {
-        break;
-      }
-    }
-  }
-
-  Json parse_value() {
-    skip_whitespace();
-    switch (peek()) {
-      case '{':
-        return parse_object();
-      case '[':
-        return parse_array();
-      case '"':
-        return Json(parse_string());
-      case 't':
-        parse_keyword("true");
-        return Json(true);
-      case 'f':
-        parse_keyword("false");
-        return Json(false);
-      case 'n':
-        parse_keyword("null");
-        return Json(nullptr);
-      default:
-        return parse_number();
-    }
-  }
-
-  void parse_keyword(std::string_view keyword) {
-    if (text_.substr(pos_, keyword.size()) != keyword) {
-      fail("invalid literal (expected '" + std::string(keyword) + "')");
-    }
-    pos_ += keyword.size();
-  }
-
-  /// RAII nesting guard: one per parse_object/parse_array activation.
-  /// The recursive-descent parser spends one stack frame per level, so
-  /// the cap turns a deeply-nested bomb ("["*100k) into a JsonError at
-  /// the offending bracket instead of a stack overflow.
-  class DepthGuard {
-   public:
-    explicit DepthGuard(Parser& parser) : parser_(parser) {
-      if (++parser_.depth_ > parser_.options_.max_depth) {
-        parser_.fail("nesting depth exceeds " + std::to_string(parser_.options_.max_depth));
-      }
-    }
-    ~DepthGuard() { --parser_.depth_; }
-    DepthGuard(const DepthGuard&) = delete;
-    DepthGuard& operator=(const DepthGuard&) = delete;
-
-   private:
-    Parser& parser_;
-  };
-
-  Json parse_object() {
-    const DepthGuard guard(*this);
-    expect('{');
-    Json::Object members;
-    skip_whitespace();
-    if (peek() == '}') {
-      ++pos_;
-      return Json(std::move(members));
-    }
-    while (true) {
-      skip_whitespace();
-      if (peek() != '"') fail("expected string key in object");
-      std::string key = parse_string();
-      skip_whitespace();
-      expect(':');
-      Json value = parse_value();
-      if (!members.emplace(std::move(key), std::move(value)).second) {
-        fail("duplicate object key");
-      }
-      skip_whitespace();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return Json(std::move(members));
-    }
-  }
-
-  Json parse_array() {
-    const DepthGuard guard(*this);
-    expect('[');
-    Json::Array elements;
-    skip_whitespace();
-    if (peek() == ']') {
-      ++pos_;
-      return Json(std::move(elements));
-    }
-    while (true) {
-      elements.push_back(parse_value());
-      skip_whitespace();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return Json(std::move(elements));
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (at_end()) fail("unterminated string");
-      const char c = advance();
-      if (c == '"') break;
-      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      const char esc = advance();
-      switch (esc) {
-        case '"':
-          out.push_back('"');
-          break;
-        case '\\':
-          out.push_back('\\');
-          break;
-        case '/':
-          out.push_back('/');
-          break;
-        case 'b':
-          out.push_back('\b');
-          break;
-        case 'f':
-          out.push_back('\f');
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 'r':
-          out.push_back('\r');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'u':
-          append_unicode_escape(out);
-          break;
-        default:
-          fail("invalid escape sequence");
-      }
-    }
-    return out;
-  }
-
-  void append_unicode_escape(std::string& out) {
-    unsigned code = parse_hex4();
-    // Surrogate pair handling for characters outside the BMP.
-    if (code >= 0xD800 && code <= 0xDBFF) {
-      if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
-        pos_ += 2;
-        const unsigned low = parse_hex4();
-        if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
-        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-      } else {
-        fail("unpaired high surrogate");
-      }
-    } else if (code >= 0xDC00 && code <= 0xDFFF) {
-      fail("unpaired low surrogate");
-    }
-    // Encode as UTF-8.
-    if (code < 0x80) {
-      out.push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else if (code < 0x10000) {
-      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
-      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    }
-  }
-
-  unsigned parse_hex4() {
-    unsigned value = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char c = advance();
-      value <<= 4;
-      if (c >= '0' && c <= '9') {
-        value |= static_cast<unsigned>(c - '0');
-      } else if (c >= 'a' && c <= 'f') {
-        value |= static_cast<unsigned>(c - 'a' + 10);
-      } else if (c >= 'A' && c <= 'F') {
-        value |= static_cast<unsigned>(c - 'A' + 10);
-      } else {
-        fail("invalid \\u escape digit");
-      }
-    }
-    return value;
-  }
-
-  Json parse_number() {
-    const std::size_t start = pos_;
-    if (!at_end() && peek() == '-') ++pos_;
-    if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      fail("invalid number");
-    }
-    // Integer part: a single 0, or a nonzero digit followed by digits.
-    if (text_[pos_] == '0') {
-      ++pos_;
-    } else {
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-    }
-    // Fraction.
-    if (!at_end() && text_[pos_] == '.') {
-      ++pos_;
-      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        fail("digit expected after decimal point");
-      }
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-    }
-    // Exponent.
-    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
-      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        fail("digit expected in exponent");
-      }
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-    }
-    const std::string_view token = text_.substr(start, pos_ - start);
-    double value = 0.0;
-    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
-    if (ec != std::errc{} || ptr != token.data() + token.size()) {
-      fail("number out of range");
-    }
-    return Json(value);
-  }
-
-  std::string_view text_;
-  JsonParseOptions options_;
-  std::size_t pos_ = 0;
-  int depth_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Writer
-// ---------------------------------------------------------------------------
-
-void write_escaped(std::string& out, const std::string& s) {
-  out.push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\b':
-        out += "\\b";
-        break;
-      case '\f':
-        out += "\\f";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-}
-
-void write_number(std::string& out, double n) {
-  if (!std::isfinite(n)) {
-    // RFC 8259 has no inf/nan number syntax; emit the sentinel *quoted*
-    // so the output stays valid JSON (as_number() decodes it on read --
-    // the old bare `null` in number position broke every reader).
-    out.push_back('"');
-    out += format_number(n);
-    out.push_back('"');
-    return;
-  }
-  out += format_number(n);
-}
-
-}  // namespace
-
-std::string format_number(double n) {
+std::size_t format_number_to(char* buffer, double n) {
   if (!std::isfinite(n)) {
     // The canonical non-finite text tokens (quoted by the JSON writer,
-    // bare in CSV); parse back via Json::as_number.
-    if (std::isnan(n)) return "nan";
-    return n > 0.0 ? "inf" : "-inf";
+    // bare in CSV); parse back via Json::as_number_total.
+    if (std::isnan(n)) {
+      std::memcpy(buffer, "nan", 3);
+      return 3;
+    }
+    if (n > 0.0) {
+      std::memcpy(buffer, "inf", 3);
+      return 3;
+    }
+    std::memcpy(buffer, "-inf", 4);
+    return 4;
   }
   if (n == std::floor(n) && std::fabs(n) < 1e15) {
     // Integral values print without a fraction for readability.
-    char buffer[32];
-    std::snprintf(buffer, sizeof buffer, "%.0f", n);
-    return buffer;
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + kNumberBufferSize, n, std::chars_format::fixed);
+    return static_cast<std::size_t>(end - buffer);
   }
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.17g", n);
-  // %.17g guarantees round-trip; try shorter forms that still round-trip for
-  // more readable output.
-  for (int precision = 6; precision < 17; ++precision) {
-    char candidate[32];
-    std::snprintf(candidate, sizeof candidate, "%.*g", precision, n);
-    double parsed = 0.0;
-    std::from_chars(candidate, candidate + std::char_traits<char>::length(candidate), parsed);
-    if (parsed == n) {
-      return candidate;
+  // The historical format is printf %g at the smallest precision in
+  // [6, 17] that round-trips.  Reproduce it from one to_chars call:
+  // shortest-round-trip scientific form gives the correctly rounded
+  // digit string D and decimal exponent X, and for len(D) >= 6 the %g
+  // probe loop's winner is exactly %.len(D)g -- whose presentation
+  // (fixed vs scientific by the exponent rule, trailing zeros stripped)
+  // is reconstructed below byte-for-byte.  len(D) < 6 means %.6g was the
+  // first probe and always round-trips, so one snprintf settles it
+  // (its 6 significant digits of the exact expansion are NOT the
+  // shortest digits -- e.g. 5e-324 prints as 4.94066e-324).
+  char sci[kNumberBufferSize];
+  const auto [sci_end, sci_ec] =
+      std::to_chars(sci, sci + sizeof sci, n, std::chars_format::scientific);
+  const char* s = sci;
+  const bool negative = (*s == '-');
+  if (negative) ++s;
+  char digits[24];
+  int len = 0;
+  digits[len++] = *s++;
+  if (*s == '.') {
+    ++s;
+    while (*s != 'e') digits[len++] = *s++;
+  }
+  ++s;  // 'e'
+  const bool exp_negative = (*s == '-');
+  ++s;
+  int exp10 = 0;
+  while (s < sci_end) exp10 = exp10 * 10 + (*s++ - '0');
+  if (exp_negative) exp10 = -exp10;
+  if (len < 6) {
+    const int written = std::snprintf(buffer, kNumberBufferSize, "%.6g", n);
+    return static_cast<std::size_t>(written);
+  }
+  char* out = buffer;
+  if (negative) *out++ = '-';
+  if (exp10 < -4 || exp10 >= len) {
+    // Scientific presentation: d.ddd e±XX (exponent at least two digits).
+    *out++ = digits[0];
+    if (len > 1) {
+      *out++ = '.';
+      std::memcpy(out, digits + 1, static_cast<std::size_t>(len - 1));
+      out += len - 1;
+    }
+    *out++ = 'e';
+    *out++ = exp10 < 0 ? '-' : '+';
+    int magnitude = exp10 < 0 ? -exp10 : exp10;
+    char exp_digits[8];
+    int exp_len = 0;
+    do {
+      exp_digits[exp_len++] = static_cast<char>('0' + magnitude % 10);
+      magnitude /= 10;
+    } while (magnitude != 0);
+    while (exp_len < 2) exp_digits[exp_len++] = '0';
+    while (exp_len != 0) *out++ = exp_digits[--exp_len];
+  } else if (exp10 < 0) {
+    // 0.00ddd
+    *out++ = '0';
+    *out++ = '.';
+    for (int i = 0; i < -exp10 - 1; ++i) *out++ = '0';
+    std::memcpy(out, digits, static_cast<std::size_t>(len));
+    out += len;
+  } else {
+    // Fixed presentation, decimal point inside or right of the digits.
+    const int int_digits = exp10 + 1;
+    if (int_digits >= len) {
+      std::memcpy(out, digits, static_cast<std::size_t>(len));
+      out += len;
+      for (int i = 0; i < int_digits - len; ++i) *out++ = '0';
+    } else {
+      std::memcpy(out, digits, static_cast<std::size_t>(int_digits));
+      out += int_digits;
+      *out++ = '.';
+      std::memcpy(out, digits + int_digits, static_cast<std::size_t>(len - int_digits));
+      out += len - int_digits;
     }
   }
-  return buffer;
+  return static_cast<std::size_t>(out - buffer);
 }
+
+}  // namespace detail
+
+std::string format_number(double n) {
+  char buffer[detail::kNumberBufferSize];
+  return std::string(buffer, detail::format_number_to(buffer, n));
+}
+
+// ---------------------------------------------------------------------------
+// Parser (facade side of the shared core)
+// ---------------------------------------------------------------------------
 
 namespace {
 
-void dump_value(const Json& value, std::string& out, int indent, int depth) {
-  const auto newline_pad = [&](int d) {
-    if (indent > 0) {
-      out.push_back('\n');
-      out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
-    }
+/// Builds mutable `Json` values from the shared parser core.  Object
+/// members accumulate directly into the sorted flat storage: canonical
+/// input (keys already sorted) appends in O(1); out-of-order keys pay one
+/// mid-vector insert.
+struct FacadeBuilder {
+  using Value = Json;
+
+  struct ArrayCtx {
+    Json::Array elements;
   };
-  switch (value.type()) {
-    case Json::Type::null:
-      out += "null";
-      return;
-    case Json::Type::boolean:
-      out += value.as_bool() ? "true" : "false";
-      return;
-    case Json::Type::number:
-      write_number(out, value.as_number());
-      return;
-    case Json::Type::string:
-      write_escaped(out, value.as_string());
-      return;
-    case Json::Type::array: {
-      const auto& arr = value.as_array();
-      if (arr.empty()) {
-        out += "[]";
-        return;
-      }
-      out.push_back('[');
-      for (std::size_t i = 0; i < arr.size(); ++i) {
-        if (i != 0) out.push_back(',');
-        newline_pad(depth + 1);
-        dump_value(arr[i], out, indent, depth + 1);
-      }
-      newline_pad(depth);
-      out.push_back(']');
-      return;
+  struct ObjectCtx {
+    JsonObject::Storage members;
+    std::size_t pending = 0;  ///< index the next member_value fills
+  };
+
+  Json null_value() { return Json(nullptr); }
+  Json boolean(bool b) { return Json(b); }
+  Json number(double n) { return Json(n); }
+  Json string_value(std::string_view s) { return Json(std::string(s)); }
+
+  ArrayCtx array_begin() { return {}; }
+  void array_push(ArrayCtx& ctx, Json value) { ctx.elements.push_back(std::move(value)); }
+  Json array_end(ArrayCtx& ctx) { return Json(std::move(ctx.elements)); }
+
+  ObjectCtx object_begin() { return {}; }
+
+  detail::MemberOrder member_key(ObjectCtx& ctx, std::string_view key) {
+    if (ctx.members.empty() || std::string_view(ctx.members.back().first) < key) {
+      ctx.pending = ctx.members.size();
+      ctx.members.emplace_back(std::string(key), Json());
+      return detail::MemberOrder::appended;
     }
-    case Json::Type::object: {
-      const auto& obj = value.as_object();
-      if (obj.empty()) {
-        out += "{}";
-        return;
-      }
-      out.push_back('{');
-      bool first = true;
-      for (const auto& [key, member] : obj) {
-        if (!first) out.push_back(',');
-        first = false;
-        newline_pad(depth + 1);
-        write_escaped(out, key);
-        out += indent > 0 ? ": " : ":";
-        dump_value(member, out, indent, depth + 1);
-      }
-      newline_pad(depth);
-      out.push_back('}');
-      return;
+    const auto it = std::lower_bound(
+        ctx.members.begin(), ctx.members.end(), key,
+        [](const JsonObject::Member& m, std::string_view k) {
+          return std::string_view(m.first) < k;
+        });
+    if (it != ctx.members.end() && it->first == key) {
+      return detail::MemberOrder::duplicate;
     }
+    ctx.pending = static_cast<std::size_t>(it - ctx.members.begin());
+    ctx.members.emplace(it, std::string(key), Json());
+    return detail::MemberOrder::inserted;
   }
-}
+
+  void member_value(ObjectCtx& ctx, Json value) {
+    ctx.members[ctx.pending].second = std::move(value);
+  }
+
+  Json object_end(ObjectCtx& ctx) {
+    return Json(JsonObject::adopt_sorted(std::move(ctx.members)));
+  }
+};
 
 }  // namespace
 
 Json parse_json(std::string_view text, JsonParseOptions options) {
-  return Parser(text, options).parse_document();
+  FacadeBuilder builder;
+  detail::ParserCore<FacadeBuilder> parser(text, options, builder, /*hash_canonical=*/false);
+  return parser.parse_document();
+}
+
+ParsedJson parse_json_hashed(std::string_view text, JsonParseOptions options) {
+  FacadeBuilder builder;
+  detail::ParserCore<FacadeBuilder> parser(text, options, builder, /*hash_canonical=*/true);
+  Json value = parser.parse_document();
+  return ParsedJson{std::move(value), parser.canonical_digest()};
 }
 
 Json parse_json_file(const std::string& path) {
@@ -652,7 +376,13 @@ Json parse_json_file(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_json(buffer.str(), JsonParseOptions{.allow_comments = true});
+  try {
+    return parse_json(buffer.str(), JsonParseOptions{.allow_comments = true});
+  } catch (const JsonError& error) {
+    // Name the file: a batch over dozens of specs would otherwise report
+    // a bare line:column with no hint of which input is malformed.
+    throw JsonError(path + ": " + error.what());
+  }
 }
 
 void write_json_file(const std::string& path, const Json& value, int indent) {
@@ -664,13 +394,109 @@ void write_json_file(const std::string& path, const Json& value, int indent) {
   if (!out) {
     throw JsonError("cannot write JSON file: " + path);
   }
-  out << value.dump(indent) << '\n';
+  std::string text;
+  value.dump_to(text, indent);
+  text.push_back('\n');
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
 }
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <class Sink>
+void dump_value(const Json& value, Sink& sink, int indent, int depth) {
+  const auto newline_pad = [&](int d) {
+    if (indent > 0) {
+      sink.push('\n');
+      sink.pad(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+    }
+  };
+  switch (value.type()) {
+    case Json::Type::null:
+      sink.append("null", 4);
+      return;
+    case Json::Type::boolean:
+      if (value.as_bool()) {
+        sink.append("true", 4);
+      } else {
+        sink.append("false", 5);
+      }
+      return;
+    case Json::Type::number:
+      detail::write_number_value(sink, value.as_number());
+      return;
+    case Json::Type::string:
+      detail::write_escaped(sink, value.as_string());
+      return;
+    case Json::Type::array: {
+      const auto& arr = value.as_array();
+      if (arr.empty()) {
+        sink.append("[]", 2);
+        return;
+      }
+      sink.push('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i != 0) sink.push(',');
+        newline_pad(depth + 1);
+        dump_value(arr[i], sink, indent, depth + 1);
+      }
+      newline_pad(depth);
+      sink.push(']');
+      return;
+    }
+    case Json::Type::object: {
+      const auto& obj = value.as_object();
+      if (obj.empty()) {
+        sink.append("{}", 2);
+        return;
+      }
+      sink.push('{');
+      bool first = true;
+      for (const auto& [key, member] : obj) {
+        if (!first) sink.push(',');
+        first = false;
+        newline_pad(depth + 1);
+        detail::write_escaped(sink, key);
+        if (indent > 0) {
+          sink.append(": ", 2);
+        } else {
+          sink.push(':');
+        }
+        dump_value(member, sink, indent, depth + 1);
+      }
+      newline_pad(depth);
+      sink.push('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
 
 std::string Json::dump(int indent) const {
   std::string out;
-  dump_value(*this, out, indent, 0);
+  dump_to(out, indent);
   return out;
+}
+
+void Json::dump_to(std::string& out, int indent) const {
+  detail::StringSink sink{out};
+  dump_value(*this, sink, indent, 0);
+}
+
+std::uint64_t Json::dump_to_hashed(std::string& out, int indent) const {
+  detail::HashedStringSink sink{out};
+  dump_value(*this, sink, indent, 0);
+  return sink.hash;
+}
+
+std::uint64_t Json::canonical_digest() const {
+  detail::HashSink sink;
+  dump_value(*this, sink, /*indent=*/0, 0);
+  return sink.hash;
 }
 
 }  // namespace greenfpga::io

@@ -10,11 +10,26 @@
 /// RFC 8259 parser (with the common relaxation of allowing a UTF-8 BOM and
 /// `//` comments in *config* mode), a pretty-printing writer, and a value
 /// model with checked accessors that raise `JsonError` with a useful path.
+///
+/// Two document models share one parser and one writer (src/io/json_detail.hpp):
+///
+///   * `Json` (here) -- the mutable value facade every caller builds and
+///     edits.  Objects are sorted flat vectors (`JsonObject`), not
+///     node-per-member maps, so parsing canonical (already key-sorted)
+///     input appends in O(1) with no per-member tree allocation, and
+///     iteration order is the canonical dump order by construction.
+///   * `JsonDocument` (json_arena.hpp) -- an immutable arena-backed DOM
+///     for read-mostly hot paths (serve request ingestion): every node,
+///     string and member span lives in one monotonic buffer owned by the
+///     document.
+///
+/// Both parsers can compute the FNV-1a digest of the document's canonical
+/// compact byte stream *while parsing* (`parse_json_hashed`), so a serve
+/// request can be fingerprinted without ever re-serializing it.
 
 #include <cstdint>
 #include <initializer_list>
-#include <map>
-#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -24,20 +39,83 @@
 
 namespace greenfpga::io {
 
+class Json;
+
 /// Raised on malformed JSON text or on type-mismatched access to a value.
 class JsonError : public std::runtime_error {
  public:
   explicit JsonError(const std::string& message) : std::runtime_error(message) {}
 };
 
+/// A JSON object: members kept sorted by key in one flat vector.
+///
+/// The sorted flat layout replaces the old `std::map` storage: no
+/// per-member tree node, cache-friendly iteration in canonical dump
+/// order, O(log n) lookup by binary search, and O(1) append when keys
+/// arrive already sorted (true of every canonical artifact this repo
+/// round-trips).  Mutation via `operator[]`/`erase` is O(n) -- fine for
+/// the build-side API, which assembles small documents.
+///
+/// Iterators and member references follow std::vector rules: any insert
+/// or erase may invalidate all of them (the std::map guarantee of stable
+/// references is gone -- do not hold a `Json&` into an object across a
+/// mutation of that object).
+class JsonObject {
+ public:
+  using Member = std::pair<std::string, Json>;
+  using Storage = std::vector<Member>;
+  using value_type = Member;
+  using iterator = Storage::iterator;
+  using const_iterator = Storage::const_iterator;
+
+  JsonObject() = default;
+
+  /// Adopt a member vector that is already sorted by key with no
+  /// duplicates (the parser's and the arena materializer's fast path).
+  /// Precondition checked in debug builds only.
+  [[nodiscard]] static JsonObject adopt_sorted(Storage members);
+
+  [[nodiscard]] iterator begin() { return members_.begin(); }
+  [[nodiscard]] iterator end() { return members_.end(); }
+  [[nodiscard]] const_iterator begin() const { return members_.begin(); }
+  [[nodiscard]] const_iterator end() const { return members_.end(); }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  void reserve(std::size_t n) { members_.reserve(n); }
+
+  [[nodiscard]] iterator find(std::string_view key);
+  [[nodiscard]] const_iterator find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Checked member access; throws JsonError naming the missing key.
+  [[nodiscard]] Json& at(std::string_view key);
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Insert-or-find: a null member is created when `key` is absent.
+  Json& operator[](std::string_view key);
+
+  /// Remove `key` if present; returns the number of members removed (0/1),
+  /// matching the std::map::erase signature callers relied on.
+  std::size_t erase(std::string_view key);
+
+  friend bool operator==(const JsonObject& a, const JsonObject& b) = default;
+
+ private:
+  /// First member whose key is >= `key` (insertion point / lookup probe).
+  [[nodiscard]] Storage::const_iterator lower_bound(std::string_view key) const;
+
+  Storage members_;  ///< sorted by key, unique
+};
+
 /// A JSON value: null, boolean, number, string, array or object.
 ///
-/// Objects preserve no insertion order; keys are kept sorted (std::map) so
-/// serialized output is deterministic, which keeps golden-file tests stable.
+/// Objects preserve no insertion order; keys are kept sorted (JsonObject)
+/// so serialized output is deterministic, which keeps golden-file tests
+/// stable.
 class Json {
  public:
   using Array = std::vector<Json>;
-  using Object = std::map<std::string, Json, std::less<>>;
+  using Object = JsonObject;
 
   enum class Type { null, boolean, number, string, array, object };
 
@@ -115,11 +193,95 @@ class Json {
   /// `as_number()` reverses the encoding on read.
   [[nodiscard]] std::string dump(int indent = 2) const;
 
+  /// Serialize by *appending* to `out` -- same bytes as `dump`, no
+  /// intermediate temporaries.  The path large results, serve response
+  /// bodies and `write_json_file` take.
+  void dump_to(std::string& out, int indent = 2) const;
+
+  /// `dump_to` that additionally returns the FNV-1a digest of exactly the
+  /// appended bytes, computed in the same pass (hash-while-dump).  This is
+  /// how `Engine` derives cache key bytes and their fingerprint together.
+  std::uint64_t dump_to_hashed(std::string& out, int indent = 2) const;
+
+  /// FNV-1a digest of the canonical compact dump (`dump(0)` bytes)
+  /// without materializing it: the writer streams into the hash only.
+  [[nodiscard]] std::uint64_t canonical_digest() const;
+
   friend bool operator==(const Json& a, const Json& b) = default;
 
  private:
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
 };
+
+// JsonObject members that need Json complete.
+
+inline JsonObject::Storage::const_iterator JsonObject::lower_bound(std::string_view key) const {
+  auto lo = members_.begin();
+  auto hi = members_.end();
+  while (lo != hi) {
+    const auto mid = lo + (hi - lo) / 2;
+    if (std::string_view(mid->first) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+inline JsonObject::const_iterator JsonObject::find(std::string_view key) const {
+  const auto it = lower_bound(key);
+  if (it != members_.end() && it->first == key) return it;
+  return members_.end();
+}
+
+inline JsonObject::iterator JsonObject::find(std::string_view key) {
+  const auto it = static_cast<const JsonObject&>(*this).find(key);
+  return members_.begin() + (it - members_.cbegin());
+}
+
+inline bool JsonObject::contains(std::string_view key) const {
+  return find(key) != members_.end();
+}
+
+inline const Json& JsonObject::at(std::string_view key) const {
+  const auto it = find(key);
+  if (it == members_.end()) {
+    throw JsonError("JSON object has no member \"" + std::string(key) + "\"");
+  }
+  return it->second;
+}
+
+inline Json& JsonObject::at(std::string_view key) {
+  const auto it = find(key);
+  if (it == members_.end()) {
+    throw JsonError("JSON object has no member \"" + std::string(key) + "\"");
+  }
+  return it->second;
+}
+
+inline Json& JsonObject::operator[](std::string_view key) {
+  const auto pos = lower_bound(key);
+  const auto index = pos - members_.cbegin();
+  if (pos != members_.cend() && pos->first == key) {
+    return members_[static_cast<std::size_t>(index)].second;
+  }
+  members_.emplace(members_.begin() + index, std::string(key), Json());
+  return members_[static_cast<std::size_t>(index)].second;
+}
+
+inline std::size_t JsonObject::erase(std::string_view key) {
+  const auto it = find(key);
+  if (it == members_.end()) return 0;
+  members_.erase(it);
+  return 1;
+}
+
+inline JsonObject JsonObject::adopt_sorted(Storage members) {
+  JsonObject object;
+  object.members_ = std::move(members);
+  return object;
+}
 
 /// Parser options; `allow_comments` additionally accepts `//`-to-end-of-line
 /// comments (used for hand-written scenario configs).  `max_depth` caps
@@ -145,7 +307,22 @@ struct JsonParseOptions {
 /// line:column on malformed input or trailing garbage.
 [[nodiscard]] Json parse_json(std::string_view text, JsonParseOptions options = {});
 
+/// `parse_json` plus hash-while-parse: when every object's keys arrive
+/// already sorted (true of canonical artifacts: dumps, cache entries,
+/// spec round-trips), `canonical_digest` holds the FNV-1a of the
+/// document's canonical compact byte stream -- the same value
+/// `value.canonical_digest()` would compute, for free.  Out-of-order keys
+/// leave it empty (the document still parses normally).
+struct ParsedJson {
+  Json value;
+  std::optional<std::uint64_t> canonical_digest;
+};
+[[nodiscard]] ParsedJson parse_json_hashed(std::string_view text,
+                                           JsonParseOptions options = {});
+
 /// Read and parse a JSON file (comments allowed: files are configs).
+/// Errors -- unreadable file or malformed JSON -- name the file path
+/// ahead of the parser's line:column position.
 [[nodiscard]] Json parse_json_file(const std::string& path);
 
 /// Write `value` to `path` (pretty-printed), creating parent dirs if needed.

@@ -123,9 +123,13 @@ void render_result(const scenario::ScenarioResult& result, OutputFormat format,
     case OutputFormat::text:
       render_text(result, frames, out);
       return;
-    case OutputFormat::json:
-      out << scenario::result_to_json(result).dump() << "\n";
+    case OutputFormat::json: {
+      std::string text;
+      scenario::result_to_json(result).dump_to(text);
+      text.push_back('\n');
+      out << text;
       return;
+    }
     case OutputFormat::csv:
       if (result.spec.kind == scenario::ScenarioKind::montecarlo) {
         frames.push_back(scenario::mc_samples_frame(result));
@@ -151,7 +155,10 @@ void render_frames(std::span<const ResultFrame> frames, OutputFormat format,
       for (const ResultFrame& frame : frames) {
         array.push_back(frame_to_json(frame));
       }
-      out << array.dump() << "\n";
+      std::string text;
+      array.dump_to(text);
+      text.push_back('\n');
+      out << text;
       return;
     }
     case OutputFormat::csv:

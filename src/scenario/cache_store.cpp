@@ -49,7 +49,10 @@ bool CacheStore::save(const std::string& key, const ScenarioResult& result) noex
       if (!out) {
         return false;
       }
-      out << entry.dump(0) << '\n';
+      std::string text;
+      entry.dump_to(text, 0);
+      text.push_back('\n');
+      out << text;
       if (!out.good()) {
         out.close();
         std::remove(temp_path.c_str());

@@ -385,7 +385,12 @@ namespace {
 /// of the as-run spec (platforms defaulted, suite embedded) plus the
 /// registry-resolved chips.  Everything the engine's deterministic answer
 /// depends on is in these bytes.
-std::string content_key(const ScenarioResult& resolved) {
+struct ContentKey {
+  std::string bytes;
+  std::uint64_t fingerprint = 0;  ///< FNV-1a of `bytes`
+};
+
+ContentKey content_key(const ScenarioResult& resolved) {
   io::Json key = io::Json::object();
   key["spec"] = spec_to_json(resolved.spec);
   io::Json chips = io::Json::array();
@@ -393,13 +398,15 @@ std::string content_key(const ScenarioResult& resolved) {
     chips.push_back(core::to_json(chip));
   }
   key["platforms"] = std::move(chips);
-  return key.dump(0);
+  ContentKey out;
+  out.fingerprint = key.dump_to_hashed(out.bytes, 0);
+  return out;
 }
 
 }  // namespace
 
 std::string Engine::cache_key(const ScenarioSpec& spec) const {
-  return content_key(prepare(spec).result);
+  return content_key(prepare(spec).result).bytes;
 }
 
 ScenarioResult Engine::run(const ScenarioSpec& spec) const {
@@ -412,7 +419,9 @@ ScenarioResult Engine::run(const ScenarioSpec& spec) const {
 Engine::CachedRun Engine::run_cached(const ScenarioSpec& spec) const {
   PreparedRun prepared = prepare(spec);
   CachedRun outcome;
-  outcome.key = content_key(prepared.result);
+  ContentKey key = content_key(prepared.result);
+  outcome.key = std::move(key.bytes);
+  outcome.fingerprint = key.fingerprint;
   if (cache_ != nullptr) {
     if (std::shared_ptr<const ScenarioResult> hit = cache_->lookup(outcome.key)) {
       outcome.result = std::move(hit);
@@ -676,7 +685,7 @@ std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& s
   std::vector<std::string> keys;
   keys.reserve(prepared.size());
   for (const PreparedRun& run : prepared) {
-    keys.push_back(content_key(run.result));
+    keys.push_back(content_key(run.result).bytes);
   }
   std::unordered_map<std::string, std::shared_ptr<const ScenarioResult>> by_key;
   std::vector<std::size_t> to_eval;  // index of each distinct key's first spec

@@ -174,6 +174,10 @@ class Engine {
     std::shared_ptr<const ScenarioResult> result;
     bool hit = false;
     std::string key;  ///< the content key (see cache_key)
+    /// FNV-1a of `key`, computed in the same pass that serialized it
+    /// (hash-while-dump): the compact fingerprint serve surfaces as
+    /// X-Cache-Key without re-hashing the key bytes.
+    std::uint64_t fingerprint = 0;
   };
   [[nodiscard]] CachedRun run_cached(const ScenarioSpec& spec) const;
 

@@ -791,7 +791,14 @@ ScenarioSpec load_spec(const std::string& path) {
   try {
     return load_spec_json(io::parse_json_file(path), path);
   } catch (const io::JsonError& error) {
-    throw core::ConfigError("spec file '" + path + "': " + error.what());
+    // parse_json_file already leads with the path; drop it rather than
+    // name the file twice in one message.
+    std::string message = error.what();
+    const std::string prefix = path + ": ";
+    if (message.rfind(prefix, 0) == 0) {
+      message.erase(0, prefix.size());
+    }
+    throw core::ConfigError("spec file '" + path + "': " + message);
   }
 }
 

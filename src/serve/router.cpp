@@ -9,7 +9,8 @@ HttpResponse json_response(int status, const io::Json& value) {
   HttpResponse response;
   response.status = status;
   response.set_header("Content-Type", "application/json");
-  response.body = value.dump() + "\n";
+  value.dump_to(response.body);
+  response.body.push_back('\n');
   return response;
 }
 

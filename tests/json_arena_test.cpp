@@ -1,0 +1,253 @@
+/// Tests for the arena-backed immutable JSON DOM (io/json_arena.hpp):
+/// parse correctness against the facade parser, canonical byte-identity,
+/// hash-while-parse digests, lifetime-under-move guarantees, and the
+/// adversarial inputs the serve path must survive.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/hash.hpp"
+#include "io/json.hpp"
+#include "io/json_arena.hpp"
+
+namespace greenfpga::io {
+namespace {
+
+TEST(JsonArenaParse, Scalars) {
+  EXPECT_TRUE(parse_json_arena("null").root().is_null());
+  EXPECT_EQ(parse_json_arena("true").root().as_bool(), true);
+  EXPECT_EQ(parse_json_arena("false").root().as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json_arena("-3.25").root().as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse_json_arena("2.5E-3").root().as_number(), 2.5e-3);
+  EXPECT_EQ(parse_json_arena("\"hello\"").root().as_string(), "hello");
+}
+
+TEST(JsonArenaParse, NestedAccess) {
+  const JsonDocument doc = parse_json_arena(R"({"a": {"b": [1, {"c": "d"}]}})");
+  EXPECT_EQ(doc.root().at("a").at("b").at(std::size_t{1}).at("c").as_string(), "d");
+  EXPECT_TRUE(doc.root().contains("a"));
+  EXPECT_FALSE(doc.root().contains("z"));
+  EXPECT_DOUBLE_EQ(doc.root().at("a").number_or("absent", 7.0), 7.0);
+}
+
+TEST(JsonArenaParse, MembersAreSortedByKey) {
+  const JsonDocument doc = parse_json_arena(R"({"z": 1, "m": 2, "a": 3})");
+  const auto members = doc.root().members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].key, "a");
+  EXPECT_EQ(members[1].key, "m");
+  EXPECT_EQ(members[2].key, "z");
+}
+
+TEST(JsonArenaParse, ElementsSpanIteration) {
+  const JsonDocument doc = parse_json_arena("[1, 2, 3]");
+  double sum = 0.0;
+  for (const JsonNode& node : doc.root().elements()) {
+    sum += JsonView(&node).as_number();
+  }
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+TEST(JsonArenaParse, SameErrorsAsFacadeParser) {
+  for (const std::string_view bad :
+       {"", "{", "[1,]", "{\"a\":}", "[1] trailing", "01", "1.", "+1", "nul",
+        "\"unterminated", "\"bad\\escape\"", R"("\ud800")"}) {
+    EXPECT_THROW((void)parse_json_arena(bad), JsonError) << bad;
+    EXPECT_THROW((void)parse_json(bad), JsonError) << bad;
+  }
+}
+
+TEST(JsonArenaParse, DuplicateKeysThrow) {
+  EXPECT_THROW((void)parse_json_arena(R"({"a": 1, "a": 2})"), JsonError);
+  // Duplicate arriving out of order (after a sort would collide).
+  EXPECT_THROW((void)parse_json_arena(R"({"b": 1, "a": 2, "a": 3})"), JsonError);
+}
+
+TEST(JsonArenaParse, DeepButLegalNestingAtTheCap) {
+  JsonParseOptions options;  // default max_depth = 256
+  std::string deep;
+  for (int i = 0; i < 256; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 256; ++i) deep += ']';
+  const JsonDocument doc = parse_json_arena(deep, options);
+  EXPECT_EQ(doc.dump(0), deep);
+  // One more level is an ordinary parse error, not a crash.
+  EXPECT_THROW((void)parse_json_arena("[" + deep + "]", options), JsonError);
+}
+
+TEST(JsonArenaParse, DepthBombFailsCleanly) {
+  const std::string bomb(100'000, '[');
+  try {
+    (void)parse_json_arena(bomb);
+    FAIL() << "depth bomb parsed";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("nesting depth exceeds 256"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(JsonArenaParse, HugeStringWithEscapes) {
+  // A string large enough to span several arena chunks, with escapes
+  // forcing the decode slow path throughout.
+  std::string raw;
+  std::string encoded = "\"";
+  for (int i = 0; i < 50'000; ++i) {
+    raw += "a\"b\\c\nd\te\xE2\x82\xAC";
+    encoded += "a\\\"b\\\\c\\nd\\te\xE2\x82\xAC";
+  }
+  encoded += '"';
+  const JsonDocument doc = parse_json_arena(encoded);
+  EXPECT_EQ(doc.root().as_string(), raw);
+  // And the canonical re-dump restores the escapes byte-identically to
+  // the facade writer.
+  EXPECT_EQ(doc.dump(0), parse_json(encoded).dump(0));
+}
+
+TEST(JsonArenaParse, NonFiniteSentinelsRoundTrip) {
+  const std::string bytes = R"(["inf","-inf","nan",1.5])";
+  const JsonDocument doc = parse_json_arena(bytes);
+  EXPECT_EQ(doc.dump(0), bytes);
+  EXPECT_EQ(doc.root().at(std::size_t{0}).as_number_total(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(doc.root().at(std::size_t{1}).as_number_total(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(doc.root().at(std::size_t{2}).as_number_total()));
+  // Strict as_number stays strict, same as the facade.
+  EXPECT_THROW((void)doc.root().at(std::size_t{0}).as_number(), JsonError);
+}
+
+TEST(JsonArenaDump, ByteIdenticalToFacade) {
+  const std::string_view cases[] = {
+      "null",
+      R"({"z": 1, "a": [true, null, "s\n\u0001", 2.5e-3], "m": {}})",
+      R"([[],{},"",0,-0.0,1e+15,0.0001,1e-05,123456.789])",
+      R"({"grid": [[1,2],[3,4]], "meta": {"name": "run", "ok": true}})",
+  };
+  for (const std::string_view text : cases) {
+    const JsonDocument doc = parse_json_arena(text);
+    const Json facade = parse_json(text);
+    for (const int indent : {0, 2, 4}) {
+      EXPECT_EQ(doc.dump(indent), facade.dump(indent)) << text;
+    }
+    std::string appended = "x";
+    doc.dump_to(appended, 0);
+    EXPECT_EQ(appended, "x" + facade.dump(0)) << text;
+  }
+}
+
+TEST(JsonArenaDump, CanonicalDigestMatchesBytes) {
+  const JsonDocument doc = parse_json_arena(R"({"a": 1, "b": [2, "three"]})");
+  EXPECT_EQ(doc.canonical_digest(), fnv1a64(doc.dump(0)));
+}
+
+TEST(JsonArenaParse, HashWhileParsePresentOnSortedKeys) {
+  const std::string canonical = R"({"a":1,"b":[true,"s",2.5],"c":{"d":null}})";
+  const JsonDocument doc = parse_json_arena(canonical, {}, /*hash_canonical=*/true);
+  ASSERT_TRUE(doc.parse_digest().has_value());
+  EXPECT_EQ(*doc.parse_digest(), fnv1a64(canonical));
+  EXPECT_EQ(*doc.parse_digest(), doc.canonical_digest());
+}
+
+TEST(JsonArenaParse, HashWhileParseAbsentWhenNotRequestedOrUnsorted) {
+  EXPECT_FALSE(parse_json_arena(R"({"a":1})").parse_digest().has_value());
+  const JsonDocument unsorted =
+      parse_json_arena(R"({"z":1,"a":2})", {}, /*hash_canonical=*/true);
+  EXPECT_FALSE(unsorted.parse_digest().has_value());
+  EXPECT_EQ(unsorted.dump(0), R"({"a":2,"z":1})");
+}
+
+TEST(JsonArenaToJson, EqualsFacadeParse) {
+  const std::string_view text =
+      R"({"z": [1, {"k": "v"}, null], "a": true, "n": 0.125})";
+  EXPECT_EQ(parse_json_arena(text).to_json(), parse_json(text));
+}
+
+TEST(JsonArenaLifetime, ViewsSurviveDocumentMove) {
+  JsonDocument doc = parse_json_arena(R"({"key": "a long-ish string value"})");
+  const std::string_view before = doc.root().at("key").as_string();
+  const char* data = before.data();
+  JsonDocument moved = std::move(doc);
+  const std::string_view after = moved.root().at("key").as_string();
+  // Arena chunks are stable under move: same bytes, same address.
+  EXPECT_EQ(after, "a long-ish string value");
+  EXPECT_EQ(after.data(), data);
+}
+
+TEST(JsonArenaLifetime, ArenaBytesGrowWithDocument) {
+  const JsonDocument small = parse_json_arena("[1]");
+  std::string big = "[";
+  for (int i = 0; i < 10'000; ++i) {
+    big += i > 0 ? ",\"value-" : "\"value-";
+    big += std::to_string(i);
+    big += '"';
+  }
+  big += ']';
+  const JsonDocument large = parse_json_arena(big);
+  EXPECT_GT(large.arena_bytes(), small.arena_bytes());
+  EXPECT_EQ(large.root().size(), 10'000u);
+}
+
+TEST(JsonArenaAccess, ErrorsMatchFacadeMessages) {
+  const JsonDocument doc = parse_json_arena(R"({"a": 1})");
+  try {
+    (void)doc.root().at("a").as_string();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("string"), std::string::npos);
+    EXPECT_NE(message.find("number"), std::string::npos);
+  }
+  try {
+    (void)doc.root().at("missing");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("missing"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_json_arena("[1]").root().at(std::size_t{1}), JsonError);
+}
+
+TEST(JsonArenaConcurrency, ParallelParseHammer) {
+  // Each thread parses, hashes and dumps its own documents; run under
+  // ASan/UBSan + TSan-adjacent CI this pins the "no shared mutable state
+  // between parses" property of the arena design.
+  std::string text = R"({"rows": [)";
+  for (int i = 0; i < 200; ++i) {
+    text += i > 0 ? "," : "";
+    text += R"({"i": )" + std::to_string(i) + R"(, "s": "row-)" +
+            std::to_string(i) + "\"}";
+  }
+  text += "]}";
+  const std::string canonical = parse_json(text).dump(0);
+  const std::uint64_t digest = fnv1a64(canonical);
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        const JsonDocument doc = parse_json_arena(text, {}, /*hash_canonical=*/true);
+        if (doc.dump(0) != canonical || doc.canonical_digest() != digest) {
+          failures[t] += 1;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const int count : failures) {
+    EXPECT_EQ(count, 0);
+  }
+}
+
+}  // namespace
+}  // namespace greenfpga::io

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <limits>
 #include <string>
 
+#include "io/hash.hpp"
 #include "io/json.hpp"
 
 namespace greenfpga::io {
@@ -245,6 +248,86 @@ TEST(JsonFormatNumber, NonFiniteTokens) {
 TEST(JsonDump, IntegersPrintWithoutFraction) {
   EXPECT_EQ(Json(1e6).dump(0), "1000000");
   EXPECT_EQ(Json(-3).dump(0), "-3");
+}
+
+TEST(JsonFormatNumber, ShortestRoundTripPins) {
+  // Byte-for-byte pins of the %g-presentation reconstruction over
+  // std::to_chars shortest digits.  These are the cases where a naive
+  // printf("%g") or plain to_chars would disagree with the canonical form.
+  EXPECT_EQ(format_number(999999999999999.875), "999999999999999.9");
+  EXPECT_EQ(format_number(5e-324), "4.94066e-324");
+  EXPECT_EQ(format_number(1.7976931348623157e308), "1.7976931348623157e+308");
+  EXPECT_EQ(format_number(0.0001), "0.0001");
+  EXPECT_EQ(format_number(0.00001), "1e-05");
+  EXPECT_EQ(format_number(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(format_number(-0.0), "-0");
+  EXPECT_EQ(format_number(1e15), "1e+15");
+  EXPECT_EQ(format_number(1e16), "1e+16");
+  EXPECT_EQ(format_number(123456.789), "123456.789");
+}
+
+TEST(JsonDump, DumpToAppendsIdenticalBytes) {
+  const Json v = parse_json(R"({"b": [1, 2.5, "x"], "a": true})");
+  for (const int indent : {0, 2, 4}) {
+    std::string out = "prefix:";
+    v.dump_to(out, indent);
+    EXPECT_EQ(out, "prefix:" + v.dump(indent));
+  }
+}
+
+TEST(JsonDump, HashedDumpMatchesDigestOfBytes) {
+  const Json v = parse_json(R"({"grid": [[1, 2], [3, 4]], "name": "run"})");
+  std::string compact;
+  const std::uint64_t digest = v.dump_to_hashed(compact, 0);
+  EXPECT_EQ(compact, v.dump(0));
+  EXPECT_EQ(digest, fnv1a64(compact));
+  // canonical_digest() is the same hash without materializing the bytes.
+  EXPECT_EQ(v.canonical_digest(), digest);
+}
+
+TEST(JsonParse, HashWhileParseMatchesCanonicalDigest) {
+  // Keys already sorted and compact: the streaming digest must equal the
+  // digest of the canonical dump, with zero extra passes.
+  const std::string canonical = R"({"a":1,"b":[true,"s",2.5],"c":{"d":null}})";
+  const ParsedJson parsed = parse_json_hashed(canonical);
+  ASSERT_TRUE(parsed.canonical_digest.has_value());
+  EXPECT_EQ(*parsed.canonical_digest, parsed.value.canonical_digest());
+  EXPECT_EQ(*parsed.canonical_digest, fnv1a64(canonical));
+}
+
+TEST(JsonParse, HashWhileParseSurvivesWhitespaceAndPretty) {
+  // The digest streams *canonical* bytes, so formatting never changes it.
+  const ParsedJson compact = parse_json_hashed(R"({"a":1,"b":[2,3]})");
+  const ParsedJson pretty = parse_json_hashed("{\n  \"a\": 1,\n  \"b\": [2, 3]\n}");
+  ASSERT_TRUE(compact.canonical_digest.has_value());
+  ASSERT_TRUE(pretty.canonical_digest.has_value());
+  EXPECT_EQ(*compact.canonical_digest, *pretty.canonical_digest);
+}
+
+TEST(JsonParse, HashWhileParseDisabledByUnsortedKeys) {
+  // Out-of-order keys would need a re-sort to produce canonical bytes, so
+  // the streaming digest reports absent rather than lying.
+  const ParsedJson parsed = parse_json_hashed(R"({"z": 1, "a": 2})");
+  EXPECT_FALSE(parsed.canonical_digest.has_value());
+  // The value itself is still fully parsed and canonicalized.
+  EXPECT_EQ(parsed.value.dump(0), R"({"a":2,"z":1})");
+}
+
+TEST(JsonFile, ParseErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "/greenfpga_bad.json";
+  {
+    std::ofstream out(path);
+    out << "{\"a\": !}\n";
+  }
+  try {
+    (void)parse_json_file(path);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    const std::string message = error.what();
+    EXPECT_EQ(message.rfind(path + ": ", 0), 0u)
+        << "message should lead with the path: " << message;
+    EXPECT_NE(message.find("1:"), std::string::npos) << message;
+  }
 }
 
 TEST(JsonFile, RoundTripThroughDisk) {

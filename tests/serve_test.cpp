@@ -193,6 +193,48 @@ TEST_F(ServeTest, StatsCountsCacheAndRequests) {
   EXPECT_EQ(stats.at("cache").at("capacity").as_number(), 64.0);
   EXPECT_EQ(stats.at("requests").as_number(), 3.0);
   EXPECT_EQ(stats.at("errors").as_number(), 0.0);
+  // The warm request streamed the rendered bytes straight back.
+  EXPECT_EQ(stats.at("fast_path_hits").as_number(), 1.0);
+}
+
+TEST_F(ServeTest, CacheHitStreamsRenderedBodyWithoutRedump) {
+  HttpClient http = client();
+  const ScenarioSpec spec = spec_for(ScenarioKind::compare);
+  const std::string compact = spec_to_json(spec).dump(0);
+  const std::string pretty = spec_to_json(spec).dump(2);
+
+  const HttpResponse cold = http.request("POST", "/v1/run", compact);
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  EXPECT_EQ(cold.header_or("x-cache"), "miss");
+  EXPECT_EQ(context_.fast_path_hits.load(), 0u);
+  EXPECT_EQ(context_.rendered().size(), 1u);
+
+  // Warm, same bytes: engine hit + rendered-body hit, response
+  // byte-identical to the cold render.
+  const HttpResponse warm = http.request("POST", "/v1/run", compact);
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.header_or("x-cache"), "hit");
+  EXPECT_EQ(warm.body, cold.body);
+  EXPECT_EQ(context_.fast_path_hits.load(), 1u);
+
+  // A formatting variant of the same spec normalizes to the same content
+  // key, so it rides the fast path too.
+  const HttpResponse variant = http.request("POST", "/v1/run", pretty);
+  ASSERT_EQ(variant.status, 200);
+  EXPECT_EQ(variant.header_or("x-cache"), "hit");
+  EXPECT_EQ(variant.body, cold.body);
+  EXPECT_EQ(context_.fast_path_hits.load(), 2u);
+  EXPECT_EQ(context_.rendered().size(), 1u);
+
+  // The cache-key header is the engine key's digest, identical across
+  // all three; the request digest tracks the POSTed bytes (facade dumps
+  // emit sorted keys, so hash-while-parse always lands).
+  EXPECT_EQ(warm.header_or("x-cache-key"), cold.header_or("x-cache-key"));
+  EXPECT_EQ(variant.header_or("x-cache-key"), cold.header_or("x-cache-key"));
+  EXPECT_FALSE(cold.header_or("x-request-digest").empty());
+  EXPECT_EQ(warm.header_or("x-request-digest"), cold.header_or("x-request-digest"));
+  // The digest streams canonical bytes, so formatting never changes it.
+  EXPECT_EQ(variant.header_or("x-request-digest"), cold.header_or("x-request-digest"));
 }
 
 TEST_F(ServeTest, BatchMatchesIndividualRunsAndDedups) {
