@@ -17,6 +17,7 @@
 #include "io/json.hpp"
 #include "io/json_arena.hpp"
 #include "scenario/engine.hpp"
+#include "scenario/kind_registry.hpp"
 #include "scenario/result_cache.hpp"
 #include "scenario/result_io.hpp"
 #include "scenario/spec.hpp"
@@ -102,6 +103,41 @@ std::vector<scenario::ScenarioSpec> fleet_specs() {
   return specs;
 }
 
+/// One small spec per registered scenario kind, enumerated from the kind
+/// registry itself: the case exercises every KindModule execute hook
+/// through the vtable dispatch path and automatically covers kinds added
+/// later.  Sampling counts are pinned low so the case tracks dispatch
+/// and per-kind fixed cost, not Monte-Carlo bulk.
+std::vector<scenario::ScenarioSpec> registry_specs() {
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const scenario::KindModule* module : scenario::all_kind_modules()) {
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::make(module->kind, device::Domain::dnn);
+    spec.name = "bench registry " + std::string(module->name);
+    spec.montecarlo.samples = 16;
+    spec.montecarlo.seed = 11;
+    spec.sensitivity.samples = 16;
+    if (spec.fleet.has_value()) {
+      spec.fleet->mc_samples = 8;
+    }
+    if (module->expected_axes >= 1) {
+      spec.axes.push_back(
+          scenario::AxisSpec::linear(scenario::SweepVariable::app_count, 1, 4, 4));
+    }
+    if (module->expected_axes >= 2) {
+      spec.axes.push_back(
+          scenario::AxisSpec::log(scenario::SweepVariable::volume, 1e5, 1e6, 3));
+    }
+    if (module->kind == scenario::ScenarioKind::frontier) {
+      spec.frontier.axes = {
+          dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1, 4, 4),
+          dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e4, 1e6, 3)};
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 /// The 25x24 grid's canonical result JSON: the "large result" the serve
 /// and batch paths round-trip per request (~hundreds of KB of text).
 std::string large_result_text() {
@@ -149,6 +185,28 @@ std::vector<BenchCase> builtin_cases() {
                                   const scenario::ScenarioResult result =
                                       engine->run(*spec);
                                   g_sink = result.points.size();
+                                },
+                            .iterations = 1,
+                            .bytes_per_op = 0.0};
+      }});
+
+  cases.push_back(BenchCase{
+      .group = "engine",
+      .name = "registry_dispatch",
+      .description = "Engine::run of one small spec per registered scenario kind "
+                     "(every KindModule execute hook through the registry vtable, "
+                     "1 thread)",
+      .setup = [] {
+        auto engine = std::make_shared<scenario::Engine>(single_thread_engine());
+        auto specs =
+            std::make_shared<std::vector<scenario::ScenarioSpec>>(registry_specs());
+        return PreparedCase{.op =
+                                [engine, specs] {
+                                  std::size_t sink = 0;
+                                  for (const scenario::ScenarioSpec& spec : *specs) {
+                                    sink += engine->run(spec).points.size();
+                                  }
+                                  g_sink = sink;
                                 },
                             .iterations = 1,
                             .bytes_per_op = 0.0};

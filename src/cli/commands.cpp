@@ -34,6 +34,8 @@
 #include "report/markdown_report.hpp"
 #include "report/result_render.hpp"
 #include "scenario/engine.hpp"
+#include "scenario/fleet.hpp"
+#include "scenario/kind_registry.hpp"
 #include "scenario/result_io.hpp"
 #include "serve/handlers.hpp"
 #include "serve/server.hpp"
@@ -167,10 +169,13 @@ int print_usage(std::ostream& out, bool error) {
          "            <command> ...\n"
          "\n"
          "  greenfpga run <spec.json> [--json <out.json>] [--csv <out.csv>]\n"
-         "      evaluate a declarative scenario spec (compare, sweep, grid, timeline,\n"
-         "      node_dse, breakeven, sensitivity, montecarlo) through the unified\n"
-         "      engine; see examples/specs/ and docs/CLI.md for the spec shape\n"
-         "      (--csv exports per-sample Monte-Carlo totals, montecarlo kind only)\n"
+         "      evaluate a declarative scenario spec through the unified engine;\n"
+         "      kinds: "
+      << scenario::kind_name_list()
+      << "\n"
+         "      (the registry is the source of truth for that list); see\n"
+         "      examples/specs/ and docs/CLI.md for the spec shape (--csv exports\n"
+         "      per-sample Monte-Carlo totals, sampling kinds only)\n"
          "  greenfpga serve [--port N] [--host ADDR] [--cache-capacity N]\n"
          "                  [--cache-shards N] [--cache-dir PATH]\n"
          "                  [--max-connections N] [--io-timeout-ms N]\n"
@@ -207,6 +212,13 @@ int print_usage(std::ostream& out, bool error) {
          "              [--csv <out.csv>] [--json <out.json>]\n"
          "      Monte-Carlo uncertainty quantification over the Table 1 parameter\n"
          "      distributions: percentile bands, win fractions and a ratio CDF\n"
+         "  greenfpga fleet <dnn|imgproc|crypto> [--platforms a,b,...] [--horizon Y]\n"
+         "                  [--utilization U] [--samples N] [--seed S]\n"
+         "                  [--json <out.json>] [--csv <out.csv>]\n"
+         "      mixed-platform datacenter fleet: size each platform's fleet to a\n"
+         "      24-hour traffic trace served across regional grid profiles, with\n"
+         "      FPGA reconfiguration amortisation; --samples adds Table 1\n"
+         "      Monte-Carlo bands over the fleet totals\n"
          "  greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]\n"
          "      evaluate a scenario file (see `greenfpga dump-config` for the shape)\n"
          "  greenfpga sweep <dnn|imgproc|crypto> <apps|lifetime|volume>\n"
@@ -252,7 +264,10 @@ int run_spec(const CommandContext& context, const std::vector<std::string>& args
   // load_spec reports parse/validation errors with the spec path and the
   // offending key, so a bad file fails with an actionable message.
   const scenario::ScenarioSpec spec = scenario::load_spec(args[0]);
-  if (csv_out && spec.kind != scenario::ScenarioKind::montecarlo) {
+  // The kind's module says whether this spec produces per-sample totals
+  // (montecarlo always; fleet only with mc_samples > 0).
+  const scenario::KindModule& module = scenario::kind_module(spec.kind);
+  if (csv_out && (module.sample_csv == nullptr || !module.sample_csv(spec))) {
     err << "run: --csv exports Monte-Carlo samples; spec '" << spec.name
         << "' has kind " << to_string(spec.kind) << "\n";
     return 2;
@@ -771,6 +786,100 @@ int run_mc(const CommandContext& context, const std::vector<std::string>& args,
   return run_and_emit(context, spec, json_out, csv_out, out, err);
 }
 
+int run_fleet(const CommandContext& context, const std::vector<std::string>& args,
+              std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << "fleet: expected <dnn|imgproc|crypto> [--platforms a,b,...] [--horizon Y]"
+           " [--utilization U] [--samples N] [--seed S] [--json <out.json>]"
+           " [--csv <out.csv>]\n";
+    return 2;
+  }
+  const auto domain = parse_domain(args[0]);
+  if (!domain) {
+    err << "fleet: unknown domain '" << args[0] << "'\n";
+    return 2;
+  }
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::make(scenario::ScenarioKind::fleet, *domain);
+  scenario::FleetSpec& fleet = *spec.fleet;
+  std::optional<std::string> json_out;
+  std::optional<std::string> csv_out;
+  const auto parse_flag_double = [](const std::string& value) -> std::optional<double> {
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+      return std::nullopt;
+    }
+    return parsed;
+  };
+  std::vector<std::string> platforms;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const bool has_value = i + 1 < args.size();
+    if (args[i] == "--platforms" && has_value) {
+      platforms = split_csv(args[i + 1]);
+      if (platforms.size() < 2) {
+        err << "fleet: --platforms needs at least two comma-separated names\n";
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--horizon" && has_value) {
+      const auto horizon = parse_flag_double(args[i + 1]);
+      if (!horizon || !(*horizon > 0.0)) {
+        err << "fleet: invalid --horizon '" << args[i + 1] << "' (years > 0)\n";
+        return 2;
+      }
+      fleet.horizon_years = *horizon;
+      ++i;
+    } else if (args[i] == "--utilization" && has_value) {
+      const auto utilization = parse_flag_double(args[i + 1]);
+      if (!utilization || !(*utilization > 0.0) || !(*utilization <= 1.0)) {
+        err << "fleet: invalid --utilization '" << args[i + 1] << "' (0 < U <= 1)\n";
+        return 2;
+      }
+      fleet.utilization = *utilization;
+      ++i;
+    } else if (args[i] == "--samples" && has_value) {
+      const auto samples = parse_flag_int(args[i + 1], 0, 10'000'000);
+      if (!samples) {
+        err << "fleet: invalid --samples '" << args[i + 1] << "' (0..10000000)\n";
+        return 2;
+      }
+      fleet.mc_samples = static_cast<int>(*samples);
+      ++i;
+    } else if (args[i] == "--seed" && has_value) {
+      const auto seed = parse_flag_int(args[i + 1], 0, 4294967295LL);
+      if (!seed) {
+        err << "fleet: invalid --seed '" << args[i + 1] << "' (0..4294967295)\n";
+        return 2;
+      }
+      spec.montecarlo.seed = static_cast<unsigned>(*seed);
+      ++i;
+    } else if (args[i] == "--json" && has_value) {
+      json_out = args[i + 1];
+      ++i;
+    } else if (args[i] == "--csv" && has_value) {
+      csv_out = args[i + 1];
+      ++i;
+    } else {
+      err << "fleet: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  if (csv_out && fleet.mc_samples <= 0) {
+    err << "fleet: --csv exports Monte-Carlo samples; pass --samples N (> 0)\n";
+    return 2;
+  }
+  std::string joined;
+  for (const std::string& name : platforms) {
+    spec.platforms.push_back(scenario::PlatformRef{.name = name, .chip = std::nullopt});
+    joined += (joined.empty() ? "" : " + ") + name;
+  }
+  spec.name = to_string(*domain) + " datacenter fleet" +
+              (joined.empty() ? std::string() : ": " + joined);
+  return run_and_emit(context, spec, json_out, csv_out, out, err);
+}
+
 int run_compare(const CommandContext& context, const std::vector<std::string>& args,
                std::ostream& out, std::ostream& err) {
   if (args.empty()) {
@@ -1280,6 +1389,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out, std::ostre
     }
     if (command == "mc") {
       return run_mc(context, rest, out, err);
+    }
+    if (command == "fleet") {
+      return run_fleet(context, rest, out, err);
     }
     if (command == "compare") {
       return run_compare(context, rest, out, err);

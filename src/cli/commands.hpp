@@ -88,6 +88,14 @@ int run_frontier(const CommandContext& context, const std::vector<std::string>& 
 int run_mc(const CommandContext& context, const std::vector<std::string>& args,
            std::ostream& out, std::ostream& err);
 
+/// `greenfpga fleet <dnn|imgproc|crypto> [--platforms a,b,...] [--horizon Y]
+/// [--utilization U] [--samples N] [--seed S] [--json <out.json>]
+/// [--csv <out.csv>]` -- mixed-platform datacenter fleet sized to a
+/// 24-hour traffic trace across regional grid profiles, with FPGA
+/// reconfiguration amortisation and optional Monte-Carlo bands.
+int run_fleet(const CommandContext& context, const std::vector<std::string>& args,
+              std::ostream& out, std::ostream& err);
+
 /// `greenfpga compare <scenario.json> [--json <out.json>] [--markdown <out.md>]`.
 int run_compare(const CommandContext& context, const std::vector<std::string>& args,
                 std::ostream& out, std::ostream& err);

@@ -1,15 +1,14 @@
 /// \file result_render.cpp
-/// The four renderers over scenario frames, including the per-kind text
-/// report formerly hand-rolled in the CLI layer.
+/// The four renderers over scenario frames.  Kind-specific text reports
+/// and the CSV sample dump are registry hooks (KindModule::render_text /
+/// sample_csv); this file owns only the generic frame rendering.
 
 #include "report/result_render.hpp"
 
-#include <algorithm>
 #include <ostream>
 
-#include "report/ascii_chart.hpp"
+#include "scenario/kind_registry.hpp"
 #include "scenario/result_io.hpp"
-#include "units/format.hpp"
 
 namespace greenfpga::report {
 
@@ -44,52 +43,18 @@ void frames_to_markdown(std::span<const ResultFrame> frames, std::ostream& out) 
   }
 }
 
-/// The human text report: header, kind-specific summary/chart content,
-/// frame tables.
+/// The human text report: header, then the kind's own rendering if its
+/// module claims the result (render_text returning true), otherwise the
+/// generic frame tables.
 void render_text(const scenario::ScenarioResult& result,
                  std::span<const ResultFrame> frames, std::ostream& out) {
   out << "== " << result.spec.name << " (" << to_string(result.spec.kind) << ", "
       << to_string(result.spec.domain) << ") ==\n";
-  switch (result.spec.kind) {
-    case scenario::ScenarioKind::grid: {
-      // The classic ASIC/FPGA pair reads better as the shaded ratio grid
-      // than as a point-per-row table; other platform sets have no 2-D
-      // ratio rendering, so they print the frame.
-      const bool classic_pair = result.platform_names.size() == 2 &&
-                                result.platform_index(device::ChipKind::asic) &&
-                                result.platform_index(device::ChipKind::fpga);
-      if (classic_pair) {
-        out << render_heatmap(result.heatmap());
-        for (const auto& [key, value] : frames.front().metadata) {
-          out << key << ": " << value << "\n";
-        }
-      } else {
-        frames_to_text(frames, out);
-      }
-      return;
-    }
-    case scenario::ScenarioKind::timeline:
-      // The cumulative series runs to hundreds of samples; the human
-      // report is its summary lines (CSV/JSON carry the full series).
-      for (const auto& [key, value] : frames.front().metadata) {
-        out << key << ": " << value << "\n";
-      }
-      return;
-    case scenario::ScenarioKind::montecarlo: {
-      frames_to_text(frames, out);
-      const scenario::MonteCarloUq& uq = *result.uncertainty;
-      if (!uq.ratio.empty()) {
-        std::vector<double> ratios = uq.ratio_samples(1);
-        std::sort(ratios.begin(), ratios.end());
-        out << render_cdf(ratios, result.platform_names[1] + ":" +
-                                      result.platform_names[0] + " ratio");
-      }
-      return;
-    }
-    default:
-      frames_to_text(frames, out);
-      return;
+  const scenario::KindModule& module = scenario::kind_module(result.spec.kind);
+  if (module.render_text != nullptr && module.render_text(result, frames, out)) {
+    return;
   }
+  frames_to_text(frames, out);
 }
 
 }  // namespace
@@ -130,12 +95,14 @@ void render_result(const scenario::ScenarioResult& result, OutputFormat format,
       out << text;
       return;
     }
-    case OutputFormat::csv:
-      if (result.spec.kind == scenario::ScenarioKind::montecarlo) {
+    case OutputFormat::csv: {
+      const scenario::KindModule& module = scenario::kind_module(result.spec.kind);
+      if (module.sample_csv != nullptr && module.sample_csv(result.spec)) {
         frames.push_back(scenario::mc_samples_frame(result));
       }
       frames_to_csv(frames, out);
       return;
+    }
     case OutputFormat::markdown:
       out << "## " << result.spec.name << " (" << to_string(result.spec.kind) << ", "
           << to_string(result.spec.domain) << ")\n\n";

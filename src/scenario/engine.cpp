@@ -1,11 +1,14 @@
 /// \file engine.cpp
-/// Spec dispatch, the parallel point executor, and legacy-shaped views.
+/// Spec dispatch through the kind registry, the batch task pool, and
+/// legacy-shaped views.  Kind evaluation itself lives in the modules
+/// under scenario/kinds/.
 
 #include "scenario/engine.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -14,8 +17,8 @@
 #include "act/grid_profile.hpp"
 #include "core/config_io.hpp"
 #include "core/parallel.hpp"
+#include "scenario/kind_registry.hpp"
 #include "scenario/result_cache.hpp"
-#include "units/units.hpp"
 
 namespace greenfpga::scenario {
 
@@ -29,15 +32,6 @@ struct Engine::PreparedRun {
 namespace {
 
 using core::parallel_for_state;
-
-/// The classic shape: each worker owns a private LifecycleModel built from
-/// `suite` (the model's embodied-carbon memoisation is not thread-safe to
-/// share).
-template <typename Fn>
-void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&& fn) {
-  parallel_for_state(
-      n, threads, [&suite] { return core::LifecycleModel(suite); }, std::forward<Fn>(fn));
-}
 
 /// Replace the flat use-phase intensity with the profile-scheduled one.
 core::ModelSuite apply_grid_profile(core::ModelSuite suite, const GridProfileSpec& spec) {
@@ -66,172 +60,6 @@ core::ModelSuite apply_grid_profile(core::ModelSuite suite, const GridProfileSpe
   suite.operation.use_intensity = act::scheduled_intensity(
       suite.operation.use_intensity, profile, suite.operation.duty_cycle, policy);
   return suite;
-}
-
-/// Apply one axis coordinate to the homogeneous schedule fields.
-void apply_axis(ScheduleSpec& schedule, SweepVariable variable, double value) {
-  switch (variable) {
-    case SweepVariable::app_count:
-      schedule.app_count = static_cast<int>(std::llround(value));
-      return;
-    case SweepVariable::lifetime_years:
-      schedule.lifetime_years = value;
-      return;
-    case SweepVariable::volume:
-      schedule.volume = value;
-      return;
-  }
-  throw std::logic_error("Engine: unknown sweep variable");
-}
-
-/// Materialised point grid of a compare/sweep/grid spec.
-struct PointPlan {
-  std::vector<std::vector<double>> axis_values;
-  std::size_t total = 1;
-  bool keep_per_application = false;
-};
-
-PointPlan plan_points(const ScenarioSpec& spec) {
-  PointPlan plan;
-  plan.axis_values.reserve(spec.axes.size());
-  for (const AxisSpec& axis : spec.axes) {
-    plan.axis_values.push_back(axis.values());
-    plan.total *= plan.axis_values.back().size();
-  }
-  plan.keep_per_application =
-      spec.kind == ScenarioKind::compare || spec.outputs.per_application;
-  return plan;
-}
-
-/// Evaluate scenario point `i` into `point` (pre-sized slot).  Pure in
-/// (spec, plan, chips, i): results never depend on which worker runs it.
-void evaluate_point(const ScenarioSpec& spec, const PointPlan& plan,
-                    const std::vector<device::ChipSpec>& chips,
-                    core::LifecycleModel& model, std::size_t i, EvalPoint& point) {
-  ScheduleSpec schedule_spec = spec.schedule;
-  std::size_t remainder = i;
-  point.coords.reserve(plan.axis_values.size());
-  for (const std::vector<double>& values : plan.axis_values) {
-    const double value = values[remainder % values.size()];
-    remainder /= values.size();
-    point.coords.push_back(value);
-  }
-  for (std::size_t a = 0; a < plan.axis_values.size(); ++a) {
-    apply_axis(schedule_spec, spec.axes[a].variable, point.coords[a]);
-  }
-  const workload::Schedule schedule = schedule_spec.materialise(spec.domain);
-  point.platforms.reserve(chips.size());
-  for (const device::ChipSpec& chip : chips) {
-    point.platforms.push_back(model.evaluate(chip, schedule));
-    if (!plan.keep_per_application) {
-      point.platforms.back().per_application.clear();
-      point.platforms.back().per_application.shrink_to_fit();
-    }
-  }
-}
-
-/// Per-spec montecarlo context: the schedule plus each distribution's
-/// Table 1 applier, bound by index so the plan stays movable.
-struct McPlan {
-  std::vector<ParameterRange> known;
-  std::vector<std::size_t> applier_index;  ///< into `known`, one per distribution
-  workload::Schedule schedule;
-};
-
-McPlan plan_montecarlo(const ScenarioSpec& spec) {
-  McPlan plan;
-  plan.schedule = spec.schedule.materialise(spec.domain);
-  // Bind each distribution to its Table 1 applier by name (spec.validate()
-  // has already rejected unknown names).
-  plan.known = table1_ranges();
-  plan.applier_index.reserve(spec.montecarlo.distributions.size());
-  for (const core::ParamDistribution& distribution : spec.montecarlo.distributions) {
-    for (std::size_t r = 0; r < plan.known.size(); ++r) {
-      if (plan.known[r].name == distribution.parameter) {
-        plan.applier_index.push_back(r);
-        break;
-      }
-    }
-  }
-  return plan;
-}
-
-MonteCarloUq make_mc_skeleton(const ScenarioSpec& spec, std::size_t platforms) {
-  MonteCarloUq uq;
-  uq.samples = spec.montecarlo.samples;
-  uq.percentiles = spec.montecarlo.percentiles;
-  uq.sample_totals_kg.assign(
-      platforms,
-      std::vector<double>(static_cast<std::size_t>(spec.montecarlo.samples), 0.0));
-  return uq;
-}
-
-/// Evaluate Monte-Carlo sample `i` into column i of `uq.sample_totals_kg`.
-/// Sample i draws its parameter values from the counter stream
-/// (seed, i, dimension) -- fully determined by the sample index, never by
-/// which worker ran it or in what order.  Every sample re-parameterises
-/// the suite, so the memoised per-worker model is useless here: each
-/// sample builds its own LifecycleModel from the sampled suite.
-void evaluate_mc_sample(const ScenarioSpec& spec, const McPlan& plan,
-                        const core::ModelSuite& suite,
-                        const std::vector<device::ChipSpec>& chips, std::size_t i,
-                        MonteCarloUq& uq) {
-  const MonteCarloUqSpec& mc = spec.montecarlo;
-  core::ModelSuite sampled = suite;
-  for (std::size_t j = 0; j < mc.distributions.size(); ++j) {
-    const double u = core::counter_uniform01(mc.seed, i, j);
-    plan.known[plan.applier_index[j]].apply(sampled, mc.distributions[j].sample(u));
-  }
-  const core::LifecycleModel model(sampled);
-  for (std::size_t p = 0; p < chips.size(); ++p) {
-    uq.sample_totals_kg[p][i] =
-        model.evaluate(chips[p], plan.schedule).total.total().canonical();
-  }
-}
-
-/// Serial reduction over the filled sample matrix (deterministic order).
-void reduce_montecarlo(MonteCarloUq& uq) {
-  const std::size_t platforms = uq.sample_totals_kg.size();
-  const std::size_t samples = uq.sample_totals_kg.front().size();
-  uq.platform_total.reserve(platforms);
-  for (std::size_t p = 0; p < platforms; ++p) {
-    uq.platform_total.push_back(summarise_samples(uq.sample_totals_kg[p], uq.percentiles));
-  }
-  for (std::size_t p = 1; p < platforms; ++p) {
-    const std::vector<double> ratios = uq.ratio_samples(p);
-    std::size_t wins = 0;
-    for (const double r : ratios) {
-      if (r < 1.0) {
-        ++wins;
-      }
-    }
-    uq.win_fraction.push_back(static_cast<double>(wins) / static_cast<double>(samples));
-    uq.ratio.push_back(summarise_samples(ratios, uq.percentiles));
-  }
-}
-
-/// The ASIC/FPGA testcase required by the testcase-shaped kinds.  Exactly
-/// two platforms: silently ignoring extras would let a user believe e.g.
-/// a GPU took part in a timeline that cannot model it.  The error names
-/// the actual platform list so a four-way spec fails with an actionable
-/// message instead of a bare arity complaint.
-device::DomainTestcase testcase_of(const ScenarioResult& result,
-                                   const std::string& kind_name) {
-  const auto asic = result.platform_index(device::ChipKind::asic);
-  const auto fpga = result.platform_index(device::ChipKind::fpga);
-  if (!asic || !fpga || result.resolved_chips.size() != 2) {
-    std::string got;
-    for (const std::string& name : result.platform_names) {
-      got += got.empty() ? name : ", " + name;
-    }
-    throw std::invalid_argument("Engine: " + kind_name +
-                                " scenarios need exactly one ASIC and one FPGA "
-                                "platform, got {" +
-                                got + "}");
-  }
-  return device::DomainTestcase{.domain = result.spec.domain,
-                                .asic = result.resolved_chips[*asic],
-                                .fpga = result.resolved_chips[*fpga]};
 }
 
 }  // namespace
@@ -356,12 +184,10 @@ Engine::PreparedRun Engine::prepare(const ScenarioSpec& spec) const {
   PreparedRun prepared;
   prepared.result.spec = spec;
   if (prepared.result.spec.platforms.empty()) {
-    // node_dse explores ONE subject device across nodes (the domain FPGA
-    // by default); every other kind defaults to the paper's ASIC/FPGA
-    // head-to-head.
+    const KindModule& module = kind_module(spec.kind);
     prepared.result.spec.platforms =
-        spec.kind == ScenarioKind::node_dse
-            ? std::vector<PlatformRef>{PlatformRef{.name = "fpga", .chip = std::nullopt}}
+        module.default_platforms != nullptr
+            ? module.default_platforms()
             : std::vector<PlatformRef>{
                   PlatformRef{.name = "asic", .chip = std::nullopt},
                   PlatformRef{.name = "fpga", .chip = std::nullopt}};
@@ -440,134 +266,9 @@ Engine::CachedRun Engine::run_cached(const ScenarioSpec& spec) const {
 ScenarioResult Engine::run_prepared(PreparedRun prepared) const {
   ScenarioResult result = std::move(prepared.result);
   const core::ModelSuite suite = std::move(prepared.suite);
-
-  switch (result.spec.kind) {
-    case ScenarioKind::compare:
-    case ScenarioKind::sweep:
-    case ScenarioKind::grid:
-      run_points(result.spec, suite, result);
-      return result;
-    case ScenarioKind::timeline:
-      run_timeline(result.spec, suite, result);
-      return result;
-    case ScenarioKind::breakeven:
-      run_breakeven(result.spec, suite, result);
-      return result;
-    case ScenarioKind::node_dse:
-      run_node_dse(result.spec, suite, result);
-      return result;
-    case ScenarioKind::sensitivity:
-      run_sensitivity(result.spec, suite, result);
-      return result;
-    case ScenarioKind::montecarlo:
-      run_montecarlo(result.spec, suite, result);
-      return result;
-    case ScenarioKind::frontier:
-      run_frontier(result.spec, suite, result);
-      return result;
-  }
-  throw std::logic_error("Engine: unknown scenario kind");
-}
-
-void Engine::run_points(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                        ScenarioResult& result) const {
-  // Coordinate grid: axis 0 is the inner (fastest) dimension.
-  const PointPlan plan = plan_points(spec);
-  result.points.resize(plan.total);
-  parallel_for(plan.total, threads_, suite,
-               [&](core::LifecycleModel& model, std::size_t i) {
-                 evaluate_point(spec, plan, result.resolved_chips, model, i,
-                                result.points[i]);
-               });
-}
-
-void Engine::run_timeline(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                          ScenarioResult& result) const {
-  const device::DomainTestcase testcase = testcase_of(result, "timeline");
-  const core::LifecycleModel model(suite);
-  result.timeline =
-      simulate_timeline(model, testcase, spec.timeline.horizon_years,
-                        spec.schedule.lifetime_years, spec.schedule.volume,
-                        spec.timeline.step_years);
-}
-
-void Engine::run_breakeven(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                           ScenarioResult& result) const {
-  const device::DomainTestcase testcase = testcase_of(result, "breakeven");
-  const core::LifecycleModel model(suite);
-  const BreakevenContext context{
-      .app_count = spec.schedule.app_count,
-      .app_lifetime = spec.schedule.lifetime_years * units::unit::years,
-      .app_volume = spec.schedule.volume,
-  };
-  BreakevenReport report;
-  if (spec.breakeven.solve_app_count) {
-    report.app_count = solve_app_count_breakeven(model, testcase, context);
-  }
-  if (spec.breakeven.solve_lifetime) {
-    report.lifetime_years = solve_lifetime_breakeven(model, testcase, context);
-  }
-  if (spec.breakeven.solve_volume) {
-    report.volume = solve_volume_breakeven(model, testcase, context);
-  }
-  result.breakeven = report;
-}
-
-void Engine::run_node_dse(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                          ScenarioResult& result) const {
-  // The subject is dse.chip when pinned, else the spec's single platform
-  // (prepare() defaults an empty list to {"fpga"}).  More than one
-  // platform is a shape error: a node DSE ranks retargets of ONE device.
-  if (!spec.dse.chip && result.resolved_chips.size() != 1) {
-    std::string got;
-    for (const std::string& name : result.platform_names) {
-      got += got.empty() ? name : ", " + name;
-    }
-    throw std::invalid_argument(
-        "Engine: node_dse scenarios explore one subject platform (or an explicit "
-        "dse.chip), got {" +
-        got + "}");
-  }
-  const device::ChipSpec subject =
-      spec.dse.chip ? *spec.dse.chip : result.resolved_chips.front();
-  const std::span<const tech::ProcessNode> nodes =
-      spec.dse.nodes.empty() ? tech::all_nodes()
-                             : std::span<const tech::ProcessNode>(spec.dse.nodes);
-  const workload::Schedule schedule = spec.schedule.materialise(spec.domain);
-
-  // Retarget serially (cheap, and infeasible nodes are simply skipped),
-  // then evaluate the surviving candidates on the pool.
-  std::vector<device::ChipSpec> retargeted;
-  retargeted.reserve(nodes.size());
-  for (const tech::ProcessNode node : nodes) {
-    try {
-      retargeted.push_back(retarget_to_node(subject, node));
-    } catch (const std::invalid_argument&) {
-      continue;  // does not fit the reticle on this node
-    }
-  }
-  result.candidates.resize(retargeted.size());
-  parallel_for(retargeted.size(), threads_, suite,
-               [&](core::LifecycleModel& model, std::size_t i) {
-                 result.candidates[i] =
-                     evaluate_node_candidate(model, schedule, retargeted[i]);
-               });
-  rank_node_candidates(result.candidates);  // throws when nothing fits a reticle
-}
-
-void Engine::run_sensitivity(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                             ScenarioResult& result) const {
-  const device::DomainTestcase testcase = testcase_of(result, "sensitivity");
-  const workload::Schedule schedule = spec.schedule.materialise(spec.domain);
-  if (spec.sensitivity.run_tornado) {
-    result.tornado =
-        detail::tornado_analysis(suite, testcase, schedule, spec.sensitivity.ranges);
-  }
-  if (spec.sensitivity.run_monte_carlo) {
-    result.monte_carlo = detail::monte_carlo_analysis(
-        suite, testcase, schedule, spec.sensitivity.ranges, spec.sensitivity.samples,
-        spec.sensitivity.seed);
-  }
+  kind_module(result.spec.kind)
+      .execute(KindRunContext{.threads = threads_}, suite, result);
+  return result;
 }
 
 UqStat summarise_samples(std::vector<double> values,
@@ -614,57 +315,6 @@ UqStat summarise_samples(std::vector<double> values,
     stat.percentile_values.push_back(values[lo] * (1.0 - t) + values[hi] * t);
   }
   return stat;
-}
-
-void Engine::run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                            ScenarioResult& result) const {
-  const McPlan plan = plan_montecarlo(spec);
-  MonteCarloUq uq = make_mc_skeleton(spec, result.resolved_chips.size());
-
-  // Shard samples across the pool: every sample writes to pre-sized slot
-  // i, so results are bit-identical for any thread count.
-  parallel_for_state(
-      static_cast<std::size_t>(spec.montecarlo.samples), threads_, [] { return 0; },
-      [&](int& /*state*/, std::size_t i) {
-        evaluate_mc_sample(spec, plan, suite, result.resolved_chips, i, uq);
-      });
-
-  // Serial reduction on the caller's thread (deterministic order).
-  reduce_montecarlo(uq);
-  result.uncertainty = std::move(uq);
-}
-
-void Engine::run_frontier(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                          ScenarioResult& result) const {
-  dse::FrontierProblem problem;
-  problem.frontier = spec.frontier;
-  problem.platform_names = result.platform_names;
-  problem.chips = result.resolved_chips;
-  problem.suite = suite;
-  problem.domain = spec.domain;
-  problem.app_count = spec.schedule.app_count;
-  problem.lifetime_years = spec.schedule.lifetime_years;
-  problem.volume = spec.schedule.volume;
-  problem.threads = threads_;
-  problem.retarget = [](const device::ChipSpec& chip, tech::ProcessNode node) {
-    return retarget_to_node(chip, node);
-  };
-  if (spec.frontier.confidence_samples > 0) {
-    // Bind each montecarlo distribution to its Table 1 applier by name
-    // (spec.validate() has already rejected unknown names), exactly like
-    // the montecarlo kind.
-    const std::vector<ParameterRange> known = table1_ranges();
-    for (const core::ParamDistribution& distribution : spec.montecarlo.distributions) {
-      for (const ParameterRange& range : known) {
-        if (range.name == distribution.parameter) {
-          problem.sampled.push_back(
-              dse::SampledParameter{.distribution = distribution, .apply = range.apply});
-          break;
-        }
-      }
-    }
-  }
-  result.frontier = dse::FrontierSearch(std::move(problem)).run();
 }
 
 std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& specs) const {
@@ -722,74 +372,58 @@ std::vector<ScenarioResult> Engine::run_batch(const std::vector<ScenarioSpec>& s
 
 std::vector<ScenarioResult> Engine::run_batch_prepared(
     std::vector<PreparedRun> prepared_runs) const {
-  enum class TaskKind { point, sample, whole };
   struct SpecJob {
     PreparedRun prepared;
-    std::size_t suite_id = 0;  ///< into `suites` (point tasks only)
-    PointPlan points;          ///< compare / sweep / grid
-    McPlan mc;                 ///< montecarlo
-    TaskKind kind = TaskKind::whole;
+    KindBatchPlan plan;        ///< empty run_job = single whole-spec task
+    std::size_t suite_id = 0;  ///< into `suites` (uses_suite_model plans only)
   };
   struct Task {
     std::size_t spec = 0;
-    std::size_t index = 0;  ///< point / sample index; unused for whole
+    std::size_t index = 0;  ///< plan task index; unused for whole-spec
   };
 
-  // Serial planning phase over the already-prepared specs: plan each
-  // one's work items and deduplicate effective suites so workers can
-  // share one memoised LifecycleModel across every spec using the same
-  // suite.
-  std::vector<SpecJob> jobs;
-  jobs.reserve(prepared_runs.size());
+  // Move every prepared run into its (pre-sized, never reallocated) job
+  // slot BEFORE planning: a plan may capture pointers to its suite and
+  // rely on the result slot staying put.
+  std::vector<SpecJob> jobs(prepared_runs.size());
+  for (std::size_t s = 0; s < prepared_runs.size(); ++s) {
+    jobs[s].prepared = std::move(prepared_runs[s]);
+  }
+
+  // Serial planning phase: ask each spec's module to flatten its work
+  // into tasks, and deduplicate effective suites so workers can share one
+  // memoised LifecycleModel across every spec using the same suite.
   std::vector<core::ModelSuite> suites;
   std::vector<std::string> suite_keys;  // canonical JSON, parallel to `suites`
   std::vector<Task> tasks;
-  for (std::size_t s = 0; s < prepared_runs.size(); ++s) {
-    SpecJob job;
-    job.prepared = std::move(prepared_runs[s]);
-    const ScenarioSpec& spec = job.prepared.result.spec;
-    switch (spec.kind) {
-      case ScenarioKind::compare:
-      case ScenarioKind::sweep:
-      case ScenarioKind::grid: {
-        job.kind = TaskKind::point;
-        job.points = plan_points(spec);
-        job.prepared.result.points.resize(job.points.total);
-        const std::string key = core::to_json(job.prepared.suite).dump(0);
-        std::size_t id = 0;
-        while (id < suite_keys.size() && suite_keys[id] != key) {
-          ++id;
-        }
-        if (id == suite_keys.size()) {
-          suites.push_back(job.prepared.suite);
-          suite_keys.push_back(key);
-        }
-        job.suite_id = id;
-        for (std::size_t i = 0; i < job.points.total; ++i) {
-          tasks.push_back(Task{.spec = s, .index = i});
-        }
-        break;
-      }
-      case ScenarioKind::montecarlo: {
-        job.kind = TaskKind::sample;
-        job.mc = plan_montecarlo(spec);
-        job.prepared.result.uncertainty =
-            make_mc_skeleton(spec, job.prepared.result.resolved_chips.size());
-        for (std::size_t i = 0; i < static_cast<std::size_t>(spec.montecarlo.samples);
-             ++i) {
-          tasks.push_back(Task{.spec = s, .index = i});
-        }
-        break;
-      }
-      default:
-        // Timeline / breakeven / node_dse / sensitivity run whole-spec on
-        // one worker (they are single evaluations or internally small);
-        // a serial engine keeps the pool flat.
-        job.kind = TaskKind::whole;
-        tasks.push_back(Task{.spec = s, .index = 0});
-        break;
+  for (std::size_t s = 0; s < jobs.size(); ++s) {
+    SpecJob& job = jobs[s];
+    const KindModule& module = kind_module(job.prepared.result.spec.kind);
+    if (module.plan_jobs != nullptr) {
+      job.plan = module.plan_jobs(job.prepared.suite, job.prepared.result);
     }
-    jobs.push_back(std::move(job));
+    if (!job.plan.run_job) {
+      // No task plan: the kind runs whole-spec on one worker (single
+      // evaluations or internally small); a serial engine keeps the pool
+      // flat.
+      tasks.push_back(Task{.spec = s, .index = 0});
+      continue;
+    }
+    if (job.plan.uses_suite_model) {
+      const std::string key = core::to_json(job.prepared.suite).dump(0);
+      std::size_t id = 0;
+      while (id < suite_keys.size() && suite_keys[id] != key) {
+        ++id;
+      }
+      if (id == suite_keys.size()) {
+        suites.push_back(job.prepared.suite);
+        suite_keys.push_back(key);
+      }
+      job.suite_id = id;
+    }
+    for (std::size_t i = 0; i < job.plan.task_count; ++i) {
+      tasks.push_back(Task{.spec = s, .index = i});
+    }
   }
 
   // One pool over the flattened task list.  Worker state: one lazily
@@ -802,34 +436,28 @@ std::vector<ScenarioResult> Engine::run_batch_prepared(
         const Task& task = tasks[t];
         SpecJob& job = jobs[task.spec];
         ScenarioResult& result = job.prepared.result;
-        switch (job.kind) {
-          case TaskKind::point: {
-            std::optional<core::LifecycleModel>& model = models[job.suite_id];
-            if (!model) {
-              model.emplace(suites[job.suite_id]);
-            }
-            evaluate_point(result.spec, job.points, result.resolved_chips, *model,
-                           task.index, result.points[task.index]);
-            return;
-          }
-          case TaskKind::sample:
-            evaluate_mc_sample(result.spec, job.mc, job.prepared.suite,
-                               result.resolved_chips, task.index, *result.uncertainty);
-            return;
-          case TaskKind::whole: {
-            const Engine serial(EngineOptions{.threads = 1, .registry = registry_});
-            result = serial.run(result.spec);
-            return;
-          }
+        if (!job.plan.run_job) {
+          const Engine serial(EngineOptions{.threads = 1, .registry = registry_});
+          result = serial.run(result.spec);
+          return;
         }
+        core::LifecycleModel* model = nullptr;
+        if (job.plan.uses_suite_model) {
+          std::optional<core::LifecycleModel>& slot = models[job.suite_id];
+          if (!slot) {
+            slot.emplace(suites[job.suite_id]);
+          }
+          model = &*slot;
+        }
+        job.plan.run_job(model, task.index, result);
       });
 
-  // Serial post phase: deterministic Monte-Carlo reductions.
+  // Serial post phase: deterministic reductions.
   std::vector<ScenarioResult> results;
   results.reserve(jobs.size());
   for (SpecJob& job : jobs) {
-    if (job.kind == TaskKind::sample) {
-      reduce_montecarlo(*job.prepared.result.uncertainty);
+    if (job.plan.assemble) {
+      job.plan.assemble(job.prepared.result);
     }
     results.push_back(std::move(job.prepared.result));
   }

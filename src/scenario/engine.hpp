@@ -137,8 +137,9 @@ struct ScenarioResult {
   std::vector<TornadoEntry> tornado;            ///< sensitivity kind
   std::optional<MonteCarloResult> monte_carlo;  ///< sensitivity kind
   std::optional<BreakevenReport> breakeven;     ///< breakeven kind
-  std::optional<MonteCarloUq> uncertainty;      ///< montecarlo kind
+  std::optional<MonteCarloUq> uncertainty;      ///< montecarlo kind (and fleet MC)
   std::optional<dse::FrontierResult> frontier;  ///< frontier kind
+  std::optional<FleetResult> fleet;             ///< fleet kind
 
   // -- legacy-shaped views (throw std::logic_error when the shape does not
   //    match, e.g. no ASIC/FPGA platform pair) --------------------------------
@@ -228,21 +229,6 @@ class Engine {
   [[nodiscard]] ScenarioResult run_prepared(PreparedRun prepared) const;
   [[nodiscard]] std::vector<ScenarioResult> run_batch_prepared(
       std::vector<PreparedRun> prepared) const;
-
-  void run_points(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                  ScenarioResult& result) const;
-  void run_timeline(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                    ScenarioResult& result) const;
-  void run_breakeven(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                     ScenarioResult& result) const;
-  void run_node_dse(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                    ScenarioResult& result) const;
-  void run_sensitivity(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                       ScenarioResult& result) const;
-  void run_montecarlo(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                      ScenarioResult& result) const;
-  void run_frontier(const ScenarioSpec& spec, const core::ModelSuite& suite,
-                    ScenarioResult& result) const;
 
   int threads_ = 1;
   const device::PlatformRegistry* registry_ = nullptr;

@@ -1,0 +1,60 @@
+/// \file kind_registry.cpp
+/// Registry assembly and name lookups.
+
+#include "scenario/kind_registry.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "scenario/kinds/modules.hpp"
+
+namespace greenfpga::scenario {
+
+std::span<const KindModule* const> all_kind_modules() {
+  // Enum order: kind_module() indexes this array by the enum value
+  // (pinned by tests/kind_registry_test.cpp).
+  static const std::array<const KindModule*, 10> modules = {
+      &kinds::compare_module(),    &kinds::sweep_module(),
+      &kinds::grid_module(),       &kinds::timeline_module(),
+      &kinds::node_dse_module(),   &kinds::breakeven_module(),
+      &kinds::sensitivity_module(), &kinds::montecarlo_module(),
+      &kinds::frontier_module(),   &kinds::fleet_module(),
+  };
+  return modules;
+}
+
+const KindModule& kind_module(ScenarioKind kind) {
+  const std::span<const KindModule* const> modules = all_kind_modules();
+  const auto index = static_cast<std::size_t>(kind);
+  if (index >= modules.size()) {
+    throw std::logic_error("kind_module: unregistered scenario kind");
+  }
+  return *modules[index];
+}
+
+const KindModule* find_kind_module(std::string_view name) {
+  for (const KindModule* module : all_kind_modules()) {
+    if (module->name == name) {
+      return module;
+    }
+    for (const std::string_view alias : module->aliases) {
+      if (alias == name) {
+        return module;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::string kind_name_list() {
+  std::string names;
+  for (const KindModule* module : all_kind_modules()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += module->name;
+  }
+  return names;
+}
+
+}  // namespace greenfpga::scenario

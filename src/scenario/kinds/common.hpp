@@ -1,0 +1,125 @@
+#ifndef GREENFPGA_SCENARIO_KINDS_COMMON_HPP
+#define GREENFPGA_SCENARIO_KINDS_COMMON_HPP
+
+/// \file common.hpp
+/// Machinery shared by the kind modules: the parallel point executor, the
+/// Monte-Carlo sample/reduce pipeline, the ASIC/FPGA testcase extractor,
+/// shared validation blocks, and the frame/JSON helpers several kinds
+/// emit through.  Everything here used to live inline in engine.cpp /
+/// result_io.cpp / spec.cpp behind per-kind switches; the modules under
+/// this directory are its only intended consumers.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "device/catalog.hpp"
+#include "report/result_frame.hpp"
+#include "scenario/kind_registry.hpp"
+
+namespace greenfpga::scenario::kinds {
+
+inline constexpr double kKgPerTonne = 1000.0;
+
+/// The classic pool shape: each worker owns a private LifecycleModel built
+/// from `suite` (the model's embodied-carbon memoisation is not
+/// thread-safe to share).
+template <typename Fn>
+void parallel_for(std::size_t n, int threads, const core::ModelSuite& suite, Fn&& fn) {
+  core::parallel_for_state(
+      n, threads, [&suite] { return core::LifecycleModel(suite); }, std::forward<Fn>(fn));
+}
+
+// -- point machinery (compare / sweep / grid) --------------------------------------
+
+/// Materialised point grid of a compare/sweep/grid spec.
+struct PointPlan {
+  std::vector<std::vector<double>> axis_values;
+  std::size_t total = 1;
+  bool keep_per_application = false;
+};
+
+[[nodiscard]] PointPlan plan_points(const ScenarioSpec& spec);
+
+/// Evaluate scenario point `i` into `point` (pre-sized slot).  Pure in
+/// (spec, plan, chips, i): results never depend on which worker runs it.
+void evaluate_point(const ScenarioSpec& spec, const PointPlan& plan,
+                    const std::vector<device::ChipSpec>& chips,
+                    core::LifecycleModel& model, std::size_t i, EvalPoint& point);
+
+/// The point kinds' `execute` hook: evaluate every point on the pool.
+void points_execute(const KindRunContext& context, const core::ModelSuite& suite,
+                    ScenarioResult& result);
+
+/// The point kinds' `plan_jobs` hook: one batch task per point, sharing
+/// the per-suite memoised model.
+[[nodiscard]] KindBatchPlan points_plan_jobs(const core::ModelSuite& suite,
+                                             ScenarioResult& result);
+
+// -- Monte-Carlo reduction (montecarlo / fleet) ------------------------------------
+
+/// Serial reduction over the filled sample matrix (deterministic order).
+void reduce_montecarlo(MonteCarloUq& uq);
+
+// -- shared extraction / validation ------------------------------------------------
+
+/// The ASIC/FPGA testcase required by the testcase-shaped kinds.  Exactly
+/// two platforms: silently ignoring extras would let a user believe e.g.
+/// a GPU took part in a timeline that cannot model it.  The error names
+/// the actual platform list so a four-way spec fails with an actionable
+/// message instead of a bare arity complaint.
+[[nodiscard]] device::DomainTestcase testcase_of(const ScenarioResult& result,
+                                                 const std::string& kind_name);
+
+/// Reject an explicit application list for kinds parameterised by the
+/// homogeneous schedule fields only (timeline, breakeven, frontier,
+/// fleet), where silently dropping the list would be a trap.
+void require_homogeneous_schedule(const ScenarioSpec& spec);
+
+/// Validate `spec.montecarlo.distributions` (bounds, known Table 1 names,
+/// no duplicates) for every kind that samples them.
+void validate_spec_distributions(const ScenarioSpec& spec);
+
+// -- result JSON helpers -----------------------------------------------------------
+
+[[nodiscard]] io::Json doubles_to_json(const std::vector<double>& values);
+[[nodiscard]] std::vector<double> doubles_from_json(const io::Json& json);
+
+// -- frame helpers -----------------------------------------------------------------
+
+/// Ratio column label of platform `index` over the baseline.
+[[nodiscard]] std::string ratio_label(const ScenarioResult& result, std::size_t index);
+
+/// Shared frame for the point-evaluating kinds: one row per point, axis
+/// coordinates first, then per-platform totals, then baseline ratios.
+[[nodiscard]] report::ResultFrame points_frame(const ScenarioResult& result,
+                                               const std::string& name);
+
+/// The uncertainty summary frame over `result.uncertainty` (montecarlo
+/// kind, and fleet with Monte-Carlo samples).
+[[nodiscard]] report::ResultFrame uncertainty_frame(const ScenarioResult& result);
+
+// -- spec-parse helpers ------------------------------------------------------------
+
+/// Named-field numeric reads: a type-mismatched value raises io::JsonError
+/// without saying *which* field was bad, so wrap the access and rethrow as
+/// ConfigError naming the enclosing context and key (surfaced verbatim by
+/// `greenfpga run` together with the spec path).
+[[nodiscard]] double number_field(const io::Json& json, const std::string& context,
+                                  std::string_view key);
+[[nodiscard]] double number_field_or(const io::Json& json, const std::string& context,
+                                     std::string_view key, double fallback);
+
+/// int_field_or with the same context-prefixed errors as number_field, so
+/// integer fields (samples, seed, count) report their section too.
+[[nodiscard]] std::int64_t int_field_ctx(const io::Json& json, const std::string& context,
+                                         std::string_view key, std::int64_t fallback,
+                                         std::int64_t lo, std::int64_t hi);
+
+}  // namespace greenfpga::scenario::kinds
+
+#endif  // GREENFPGA_SCENARIO_KINDS_COMMON_HPP

@@ -1,0 +1,26 @@
+#ifndef GREENFPGA_SCENARIO_KINDS_MODULES_HPP
+#define GREENFPGA_SCENARIO_KINDS_MODULES_HPP
+
+/// \file modules.hpp
+/// The per-kind module accessors the registry assembles.  Each returns a
+/// function-local static (safe against static-initialisation order); the
+/// definitions live in the sibling <kind>.cpp files.
+
+#include "scenario/kind_registry.hpp"
+
+namespace greenfpga::scenario::kinds {
+
+[[nodiscard]] const KindModule& compare_module();
+[[nodiscard]] const KindModule& sweep_module();
+[[nodiscard]] const KindModule& grid_module();
+[[nodiscard]] const KindModule& timeline_module();
+[[nodiscard]] const KindModule& node_dse_module();
+[[nodiscard]] const KindModule& breakeven_module();
+[[nodiscard]] const KindModule& sensitivity_module();
+[[nodiscard]] const KindModule& montecarlo_module();
+[[nodiscard]] const KindModule& frontier_module();
+[[nodiscard]] const KindModule& fleet_module();
+
+}  // namespace greenfpga::scenario::kinds
+
+#endif  // GREENFPGA_SCENARIO_KINDS_MODULES_HPP

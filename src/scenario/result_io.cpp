@@ -1,17 +1,17 @@
 /// \file result_io.cpp
-/// Canonical result JSON (total, byte-identical round-trip) and the
-/// per-kind frame lowerings.
+/// Canonical result JSON (total, byte-identical round-trip).  The common
+/// envelope -- spec and resolved platforms -- lives here; every kind
+/// section is owned by its registry module, and both directions simply
+/// iterate the registry (sections are presence-gated, and the sorted
+/// canonical object makes emission order irrelevant to the bytes).
 
 #include "scenario/result_io.hpp"
 
-#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "core/config_io.hpp"
-#include "report/figure_writer.hpp"
-#include "units/format.hpp"
-#include "units/units.hpp"
+#include "scenario/kind_registry.hpp"
 
 namespace greenfpga::scenario {
 
@@ -22,354 +22,30 @@ using report::Cell;
 using report::Column;
 using report::ResultFrame;
 
-constexpr double kKgPerTonne = 1000.0;
-
-Json doubles_to_json(const std::vector<double>& values) {
-  Json out = Json::array();
-  for (const double v : values) {
-    out.push_back(v);
-  }
-  return out;
-}
-
-std::vector<double> doubles_from_json(const Json& json) {
-  std::vector<double> out;
-  out.reserve(json.size());
-  for (const Json& v : json.as_array()) {
-    // Total read: the canonical writer encodes non-finite cells as
-    // string sentinels, and result payloads may legitimately carry them
-    // (a zero-baseline ratio, an unbounded solve).
-    out.push_back(v.as_number_total());
-  }
-  return out;
-}
-
-Json stat_to_json(const UqStat& stat) {
-  Json out = Json::object();
-  out["mean"] = stat.mean;
-  out["stddev"] = stat.stddev;
-  out["percentile_values"] = doubles_to_json(stat.percentile_values);
-  return out;
-}
-
-UqStat stat_from_json(const Json& json) {
-  UqStat stat;
-  stat.mean = json.at("mean").as_number_total();
-  stat.stddev = json.at("stddev").as_number_total();
-  stat.percentile_values = doubles_from_json(json.at("percentile_values"));
-  return stat;
-}
-
-/// Ratio column label of platform `index` over the baseline.
-std::string ratio_label(const ScenarioResult& result, std::size_t index) {
-  return result.platform_names[index] + ":" + result.platform_names[0];
-}
-
-/// Shared frame for the point-evaluating kinds: one row per point, axis
-/// coordinates first, then per-platform totals, then baseline ratios.
-ResultFrame points_frame(const ScenarioResult& result, const std::string& name) {
-  ResultFrame frame;
-  frame.name = name;
-  for (const AxisSpec& axis : result.spec.axes) {
-    frame.columns.push_back(Column{.name = axis.label(), .unit = "", .precision = 4});
-  }
-  for (const std::string& platform : result.platform_names) {
-    frame.columns.push_back(Column{.name = platform, .unit = "t CO2e", .precision = 5});
-  }
-  for (std::size_t i = 1; i < result.platform_names.size(); ++i) {
-    frame.columns.push_back(Column{.name = ratio_label(result, i), .unit = "",
-                                   .precision = 4});
-  }
-  for (const EvalPoint& point : result.points) {
-    std::vector<Cell> row;
-    row.reserve(frame.columns.size());
-    for (const double c : point.coords) {
-      row.emplace_back(c);
+/// check_known_keys over the registry-derived key set: the envelope keys
+/// plus every module's result sections.  Runtime-built because the
+/// registry owns the per-kind vocabulary.
+void check_result_keys(const Json& json) {
+  for (const auto& [key, value] : json.as_object()) {
+    bool known = key == "spec" || key == "platforms";
+    for (const KindModule* module : all_kind_modules()) {
+      for (const std::string_view candidate : module->result_keys) {
+        if (key == candidate) {
+          known = true;
+          break;
+        }
+      }
+      if (known) {
+        break;
+      }
     }
-    for (const core::PlatformCfp& platform : point.platforms) {
-      row.emplace_back(platform.total.total().in(units::unit::t_co2e));
-    }
-    for (std::size_t i = 1; i < point.platforms.size(); ++i) {
-      row.emplace_back(point.ratio(i));
-    }
-    frame.add_row(std::move(row));
-  }
-  return frame;
-}
-
-/// Breakdown-component frame of a compare result: the shared
-/// `report::breakdown_frame` layout (one row per platform, one component
-/// column each) plus a baseline-ratio column, so compare and `industry`
-/// speak identical column names.
-ResultFrame compare_frame(const ScenarioResult& result) {
-  const EvalPoint& point = result.points.front();
-  std::vector<std::pair<std::string, core::CfpBreakdown>> rows;
-  rows.reserve(point.platforms.size());
-  for (std::size_t i = 0; i < point.platforms.size(); ++i) {
-    rows.emplace_back(result.platform_names[i], point.platforms[i].total);
-  }
-  ResultFrame frame = report::breakdown_frame("platforms", rows);
-  frame.columns.push_back(Column{.name = "vs " + result.platform_names[0], .unit = "",
-                                 .precision = 4});
-  for (std::size_t i = 0; i < frame.rows.size(); ++i) {
-    frame.rows[i].emplace_back(point.ratio(i));
-  }
-  for (std::size_t i = 1; i < result.platform_names.size(); ++i) {
-    frame.set_meta(ratio_label(result, i) + " ratio",
-                   units::format_significant(point.ratio(i), 4));
-  }
-  return frame;
-}
-
-ResultFrame sweep_frame(const ScenarioResult& result) {
-  ResultFrame frame = points_frame(result, "sweep");
-  if (result.platform_index(device::ChipKind::asic) &&
-      result.platform_index(device::ChipKind::fpga) &&
-      result.platform_names.size() == 2) {
-    frame.set_meta("crossovers", report::crossover_summary(result.sweep_series()));
-  }
-  return frame;
-}
-
-ResultFrame grid_frame(const ScenarioResult& result) {
-  ResultFrame frame = points_frame(result, "grid");
-  if (result.platform_index(device::ChipKind::asic) &&
-      result.platform_index(device::ChipKind::fpga) &&
-      result.platform_names.size() == 2) {
-    const Heatmap map = result.heatmap();
-    frame.set_meta("ratio range",
-                   "[" + units::format_significant(map.min_ratio(), 4) + ", " +
-                       units::format_significant(map.max_ratio(), 4) + "]");
-    frame.set_meta("unity-contour points", std::to_string(map.unity_contour().size()));
-  }
-  return frame;
-}
-
-ResultFrame timeline_frame(const ScenarioResult& result) {
-  const TimelineSeries& series = *result.timeline;
-  ResultFrame frame;
-  frame.name = "timeline";
-  frame.columns = {Column{.name = "time", .unit = "years", .precision = 4},
-                   Column{.name = "ASIC cumulative", .unit = "kg CO2e", .precision = 5},
-                   Column{.name = "FPGA cumulative", .unit = "kg CO2e", .precision = 5}};
-  for (std::size_t i = 0; i < series.time_years.size(); ++i) {
-    frame.add_row({Cell(series.time_years[i]), Cell(series.asic_cumulative_kg[i]),
-                   Cell(series.fpga_cumulative_kg[i])});
-  }
-  frame.set_meta("horizon",
-                 units::format_significant(series.time_years.back(), 4) + " years");
-  frame.set_meta("FPGA fleet purchases", std::to_string(series.fpga_purchase_years.size()));
-  frame.set_meta(
-      "final cumulative",
-      "ASIC " +
-          units::format_significant(series.asic_cumulative_kg.back() / kKgPerTonne, 5) +
-          " t CO2e, FPGA " +
-          units::format_significant(series.fpga_cumulative_kg.back() / kKgPerTonne, 5) +
-          " t CO2e");
-  std::string crossovers;
-  for (const Crossover& crossover : series.crossovers()) {
-    crossovers += (crossovers.empty() ? "" : "; ") + to_string(crossover.kind) + " at " +
-                  units::format_significant(crossover.x, 4) + " y";
-  }
-  frame.set_meta("crossovers", crossovers.empty() ? "none" : crossovers);
-  return frame;
-}
-
-ResultFrame nodes_frame(const ScenarioResult& result) {
-  ResultFrame frame;
-  frame.name = "nodes";
-  frame.columns = {Column{.name = "rank", .unit = "", .precision = 4},
-                   Column{.name = "node", .unit = "", .precision = 4},
-                   Column{.name = "die area", .unit = "mm^2", .precision = 4},
-                   Column{.name = "peak power", .unit = "W", .precision = 4},
-                   Column{.name = "total", .unit = "t CO2e", .precision = 5},
-                   Column{.name = "vs best", .unit = "", .precision = 4}};
-  double rank = 1.0;
-  for (const NodeCandidate& candidate : result.candidates) {
-    frame.add_row({Cell(rank), Cell(tech::to_string(candidate.chip.node)),
-                   Cell(candidate.chip.die_area.in(units::unit::mm2)),
-                   Cell(candidate.chip.peak_power.in(units::unit::w)),
-                   Cell(candidate.total().in(units::unit::t_co2e)),
-                   Cell(candidate.total_vs_best)});
-    rank += 1.0;
-  }
-  return frame;
-}
-
-ResultFrame breakeven_frame(const ScenarioResult& result) {
-  const BreakevenReport& report = *result.breakeven;
-  ResultFrame frame;
-  frame.name = "breakeven";
-  frame.columns = {Column{.name = "variable", .unit = "", .precision = 4},
-                   Column{.name = "requested", .unit = "", .precision = 4},
-                   Column{.name = "breakeven", .unit = "", .precision = 4}};
-  const auto row = [&frame](const char* variable, bool requested,
-                            const std::optional<double>& value) {
-    frame.add_row({Cell(std::string(variable)),
-                   Cell(std::string(requested ? "yes" : "no")),
-                   value ? Cell(*value) : Cell(nullptr)});
-  };
-  row("N_app", result.spec.breakeven.solve_app_count, report.app_count);
-  row("T_i [years]", result.spec.breakeven.solve_lifetime, report.lifetime_years);
-  row("N_vol [units]", result.spec.breakeven.solve_volume, report.volume);
-  return frame;
-}
-
-ResultFrame tornado_frame(const ScenarioResult& result) {
-  ResultFrame frame;
-  frame.name = "tornado";
-  frame.columns = {Column{.name = "parameter", .unit = "", .precision = 4},
-                   Column{.name = "ratio at low", .unit = "", .precision = 4},
-                   Column{.name = "ratio at high", .unit = "", .precision = 4},
-                   Column{.name = "swing", .unit = "", .precision = 4}};
-  for (const TornadoEntry& entry : result.tornado) {
-    frame.add_row({Cell(entry.name), Cell(entry.ratio_at_low), Cell(entry.ratio_at_high),
-                   Cell(entry.swing())});
-  }
-  return frame;
-}
-
-ResultFrame sensitivity_mc_frame(const ScenarioResult& result) {
-  const MonteCarloResult& mc = *result.monte_carlo;
-  ResultFrame frame;
-  frame.name = "montecarlo_summary";
-  frame.columns = {Column{.name = "samples", .unit = "", .precision = 6},
-                   Column{.name = "mean ratio", .unit = "", .precision = 4},
-                   Column{.name = "stddev", .unit = "", .precision = 4},
-                   Column{.name = "p05", .unit = "", .precision = 4},
-                   Column{.name = "p50", .unit = "", .precision = 4},
-                   Column{.name = "p95", .unit = "", .precision = 4},
-                   Column{.name = "FPGA win fraction", .unit = "", .precision = 4}};
-  frame.add_row({Cell(static_cast<double>(mc.samples)), Cell(mc.mean), Cell(mc.stddev),
-                 Cell(mc.p05), Cell(mc.p50), Cell(mc.p95), Cell(mc.fpga_win_fraction)});
-  return frame;
-}
-
-ResultFrame uncertainty_frame(const ScenarioResult& result) {
-  const MonteCarloUq& uq = *result.uncertainty;
-  ResultFrame frame;
-  frame.name = "uncertainty";
-  frame.columns = {Column{.name = "metric", .unit = "", .precision = 5},
-                   Column{.name = "mean", .unit = "", .precision = 5},
-                   Column{.name = "stddev", .unit = "", .precision = 5}};
-  for (const double p : uq.percentiles) {
-    frame.columns.push_back(Column{.name = "p" + units::format_significant(p, 4),
-                                   .unit = "", .precision = 5});
-  }
-  const auto add_stat = [&frame](const std::string& metric, const UqStat& stat,
-                                 double scale) {
-    std::vector<Cell> row{Cell(metric), Cell(stat.mean * scale),
-                          Cell(stat.stddev * scale)};
-    for (const double v : stat.percentile_values) {
-      row.emplace_back(v * scale);
-    }
-    frame.add_row(std::move(row));
-  };
-  for (std::size_t p = 0; p < uq.platform_total.size(); ++p) {
-    add_stat(result.platform_names[p] + " [t CO2e]", uq.platform_total[p],
-             1.0 / kKgPerTonne);
-  }
-  for (std::size_t k = 0; k < uq.ratio.size(); ++k) {
-    add_stat(ratio_label(result, k + 1) + " ratio", uq.ratio[k], 1.0);
-  }
-  frame.set_meta("Monte-Carlo",
-                 std::to_string(uq.samples) + " samples, seed " +
-                     std::to_string(result.spec.montecarlo.seed) + ", " +
-                     std::to_string(result.spec.montecarlo.distributions.size()) +
-                     " uncertain parameter(s)");
-  for (std::size_t k = 0; k < uq.win_fraction.size(); ++k) {
-    frame.set_meta(ratio_label(result, k + 1) + " verdict",
-                   result.platform_names[k + 1] + " beats " + result.platform_names[0] +
-                       " in " +
-                       units::format_significant(100.0 * uq.win_fraction[k], 4) +
-                       " % of samples");
-  }
-  return frame;
-}
-
-/// One row per frontier cell: coordinates, per-platform objectives, the
-/// winner and its margin, plus the Monte-Carlo win confidence.
-ResultFrame frontier_cells_frame(const ScenarioResult& result) {
-  const dse::FrontierResult& frontier = *result.frontier;
-  ResultFrame frame;
-  frame.name = "frontier";
-  for (const dse::FrontierAxisSpec& axis : frontier.spec.axes) {
-    frame.columns.push_back(Column{.name = axis.label(), .unit = "", .precision = 4});
-  }
-  for (const std::string& platform : result.platform_names) {
-    frame.columns.push_back(Column{.name = platform, .unit = "t CO2e", .precision = 5});
-  }
-  frame.columns.push_back(Column{.name = "winner", .unit = "", .precision = 4});
-  frame.columns.push_back(Column{.name = "margin", .unit = "", .precision = 4});
-  frame.columns.push_back(Column{.name = "confidence", .unit = "", .precision = 4});
-  for (const dse::FrontierCell& cell : frontier.cells) {
-    std::vector<Cell> row;
-    row.reserve(frame.columns.size());
-    for (const double c : cell.coords) {
-      row.emplace_back(c);
-    }
-    for (const double objective : cell.objective_kg) {
-      row.emplace_back(objective / kKgPerTonne);
-    }
-    row.emplace_back(cell.winner >= 0
-                         ? result.platform_names[static_cast<std::size_t>(cell.winner)]
-                         : std::string("-"));
-    row.emplace_back(cell.margin);
-    row.emplace_back(cell.confidence);
-    frame.add_row(std::move(row));
-  }
-  frame.set_meta("objective", to_string(frontier.spec.objective));
-  if (frontier.confidence_samples > 0) {
-    frame.set_meta("confidence",
-                   std::to_string(frontier.confidence_samples) + " samples, seed " +
-                       std::to_string(frontier.spec.seed));
-  }
-  return frame;
-}
-
-/// One row per platform: its win count and overall win fraction.
-ResultFrame frontier_summary_frame(const ScenarioResult& result) {
-  const dse::FrontierResult& frontier = *result.frontier;
-  ResultFrame frame;
-  frame.name = "frontier_summary";
-  frame.columns = {Column{.name = "platform", .unit = "", .precision = 4},
-                   Column{.name = "cells won", .unit = "", .precision = 6},
-                   Column{.name = "win fraction", .unit = "", .precision = 4}};
-  for (std::size_t p = 0; p < result.platform_names.size(); ++p) {
-    frame.add_row({Cell(result.platform_names[p]),
-                   Cell(static_cast<double>(frontier.win_counts[p])),
-                   Cell(frontier.win_fraction[p])});
-  }
-  if (frontier.infeasible_cells > 0) {
-    frame.set_meta("infeasible cells", std::to_string(frontier.infeasible_cells));
-  }
-  return frame;
-}
-
-/// One row per breakeven boundary point (2-axis frontiers only).
-ResultFrame frontier_boundaries_frame(const ScenarioResult& result) {
-  const dse::FrontierResult& frontier = *result.frontier;
-  ResultFrame frame;
-  frame.name = "frontier_boundaries";
-  frame.columns = {Column{.name = "between", .unit = "", .precision = 4},
-                   Column{.name = frontier.spec.axes[0].label(), .unit = "",
-                          .precision = 5},
-                   Column{.name = frontier.spec.axes[1].label(), .unit = "",
-                          .precision = 5}};
-  for (const dse::FrontierBoundary& boundary : frontier.boundaries) {
-    const std::string pair =
-        result.platform_names[static_cast<std::size_t>(boundary.platform_a)] + "|" +
-        result.platform_names[static_cast<std::size_t>(boundary.platform_b)];
-    for (const std::array<double, 2>& point : boundary.points) {
-      frame.add_row({Cell(pair), Cell(point[0]), Cell(point[1])});
+    if (!known) {
+      throw core::ConfigError("unknown key \"" + key + "\" in scenario result");
     }
   }
-  return frame;
 }
 
 }  // namespace
-
-// -- JSON -----------------------------------------------------------------------
 
 Json result_to_json(const ScenarioResult& result) {
   Json out = Json::object();
@@ -382,167 +58,16 @@ Json result_to_json(const ScenarioResult& result) {
     platforms.push_back(std::move(entry));
   }
   out["platforms"] = std::move(platforms);
-  if (!result.points.empty()) {
-    Json points = Json::array();
-    for (const EvalPoint& point : result.points) {
-      Json entry = Json::object();
-      entry["coords"] = doubles_to_json(point.coords);
-      Json evaluated = Json::array();
-      for (const core::PlatformCfp& platform : point.platforms) {
-        evaluated.push_back(core::to_json(platform));
-      }
-      entry["platforms"] = std::move(evaluated);
-      points.push_back(std::move(entry));
+  for (const KindModule* module : all_kind_modules()) {
+    if (module->result_to_json != nullptr) {
+      module->result_to_json(result, out);
     }
-    out["points"] = std::move(points);
-  }
-  if (result.timeline) {
-    Json timeline = Json::object();
-    timeline["time_years"] = doubles_to_json(result.timeline->time_years);
-    timeline["asic_cumulative_kg"] = doubles_to_json(result.timeline->asic_cumulative_kg);
-    timeline["fpga_cumulative_kg"] = doubles_to_json(result.timeline->fpga_cumulative_kg);
-    timeline["fpga_purchase_years"] =
-        doubles_to_json(result.timeline->fpga_purchase_years);
-    out["timeline"] = std::move(timeline);
-  }
-  if (!result.candidates.empty()) {
-    Json candidates = Json::array();
-    for (const NodeCandidate& candidate : result.candidates) {
-      Json entry = Json::object();
-      entry["chip"] = core::to_json(candidate.chip);
-      entry["lifecycle"] = core::to_json(candidate.lifecycle);
-      entry["total_vs_best"] = candidate.total_vs_best;
-      candidates.push_back(std::move(entry));
-    }
-    out["candidates"] = std::move(candidates);
-  }
-  if (!result.tornado.empty()) {
-    Json tornado = Json::array();
-    for (const TornadoEntry& entry : result.tornado) {
-      Json row = Json::object();
-      row["name"] = entry.name;
-      row["ratio_at_low"] = entry.ratio_at_low;
-      row["ratio_at_high"] = entry.ratio_at_high;
-      row["swing"] = entry.swing();
-      tornado.push_back(std::move(row));
-    }
-    out["tornado"] = std::move(tornado);
-  }
-  if (result.monte_carlo) {
-    Json mc = Json::object();
-    mc["samples"] = result.monte_carlo->samples;
-    mc["mean"] = result.monte_carlo->mean;
-    mc["stddev"] = result.monte_carlo->stddev;
-    mc["p05"] = result.monte_carlo->p05;
-    mc["p50"] = result.monte_carlo->p50;
-    mc["p95"] = result.monte_carlo->p95;
-    mc["fpga_win_fraction"] = result.monte_carlo->fpga_win_fraction;
-    out["monte_carlo"] = std::move(mc);
-  }
-  if (result.uncertainty) {
-    const MonteCarloUq& uq = *result.uncertainty;
-    Json mc = Json::object();
-    mc["samples"] = uq.samples;
-    mc["percentiles"] = doubles_to_json(uq.percentiles);
-    Json totals = Json::array();
-    for (const UqStat& stat : uq.platform_total) {
-      totals.push_back(stat_to_json(stat));
-    }
-    mc["platform_total"] = std::move(totals);
-    Json ratios = Json::array();
-    for (const UqStat& stat : uq.ratio) {
-      ratios.push_back(stat_to_json(stat));
-    }
-    mc["ratio"] = std::move(ratios);
-    mc["win_fraction"] = doubles_to_json(uq.win_fraction);
-    Json samples = Json::array();
-    for (const std::vector<double>& platform : uq.sample_totals_kg) {
-      samples.push_back(doubles_to_json(platform));
-    }
-    mc["sample_totals_kg"] = std::move(samples);
-    out["uncertainty"] = std::move(mc);
-  }
-  if (result.frontier) {
-    // The payload's spec and platform names are the result's own (the
-    // engine builds the problem from them), so only the search output is
-    // serialized; the reader reconstructs the rest.
-    const dse::FrontierResult& fr = *result.frontier;
-    Json frontier = Json::object();
-    Json axes = Json::array();
-    for (const std::vector<double>& values : fr.axis_values) {
-      axes.push_back(doubles_to_json(values));
-    }
-    frontier["axis_values"] = std::move(axes);
-    Json cells = Json::array();
-    for (const dse::FrontierCell& cell : fr.cells) {
-      Json entry = Json::object();
-      entry["coords"] = doubles_to_json(cell.coords);
-      entry["objective_kg"] = doubles_to_json(cell.objective_kg);
-      entry["winner"] = cell.winner;
-      entry["margin"] = cell.margin;
-      entry["confidence"] = cell.confidence;
-      cells.push_back(std::move(entry));
-    }
-    frontier["cells"] = std::move(cells);
-    Json wins = Json::array();
-    for (const std::size_t count : fr.win_counts) {
-      wins.push_back(static_cast<int>(count));
-    }
-    frontier["win_counts"] = std::move(wins);
-    frontier["win_fraction"] = doubles_to_json(fr.win_fraction);
-    frontier["infeasible_cells"] = static_cast<int>(fr.infeasible_cells);
-    Json slices = Json::array();
-    for (const dse::FrontierSlice& slice : fr.slices) {
-      Json entry = Json::object();
-      entry["axis"] = static_cast<int>(slice.axis);
-      entry["value"] = slice.value;
-      entry["win_fraction"] = doubles_to_json(slice.win_fraction);
-      slices.push_back(std::move(entry));
-    }
-    frontier["slices"] = std::move(slices);
-    Json boundaries = Json::array();
-    for (const dse::FrontierBoundary& boundary : fr.boundaries) {
-      Json entry = Json::object();
-      entry["platform_a"] = boundary.platform_a;
-      entry["platform_b"] = boundary.platform_b;
-      Json points = Json::array();
-      for (const std::array<double, 2>& point : boundary.points) {
-        Json pt = Json::array();
-        pt.push_back(point[0]);
-        pt.push_back(point[1]);
-        points.push_back(std::move(pt));
-      }
-      entry["points"] = std::move(points);
-      boundaries.push_back(std::move(entry));
-    }
-    frontier["boundaries"] = std::move(boundaries);
-    frontier["confidence_samples"] = fr.confidence_samples;
-    out["frontier"] = std::move(frontier);
-  }
-  if (result.breakeven) {
-    // Requested solves always emit their key (null = no crossover);
-    // unrequested solves omit it, so consumers can tell the states apart.
-    Json breakeven = Json::object();
-    const auto emit = [&breakeven](bool requested, const char* key,
-                                   const std::optional<double>& value) {
-      if (requested) {
-        breakeven[key] = value ? Json(*value) : Json(nullptr);
-      }
-    };
-    emit(result.spec.breakeven.solve_app_count, "app_count", result.breakeven->app_count);
-    emit(result.spec.breakeven.solve_lifetime, "lifetime_years",
-         result.breakeven->lifetime_years);
-    emit(result.spec.breakeven.solve_volume, "volume", result.breakeven->volume);
-    out["breakeven"] = std::move(breakeven);
   }
   return out;
 }
 
 ScenarioResult result_from_json(const Json& json) {
-  core::check_known_keys(json, "scenario result",
-                         {"spec", "platforms", "points", "timeline", "candidates",
-                          "tornado", "monte_carlo", "uncertainty", "frontier",
-                          "breakeven"});
+  check_result_keys(json);
   ScenarioResult result;
   result.spec = spec_from_json(json.at("spec"));
   for (const Json& entry : json.at("platforms").as_array()) {
@@ -550,160 +75,10 @@ ScenarioResult result_from_json(const Json& json) {
     result.platform_names.push_back(entry.at("name").as_string());
     result.resolved_chips.push_back(core::chip_from_json(entry.at("chip")));
   }
-  if (json.contains("points")) {
-    for (const Json& entry : json.at("points").as_array()) {
-      core::check_known_keys(entry, "result point", {"coords", "platforms"});
-      EvalPoint point;
-      point.coords = doubles_from_json(entry.at("coords"));
-      for (const Json& platform : entry.at("platforms").as_array()) {
-        point.platforms.push_back(core::platform_cfp_from_json(platform));
-      }
-      result.points.push_back(std::move(point));
+  for (const KindModule* module : all_kind_modules()) {
+    if (module->result_from_json != nullptr) {
+      module->result_from_json(json, result);
     }
-  }
-  if (json.contains("timeline")) {
-    const Json& timeline = json.at("timeline");
-    core::check_known_keys(timeline, "result timeline",
-                           {"time_years", "asic_cumulative_kg", "fpga_cumulative_kg",
-                            "fpga_purchase_years"});
-    TimelineSeries series;
-    series.time_years = doubles_from_json(timeline.at("time_years"));
-    series.asic_cumulative_kg = doubles_from_json(timeline.at("asic_cumulative_kg"));
-    series.fpga_cumulative_kg = doubles_from_json(timeline.at("fpga_cumulative_kg"));
-    series.fpga_purchase_years = doubles_from_json(timeline.at("fpga_purchase_years"));
-    result.timeline = std::move(series);
-  }
-  if (json.contains("candidates")) {
-    for (const Json& entry : json.at("candidates").as_array()) {
-      core::check_known_keys(entry, "result candidate",
-                             {"chip", "lifecycle", "total_vs_best"});
-      NodeCandidate candidate;
-      candidate.chip = core::chip_from_json(entry.at("chip"));
-      candidate.lifecycle = core::breakdown_from_json(entry.at("lifecycle"));
-      candidate.total_vs_best = entry.at("total_vs_best").as_number_total();
-      result.candidates.push_back(std::move(candidate));
-    }
-  }
-  if (json.contains("tornado")) {
-    for (const Json& entry : json.at("tornado").as_array()) {
-      core::check_known_keys(entry, "result tornado entry",
-                             {"name", "ratio_at_low", "ratio_at_high", "swing"});
-      TornadoEntry tornado;
-      tornado.name = entry.at("name").as_string();
-      tornado.ratio_at_low = entry.at("ratio_at_low").as_number_total();
-      tornado.ratio_at_high = entry.at("ratio_at_high").as_number_total();
-      result.tornado.push_back(std::move(tornado));
-    }
-  }
-  if (json.contains("monte_carlo")) {
-    const Json& mc = json.at("monte_carlo");
-    core::check_known_keys(mc, "result monte_carlo",
-                           {"samples", "mean", "stddev", "p05", "p50", "p95",
-                            "fpga_win_fraction"});
-    MonteCarloResult summary;
-    summary.samples = static_cast<int>(mc.at("samples").as_int());
-    summary.mean = mc.at("mean").as_number_total();
-    summary.stddev = mc.at("stddev").as_number_total();
-    summary.p05 = mc.at("p05").as_number_total();
-    summary.p50 = mc.at("p50").as_number_total();
-    summary.p95 = mc.at("p95").as_number_total();
-    summary.fpga_win_fraction = mc.at("fpga_win_fraction").as_number_total();
-    result.monte_carlo = summary;
-  }
-  if (json.contains("uncertainty")) {
-    const Json& mc = json.at("uncertainty");
-    core::check_known_keys(mc, "result uncertainty",
-                           {"samples", "percentiles", "platform_total", "ratio",
-                            "win_fraction", "sample_totals_kg"});
-    MonteCarloUq uq;
-    uq.samples = static_cast<int>(mc.at("samples").as_int());
-    uq.percentiles = doubles_from_json(mc.at("percentiles"));
-    for (const Json& stat : mc.at("platform_total").as_array()) {
-      uq.platform_total.push_back(stat_from_json(stat));
-    }
-    for (const Json& stat : mc.at("ratio").as_array()) {
-      uq.ratio.push_back(stat_from_json(stat));
-    }
-    uq.win_fraction = doubles_from_json(mc.at("win_fraction"));
-    for (const Json& platform : mc.at("sample_totals_kg").as_array()) {
-      uq.sample_totals_kg.push_back(doubles_from_json(platform));
-    }
-    result.uncertainty = std::move(uq);
-  }
-  if (json.contains("frontier")) {
-    const Json& frontier = json.at("frontier");
-    core::check_known_keys(frontier, "result frontier",
-                           {"axis_values", "cells", "win_counts", "win_fraction",
-                            "infeasible_cells", "slices", "boundaries",
-                            "confidence_samples"});
-    dse::FrontierResult fr;
-    fr.spec = result.spec.frontier;
-    fr.platform_names = result.platform_names;
-    for (const Json& values : frontier.at("axis_values").as_array()) {
-      fr.axis_values.push_back(doubles_from_json(values));
-    }
-    for (const Json& entry : frontier.at("cells").as_array()) {
-      core::check_known_keys(entry, "result frontier cell",
-                             {"coords", "objective_kg", "winner", "margin",
-                              "confidence"});
-      dse::FrontierCell cell;
-      cell.coords = doubles_from_json(entry.at("coords"));
-      cell.objective_kg = doubles_from_json(entry.at("objective_kg"));
-      cell.winner = static_cast<int>(entry.at("winner").as_int());
-      cell.margin = entry.at("margin").as_number_total();
-      cell.confidence = entry.at("confidence").as_number_total();
-      fr.cells.push_back(std::move(cell));
-    }
-    for (const Json& count : frontier.at("win_counts").as_array()) {
-      fr.win_counts.push_back(static_cast<std::size_t>(count.as_int()));
-    }
-    fr.win_fraction = doubles_from_json(frontier.at("win_fraction"));
-    fr.infeasible_cells =
-        static_cast<std::size_t>(frontier.at("infeasible_cells").as_int());
-    for (const Json& entry : frontier.at("slices").as_array()) {
-      core::check_known_keys(entry, "result frontier slice",
-                             {"axis", "value", "win_fraction"});
-      dse::FrontierSlice slice;
-      slice.axis = static_cast<std::size_t>(entry.at("axis").as_int());
-      slice.value = entry.at("value").as_number_total();
-      slice.win_fraction = doubles_from_json(entry.at("win_fraction"));
-      fr.slices.push_back(std::move(slice));
-    }
-    for (const Json& entry : frontier.at("boundaries").as_array()) {
-      core::check_known_keys(entry, "result frontier boundary",
-                             {"platform_a", "platform_b", "points"});
-      dse::FrontierBoundary boundary;
-      boundary.platform_a = static_cast<int>(entry.at("platform_a").as_int());
-      boundary.platform_b = static_cast<int>(entry.at("platform_b").as_int());
-      for (const Json& point : entry.at("points").as_array()) {
-        const std::vector<double> xy = doubles_from_json(point);
-        if (xy.size() != 2) {
-          throw std::invalid_argument(
-              "result frontier boundary point needs exactly two coordinates");
-        }
-        boundary.points.push_back({xy[0], xy[1]});
-      }
-      fr.boundaries.push_back(std::move(boundary));
-    }
-    fr.confidence_samples =
-        static_cast<int>(frontier.at("confidence_samples").as_int());
-    result.frontier = std::move(fr);
-  }
-  if (json.contains("breakeven")) {
-    const Json& breakeven = json.at("breakeven");
-    core::check_known_keys(breakeven, "result breakeven",
-                           {"app_count", "lifetime_years", "volume"});
-    BreakevenReport report;
-    const auto read = [&breakeven](const char* key) -> std::optional<double> {
-      if (!breakeven.contains(key) || breakeven.at(key).is_null()) {
-        return std::nullopt;
-      }
-      return breakeven.at(key).as_number_total();
-    };
-    report.app_count = read("app_count");
-    report.lifetime_years = read("lifetime_years");
-    report.volume = read("volume");
-    result.breakeven = report;
   }
   return result;
 }
@@ -721,43 +96,9 @@ bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
 
 std::vector<report::ResultFrame> to_frames(const ScenarioResult& result) {
   std::vector<ResultFrame> frames;
-  switch (result.spec.kind) {
-    case ScenarioKind::compare:
-      frames.push_back(compare_frame(result));
-      break;
-    case ScenarioKind::sweep:
-      frames.push_back(sweep_frame(result));
-      break;
-    case ScenarioKind::grid:
-      frames.push_back(grid_frame(result));
-      break;
-    case ScenarioKind::timeline:
-      frames.push_back(timeline_frame(result));
-      break;
-    case ScenarioKind::node_dse:
-      frames.push_back(nodes_frame(result));
-      break;
-    case ScenarioKind::breakeven:
-      frames.push_back(breakeven_frame(result));
-      break;
-    case ScenarioKind::sensitivity:
-      if (!result.tornado.empty()) {
-        frames.push_back(tornado_frame(result));
-      }
-      if (result.monte_carlo) {
-        frames.push_back(sensitivity_mc_frame(result));
-      }
-      break;
-    case ScenarioKind::montecarlo:
-      frames.push_back(uncertainty_frame(result));
-      break;
-    case ScenarioKind::frontier:
-      frames.push_back(frontier_cells_frame(result));
-      frames.push_back(frontier_summary_frame(result));
-      if (!result.frontier->boundaries.empty()) {
-        frames.push_back(frontier_boundaries_frame(result));
-      }
-      break;
+  const KindModule& module = kind_module(result.spec.kind);
+  if (module.to_frames != nullptr) {
+    module.to_frames(result, frames);
   }
   return frames;
 }

@@ -1,13 +1,19 @@
 /// \file spec.cpp
 /// ScenarioSpec helpers, validation and canonical JSON round-trip.
+///
+/// Kind-specific behaviour (parameter sections, kind validation, seed
+/// defaults) lives in the per-kind modules under scenario/kinds/; this
+/// file owns only the common spec surface and derives the rest by
+/// iterating the registry.
 
 #include "scenario/spec.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "core/config_io.hpp"
+#include "scenario/kind_registry.hpp"
+#include "scenario/kinds/common.hpp"
 #include "scenario/sweep.hpp"
 #include "units/units.hpp"
 
@@ -16,11 +22,42 @@ namespace greenfpga::scenario {
 namespace {
 
 using io::Json;
+using kinds::int_field_ctx;
+using kinds::number_field;
+using kinds::number_field_or;
 
 /// Unknown-key guard, shared with the core config readers.
 void check_keys(const Json& json, const std::string& context,
                 std::initializer_list<std::string_view> allowed) {
   core::check_known_keys(json, context, allowed);
+}
+
+/// Top-level spec keys owned by the common layer; every other key must be
+/// claimed by some module's `spec_keys`.
+constexpr std::string_view kCommonSpecKeys[] = {
+    "name", "kind", "domain", "platforms", "suite",
+    "schedule", "axes", "grid_profile", "outputs"};
+
+/// check_known_keys against the registry-derived allowed set (the list is
+/// runtime-built, so replicate the same loop and error text).
+void check_spec_keys(const Json& json) {
+  std::vector<std::string_view> allowed(std::begin(kCommonSpecKeys),
+                                        std::end(kCommonSpecKeys));
+  for (const KindModule* module : all_kind_modules()) {
+    allowed.insert(allowed.end(), module->spec_keys.begin(), module->spec_keys.end());
+  }
+  for (const auto& [key, value] : json.as_object()) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw core::ConfigError("unknown key \"" + key + "\" in scenario spec");
+    }
+  }
 }
 
 std::string domain_token(device::Domain domain) {
@@ -45,42 +82,15 @@ device::Domain domain_from_token(const std::string& text) {
 }  // namespace
 
 std::string to_string(ScenarioKind kind) {
-  switch (kind) {
-    case ScenarioKind::compare:
-      return "compare";
-    case ScenarioKind::sweep:
-      return "sweep";
-    case ScenarioKind::grid:
-      return "grid";
-    case ScenarioKind::timeline:
-      return "timeline";
-    case ScenarioKind::node_dse:
-      return "node_dse";
-    case ScenarioKind::breakeven:
-      return "breakeven";
-    case ScenarioKind::sensitivity:
-      return "sensitivity";
-    case ScenarioKind::montecarlo:
-      return "montecarlo";
-    case ScenarioKind::frontier:
-      return "frontier";
-  }
-  return "unknown";
+  return std::string(kind_module(kind).name);
 }
 
 std::optional<ScenarioKind> parse_scenario_kind(std::string_view text) {
-  if (text == "compare") return ScenarioKind::compare;
-  if (text == "sweep") return ScenarioKind::sweep;
-  if (text == "grid" || text == "heatmap") return ScenarioKind::grid;
-  if (text == "timeline") return ScenarioKind::timeline;
-  if (text == "node_dse" || text == "nodes") return ScenarioKind::node_dse;
-  if (text == "breakeven") return ScenarioKind::breakeven;
-  if (text == "sensitivity") return ScenarioKind::sensitivity;
-  if (text == "montecarlo" || text == "monte_carlo" || text == "mc") {
-    return ScenarioKind::montecarlo;
+  const KindModule* module = find_kind_module(text);
+  if (module == nullptr) {
+    return std::nullopt;
   }
-  if (text == "frontier") return ScenarioKind::frontier;
-  return std::nullopt;
+  return module->kind;
 }
 
 std::string to_string(SweepVariable variable) {
@@ -197,39 +207,24 @@ ScenarioSpec ScenarioSpec::make(ScenarioKind kind, device::Domain domain) {
   spec.schedule.app_count = defaults.app_count;
   spec.schedule.lifetime_years = defaults.app_lifetime.in(units::unit::years);
   spec.schedule.volume = defaults.app_volume;
-  spec.sensitivity.ranges = table1_ranges();
-  spec.montecarlo.distributions = default_distributions();
-  // Frontier default: the paper's two headline deployment axes at a
-  // resolution that keeps `greenfpga frontier` on a minimal spec fast.
-  spec.frontier.axes = {
-      dse::FrontierAxisSpec::linear(dse::FrontierVariable::app_count, 1.0, 10.0, 10),
-      dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e4, 1e7, 10),
-  };
+  for (const KindModule* module : all_kind_modules()) {
+    if (module->seed_defaults != nullptr) {
+      module->seed_defaults(spec);
+    }
+  }
   return spec;
 }
 
 void ScenarioSpec::validate() const {
-  const std::size_t expected_axes = kind == ScenarioKind::sweep  ? 1
-                                    : kind == ScenarioKind::grid ? 2
-                                                                 : 0;
-  if (axes.size() != expected_axes) {
+  const KindModule& module = kind_module(kind);
+  if (axes.size() != module.expected_axes) {
     throw std::invalid_argument("ScenarioSpec '" + name + "': kind " + to_string(kind) +
-                                " needs exactly " + std::to_string(expected_axes) +
+                                " needs exactly " + std::to_string(module.expected_axes) +
                                 " axes, got " + std::to_string(axes.size()));
   }
   if (!axes.empty() && schedule.explicit_schedule) {
     throw std::invalid_argument("ScenarioSpec '" + name +
                                 "': axes cannot override an explicit schedule");
-  }
-  if (schedule.explicit_schedule &&
-      (kind == ScenarioKind::timeline || kind == ScenarioKind::breakeven)) {
-    // These kinds are parameterised by the homogeneous fields only (the
-    // timeline replays one repeating application; the solver's context is
-    // a fixed point); silently dropping an application list would be a
-    // trap.
-    throw std::invalid_argument("ScenarioSpec '" + name + "': kind " + to_string(kind) +
-                                " uses the homogeneous schedule fields, not an explicit "
-                                "application list");
   }
   for (const AxisSpec& axis : axes) {
     if (axis.scale == AxisScale::list) {
@@ -261,106 +256,14 @@ void ScenarioSpec::validate() const {
                                   "': platform names must be non-empty");
     }
   }
-  if (kind == ScenarioKind::sensitivity && sensitivity.run_monte_carlo &&
-      sensitivity.samples < 1) {
-    throw std::invalid_argument("ScenarioSpec '" + name +
-                                "': sensitivity needs at least one Monte-Carlo sample");
-  }
-  if (kind == ScenarioKind::timeline &&
-      (timeline.horizon_years <= 0.0 || timeline.step_years <= 0.0)) {
-    throw std::invalid_argument("ScenarioSpec '" + name +
-                                "': timeline horizon and step must be positive");
-  }
-  if (kind == ScenarioKind::frontier) {
-    if (schedule.explicit_schedule) {
-      throw std::invalid_argument("ScenarioSpec '" + name +
-                                  "': kind frontier uses the homogeneous schedule "
-                                  "fields, not an explicit application list");
-    }
-    try {
-      frontier.validate();
-    } catch (const std::invalid_argument& error) {
-      throw std::invalid_argument("ScenarioSpec '" + name + "': " + error.what());
-    }
-  }
-  // The frontier confidence pass samples the montecarlo distributions, so
-  // it needs them validated exactly like the montecarlo kind.
-  const bool needs_distributions =
-      kind == ScenarioKind::montecarlo ||
-      (kind == ScenarioKind::frontier && frontier.confidence_samples > 0);
-  if (kind == ScenarioKind::montecarlo) {
-    if (montecarlo.samples < 1) {
-      throw std::invalid_argument("ScenarioSpec '" + name +
-                                  "': montecarlo needs at least one sample");
-    }
-    double previous = -1.0;
-    for (const double p : montecarlo.percentiles) {
-      if (p < 0.0 || p > 100.0 || p <= previous) {
-        throw std::invalid_argument(
-            "ScenarioSpec '" + name +
-            "': montecarlo percentiles must be strictly increasing in [0, 100]");
-      }
-      previous = p;
-    }
-  }
-  if (needs_distributions) {
-    const std::vector<ParameterRange> known = table1_ranges();
-    std::vector<std::string_view> seen;
-    for (const core::ParamDistribution& distribution : montecarlo.distributions) {
-      distribution.validate();  // bounds/stddev/mode checks, names the parameter
-      const bool found =
-          std::any_of(known.begin(), known.end(), [&](const ParameterRange& range) {
-            return range.name == distribution.parameter;
-          });
-      if (!found) {
-        throw std::invalid_argument("ScenarioSpec '" + name +
-                                    "': unknown distribution parameter \"" +
-                                    distribution.parameter + "\" (see table1_ranges)");
-      }
-      // Duplicates would apply last-writer-wins per sample, silently
-      // dropping the earlier entry's uncertainty.
-      if (std::find(seen.begin(), seen.end(), distribution.parameter) != seen.end()) {
-        throw std::invalid_argument("ScenarioSpec '" + name +
-                                    "': duplicate distribution for parameter \"" +
-                                    distribution.parameter + "\"");
-      }
-      seen.push_back(distribution.parameter);
-    }
+  if (module.validate != nullptr) {
+    module.validate(*this);
   }
 }
 
 // -- JSON -----------------------------------------------------------------------
 
 namespace {
-
-/// Named-field numeric reads: a type-mismatched value raises io::JsonError
-/// without saying *which* field was bad, so wrap the access and rethrow as
-/// ConfigError naming the enclosing context and key (surfaced verbatim by
-/// `greenfpga run` together with the spec path).
-double number_field(const Json& json, const std::string& context, std::string_view key) {
-  try {
-    return json.at(key).as_number();
-  } catch (const io::JsonError& error) {
-    throw core::ConfigError(context + "." + std::string(key) + ": " + error.what());
-  }
-}
-
-double number_field_or(const Json& json, const std::string& context, std::string_view key,
-                       double fallback) {
-  return json.contains(key) ? number_field(json, context, key) : fallback;
-}
-
-/// int_field_or with the same context-prefixed errors as number_field, so
-/// integer fields (samples, seed, count) report their section too.
-std::int64_t int_field_ctx(const Json& json, const std::string& context,
-                           std::string_view key, std::int64_t fallback, std::int64_t lo,
-                           std::int64_t hi) {
-  try {
-    return core::int_field_or(json, key, fallback, lo, hi);
-  } catch (const core::ConfigError& error) {
-    throw core::ConfigError(context + "." + std::string(key) + ": " + error.what());
-  }
-}
 
 Json axis_to_json(const AxisSpec& axis) {
   Json out = Json::object();
@@ -469,200 +372,6 @@ ScheduleSpec schedule_spec_from_json(const Json& json, ScheduleSpec schedule) {
   return schedule;
 }
 
-Json sensitivity_to_json(const SensitivitySpec& sensitivity) {
-  Json out = Json::object();
-  out["run_tornado"] = sensitivity.run_tornado;
-  out["run_monte_carlo"] = sensitivity.run_monte_carlo;
-  out["samples"] = sensitivity.samples;
-  out["seed"] = static_cast<std::int64_t>(sensitivity.seed);
-  Json ranges = Json::array();
-  for (const ParameterRange& range : sensitivity.ranges) {
-    ranges.push_back(range.name);
-  }
-  out["ranges"] = std::move(ranges);
-  return out;
-}
-
-SensitivitySpec sensitivity_from_json(const Json& json, SensitivitySpec sensitivity) {
-  check_keys(json, "sensitivity",
-             {"run_tornado", "run_monte_carlo", "samples", "seed", "ranges"});
-  sensitivity.run_tornado = json.bool_or("run_tornado", sensitivity.run_tornado);
-  sensitivity.run_monte_carlo =
-      json.bool_or("run_monte_carlo", sensitivity.run_monte_carlo);
-  sensitivity.samples = static_cast<int>(
-      int_field_ctx(json, "sensitivity", "samples", sensitivity.samples, 1,
-                    100'000'000));
-  sensitivity.seed = static_cast<unsigned>(
-      int_field_ctx(json, "sensitivity", "seed", sensitivity.seed, 0,
-                    4294967295LL));
-  if (json.contains("ranges")) {
-    sensitivity.ranges.clear();
-    const std::vector<ParameterRange> known = table1_ranges();
-    for (const Json& entry : json.at("ranges").as_array()) {
-      const std::string& range_name = entry.as_string();
-      bool found = false;
-      for (const ParameterRange& range : known) {
-        if (range.name == range_name) {
-          sensitivity.ranges.push_back(range);
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        throw core::ConfigError("unknown sensitivity range \"" + range_name +
-                                "\" (see table1_ranges)");
-      }
-    }
-  }
-  return sensitivity;
-}
-
-/// Canonical form: only the fields the kind actually uses, so authors see
-/// no spurious knobs and the round-trip stays byte-identical.
-Json distribution_to_json(const core::ParamDistribution& distribution) {
-  Json out = Json::object();
-  out["parameter"] = distribution.parameter;
-  out["kind"] = core::to_string(distribution.kind);
-  out["low"] = distribution.low;
-  out["high"] = distribution.high;
-  if (distribution.kind == core::DistributionKind::normal) {
-    out["mean"] = distribution.mean;
-    out["stddev"] = distribution.stddev;
-  } else if (distribution.kind == core::DistributionKind::triangular) {
-    out["mode"] = distribution.mode;
-  }
-  return out;
-}
-
-core::ParamDistribution distribution_from_json(const Json& json) {
-  check_keys(json, "distribution",
-             {"parameter", "kind", "low", "high", "mean", "stddev", "mode"});
-  core::ParamDistribution distribution;
-  distribution.parameter = json.string_or("parameter", "");
-  if (distribution.parameter.empty()) {
-    throw core::ConfigError("distribution entries need a \"parameter\" name");
-  }
-  // The named Table 1 range supplies the default support (and validates
-  // the name): {"parameter": "E_des [GWh]"} alone is a complete entry.
-  const std::vector<ParameterRange> known = table1_ranges();
-  const auto range = std::find_if(known.begin(), known.end(), [&](const ParameterRange& r) {
-    return r.name == distribution.parameter;
-  });
-  if (range == known.end()) {
-    throw core::ConfigError("unknown distribution parameter \"" +
-                            distribution.parameter + "\" (see table1_ranges)");
-  }
-  const std::string kind = json.string_or("kind", "uniform");
-  const auto parsed_kind = core::parse_distribution_kind(kind);
-  if (!parsed_kind) {
-    throw core::ConfigError("distribution \"" + distribution.parameter +
-                            "\": unknown kind \"" + kind +
-                            "\" (uniform, normal, triangular)");
-  }
-  distribution.kind = *parsed_kind;
-  const std::string context = "distribution \"" + distribution.parameter + "\"";
-  // Kind-irrelevant fields are rejected, not ignored: a normal entry with
-  // "kind" forgotten would otherwise silently sample uniform over the
-  // full range and drop the author's mean/stddev.
-  for (const std::string_view key : {"mean", "stddev"}) {
-    if (distribution.kind != core::DistributionKind::normal && json.contains(key)) {
-      throw core::ConfigError(context + ": \"" + std::string(key) +
-                              "\" needs \"kind\": \"normal\"");
-    }
-  }
-  if (distribution.kind != core::DistributionKind::triangular && json.contains("mode")) {
-    throw core::ConfigError(context + ": \"mode\" needs \"kind\": \"triangular\"");
-  }
-  distribution.low = number_field_or(json, context, "low", range->low);
-  distribution.high = number_field_or(json, context, "high", range->high);
-  if (distribution.kind == core::DistributionKind::normal) {
-    distribution.mean = number_field_or(json, context, "mean",
-                                        0.5 * (distribution.low + distribution.high));
-    distribution.stddev = number_field_or(json, context, "stddev",
-                                          (distribution.high - distribution.low) / 4.0);
-  } else if (distribution.kind == core::DistributionKind::triangular) {
-    distribution.mode = number_field_or(json, context, "mode",
-                                        0.5 * (distribution.low + distribution.high));
-  }
-  return distribution;
-}
-
-Json montecarlo_to_json(const MonteCarloUqSpec& montecarlo) {
-  Json out = Json::object();
-  out["samples"] = montecarlo.samples;
-  out["seed"] = static_cast<std::int64_t>(montecarlo.seed);
-  Json distributions = Json::array();
-  for (const core::ParamDistribution& distribution : montecarlo.distributions) {
-    distributions.push_back(distribution_to_json(distribution));
-  }
-  out["distributions"] = std::move(distributions);
-  Json percentiles = Json::array();
-  for (const double p : montecarlo.percentiles) {
-    percentiles.push_back(p);
-  }
-  out["percentiles"] = std::move(percentiles);
-  return out;
-}
-
-MonteCarloUqSpec montecarlo_from_json(const Json& json, MonteCarloUqSpec montecarlo) {
-  check_keys(json, "montecarlo", {"samples", "seed", "distributions", "percentiles"});
-  // Range-guarded integer reads (int_field_or rejects non-integral values
-  // and out-of-range input instead of casting, which would be UB).
-  montecarlo.samples = static_cast<int>(
-      int_field_ctx(json, "montecarlo", "samples", montecarlo.samples, 1,
-                    10'000'000));
-  montecarlo.seed = static_cast<unsigned>(
-      int_field_ctx(json, "montecarlo", "seed", montecarlo.seed, 0, 4294967295LL));
-  if (json.contains("distributions")) {
-    montecarlo.distributions.clear();
-    for (const Json& entry : json.at("distributions").as_array()) {
-      montecarlo.distributions.push_back(distribution_from_json(entry));
-    }
-  }
-  if (json.contains("percentiles")) {
-    montecarlo.percentiles.clear();
-    for (const Json& entry : json.at("percentiles").as_array()) {
-      try {
-        montecarlo.percentiles.push_back(entry.as_number());
-      } catch (const io::JsonError& error) {
-        throw core::ConfigError("montecarlo.percentiles: " + std::string(error.what()));
-      }
-    }
-  }
-  return montecarlo;
-}
-
-Json dse_to_json(const DseSpec& dse) {
-  Json out = Json::object();
-  if (dse.chip) {
-    out["chip"] = core::to_json(*dse.chip);
-  }
-  Json nodes = Json::array();
-  for (const tech::ProcessNode node : dse.nodes) {
-    nodes.push_back(tech::to_string(node));
-  }
-  out["nodes"] = std::move(nodes);
-  return out;
-}
-
-DseSpec dse_from_json(const Json& json) {
-  check_keys(json, "dse", {"chip", "nodes"});
-  DseSpec dse;
-  if (json.contains("chip")) {
-    dse.chip = core::chip_from_json(json.at("chip"));
-  }
-  if (json.contains("nodes")) {
-    for (const Json& entry : json.at("nodes").as_array()) {
-      const auto node = tech::parse_node(entry.as_string());
-      if (!node) {
-        throw core::ConfigError("unknown process node \"" + entry.as_string() + "\"");
-      }
-      dse.nodes.push_back(*node);
-    }
-  }
-  return dse;
-}
-
 }  // namespace
 
 Json spec_to_json(const ScenarioSpec& spec) {
@@ -688,19 +397,13 @@ Json spec_to_json(const ScenarioSpec& spec) {
     profile["policy"] = spec.grid_profile->policy;
     out["grid_profile"] = std::move(profile);
   }
-  Json timeline = Json::object();
-  timeline["horizon_years"] = spec.timeline.horizon_years;
-  timeline["step_years"] = spec.timeline.step_years;
-  out["timeline"] = std::move(timeline);
-  out["dse"] = dse_to_json(spec.dse);
-  Json breakeven = Json::object();
-  breakeven["solve_app_count"] = spec.breakeven.solve_app_count;
-  breakeven["solve_lifetime"] = spec.breakeven.solve_lifetime;
-  breakeven["solve_volume"] = spec.breakeven.solve_volume;
-  out["breakeven"] = std::move(breakeven);
-  out["sensitivity"] = sensitivity_to_json(spec.sensitivity);
-  out["montecarlo"] = montecarlo_to_json(spec.montecarlo);
-  out["frontier"] = dse::frontier_spec_to_json(spec.frontier);
+  // Every module emits its sections into the shared object (the canonical
+  // dump sorts keys, so emission order never shows in the bytes).
+  for (const KindModule* module : all_kind_modules()) {
+    if (module->params_to_json != nullptr) {
+      module->params_to_json(spec, out);
+    }
+  }
   Json outputs = Json::object();
   outputs["per_application"] = spec.outputs.per_application;
   out["outputs"] = std::move(outputs);
@@ -708,18 +411,23 @@ Json spec_to_json(const ScenarioSpec& spec) {
 }
 
 ScenarioSpec spec_from_json(const Json& json) {
-  check_keys(json, "scenario spec",
-             {"name", "kind", "domain", "platforms", "suite", "schedule", "axes",
-              "grid_profile", "timeline", "dse", "breakeven", "sensitivity",
-              "montecarlo", "frontier", "outputs"});
+  check_spec_keys(json);
   ScenarioSpec spec = ScenarioSpec::make(ScenarioKind::compare);
   spec.name = json.string_or("name", spec.name);
   const std::string kind = json.string_or("kind", "compare");
-  const auto parsed_kind = parse_scenario_kind(kind);
-  if (!parsed_kind) {
-    throw core::ConfigError("unknown scenario kind \"" + kind + "\"");
+  const KindModule* module = find_kind_module(kind);
+  if (module == nullptr) {
+    throw core::ConfigError("unknown scenario kind \"" + kind +
+                            "\" (valid: " + kind_name_list() + ")");
   }
-  spec.kind = *parsed_kind;
+  spec.kind = module->kind;
+  // Re-seed now that the kind is known: kind-conditional defaults (the
+  // fleet section) depend on it.
+  for (const KindModule* each : all_kind_modules()) {
+    if (each->seed_defaults != nullptr) {
+      each->seed_defaults(spec);
+    }
+  }
   spec.domain = domain_from_token(json.string_or("domain", "dnn"));
   if (json.contains("platforms")) {
     for (const Json& entry : json.at("platforms").as_array()) {
@@ -746,35 +454,10 @@ ScenarioSpec spec_from_json(const Json& json) {
     profile.policy = json.at("grid_profile").string_or("policy", profile.policy);
     spec.grid_profile = std::move(profile);
   }
-  if (json.contains("timeline")) {
-    check_keys(json.at("timeline"), "timeline", {"horizon_years", "step_years"});
-    spec.timeline.horizon_years =
-        json.at("timeline").number_or("horizon_years", spec.timeline.horizon_years);
-    spec.timeline.step_years =
-        json.at("timeline").number_or("step_years", spec.timeline.step_years);
-  }
-  if (json.contains("dse")) {
-    spec.dse = dse_from_json(json.at("dse"));
-  }
-  if (json.contains("breakeven")) {
-    check_keys(json.at("breakeven"), "breakeven",
-               {"solve_app_count", "solve_lifetime", "solve_volume"});
-    spec.breakeven.solve_app_count =
-        json.at("breakeven").bool_or("solve_app_count", spec.breakeven.solve_app_count);
-    spec.breakeven.solve_lifetime =
-        json.at("breakeven").bool_or("solve_lifetime", spec.breakeven.solve_lifetime);
-    spec.breakeven.solve_volume =
-        json.at("breakeven").bool_or("solve_volume", spec.breakeven.solve_volume);
-  }
-  if (json.contains("sensitivity")) {
-    spec.sensitivity = sensitivity_from_json(json.at("sensitivity"), spec.sensitivity);
-  }
-  if (json.contains("montecarlo")) {
-    spec.montecarlo = montecarlo_from_json(json.at("montecarlo"), spec.montecarlo);
-  }
-  if (json.contains("frontier")) {
-    spec.frontier = dse::frontier_spec_from_json(json.at("frontier"), "frontier",
-                                                 std::move(spec.frontier));
+  for (const KindModule* each : all_kind_modules()) {
+    if (each->parse_params != nullptr) {
+      each->parse_params(json, spec);
+    }
   }
   if (json.contains("outputs")) {
     check_keys(json.at("outputs"), "outputs", {"per_application"});

@@ -34,6 +34,7 @@
 #include "device/chip_spec.hpp"
 #include "dse/frontier_spec.hpp"
 #include "io/json.hpp"
+#include "scenario/fleet.hpp"
 #include "scenario/sensitivity.hpp"
 #include "tech/node.hpp"
 #include "workload/application.hpp"
@@ -52,6 +53,7 @@ enum class ScenarioKind {
   sensitivity,  ///< tornado + Monte-Carlo over parameter ranges
   montecarlo,   ///< uncertainty quantification: distribution-sampled inputs
   frontier,     ///< platform win-region DSE over 2-4 deployment axes
+  fleet,        ///< mixed-platform datacenter serving a traffic trace
 };
 
 [[nodiscard]] std::string to_string(ScenarioKind kind);
@@ -217,6 +219,11 @@ struct ScenarioSpec {
   /// default app_count x volume grid; the confidence pass draws its
   /// parameter distributions from `montecarlo.distributions`.
   dse::FrontierSpec frontier;
+  /// Fleet-kind parameters.  Engaged only for the fleet kind (`make()`
+  /// seeds `default_fleet_spec()` there); nullopt -- and omitted from the
+  /// JSON form -- for every other kind, so pre-registry specs stay
+  /// byte-identical.
+  std::optional<FleetSpec> fleet;
   OutputSpec outputs;
 
   /// A spec with the paper-default suite (aggregate initialisation would

@@ -1,6 +1,6 @@
 /// Golden regression suite for the structured result pipeline: pins the
-/// canonical `--format json` output (`scenario::result_to_json`) of all
-/// nine scenario kinds against checked-in snapshots in tests/golden/,
+/// canonical `--format json` output (`scenario::result_to_json`) of
+/// every scenario kind against checked-in snapshots in tests/golden/,
 /// the byte-identical round-trip `result_from_json(result_to_json(r)) == r`,
 /// thread-count invariance of the JSON bytes, and `Engine::run_batch`
 /// bit-identity against individual runs.
@@ -93,6 +93,13 @@ ScenarioSpec spec_for(ScenarioKind kind) {
       spec.frontier.seed = 11;
       return spec;
     }
+    case ScenarioKind::fleet: {
+      ScenarioSpec spec = ScenarioSpec::make(kind, device::Domain::dnn);
+      spec.name = "golden fleet";
+      spec.fleet->mc_samples = 8;
+      spec.montecarlo.seed = 5;
+      return spec;
+    }
   }
   throw std::logic_error("spec_for: unknown kind");
 }
@@ -101,7 +108,8 @@ const std::vector<ScenarioKind>& all_kinds() {
   static const std::vector<ScenarioKind> kinds{
       ScenarioKind::compare,   ScenarioKind::sweep,     ScenarioKind::grid,
       ScenarioKind::timeline,  ScenarioKind::node_dse,  ScenarioKind::breakeven,
-      ScenarioKind::sensitivity, ScenarioKind::montecarlo, ScenarioKind::frontier};
+      ScenarioKind::sensitivity, ScenarioKind::montecarlo, ScenarioKind::frontier,
+      ScenarioKind::fleet};
   return kinds;
 }
 

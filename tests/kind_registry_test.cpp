@@ -1,0 +1,122 @@
+/// Completeness suite for the scenario kind registry: every enumerator
+/// is registered exactly once with a well-formed module, names and
+/// aliases round-trip through parse_scenario_kind, the registry-derived
+/// error/help vocabulary (kind_name_list) names every kind, and the
+/// mandatory hooks the generic layers call unconditionally are present.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/config_io.hpp"
+#include "scenario/kind_registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace greenfpga::scenario {
+namespace {
+
+/// Every ScenarioKind enumerator, spelled once; adding an enumerator
+/// without extending this list fails the count check below against the
+/// registry (and the registry itself throws on an unregistered kind).
+const std::set<ScenarioKind>& every_kind() {
+  static const std::set<ScenarioKind> kinds{
+      ScenarioKind::compare,     ScenarioKind::sweep,      ScenarioKind::grid,
+      ScenarioKind::timeline,    ScenarioKind::node_dse,   ScenarioKind::breakeven,
+      ScenarioKind::sensitivity, ScenarioKind::montecarlo, ScenarioKind::frontier,
+      ScenarioKind::fleet};
+  return kinds;
+}
+
+TEST(KindRegistry, EveryKindIsRegisteredExactlyOnce) {
+  std::set<ScenarioKind> seen;
+  for (const KindModule* module : all_kind_modules()) {
+    ASSERT_NE(module, nullptr);
+    EXPECT_TRUE(seen.insert(module->kind).second)
+        << "kind " << module->name << " registered twice";
+  }
+  EXPECT_EQ(seen, every_kind());
+}
+
+TEST(KindRegistry, KindModuleResolvesEveryEnumerator) {
+  for (const ScenarioKind kind : every_kind()) {
+    const KindModule& module = kind_module(kind);
+    EXPECT_EQ(module.kind, kind);
+  }
+}
+
+TEST(KindRegistry, NamesRoundTripThroughParse) {
+  std::set<std::string> names;
+  for (const KindModule* module : all_kind_modules()) {
+    const std::string name(module->name);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate kind name " << name;
+    EXPECT_EQ(to_string(module->kind), name);
+    const auto parsed = parse_scenario_kind(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, module->kind);
+  }
+}
+
+TEST(KindRegistry, AliasesResolveToTheirKind) {
+  for (const KindModule* module : all_kind_modules()) {
+    for (const std::string_view alias : module->aliases) {
+      const auto parsed = parse_scenario_kind(alias);
+      ASSERT_TRUE(parsed.has_value()) << alias;
+      EXPECT_EQ(*parsed, module->kind) << alias;
+    }
+  }
+  // The documented legacy spellings keep working.
+  EXPECT_EQ(parse_scenario_kind("heatmap"), ScenarioKind::grid);
+  EXPECT_EQ(parse_scenario_kind("nodes"), ScenarioKind::node_dse);
+  EXPECT_EQ(parse_scenario_kind("monte_carlo"), ScenarioKind::montecarlo);
+  EXPECT_EQ(parse_scenario_kind("mc"), ScenarioKind::montecarlo);
+  EXPECT_FALSE(parse_scenario_kind("industry").has_value());
+}
+
+TEST(KindRegistry, FindKindModuleMatchesNamesAndAliases) {
+  EXPECT_EQ(find_kind_module("fleet")->kind, ScenarioKind::fleet);
+  EXPECT_EQ(find_kind_module("heatmap")->kind, ScenarioKind::grid);
+  EXPECT_EQ(find_kind_module("no-such-kind"), nullptr);
+}
+
+TEST(KindRegistry, KindNameListNamesEveryKind) {
+  const std::string list = kind_name_list();
+  for (const KindModule* module : all_kind_modules()) {
+    EXPECT_NE(list.find(std::string(module->name)), std::string::npos)
+        << "kind_name_list() is missing " << module->name;
+  }
+}
+
+TEST(KindRegistry, MandatoryHooksArePresent) {
+  for (const KindModule* module : all_kind_modules()) {
+    const std::string name(module->name);
+    // The engine and frame layers call these without null checks for the
+    // owning kind (the other hooks are optional and null-checked).
+    EXPECT_FALSE(module->summary.empty()) << name;
+    EXPECT_NE(module->execute, nullptr) << name;
+    EXPECT_NE(module->to_frames, nullptr) << name;
+  }
+}
+
+TEST(KindRegistry, UnknownKindInSpecJsonListsValidNames) {
+  io::Json json = spec_to_json(ScenarioSpec::make(ScenarioKind::compare,
+                                                  device::Domain::dnn));
+  json["kind"] = "warehouse";
+  try {
+    spec_from_json(json);
+    FAIL() << "expected ConfigError";
+  } catch (const core::ConfigError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown scenario kind \"warehouse\""), std::string::npos)
+        << message;
+    // The valid-kind list comes from the registry, so it must name every
+    // registered kind -- including fleet.
+    for (const KindModule* module : all_kind_modules()) {
+      EXPECT_NE(message.find(std::string(module->name)), std::string::npos)
+          << message << " missing " << module->name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greenfpga::scenario

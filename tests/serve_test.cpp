@@ -73,6 +73,9 @@ ScenarioSpec spec_for(ScenarioKind kind) {
           dse::FrontierAxisSpec::log(dse::FrontierVariable::volume, 1e5, 1e6, 2)};
       spec.frontier.confidence_samples = 4;
       break;
+    case ScenarioKind::fleet:
+      spec.fleet->mc_samples = 4;
+      break;
     default:
       break;
   }
@@ -84,7 +87,7 @@ const std::vector<ScenarioKind>& all_kinds() {
       ScenarioKind::compare,     ScenarioKind::sweep,     ScenarioKind::grid,
       ScenarioKind::timeline,    ScenarioKind::node_dse,  ScenarioKind::breakeven,
       ScenarioKind::sensitivity, ScenarioKind::montecarlo,
-      ScenarioKind::frontier};
+      ScenarioKind::frontier,    ScenarioKind::fleet};
   return kinds;
 }
 

@@ -214,6 +214,33 @@ ScenarioSpec random_spec(ScenarioKind kind, std::mt19937& rng) {
     spec.frontier.seed = static_cast<unsigned>(uniform_int(rng, 0, 1 << 30));
   }
 
+  if (kind == ScenarioKind::fleet) {
+    // Mutate the seeded default fleet section: every scalar knob, region
+    // shares/profiles, and a regenerated (valid, peaked) 24-hour trace.
+    FleetSpec& fleet = *spec.fleet;
+    fleet.horizon_years = uniform(rng, 0.5, 12.0);
+    fleet.utilization = uniform(rng, 0.05, 1.0);
+    fleet.reconfig_overhead_hours = uniform(rng, 0.0, 4.0);
+    fleet.mc_samples = coin(rng) ? uniform_int(rng, 1, 64) : 0;
+    for (FleetRegionSpec& region : fleet.regions) {
+      region.weight = uniform(rng, 0.1, 5.0);
+      region.intensity_scale = uniform(rng, 0.2, 2.0);
+      region.profile = coin(rng) ? "uniform" : (coin(rng) ? "solar_duck" : "windy_night");
+    }
+    for (FleetServiceSpec& service : fleet.services) {
+      service.peak_load = uniform(rng, 1.0, 1e6);
+      if (coin(rng)) {
+        service.trace.assign(24, 0.0);
+        for (double& multiplier : service.trace) {
+          multiplier = uniform(rng, 0.0, 1.0);
+        }
+        service.trace[uniform_int(rng, 0, 23)] = 1.0;  // guarantee a peak
+      } else {
+        service.trace.clear();
+      }
+    }
+  }
+
   spec.montecarlo.samples = uniform_int(rng, 1, 100000);
   spec.montecarlo.seed = static_cast<unsigned>(uniform_int(rng, 0, 1 << 30));
   spec.montecarlo.distributions.clear();
@@ -263,7 +290,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          ScenarioKind::node_dse, ScenarioKind::breakeven,
                                          ScenarioKind::sensitivity,
                                          ScenarioKind::montecarlo,
-                                         ScenarioKind::frontier),
+                                         ScenarioKind::frontier, ScenarioKind::fleet),
                        ::testing::Range(0u, 5u)),
     [](const ::testing::TestParamInfo<std::tuple<ScenarioKind, unsigned>>& info) {
       return to_string(std::get<0>(info.param)) + "_seed" +

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Registry lint: per-kind behaviour lives in src/scenario/kinds/ modules,
+# never in switch statements over ScenarioKind scattered through the
+# generic layers (spec/engine/result_io/render/CLI).  Fails the build if
+# a `case ScenarioKind::...` label appears in src/ outside the kinds/
+# modules; add behaviour to the KindModule vtable instead.
+#
+# Usage: tools/check_kind_switches.sh [repo-root]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+
+offenders=$(grep -rn "case .*ScenarioKind::" src \
+  --include="*.cpp" --include="*.hpp" \
+  | grep -v "^src/scenario/kinds/" || true)
+
+if [ -n "$offenders" ]; then
+  echo "error: switch over ScenarioKind outside src/scenario/kinds/:" >&2
+  echo "$offenders" >&2
+  echo "move the per-kind behaviour into that kind's KindModule hook" >&2
+  exit 1
+fi
+echo "ok: no ScenarioKind switches outside src/scenario/kinds/"
